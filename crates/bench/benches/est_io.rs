@@ -1,0 +1,94 @@
+//! Benchmarks the paper's performance claim for Est-IO: "During query
+//! optimization, the estimation procedure only involves computing a simple
+//! formula" — it must be cheap enough to call per candidate access path.
+//! The baselines are measured alongside for comparison, as is the catalog
+//! codec (the cost of loading the stored model).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use epfis::{Catalog, EpfisConfig, LruFit, ScanQuery};
+use epfis_datagen::{Dataset, DatasetSpec};
+use epfis_estimators::{
+    DcEstimator, MlEstimator, OtEstimator, PageFetchEstimator, ScanParams, SdEstimator,
+    TraceSummary,
+};
+
+fn setup() -> (TraceSummary, epfis::IndexStatistics) {
+    let spec = DatasetSpec::synthetic(100_000, 1_000, 40, 0.0, 0.2);
+    let dataset = Dataset::generate(spec);
+    let summary = TraceSummary::from_trace(dataset.trace());
+    let stats = LruFit::new(EpfisConfig::default()).collect_from_curve(
+        &summary.fetch_curve,
+        summary.table_pages,
+        summary.records,
+        summary.distinct_keys,
+    );
+    (summary, stats)
+}
+
+fn bench_estimation(c: &mut Criterion) {
+    let (summary, stats) = setup();
+    let queries: Vec<ScanQuery> = (0..64)
+        .map(|i| {
+            ScanQuery::range(0.01 + 0.015 * i as f64 % 0.98, 12 + 37 * (i % 50))
+                .with_sargable(if i % 3 == 0 { 0.5 } else { 1.0 })
+        })
+        .collect();
+    let params: Vec<ScanParams> = queries
+        .iter()
+        .map(|q| ScanParams::range(q.selectivity, q.buffer_pages))
+        .collect();
+
+    let mut g = c.benchmark_group("est_io");
+    g.bench_function("epfis_estimate", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for q in &queries {
+                acc += stats.estimate(black_box(q));
+            }
+            acc
+        })
+    });
+    let ml = MlEstimator::from_summary(&summary);
+    g.bench_function("ml_estimate", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for p in &params {
+                acc += ml.estimate(black_box(p));
+            }
+            acc
+        })
+    });
+    let dc = DcEstimator::from_summary(&summary);
+    let sd = SdEstimator::from_summary(&summary);
+    let ot = OtEstimator::from_summary(&summary);
+    g.bench_function("cluster_ratio_estimates", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for p in &params {
+                acc += dc.estimate(black_box(p));
+                acc += sd.estimate(black_box(p));
+                acc += ot.estimate(black_box(p));
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_catalog_codec(c: &mut Criterion) {
+    let (_, stats) = setup();
+    let mut catalog = Catalog::new();
+    for i in 0..32 {
+        catalog.insert(format!("ix_{i}"), stats.clone()).unwrap();
+    }
+    let text = catalog.to_text();
+    let mut g = c.benchmark_group("catalog");
+    g.bench_function("serialize_32_entries", |b| b.iter(|| catalog.to_text()));
+    g.bench_function("parse_32_entries", |b| {
+        b.iter(|| Catalog::from_text(black_box(&text)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_estimation, bench_catalog_codec);
+criterion_main!(benches);

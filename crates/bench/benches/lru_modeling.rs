@@ -1,0 +1,74 @@
+//! Benchmarks the LRU-Fit side: the paper's key implementation trick is
+//! that ONE pass with the LRU stack property replaces a separate simulation
+//! per buffer size. Measured here:
+//!
+//! * Fenwick stack analysis throughput (references/second),
+//! * the naive list-based stack analysis (what the Fenwick version buys),
+//! * per-buffer-size exact LRU simulation at the paper's grid (what the
+//!   stack property avoids),
+//! * the full LRU-Fit pipeline including segment fitting.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use epfis::{EpfisConfig, LruFit};
+use epfis_datagen::{Dataset, DatasetSpec};
+use epfis_lrusim::{simulate_lru, KeyedTrace, NaiveStackAnalyzer, StackAnalyzer};
+
+fn trace() -> KeyedTrace {
+    let spec = DatasetSpec::synthetic(100_000, 1_000, 40, 0.0, 0.3);
+    Dataset::generate(spec).trace().clone()
+}
+
+fn bench_stack_analysis(c: &mut Criterion) {
+    let trace = trace();
+    let pages = trace.pages();
+    let mut g = c.benchmark_group("stack_analysis");
+    g.throughput(Throughput::Elements(pages.len() as u64));
+    g.bench_function("fenwick_one_pass", |b| {
+        b.iter(|| {
+            let mut a = StackAnalyzer::with_capacity(pages.len());
+            for &p in pages {
+                a.access(black_box(p));
+            }
+            a.finish()
+        })
+    });
+    g.sample_size(10);
+    g.bench_function("naive_list_one_pass", |b| {
+        b.iter(|| {
+            let mut a = NaiveStackAnalyzer::new();
+            for &p in pages {
+                a.access(black_box(p));
+            }
+            a.finish()
+        })
+    });
+    g.bench_function("exact_lru_per_grid_point_x10", |b| {
+        // What LRU-Fit would cost without the stack property: one exact
+        // simulation per sampled buffer size (10 representative sizes).
+        let t = trace.table_pages() as usize;
+        let grid: Vec<usize> = (1..=10).map(|i| (t * i / 10).max(1)).collect();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &cap in &grid {
+                acc += simulate_lru(pages, cap);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_lru_fit_pipeline(c: &mut Criterion) {
+    let trace = trace();
+    let mut g = c.benchmark_group("lru_fit");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(trace.pages().len() as u64));
+    g.bench_function("collect_full_pipeline", |b| {
+        let fit = LruFit::new(EpfisConfig::default());
+        b.iter(|| fit.collect(black_box(&trace)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_stack_analysis, bench_lru_fit_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Benchmarks the non-LRU policy simulators and the shared-buffer
+//! contention machinery (these lack the stack property, so their cost per
+//! buffer size is what the harness pays for every FIFO/Clock ground truth).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use epfis_lrusim::contention::shared_lru_misses;
+use epfis_lrusim::{simulate_clock, simulate_fifo, simulate_lru};
+
+fn trace(n: u32, pages: u32) -> Vec<u32> {
+    (0..n).map(|i| i.wrapping_mul(2654435761) % pages).collect()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let t = trace(100_000, 2_000);
+    let cap = 256usize;
+    let mut g = c.benchmark_group("policy_simulators");
+    g.throughput(Throughput::Elements(t.len() as u64));
+    g.bench_function("lru", |b| b.iter(|| simulate_lru(black_box(&t), cap)));
+    g.bench_function("fifo", |b| b.iter(|| simulate_fifo(black_box(&t), cap)));
+    g.bench_function("clock", |b| b.iter(|| simulate_clock(black_box(&t), cap)));
+    g.finish();
+}
+
+fn bench_contention(c: &mut Criterion) {
+    let t = trace(50_000, 2_000);
+    let streams: Vec<&[u32]> = (0..4).map(|_| t.as_slice()).collect();
+    let mut g = c.benchmark_group("contention");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(4 * t.len() as u64));
+    g.bench_function("shared_lru_4_streams", |b| {
+        b.iter(|| shared_lru_misses(black_box(&streams), 512))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_contention);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Benchmarks the FPF-curve approximation: greedy fitting cost versus the
+//! segment budget, and evaluation (interpolation) cost — the part that sits
+//! on the optimizer's hot path inside Est-IO.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use epfis_segfit::{fit_max_segments, fit_tolerance};
+
+fn fpf_like_points(n: usize) -> Vec<(f64, f64)> {
+    (0..n)
+        .map(|i| {
+            let x = 12.0 + i as f64 * 5.0;
+            (x, 1000.0 + 49_000.0 * (-(x - 12.0) / 400.0).exp())
+        })
+        .collect()
+}
+
+fn bench_fitting(c: &mut Criterion) {
+    let points = fpf_like_points(200);
+    let mut g = c.benchmark_group("segfit_fit");
+    for segments in [2usize, 6, 12, 24] {
+        g.bench_with_input(
+            BenchmarkId::new("fit_max_segments", segments),
+            &segments,
+            |b, &s| b.iter(|| fit_max_segments(black_box(&points), s)),
+        );
+    }
+    g.bench_function("fit_tolerance_1pct", |b| {
+        b.iter(|| fit_tolerance(black_box(&points), 500.0))
+    });
+    g.finish();
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let points = fpf_like_points(200);
+    let f = fit_max_segments(&points, 6);
+    let xs: Vec<f64> = (0..256).map(|i| 12.0 + i as f64 * 3.9).collect();
+    c.bench_function("segfit_eval_256_points", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &x in &xs {
+                acc += f.eval(black_box(x));
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_fitting, bench_eval);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Benchmarks the storage/index substrate: B+-tree build and scan rates and
+//! buffer-pool throughput. These bound how fast the *measured* (as opposed
+//! to modeled) experiments can run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use epfis_index::{BTreeIndex, IndexEntry, RangeSpec};
+use epfis_storage::{BufferPool, DiskManager, InMemoryDisk, PoolConfig, RecordId};
+
+fn entries(n: usize) -> Vec<IndexEntry> {
+    (0..n)
+        .map(|i| {
+            IndexEntry::new(
+                (i / 4) as i64,
+                i as u64,
+                i as i64,
+                RecordId::new((i % 1000) as u32, (i % 7) as u16),
+            )
+        })
+        .collect()
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let es = entries(100_000);
+    let mut g = c.benchmark_group("btree");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(es.len() as u64));
+    g.bench_function("bulk_load_100k", |b| {
+        b.iter(|| BTreeIndex::bulk_load(black_box(&es), 1.0))
+    });
+    g.bench_function("insert_20k", |b| {
+        b.iter(|| {
+            let mut t = BTreeIndex::new();
+            for e in es.iter().take(20_000) {
+                t.insert(e.key, e.minor, e.rid);
+            }
+            t
+        })
+    });
+    let mut tree = BTreeIndex::bulk_load(&es, 1.0);
+    g.bench_function("full_scan_100k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for e in tree.scan(RangeSpec::full()) {
+                acc = acc.wrapping_add(e.rid.page as u64);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_buffer_pool(c: &mut Criterion) {
+    let mut disk = InMemoryDisk::new();
+    for _ in 0..1000 {
+        disk.allocate_page();
+    }
+    let trace: Vec<u32> = (0..100_000u32)
+        .map(|i| i.wrapping_mul(2654435761) % 1000)
+        .collect();
+    let mut g = c.benchmark_group("buffer_pool");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("lru_pool_100k_accesses", |b| {
+        b.iter_batched(
+            || {
+                let mut d = InMemoryDisk::new();
+                for _ in 0..1000 {
+                    d.allocate_page();
+                }
+                BufferPool::new(d, PoolConfig::lru(128))
+            },
+            |mut pool| {
+                for &p in &trace {
+                    pool.with_page(black_box(p), |_| ()).unwrap();
+                }
+                pool.stats().misses
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_btree, bench_buffer_pool);
+criterion_main!(benches);

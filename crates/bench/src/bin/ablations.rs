@@ -1,0 +1,62 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. the small-σ correction (Equation 1) on vs off,
+//! 2. the printed `φ = max(1, B/T)` vs the prose-consistent `min(1, B/T)`,
+//! 3. the arithmetic grid vs Graefe's geometric grid (footnote 2),
+//! 4. a 3-segment vs 6-segment vs 12-segment catalog budget,
+//! 5. Algorithm SD's `T/I` vs `N/I` Cardenas exponent.
+//!
+//! ```text
+//! cargo run -p epfis-bench --release --bin ablations -- \
+//!     [--records N] [--distinct I] [--per-page R] [--theta T] [--k K] \
+//!     [--min-buffer B] [--seed S] [--csv DIR]
+//! ```
+
+use epfis::{EpfisConfig, GridStrategy, PhiMode};
+use epfis_bench::{slug, write_csv, Options};
+use epfis_datagen::DatasetSpec;
+use epfis_harness::figures;
+
+fn main() {
+    let opts = Options::from_env();
+    let records: u64 = opts.get("records", 200_000);
+    let distinct: u64 = opts.get("distinct", 2_000);
+    let per_page: u32 = opts.get("per-page", 40);
+    let theta: f64 = opts.get("theta", 0.0);
+    let k: f64 = opts.get("k", 0.20);
+    let min_buffer: u64 = opts.get("min-buffer", 60);
+    let seed: u64 = opts.get("seed", figures::DEFAULT_SEED);
+
+    let spec = DatasetSpec::synthetic(records, distinct, per_page, theta, k).with_seed(seed);
+
+    let configs: Vec<(&str, EpfisConfig)> = vec![
+        ("paper", EpfisConfig::default()),
+        ("no-correction", EpfisConfig::default().without_correction()),
+        (
+            "phi=min",
+            EpfisConfig {
+                phi_mode: PhiMode::ProseMin,
+                ..EpfisConfig::default()
+            },
+        ),
+        (
+            "geometric-grid",
+            EpfisConfig::default().with_grid(GridStrategy::Geometric { points: 24 }),
+        ),
+        ("segments=3", EpfisConfig::default().with_segments(3)),
+        ("segments=12", EpfisConfig::default().with_segments(12)),
+    ];
+    let fig = figures::config_ablation(spec.clone(), &configs, min_buffer, seed);
+    print!("{}", fig.to_table());
+    println!();
+    let sd = figures::sd_exponent_ablation(spec.clone(), min_buffer, seed);
+    print!("{}", sd.to_table());
+    println!();
+    let variants = figures::baseline_variant_ablation(spec, min_buffer, seed);
+    print!("{}", variants.to_table());
+    if let Some(dir) = opts.csv_dir() {
+        write_csv(&dir, &slug(&fig.title), &fig.to_csv());
+        write_csv(&dir, &slug(&sd.title), &sd.to_csv());
+        write_csv(&dir, &slug(&variants.title), &variants.to_csv());
+    }
+}

@@ -1,0 +1,33 @@
+//! Multi-user contention (§6 future work): k concurrent scans share one
+//! LRU buffer; how should the optimizer call EPFIS for one of them?
+//!
+//! ```text
+//! cargo run -p epfis-bench --release --bin contention -- \
+//!     [--records N] [--distinct I] [--per-page R] [--theta T] [--k K] \
+//!     [--buffer B] [--scans M] [--seed S] [--csv DIR]
+//! ```
+
+use epfis_bench::{slug, write_csv, Options};
+use epfis_datagen::DatasetSpec;
+use epfis_harness::figures;
+
+fn main() {
+    let opts = Options::from_env();
+    let records: u64 = opts.get("records", 100_000);
+    let distinct: u64 = opts.get("distinct", 1_000);
+    let per_page: u32 = opts.get("per-page", 40);
+    let theta: f64 = opts.get("theta", 0.0);
+    let k: f64 = opts.get("k", 0.50);
+    let buffer: u64 = opts.get("buffer", records / per_page as u64 / 4); // 0.25 T
+    let scans: usize = opts.get("scans", 40);
+    let seed: u64 = opts.get("seed", figures::DEFAULT_SEED);
+
+    let spec = DatasetSpec::synthetic(records, distinct, per_page, theta, k).with_seed(seed);
+    let fig = figures::contention(spec, &[1, 2, 4, 8], buffer, scans, seed);
+    print!("{}", fig.to_table());
+    println!("\n(Negative = the victim's misses exceeded the estimate: contention");
+    println!("steals frames the naive model assumes it owns.)");
+    if let Some(dir) = opts.csv_dir() {
+        write_csv(&dir, &slug(&fig.title), &fig.to_csv());
+    }
+}

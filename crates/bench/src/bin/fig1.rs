@@ -1,0 +1,29 @@
+//! Regenerates Figure 1: FPF curves for five GWL indexes.
+//!
+//! ```text
+//! cargo run -p epfis-bench --release --bin fig1 -- [--scale N] [--seed S] [--csv DIR]
+//! ```
+//!
+//! `--scale N` divides the GWL table sizes by `N` (default 1 = full scale).
+
+use epfis_bench::{print_max_errors, slug, write_csv, Options};
+use epfis_harness::figures;
+
+fn main() {
+    let opts = Options::from_env();
+    let scale: u32 = opts.get("scale", 1);
+    let seed: u64 = opts.get("seed", figures::DEFAULT_SEED);
+    let fig = figures::fig1(scale, seed);
+    print!("{}", fig.to_table());
+    // Figure 1 has no error series; report each curve's dynamic range
+    // instead (the spread the paper's discussion highlights).
+    let spreads: Vec<(String, f64)> = fig
+        .series
+        .iter()
+        .map(|s| (s.name.clone(), s.max_abs_y()))
+        .collect();
+    print_max_errors("F/T at the smallest modeled buffer", &spreads);
+    if let Some(dir) = opts.csv_dir() {
+        write_csv(&dir, &slug(&fig.title), &fig.to_csv());
+    }
+}

@@ -1,0 +1,193 @@
+//! One-shot reproduction runner: regenerates every table, figure, and
+//! extension study into an output directory (text tables + CSVs).
+//!
+//! ```text
+//! cargo run -p epfis-bench --release --bin repro_all -- \
+//!     [--out DIR] [--quick 1] [--seed S]
+//! ```
+//!
+//! `--quick 1` shrinks every dataset ~20× (minutes → seconds) for smoke
+//! runs; the default is the paper's full scale (~2 minutes).
+
+use epfis::{EpfisConfig, GridStrategy, PhiMode};
+use epfis_bench::{print_max_errors, slug, write_csv, Options};
+use epfis_datagen::DatasetSpec;
+use epfis_harness::figures::{self, SyntheticParams};
+use epfis_harness::FigureData;
+use std::path::Path;
+
+struct Sink {
+    dir: std::path::PathBuf,
+}
+
+impl Sink {
+    fn text(&self, name: &str, content: &str) {
+        let path = self.dir.join(format!("{name}.txt"));
+        std::fs::write(&path, content).expect("write result file");
+        println!("wrote {}", path.display());
+    }
+
+    fn figure(&self, name: &str, fig: &FigureData) {
+        self.text(name, &fig.to_table());
+        write_csv(&self.dir.join("csv"), &slug(&fig.title), &fig.to_csv());
+    }
+}
+
+fn main() {
+    let opts = Options::from_env();
+    let out: String = opts.get_str("out").unwrap_or("results").to_string();
+    let quick: u32 = opts.get("quick", 0);
+    let seed: u64 = opts.get("seed", figures::DEFAULT_SEED);
+    let sink = Sink {
+        dir: Path::new(&out).to_path_buf(),
+    };
+    std::fs::create_dir_all(sink.dir.join("csv")).expect("create output dir");
+
+    let (gwl_scale, gwl_min_buffer) = if quick > 0 { (20, 15) } else { (1, 300) };
+    let synth = |theta: f64, k: f64| {
+        let p = SyntheticParams::paper(theta, k);
+        if quick > 0 {
+            p.scaled(20)
+        } else {
+            p
+        }
+    };
+    let small_spec = |k: f64| {
+        let (n, i) = if quick > 0 {
+            (20_000, 400)
+        } else {
+            (200_000, 2_000)
+        };
+        DatasetSpec::synthetic(n, i, 40, 0.0, k).with_seed(seed)
+    };
+    let small_min_buffer = if quick > 0 { 30 } else { 60 };
+
+    // Tables 2-3 and Figure 1.
+    sink.text("tables", &figures::tables(gwl_scale, seed));
+    sink.figure("fig1", &figures::fig1(gwl_scale, seed));
+
+    // Figures 2-9 (GWL) with the Section 5.1 summary.
+    let mut gwl_out = String::new();
+    let mut overall: Vec<(String, f64)> = Vec::new();
+    for (fig, maxes) in figures::gwl_all(gwl_scale, gwl_min_buffer, seed) {
+        gwl_out.push_str(&fig.to_table());
+        gwl_out.push('\n');
+        write_csv(&sink.dir.join("csv"), &slug(&fig.title), &fig.to_csv());
+        for (name, worst) in maxes {
+            match overall.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, w)) => *w = w.max(worst),
+                None => overall.push((name, worst)),
+            }
+        }
+    }
+    sink.text("gwl_errors", &gwl_out);
+    print_max_errors(
+        "GWL overall (paper: EPFIS<=20, ML 97.8, SD 1889.7, OT 2046.2, DC 2876.4)",
+        &overall,
+    );
+
+    // Figures 10-21 (synthetic) with the Section 5.2 summary.
+    let mut synth_out = String::new();
+    let mut overall: Vec<(String, f64)> = Vec::new();
+    for theta in [0.0, 0.86] {
+        for k in [0.0, 0.05, 0.10, 0.20, 0.50, 1.0] {
+            let (fig, maxes) = figures::synthetic_error_figure(synth(theta, k));
+            synth_out.push_str(&fig.to_table());
+            synth_out.push('\n');
+            write_csv(&sink.dir.join("csv"), &slug(&fig.title), &fig.to_csv());
+            for (name, worst) in maxes {
+                match overall.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, w)) => *w = w.max(worst),
+                    None => overall.push((name, worst)),
+                }
+            }
+        }
+    }
+    sink.text("synthetic_errors", &synth_out);
+    print_max_errors(
+        "synthetic overall (paper: EPFIS 48, ML 94.9, SD 97.6, OT 2453.1, DC 1994.8)",
+        &overall,
+    );
+
+    // Section 4.1 segment sensitivity.
+    let counts: Vec<usize> = (1..=12).collect();
+    sink.figure(
+        "segment_sensitivity",
+        &figures::segment_sensitivity(small_spec(0.2), &counts, small_min_buffer, seed),
+    );
+
+    // Extensions: ablations, policy sensitivity, sargable, staleness,
+    // contention.
+    let configs: Vec<(&str, EpfisConfig)> = vec![
+        ("paper", EpfisConfig::default()),
+        ("no-correction", EpfisConfig::default().without_correction()),
+        (
+            "phi=min",
+            EpfisConfig {
+                phi_mode: PhiMode::ProseMin,
+                ..EpfisConfig::default()
+            },
+        ),
+        (
+            "geometric-grid",
+            EpfisConfig::default().with_grid(GridStrategy::Geometric { points: 24 }),
+        ),
+        ("segments=3", EpfisConfig::default().with_segments(3)),
+        ("segments=12", EpfisConfig::default().with_segments(12)),
+    ];
+    sink.figure(
+        "ablations_config",
+        &figures::config_ablation(small_spec(0.2), &configs, small_min_buffer, seed),
+    );
+    sink.figure(
+        "ablations_sd",
+        &figures::sd_exponent_ablation(small_spec(0.2), small_min_buffer, seed),
+    );
+    sink.figure(
+        "ablations_baselines",
+        &figures::baseline_variant_ablation(small_spec(0.2), small_min_buffer, seed),
+    );
+    let policy_spec = {
+        let (n, i) = if quick > 0 {
+            (20_000, 400)
+        } else {
+            (100_000, 1_000)
+        };
+        DatasetSpec::synthetic(n, i, 40, 0.0, 0.5).with_seed(seed)
+    };
+    sink.figure(
+        "policy_sensitivity",
+        &figures::policy_sensitivity(policy_spec.clone(), small_min_buffer, seed),
+    );
+    let t = small_spec(1.0).records / 40;
+    sink.figure(
+        "sargable_accuracy",
+        &figures::sargable_accuracy(
+            small_spec(1.0),
+            &[t / 20, t / 4, t / 2, t],
+            &[0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9],
+            seed,
+        ),
+    );
+    sink.figure(
+        "staleness",
+        &figures::staleness(
+            small_spec(0.2),
+            &[1.0, 1.1, 1.25, 1.5, 2.0, 3.0],
+            small_min_buffer,
+            seed,
+        ),
+    );
+    sink.figure(
+        "contention",
+        &figures::contention(
+            policy_spec.clone(),
+            &[1, 2, 4, 8],
+            policy_spec.records / 40 / 4,
+            40,
+            seed,
+        ),
+    );
+
+    println!("\nall artifacts regenerated under {out}/ (quick={quick})");
+}

@@ -1,0 +1,36 @@
+//! Accuracy of the §4.2 index-sargable urn model (derived but not
+//! evaluated in the paper): Est-IO's urn-reduced estimates versus ground
+//! truth where each index entry survives the sargable predicate with
+//! probability S.
+//!
+//! ```text
+//! cargo run -p epfis-bench --release --bin sargable_accuracy -- \
+//!     [--records N] [--distinct I] [--per-page R] [--theta T] [--k K] \
+//!     [--seed S] [--csv DIR]
+//! ```
+
+use epfis_bench::{slug, write_csv, Options};
+use epfis_datagen::DatasetSpec;
+use epfis_harness::figures;
+
+fn main() {
+    let opts = Options::from_env();
+    let records: u64 = opts.get("records", 200_000);
+    let distinct: u64 = opts.get("distinct", 2_000);
+    let per_page: u32 = opts.get("per-page", 40);
+    let theta: f64 = opts.get("theta", 0.0);
+    let k: f64 = opts.get("k", 1.0);
+    let seed: u64 = opts.get("seed", figures::DEFAULT_SEED);
+
+    let t = records.div_ceil(per_page as u64);
+    let spec = DatasetSpec::synthetic(records, distinct, per_page, theta, k).with_seed(seed);
+    let buffers = [t / 20, t / 4, t / 2, t];
+    let s_values = [0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9];
+    let fig = figures::sargable_accuracy(spec, &buffers, &s_values, seed);
+    print!("{}", fig.to_table());
+    println!("\n(The urn model reduces *pages referenced*; expect accuracy in the");
+    println!("large-buffer regime and overestimates when the buffer thrashes.)");
+    if let Some(dir) = opts.csv_dir() {
+        write_csv(&dir, &slug(&fig.title), &fig.to_csv());
+    }
+}

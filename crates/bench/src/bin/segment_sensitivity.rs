@@ -1,0 +1,33 @@
+//! Regenerates the §4.1 sensitivity study: estimation error versus the
+//! number of approximating line segments. The paper reports that errors
+//! "do not change very much when the number of line segments is greater
+//! than five" and therefore stores six.
+//!
+//! ```text
+//! cargo run -p epfis-bench --release --bin segment_sensitivity -- \
+//!     [--records N] [--distinct I] [--per-page R] [--k K] [--theta T] \
+//!     [--min-buffer B] [--seed S] [--csv DIR]
+//! ```
+
+use epfis_bench::{slug, write_csv, Options};
+use epfis_datagen::DatasetSpec;
+use epfis_harness::figures;
+
+fn main() {
+    let opts = Options::from_env();
+    let records: u64 = opts.get("records", 200_000);
+    let distinct: u64 = opts.get("distinct", 2_000);
+    let per_page: u32 = opts.get("per-page", 40);
+    let theta: f64 = opts.get("theta", 0.0);
+    let k: f64 = opts.get("k", 0.20);
+    let min_buffer: u64 = opts.get("min-buffer", 60);
+    let seed: u64 = opts.get("seed", figures::DEFAULT_SEED);
+
+    let spec = DatasetSpec::synthetic(records, distinct, per_page, theta, k).with_seed(seed);
+    let counts: Vec<usize> = (1..=12).collect();
+    let fig = figures::segment_sensitivity(spec, &counts, min_buffer, seed);
+    print!("{}", fig.to_table());
+    if let Some(dir) = opts.csv_dir() {
+        write_csv(&dir, &slug(&fig.title), &fig.to_csv());
+    }
+}

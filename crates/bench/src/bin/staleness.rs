@@ -1,0 +1,31 @@
+//! Statistics staleness (extension): how fast EPFIS's catalog entry decays
+//! as the table keeps growing after the statistics scan.
+//!
+//! ```text
+//! cargo run -p epfis-bench --release --bin staleness -- \
+//!     [--records N] [--distinct I] [--per-page R] [--theta T] [--k K] \
+//!     [--min-buffer B] [--seed S] [--csv DIR]
+//! ```
+
+use epfis_bench::{slug, write_csv, Options};
+use epfis_datagen::DatasetSpec;
+use epfis_harness::figures;
+
+fn main() {
+    let opts = Options::from_env();
+    let records: u64 = opts.get("records", 200_000);
+    let distinct: u64 = opts.get("distinct", 2_000);
+    let per_page: u32 = opts.get("per-page", 40);
+    let theta: f64 = opts.get("theta", 0.0);
+    let k: f64 = opts.get("k", 0.2);
+    let min_buffer: u64 = opts.get("min-buffer", 60);
+    let seed: u64 = opts.get("seed", figures::DEFAULT_SEED);
+
+    let spec = DatasetSpec::synthetic(records, distinct, per_page, theta, k).with_seed(seed);
+    let growths = [1.0, 1.1, 1.25, 1.5, 2.0, 3.0];
+    let fig = figures::staleness(spec, &growths, min_buffer, seed);
+    print!("{}", fig.to_table());
+    if let Some(dir) = opts.csv_dir() {
+        write_csv(&dir, &slug(&fig.title), &fig.to_csv());
+    }
+}

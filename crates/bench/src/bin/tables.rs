@@ -1,0 +1,16 @@
+//! Regenerates Tables 2 and 3: the GWL table shapes and the clustering
+//! factors of the synthesized stand-in columns (paper target vs measured).
+//!
+//! ```text
+//! cargo run -p epfis-bench --release --bin tables -- [--scale N] [--seed S]
+//! ```
+
+use epfis_bench::Options;
+use epfis_harness::figures;
+
+fn main() {
+    let opts = Options::from_env();
+    let scale: u32 = opts.get("scale", 1);
+    let seed: u64 = opts.get("seed", figures::DEFAULT_SEED);
+    print!("{}", figures::tables(scale, seed));
+}

@@ -1,0 +1,140 @@
+//! Shared plumbing for the figure-regeneration binaries: a tiny argument
+//! parser (`--flag value` pairs) and CSV output helpers.
+//!
+//! Every binary prints the figure as an aligned text table on stdout and,
+//! with `--csv DIR`, also writes one CSV per figure for plotting.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Parsed `--key value` command-line options.
+pub struct Options {
+    values: HashMap<String, String>,
+}
+
+impl Options {
+    /// Parses `std::env::args()` style arguments (skipping the binary name).
+    ///
+    /// # Panics
+    /// Panics (with usage guidance) on stray or incomplete flags.
+    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut values = HashMap::new();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            let key = arg
+                .strip_prefix("--")
+                .unwrap_or_else(|| panic!("unexpected argument {arg:?}; flags are --key value"));
+            let value = args
+                .next()
+                .unwrap_or_else(|| panic!("flag --{key} needs a value"));
+            values.insert(key.to_string(), value);
+        }
+        Options { values }
+    }
+
+    /// Parses the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// A typed option with a default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.values.get(key) {
+            None => default,
+            Some(raw) => raw
+                .parse()
+                .unwrap_or_else(|e| panic!("bad value for --{key}: {e}")),
+        }
+    }
+
+    /// An optional string option.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(|s| s.as_str())
+    }
+
+    /// The CSV output directory, if `--csv` was given.
+    pub fn csv_dir(&self) -> Option<PathBuf> {
+        self.get_str("csv").map(PathBuf::from)
+    }
+}
+
+/// Writes a figure's CSV into `dir/<slug>.csv`, creating the directory.
+pub fn write_csv(dir: &Path, slug: &str, csv: &str) {
+    std::fs::create_dir_all(dir).expect("create csv dir");
+    let path = dir.join(format!("{slug}.csv"));
+    std::fs::write(&path, csv).expect("write csv");
+    println!("wrote {}", path.display());
+}
+
+/// Slugifies a figure title for use as a file name.
+pub fn slug(title: &str) -> String {
+    title
+        .chars()
+        .map(|c| {
+            if c.is_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect::<String>()
+        .split('_')
+        .filter(|s| !s.is_empty())
+        .collect::<Vec<_>>()
+        .join("_")
+}
+
+/// Prints the §5-style max-error summary block.
+pub fn print_max_errors(label: &str, maxes: &[(String, f64)]) {
+    println!("max |error| per algorithm for {label}:");
+    for (name, worst) in maxes {
+        println!("  {name:>6}: {worst:8.1}%");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flags_with_defaults() {
+        let o = Options::parse(
+            ["--scale", "10", "--theta", "0.86"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(o.get("scale", 1u32), 10);
+        assert_eq!(o.get("theta", 0.0f64), 0.86);
+        assert_eq!(o.get("seed", 7u64), 7);
+        assert!(o.csv_dir().is_none());
+    }
+
+    #[test]
+    fn csv_dir_round_trips() {
+        let o = Options::parse(["--csv", "/tmp/x"].iter().map(|s| s.to_string()));
+        assert_eq!(o.csv_dir().unwrap(), PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn slug_is_filesystem_safe() {
+        assert_eq!(
+            slug("Figure 12: error behavior for theta=0, K=0.10"),
+            "figure_12_error_behavior_for_theta_0_k_0_10"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a value")]
+    fn incomplete_flag_panics() {
+        Options::parse(["--scale"].iter().map(|s| s.to_string()));
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected argument")]
+    fn stray_argument_panics() {
+        Options::parse(["banana"].iter().map(|s| s.to_string()));
+    }
+}

@@ -1,0 +1,722 @@
+//! Implementation of the `epfis` command-line tool.
+//!
+//! The CLI mirrors the lifecycle a DBA would drive in a real system:
+//!
+//! ```text
+//! epfis analyze  --catalog cat.txt --name t.k --records 100000 --distinct 1000 \
+//!                --per-page 40 --k 0.2            # statistics collection (LRU-Fit)
+//! epfis analyze  --catalog cat.txt --gwl CMAC.BRAN --scale 4
+//! epfis show     --catalog cat.txt                 # list catalog entries
+//! epfis fpf      --catalog cat.txt --name t.k      # print the stored curve
+//! epfis estimate --catalog cat.txt --name t.k --sigma 0.1 --buffer 500 [--sargable 0.5]
+//! epfis plan     --catalog cat.txt --name t.k --sigma 0.1 --buffer 500
+//! ```
+//!
+//! `analyze` generates the named synthetic dataset (or GWL stand-in)
+//! deterministically from its parameters, runs the statistics scan, and
+//! stores the catalog entry; the other commands work purely from the
+//! catalog file, exactly as an optimizer would.
+
+use epfis::optimizer::{AccessPathSelector, IndexCandidate, QuerySpec};
+use epfis::{Catalog, EpfisConfig, LruFit, ScanQuery};
+use epfis_datagen::{gwl, Dataset, DatasetSpec};
+use std::collections::HashMap;
+
+/// A parsed command line: subcommand plus `--key value` options.
+pub struct Command {
+    /// The subcommand name.
+    pub name: String,
+    options: HashMap<String, String>,
+}
+
+/// CLI errors (all user-facing).
+#[derive(Debug, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+impl Command {
+    /// Parses `args` (without the binary name).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Command, CliError> {
+        let mut args = args.into_iter();
+        let name = args.next().ok_or_else(|| err(USAGE))?;
+        let mut options = HashMap::new();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            let key = arg.strip_prefix("--").ok_or_else(|| {
+                err(format!(
+                    "unexpected argument {arg:?} (flags are --key value)"
+                ))
+            })?;
+            let value = args
+                .next()
+                .ok_or_else(|| err(format!("flag --{key} needs a value")))?;
+            options.insert(key.to_string(), value);
+        }
+        Ok(Command { name, options })
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, CliError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.options.get(key) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|e| err(format!("bad value for --{key}: {e}"))),
+        }
+    }
+
+    fn require<T: std::str::FromStr>(&self, key: &str) -> Result<T, CliError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        self.get(key)?
+            .ok_or_else(|| err(format!("missing required flag --{key}")))
+    }
+
+    fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        Ok(self.get(key)?.unwrap_or(default))
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "usage: epfis <analyze|show|fpf|estimate|plan> --catalog FILE [options]
+  analyze   --catalog F --name NAME --records N --distinct I --per-page R \\
+            [--theta T] [--k K] [--noise P] [--seed S] [--segments M]
+            (or: --gwl TABLE.COLUMN [--scale D] instead of the synthetic knobs)
+            (or: --trace FILE [--table-pages T], FILE has one `key page` pair
+             per line in key order — a captured statistics-scan trace)
+  show      --catalog F
+  fpf       --catalog F --name NAME [--points P]
+  estimate  --catalog F --name NAME --sigma S --buffer B [--sargable X]
+  plan      --catalog F --name NAME --sigma S --buffer B [--sargable X]
+  compare   --trace FILE [--table-pages T] [--points P]
+            (full-scan fetches: exact LRU simulation vs EPFIS/ML/DC/SD/OT,
+             computed from the trace alone — no catalog needed)
+  bench     --trace FILE [--table-pages T] [--scans N] [--min-buffer B] [--seed S]
+            (the paper's Section 5 experiment on a captured trace: random
+             partial scans, aggregate error per algorithm per buffer size)";
+
+/// Parses a captured statistics-scan trace: one `key page` pair per line
+/// (`#` comments and blank lines ignored), keys grouped contiguously in key
+/// order. `table_pages` defaults to `max(page) + 1`.
+pub fn parse_trace_file(
+    text: &str,
+    table_pages: Option<u32>,
+) -> Result<epfis_lrusim::KeyedTrace, CliError> {
+    let mut pages: Vec<u32> = Vec::new();
+    let mut run_lengths: Vec<u32> = Vec::new();
+    let mut current_key: Option<i64> = None;
+    let mut seen: std::collections::HashSet<i64> = std::collections::HashSet::new();
+    for (no, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (key, page) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(k), Some(p), None) => (k, p),
+            _ => {
+                return Err(err(format!(
+                    "trace line {}: expected `key page`, got {line:?}",
+                    no + 1
+                )))
+            }
+        };
+        let key: i64 = key
+            .parse()
+            .map_err(|e| err(format!("trace line {}: bad key: {e}", no + 1)))?;
+        let page: u32 = page
+            .parse()
+            .map_err(|e| err(format!("trace line {}: bad page: {e}", no + 1)))?;
+        if current_key == Some(key) {
+            *run_lengths.last_mut().unwrap() += 1;
+        } else {
+            if !seen.insert(key) {
+                return Err(err(format!(
+                    "trace line {}: key {key} appears in two separate runs \
+                     (the trace must be in key order)",
+                    no + 1
+                )));
+            }
+            current_key = Some(key);
+            run_lengths.push(1);
+        }
+        pages.push(page);
+    }
+    if pages.is_empty() {
+        return Err(err("trace file contains no references"));
+    }
+    let max_page = *pages.iter().max().unwrap();
+    let t = table_pages.unwrap_or(max_page + 1);
+    if t <= max_page {
+        return Err(err(format!(
+            "--table-pages {t} is smaller than the largest referenced page {max_page}"
+        )));
+    }
+    Ok(epfis_lrusim::KeyedTrace::from_run_lengths(
+        pages,
+        &run_lengths,
+        t,
+    ))
+}
+
+/// Executes a parsed command, returning the text to print.
+pub fn run(cmd: &Command) -> Result<String, CliError> {
+    match cmd.name.as_str() {
+        "analyze" => analyze(cmd),
+        "show" => show(cmd),
+        "fpf" => fpf(cmd),
+        "estimate" => estimate(cmd),
+        "plan" => plan(cmd),
+        "compare" => compare(cmd),
+        "bench" => bench(cmd),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(err(format!("unknown command {other:?}\n{USAGE}"))),
+    }
+}
+
+fn load_catalog(cmd: &Command) -> Result<(Catalog, String), CliError> {
+    let path: String = cmd.require("catalog")?;
+    let catalog = if std::path::Path::new(&path).exists() {
+        Catalog::load(&path).map_err(|e| err(format!("cannot read catalog {path}: {e}")))?
+    } else {
+        Catalog::new()
+    };
+    Ok((catalog, path))
+}
+
+fn entry<'c>(
+    catalog: &'c Catalog,
+    cmd: &Command,
+) -> Result<(String, &'c epfis::IndexStatistics), CliError> {
+    let name: String = cmd.require("name")?;
+    let stats = catalog.get(&name).ok_or_else(|| {
+        err(format!(
+            "no catalog entry named {name:?} (try `epfis show`)"
+        ))
+    })?;
+    Ok((name, stats))
+}
+
+fn analyze(cmd: &Command) -> Result<String, CliError> {
+    let (mut catalog, path) = load_catalog(cmd)?;
+    let seed: u64 = cmd.get_or("seed", 0x5EED_EF15)?;
+    if let Some(trace_path) = cmd.get::<String>("trace")? {
+        // Captured-trace mode: run LRU-Fit directly on the file.
+        let name: String = cmd.require("name")?;
+        let text = std::fs::read_to_string(&trace_path)
+            .map_err(|e| err(format!("cannot read trace {trace_path}: {e}")))?;
+        let trace = parse_trace_file(&text, cmd.get("table-pages")?)?;
+        let config = EpfisConfig::default().with_segments(cmd.get_or("segments", 6usize)?);
+        let stats = LruFit::new(config).collect(&trace);
+        let summary = format!(
+            "analyzed {name} from {trace_path}: T={} N={} I={} C={:.3}",
+            stats.table_pages, stats.records, stats.distinct_keys, stats.clustering_factor
+        );
+        catalog
+            .insert(name, stats)
+            .map_err(|e| err(e.to_string()))?;
+        catalog
+            .save(&path)
+            .map_err(|e| err(format!("cannot write catalog {path}: {e}")))?;
+        return Ok(format!("{summary}\nsaved to {path}"));
+    }
+    let (name, dataset) = if let Some(column) = cmd.get::<String>("gwl")? {
+        let scale: u32 = cmd.get_or("scale", 1)?;
+        let col = gwl::gwl_column(&column)
+            .ok_or_else(|| err(format!("unknown GWL column {column:?}")))?
+            .scaled_down(scale);
+        let (dataset, measured_c) = gwl::synthesize_gwl_column(&col, seed);
+        let name: String = cmd.get_or("name", column.clone())?;
+        let _ = measured_c;
+        (name, dataset)
+    } else {
+        let name: String = cmd.require("name")?;
+        let spec = DatasetSpec {
+            name: name.clone(),
+            records: cmd.require("records")?,
+            distinct: cmd.require("distinct")?,
+            records_per_page: cmd.require("per-page")?,
+            theta: cmd.get_or("theta", 0.0)?,
+            window_fraction: cmd.get_or("k", 0.2)?,
+            noise: cmd.get_or("noise", 0.05)?,
+            shuffle_frequencies: true,
+            sorted_rids: false,
+            seed,
+        };
+        (name, Dataset::generate(spec))
+    };
+    let config = EpfisConfig::default().with_segments(cmd.get_or("segments", 6usize)?);
+    let stats = LruFit::new(config).collect(dataset.trace());
+    let summary = format!(
+        "analyzed {name}: T={} N={} I={} C={:.3}, {} segments over B in [{}, {}]",
+        stats.table_pages,
+        stats.records,
+        stats.distinct_keys,
+        stats.clustering_factor,
+        stats.fpf.segments(),
+        stats.b_min,
+        stats.b_max
+    );
+    catalog
+        .insert(name, stats)
+        .map_err(|e| err(e.to_string()))?;
+    catalog
+        .save(&path)
+        .map_err(|e| err(format!("cannot write catalog {path}: {e}")))?;
+    Ok(format!("{summary}\nsaved to {path}"))
+}
+
+fn show(cmd: &Command) -> Result<String, CliError> {
+    let (catalog, path) = load_catalog(cmd)?;
+    if catalog.is_empty() {
+        return Ok(format!("catalog {path}: empty"));
+    }
+    let mut out = format!(
+        "catalog {path}: {} entries\n{:<24} {:>9} {:>10} {:>9} {:>7} {:>9}\n",
+        catalog.len(),
+        "index",
+        "T",
+        "N",
+        "I",
+        "C",
+        "segments"
+    );
+    for (name, s) in catalog.iter() {
+        out.push_str(&format!(
+            "{:<24} {:>9} {:>10} {:>9} {:>7.3} {:>9}\n",
+            name,
+            s.table_pages,
+            s.records,
+            s.distinct_keys,
+            s.clustering_factor,
+            s.fpf.segments()
+        ));
+    }
+    Ok(out)
+}
+
+fn fpf(cmd: &Command) -> Result<String, CliError> {
+    let (catalog, _) = load_catalog(cmd)?;
+    let (name, stats) = entry(&catalog, cmd)?;
+    let points: usize = cmd.get_or("points", 12)?;
+    let mut out = format!(
+        "FPF curve for {name} (stored knots: {:?})\n{:>10} {:>12} {:>8}\n",
+        stats
+            .fpf
+            .knots()
+            .iter()
+            .map(|&(b, f)| (b as u64, f as u64))
+            .collect::<Vec<_>>(),
+        "B",
+        "F(B)",
+        "F/T"
+    );
+    let t = stats.table_pages as f64;
+    for i in 0..points {
+        let b = stats.b_min
+            + ((stats.b_max - stats.b_min) as f64 * i as f64 / (points - 1).max(1) as f64) as u64;
+        let f = stats.full_scan_fetches(b);
+        out.push_str(&format!("{:>10} {:>12.0} {:>8.2}\n", b, f, f / t));
+    }
+    Ok(out)
+}
+
+fn estimate(cmd: &Command) -> Result<String, CliError> {
+    let (catalog, _) = load_catalog(cmd)?;
+    let (name, stats) = entry(&catalog, cmd)?;
+    let sigma: f64 = cmd.require("sigma")?;
+    let buffer: u64 = cmd.require("buffer")?;
+    let sargable: f64 = cmd.get_or("sargable", 1.0)?;
+    if !(0.0..=1.0).contains(&sigma) || !(0.0..=1.0).contains(&sargable) {
+        return Err(err("selectivities must be in [0, 1]"));
+    }
+    if buffer == 0 {
+        return Err(err("--buffer must be at least 1"));
+    }
+    let q = ScanQuery::range(sigma, buffer).with_sargable(sargable);
+    let f = stats.estimate(&q);
+    Ok(format!(
+        "{name}: sigma={sigma} S={sargable} B={buffer} -> estimated page fetches = {f:.1}\n\
+         (table scan would fetch {}; full index scan at this buffer ~{:.0})",
+        stats.table_pages,
+        stats.full_scan_fetches(buffer)
+    ))
+}
+
+fn plan(cmd: &Command) -> Result<String, CliError> {
+    let (catalog, _) = load_catalog(cmd)?;
+    let (name, stats) = entry(&catalog, cmd)?;
+    let sigma: f64 = cmd.require("sigma")?;
+    let buffer: u64 = cmd.require("buffer")?;
+    let sargable: f64 = cmd.get_or("sargable", 1.0)?;
+    let selector = AccessPathSelector {
+        table_pages: stats.table_pages,
+        records: stats.records,
+        buffer_pages: buffer,
+    };
+    let query = QuerySpec {
+        output_selectivity: sigma * sargable,
+        required_order: None,
+        candidates: vec![IndexCandidate {
+            name: name.clone(),
+            stats: stats.clone(),
+            range_selectivity: Some(sigma),
+            sargable_selectivity: sargable,
+        }],
+        consider_rid_plans: true,
+    };
+    let mut out = format!("plans for sigma={sigma} S={sargable} B={buffer} (cheapest first):\n");
+    for p in selector.enumerate(&query) {
+        out.push_str(&format!("{:>12.1}  {}\n", p.io_cost, p.plan));
+    }
+    Ok(out)
+}
+
+fn compare(cmd: &Command) -> Result<String, CliError> {
+    use epfis_estimators::{
+        DcEstimator, MlEstimator, OtEstimator, PageFetchEstimator, ScanParams, SdEstimator,
+        TraceSummary,
+    };
+    let trace_path: String = cmd.require("trace")?;
+    let text = std::fs::read_to_string(&trace_path)
+        .map_err(|e| err(format!("cannot read trace {trace_path}: {e}")))?;
+    let trace = parse_trace_file(&text, cmd.get("table-pages")?)?;
+    let points: usize = cmd.get_or("points", 10)?;
+
+    let summary = TraceSummary::from_trace(&trace);
+    let stats = LruFit::new(EpfisConfig::default()).collect_from_curve(
+        &summary.fetch_curve,
+        summary.table_pages,
+        summary.records,
+        summary.distinct_keys,
+    );
+    let estimators: Vec<Box<dyn PageFetchEstimator>> = vec![
+        Box::new(MlEstimator::from_summary(&summary)),
+        Box::new(DcEstimator::from_summary(&summary)),
+        Box::new(SdEstimator::from_summary(&summary)),
+        Box::new(OtEstimator::from_summary(&summary)),
+    ];
+    let mut out =
+        format!(
+        "full-scan page fetches from {trace_path} (T={} N={} I={} C={:.3})\n{:>10} {:>10} {:>10}",
+        summary.table_pages, summary.records, summary.distinct_keys, stats.clustering_factor,
+        "B", "exact", "EPFIS"
+    );
+    for e in &estimators {
+        out.push_str(&format!(" {:>10}", e.name()));
+    }
+    out.push('\n');
+    let (b_min, b_max) = (stats.b_min, stats.b_max);
+    for i in 0..points {
+        let b = b_min + ((b_max - b_min) as f64 * i as f64 / (points - 1).max(1) as f64) as u64;
+        let exact = summary.fetch_curve.fetches(b);
+        out.push_str(&format!(
+            "{:>10} {:>10} {:>10.0}",
+            b,
+            exact,
+            stats.estimate(&ScanQuery::full(b))
+        ));
+        let params = ScanParams::range(1.0, b).with_distinct_keys(summary.distinct_keys);
+        for e in &estimators {
+            out.push_str(&format!(" {:>10.0}", e.estimate(&params)));
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn bench(cmd: &Command) -> Result<String, CliError> {
+    use epfis_datagen::ScanWorkloadConfig;
+    use epfis_harness::experiment::{paper_buffer_grid, DatasetExperiment};
+    let trace_path: String = cmd.require("trace")?;
+    let text = std::fs::read_to_string(&trace_path)
+        .map_err(|e| err(format!("cannot read trace {trace_path}: {e}")))?;
+    let trace = parse_trace_file(&text, cmd.get("table-pages")?)?;
+    let scans: usize = cmd.get_or("scans", 200)?;
+    let seed: u64 = cmd.get_or("seed", 0x5EED_EF15)?;
+    let table_pages = trace.table_pages() as u64;
+    let min_buffer: u64 = cmd.get_or("min-buffer", (table_pages / 20).max(12))?;
+
+    let workload = ScanWorkloadConfig {
+        scans,
+        small_fraction: 0.5,
+        seed,
+    };
+    let exp = DatasetExperiment::build_from_trace(trace, &workload, EpfisConfig::default());
+    let buffers = paper_buffer_grid(table_pages, min_buffer);
+    let names = exp.algorithm_names();
+    let mut out = format!(
+        "Section 5 experiment on {trace_path}: {scans} scans, {} buffer sizes
+{:>10}",
+        buffers.len(),
+        "B(%T)"
+    );
+    for n in &names {
+        out.push_str(&format!(" {n:>9}"));
+    }
+    out.push_str("   (aggregate error %)\n");
+    for &b in &buffers {
+        out.push_str(&format!("{:>9.1}%", 100.0 * b as f64 / table_pages as f64));
+        for idx in 0..names.len() {
+            out.push_str(&format!(" {:>9.1}", exp.error_percent(idx, b)));
+        }
+        out.push('\n');
+    }
+    out.push_str(
+        "worst |error| per algorithm:
+",
+    );
+    for (name, worst) in exp.max_abs_error(&buffers) {
+        out.push_str(&format!(
+            "  {name:>6}: {worst:8.1}%
+"
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmd(line: &str) -> Command {
+        Command::parse(line.split_whitespace().map(|s| s.to_string())).unwrap()
+    }
+
+    fn temp_catalog(tag: &str) -> String {
+        let dir = std::env::temp_dir().join("epfis-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{tag}.cat"));
+        std::fs::remove_file(&path).ok();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn parse_rejects_missing_subcommand_and_stray_args() {
+        assert!(Command::parse(std::iter::empty()).is_err());
+        assert!(Command::parse(["estimate".into(), "oops".into()]).is_err());
+        assert!(Command::parse(["estimate".into(), "--sigma".into()]).is_err());
+    }
+
+    #[test]
+    fn unknown_command_reports_usage() {
+        let e = run(&cmd("frobnicate")).unwrap_err();
+        assert!(e.0.contains("usage"));
+    }
+
+    #[test]
+    fn analyze_show_estimate_round_trip() {
+        let path = temp_catalog("roundtrip");
+        let out = run(&cmd(&format!(
+            "analyze --catalog {path} --name t.k --records 5000 --distinct 100 --per-page 20 --k 0.3"
+        )))
+        .unwrap();
+        assert!(out.contains("analyzed t.k"), "{out}");
+        assert!(out.contains("T=250"));
+
+        let out = run(&cmd(&format!("show --catalog {path}"))).unwrap();
+        assert!(out.contains("t.k"));
+        assert!(out.contains("1 entries"));
+
+        let out = run(&cmd(&format!(
+            "estimate --catalog {path} --name t.k --sigma 0.2 --buffer 50"
+        )))
+        .unwrap();
+        assert!(out.contains("estimated page fetches"));
+    }
+
+    #[test]
+    fn analyze_is_deterministic_across_runs() {
+        let p1 = temp_catalog("det1");
+        let p2 = temp_catalog("det2");
+        for p in [&p1, &p2] {
+            run(&cmd(&format!(
+                "analyze --catalog {p} --name ix --records 4000 --distinct 80 --per-page 20 --k 0.5 --seed 9"
+            )))
+            .unwrap();
+        }
+        assert_eq!(
+            std::fs::read_to_string(&p1).unwrap(),
+            std::fs::read_to_string(&p2).unwrap()
+        );
+    }
+
+    #[test]
+    fn fpf_prints_curve_rows() {
+        let path = temp_catalog("fpf");
+        run(&cmd(&format!(
+            "analyze --catalog {path} --name ix --records 4000 --distinct 80 --per-page 20 --k 1.0"
+        )))
+        .unwrap();
+        let out = run(&cmd(&format!("fpf --catalog {path} --name ix --points 5"))).unwrap();
+        assert!(out.contains("FPF curve for ix"));
+        assert_eq!(out.lines().count(), 2 + 5);
+    }
+
+    #[test]
+    fn plan_lists_rid_sorted_alternative() {
+        let path = temp_catalog("plan");
+        run(&cmd(&format!(
+            "analyze --catalog {path} --name ix --records 4000 --distinct 80 --per-page 20 --k 1.0"
+        )))
+        .unwrap();
+        let out = run(&cmd(&format!(
+            "plan --catalog {path} --name ix --sigma 0.4 --buffer 12"
+        )))
+        .unwrap();
+        assert!(out.contains("table scan"));
+        assert!(out.contains("partial scan on ix"));
+        assert!(out.contains("rid-sorted scan on ix"));
+    }
+
+    #[test]
+    fn estimate_validates_inputs() {
+        let path = temp_catalog("validate");
+        run(&cmd(&format!(
+            "analyze --catalog {path} --name ix --records 2000 --distinct 50 --per-page 20 --k 0.2"
+        )))
+        .unwrap();
+        assert!(run(&cmd(&format!(
+            "estimate --catalog {path} --name ix --sigma 1.5 --buffer 10"
+        )))
+        .is_err());
+        assert!(run(&cmd(&format!(
+            "estimate --catalog {path} --name ix --sigma 0.5 --buffer 0"
+        )))
+        .is_err());
+        assert!(run(&cmd(&format!(
+            "estimate --catalog {path} --name nope --sigma 0.5 --buffer 10"
+        )))
+        .is_err());
+    }
+
+    #[test]
+    fn gwl_analyze_uses_stand_in() {
+        let path = temp_catalog("gwl");
+        let out = run(&cmd(&format!(
+            "analyze --catalog {path} --gwl INAP.UWID --scale 20"
+        )))
+        .unwrap();
+        assert!(out.contains("analyzed INAP.UWID"), "{out}");
+        let out = run(&cmd(&format!("show --catalog {path}"))).unwrap();
+        assert!(out.contains("INAP.UWID"));
+    }
+
+    #[test]
+    fn trace_file_parses_with_comments_and_runs() {
+        let text = "# key page\n5 0\n5 1\n7 1\n\n9 3 # trailing comment\n";
+        let t = parse_trace_file(text, None).unwrap();
+        assert_eq!(t.num_entries(), 4);
+        assert_eq!(t.num_keys(), 3);
+        assert_eq!(t.table_pages(), 4);
+        assert_eq!(t.run_pages(0), &[0, 1]);
+        // Explicit table size wins.
+        let t = parse_trace_file(text, Some(100)).unwrap();
+        assert_eq!(t.table_pages(), 100);
+    }
+
+    #[test]
+    fn trace_file_rejects_malformed_input() {
+        assert!(parse_trace_file("", None).is_err());
+        assert!(parse_trace_file("1 2 3\n", None).is_err());
+        assert!(parse_trace_file("x 2\n", None).is_err());
+        // Split runs (same key twice, not contiguous) are rejected.
+        assert!(parse_trace_file("1 0\n2 1\n1 2\n", None).is_err());
+        // Table size smaller than the largest page is rejected.
+        assert!(parse_trace_file("1 10\n", Some(5)).is_err());
+    }
+
+    #[test]
+    fn analyze_from_trace_file_round_trips() {
+        let dir = std::env::temp_dir().join("epfis-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("captured.trace");
+        // A clustered two-records-per-page trace over 50 pages.
+        let mut text = String::new();
+        for i in 0..100u32 {
+            text.push_str(&format!("{} {}\n", i, i / 2));
+        }
+        std::fs::write(&trace_path, text).unwrap();
+        let path = temp_catalog("trace-analyze");
+        let out = run(&cmd(&format!(
+            "analyze --catalog {path} --name captured --trace {}",
+            trace_path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("T=50"), "{out}");
+        assert!(out.contains("C=1.000"), "{out}");
+        let out = run(&cmd(&format!(
+            "estimate --catalog {path} --name captured --sigma 0.5 --buffer 10"
+        )))
+        .unwrap();
+        assert!(out.contains("= 25"), "clustered: sigma*T = 25; {out}");
+    }
+
+    #[test]
+    fn compare_reports_all_algorithms_from_a_trace_file() {
+        let dir = std::env::temp_dir().join("epfis-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("compare.trace");
+        let mut text = String::new();
+        for i in 0..400u32 {
+            // Interleaved pages: a genuinely unclustered index.
+            text.push_str(&format!("{} {}\n", i, i.wrapping_mul(7919) % 40));
+        }
+        std::fs::write(&trace_path, text).unwrap();
+        let out = run(&cmd(&format!(
+            "compare --trace {} --points 4",
+            trace_path.display()
+        )))
+        .unwrap();
+        for name in ["exact", "EPFIS", "ML", "DC", "SD", "OT"] {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+        assert_eq!(out.lines().count(), 2 + 4);
+    }
+
+    #[test]
+    fn bench_runs_the_section_5_experiment_on_a_trace() {
+        let dir = std::env::temp_dir().join("epfis-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("bench.trace");
+        let mut text = String::new();
+        for i in 0..4000u32 {
+            text.push_str(&format!("{} {}\n", i / 8, i.wrapping_mul(2654435761) % 50));
+        }
+        std::fs::write(&trace_path, text).unwrap();
+        let out = run(&cmd(&format!(
+            "bench --trace {} --scans 30 --min-buffer 5",
+            trace_path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("worst |error| per algorithm"), "{out}");
+        for name in ["EPFIS", "ML", "DC", "SD", "OT"] {
+            assert!(out.contains(name));
+        }
+    }
+
+    #[test]
+    fn missing_required_flag_is_reported_by_name() {
+        let e = run(&cmd("estimate --catalog /tmp/none")).unwrap_err();
+        // catalog does not exist -> treated as empty; the name flag fails first.
+        assert!(e.0.contains("--name"), "{e}");
+    }
+}

@@ -1,0 +1,18 @@
+//! The `epfis` binary: see [`epfis_cli`] for the command reference.
+
+fn main() {
+    let cmd = match epfis_cli::Command::parse(std::env::args().skip(1)) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    match epfis_cli::run(&cmd) {
+        Ok(out) => println!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

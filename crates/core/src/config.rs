@@ -1,0 +1,165 @@
+//! EPFIS tunables.
+//!
+//! Defaults match the paper: `B_sml = 12`, six line segments, the arithmetic
+//! buffer-size grid, `φ = max(1, B/T)`, correction and sargable model
+//! enabled. Every knob exists so the ablation benches can quantify the
+//! paper's design choices.
+
+/// How LRU-Fit chooses the buffer sizes `B_1 .. B_k` to sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridStrategy {
+    /// The paper's heuristic: `B_{i+1} = B_i + 2·√(B_max − B_min)`.
+    Arithmetic,
+    /// Goetz Graefe's suggestion (footnote 2):
+    /// `B_i = B_min · (B_max/B_min)^{i/k}` with `k` points.
+    Geometric {
+        /// Number of grid points (≥ 2).
+        points: usize,
+    },
+}
+
+/// Reading of the `φ` quantity in the small-σ correction (§4.2).
+///
+/// The paper prints `φ = max(1, B/T)`; under that reading `φ ≥ 1` always, so
+/// the indicator `ν = [φ ≥ 3σ]` fires for every `σ ≤ 1/3` regardless of the
+/// buffer. The surrounding prose ("if σ is small and σ ≪ B/T") suggests the
+/// intent may have been `min(1, B/T)`, under which a tiny buffer suppresses
+/// the correction. The printed form is the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PhiMode {
+    /// `φ = max(1, B/T)` — exactly as printed.
+    #[default]
+    PaperMax,
+    /// `φ = min(1, B/T)` — the prose-consistent alternative.
+    ProseMin,
+}
+
+/// Configuration of LRU-Fit and Est-IO.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpfisConfig {
+    /// Smallest buffer size worth modeling (`B_sml`; paper: 12).
+    pub b_sml: u64,
+    /// Maximum number of line segments for the FPF approximation (paper: 6).
+    pub segments: usize,
+    /// Buffer-size sampling grid.
+    pub grid: GridStrategy,
+    /// `φ` reading in the small-σ correction.
+    pub phi_mode: PhiMode,
+    /// Whether the small-σ heuristic correction is applied (§4.2).
+    pub enable_correction: bool,
+    /// Whether the index-sargable urn-model reduction is applied (§4.2).
+    pub enable_sargable_model: bool,
+    /// Optional DBA-specified modeling range `(B_min, B_max)` overriding the
+    /// automatic choice (§4.1: "If desired, the range of B can be specified
+    /// by the database administrator").
+    pub modeling_range: Option<(u64, u64)>,
+}
+
+impl Default for EpfisConfig {
+    fn default() -> Self {
+        EpfisConfig {
+            b_sml: 12,
+            segments: 6,
+            grid: GridStrategy::Arithmetic,
+            phi_mode: PhiMode::PaperMax,
+            enable_correction: true,
+            enable_sargable_model: true,
+            modeling_range: None,
+        }
+    }
+}
+
+impl EpfisConfig {
+    /// Panics if the configuration is out of domain.
+    pub fn validate(&self) {
+        assert!(self.b_sml >= 1, "B_sml must be at least 1");
+        assert!(self.segments >= 1, "need at least one segment");
+        if let GridStrategy::Geometric { points } = self.grid {
+            assert!(points >= 2, "geometric grid needs at least 2 points");
+        }
+        if let Some((lo, hi)) = self.modeling_range {
+            assert!(
+                lo >= 1 && lo <= hi,
+                "modeling range must satisfy 1 <= lo <= hi"
+            );
+        }
+    }
+
+    /// Builder: set the segment budget.
+    pub fn with_segments(mut self, segments: usize) -> Self {
+        self.segments = segments;
+        self
+    }
+
+    /// Builder: set the grid strategy.
+    pub fn with_grid(mut self, grid: GridStrategy) -> Self {
+        self.grid = grid;
+        self
+    }
+
+    /// Builder: set the DBA modeling range.
+    pub fn with_modeling_range(mut self, lo: u64, hi: u64) -> Self {
+        self.modeling_range = Some((lo, hi));
+        self
+    }
+
+    /// Builder: disable the small-σ correction (ablation).
+    pub fn without_correction(mut self) -> Self {
+        self.enable_correction = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = EpfisConfig::default();
+        assert_eq!(c.b_sml, 12);
+        assert_eq!(c.segments, 6);
+        assert_eq!(c.grid, GridStrategy::Arithmetic);
+        assert_eq!(c.phi_mode, PhiMode::PaperMax);
+        assert!(c.enable_correction);
+        assert!(c.enable_sargable_model);
+        assert!(c.modeling_range.is_none());
+        c.validate();
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = EpfisConfig::default()
+            .with_segments(3)
+            .with_grid(GridStrategy::Geometric { points: 10 })
+            .with_modeling_range(12, 500)
+            .without_correction();
+        assert_eq!(c.segments, 3);
+        assert_eq!(c.grid, GridStrategy::Geometric { points: 10 });
+        assert_eq!(c.modeling_range, Some((12, 500)));
+        assert!(!c.enable_correction);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn zero_segments_invalid() {
+        EpfisConfig::default().with_segments(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= lo <= hi")]
+    fn inverted_range_invalid() {
+        EpfisConfig::default()
+            .with_modeling_range(100, 10)
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 points")]
+    fn degenerate_geometric_grid_invalid() {
+        EpfisConfig::default()
+            .with_grid(GridStrategy::Geometric { points: 1 })
+            .validate();
+    }
+}

@@ -1,0 +1,342 @@
+//! Subprogram Est-IO (§4.2): query-compilation-time estimation.
+//!
+//! Given a catalog entry and a scan description, compute (Equation 1 plus
+//! the sargable-predicate reduction):
+//!
+//! ```text
+//! PF_B   = FPF approximation evaluated at B (clamped into [A, N])
+//! φ      = max(1, B/T)                       (PhiMode::PaperMax, printed)
+//! ν      = 1 if φ ≥ 3σ else 0
+//! corr   = ν · min(1, φ/(6σ)) · (1 − C) · T(1 − (1 − 1/T)^{σN})
+//! base   = σ · PF_B + corr
+//! Q      = C σ T + (1 − C) min(T, σN)        (pages referenced)
+//! k      = S σ N                             (qualifying records)
+//! F      = (1 − (1 − 1/Q)^k) · base          (sargable reduction)
+//! ```
+//!
+//! The correction exists because linear scaling (`σ · PF_B`) assumes the
+//! partial scan enjoys the same caching as the full scan; when `σ` is small,
+//! the buffer never warms up and the scan behaves like Cardenas random
+//! probing instead — weighted by how unclustered the index is (`1 − C`).
+
+use crate::config::{EpfisConfig, PhiMode};
+use crate::stats::IndexStatistics;
+use epfis_estimators::occupancy::cardenas;
+use epfis_estimators::traits::{PageFetchEstimator, ScanParams};
+
+/// What the optimizer knows about a prospective scan when calling Est-IO.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScanQuery {
+    /// Selectivity `σ` of the start/stop conditions.
+    pub selectivity: f64,
+    /// Selectivity `S` of the index-sargable predicates (1.0 = none).
+    pub sargable_selectivity: f64,
+    /// Buffer pages `B` available to the scan (currently DBA-specified in
+    /// the paper's system).
+    pub buffer_pages: u64,
+}
+
+impl ScanQuery {
+    /// A plain range scan (no sargable predicates).
+    pub fn range(selectivity: f64, buffer_pages: u64) -> Self {
+        ScanQuery {
+            selectivity,
+            sargable_selectivity: 1.0,
+            buffer_pages,
+        }
+    }
+
+    /// A full index scan.
+    pub fn full(buffer_pages: u64) -> Self {
+        Self::range(1.0, buffer_pages)
+    }
+
+    /// Builder: attach an index-sargable predicate selectivity.
+    pub fn with_sargable(mut self, s: f64) -> Self {
+        self.sargable_selectivity = s;
+        self
+    }
+
+    /// Panics if the query is out of domain.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.selectivity),
+            "selectivity must be in [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.sargable_selectivity),
+            "sargable selectivity must be in [0, 1]"
+        );
+        assert!(self.buffer_pages >= 1, "buffer must have at least one page");
+    }
+}
+
+/// Estimates page fetches for `query` against `stats` (Subprogram Est-IO).
+pub fn estimate(stats: &IndexStatistics, query: &ScanQuery, config: &EpfisConfig) -> f64 {
+    query.validate();
+    let sigma = query.selectivity;
+    if sigma == 0.0 {
+        return 0.0;
+    }
+    let t = stats.table_pages as f64;
+    let n = stats.records as f64;
+    let c = stats.clustering_factor;
+
+    // Step 4: PF_B from the line-segment approximation.
+    let pf_b = stats.full_scan_fetches(query.buffer_pages);
+
+    // Step 5: scale by the start/stop selectivity.
+    let mut est = sigma * pf_b;
+
+    // Step 6: small-σ heuristic correction (Equation 1).
+    if config.enable_correction {
+        let ratio = query.buffer_pages as f64 / t;
+        let phi = match config.phi_mode {
+            PhiMode::PaperMax => ratio.max(1.0),
+            PhiMode::ProseMin => ratio.min(1.0),
+        };
+        let nu = if phi >= 3.0 * sigma { 1.0 } else { 0.0 };
+        if nu > 0.0 {
+            let damping = (phi / (6.0 * sigma)).min(1.0);
+            est += damping * (1.0 - c) * cardenas(t, sigma * n);
+        }
+    }
+
+    // Step 7: index-sargable predicate reduction (urn model).
+    if config.enable_sargable_model && query.sargable_selectivity < 1.0 {
+        let q_pages = c * sigma * t + (1.0 - c) * t.min(sigma * n);
+        let k = query.sargable_selectivity * sigma * n;
+        let factor = if q_pages <= 1.0 {
+            // A single referenced page is fetched iff any record qualifies.
+            if k > 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            1.0 - (1.0 - 1.0 / q_pages).powf(k)
+        };
+        est *= factor;
+    }
+
+    est.max(0.0)
+}
+
+/// Adapter so EPFIS can stand in the same benchmark harness slot as the
+/// baseline estimators.
+#[derive(Debug, Clone)]
+pub struct EpfisEstimator {
+    stats: IndexStatistics,
+}
+
+impl EpfisEstimator {
+    /// Wraps a catalog entry.
+    pub fn new(stats: IndexStatistics) -> Self {
+        EpfisEstimator { stats }
+    }
+
+    /// The wrapped statistics.
+    pub fn stats(&self) -> &IndexStatistics {
+        &self.stats
+    }
+}
+
+impl PageFetchEstimator for EpfisEstimator {
+    fn name(&self) -> &'static str {
+        "EPFIS"
+    }
+
+    fn estimate(&self, params: &ScanParams) -> f64 {
+        let query = ScanQuery {
+            selectivity: params.selectivity,
+            sargable_selectivity: params.sargable_selectivity,
+            buffer_pages: params.buffer_pages,
+        };
+        self.stats.estimate(&query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EpfisConfig;
+    use crate::lru_fit::LruFit;
+    use epfis_lrusim::KeyedTrace;
+
+    /// An unclustered trace: 2000 records over 100 pages, pseudo-random.
+    fn unclustered_stats() -> IndexStatistics {
+        let pages: Vec<u32> = (0..2000u32)
+            .map(|i| i.wrapping_mul(2654435761) % 100)
+            .collect();
+        let trace = KeyedTrace::all_distinct(pages, 100);
+        LruFit::new(EpfisConfig::default()).collect(&trace)
+    }
+
+    /// A clustered trace: sequential fill.
+    fn clustered_stats() -> IndexStatistics {
+        let pages: Vec<u32> = (0..2000u32).map(|i| i / 20).collect();
+        let trace = KeyedTrace::all_distinct(pages, 100);
+        LruFit::new(EpfisConfig::default()).collect(&trace)
+    }
+
+    #[test]
+    fn full_scan_estimate_equals_curve_value() {
+        let stats = unclustered_stats();
+        for b in [12u64, 40, 100] {
+            let est = stats.estimate(&ScanQuery::full(b));
+            // σ = 1 disables the correction (φ = 1 < 3) and the sargable
+            // model (S = 1), so the estimate is PF_B itself.
+            assert!((est - stats.full_scan_fetches(b)).abs() < 1e-9, "B={b}");
+        }
+    }
+
+    #[test]
+    fn zero_selectivity_estimates_zero() {
+        let stats = unclustered_stats();
+        assert_eq!(stats.estimate(&ScanQuery::range(0.0, 50)), 0.0);
+    }
+
+    #[test]
+    fn estimates_are_within_hard_bounds() {
+        let stats = unclustered_stats();
+        for sigma in [0.01, 0.05, 0.2, 0.5, 0.9, 1.0] {
+            for b in [12u64, 30, 70, 100] {
+                let est = stats.estimate(&ScanQuery::range(sigma, b));
+                assert!(est >= 0.0);
+                assert!(
+                    est <= stats.records as f64 + 1e-9,
+                    "sigma={sigma} B={b}: {est}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn correction_fires_only_for_small_sigma() {
+        let stats = unclustered_stats();
+        let with = stats.estimate(&ScanQuery::range(0.05, 100));
+        let without = stats.estimate_with(
+            &ScanQuery::range(0.05, 100),
+            &EpfisConfig::default().without_correction(),
+        );
+        assert!(
+            with > without,
+            "small sigma on an unclustered index must be corrected upward"
+        );
+        // sigma > 1/3 disables it (phi = 1 < 3 sigma).
+        let hi_with = stats.estimate(&ScanQuery::range(0.5, 100));
+        let hi_without = stats.estimate_with(
+            &ScanQuery::range(0.5, 100),
+            &EpfisConfig::default().without_correction(),
+        );
+        assert!((hi_with - hi_without).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correction_vanishes_on_clustered_indexes() {
+        let stats = clustered_stats();
+        assert_eq!(stats.clustering_factor, 1.0);
+        let with = stats.estimate(&ScanQuery::range(0.05, 100));
+        let without = stats.estimate_with(
+            &ScanQuery::range(0.05, 100),
+            &EpfisConfig::default().without_correction(),
+        );
+        // (1 - C) = 0 kills the correction term.
+        assert!((with - without).abs() < 1e-12);
+    }
+
+    #[test]
+    fn damping_factor_caps_at_one() {
+        // For very small sigma, min(1, phi/(6 sigma)) = 1: the correction is
+        // the full (1-C)-weighted Cardenas estimate.
+        let stats = unclustered_stats();
+        let t = stats.table_pages as f64;
+        let n = stats.records as f64;
+        let c = stats.clustering_factor;
+        let sigma = 0.01;
+        let expected = sigma * stats.full_scan_fetches(50) + (1.0 - c) * cardenas(t, sigma * n);
+        let est = stats.estimate(&ScanQuery::range(sigma, 50));
+        assert!((est - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prose_min_phi_suppresses_correction_for_tiny_buffers() {
+        let stats = unclustered_stats();
+        let cfg_min = EpfisConfig {
+            phi_mode: PhiMode::ProseMin,
+            ..EpfisConfig::default()
+        };
+        let sigma = 0.2;
+        let b = 12u64; // B/T = 0.12 < 3 sigma = 0.6 -> nu = 0 under ProseMin
+        let with_min = stats.estimate_with(&ScanQuery::range(sigma, b), &cfg_min);
+        let uncorrected = stats.estimate_with(
+            &ScanQuery::range(sigma, b),
+            &EpfisConfig::default().without_correction(),
+        );
+        assert!((with_min - uncorrected).abs() < 1e-12);
+        // Under the printed PaperMax reading the correction fires.
+        let with_max = stats.estimate(&ScanQuery::range(sigma, b));
+        assert!(with_max > with_min);
+    }
+
+    #[test]
+    fn sargable_predicates_reduce_fetches() {
+        let stats = unclustered_stats();
+        let plain = stats.estimate(&ScanQuery::range(0.4, 50));
+        let filtered = stats.estimate(&ScanQuery::range(0.4, 50).with_sargable(0.01));
+        assert!(filtered < plain);
+        assert!(filtered > 0.0);
+    }
+
+    #[test]
+    fn sargable_selectivity_one_changes_nothing() {
+        let stats = unclustered_stats();
+        let a = stats.estimate(&ScanQuery::range(0.4, 50));
+        let b = stats.estimate(&ScanQuery::range(0.4, 50).with_sargable(1.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sargable_reduction_matches_urn_formula() {
+        let stats = unclustered_stats();
+        let q = ScanQuery::range(0.5, 50).with_sargable(0.1);
+        let base = stats.estimate(&ScanQuery::range(0.5, 50));
+        let t = stats.table_pages as f64;
+        let n = stats.records as f64;
+        let c = stats.clustering_factor;
+        let q_pages = c * 0.5 * t + (1.0 - c) * t.min(0.5 * n);
+        let k = 0.1 * 0.5 * n;
+        let factor = 1.0 - (1.0 - 1.0 / q_pages).powf(k);
+        assert!((stats.estimate(&q) - base * factor).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimator_adapter_matches_direct_call() {
+        let stats = unclustered_stats();
+        let adapter = EpfisEstimator::new(stats.clone());
+        let params = ScanParams::range(0.3, 40);
+        let direct = stats.estimate(&ScanQuery::range(0.3, 40));
+        assert_eq!(adapter.estimate(&params), direct);
+        assert_eq!(adapter.name(), "EPFIS");
+    }
+
+    #[test]
+    fn larger_buffers_never_increase_the_estimate() {
+        let stats = unclustered_stats();
+        for sigma in [0.05, 0.3, 1.0] {
+            let mut prev = f64::INFINITY;
+            for b in [12u64, 25, 50, 75, 100] {
+                let est = stats.estimate(&ScanQuery::range(sigma, b));
+                assert!(est <= prev + 1e-9, "sigma={sigma} B={b}: {est} > {prev}");
+                prev = est;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn zero_buffer_rejected() {
+        let stats = unclustered_stats();
+        stats.estimate(&ScanQuery::range(0.5, 0));
+    }
+}

@@ -1,0 +1,120 @@
+//! Buffer-size sampling grids (§4.1, "Determining Modeling Range").
+//!
+//! The automatic range is `B_min = max(0.01·T, B_sml)` to `B_max = T`. The
+//! paper's grid walks arithmetically with step `2·√(B_max − B_min)` — "an
+//! increased number of buffer size values ... for larger ranges, but the
+//! increase is slower than the increase in the range size" (the point count
+//! grows as √range). Footnote 2 records Goetz Graefe's geometric
+//! alternative, which spends points where the curve bends (small `B`).
+
+use crate::config::GridStrategy;
+
+/// The buffer sizes LRU-Fit samples, always including both endpoints,
+/// strictly increasing.
+pub fn grid_points(b_min: u64, b_max: u64, strategy: GridStrategy) -> Vec<u64> {
+    assert!(b_min >= 1 && b_min <= b_max, "need 1 <= b_min <= b_max");
+    if b_min == b_max {
+        return vec![b_min];
+    }
+    let mut points = match strategy {
+        GridStrategy::Arithmetic => {
+            let step = (2.0 * ((b_max - b_min) as f64).sqrt()).max(1.0) as u64;
+            let mut v = Vec::new();
+            let mut b = b_min;
+            while b < b_max {
+                v.push(b);
+                b = b.saturating_add(step);
+            }
+            v.push(b_max);
+            v
+        }
+        GridStrategy::Geometric { points } => {
+            let k = points.max(2);
+            let lo = b_min as f64;
+            let ratio = b_max as f64 / lo;
+            (0..=k)
+                .map(|i| (lo * ratio.powf(i as f64 / k as f64)).round() as u64)
+                .collect()
+        }
+    };
+    points.dedup();
+    debug_assert!(points.windows(2).all(|w| w[0] < w[1]));
+    debug_assert_eq!(*points.first().unwrap(), b_min);
+    debug_assert_eq!(*points.last().unwrap(), b_max);
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_grid_matches_paper_step() {
+        // T = 25000-ish: B_min=250, B_max=25000, step = 2*sqrt(24750) ≈ 314.
+        let g = grid_points(250, 25_000, GridStrategy::Arithmetic);
+        assert_eq!(g[0], 250);
+        assert_eq!(*g.last().unwrap(), 25_000);
+        let step = g[1] - g[0];
+        assert_eq!(step, (2.0 * (24_750f64).sqrt()) as u64);
+        // Interior spacing is constant.
+        for w in g.windows(2).take(g.len() - 2) {
+            assert_eq!(w[1] - w[0], step);
+        }
+    }
+
+    #[test]
+    fn point_count_grows_slower_than_range() {
+        let small = grid_points(12, 1_000, GridStrategy::Arithmetic).len();
+        let large = grid_points(12, 100_000, GridStrategy::Arithmetic).len();
+        assert!(large > small);
+        // 100x the range, ~10x the points (sqrt growth).
+        assert!(large < small * 20);
+    }
+
+    #[test]
+    fn geometric_grid_has_requested_points_and_endpoints() {
+        let g = grid_points(12, 12_000, GridStrategy::Geometric { points: 16 });
+        assert_eq!(g[0], 12);
+        assert_eq!(*g.last().unwrap(), 12_000);
+        assert!(g.len() <= 17);
+        // Ratios roughly constant (geometric).
+        let r1 = g[1] as f64 / g[0] as f64;
+        let r2 = g[g.len() - 1] as f64 / g[g.len() - 2] as f64;
+        assert!((r1 / r2 - 1.0).abs() < 0.3, "r1={r1} r2={r2}");
+    }
+
+    #[test]
+    fn geometric_concentrates_points_at_small_buffers() {
+        let g = grid_points(12, 12_000, GridStrategy::Geometric { points: 16 });
+        let below_mid = g.iter().filter(|&&b| b < 6_000).count();
+        assert!(below_mid * 2 > g.len(), "geometric grid should front-load");
+    }
+
+    #[test]
+    fn degenerate_single_point_range() {
+        assert_eq!(grid_points(5, 5, GridStrategy::Arithmetic), vec![5]);
+        assert_eq!(
+            grid_points(5, 5, GridStrategy::Geometric { points: 8 }),
+            vec![5]
+        );
+    }
+
+    #[test]
+    fn tiny_ranges_are_still_sorted_and_deduped() {
+        for strategy in [
+            GridStrategy::Arithmetic,
+            GridStrategy::Geometric { points: 30 },
+        ] {
+            let g = grid_points(3, 7, strategy);
+            assert!(g.windows(2).all(|w| w[0] < w[1]));
+            assert_eq!(g[0], 3);
+            assert_eq!(*g.last().unwrap(), 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "b_min <= b_max")]
+    fn inverted_range_panics() {
+        grid_points(10, 5, GridStrategy::Arithmetic);
+    }
+}

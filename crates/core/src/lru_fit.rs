@@ -1,0 +1,218 @@
+//! Subprogram LRU-Fit (§4.1): statistics-collection-time buffer modeling.
+//!
+//! Steps, exactly as the paper lists them:
+//!
+//! 1. Determine the modeling range `[B_min, B_max]` (automatic or
+//!    DBA-specified).
+//! 2. One pass over the index's page-reference trace with the LRU stack
+//!    property yields page-fetch counts for *every* buffer size; sample them
+//!    at the grid points.
+//! 3. In the same pass, record `F_min = F(B_min)` and compute the clustering
+//!    factor `C = (N − F_min)/(N − T)`.
+//! 4. Approximate the `(B_i, F_i)` table with at most `segments` line
+//!    segments; store the segment end-points.
+
+use crate::config::EpfisConfig;
+use crate::grid::grid_points;
+use crate::stats::IndexStatistics;
+use epfis_lrusim::{clustering_factor, epfis_b_min, FetchCurve, KeyedTrace, StackAnalyzer};
+use epfis_segfit::fit_max_segments;
+
+/// The statistics collector. Construct once with a configuration, then
+/// [`collect`](LruFit::collect) per index.
+#[derive(Debug, Clone)]
+pub struct LruFit {
+    config: EpfisConfig,
+}
+
+impl LruFit {
+    /// Creates a collector; panics on invalid configuration.
+    pub fn new(config: EpfisConfig) -> Self {
+        config.validate();
+        LruFit { config }
+    }
+
+    /// The collector's configuration.
+    pub fn config(&self) -> &EpfisConfig {
+        &self.config
+    }
+
+    /// Runs the full collection pipeline over an index's reference trace.
+    pub fn collect(&self, trace: &KeyedTrace) -> IndexStatistics {
+        let mut analyzer = StackAnalyzer::with_capacity(trace.pages().len());
+        for &p in trace.pages() {
+            analyzer.access(p);
+        }
+        let curve = analyzer.finish().fetch_curve();
+        self.collect_from_curve(
+            &curve,
+            trace.table_pages() as u64,
+            trace.num_entries(),
+            trace.num_keys(),
+        )
+    }
+
+    /// Builds the catalog entry from an already-computed exact fetch curve
+    /// (lets callers share one stack pass between EPFIS and the baseline
+    /// estimators).
+    pub fn collect_from_curve(
+        &self,
+        curve: &FetchCurve,
+        table_pages: u64,
+        records: u64,
+        distinct_keys: u64,
+    ) -> IndexStatistics {
+        assert!(table_pages > 0, "table must have pages");
+        assert!(records > 0, "index must have entries");
+        assert!(
+            table_pages <= u32::MAX as u64,
+            "table too large for the trace model"
+        );
+        let (b_min, b_max) = self.modeling_range(table_pages);
+        let grid = grid_points(b_min, b_max, self.config.grid);
+        let samples: Vec<(f64, f64)> = grid
+            .iter()
+            .map(|&b| (b as f64, curve.fetches(b) as f64))
+            .collect();
+        let fpf = fit_max_segments(&samples, self.config.segments);
+        let c = clustering_factor(curve, table_pages as u32, b_min);
+        IndexStatistics {
+            table_pages,
+            records,
+            distinct_keys,
+            distinct_pages: curve.cold(),
+            clustering_factor: c,
+            b_min,
+            b_max,
+            fpf,
+            config: self.config,
+        }
+    }
+
+    /// The modeling range: DBA override, else
+    /// `[max(0.01·T, B_sml), T]`, both clamped into `[1, T]`.
+    pub fn modeling_range(&self, table_pages: u64) -> (u64, u64) {
+        if let Some((lo, hi)) = self.config.modeling_range {
+            let hi = hi.min(table_pages.max(1));
+            return (lo.min(hi), hi);
+        }
+        let b_min = epfis_b_min(table_pages as u32, self.config.b_sml);
+        (b_min, table_pages.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GridStrategy;
+
+    /// A trace with genuine reuse: keys jump between page neighborhoods.
+    fn test_trace(pages_n: u32) -> KeyedTrace {
+        let n = pages_n * 4;
+        let pages: Vec<u32> = (0..n)
+            .map(|i| (i.wrapping_mul(2654435761)) % pages_n)
+            .collect();
+        KeyedTrace::all_distinct(pages, pages_n)
+    }
+
+    #[test]
+    fn modeling_range_follows_paper() {
+        let fit = LruFit::new(EpfisConfig::default());
+        // Small table: 1% of T below B_sml => B_min = 12.
+        assert_eq!(fit.modeling_range(774), (12, 774));
+        // Large table: 1% of T dominates.
+        assert_eq!(fit.modeling_range(25_000), (250, 25_000));
+    }
+
+    #[test]
+    fn dba_range_overrides() {
+        let fit = LruFit::new(EpfisConfig::default().with_modeling_range(50, 400));
+        assert_eq!(fit.modeling_range(1_000), (50, 400));
+        // Range is clamped to the table size.
+        assert_eq!(fit.modeling_range(300), (50, 300));
+    }
+
+    #[test]
+    fn collect_produces_consistent_statistics() {
+        let trace = test_trace(200);
+        let stats = LruFit::new(EpfisConfig::default()).collect(&trace);
+        assert_eq!(stats.table_pages, 200);
+        assert_eq!(stats.records, 800);
+        assert_eq!(stats.distinct_keys, 800);
+        assert!(stats.b_min == 12 && stats.b_max == 200);
+        assert!((0.0..=1.0).contains(&stats.clustering_factor));
+        assert!(stats.fpf.segments() <= 6);
+        // The approximation matches the exact curve to within its own
+        // max deviation at the endpoints.
+        let exact_min = epfis_lrusim::simulate_lru(trace.pages(), 12) as f64;
+        assert!((stats.full_scan_fetches(12) - exact_min).abs() < 1e-6);
+        let exact_max = epfis_lrusim::simulate_lru(trace.pages(), 200) as f64;
+        assert!((stats.full_scan_fetches(200) - exact_max).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fpf_is_clamped_to_a_and_n() {
+        let trace = test_trace(100);
+        let stats = LruFit::new(EpfisConfig::default()).collect(&trace);
+        assert_eq!(stats.distinct_pages, trace.distinct_pages());
+        // Extrapolation far beyond the range cannot leave [A, N].
+        assert!(stats.full_scan_fetches(1) <= stats.records as f64);
+        assert!(stats.full_scan_fetches(10_000) >= stats.distinct_pages as f64);
+    }
+
+    #[test]
+    fn sequential_trace_is_perfectly_clustered() {
+        let pages: Vec<u32> = (0..500u32).map(|i| i / 5).collect();
+        let trace = KeyedTrace::all_distinct(pages, 100);
+        let stats = LruFit::new(EpfisConfig::default()).collect(&trace);
+        assert_eq!(stats.clustering_factor, 1.0);
+        // FPF curve is flat at T.
+        assert!((stats.full_scan_fetches(12) - 100.0).abs() < 1e-9);
+        assert!((stats.full_scan_fetches(100) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geometric_grid_also_works() {
+        let trace = test_trace(300);
+        let cfg = EpfisConfig::default().with_grid(GridStrategy::Geometric { points: 20 });
+        let stats = LruFit::new(cfg).collect(&trace);
+        assert!(stats.fpf.segments() <= 6);
+        assert!(stats.full_scan_fetches(300) >= 300.0 - 1e-9);
+    }
+
+    #[test]
+    fn curve_sharing_matches_direct_collection() {
+        let trace = test_trace(150);
+        let fit = LruFit::new(EpfisConfig::default());
+        let direct = fit.collect(&trace);
+        let curve = epfis_lrusim::analyze_trace(trace.pages()).fetch_curve();
+        let shared = fit.collect_from_curve(&curve, 150, 600, 600);
+        assert_eq!(direct, shared);
+    }
+
+    #[test]
+    fn more_segments_never_hurt_fit_quality() {
+        let trace = test_trace(400);
+        let exact = epfis_lrusim::analyze_trace(trace.pages()).fetch_curve();
+        let err = |segments: usize| {
+            let cfg = EpfisConfig::default().with_segments(segments);
+            let stats = LruFit::new(cfg).collect(&trace);
+            let mut worst = 0.0f64;
+            for b in (12..=400).step_by(8) {
+                let e = (stats.full_scan_fetches(b) - exact.fetches(b) as f64).abs();
+                worst = worst.max(e);
+            }
+            worst
+        };
+        assert!(err(6) <= err(2) + 1e-9);
+        assert!(err(12) <= err(6) + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "entries")]
+    fn empty_curve_rejected() {
+        let fit = LruFit::new(EpfisConfig::default());
+        let empty = epfis_lrusim::analyze_trace(&[]).fetch_curve();
+        fit.collect_from_curve(&empty, 10, 0, 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! The paper's Table 1 (notation) mapped onto this crate's types.
+//!
+//! | Paper | Meaning | Here |
+//! |-------|---------|------|
+//! | `B` | pages in the buffer pool | [`crate::ScanQuery::buffer_pages`] |
+//! | `T` | pages in the table | [`crate::IndexStatistics::table_pages`] |
+//! | `N` | records in the table | [`crate::IndexStatistics::records`] |
+//! | `I` | distinct values in the index | [`crate::IndexStatistics::distinct_keys`] |
+//! | `A` | data pages *accessed* by the scan | [`crate::IndexStatistics::distinct_pages`]; `epfis_lrusim::FetchCurve::cold` |
+//! | `F` | data pages *fetched* by the scan | the return value of [`crate::est_io::estimate`]; ground truth from `epfis_lrusim` |
+//! | `σ` | selectivity of start/stop conditions | [`crate::ScanQuery::selectivity`] |
+//! | `S` | selectivity of index-sargable predicates | [`crate::ScanQuery::sargable_selectivity`] |
+//! | `C` / `CR` | clustering factor | [`crate::IndexStatistics::clustering_factor`] |
+//!
+//! Derived quantities used throughout: `R = N/T` (records per page), `D =
+//! N/I` (records per key), `FPF` = the Full-index-scan Page Fetch curve
+//! `B ↦ F`, stored as [`crate::IndexStatistics::fpf`].
+//!
+//! Invariants the paper states in §2, enforced by tests across the
+//! workspace:
+//!
+//! * a table scan fetches exactly `T` pages, independent of `B`;
+//! * a clustered index scan satisfies `F ≡ A` independent of `B`;
+//! * in general `A ≤ F ≤ N`, and `F(B)` is non-increasing in `B`,
+//!   reaching its floor `A` once `B` covers the scan's reuse distances.

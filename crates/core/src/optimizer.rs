@@ -1,0 +1,479 @@
+//! A miniature cost-based access-path selector (§2's setting).
+//!
+//! The paper motivates EPFIS with the optimizer's choice among the basic
+//! access plans for a single-table query:
+//!
+//! 1. **Table scan** — fetch all `T` pages (buffer-independent), evaluate
+//!    predicates, sort afterwards if an order is required.
+//! 2. **Partial index scan** on a relevant index — fetch `F` data pages as
+//!    estimated by Est-IO, sort afterwards unless the index already delivers
+//!    the required order.
+//! 3. **Full index scan** on the ordering index — fetch `F(σ=1, S=σ_pred)`
+//!    pages, no sort.
+//!
+//! "The number of basic access plans to be considered is the number of
+//! relevant indexes plus one (for the table scan)." (The paper explicitly
+//! assumes "no RID-list sort, union, or intersection before the data
+//! records are fetched" for those basic plans; we additionally cost the
+//! RID-sorted plan from §6's future work — see [`crate::ridlist`] — which
+//! trades the key-ordered output for buffer-independent, once-per-page
+//! fetching.)
+//!
+//! The cost model is deliberately simple and I/O-dominated: page fetches
+//! plus a classic `2 · pages_out` external-sort charge when a sort is
+//! needed. The point of the example is to show estimate *differences*
+//! changing plan choice, not to model a production costing stack.
+
+use crate::est_io::ScanQuery;
+use crate::stats::IndexStatistics;
+
+/// A candidate index for the query.
+#[derive(Debug, Clone)]
+pub struct IndexCandidate {
+    /// Index name (for reports and order matching).
+    pub name: String,
+    /// Its catalog statistics.
+    pub stats: IndexStatistics,
+    /// Selectivity of the start/stop conditions this index supports, if the
+    /// query's predicates form a contiguous range on its major column.
+    pub range_selectivity: Option<f64>,
+    /// Selectivity of the query's index-sargable predicates on this index
+    /// (1.0 = none).
+    pub sargable_selectivity: f64,
+}
+
+/// A single-table query as the selector sees it.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// Fraction of records the query outputs (for sort sizing).
+    pub output_selectivity: f64,
+    /// Name of the index whose order the query requires, if any.
+    pub required_order: Option<String>,
+    /// Candidate indexes.
+    pub candidates: Vec<IndexCandidate>,
+    /// Whether RID-sorted plans (§6 future work) are enumerated alongside
+    /// the paper's basic plans.
+    pub consider_rid_plans: bool,
+}
+
+/// One costed access plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessPlan {
+    /// Scan the heap file.
+    TableScan {
+        /// Whether a sort is appended.
+        sort: bool,
+    },
+    /// Range-restricted scan of the named index.
+    PartialIndexScan {
+        /// Index name.
+        index: String,
+        /// Whether a sort is appended.
+        sort: bool,
+    },
+    /// Full scan of the named index (for its order).
+    FullIndexScan {
+        /// Index name.
+        index: String,
+    },
+    /// Range scan of the named index with the qualifying RIDs sorted by
+    /// page before fetching (§6 future work; see [`crate::ridlist`]).
+    RidSortedIndexScan {
+        /// Index name.
+        index: String,
+        /// Whether a sort of the *records* is appended (RID order destroys
+        /// key order).
+        sort: bool,
+    },
+}
+
+impl std::fmt::Display for AccessPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessPlan::TableScan { sort } => {
+                write!(f, "table scan{}", if *sort { " + sort" } else { "" })
+            }
+            AccessPlan::PartialIndexScan { index, sort } => {
+                write!(
+                    f,
+                    "partial scan on {index}{}",
+                    if *sort { " + sort" } else { "" }
+                )
+            }
+            AccessPlan::FullIndexScan { index } => write!(f, "full scan on {index}"),
+            AccessPlan::RidSortedIndexScan { index, sort } => {
+                write!(
+                    f,
+                    "rid-sorted scan on {index}{}",
+                    if *sort { " + sort" } else { "" }
+                )
+            }
+        }
+    }
+}
+
+/// A plan with its estimated I/O cost (in page fetches).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostedPlan {
+    /// The plan.
+    pub plan: AccessPlan,
+    /// Estimated page fetches, including any sort charge.
+    pub io_cost: f64,
+}
+
+/// The selector: table shape + buffer budget.
+#[derive(Debug, Clone, Copy)]
+pub struct AccessPathSelector {
+    /// Pages in the table (`T`).
+    pub table_pages: u64,
+    /// Records in the table (`N`).
+    pub records: u64,
+    /// Buffer pages available to the scan (`B`).
+    pub buffer_pages: u64,
+}
+
+impl AccessPathSelector {
+    /// External-sort I/O charge for `records_out` records: write + read one
+    /// spill pass over the output (`2 · ⌈records_out / R⌉`), zero when the
+    /// output fits in the buffer.
+    pub fn sort_cost(&self, records_out: f64) -> f64 {
+        let r = self.records as f64 / self.table_pages as f64;
+        let pages_out = (records_out / r).ceil();
+        if pages_out <= self.buffer_pages as f64 {
+            0.0
+        } else {
+            2.0 * pages_out
+        }
+    }
+
+    /// Enumerates and costs every basic access plan, best (cheapest) first.
+    /// Ties preserve enumeration order (table scan, then candidates).
+    pub fn enumerate(&self, query: &QuerySpec) -> Vec<CostedPlan> {
+        let records_out = query.output_selectivity * self.records as f64;
+        let needs_order = query.required_order.is_some();
+        let mut plans = Vec::new();
+
+        // Plan 1: table scan (+ sort).
+        plans.push(CostedPlan {
+            plan: AccessPlan::TableScan { sort: needs_order },
+            io_cost: self.table_pages as f64
+                + if needs_order {
+                    self.sort_cost(records_out)
+                } else {
+                    0.0
+                },
+        });
+
+        for cand in &query.candidates {
+            let delivers_order = query.required_order.as_deref() == Some(cand.name.as_str());
+            // Plan 2: partial scan where a range restriction exists.
+            if let Some(sigma) = cand.range_selectivity {
+                let q = ScanQuery {
+                    selectivity: sigma,
+                    sargable_selectivity: cand.sargable_selectivity,
+                    buffer_pages: self.buffer_pages,
+                };
+                let sort = needs_order && !delivers_order;
+                plans.push(CostedPlan {
+                    plan: AccessPlan::PartialIndexScan {
+                        index: cand.name.clone(),
+                        sort,
+                    },
+                    io_cost: cand.stats.estimate(&q)
+                        + if sort {
+                            self.sort_cost(records_out)
+                        } else {
+                            0.0
+                        },
+                });
+                if query.consider_rid_plans {
+                    // RID-sorted variant: buffer-independent Yao cost, but
+                    // physical output order always needs a sort when any
+                    // order is required.
+                    let qualifying =
+                        (sigma * cand.sargable_selectivity * self.records as f64).round() as u64;
+                    let fetches = crate::ridlist::sorted_rid_fetches(
+                        self.table_pages,
+                        self.records,
+                        qualifying,
+                    );
+                    plans.push(CostedPlan {
+                        plan: AccessPlan::RidSortedIndexScan {
+                            index: cand.name.clone(),
+                            sort: needs_order,
+                        },
+                        io_cost: fetches
+                            + if needs_order {
+                                self.sort_cost(records_out)
+                            } else {
+                                0.0
+                            },
+                    });
+                }
+            } else if delivers_order {
+                // Plan 3: full scan purely for order.
+                let q = ScanQuery::full(self.buffer_pages).with_sargable(cand.sargable_selectivity);
+                plans.push(CostedPlan {
+                    plan: AccessPlan::FullIndexScan {
+                        index: cand.name.clone(),
+                    },
+                    io_cost: cand.stats.estimate(&q),
+                });
+            }
+        }
+        plans.sort_by(|a, b| a.io_cost.partial_cmp(&b.io_cost).unwrap());
+        plans
+    }
+
+    /// The cheapest plan.
+    pub fn choose(&self, query: &QuerySpec) -> CostedPlan {
+        self.enumerate(query)
+            .into_iter()
+            .next()
+            .expect("the table scan plan always exists")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EpfisConfig;
+    use crate::lru_fit::LruFit;
+    use epfis_lrusim::KeyedTrace;
+
+    fn make_stats(clustered: bool) -> IndexStatistics {
+        let pages: Vec<u32> = if clustered {
+            (0..4000u32).map(|i| i / 20).collect()
+        } else {
+            (0..4000u32)
+                .map(|i| i.wrapping_mul(2654435761) % 200)
+                .collect()
+        };
+        let trace = KeyedTrace::all_distinct(pages, 200);
+        LruFit::new(EpfisConfig::default()).collect(&trace)
+    }
+
+    fn selector() -> AccessPathSelector {
+        AccessPathSelector {
+            table_pages: 200,
+            records: 4000,
+            buffer_pages: 40,
+        }
+    }
+
+    fn candidate(name: &str, clustered: bool, sigma: Option<f64>) -> IndexCandidate {
+        IndexCandidate {
+            name: name.into(),
+            stats: make_stats(clustered),
+            range_selectivity: sigma,
+            sargable_selectivity: 1.0,
+        }
+    }
+
+    #[test]
+    fn selective_clustered_index_beats_table_scan() {
+        let query = QuerySpec {
+            output_selectivity: 0.02,
+            required_order: None,
+            candidates: vec![candidate("ix_clustered", true, Some(0.02))],
+            consider_rid_plans: false,
+        };
+        let best = selector().choose(&query);
+        assert!(matches!(
+            best.plan,
+            AccessPlan::PartialIndexScan { ref index, sort: false } if index == "ix_clustered"
+        ));
+        assert!(best.io_cost < 200.0);
+    }
+
+    #[test]
+    fn unselective_unclustered_index_loses_to_table_scan() {
+        let query = QuerySpec {
+            output_selectivity: 0.9,
+            required_order: None,
+            candidates: vec![candidate("ix_rand", false, Some(0.9))],
+            consider_rid_plans: false,
+        };
+        let best = selector().choose(&query);
+        assert_eq!(best.plan, AccessPlan::TableScan { sort: false });
+        assert_eq!(best.io_cost, 200.0);
+    }
+
+    #[test]
+    fn order_requirement_charges_sort_to_table_scan() {
+        let query = QuerySpec {
+            output_selectivity: 1.0,
+            required_order: Some("ix_ord".into()),
+            candidates: vec![candidate("ix_ord", true, None)],
+            consider_rid_plans: false,
+        };
+        let plans = selector().enumerate(&query);
+        let table = plans
+            .iter()
+            .find(|p| matches!(p.plan, AccessPlan::TableScan { .. }))
+            .unwrap();
+        assert!(matches!(table.plan, AccessPlan::TableScan { sort: true }));
+        assert!(table.io_cost > 200.0, "sort charge applies");
+        // The clustered full index scan avoids the sort and wins.
+        let best = &plans[0];
+        assert!(matches!(
+            best.plan,
+            AccessPlan::FullIndexScan { ref index } if index == "ix_ord"
+        ));
+    }
+
+    #[test]
+    fn partial_scan_on_ordering_index_skips_sort() {
+        let query = QuerySpec {
+            output_selectivity: 0.1,
+            required_order: Some("ix".into()),
+            candidates: vec![candidate("ix", true, Some(0.1))],
+            consider_rid_plans: false,
+        };
+        let plans = selector().enumerate(&query);
+        let partial = plans
+            .iter()
+            .find(|p| matches!(p.plan, AccessPlan::PartialIndexScan { .. }))
+            .unwrap();
+        assert!(matches!(
+            partial.plan,
+            AccessPlan::PartialIndexScan { sort: false, .. }
+        ));
+    }
+
+    #[test]
+    fn plan_count_is_relevant_indexes_plus_one() {
+        let query = QuerySpec {
+            output_selectivity: 0.2,
+            required_order: None,
+            candidates: vec![
+                candidate("a", true, Some(0.2)),
+                candidate("b", false, Some(0.2)),
+                // Irrelevant: no range, no order.
+                candidate("c", false, None),
+            ],
+            consider_rid_plans: false,
+        };
+        let plans = selector().enumerate(&query);
+        assert_eq!(plans.len(), 3, "table scan + two relevant indexes");
+    }
+
+    #[test]
+    fn rid_sorted_plan_wins_on_unclustered_tiny_buffer() {
+        // Unclustered index, thrashing buffer: the basic partial scan
+        // re-fetches pages; the RID-sorted plan caps at Yao and wins.
+        let sel = AccessPathSelector {
+            table_pages: 200,
+            records: 4000,
+            buffer_pages: 12,
+        };
+        let query = QuerySpec {
+            output_selectivity: 0.35,
+            required_order: None,
+            candidates: vec![candidate("ix", false, Some(0.35))],
+            consider_rid_plans: true,
+        };
+        let plans = sel.enumerate(&query);
+        assert_eq!(plans.len(), 3, "table + partial + rid-sorted");
+        let best = &plans[0];
+        assert!(matches!(
+            best.plan,
+            AccessPlan::RidSortedIndexScan { sort: false, .. }
+        ));
+        // Yao bound: at most T pages.
+        assert!(best.io_cost <= 200.0 + 1e-9);
+    }
+
+    #[test]
+    fn rid_sorted_plan_pays_a_sort_when_order_is_required() {
+        let sel = selector();
+        let query = QuerySpec {
+            output_selectivity: 0.5,
+            required_order: Some("ix".into()),
+            candidates: vec![candidate("ix", false, Some(0.5))],
+            consider_rid_plans: true,
+        };
+        let plans = sel.enumerate(&query);
+        let rid = plans
+            .iter()
+            .find(|p| matches!(p.plan, AccessPlan::RidSortedIndexScan { .. }))
+            .unwrap();
+        // Even on its own ordering index, RID order destroys key order.
+        assert!(matches!(
+            rid.plan,
+            AccessPlan::RidSortedIndexScan { sort: true, .. }
+        ));
+        assert!(rid.io_cost > sel.sort_cost(2000.0));
+    }
+
+    #[test]
+    fn rid_plans_absent_when_not_requested() {
+        let query = QuerySpec {
+            output_selectivity: 0.3,
+            required_order: None,
+            candidates: vec![candidate("ix", false, Some(0.3))],
+            consider_rid_plans: false,
+        };
+        let plans = selector().enumerate(&query);
+        assert!(plans
+            .iter()
+            .all(|p| !matches!(p.plan, AccessPlan::RidSortedIndexScan { .. })));
+    }
+
+    #[test]
+    fn small_sorts_are_free_in_buffer() {
+        let s = selector();
+        assert_eq!(s.sort_cost(100.0), 0.0); // 5 pages out, 40-page buffer
+        assert!(s.sort_cost(4000.0) > 0.0); // 200 pages out
+    }
+
+    #[test]
+    fn costs_are_sorted_ascending() {
+        let query = QuerySpec {
+            output_selectivity: 0.3,
+            required_order: None,
+            candidates: vec![
+                candidate("a", true, Some(0.3)),
+                candidate("b", false, Some(0.3)),
+            ],
+            consider_rid_plans: false,
+        };
+        let plans = selector().enumerate(&query);
+        for w in plans.windows(2) {
+            assert!(w[0].io_cost <= w[1].io_cost);
+        }
+    }
+
+    #[test]
+    fn buffer_size_can_flip_the_choice() {
+        // An unclustered index scan at sigma=0.35 thrashes with a small
+        // buffer but beats the table scan with a big one.
+        let stats = make_stats(false);
+        let query = |b: u64| {
+            (
+                AccessPathSelector {
+                    table_pages: 200,
+                    records: 4000,
+                    buffer_pages: b,
+                },
+                QuerySpec {
+                    output_selectivity: 0.35,
+                    required_order: None,
+                    candidates: vec![IndexCandidate {
+                        name: "ix".into(),
+                        stats: stats.clone(),
+                        range_selectivity: Some(0.35),
+                        sargable_selectivity: 1.0,
+                    }],
+                    consider_rid_plans: false,
+                },
+            )
+        };
+        let (sel_small, q_small) = query(12);
+        let (sel_big, q_big) = query(200);
+        let small_best = sel_small.choose(&q_small);
+        let big_best = sel_big.choose(&q_big);
+        assert_eq!(small_best.plan, AccessPlan::TableScan { sort: false });
+        assert!(matches!(big_best.plan, AccessPlan::PartialIndexScan { .. }));
+    }
+}

@@ -1,0 +1,127 @@
+//! RID-list access paths (the paper's §6 future work).
+//!
+//! "Future work should consider the impact of some or all of the following:
+//! indexes with sorted RIDs for a given key value, use of multiple indexes,
+//! use of RID-list operations, index ANDing and ORing ..."
+//!
+//! This module implements the *estimation* side of those plans:
+//!
+//! * **RID-sorted scan** — collect the qualifying RIDs from the index, sort
+//!   them by page, then fetch. Every qualifying page is fetched exactly
+//!   once, regardless of the buffer size, so the cost is the expected number
+//!   of distinct pages holding `k` of the `N` records — Yao's function.
+//!   This removes the entire LRU-modeling problem at the price of
+//!   materializing and sorting the RID list and losing key order.
+//! * **Index ANDing / ORing** — intersect/unite the RID lists of several
+//!   predicates, then fetch the combined (sorted) list. Selectivities
+//!   compose under the optimizer's independence assumption, and the fetch
+//!   cost is again Yao on the combined count.
+//!
+//! The execution side (actually sorting RIDs and fetching through the real
+//! buffer pool) lives in the umbrella crate's `pipeline` module and is
+//! validated against these estimates by integration tests.
+
+use epfis_estimators::occupancy::yao;
+
+/// Expected page fetches of a RID-sorted fetch of `qualifying` records from
+/// a table of `table_pages` pages and `records` records.
+///
+/// Buffer-size independent (every page is visited once, in physical order).
+///
+/// ```
+/// use epfis::ridlist::sorted_rid_fetches;
+///
+/// // 40k records on 1000 pages; fetching 4k random records after a RID
+/// // sort touches ~982 pages — and never more than T, at any buffer size.
+/// let f = sorted_rid_fetches(1000, 40_000, 4_000);
+/// assert!(f > 950.0 && f <= 1000.0);
+/// ```
+pub fn sorted_rid_fetches(table_pages: u64, records: u64, qualifying: u64) -> f64 {
+    yao(records, table_pages, qualifying.min(records))
+}
+
+/// Number of qualifying records after ANDing predicates with the given
+/// selectivities (independence assumption).
+pub fn and_qualifying(records: u64, selectivities: &[f64]) -> f64 {
+    records as f64 * selectivities.iter().product::<f64>()
+}
+
+/// Number of qualifying records after ORing predicates with the given
+/// selectivities (inclusion–exclusion under independence).
+pub fn or_qualifying(records: u64, selectivities: &[f64]) -> f64 {
+    let miss: f64 = selectivities.iter().map(|s| 1.0 - s).product();
+    records as f64 * (1.0 - miss)
+}
+
+/// Cost estimate of a RID-sorted plan over an AND of predicates: Yao on the
+/// intersected count, rounded into the continuous domain.
+pub fn and_plan_fetches(table_pages: u64, records: u64, selectivities: &[f64]) -> f64 {
+    let k = and_qualifying(records, selectivities).round() as u64;
+    sorted_rid_fetches(table_pages, records, k)
+}
+
+/// Cost estimate of a RID-sorted plan over an OR of predicates.
+pub fn or_plan_fetches(table_pages: u64, records: u64, selectivities: &[f64]) -> f64 {
+    let k = or_qualifying(records, selectivities).round() as u64;
+    sorted_rid_fetches(table_pages, records, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_scan_cost_is_buffer_free_and_bounded() {
+        let f = sorted_rid_fetches(1000, 40_000, 4_000);
+        assert!(f > 0.0);
+        assert!(f <= 1000.0);
+        assert!(f <= 4000.0);
+        // All records touch all pages.
+        assert!((sorted_rid_fetches(1000, 40_000, 40_000) - 1000.0).abs() < 1e-9);
+        // Nothing qualifying, nothing fetched.
+        assert_eq!(sorted_rid_fetches(1000, 40_000, 0), 0.0);
+    }
+
+    #[test]
+    fn oversized_qualifying_count_is_clamped() {
+        assert!((sorted_rid_fetches(10, 100, 1_000_000) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn and_composes_multiplicatively() {
+        assert!((and_qualifying(1000, &[0.5, 0.2]) - 100.0).abs() < 1e-12);
+        assert!((and_qualifying(1000, &[]) - 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn or_composes_by_inclusion_exclusion() {
+        // P(A or B) = 0.5 + 0.2 - 0.1 = 0.6.
+        assert!((or_qualifying(1000, &[0.5, 0.2]) - 600.0).abs() < 1e-9);
+        assert_eq!(or_qualifying(1000, &[]), 0.0);
+        assert!((or_qualifying(1000, &[1.0, 0.01]) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn anding_reduces_fetches_oring_increases() {
+        let t = 2_000u64;
+        let n = 80_000u64;
+        let single = sorted_rid_fetches(t, n, (0.3f64 * n as f64) as u64);
+        let anded = and_plan_fetches(t, n, &[0.3, 0.3]);
+        let ored = or_plan_fetches(t, n, &[0.3, 0.3]);
+        assert!(anded < single);
+        assert!(ored > single);
+    }
+
+    #[test]
+    fn sorted_scan_beats_unclustered_thrashing_estimate() {
+        // For an unclustered index with a small buffer, sigma*N approaches
+        // the per-record cost; the RID-sorted plan caps at distinct pages.
+        let t = 1_000u64;
+        let n = 40_000u64;
+        let sigma = 0.5;
+        let k = (sigma * n as f64) as u64;
+        let sorted = sorted_rid_fetches(t, n, k);
+        assert!(sorted <= t as f64);
+        assert!((k as f64) > 10.0 * sorted);
+    }
+}

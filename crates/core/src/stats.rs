@@ -1,0 +1,136 @@
+//! The catalog entry EPFIS stores per index.
+
+use crate::config::EpfisConfig;
+use crate::est_io::{self, ScanQuery};
+use epfis_segfit::PiecewiseLinear;
+
+/// Everything Est-IO needs, as produced by LRU-Fit and persisted in the
+/// system catalog (§4.1: "This coordinate information can be stored in a
+/// system catalog entry associated with the index").
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexStatistics {
+    /// Pages in the underlying table (`T`).
+    pub table_pages: u64,
+    /// Records in the table == index entries (`N`).
+    pub records: u64,
+    /// Distinct key values in the index (`I`).
+    pub distinct_keys: u64,
+    /// Distinct data pages a full scan accesses (the paper's `A`); the hard
+    /// floor of any full-scan fetch count.
+    pub distinct_pages: u64,
+    /// Clustering factor `C = (N − F_min)/(N − T) ∈ [0, 1]`.
+    pub clustering_factor: f64,
+    /// Smallest modeled buffer size.
+    pub b_min: u64,
+    /// Largest modeled buffer size.
+    pub b_max: u64,
+    /// The line-segment approximation of the FPF curve: maps buffer size to
+    /// full-scan page fetches.
+    pub fpf: PiecewiseLinear,
+    /// The configuration LRU-Fit ran with (Est-IO reads its `phi_mode` and
+    /// feature switches).
+    pub config: EpfisConfig,
+}
+
+impl IndexStatistics {
+    /// Full-scan page fetches `PF_B` at buffer size `b`, interpolated from
+    /// the stored segments and clamped to the hard bounds `[A, N]` (§2: a
+    /// full scan fetches at least its accessed pages and at most one page
+    /// per record).
+    pub fn full_scan_fetches(&self, b: u64) -> f64 {
+        self.fpf
+            .eval_clamped(b as f64, self.distinct_pages as f64, self.records as f64)
+    }
+
+    /// Estimated page fetches for `query` (Subprogram Est-IO, §4.2) using
+    /// the stored configuration.
+    pub fn estimate(&self, query: &ScanQuery) -> f64 {
+        est_io::estimate(self, query, &self.config)
+    }
+
+    /// Estimated page fetches with an explicit (possibly different)
+    /// configuration — used by the ablation benches.
+    pub fn estimate_with(&self, query: &ScanQuery, config: &EpfisConfig) -> f64 {
+        est_io::estimate(self, query, config)
+    }
+
+    /// Average records per page `R = N / T`.
+    pub fn records_per_page(&self) -> f64 {
+        self.records as f64 / self.table_pages as f64
+    }
+
+    /// Number of `(B, F)` pairs the catalog stores for this index.
+    pub fn stored_points(&self) -> usize {
+        self.fpf.knots().len()
+    }
+
+    /// The smallest modeled buffer size whose predicted *full-scan* fetches
+    /// are at most `target`, or `None` if even `B_max` predicts more.
+    ///
+    /// A DBA sizing aid: "how much buffer does this index need before a
+    /// full scan costs at most 1.5 T?" The FPF model is non-increasing in
+    /// `B`, so binary search over the modeled range is exact (to one page).
+    pub fn buffer_for_full_scan_budget(&self, target: f64) -> Option<u64> {
+        if self.full_scan_fetches(self.b_max) > target {
+            return None;
+        }
+        let (mut lo, mut hi) = (self.b_min, self.b_max);
+        if self.full_scan_fetches(lo) <= target {
+            return Some(lo);
+        }
+        // Invariant: F(lo) > target >= F(hi).
+        while lo + 1 < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.full_scan_fetches(mid) <= target {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::EpfisConfig;
+    use crate::lru_fit::LruFit;
+    use epfis_lrusim::KeyedTrace;
+
+    fn stats() -> super::IndexStatistics {
+        let pages: Vec<u32> = (0..4000u32)
+            .map(|i| i.wrapping_mul(2654435761) % 200)
+            .collect();
+        LruFit::new(EpfisConfig::default()).collect(&KeyedTrace::all_distinct(pages, 200))
+    }
+
+    #[test]
+    fn buffer_budget_is_minimal_and_sufficient() {
+        let s = stats();
+        let target = 1.5 * s.table_pages as f64;
+        let b = s.buffer_for_full_scan_budget(target).unwrap();
+        assert!(s.full_scan_fetches(b) <= target);
+        if b > s.b_min {
+            assert!(s.full_scan_fetches(b - 1) > target, "not minimal: B={b}");
+        }
+    }
+
+    #[test]
+    fn unreachable_budget_returns_none() {
+        let s = stats();
+        // Fewer fetches than T is impossible for a full scan.
+        assert_eq!(
+            s.buffer_for_full_scan_budget(0.5 * s.table_pages as f64),
+            None
+        );
+    }
+
+    #[test]
+    fn trivial_budget_returns_b_min() {
+        let s = stats();
+        assert_eq!(
+            s.buffer_for_full_scan_budget(s.records as f64 * 2.0),
+            Some(s.b_min)
+        );
+    }
+}

@@ -1,0 +1,295 @@
+//! Logical datasets: value distribution + record placement + derived trace.
+//!
+//! A [`Dataset`] is the unit every experiment operates on. Generating one is
+//! a pure function of its [`DatasetSpec`] (including the seed), so every
+//! figure in EXPERIMENTS.md regenerates bit-identically.
+//!
+//! The dataset is *logical*: it records, for every record in key-sequence
+//! order, which page of the table holds it. The integration tests load a
+//! dataset into the real heap-file + B-tree substrate and verify that an
+//! actual index scan reproduces [`Dataset::trace`] exactly — estimation code
+//! then works from the trace alone, which is also all a real system's
+//! statistics scan would see.
+
+use crate::placement::{place, PlacementConfig};
+use crate::rng::Rng;
+use crate::zipf::{shuffled_counts, zipf_counts};
+use epfis_lrusim::KeyedTrace;
+
+/// Full description of a synthetic dataset (§5.2 parameters).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpec {
+    /// Display name, e.g. `synthetic(theta=0,k=0.05)` or `CMAC.BRAN`.
+    pub name: String,
+    /// Number of records `N`.
+    pub records: u64,
+    /// Number of distinct key values `I`.
+    pub distinct: u64,
+    /// Records per page `R`.
+    pub records_per_page: u32,
+    /// Generalized Zipf skew `θ` of duplicates (0 = uniform).
+    pub theta: f64,
+    /// Clustering window fraction `K`.
+    pub window_fraction: f64,
+    /// Noise factor (paper: 0.05).
+    pub noise: f64,
+    /// Whether frequency ranks are shuffled across key values (decorrelates
+    /// skew from key order; the harness default).
+    pub shuffle_frequencies: bool,
+    /// Whether the RIDs within each key value are kept sorted by page
+    /// (§6 future work: "indexes with sorted RIDs for a given key value").
+    /// The paper's evaluated systems store them unsorted (`false`).
+    pub sorted_rids: bool,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// The paper's synthetic matrix entry for `(θ, K)` at the given scale.
+    pub fn synthetic(
+        records: u64,
+        distinct: u64,
+        records_per_page: u32,
+        theta: f64,
+        k: f64,
+    ) -> Self {
+        DatasetSpec {
+            name: format!("synthetic(theta={theta},k={k})"),
+            records,
+            distinct,
+            records_per_page,
+            theta,
+            window_fraction: k,
+            noise: 0.05,
+            shuffle_frequencies: true,
+            sorted_rids: false,
+            seed: 0xE9F1_55EED,
+        }
+    }
+
+    /// Replaces the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables per-key RID sorting (builder style).
+    pub fn with_sorted_rids(mut self) -> Self {
+        self.sorted_rids = true;
+        self
+    }
+}
+
+/// A generated dataset: per-key record counts and the key-order page trace.
+///
+/// ```
+/// use epfis_datagen::{Dataset, DatasetSpec};
+///
+/// // 10k records, 100 distinct keys, 20 records/page, uniform duplicates,
+/// // clustering window of 30% of the table.
+/// let d = Dataset::generate(DatasetSpec::synthetic(10_000, 100, 20, 0.0, 0.3));
+/// assert_eq!(d.records(), 10_000);
+/// assert_eq!(d.table_pages(), 500);
+/// // The trace is what an index statistics scan would see.
+/// assert_eq!(d.trace().num_entries(), 10_000);
+/// assert_eq!(d.trace().num_keys(), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    spec: DatasetSpec,
+    counts: Vec<u64>,
+    trace: KeyedTrace,
+}
+
+impl Dataset {
+    /// Generates the dataset described by `spec`.
+    pub fn generate(spec: DatasetSpec) -> Self {
+        let mut rng = Rng::new(spec.seed);
+        let counts = if spec.shuffle_frequencies {
+            shuffled_counts(spec.records, spec.distinct, spec.theta, &mut rng)
+        } else {
+            zipf_counts(spec.records, spec.distinct, spec.theta)
+        };
+        let cfg = PlacementConfig {
+            records_per_page: spec.records_per_page,
+            window_fraction: spec.window_fraction,
+            noise: spec.noise,
+        };
+        let placement = place(&counts, &cfg, &mut rng);
+        let run_lengths: Vec<u32> = counts.iter().map(|&c| c as u32).collect();
+        let mut pages = placement.pages;
+        if spec.sorted_rids {
+            // Sort each key's run in page order (stable within the run).
+            let mut at = 0usize;
+            for &len in &run_lengths {
+                pages[at..at + len as usize].sort_unstable();
+                at += len as usize;
+            }
+        }
+        let trace = KeyedTrace::from_run_lengths(pages, &run_lengths, placement.table_pages);
+        Dataset {
+            spec,
+            counts,
+            trace,
+        }
+    }
+
+    /// The generating spec.
+    pub fn spec(&self) -> &DatasetSpec {
+        &self.spec
+    }
+
+    /// Records per distinct key, in key order.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The key-order page-reference trace (what a statistics scan of the
+    /// index sees).
+    pub fn trace(&self) -> &KeyedTrace {
+        &self.trace
+    }
+
+    /// The column value of key index `k`. Keys are simply `0..I` spread out
+    /// by a stride so that range predicates on values are non-trivial.
+    pub fn key_value(&self, k: usize) -> i64 {
+        (k as i64) * 10
+    }
+
+    /// Total pages `T`.
+    pub fn table_pages(&self) -> u32 {
+        self.trace.table_pages()
+    }
+
+    /// Total records `N`.
+    pub fn records(&self) -> u64 {
+        self.trace.num_entries()
+    }
+
+    /// Distinct keys `I`.
+    pub fn distinct_keys(&self) -> u64 {
+        self.trace.num_keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> DatasetSpec {
+        DatasetSpec {
+            name: "test".into(),
+            records: 5_000,
+            distinct: 100,
+            records_per_page: 20,
+            theta: 0.86,
+            window_fraction: 0.2,
+            noise: 0.05,
+            shuffle_frequencies: true,
+            sorted_rids: false,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn generated_shape_matches_spec() {
+        let d = Dataset::generate(small_spec());
+        assert_eq!(d.records(), 5_000);
+        assert_eq!(d.distinct_keys(), 100);
+        assert_eq!(d.table_pages(), 250); // ceil(5000/20)
+        assert_eq!(d.counts().iter().sum::<u64>(), 5_000);
+    }
+
+    #[test]
+    fn trace_covers_every_key_with_its_count() {
+        let d = Dataset::generate(small_spec());
+        for k in 0..100 {
+            assert_eq!(d.trace().run_length(k), d.counts()[k] as usize);
+        }
+    }
+
+    #[test]
+    fn regeneration_is_bit_identical() {
+        let a = Dataset::generate(small_spec());
+        let b = Dataset::generate(small_spec());
+        assert_eq!(a.trace(), b.trace());
+        let c = Dataset::generate(small_spec().with_seed(100));
+        assert_ne!(a.trace(), c.trace());
+    }
+
+    #[test]
+    fn key_values_are_strictly_increasing() {
+        let d = Dataset::generate(small_spec());
+        for k in 1..d.distinct_keys() as usize {
+            assert!(d.key_value(k) > d.key_value(k - 1));
+        }
+    }
+
+    #[test]
+    fn clustered_spec_yields_high_clustering_factor() {
+        let mut spec = small_spec();
+        spec.window_fraction = 0.0;
+        spec.noise = 0.0;
+        let d = Dataset::generate(spec);
+        let curve = epfis_lrusim::analyze_trace(d.trace().pages()).fetch_curve();
+        let b_min = epfis_lrusim::epfis_b_min(d.table_pages(), 12);
+        let c = epfis_lrusim::clustering_factor(&curve, d.table_pages(), b_min);
+        assert!(c > 0.99, "K=0 no-noise should be ~perfectly clustered: {c}");
+    }
+
+    #[test]
+    fn unclustered_spec_yields_low_clustering_factor() {
+        let mut spec = small_spec();
+        spec.window_fraction = 1.0;
+        let d = Dataset::generate(spec);
+        let curve = epfis_lrusim::analyze_trace(d.trace().pages()).fetch_curve();
+        let b_min = epfis_lrusim::epfis_b_min(d.table_pages(), 12);
+        let c = epfis_lrusim::clustering_factor(&curve, d.table_pages(), b_min);
+        assert!(c < 0.5, "K=1 should be quite unclustered: {c}");
+    }
+
+    #[test]
+    fn sorted_rids_sorts_within_runs_only() {
+        let mut spec = small_spec();
+        spec.window_fraction = 1.0; // heavy scatter so sorting matters
+        let unsorted = Dataset::generate(spec.clone());
+        spec.sorted_rids = true;
+        let sorted = Dataset::generate(spec);
+        assert_eq!(sorted.counts(), unsorted.counts());
+        for k in 0..sorted.distinct_keys() as usize {
+            let run = sorted.trace().run_pages(k);
+            assert!(run.windows(2).all(|w| w[0] <= w[1]), "run {k} not sorted");
+            // Same multiset of pages per key.
+            let mut a = run.to_vec();
+            let mut b = unsorted.trace().run_pages(k).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn sorted_rids_reduce_small_buffer_fetches_with_duplicates() {
+        // Section 6 future work: per-key RID sorting turns each key's run
+        // into a monotone page sequence, so even a tiny buffer stops
+        // re-fetching within a key.
+        let mut spec = small_spec(); // 50 records per key on average
+        spec.window_fraction = 1.0;
+        let unsorted = Dataset::generate(spec.clone());
+        spec.sorted_rids = true;
+        let sorted = Dataset::generate(spec);
+        let f_unsorted = epfis_lrusim::simulate_lru(unsorted.trace().pages(), 12);
+        let f_sorted = epfis_lrusim::simulate_lru(sorted.trace().pages(), 12);
+        assert!(
+            f_sorted < f_unsorted,
+            "sorted {f_sorted} vs unsorted {f_unsorted}"
+        );
+    }
+
+    #[test]
+    fn synthetic_constructor_uses_paper_noise() {
+        let s = DatasetSpec::synthetic(1000, 10, 40, 0.86, 0.5);
+        assert_eq!(s.noise, 0.05);
+        assert!(s.name.contains("0.86"));
+    }
+}

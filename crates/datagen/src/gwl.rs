@@ -1,0 +1,269 @@
+//! Stand-ins for the Great-West Life benchmark columns (§5.1).
+//!
+//! The GWL customer database (Steindel & Madison, 1987) is proprietary; the
+//! paper characterizes each of its eight test columns by the owning table's
+//! page count and records/page (Table 2) and by the column's cardinality and
+//! clustering factor `C` (Table 3). The estimation problem sees a dataset
+//! *only* through those statistics plus the reference trace's disorder — so
+//! we synthesize, per column, a placement whose measured `C` matches the
+//! published value, by tuning the clustering window `K` (and, for
+//! near-perfectly-clustered columns, the noise factor) with bisection. `C`
+//! is monotone non-increasing in both knobs, which makes the search sound.
+
+use crate::dataset::{Dataset, DatasetSpec};
+use epfis_lrusim::{analyze_trace, clustering_factor, epfis_b_min};
+
+/// Published statistics of one GWL column (Tables 2 and 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GwlColumn {
+    /// `TABLE.COLUMN` label used in the paper's figures.
+    pub name: &'static str,
+    /// Pages in the owning table (Table 2).
+    pub pages: u32,
+    /// Records per page (Table 2).
+    pub records_per_page: u32,
+    /// Column cardinality (Table 3, "Col Card").
+    pub distinct: u64,
+    /// Clustering factor in percent (Table 3, "C (%)").
+    pub c_percent: f64,
+}
+
+impl GwlColumn {
+    /// Number of records `N = pages × records/page`.
+    pub fn records(&self) -> u64 {
+        self.pages as u64 * self.records_per_page as u64
+    }
+
+    /// A proportionally shrunken column (for fast tests): pages and
+    /// cardinality divided by `factor`, same records/page and target `C`.
+    pub fn scaled_down(&self, factor: u32) -> GwlColumn {
+        GwlColumn {
+            name: self.name,
+            pages: (self.pages / factor).max(20),
+            records_per_page: self.records_per_page,
+            distinct: (self.distinct / factor as u64).max(10),
+            c_percent: self.c_percent,
+        }
+    }
+}
+
+/// The eight columns of Tables 2–3.
+pub const GWL_COLUMNS: [GwlColumn; 8] = [
+    GwlColumn {
+        name: "CMAC.BRAN",
+        pages: 774,
+        records_per_page: 20,
+        distinct: 131,
+        c_percent: 43.3,
+    },
+    GwlColumn {
+        name: "CMAC.CEDT",
+        pages: 774,
+        records_per_page: 20,
+        distinct: 2829,
+        c_percent: 64.6,
+    },
+    GwlColumn {
+        name: "CAGD.CMAN",
+        pages: 1093,
+        records_per_page: 104,
+        distinct: 6155,
+        c_percent: 35.3,
+    },
+    GwlColumn {
+        name: "CAGD.POLN",
+        pages: 1093,
+        records_per_page: 104,
+        distinct: 110_074,
+        c_percent: 99.6,
+    },
+    GwlColumn {
+        name: "INAP.APLD",
+        pages: 1945,
+        records_per_page: 76,
+        distinct: 729,
+        c_percent: 79.4,
+    },
+    GwlColumn {
+        name: "INAP.MALD",
+        pages: 1945,
+        records_per_page: 76,
+        distinct: 517,
+        c_percent: 64.3,
+    },
+    GwlColumn {
+        name: "INAP.UWID",
+        pages: 1945,
+        records_per_page: 76,
+        distinct: 60,
+        c_percent: 90.8,
+    },
+    GwlColumn {
+        name: "PLON.CLID",
+        pages: 4857,
+        records_per_page: 123,
+        distinct: 437_654,
+        c_percent: 23.6,
+    },
+];
+
+/// Looks a column up by its `TABLE.COLUMN` name.
+pub fn gwl_column(name: &str) -> Option<GwlColumn> {
+    GWL_COLUMNS.iter().copied().find(|c| c.name == name)
+}
+
+/// Measures the paper's clustering factor of a generated dataset
+/// (`B_sml = 12` as in the paper).
+pub fn measure_c(dataset: &Dataset) -> f64 {
+    let curve = analyze_trace(dataset.trace().pages()).fetch_curve();
+    let b_min = epfis_b_min(dataset.table_pages(), 12);
+    clustering_factor(&curve, dataset.table_pages(), b_min)
+}
+
+fn spec_for(col: &GwlColumn, k: f64, noise: f64, seed: u64) -> DatasetSpec {
+    DatasetSpec {
+        name: col.name.to_string(),
+        records: col.records(),
+        distinct: col.distinct,
+        records_per_page: col.records_per_page,
+        theta: 0.0,
+        window_fraction: k,
+        noise,
+        shuffle_frequencies: true,
+        sorted_rids: false,
+        seed,
+    }
+}
+
+/// Synthesizes a dataset matching `col`'s published shape, tuning `K` (then
+/// noise, if `C(K = 0)` is still too low) so the measured clustering factor
+/// approaches `col.c_percent`.
+///
+/// Returns the dataset together with its measured `C` (in `[0, 1]`).
+pub fn synthesize_gwl_column(col: &GwlColumn, seed: u64) -> (Dataset, f64) {
+    let target = col.c_percent / 100.0;
+    let tol = 0.01;
+    let eval_k = |k: f64| {
+        let d = Dataset::generate(spec_for(col, k, 0.05, seed));
+        let c = measure_c(&d);
+        (d, c)
+    };
+    // Phase 1: bisection on K in [0, 1]; C decreases as K grows.
+    let (mut best, mut best_c) = eval_k(0.0);
+    if best_c + tol < target {
+        // Even a one-page window with 5% noise is not clustered enough:
+        // phase 2, shrink the noise at K = 0. C decreases as noise grows.
+        let mut lo = 0.0f64; // noise lo => higher C
+        let mut hi = 0.05f64;
+        for _ in 0..20 {
+            let mid = 0.5 * (lo + hi);
+            let d = Dataset::generate(spec_for(col, 0.0, mid, seed));
+            let c = measure_c(&d);
+            if (c - target).abs() < (best_c - target).abs() {
+                best = d;
+                best_c = c;
+            }
+            if (c - target).abs() <= tol {
+                break;
+            }
+            if c > target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        return (best, best_c);
+    }
+    if (best_c - target).abs() <= tol {
+        return (best, best_c);
+    }
+    let mut lo = 0.0f64; // C(lo) >= target
+    let mut hi = 1.0f64;
+    let (d_hi, c_hi) = eval_k(1.0);
+    if c_hi >= target {
+        // Even fully unclustered placement exceeds the target (possible when
+        // R is large and I small); K = 1 is the closest we can get.
+        return (d_hi, c_hi);
+    }
+    for _ in 0..24 {
+        let mid = 0.5 * (lo + hi);
+        let (d, c) = eval_k(mid);
+        if (c - target).abs() < (best_c - target).abs() {
+            best = d;
+            best_c = c;
+        }
+        if (c - target).abs() <= tol {
+            break;
+        }
+        if c > target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (best, best_c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_2_and_3_constants() {
+        assert_eq!(GWL_COLUMNS.len(), 8);
+        let cmac = gwl_column("CMAC.BRAN").unwrap();
+        assert_eq!(cmac.records(), 774 * 20);
+        let plon = gwl_column("PLON.CLID").unwrap();
+        assert_eq!(plon.records(), 4857 * 123);
+        assert!(gwl_column("NOPE.NOPE").is_none());
+    }
+
+    #[test]
+    fn scaled_down_preserves_target_c() {
+        let c = gwl_column("INAP.APLD").unwrap().scaled_down(10);
+        assert_eq!(c.c_percent, 79.4);
+        assert_eq!(c.pages, 194);
+        assert_eq!(c.records_per_page, 76);
+    }
+
+    #[test]
+    fn synthesis_hits_target_c_on_scaled_columns() {
+        // Full-size synthesis is exercised by the experiment binaries; here
+        // we verify the tuning loop converges on 10x-scaled columns spanning
+        // low, mid, and high targets.
+        for name in ["CMAC.BRAN", "INAP.APLD", "INAP.UWID"] {
+            let col = gwl_column(name).unwrap().scaled_down(10);
+            let (d, c) = synthesize_gwl_column(&col, 7);
+            let target = col.c_percent / 100.0;
+            assert!(
+                (c - target).abs() < 0.06,
+                "{name}: measured C {c} vs target {target}"
+            );
+            assert_eq!(d.table_pages(), col.pages);
+            assert_eq!(d.records(), col.records());
+        }
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let col = gwl_column("CMAC.BRAN").unwrap().scaled_down(10);
+        let (a, ca) = synthesize_gwl_column(&col, 3);
+        let (b, cb) = synthesize_gwl_column(&col, 3);
+        assert_eq!(a.trace(), b.trace());
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn high_c_targets_reduce_noise() {
+        // CAGD.POLN needs C = 99.6%: only reachable by shrinking noise.
+        let col = GwlColumn {
+            name: "HIGHC",
+            pages: 100,
+            records_per_page: 50,
+            distinct: 4900,
+            c_percent: 99.6,
+        };
+        let (_, c) = synthesize_gwl_column(&col, 11);
+        assert!(c > 0.97, "measured C {c}");
+    }
+}

@@ -1,0 +1,37 @@
+//! Synthetic data and workload generation (Section 5 of the paper).
+//!
+//! The paper evaluates estimators on (a) eight columns of the proprietary
+//! Great-West Life customer database and (b) a matrix of synthetic datasets.
+//! This crate builds both:
+//!
+//! * [`rng`] — a dependency-free, deterministic PRNG (splitmix64 seeding a
+//!   xoshiro256++ generator) so every dataset and workload regenerates
+//!   bit-identically from a 64-bit seed,
+//! * [`zipf`] — Knuth's generalized Zipf distribution of duplicates over
+//!   distinct values (θ = 0 uniform, θ = 0.86 the "80-20" rule),
+//! * [`placement`] — the windowed clustering placement (a modification of
+//!   Wolf et al. 1990, exactly as §5.2 describes): values processed in key
+//!   order, records placed uniformly in a sliding window of `⌈K·T⌉` pages
+//!   with a 5% noise factor,
+//! * [`dataset`] — the resulting logical dataset: per-value record counts
+//!   plus the page of every record in key-sequence order, convertible to a
+//!   [`epfis_lrusim::KeyedTrace`],
+//! * [`scans`] — the §5 scan workload: 50/50 mixtures of "small" (r ∈
+//!   (0, 0.2)) and "large" (r ∈ (0.2, 1)) range scans,
+//! * [`gwl`] — stand-ins for the GWL columns: synthesis tuned (via binary
+//!   search on the window parameter K) to match each column's published
+//!   page count, records/page, cardinality, and clustering factor C.
+
+pub mod dataset;
+pub mod gwl;
+pub mod placement;
+pub mod rng;
+pub mod scans;
+pub mod zipf;
+
+pub use dataset::{Dataset, DatasetSpec};
+pub use gwl::{synthesize_gwl_column, GwlColumn, GWL_COLUMNS};
+pub use placement::PlacementConfig;
+pub use rng::Rng;
+pub use scans::{RangeScan, ScanKind, ScanWorkloadConfig, WorkloadGenerator};
+pub use zipf::zipf_counts;

@@ -1,0 +1,307 @@
+//! Windowed clustering placement of records onto pages (§5.2).
+//!
+//! "The distinct values are processed in the order of their values. For each
+//! distinct value, its corresponding records are assigned to pages as
+//! follows. A window of pages is available and the records are assigned
+//! randomly in this window of pages. The smaller the window, the greater the
+//! degree of clustering. The window size is given by ⌈K·T⌉. ... When a page
+//! is full in the window, the next page not in the window is added to the
+//! window. The initial window is [1, K·T]. ... A record is assigned outside
+//! the window with a certain probability given by a noise factor. In our
+//! experiments, the noise factor was set to 5%."
+//!
+//! `K = 0` degenerates to a one-page window (sequential fill — a perfectly
+//! clustered index, up to noise); `K = 1` makes every page eligible
+//! (uniform random placement — fully unclustered).
+
+use crate::rng::Rng;
+
+/// Placement parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacementConfig {
+    /// Records per page (the paper's `R`); every page has this capacity.
+    pub records_per_page: u32,
+    /// Window size as a fraction of the table (`K ∈ [0, 1]`).
+    pub window_fraction: f64,
+    /// Probability a record is placed outside the window (paper: 0.05).
+    pub noise: f64,
+}
+
+impl PlacementConfig {
+    /// Paper defaults: 5% noise.
+    pub fn new(records_per_page: u32, window_fraction: f64) -> Self {
+        PlacementConfig {
+            records_per_page,
+            window_fraction,
+            noise: 0.05,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.records_per_page > 0, "records_per_page must be > 0");
+        assert!(
+            (0.0..=1.0).contains(&self.window_fraction),
+            "window_fraction must be in [0, 1]"
+        );
+        assert!((0.0..=1.0).contains(&self.noise), "noise must be in [0, 1]");
+    }
+}
+
+/// The result of a placement: the page (0-based ordinal) of every record in
+/// key-sequence order, plus the table size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// Page ordinal per record, in the order records were generated
+    /// (key-sequence order).
+    pub pages: Vec<u32>,
+    /// Number of pages in the table (`T = ⌈N / R⌉`).
+    pub table_pages: u32,
+}
+
+/// A set of page ids supporting O(1) insert, remove, and uniform sampling.
+struct PageSet {
+    items: Vec<u32>,
+    pos: Vec<u32>, // page -> index in items, or NONE
+}
+
+const NONE: u32 = u32::MAX;
+
+impl PageSet {
+    fn new(universe: u32) -> Self {
+        PageSet {
+            items: Vec::new(),
+            pos: vec![NONE; universe as usize],
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    fn contains(&self, page: u32) -> bool {
+        self.pos[page as usize] != NONE
+    }
+
+    fn insert(&mut self, page: u32) {
+        debug_assert!(!self.contains(page));
+        self.pos[page as usize] = self.items.len() as u32;
+        self.items.push(page);
+    }
+
+    fn remove(&mut self, page: u32) {
+        let i = self.pos[page as usize];
+        debug_assert_ne!(i, NONE);
+        let last = *self.items.last().unwrap();
+        self.items[i as usize] = last;
+        self.pos[last as usize] = i;
+        self.items.pop();
+        self.pos[page as usize] = NONE;
+    }
+
+    fn sample(&self, rng: &mut Rng) -> u32 {
+        debug_assert!(!self.is_empty());
+        self.items[rng.gen_range(self.items.len() as u64) as usize]
+    }
+}
+
+/// Places `counts.iter().sum()` records (processed per distinct value in key
+/// order) onto `⌈N / R⌉` pages with the windowed scheme.
+///
+/// # Panics
+/// Panics on invalid configuration or an empty record set.
+pub fn place(counts: &[u64], cfg: &PlacementConfig, rng: &mut Rng) -> Placement {
+    cfg.validate();
+    let n: u64 = counts.iter().sum();
+    assert!(n > 0, "cannot place zero records");
+    let r = cfg.records_per_page as u64;
+    let t = n.div_ceil(r);
+    assert!(t <= u32::MAX as u64, "table too large");
+    let t = t as u32;
+
+    let window_size = ((cfg.window_fraction * t as f64).ceil() as u32).clamp(1, t);
+
+    let mut fill = vec![0u32; t as usize];
+    let mut window = PageSet::new(t);
+    let mut outside = PageSet::new(t);
+    for p in 0..window_size {
+        window.insert(p);
+    }
+    for p in window_size..t {
+        outside.insert(p);
+    }
+    // Lowest-numbered page that has never been promoted into the window;
+    // promotions slide forward from here.
+    let mut next_candidate = window_size;
+
+    let mut pages = Vec::with_capacity(n as usize);
+    for &count in counts {
+        for _ in 0..count {
+            let use_noise = cfg.noise > 0.0 && !outside.is_empty() && rng.gen_bool(cfg.noise);
+            let page = if use_noise {
+                outside.sample(rng)
+            } else {
+                if window.is_empty() {
+                    promote(&mut window, &mut outside, &mut next_candidate, t);
+                }
+                debug_assert!(!window.is_empty(), "no free page for a record");
+                window.sample(rng)
+            };
+            pages.push(page);
+            fill[page as usize] += 1;
+            if u64::from(fill[page as usize]) == r {
+                if window.contains(page) {
+                    window.remove(page);
+                    promote(&mut window, &mut outside, &mut next_candidate, t);
+                } else {
+                    outside.remove(page);
+                }
+            }
+        }
+    }
+    debug_assert_eq!(pages.len() as u64, n);
+    Placement {
+        pages,
+        table_pages: t,
+    }
+}
+
+/// Adds "the next page not in the window" to the window: the
+/// lowest-numbered never-promoted page that still has room; if the forward
+/// scan is exhausted, any remaining outside page.
+fn promote(window: &mut PageSet, outside: &mut PageSet, next_candidate: &mut u32, t: u32) {
+    while *next_candidate < t {
+        let p = *next_candidate;
+        *next_candidate += 1;
+        if outside.contains(p) {
+            outside.remove(p);
+            window.insert(p);
+            return;
+        }
+        // Page p was filled by noise (already removed from `outside`) or was
+        // part of the initial window; keep scanning.
+    }
+    // Forward scan exhausted: recycle any outside page with space.
+    if !outside.is_empty() {
+        let p = outside.items[0];
+        outside.remove(p);
+        window.insert(p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(n: u64, r: u32, k: f64, noise: f64, seed: u64) -> Placement {
+        let counts = vec![1u64; n as usize];
+        let cfg = PlacementConfig {
+            records_per_page: r,
+            window_fraction: k,
+            noise,
+        };
+        place(&counts, &cfg, &mut Rng::new(seed))
+    }
+
+    fn fills(p: &Placement) -> Vec<u32> {
+        let mut f = vec![0u32; p.table_pages as usize];
+        for &pg in &p.pages {
+            f[pg as usize] += 1;
+        }
+        f
+    }
+
+    #[test]
+    fn every_record_is_placed_and_capacity_respected() {
+        let p = run(1000, 7, 0.2, 0.05, 1);
+        assert_eq!(p.pages.len(), 1000);
+        assert_eq!(p.table_pages, 143); // ceil(1000/7)
+        for (pg, &f) in fills(&p).iter().enumerate() {
+            assert!(f <= 7, "page {pg} overfilled: {f}");
+        }
+    }
+
+    #[test]
+    fn all_pages_used_when_capacity_is_tight() {
+        // N == T * R exactly: every page must be completely full.
+        let p = run(700, 7, 0.3, 0.05, 2);
+        assert!(fills(&p).iter().all(|&f| f == 7));
+    }
+
+    #[test]
+    fn k_zero_no_noise_is_sequential() {
+        let p = run(100, 10, 0.0, 0.0, 3);
+        let expect: Vec<u32> = (0..100u32).map(|i| i / 10).collect();
+        assert_eq!(p.pages, expect);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(500, 5, 0.3, 0.05, 42);
+        let b = run(500, 5, 0.3, 0.05, 42);
+        assert_eq!(a, b);
+        let c = run(500, 5, 0.3, 0.05, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn smaller_window_means_more_clustering() {
+        // Measure disorder as LRU fetches with a small buffer (the paper's
+        // own notion): a window that fits in the buffer re-hits its pages, a
+        // wide one thrashes.
+        let fetches = |p: &Placement| epfis_lrusim::simulate_lru(&p.pages, 12);
+        let tight = run(5000, 10, 0.02, 0.0, 7); // window = 10 pages <= 12
+        let loose = run(5000, 10, 0.8, 0.0, 7);
+        assert!(
+            fetches(&tight) * 2 < fetches(&loose),
+            "tight {} vs loose {}",
+            fetches(&tight),
+            fetches(&loose)
+        );
+    }
+
+    #[test]
+    fn k_one_touches_pages_far_apart_early() {
+        let p = run(2000, 10, 1.0, 0.0, 11);
+        // In the first 100 records we should see pages from across the whole
+        // table, not just the front.
+        let max_early = p.pages[..100].iter().max().copied().unwrap();
+        assert!(max_early > p.table_pages / 2);
+    }
+
+    #[test]
+    fn noise_places_records_outside_initial_window() {
+        // Tiny window, high noise: early records should land beyond the
+        // window front.
+        let p = run(1000, 10, 0.01, 0.5, 13);
+        let early_outside = p.pages[..50].iter().filter(|&&pg| pg >= 2).count();
+        assert!(early_outside > 5);
+    }
+
+    #[test]
+    fn multi_record_values_share_window() {
+        let counts = vec![50u64; 20];
+        let cfg = PlacementConfig::new(10, 0.1);
+        let p = place(&counts, &cfg, &mut Rng::new(17));
+        assert_eq!(p.pages.len(), 1000);
+        assert_eq!(p.table_pages, 100);
+    }
+
+    #[test]
+    fn single_page_table() {
+        let p = run(5, 10, 0.5, 0.05, 19);
+        assert_eq!(p.table_pages, 1);
+        assert!(p.pages.iter().all(|&pg| pg == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero records")]
+    fn empty_counts_panic() {
+        place(&[], &PlacementConfig::new(10, 0.5), &mut Rng::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "window_fraction")]
+    fn bad_window_fraction_panics() {
+        place(&[1], &PlacementConfig::new(10, 1.5), &mut Rng::new(1));
+    }
+}

@@ -1,0 +1,286 @@
+//! The paper's scan workload (§5).
+//!
+//! "A small scan is modeled as follows. A random number, say r, is generated
+//! between 0 and 0.2. A starting key value (say k₁) is picked at random so
+//! that at least rN records have key values ≥ k₁. The stopping key value
+//! (say k₂) is found such that k₂ ≥ k₁, and the number of records with key
+//! values in the range [k₁, k₂] is ≥ rN. ... Similarly, a large scan is
+//! modeled by generating the random number r to be between 0.2 and 1."
+//!
+//! "For each data set, we generated 200 random scans. The chance of picking
+//! a small scan was equal to that of picking a large scan."
+
+use crate::rng::Rng;
+use epfis_lrusim::KeyedTrace;
+
+/// Whether a scan came from the small or large regime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanKind {
+    /// `r ∈ (0, 0.2)`.
+    Small,
+    /// `r ∈ (0.2, 1)`.
+    Large,
+}
+
+/// One partial index scan: an inclusive range of key indices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeScan {
+    /// First key index (0-based, key order).
+    pub key_lo: usize,
+    /// Last key index (inclusive).
+    pub key_hi: usize,
+    /// Records covered.
+    pub records: u64,
+    /// Selectivity `σ` = records / N.
+    pub selectivity: f64,
+    /// Number of distinct key values in range (Algorithm ML's `x`).
+    pub distinct_keys: u64,
+    /// Regime the scan was drawn from.
+    pub kind: ScanKind,
+}
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScanWorkloadConfig {
+    /// Number of scans (paper: 200).
+    pub scans: usize,
+    /// Probability of drawing a small scan (paper: 0.5).
+    pub small_fraction: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for ScanWorkloadConfig {
+    fn default() -> Self {
+        ScanWorkloadConfig {
+            scans: 200,
+            small_fraction: 0.5,
+            seed: 0x5CA75,
+        }
+    }
+}
+
+/// Generates [`RangeScan`]s against one dataset's key distribution.
+///
+/// ```
+/// use epfis_datagen::{Dataset, DatasetSpec, ScanKind, WorkloadGenerator};
+///
+/// let d = Dataset::generate(DatasetSpec::synthetic(5_000, 50, 20, 0.0, 0.5));
+/// let mut w = WorkloadGenerator::new(d.trace(), 42);
+/// let scan = w.draw(ScanKind::Small);
+/// assert!(scan.selectivity <= 0.22); // small: r in (0, 0.2), plus at most one key run
+/// assert!(scan.records >= 1);
+/// let scan = w.draw(ScanKind::Large);
+/// assert!(scan.selectivity >= 0.2);
+/// ```
+pub struct WorkloadGenerator<'a> {
+    trace: &'a KeyedTrace,
+    rng: Rng,
+}
+
+impl<'a> WorkloadGenerator<'a> {
+    /// Creates a generator over `trace` with the given seed.
+    pub fn new(trace: &'a KeyedTrace, seed: u64) -> Self {
+        WorkloadGenerator {
+            trace,
+            rng: Rng::new(seed),
+        }
+    }
+
+    /// Draws one scan of the given kind.
+    pub fn draw(&mut self, kind: ScanKind) -> RangeScan {
+        let r = match kind {
+            ScanKind::Small => self.rng.gen_f64() * 0.2,
+            ScanKind::Large => 0.2 + self.rng.gen_f64() * 0.8,
+        };
+        self.scan_with_fraction(r, kind)
+    }
+
+    /// Builds the scan for a target record fraction `r`.
+    ///
+    /// Key selection follows §5 exactly: `k₁` is uniform among keys with at
+    /// least `⌈rN⌉` records at or after them; `k₂` is the smallest key with
+    /// `records([k₁, k₂]) ≥ ⌈rN⌉`.
+    pub fn scan_with_fraction(&mut self, r: f64, kind: ScanKind) -> RangeScan {
+        let n = self.trace.num_entries();
+        let i = self.trace.num_keys() as usize;
+        let prefix = self.trace.record_prefix();
+        let want = ((r * n as f64).ceil() as u64).clamp(1, n);
+        // Eligible k1: suffix records N - prefix[k1] >= want. Since prefix is
+        // nondecreasing, eligibility is a prefix of key indices; find the
+        // last eligible index by binary search.
+        let mut lo = 0usize;
+        let mut hi = i - 1;
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            if n - prefix[mid] as u64 >= want {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        debug_assert!(n - prefix[lo] as u64 >= want);
+        let k1 = self.rng.gen_range((lo + 1) as u64) as usize;
+        // Smallest k2 with prefix[k2+1] - prefix[k1] >= want.
+        let target = prefix[k1] as u64 + want;
+        let k2 = match prefix.binary_search(&(target as u32)) {
+            Ok(pos) => pos - 1,
+            Err(pos) => pos - 1,
+        }
+        .min(i - 1);
+        debug_assert!(k2 >= k1);
+        let records = (prefix[k2 + 1] - prefix[k1]) as u64;
+        debug_assert!(records >= want);
+        RangeScan {
+            key_lo: k1,
+            key_hi: k2,
+            records,
+            selectivity: records as f64 / n as f64,
+            distinct_keys: (k2 - k1 + 1) as u64,
+            kind,
+        }
+    }
+
+    /// Draws a full workload per `config` (ignores `config.seed`; the
+    /// generator's own seed governs).
+    pub fn generate(&mut self, config: &ScanWorkloadConfig) -> Vec<RangeScan> {
+        (0..config.scans)
+            .map(|_| {
+                let kind = if self.rng.gen_bool(config.small_fraction) {
+                    ScanKind::Small
+                } else {
+                    ScanKind::Large
+                };
+                self.draw(kind)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_trace(keys: usize, per_key: u32) -> KeyedTrace {
+        let n = keys * per_key as usize;
+        let pages: Vec<u32> = (0..n as u32).map(|i| i / 10).collect();
+        let lens = vec![per_key; keys];
+        KeyedTrace::from_run_lengths(pages, &lens, (n as u32).div_ceil(10))
+    }
+
+    #[test]
+    fn scan_covers_at_least_requested_fraction() {
+        let t = uniform_trace(1000, 5);
+        let mut w = WorkloadGenerator::new(&t, 1);
+        for r in [0.01, 0.1, 0.3, 0.7, 0.99] {
+            let s = w.scan_with_fraction(r, ScanKind::Large);
+            assert!(
+                s.records as f64 >= r * t.num_entries() as f64,
+                "r={r}: records {}",
+                s.records
+            );
+            assert!(s.key_hi < 1000);
+        }
+    }
+
+    #[test]
+    fn scan_is_minimal_at_its_start() {
+        // k2 is the *smallest* stopping key: shrinking the range by one key
+        // must drop below the requested fraction.
+        let t = uniform_trace(500, 4);
+        let mut w = WorkloadGenerator::new(&t, 2);
+        let n = t.num_entries();
+        for r in [0.05, 0.25, 0.6] {
+            let s = w.scan_with_fraction(r, ScanKind::Large);
+            let want = (r * n as f64).ceil() as u64;
+            if s.key_hi > s.key_lo {
+                let shrunk = t.key_range_to_entries(s.key_lo, s.key_hi - 1).len() as u64;
+                assert!(shrunk < want, "range is not minimal");
+            }
+        }
+    }
+
+    #[test]
+    fn small_scans_are_at_most_20_percent_plus_one_key() {
+        let t = uniform_trace(2000, 3);
+        let mut w = WorkloadGenerator::new(&t, 3);
+        for _ in 0..100 {
+            let s = w.draw(ScanKind::Small);
+            // One key can overshoot by at most one run.
+            assert!(
+                s.selectivity <= 0.2 + 3.0 / t.num_entries() as f64 + 1e-9,
+                "small scan too large: {}",
+                s.selectivity
+            );
+        }
+    }
+
+    #[test]
+    fn large_scans_exceed_20_percent() {
+        let t = uniform_trace(2000, 3);
+        let mut w = WorkloadGenerator::new(&t, 4);
+        for _ in 0..100 {
+            let s = w.draw(ScanKind::Large);
+            assert!(s.selectivity >= 0.2 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn workload_mixes_kinds_roughly_evenly() {
+        let t = uniform_trace(500, 2);
+        let mut w = WorkloadGenerator::new(&t, 5);
+        let scans = w.generate(&ScanWorkloadConfig {
+            scans: 400,
+            small_fraction: 0.5,
+            seed: 0,
+        });
+        assert_eq!(scans.len(), 400);
+        let small = scans.iter().filter(|s| s.kind == ScanKind::Small).count();
+        assert!((120..=280).contains(&small), "small count {small}");
+    }
+
+    #[test]
+    fn distinct_keys_matches_range() {
+        let t = uniform_trace(100, 7);
+        let mut w = WorkloadGenerator::new(&t, 6);
+        let s = w.scan_with_fraction(0.5, ScanKind::Large);
+        assert_eq!(s.distinct_keys, (s.key_hi - s.key_lo + 1) as u64);
+        assert_eq!(
+            s.records as usize,
+            t.key_range_to_entries(s.key_lo, s.key_hi).len()
+        );
+    }
+
+    #[test]
+    fn skewed_counts_still_satisfy_fraction() {
+        // One huge key at the end.
+        let mut lens = vec![1u32; 99];
+        lens.push(901);
+        let pages: Vec<u32> = (0..1000u32).map(|i| i / 10).collect();
+        let t = KeyedTrace::from_run_lengths(pages, &lens, 100);
+        let mut w = WorkloadGenerator::new(&t, 7);
+        for _ in 0..50 {
+            let s = w.draw(ScanKind::Large);
+            assert!(s.records as f64 >= 0.2 * 1000.0 - 1.0);
+        }
+    }
+
+    #[test]
+    fn full_fraction_returns_whole_index() {
+        let t = uniform_trace(50, 2);
+        let mut w = WorkloadGenerator::new(&t, 8);
+        let s = w.scan_with_fraction(1.0, ScanKind::Large);
+        assert_eq!(s.key_lo, 0);
+        assert_eq!(s.key_hi, 49);
+        assert_eq!(s.records, 100);
+        assert_eq!(s.selectivity, 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = uniform_trace(300, 3);
+        let a = WorkloadGenerator::new(&t, 9).generate(&ScanWorkloadConfig::default());
+        let b = WorkloadGenerator::new(&t, 9).generate(&ScanWorkloadConfig::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,171 @@
+//! Knuth's generalized Zipf distribution of duplicates.
+//!
+//! Section 5.2: "Knuth (1973) described a generalized Zipf distribution with
+//! a parameter θ that can be used to model distributions such as the uniform
+//! distribution (θ = 0) or the '80-20' distribution (θ = 0.86)."
+//!
+//! The i-th most frequent of `I` distinct values receives probability
+//! `p_i ∝ (1/i)^θ`. We convert the probabilities into exact integer record
+//! counts summing to `N` with largest-remainder rounding, guaranteeing every
+//! distinct value at least one record (it would not be a distinct value of
+//! the column otherwise).
+
+use crate::rng::Rng;
+
+/// Exact per-rank record counts for `n` records over `distinct` values with
+/// skew `theta` (rank 1 = most frequent, descending).
+///
+/// ```
+/// use epfis_datagen::zipf_counts;
+///
+/// let uniform = zipf_counts(1000, 10, 0.0);
+/// assert!(uniform.iter().all(|&c| c == 100));
+///
+/// let skewed = zipf_counts(1000, 10, 0.86); // the "80-20" shape
+/// assert!(skewed[0] > 2 * skewed[9]);
+/// assert_eq!(skewed.iter().sum::<u64>(), 1000);
+/// ```
+///
+/// # Panics
+/// Panics if `distinct == 0`, `n < distinct` (each value needs a record), or
+/// `theta` is negative/non-finite.
+pub fn zipf_counts(n: u64, distinct: u64, theta: f64) -> Vec<u64> {
+    assert!(distinct > 0, "need at least one distinct value");
+    assert!(
+        n >= distinct,
+        "need at least one record per distinct value (n={n}, distinct={distinct})"
+    );
+    assert!(
+        theta.is_finite() && theta >= 0.0,
+        "theta must be finite and non-negative"
+    );
+    let i = distinct as usize;
+    // Weights (1/rank)^theta; theta == 0 is exactly uniform.
+    let weights: Vec<f64> = (1..=i).map(|rank| (rank as f64).powf(-theta)).collect();
+    let total_w: f64 = weights.iter().sum();
+    // Reserve one record per value, distribute the remainder proportionally.
+    let spare = n - distinct;
+    let mut counts: Vec<u64> = Vec::with_capacity(i);
+    let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(i);
+    let mut assigned: u64 = 0;
+    for (idx, w) in weights.iter().enumerate() {
+        let exact = spare as f64 * w / total_w;
+        let floor = exact.floor() as u64;
+        counts.push(1 + floor);
+        assigned += floor;
+        remainders.push((idx, exact - exact.floor()));
+    }
+    // Largest remainders get the leftover records (ties broken by rank so
+    // the result is deterministic).
+    let mut leftover = spare - assigned;
+    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    for (idx, _) in remainders {
+        if leftover == 0 {
+            break;
+        }
+        counts[idx] += 1;
+        leftover -= 1;
+    }
+    debug_assert_eq!(counts.iter().sum::<u64>(), n);
+    counts
+}
+
+/// Assigns the rank frequencies from [`zipf_counts`] to value positions.
+///
+/// The paper does not pin which *values* are frequent; correlating frequency
+/// rank with key order would conflate skew with clustering, so by default
+/// the harness shuffles the assignment with a seeded [`Rng`].
+pub fn shuffled_counts(n: u64, distinct: u64, theta: f64, rng: &mut Rng) -> Vec<u64> {
+    let mut counts = zipf_counts(n, distinct, theta);
+    rng.shuffle(&mut counts);
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_sum_to_n() {
+        for (n, i, theta) in [(100u64, 10u64, 0.0), (1000, 7, 0.86), (50, 50, 2.0)] {
+            let c = zipf_counts(n, i, theta);
+            assert_eq!(c.len(), i as usize);
+            assert_eq!(c.iter().sum::<u64>(), n);
+        }
+    }
+
+    #[test]
+    fn every_value_gets_at_least_one_record() {
+        let c = zipf_counts(1000, 100, 3.0);
+        assert!(c.iter().all(|&x| x >= 1));
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let c = zipf_counts(1000, 10, 0.0);
+        assert!(c.iter().all(|&x| x == 100));
+        // Non-divisible case differs by at most one.
+        let c = zipf_counts(1003, 10, 0.0);
+        assert!(c.iter().all(|&x| x == 100 || x == 101));
+        assert_eq!(c.iter().sum::<u64>(), 1003);
+    }
+
+    #[test]
+    fn counts_are_nonincreasing_in_rank() {
+        let c = zipf_counts(100_000, 1000, 0.86);
+        for w in c.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn eighty_twenty_shape_for_theta_086() {
+        // Knuth: theta = 0.86 approximates "80% of accesses touch 20% of
+        // items". Check the top 20% of ranks hold roughly 80% of records.
+        let n = 1_000_000u64;
+        let i = 10_000u64;
+        let c = zipf_counts(n, i, 0.86);
+        let top: u64 = c.iter().take((i / 5) as usize).sum();
+        let share = top as f64 / n as f64;
+        assert!(
+            (0.70..0.90).contains(&share),
+            "top-20% share {share} not 80-20-like"
+        );
+    }
+
+    #[test]
+    fn higher_theta_is_more_skewed() {
+        let flat = zipf_counts(100_000, 100, 0.3);
+        let steep = zipf_counts(100_000, 100, 1.5);
+        assert!(steep[0] > flat[0]);
+        assert!(steep[99] < flat[99]);
+    }
+
+    #[test]
+    fn shuffled_counts_preserve_multiset() {
+        let mut rng = Rng::new(5);
+        let base = zipf_counts(10_000, 64, 0.86);
+        let mut shuf = shuffled_counts(10_000, 64, 0.86, &mut rng);
+        assert_ne!(shuf, base, "shuffle should move something");
+        shuf.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(shuf, base);
+    }
+
+    #[test]
+    fn n_equals_distinct_gives_all_ones() {
+        let c = zipf_counts(42, 42, 0.86);
+        assert!(c.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one record per distinct value")]
+    fn n_below_distinct_panics() {
+        zipf_counts(5, 10, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one distinct value")]
+    fn zero_distinct_panics() {
+        zipf_counts(5, 0, 0.0);
+    }
+}

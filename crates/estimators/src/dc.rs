@@ -1,0 +1,165 @@
+//! Algorithm DC (§3.2): cluster-counter heuristic.
+//!
+//! ```text
+//! CR = min(1, CC/I + min(0.4, 5 ln(T/I)))
+//! F  = σ (T + (1 − CR)(N − T))
+//! ```
+//!
+//! **Calibration note.** Printed literally, `5 ln(T/I)` goes far below zero
+//! whenever the column has more distinct values than the table has pages
+//! (`I > T`, e.g. GWL's CAGD.POLN and PLON.CLID), driving `CR` to ≈ −22 and
+//! the error to ~10⁵ % — two orders of magnitude beyond the worst DC error
+//! the paper reports (2876.4%). Clamping the logarithmic term at zero
+//! (`max(0, min(0.4, 5 ln(T/I)))`) restores the published error magnitude
+//! while preserving DC's characteristic blow-ups (which come from CC being
+//! depressed by placement noise, not from the log term). The clamped form
+//! is the default; [`DcEstimator::as_printed`] keeps the literal formula
+//! for ablation.
+
+use crate::summary::TraceSummary;
+use crate::traits::{PageFetchEstimator, ScanParams};
+
+/// The DC estimator over one index's statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct DcEstimator {
+    t: f64,
+    n: f64,
+    cluster_ratio: f64,
+}
+
+fn cluster_ratio(t: f64, i: f64, cc: u64, clamp_log: bool) -> f64 {
+    let log_term = (5.0 * (t / i).ln()).min(0.4);
+    let log_term = if clamp_log {
+        log_term.max(0.0)
+    } else {
+        log_term
+    };
+    (cc as f64 / i + log_term).min(1.0)
+}
+
+impl DcEstimator {
+    /// Builds the estimator from trace statistics (clamped log term).
+    pub fn from_summary(s: &TraceSummary) -> Self {
+        Self::from_stats(s.table_pages, s.records, s.distinct_keys, s.cluster_counter)
+    }
+
+    /// Builds the estimator with the formula exactly as printed (the log
+    /// term may be negative when `I > T`).
+    pub fn from_summary_as_printed(s: &TraceSummary) -> Self {
+        Self::as_printed(s.table_pages, s.records, s.distinct_keys, s.cluster_counter)
+    }
+
+    /// Builds the estimator from raw statistics (clamped log term).
+    pub fn from_stats(table_pages: u64, records: u64, distinct_keys: u64, cc: u64) -> Self {
+        assert!(table_pages > 0 && records > 0 && distinct_keys > 0);
+        DcEstimator {
+            t: table_pages as f64,
+            n: records as f64,
+            cluster_ratio: cluster_ratio(table_pages as f64, distinct_keys as f64, cc, true),
+        }
+    }
+
+    /// Builds the estimator from raw statistics with the literal printed
+    /// formula.
+    pub fn as_printed(table_pages: u64, records: u64, distinct_keys: u64, cc: u64) -> Self {
+        assert!(table_pages > 0 && records > 0 && distinct_keys > 0);
+        DcEstimator {
+            t: table_pages as f64,
+            n: records as f64,
+            cluster_ratio: cluster_ratio(table_pages as f64, distinct_keys as f64, cc, false),
+        }
+    }
+
+    /// The computed cluster ratio.
+    pub fn cluster_ratio(&self) -> f64 {
+        self.cluster_ratio
+    }
+}
+
+impl PageFetchEstimator for DcEstimator {
+    fn name(&self) -> &'static str {
+        "DC"
+    }
+
+    fn estimate(&self, params: &ScanParams) -> f64 {
+        params.validate();
+        let f = params.selectivity * (self.t + (1.0 - self.cluster_ratio) * (self.n - self.t));
+        f.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_ratio_formula_with_log_capped() {
+        // T=1000, I=100: 5 ln(10) ≈ 11.5 -> capped at 0.4. CC/I = 0.5.
+        let e = DcEstimator::from_stats(1000, 10_000, 100, 50);
+        assert!((e.cluster_ratio() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cluster_ratio_capped_at_one() {
+        let e = DcEstimator::from_stats(1000, 10_000, 100, 100);
+        assert_eq!(e.cluster_ratio(), 1.0);
+    }
+
+    #[test]
+    fn clamped_default_ignores_negative_log() {
+        // I = 10 T: 5 ln(0.1) ≈ -11.5, clamped to 0: CR = CC/I.
+        let e = DcEstimator::from_stats(100, 20_000, 1000, 600);
+        assert!((e.cluster_ratio() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn as_printed_lets_negative_log_inflate_estimate() {
+        let e = DcEstimator::as_printed(100, 20_000, 1000, 1000);
+        assert!(e.cluster_ratio() < -10.0);
+        let f = e.estimate(&ScanParams::range(0.5, 50));
+        // (1 - CR) > 11 multiplies (N - T): the literal formula's blow-up.
+        assert!(f > 0.5 * (20_000.0 - 100.0) * 11.0);
+        // The clamped default stays in the paper's error regime.
+        let clamped = DcEstimator::from_stats(100, 20_000, 1000, 1000);
+        assert!(clamped.estimate(&ScanParams::range(0.5, 50)) < f / 10.0);
+    }
+
+    #[test]
+    fn perfectly_clustered_estimates_sigma_t() {
+        let e = DcEstimator::from_stats(1000, 10_000, 100, 100);
+        let f = e.estimate(&ScanParams::range(0.3, 50));
+        assert!((f - 0.3 * 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimate_scales_linearly_with_sigma() {
+        let e = DcEstimator::from_stats(1000, 10_000, 100, 30);
+        let f1 = e.estimate(&ScanParams::range(0.2, 50));
+        let f2 = e.estimate(&ScanParams::range(0.4, 50));
+        assert!((f2 - 2.0 * f1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn buffer_size_is_ignored() {
+        let e = DcEstimator::from_stats(1000, 10_000, 100, 30);
+        let a = e.estimate(&ScanParams::range(0.2, 13));
+        let b = e.estimate(&ScanParams::range(0.2, 900));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_selectivity_is_zero() {
+        let e = DcEstimator::from_stats(1000, 10_000, 100, 30);
+        assert_eq!(e.estimate(&ScanParams::range(0.0, 50)), 0.0);
+    }
+
+    #[test]
+    fn from_summary_matches_from_stats() {
+        let trace =
+            epfis_lrusim::KeyedTrace::from_run_lengths(vec![0, 0, 1, 1, 2, 0], &[2, 2, 2], 3);
+        let s = TraceSummary::from_trace(&trace);
+        let a = DcEstimator::from_summary(&s);
+        let b = DcEstimator::from_stats(3, 6, 3, s.cluster_counter);
+        assert_eq!(a.cluster_ratio(), b.cluster_ratio());
+    }
+}

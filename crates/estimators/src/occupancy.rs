@@ -1,0 +1,140 @@
+//! Occupancy ("balls into urns") building blocks: Cardenas and Yao.
+//!
+//! * Cardenas (1975): drawing `k` records uniformly **with** replacement
+//!   from a table of `t` pages touches `t·(1 − (1 − 1/t)^k)` pages in
+//!   expectation. EPFIS's small-σ correction and sargable urn model, and
+//!   Algorithm SD's `U` term, all use this.
+//! * Yao (1977): the **without**-replacement refinement for `n` records on
+//!   `m` pages with `n/m` records per page.
+
+/// Cardenas's formula: expected distinct urns hit by `k` uniform throws into
+/// `t` urns.
+///
+/// Degenerate domains are defined continuously: `t <= 0` or `k <= 0` yield 0;
+/// `t == 1` yields 1 for any positive `k`.
+pub fn cardenas(t: f64, k: f64) -> f64 {
+    if t.is_nan() || k.is_nan() || t <= 0.0 || k <= 0.0 {
+        return 0.0;
+    }
+    if t <= 1.0 {
+        return t.min(1.0);
+    }
+    t * (1.0 - (1.0 - 1.0 / t).powf(k))
+}
+
+/// Yao's formula: expected pages touched when `k` of `n` records are
+/// selected uniformly **without** replacement, with the records spread
+/// evenly over `m` pages.
+///
+/// # Panics
+/// Panics if `k > n` or `m == 0`.
+pub fn yao(n: u64, m: u64, k: u64) -> f64 {
+    assert!(m > 0, "need at least one page");
+    assert!(k <= n, "cannot select more records than exist");
+    if k == 0 || n == 0 {
+        return 0.0;
+    }
+    let per_page = n as f64 / m as f64;
+    // P(a given page untouched) = prod_{i=0}^{k-1} (n - per_page - i) / (n - i)
+    let mut prob_untouched = 1.0f64;
+    let nf = n as f64;
+    for i in 0..k {
+        let numer = nf - per_page - i as f64;
+        if numer <= 0.0 {
+            prob_untouched = 0.0;
+            break;
+        }
+        prob_untouched *= numer / (nf - i as f64);
+        if prob_untouched < 1e-300 {
+            prob_untouched = 0.0;
+            break;
+        }
+    }
+    m as f64 * (1.0 - prob_untouched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardenas_basic_values() {
+        // One throw touches exactly one page.
+        assert!((cardenas(10.0, 1.0) - 1.0).abs() < 1e-12);
+        // Many throws saturate at t.
+        assert!((cardenas(10.0, 1e6) - 10.0).abs() < 1e-9);
+        // Monotone in k.
+        assert!(cardenas(10.0, 5.0) < cardenas(10.0, 6.0));
+    }
+
+    #[test]
+    fn cardenas_degenerate_domains() {
+        assert_eq!(cardenas(0.0, 5.0), 0.0);
+        assert_eq!(cardenas(10.0, 0.0), 0.0);
+        assert_eq!(cardenas(1.0, 7.0), 1.0);
+        assert_eq!(cardenas(-3.0, 7.0), 0.0);
+    }
+
+    #[test]
+    fn cardenas_never_exceeds_pages_or_throws() {
+        for t in [2.0, 7.0, 100.0, 10_000.0] {
+            for k in [1.0, 3.0, 50.0, 1e5] {
+                let c = cardenas(t, k);
+                assert!(c <= t + 1e-9);
+                assert!(c <= k + 1e-9);
+                assert!(c >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn yao_exact_small_case() {
+        // n=4 records on m=2 pages, select k=1: exactly 1 page.
+        assert!((yao(4, 2, 1) - 1.0).abs() < 1e-12);
+        // Select all records: all pages.
+        assert!((yao(4, 2, 4) - 2.0).abs() < 1e-12);
+        // k=3 of 4 on 2 pages: untouched prob per page = C(2,3)/C(4,3) = 0
+        // (cannot pick 3 from the other page's 2 records).
+        assert!((yao(4, 2, 3) - 2.0).abs() < 1e-12);
+        // k=2: untouched = (2/4)(1/3) = 1/6; expected = 2(1 - 1/6) = 5/3.
+        assert!((yao(4, 2, 2) - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn yao_bounds_and_monotonicity() {
+        let n = 1000;
+        let m = 50;
+        let mut prev = 0.0;
+        for k in [0u64, 1, 10, 100, 500, 1000] {
+            let y = yao(n, m, k);
+            assert!(y >= prev - 1e-12, "monotone in k");
+            assert!(y <= m as f64 + 1e-9);
+            assert!(y <= k as f64 + 1e-9 || k == 0);
+            prev = y;
+        }
+        assert!((yao(n, m, n) - m as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn yao_at_least_cardenas_like_lower_behavior() {
+        // Without replacement touches at least as many pages as the same
+        // number of throws with replacement (no wasted duplicates).
+        let n = 10_000u64;
+        let m = 200u64;
+        for k in [10u64, 100, 1000, 5000] {
+            assert!(yao(n, m, k) + 1e-9 >= cardenas(m as f64, k as f64));
+        }
+    }
+
+    #[test]
+    fn yao_zero_selection_is_zero() {
+        assert_eq!(yao(100, 10, 0), 0.0);
+        assert_eq!(yao(0, 10, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more records")]
+    fn yao_oversized_k_panics() {
+        yao(10, 2, 11);
+    }
+}

@@ -1,0 +1,130 @@
+//! Algorithm OT (§3.4): three-page-buffer jump heuristic.
+//!
+//! ```text
+//! J  = page fetches of a full scan with a THREE-page buffer
+//! CR = (N + T − J) / N
+//! F  = σ (T + (1 − CR)(N − T))
+//! ```
+//!
+//! As printed. When the trace re-hits pages within a 3-deep window often
+//! enough that `J < T` is impossible, but `J` *can* be below `N` enough to
+//! push `CR` slightly above 1 for near-clustered traces (`J < T` cannot
+//! happen, `J ≈ T` gives `CR ≈ 1`); the final estimate is clamped at zero
+//! only, preserving the published error behaviour.
+
+use crate::summary::TraceSummary;
+use crate::traits::{PageFetchEstimator, ScanParams};
+
+/// The OT estimator over one index's statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct OtEstimator {
+    t: f64,
+    n: f64,
+    cluster_ratio: f64,
+}
+
+impl OtEstimator {
+    /// Builds the estimator from trace statistics.
+    pub fn from_summary(s: &TraceSummary) -> Self {
+        Self::from_stats(s.table_pages, s.records, s.fetches_buffer_3())
+    }
+
+    /// Builds the estimator from raw statistics; `j3` is the
+    /// three-page-buffer fetch count of a full scan.
+    pub fn from_stats(table_pages: u64, records: u64, j3: u64) -> Self {
+        assert!(table_pages > 0 && records > 0);
+        let t = table_pages as f64;
+        let n = records as f64;
+        let cluster_ratio = (n + t - j3 as f64) / n;
+        OtEstimator {
+            t,
+            n,
+            cluster_ratio,
+        }
+    }
+
+    /// The jump-based cluster ratio.
+    pub fn cluster_ratio(&self) -> f64 {
+        self.cluster_ratio
+    }
+}
+
+impl PageFetchEstimator for OtEstimator {
+    fn name(&self) -> &'static str {
+        "OT"
+    }
+
+    fn estimate(&self, params: &ScanParams) -> f64 {
+        params.validate();
+        let f = params.selectivity * (self.t + (1.0 - self.cluster_ratio) * (self.n - self.t));
+        f.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_clustered_cr_is_one() {
+        // Sequential trace: J3 = T, CR = (N + T - T)/N = 1.
+        let e = OtEstimator::from_stats(100, 5000, 100);
+        assert!((e.cluster_ratio() - 1.0).abs() < 1e-12);
+        let f = e.estimate(&ScanParams::range(0.25, 10));
+        assert!((f - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fully_unclustered_estimates_sigma_n() {
+        // J3 = N (every reference misses even with 3 pages): CR = T/N.
+        let e = OtEstimator::from_stats(100, 5000, 5000);
+        let f = e.estimate(&ScanParams::range(0.5, 10));
+        // F = sigma (T + (1 - T/N)(N - T)); with T<<N that's close to sigma*N.
+        let cr = 100.0 / 5000.0;
+        let expect = 0.5 * (100.0 + (1.0 - cr) * 4900.0);
+        assert!((f - expect).abs() < 1e-9);
+        assert!(f > 0.45 * 5000.0 * 0.98);
+    }
+
+    #[test]
+    fn cr_interpolates_with_j3() {
+        let lo = OtEstimator::from_stats(100, 5000, 100).cluster_ratio();
+        let mid = OtEstimator::from_stats(100, 5000, 2500).cluster_ratio();
+        let hi = OtEstimator::from_stats(100, 5000, 5000).cluster_ratio();
+        assert!(lo > mid && mid > hi);
+    }
+
+    #[test]
+    fn buffer_size_is_ignored_at_estimate_time() {
+        let e = OtEstimator::from_stats(100, 5000, 3000);
+        assert_eq!(
+            e.estimate(&ScanParams::range(0.3, 5)),
+            e.estimate(&ScanParams::range(0.3, 500))
+        );
+    }
+
+    #[test]
+    fn from_summary_uses_three_page_fetches() {
+        // Trace alternates two pages: with 3 buffer pages everything after
+        // the cold misses hits -> J3 = 2 = T, CR = 1.
+        let trace = epfis_lrusim::KeyedTrace::from_run_lengths(vec![0, 1, 0, 1, 0, 1], &[3, 3], 2);
+        let s = TraceSummary::from_trace(&trace);
+        let e = OtEstimator::from_summary(&s);
+        assert!((e.cluster_ratio() - (6.0 + 2.0 - 2.0) / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_is_clamped_nonnegative() {
+        // Degenerate stats can push CR > 1 + T/(N-T); ensure no negative
+        // estimates escape.
+        let e = OtEstimator::from_stats(1000, 1100, 2);
+        let f = e.estimate(&ScanParams::range(1.0, 10));
+        assert!(f >= 0.0);
+    }
+
+    #[test]
+    fn zero_selectivity_is_zero() {
+        let e = OtEstimator::from_stats(100, 5000, 3000);
+        assert_eq!(e.estimate(&ScanParams::range(0.0, 10)), 0.0);
+    }
+}

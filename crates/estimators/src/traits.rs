@@ -1,0 +1,93 @@
+//! The common estimator interface.
+
+/// What the optimizer knows about a prospective index scan when it asks for
+/// a page-fetch estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScanParams {
+    /// Selectivity `σ` of the start/stop conditions (fraction of records).
+    pub selectivity: f64,
+    /// Selectivity `S` of index-sargable predicates (1.0 = none). Only
+    /// EPFIS models this; the baselines predate it and ignore it.
+    pub sargable_selectivity: f64,
+    /// Buffer pages `B` available to the scan.
+    pub buffer_pages: u64,
+    /// Number of distinct key values the scan's range matches (Algorithm
+    /// ML's `x`). `None` lets the estimator fall back to `σ · I`.
+    pub distinct_keys: Option<u64>,
+}
+
+impl ScanParams {
+    /// A plain range scan: selectivity + buffer, no sargable predicates.
+    pub fn range(selectivity: f64, buffer_pages: u64) -> Self {
+        ScanParams {
+            selectivity,
+            sargable_selectivity: 1.0,
+            buffer_pages,
+            distinct_keys: None,
+        }
+    }
+
+    /// Sets the matched-key count (builder style).
+    pub fn with_distinct_keys(mut self, x: u64) -> Self {
+        self.distinct_keys = Some(x);
+        self
+    }
+
+    /// Panics if the parameters are out of domain.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.selectivity),
+            "selectivity must be in [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.sargable_selectivity),
+            "sargable selectivity must be in [0, 1]"
+        );
+        assert!(self.buffer_pages >= 1, "buffer must have at least one page");
+    }
+}
+
+/// An algorithm that estimates the number of data-page fetches of an index
+/// scan.
+pub trait PageFetchEstimator {
+    /// Short name used in reports ("ML", "DC", "SD", "OT", "EPFIS").
+    fn name(&self) -> &'static str;
+
+    /// Estimated page fetches for the scan described by `params`.
+    ///
+    /// Estimates are clamped to be non-negative but deliberately *not*
+    /// clamped from above: the baselines' over-estimates are part of the
+    /// published behaviour being reproduced.
+    fn estimate(&self, params: &ScanParams) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_constructor_defaults() {
+        let p = ScanParams::range(0.3, 100);
+        assert_eq!(p.sargable_selectivity, 1.0);
+        assert_eq!(p.distinct_keys, None);
+        p.validate();
+    }
+
+    #[test]
+    fn builder_sets_distinct_keys() {
+        let p = ScanParams::range(0.3, 100).with_distinct_keys(42);
+        assert_eq!(p.distinct_keys, Some(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "selectivity")]
+    fn bad_selectivity_fails_validation() {
+        ScanParams::range(1.5, 100).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn zero_buffer_fails_validation() {
+        ScanParams::range(0.5, 0).validate();
+    }
+}

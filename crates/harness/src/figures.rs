@@ -1,0 +1,847 @@
+//! Drivers for every table and figure in the paper's evaluation.
+//!
+//! Each driver is a pure function of its parameters (including seeds), so
+//! EXPERIMENTS.md can cite exact reproduction commands. GWL columns are
+//! synthesized stand-ins matched to Tables 2–3 (see DESIGN.md §2); a
+//! `scale` divisor shrinks them proportionally for quick runs.
+
+use crate::experiment::{paper_buffer_grid, DatasetExperiment};
+use crate::report::{render_table, FigureData, Series};
+use epfis::{EpfisConfig, LruFit, ScanQuery};
+use epfis_datagen::{
+    synthesize_gwl_column, Dataset, DatasetSpec, ScanWorkloadConfig, WorkloadGenerator, GWL_COLUMNS,
+};
+use epfis_estimators::TraceSummary;
+use epfis_lrusim::analyze_trace;
+
+/// Default experiment seed (any fixed value regenerates the figures
+/// bit-identically).
+pub const DEFAULT_SEED: u64 = 0x5EED_EF15;
+
+/// The five columns whose FPF curves Figure 1 shows.
+pub const FIG1_COLUMNS: [&str; 5] = [
+    "CMAC.BRAN",
+    "CMAC.CEDT",
+    "INAP.APLD",
+    "INAP.MALD",
+    "INAP.UWID",
+];
+
+/// Figure 1: FPF curves — `F` (in multiples of `T`) versus `B` (as a
+/// fraction of `T`) for five GWL columns.
+pub fn fig1(scale: u32, seed: u64) -> FigureData {
+    let fractions: Vec<f64> = (1..=100).map(|i| i as f64 / 100.0).collect();
+    let mut series = Vec::new();
+    for name in FIG1_COLUMNS {
+        let col = lookup(name).scaled_down(scale);
+        let (dataset, _) = synthesize_gwl_column(&col, seed);
+        let curve = analyze_trace(dataset.trace().pages()).fetch_curve();
+        let t = dataset.table_pages() as f64;
+        let points: Vec<(f64, f64)> = fractions
+            .iter()
+            .map(|&f| {
+                let b = ((f * t).round() as u64).max(1);
+                (f, curve.fetches(b) as f64 / t)
+            })
+            .collect();
+        series.push(Series::dense(name, points));
+    }
+    FigureData {
+        title: format!("Figure 1: FPF curves for GWL indexes (scale 1/{scale})"),
+        x_label: "B/T".into(),
+        y_label: "F/T".into(),
+        series,
+    }
+}
+
+/// The workload of §5: 200 scans, 50/50 small/large.
+pub fn paper_workload(seed: u64) -> ScanWorkloadConfig {
+    ScanWorkloadConfig {
+        scans: 200,
+        small_fraction: 0.5,
+        seed,
+    }
+}
+
+fn lookup(name: &str) -> epfis_datagen::GwlColumn {
+    epfis_datagen::gwl::gwl_column(name).unwrap_or_else(|| panic!("unknown GWL column {name:?}"))
+}
+
+/// One of Figures 2–9: error behaviour of the five algorithms on a GWL
+/// column. `min_buffer` is the paper's 300 at full scale; scale it down
+/// together with the dataset.
+pub fn gwl_error_figure(
+    figure_no: usize,
+    column: &str,
+    scale: u32,
+    min_buffer: u64,
+    seed: u64,
+) -> (FigureData, Vec<(String, f64)>) {
+    let col = lookup(column).scaled_down(scale);
+    let (dataset, _) = synthesize_gwl_column(&col, seed);
+    let exp = DatasetExperiment::build(dataset, &paper_workload(seed), EpfisConfig::default());
+    let buffers = paper_buffer_grid(exp.summary().table_pages, min_buffer);
+    let series = exp.error_series(&buffers, 100.0);
+    let maxes = exp.max_abs_error(&buffers);
+    (
+        FigureData {
+            title: format!("Figure {figure_no}: error behavior for {column} (scale 1/{scale})"),
+            x_label: "B as % of T".into(),
+            y_label: "error %".into(),
+            series,
+        },
+        maxes,
+    )
+}
+
+/// Figures 2–9 in order, with their per-algorithm maximum errors.
+pub fn gwl_all(scale: u32, min_buffer: u64, seed: u64) -> Vec<(FigureData, Vec<(String, f64)>)> {
+    GWL_COLUMNS
+        .iter()
+        .enumerate()
+        .map(|(i, col)| gwl_error_figure(i + 2, col.name, scale, min_buffer, seed))
+        .collect()
+}
+
+/// Parameters of one synthetic dataset (§5.2); paper values are
+/// `records = 10^6`, `distinct = 10^4`, `per_page ∈ {20, 40, 80}`.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticParams {
+    /// `N`.
+    pub records: u64,
+    /// `I`.
+    pub distinct: u64,
+    /// `R`.
+    pub per_page: u32,
+    /// Zipf `θ` (0 or 0.86 in the paper).
+    pub theta: f64,
+    /// Window fraction `K`.
+    pub k: f64,
+    /// Minimum buffer size checked (paper: 300).
+    pub min_buffer: u64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl SyntheticParams {
+    /// The paper's full-scale configuration for `(θ, K)` with `R = 40`.
+    pub fn paper(theta: f64, k: f64) -> Self {
+        SyntheticParams {
+            records: 1_000_000,
+            distinct: 10_000,
+            per_page: 40,
+            theta,
+            k,
+            min_buffer: 300,
+            seed: DEFAULT_SEED,
+        }
+    }
+
+    /// A proportionally shrunken configuration (divide records/distinct by
+    /// `factor`; shrink the buffer floor with the table).
+    pub fn scaled(mut self, factor: u64) -> Self {
+        self.records = (self.records / factor).max(1000);
+        self.distinct = (self.distinct / factor).max(50);
+        self.min_buffer = (self.min_buffer / factor).max(12);
+        self
+    }
+}
+
+/// The figure number the paper assigns to a `(θ, K)` combination
+/// (Figures 10–15 for θ=0, 16–21 for θ=0.86), if it is one of the
+/// published grid points.
+pub fn synthetic_figure_number(theta: f64, k: f64) -> Option<usize> {
+    let ks = [0.0, 0.05, 0.10, 0.20, 0.50, 1.0];
+    let ki = ks.iter().position(|&x| (x - k).abs() < 1e-9)?;
+    if (theta - 0.0).abs() < 1e-9 {
+        Some(10 + ki)
+    } else if (theta - 0.86).abs() < 1e-9 {
+        Some(16 + ki)
+    } else {
+        None
+    }
+}
+
+/// One of Figures 10–21: error behaviour on a synthetic dataset.
+pub fn synthetic_error_figure(p: SyntheticParams) -> (FigureData, Vec<(String, f64)>) {
+    let spec =
+        DatasetSpec::synthetic(p.records, p.distinct, p.per_page, p.theta, p.k).with_seed(p.seed);
+    let exp = DatasetExperiment::build(
+        Dataset::generate(spec),
+        &paper_workload(p.seed),
+        EpfisConfig::default(),
+    );
+    let buffers = paper_buffer_grid(exp.summary().table_pages, p.min_buffer);
+    let series = exp.error_series(&buffers, 100.0);
+    let maxes = exp.max_abs_error(&buffers);
+    let title = match synthetic_figure_number(p.theta, p.k) {
+        Some(no) => format!(
+            "Figure {no}: error behavior for theta={}, K={}",
+            p.theta, p.k
+        ),
+        None => format!("error behavior for theta={}, K={}", p.theta, p.k),
+    };
+    (
+        FigureData {
+            title,
+            x_label: "B as % of T".into(),
+            y_label: "error %".into(),
+            series,
+        },
+        maxes,
+    )
+}
+
+/// Tables 2 and 3: the GWL shapes and the measured clustering factors of
+/// our synthesized stand-ins.
+pub fn tables(scale: u32, seed: u64) -> String {
+    let mut out = String::new();
+    let mut t2_rows: Vec<Vec<String>> = Vec::new();
+    for table in ["CMAC", "CAGD", "INAP", "PLON"] {
+        let col = GWL_COLUMNS
+            .iter()
+            .find(|c| c.name.starts_with(table))
+            .unwrap()
+            .scaled_down(scale);
+        t2_rows.push(vec![
+            table.to_string(),
+            col.pages.to_string(),
+            col.records_per_page.to_string(),
+        ]);
+    }
+    out.push_str(&render_table(
+        &format!("Table 2: GWL database tables (scale 1/{scale})"),
+        &["Table", "No. of Pages", "Records/Page"],
+        &t2_rows,
+    ));
+    out.push('\n');
+    let mut t3_rows: Vec<Vec<String>> = Vec::new();
+    for col in &GWL_COLUMNS {
+        let scaled = col.scaled_down(scale);
+        let (_, measured) = synthesize_gwl_column(&scaled, seed);
+        t3_rows.push(vec![
+            col.name.to_string(),
+            scaled.distinct.to_string(),
+            format!("{:.1}", col.c_percent),
+            format!("{:.1}", measured * 100.0),
+        ]);
+    }
+    out.push_str(&render_table(
+        &format!("Table 3: GWL database columns (scale 1/{scale})"),
+        &["Column", "Col Card", "C (%) paper", "C (%) synthesized"],
+        &t3_rows,
+    ));
+    out
+}
+
+/// The §4.1 sensitivity study: EPFIS's worst-case |error%| as a function of
+/// the number of approximating line segments.
+pub fn segment_sensitivity(
+    spec: DatasetSpec,
+    segment_counts: &[usize],
+    min_buffer: u64,
+    seed: u64,
+) -> FigureData {
+    let dataset = Dataset::generate(spec);
+    let summary = TraceSummary::from_trace(dataset.trace());
+    let mut generator = WorkloadGenerator::new(dataset.trace(), seed);
+    let scans = generator.generate(&paper_workload(seed));
+    let truths = crate::truth::workload_truth(&dataset, &scans);
+    let buffers = paper_buffer_grid(summary.table_pages, min_buffer);
+
+    let mut points = Vec::with_capacity(segment_counts.len());
+    for &segments in segment_counts {
+        let cfg = EpfisConfig::default().with_segments(segments);
+        let stats = LruFit::new(cfg).collect_from_curve(
+            &summary.fetch_curve,
+            summary.table_pages,
+            summary.records,
+            summary.distinct_keys,
+        );
+        let mut worst = 0.0f64;
+        for &b in &buffers {
+            let estimates: Vec<f64> = scans
+                .iter()
+                .map(|s| stats.estimate(&ScanQuery::range(s.selectivity, b)))
+                .collect();
+            let actuals: Vec<f64> = truths.iter().map(|c| c.fetches(b) as f64).collect();
+            worst = worst.max(crate::metrics::aggregate_error_percent(&estimates, &actuals).abs());
+        }
+        points.push((segments as f64, worst));
+    }
+    FigureData {
+        title: "Segment-count sensitivity (Section 4.1)".into(),
+        x_label: "line segments".into(),
+        y_label: "max |error| %".into(),
+        series: vec![Series::dense("EPFIS", points)],
+    }
+}
+
+/// Ablation: error-vs-buffer series of EPFIS under several configurations
+/// (φ reading, correction on/off, grid strategy, segment budget) on one
+/// dataset. Each configuration becomes one series.
+pub fn config_ablation(
+    spec: DatasetSpec,
+    configs: &[(&str, EpfisConfig)],
+    min_buffer: u64,
+    seed: u64,
+) -> FigureData {
+    let dataset = Dataset::generate(spec.clone());
+    let summary = TraceSummary::from_trace(dataset.trace());
+    let mut generator = WorkloadGenerator::new(dataset.trace(), seed);
+    let scans = generator.generate(&paper_workload(seed));
+    let truths = crate::truth::workload_truth(&dataset, &scans);
+    let buffers = paper_buffer_grid(summary.table_pages, min_buffer);
+    let t = summary.table_pages as f64;
+
+    let mut series = Vec::with_capacity(configs.len());
+    for (name, cfg) in configs {
+        let stats = LruFit::new(*cfg).collect_from_curve(
+            &summary.fetch_curve,
+            summary.table_pages,
+            summary.records,
+            summary.distinct_keys,
+        );
+        let points: Vec<(f64, f64)> = buffers
+            .iter()
+            .map(|&b| {
+                let estimates: Vec<f64> = scans
+                    .iter()
+                    .map(|s| stats.estimate_with(&ScanQuery::range(s.selectivity, b), cfg))
+                    .collect();
+                let actuals: Vec<f64> = truths.iter().map(|c| c.fetches(b) as f64).collect();
+                (
+                    100.0 * b as f64 / t,
+                    crate::metrics::aggregate_error_percent(&estimates, &actuals),
+                )
+            })
+            .collect();
+        series.push(Series::dense(*name, points));
+    }
+    FigureData {
+        title: format!("EPFIS configuration ablation on {}", spec.name),
+        x_label: "B as % of T".into(),
+        y_label: "error %".into(),
+        series,
+    }
+}
+
+/// Ablation: Algorithm SD under the printed `T/I` Cardenas exponent versus
+/// the `N/I` textbook reading (DESIGN.md §2).
+pub fn sd_exponent_ablation(spec: DatasetSpec, min_buffer: u64, seed: u64) -> FigureData {
+    use epfis_estimators::{PageFetchEstimator, ScanParams, SdEstimator, SdExponent};
+    let dataset = Dataset::generate(spec.clone());
+    let summary = TraceSummary::from_trace(dataset.trace());
+    let mut generator = WorkloadGenerator::new(dataset.trace(), seed);
+    let scans = generator.generate(&paper_workload(seed));
+    let truths = crate::truth::workload_truth(&dataset, &scans);
+    let buffers = paper_buffer_grid(summary.table_pages, min_buffer);
+    let t = summary.table_pages as f64;
+
+    let variants = [
+        ("SD (paper T/I)", SdExponent::PaperTOverI),
+        ("SD (N/I)", SdExponent::RecordsPerKey),
+    ];
+    let series = variants
+        .iter()
+        .map(|(name, exponent)| {
+            let est = SdEstimator::from_summary_with(&summary, *exponent);
+            let points: Vec<(f64, f64)> = buffers
+                .iter()
+                .map(|&b| {
+                    let estimates: Vec<f64> = scans
+                        .iter()
+                        .map(|s| est.estimate(&ScanParams::range(s.selectivity, b)))
+                        .collect();
+                    let actuals: Vec<f64> = truths.iter().map(|c| c.fetches(b) as f64).collect();
+                    (
+                        100.0 * b as f64 / t,
+                        crate::metrics::aggregate_error_percent(&estimates, &actuals),
+                    )
+                })
+                .collect();
+            Series::dense(*name, points)
+        })
+        .collect();
+    FigureData {
+        title: format!("SD exponent ablation on {}", spec.name),
+        x_label: "B as % of T".into(),
+        y_label: "error %".into(),
+        series,
+    }
+}
+
+/// Accuracy study for the §4.2 index-sargable urn model (the paper derives
+/// it but does not evaluate it): sweep the sargable selectivity `S` and
+/// compare Est-IO's urn-reduced estimate against measured ground truth,
+/// where the ground truth filters each index entry independently with
+/// probability `S` (a seeded Bernoulli per record — exactly the model's
+/// premise) and stack-simulates the surviving reference sequence.
+///
+/// One series per buffer size; x = S, y = the aggregate error metric over a
+/// workload of range scans.
+pub fn sargable_accuracy(
+    spec: DatasetSpec,
+    buffers: &[u64],
+    s_values: &[f64],
+    seed: u64,
+) -> FigureData {
+    use epfis_datagen::Rng;
+    let dataset = Dataset::generate(spec.clone());
+    let summary = TraceSummary::from_trace(dataset.trace());
+    let stats = LruFit::new(EpfisConfig::default()).collect_from_curve(
+        &summary.fetch_curve,
+        summary.table_pages,
+        summary.records,
+        summary.distinct_keys,
+    );
+    let mut generator = WorkloadGenerator::new(dataset.trace(), seed);
+    let scans = generator.generate(&ScanWorkloadConfig {
+        scans: 60,
+        small_fraction: 0.5,
+        seed,
+    });
+
+    let mut series = Vec::with_capacity(buffers.len());
+    for &b in buffers {
+        let mut points = Vec::with_capacity(s_values.len());
+        for &s in s_values {
+            let mut estimates = Vec::with_capacity(scans.len());
+            let mut actuals = Vec::with_capacity(scans.len());
+            let mut rng = Rng::new(seed ^ s.to_bits().rotate_left(17));
+            for scan in &scans {
+                let q = ScanQuery::range(scan.selectivity, b).with_sargable(s);
+                estimates.push(stats.estimate(&q));
+                let slice = dataset.trace().scan_slice(scan.key_lo, scan.key_hi);
+                let filtered: Vec<u32> =
+                    slice.iter().copied().filter(|_| rng.gen_bool(s)).collect();
+                actuals.push(epfis_lrusim::simulate_lru(&filtered, b as usize).max(1) as f64);
+            }
+            points.push((
+                s,
+                crate::metrics::aggregate_error_percent(&estimates, &actuals),
+            ));
+        }
+        series.push(Series::dense(format!("B={b}"), points));
+    }
+    FigureData {
+        title: format!("sargable urn-model accuracy on {}", spec.name),
+        x_label: "sargable selectivity S".into(),
+        y_label: "error %".into(),
+        series,
+    }
+}
+
+/// Staleness study (extension): statistics collected once, data keeps
+/// growing. The catalog entry is built from the dataset at its original
+/// size; ground truth and true selectivities come from a grown dataset
+/// (same key distribution and placement process, `growth` times more
+/// records). One point per growth factor: EPFIS's worst |error| over the
+/// buffer sweep.
+pub fn staleness(spec: DatasetSpec, growths: &[f64], min_buffer: u64, seed: u64) -> FigureData {
+    let original = Dataset::generate(spec.clone());
+    let summary = TraceSummary::from_trace(original.trace());
+    let stats = LruFit::new(EpfisConfig::default()).collect_from_curve(
+        &summary.fetch_curve,
+        summary.table_pages,
+        summary.records,
+        summary.distinct_keys,
+    );
+    let mut points = Vec::with_capacity(growths.len());
+    for &g in growths {
+        assert!(g >= 1.0, "growth factor must be >= 1");
+        let mut grown_spec = spec.clone();
+        grown_spec.records = (spec.records as f64 * g) as u64;
+        grown_spec.name = format!("{}+{:.0}%", spec.name, (g - 1.0) * 100.0);
+        let grown = Dataset::generate(grown_spec);
+        let mut generator = WorkloadGenerator::new(grown.trace(), seed);
+        let scans = generator.generate(&ScanWorkloadConfig {
+            scans: 60,
+            small_fraction: 0.5,
+            seed,
+        });
+        let truths = crate::truth::workload_truth(&grown, &scans);
+        // The optimizer believes the stale statistics; the buffer grid also
+        // comes from the stale T (that is all the catalog knows).
+        let buffers = paper_buffer_grid(summary.table_pages, min_buffer);
+        let mut worst = 0.0f64;
+        for &b in &buffers {
+            let estimates: Vec<f64> = scans
+                .iter()
+                .map(|s| stats.estimate(&ScanQuery::range(s.selectivity, b)))
+                .collect();
+            let actuals: Vec<f64> = truths.iter().map(|c| c.fetches(b) as f64).collect();
+            worst = worst.max(crate::metrics::aggregate_error_percent(&estimates, &actuals).abs());
+        }
+        points.push(((g - 1.0) * 100.0, worst));
+    }
+    FigureData {
+        title: format!("statistics staleness on {}", spec.name),
+        x_label: "data growth since ANALYZE (%)".into(),
+        y_label: "max |error| %".into(),
+        series: vec![Series::dense("EPFIS (stale stats)", points)],
+    }
+}
+
+/// Sensitivity study: how well EPFIS's **LRU** model predicts fetch counts
+/// when the buffer pool actually runs LRU, Clock, or FIFO. One series per
+/// policy: the §5 error metric of EPFIS's (unchanged, LRU-trained)
+/// estimates against that policy's measured ground truth.
+///
+/// FIFO and Clock lack the stack property, so their ground truths cost one
+/// simulation per (scan, buffer size); keep the dataset modest.
+pub fn policy_sensitivity(spec: DatasetSpec, min_buffer: u64, seed: u64) -> FigureData {
+    use epfis_lrusim::{simulate_clock, simulate_fifo, simulate_lru};
+    let dataset = Dataset::generate(spec.clone());
+    let summary = TraceSummary::from_trace(dataset.trace());
+    let stats = LruFit::new(EpfisConfig::default()).collect_from_curve(
+        &summary.fetch_curve,
+        summary.table_pages,
+        summary.records,
+        summary.distinct_keys,
+    );
+    let mut generator = WorkloadGenerator::new(dataset.trace(), seed);
+    let scans = generator.generate(&ScanWorkloadConfig {
+        scans: 60,
+        small_fraction: 0.5,
+        seed,
+    });
+    let buffers = paper_buffer_grid(summary.table_pages, min_buffer);
+    let t = summary.table_pages as f64;
+
+    type PolicySim = fn(&[u32], usize) -> u64;
+    let policies: [(&str, PolicySim); 3] = [
+        ("vs LRU", simulate_lru),
+        ("vs Clock", simulate_clock),
+        ("vs FIFO", simulate_fifo),
+    ];
+    let series = policies
+        .iter()
+        .map(|(name, simulate)| {
+            let points: Vec<(f64, f64)> = buffers
+                .iter()
+                .map(|&b| {
+                    let estimates: Vec<f64> = scans
+                        .iter()
+                        .map(|s| stats.estimate(&ScanQuery::range(s.selectivity, b)))
+                        .collect();
+                    let actuals: Vec<f64> = scans
+                        .iter()
+                        .map(|s| {
+                            let slice = dataset.trace().scan_slice(s.key_lo, s.key_hi);
+                            simulate(slice, b as usize) as f64
+                        })
+                        .collect();
+                    (
+                        100.0 * b as f64 / t,
+                        crate::metrics::aggregate_error_percent(&estimates, &actuals),
+                    )
+                })
+                .collect();
+            Series::dense(*name, points)
+        })
+        .collect();
+    FigureData {
+        title: format!(
+            "LRU-model sensitivity to the actual policy on {}",
+            spec.name
+        ),
+        x_label: "B as % of T".into(),
+        y_label: "error %".into(),
+        series,
+    }
+}
+
+/// Multi-user contention study (§6 future work): `k` scans share one LRU
+/// buffer (round-robin interleaved, distinct tables). For the victim scan,
+/// compare two ways of using EPFIS under contention:
+///
+/// * **naive** — estimate with the full buffer `B` (what a
+///   contention-unaware optimizer does),
+/// * **fair-share** — estimate with `B/k` (the classic heuristic).
+///
+/// x = number of concurrent scans, y = the §5 error metric of the victim's
+/// estimates against its measured share of the misses.
+pub fn contention(
+    spec: DatasetSpec,
+    levels: &[usize],
+    buffer: u64,
+    scans_per_level: usize,
+    seed: u64,
+) -> FigureData {
+    use epfis_lrusim::shared_lru_misses;
+    let dataset = Dataset::generate(spec.clone());
+    let summary = TraceSummary::from_trace(dataset.trace());
+    let stats = LruFit::new(EpfisConfig::default()).collect_from_curve(
+        &summary.fetch_curve,
+        summary.table_pages,
+        summary.records,
+        summary.distinct_keys,
+    );
+    let mut generator = WorkloadGenerator::new(dataset.trace(), seed);
+    let scans = generator.generate(&ScanWorkloadConfig {
+        scans: scans_per_level.max(2),
+        small_fraction: 0.5,
+        seed,
+    });
+
+    let mut naive_points = Vec::with_capacity(levels.len());
+    let mut fair_points = Vec::with_capacity(levels.len());
+    for &k in levels {
+        assert!(k >= 1, "need at least the victim scan");
+        let mut naive_est = Vec::with_capacity(scans.len());
+        let mut fair_est = Vec::with_capacity(scans.len());
+        let mut actual = Vec::with_capacity(scans.len());
+        for (i, victim) in scans.iter().enumerate() {
+            let streams: Vec<&[u32]> = (0..k)
+                .map(|j| {
+                    let s = &scans[(i + j) % scans.len()];
+                    dataset.trace().scan_slice(s.key_lo, s.key_hi)
+                })
+                .collect();
+            let misses = shared_lru_misses(&streams, buffer as usize);
+            actual.push(misses[0].max(1) as f64);
+            naive_est.push(stats.estimate(&ScanQuery::range(victim.selectivity, buffer)));
+            fair_est.push(stats.estimate(&ScanQuery::range(
+                victim.selectivity,
+                (buffer / k as u64).max(1),
+            )));
+        }
+        naive_points.push((
+            k as f64,
+            crate::metrics::aggregate_error_percent(&naive_est, &actual),
+        ));
+        fair_points.push((
+            k as f64,
+            crate::metrics::aggregate_error_percent(&fair_est, &actual),
+        ));
+    }
+    FigureData {
+        title: format!(
+            "multi-user contention on {} (shared B = {buffer})",
+            spec.name
+        ),
+        x_label: "concurrent scans".into(),
+        y_label: "error % (victim scan)".into(),
+        series: vec![
+            Series::dense("EPFIS naive (full B)", naive_points),
+            Series::dense("EPFIS fair-share (B/k)", fair_points),
+        ],
+    }
+}
+
+/// Ablation: the calibrated baseline variants against the literal printed
+/// formulas (DESIGN.md §2) — ML with/without the `F ≤ T` cap, DC with the
+/// clamped vs printed log term and with the min/max vs run-order CC.
+pub fn baseline_variant_ablation(spec: DatasetSpec, min_buffer: u64, seed: u64) -> FigureData {
+    use epfis_estimators::{DcEstimator, MlEstimator, PageFetchEstimator, ScanParams};
+    let dataset = Dataset::generate(spec.clone());
+    let summary = TraceSummary::from_trace(dataset.trace());
+    let mut generator = WorkloadGenerator::new(dataset.trace(), seed);
+    let scans = generator.generate(&paper_workload(seed));
+    let truths = crate::truth::workload_truth(&dataset, &scans);
+    let buffers = paper_buffer_grid(summary.table_pages, min_buffer);
+    let t = summary.table_pages as f64;
+
+    type NamedEstimator = (&'static str, Box<dyn PageFetchEstimator>);
+    let variants: Vec<NamedEstimator> = vec![
+        ("ML (capped)", Box::new(MlEstimator::from_summary(&summary))),
+        (
+            "ML (printed)",
+            Box::new(MlEstimator::from_summary(&summary).uncapped()),
+        ),
+        (
+            "DC (clamped)",
+            Box::new(DcEstimator::from_summary(&summary)),
+        ),
+        (
+            "DC (printed)",
+            Box::new(DcEstimator::from_summary_as_printed(&summary)),
+        ),
+        (
+            "DC (run-order CC)",
+            Box::new(DcEstimator::from_stats(
+                summary.table_pages,
+                summary.records,
+                summary.distinct_keys,
+                summary.cluster_counter_run_order,
+            )),
+        ),
+    ];
+    let series = variants
+        .iter()
+        .map(|(name, est)| {
+            let points: Vec<(f64, f64)> = buffers
+                .iter()
+                .map(|&b| {
+                    let estimates: Vec<f64> = scans
+                        .iter()
+                        .map(|s| {
+                            est.estimate(
+                                &ScanParams::range(s.selectivity, b)
+                                    .with_distinct_keys(s.distinct_keys),
+                            )
+                        })
+                        .collect();
+                    let actuals: Vec<f64> = truths.iter().map(|c| c.fetches(b) as f64).collect();
+                    (
+                        100.0 * b as f64 / t,
+                        crate::metrics::aggregate_error_percent(&estimates, &actuals),
+                    )
+                })
+                .collect();
+            Series::dense(*name, points)
+        })
+        .collect();
+    FigureData {
+        title: format!("baseline variant ablation on {}", spec.name),
+        x_label: "B as % of T".into(),
+        y_label: "error %".into(),
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contention_pushes_the_naive_estimate_toward_underestimation() {
+        // Cache-friendly data (K=0.5) so shared frames actually matter.
+        let spec = DatasetSpec::synthetic(20_000, 400, 20, 0.0, 0.5);
+        let fig = contention(spec, &[1, 4], 200, 12, 7);
+        assert_eq!(fig.series.len(), 2);
+        let naive = &fig.series[0].points;
+        let fair = &fig.series[1].points;
+        // At k=1 both heuristics coincide.
+        assert!((naive[0].1.unwrap() - fair[0].1.unwrap()).abs() < 1e-9);
+        // Competitors steal frames, so the victim's actual misses grow while
+        // the naive estimate stays fixed: its signed error must drop.
+        let drop = naive[0].1.unwrap() - naive[1].1.unwrap();
+        assert!(drop > 1.0, "expected a clear drop, got {drop}%");
+    }
+
+    #[test]
+    fn sargable_accuracy_is_reasonable_in_large_buffer_regime() {
+        // The urn model reduces referenced pages, so with B near T the
+        // estimate should track the Bernoulli-filtered ground truth.
+        let spec = DatasetSpec::synthetic(10_000, 200, 20, 0.0, 1.0);
+        let t = 500u64; // 10_000 / 20
+        let fig = sargable_accuracy(spec, &[t], &[0.05, 0.2, 0.5, 0.9], 7);
+        assert_eq!(fig.series.len(), 1);
+        for (s, err) in fig.series[0].points.iter().map(|&(x, y)| (x, y.unwrap())) {
+            assert!(
+                err.abs() < 30.0,
+                "S={s}: urn model off by {err}% even at B=T"
+            );
+        }
+    }
+
+    #[test]
+    fn staleness_error_grows_with_data_growth() {
+        let spec = DatasetSpec::synthetic(10_000, 200, 20, 0.0, 0.5);
+        let fig = staleness(spec, &[1.0, 1.5, 2.0], 30, 7);
+        let ys: Vec<f64> = fig.series[0].points.iter().map(|p| p.1.unwrap()).collect();
+        assert_eq!(ys.len(), 3);
+        assert!(
+            ys[2] > ys[0],
+            "doubling the data should hurt stale stats: {ys:?}"
+        );
+    }
+
+    #[test]
+    fn baseline_variant_ablation_has_five_series() {
+        let spec = DatasetSpec::synthetic(10_000, 200, 20, 0.0, 0.2);
+        let fig = baseline_variant_ablation(spec, 30, 5);
+        assert_eq!(fig.series.len(), 5);
+    }
+
+    #[test]
+    fn fig1_has_five_normalized_curves() {
+        let f = fig1(20, 7);
+        assert_eq!(f.series.len(), 5);
+        for s in &f.series {
+            assert_eq!(s.points.len(), 100);
+            // F/T starts high at tiny buffers and ends at >= 1.
+            let first = s.points[0].1.unwrap();
+            let last = s.points.last().unwrap().1.unwrap();
+            assert!(first >= last, "{}: FPF must not increase", s.name);
+            assert!(last >= 1.0 - 1e-9, "{}: full scan floor is T", s.name);
+        }
+    }
+
+    #[test]
+    fn figure_numbering_matches_paper() {
+        assert_eq!(synthetic_figure_number(0.0, 0.0), Some(10));
+        assert_eq!(synthetic_figure_number(0.0, 1.0), Some(15));
+        assert_eq!(synthetic_figure_number(0.86, 0.0), Some(16));
+        assert_eq!(synthetic_figure_number(0.86, 0.10), Some(18));
+        assert_eq!(synthetic_figure_number(0.86, 1.0), Some(21));
+        assert_eq!(synthetic_figure_number(0.5, 0.1), None);
+        assert_eq!(synthetic_figure_number(0.0, 0.3), None);
+    }
+
+    #[test]
+    fn synthetic_figure_runs_at_small_scale() {
+        let p = SyntheticParams::paper(0.0, 0.5).scaled(50);
+        let (fig, maxes) = synthetic_error_figure(p);
+        assert_eq!(fig.series.len(), 5);
+        assert_eq!(maxes.len(), 5);
+        assert_eq!(maxes[0].0, "EPFIS");
+        // EPFIS stays in family at reduced scale.
+        assert!(maxes[0].1 < 60.0, "EPFIS max error {}", maxes[0].1);
+    }
+
+    #[test]
+    fn gwl_error_figure_runs_at_small_scale() {
+        let (fig, maxes) = gwl_error_figure(2, "CMAC.BRAN", 10, 30, 3);
+        assert!(fig.title.contains("CMAC.BRAN"));
+        assert_eq!(fig.series.len(), 5);
+        assert_eq!(maxes.len(), 5);
+    }
+
+    #[test]
+    fn tables_render_both_tables() {
+        let out = tables(20, 5);
+        assert!(out.contains("Table 2"));
+        assert!(out.contains("Table 3"));
+        assert!(out.contains("CMAC"));
+        assert!(out.contains("PLON.CLID"));
+    }
+
+    #[test]
+    fn config_ablation_produces_one_series_per_config() {
+        let spec = DatasetSpec::synthetic(10_000, 200, 20, 0.0, 0.5);
+        let fig = config_ablation(
+            spec,
+            &[
+                ("paper", EpfisConfig::default()),
+                ("no-corr", EpfisConfig::default().without_correction()),
+            ],
+            30,
+            5,
+        );
+        assert_eq!(fig.series.len(), 2);
+        assert_eq!(fig.series[0].name, "paper");
+    }
+
+    #[test]
+    fn sd_exponent_ablation_differs_with_duplicates() {
+        let spec = DatasetSpec::synthetic(10_000, 100, 20, 0.0, 1.0);
+        let fig = sd_exponent_ablation(spec, 30, 5);
+        assert_eq!(fig.series.len(), 2);
+        let a = fig.series[0].max_abs_y();
+        let b = fig.series[1].max_abs_y();
+        assert_ne!(a, b, "the two exponent readings should diverge");
+    }
+
+    #[test]
+    fn segment_sensitivity_improves_then_flattens() {
+        let spec = DatasetSpec::synthetic(20_000, 400, 20, 0.0, 0.5);
+        let fig = segment_sensitivity(spec, &[1, 2, 4, 6, 10], 40, 9);
+        let ys: Vec<f64> = fig.series[0].points.iter().map(|p| p.1.unwrap()).collect();
+        assert_eq!(ys.len(), 5);
+        // One segment is worse than six (the paper's motivation).
+        assert!(ys[0] >= ys[3] - 1e-9, "1 seg {} vs 6 seg {}", ys[0], ys[3]);
+    }
+}

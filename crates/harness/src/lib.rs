@@ -1,0 +1,25 @@
+//! Experiment harness (Section 5 of the paper).
+//!
+//! * [`truth`] — ground-truth page-fetch measurement: one Mattson stack pass
+//!   per scan yields the *exact* LRU fetch count at every buffer size, which
+//!   is precisely what the paper's per-scan LRU simulations measure.
+//! * [`metrics`] — the paper's aggregate error metric
+//!   `Σ(e_i − a_i) / Σ a_i` over a scan workload.
+//! * [`experiment`] — the per-dataset pipeline: generate → summarize in one
+//!   pass → instantiate EPFIS + the four baselines → draw the 200-scan
+//!   workload → measure truths → produce error-vs-buffer-size series.
+//! * [`figures`] — drivers for each published figure/table: Figure 1 (FPF
+//!   curves), Figures 2–9 (GWL error behaviour), Figures 10–21 (synthetic
+//!   matrix), Tables 2–3, and the §4.1 segment-count sensitivity study.
+//! * [`report`] — plain-text and CSV rendering of figure data.
+
+pub mod experiment;
+pub mod figures;
+pub mod metrics;
+pub mod report;
+pub mod truth;
+
+pub use experiment::DatasetExperiment;
+pub use metrics::aggregate_error;
+pub use report::{FigureData, Series};
+pub use truth::scan_truth;

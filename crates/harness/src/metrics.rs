@@ -1,0 +1,82 @@
+//! The paper's error metric (§5).
+//!
+//! "For any scan i, let the estimate obtained by the algorithm be denoted by
+//! e_i. Let the actual number of pages fetched be denoted by a_i. Then, the
+//! error metric is Σ(e_i − a_i) / Σ a_i" — the *relative error over the
+//! aggregate of all the scans*, chosen over mean-relative-error because for
+//! the optimizer it is the absolute differences that matter.
+
+/// Aggregate signed relative error `Σ(e_i − a_i) / Σ a_i`.
+///
+/// # Panics
+/// Panics if the slices differ in length, are empty, or the actuals sum to
+/// zero.
+pub fn aggregate_error(estimates: &[f64], actuals: &[f64]) -> f64 {
+    assert_eq!(
+        estimates.len(),
+        actuals.len(),
+        "estimate/actual count mismatch"
+    );
+    assert!(!actuals.is_empty(), "need at least one scan");
+    let num: f64 = estimates.iter().zip(actuals).map(|(e, a)| e - a).sum();
+    let den: f64 = actuals.iter().sum();
+    assert!(den > 0.0, "actual fetches must be positive");
+    num / den
+}
+
+/// The same metric expressed in percent (matching the figures' Y axes).
+pub fn aggregate_error_percent(estimates: &[f64], actuals: &[f64]) -> f64 {
+    100.0 * aggregate_error(estimates, actuals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_estimates_have_zero_error() {
+        assert_eq!(aggregate_error(&[5.0, 10.0], &[5.0, 10.0]), 0.0);
+    }
+
+    #[test]
+    fn overestimate_is_positive_underestimate_negative() {
+        assert!(aggregate_error(&[12.0], &[10.0]) > 0.0);
+        assert!(aggregate_error(&[8.0], &[10.0]) < 0.0);
+    }
+
+    #[test]
+    fn metric_is_aggregate_not_mean_of_ratios() {
+        // One tiny scan with a huge relative error, one big scan estimated
+        // perfectly: the aggregate metric stays small, unlike a mean of
+        // per-scan relative errors.
+        let estimates = [10.0, 1000.0];
+        let actuals = [1.0, 1000.0];
+        let agg = aggregate_error(&estimates, &actuals);
+        assert!((agg - 9.0 / 1001.0).abs() < 1e-12);
+        let mean_rel = ((10.0 - 1.0) / 1.0 + (1000.0 - 1000.0f64) / 1000.0) / 2.0;
+        assert!(mean_rel > 4.0, "mean-of-ratios would explode: {mean_rel}");
+    }
+
+    #[test]
+    fn percent_variant_scales_by_100() {
+        assert!((aggregate_error_percent(&[11.0], &[10.0]) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signed_errors_can_cancel() {
+        // The paper's metric is signed; symmetric over/under cancels.
+        assert_eq!(aggregate_error(&[8.0, 12.0], &[10.0, 10.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn length_mismatch_panics() {
+        aggregate_error(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_panics() {
+        aggregate_error(&[], &[]);
+    }
+}

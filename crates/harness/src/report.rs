@@ -1,0 +1,221 @@
+//! Rendering figure data as aligned text tables and CSV.
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Series label (algorithm or column name).
+    pub name: String,
+    /// Points in ascending `x`. A `None` y marks a value outside the
+    /// figure's plotted range (the paper clips some DC/OT points).
+    pub points: Vec<(f64, Option<f64>)>,
+}
+
+impl Series {
+    /// Builds a series from dense points.
+    pub fn dense(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.into(),
+            points: points.into_iter().map(|(x, y)| (x, Some(y))).collect(),
+        }
+    }
+
+    /// Largest |y| over the series (ignoring clipped points).
+    pub fn max_abs_y(&self) -> f64 {
+        self.points
+            .iter()
+            .filter_map(|(_, y)| *y)
+            .fold(0.0f64, |m, y| m.max(y.abs()))
+    }
+}
+
+/// A figure: titled, labeled, multi-series data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureData {
+    /// Figure title, e.g. `Figure 12: error behavior for theta=0, K=0.10`.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series. All series share the same x grid.
+    pub series: Vec<Series>,
+}
+
+impl FigureData {
+    /// Per-series maximum |y| — the "maximum error" summaries §5 reports.
+    pub fn max_abs_by_series(&self) -> Vec<(String, f64)> {
+        self.series
+            .iter()
+            .map(|s| (s.name.clone(), s.max_abs_y()))
+            .collect()
+    }
+
+    /// Renders an aligned text table (x column, one column per series).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.title));
+        let mut header = vec![self.x_label.clone()];
+        header.extend(self.series.iter().map(|s| s.name.clone()));
+        let xs: Vec<f64> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|p| p.0).collect())
+            .unwrap_or_default();
+        let mut rows: Vec<Vec<String>> = vec![header];
+        for (i, x) in xs.iter().enumerate() {
+            let mut row = vec![format!("{x:.2}")];
+            for s in &self.series {
+                row.push(match s.points.get(i).and_then(|p| p.1) {
+                    Some(y) => format!("{y:.2}"),
+                    None => "-".to_string(),
+                });
+            }
+            rows.push(row);
+        }
+        let cols = rows[0].len();
+        let widths: Vec<usize> = (0..cols)
+            .map(|c| rows.iter().map(|r| r[c].len()).max().unwrap_or(0))
+            .collect();
+        for row in &rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(c, cell)| format!("{cell:>width$}", width = widths[c]))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out.push_str(&format!("({} vs {})\n", self.y_label, self.x_label));
+        out
+    }
+
+    /// Renders CSV (header row, then one row per x).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let mut header = vec![self.x_label.clone()];
+        header.extend(self.series.iter().map(|s| s.name.clone()));
+        out.push_str(&header.join(","));
+        out.push('\n');
+        let xs: Vec<f64> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|p| p.0).collect())
+            .unwrap_or_default();
+        for (i, x) in xs.iter().enumerate() {
+            let mut row = vec![format!("{x}")];
+            for s in &self.series {
+                row.push(match s.points.get(i).and_then(|p| p.1) {
+                    Some(y) => format!("{y}"),
+                    None => String::new(),
+                });
+            }
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a free-form two-dimensional table with a header row.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut all: Vec<Vec<String>> = vec![header.iter().map(|s| s.to_string()).collect()];
+    all.extend(rows.iter().cloned());
+    let cols = header.len();
+    let widths: Vec<usize> = (0..cols)
+        .map(|c| {
+            all.iter()
+                .map(|r| r.get(c).map_or(0, |s| s.len()))
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let mut out = format!("# {title}\n");
+    for (i, row) in all.iter().enumerate() {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(c, cell)| format!("{cell:>width$}", width = widths[c]))
+            .collect();
+        out.push_str(&line.join("  "));
+        out.push('\n');
+        if i == 0 {
+            out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> FigureData {
+        FigureData {
+            title: "demo".into(),
+            x_label: "B%".into(),
+            y_label: "error%".into(),
+            series: vec![
+                Series::dense("EPFIS", vec![(5.0, 1.0), (10.0, -2.0)]),
+                Series {
+                    name: "DC".into(),
+                    points: vec![(5.0, Some(250.0)), (10.0, None)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn max_abs_ignores_clipped_points() {
+        let f = fig();
+        let m = f.max_abs_by_series();
+        assert_eq!(m[0], ("EPFIS".to_string(), 2.0));
+        assert_eq!(m[1], ("DC".to_string(), 250.0));
+    }
+
+    #[test]
+    fn table_has_header_and_all_rows() {
+        let t = fig().to_table();
+        assert!(t.contains("EPFIS"));
+        assert!(t.contains("DC"));
+        assert!(t.lines().count() >= 4);
+        assert!(t.contains('-'), "clipped point renders as dash");
+    }
+
+    #[test]
+    fn csv_round_trips_values() {
+        let c = fig().to_csv();
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines[0], "B%,EPFIS,DC");
+        assert_eq!(lines[1], "5,1,250");
+        assert_eq!(lines[2], "10,-2,");
+    }
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let out = render_table(
+            "Table 2",
+            &["Table", "Pages"],
+            &[
+                vec!["CMAC".into(), "774".into()],
+                vec!["PLON".into(), "4857".into()],
+            ],
+        );
+        assert!(out.contains("Table 2"));
+        assert!(out.contains("CMAC"));
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 5); // title, header, rule, 2 rows
+    }
+
+    #[test]
+    fn empty_figure_renders() {
+        let f = FigureData {
+            title: "empty".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![],
+        };
+        assert!(f.to_table().contains("empty"));
+        assert_eq!(f.max_abs_by_series().len(), 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Ground-truth measurement of page fetches.
+//!
+//! "Let the actual number of pages fetched be denoted by a_i" (§5): the
+//! actual cost of scan `i` at buffer size `B` is the miss count of an LRU
+//! simulation over that scan's data-page reference sequence, starting cold.
+//! One stack pass per scan produces the entire function `a_i(B)` at once,
+//! so sweeping the 12+ buffer sizes of a figure costs nothing extra.
+
+use epfis_datagen::{Dataset, RangeScan};
+use epfis_lrusim::{analyze_trace, FetchCurve, KeyedTrace};
+
+/// The exact fetch curve of one partial scan over a keyed trace.
+pub fn scan_truth_on(trace: &KeyedTrace, scan: &RangeScan) -> FetchCurve {
+    let slice = trace.scan_slice(scan.key_lo, scan.key_hi);
+    analyze_trace(slice).fetch_curve()
+}
+
+/// The exact fetch curve of one partial scan over `dataset`.
+pub fn scan_truth(dataset: &Dataset, scan: &RangeScan) -> FetchCurve {
+    scan_truth_on(dataset.trace(), scan)
+}
+
+/// Exact fetch curves for a whole workload over a keyed trace.
+pub fn workload_truth_on(trace: &KeyedTrace, scans: &[RangeScan]) -> Vec<FetchCurve> {
+    scans.iter().map(|s| scan_truth_on(trace, s)).collect()
+}
+
+/// Exact fetch curves for a whole workload.
+pub fn workload_truth(dataset: &Dataset, scans: &[RangeScan]) -> Vec<FetchCurve> {
+    workload_truth_on(dataset.trace(), scans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epfis_datagen::{DatasetSpec, ScanKind, WorkloadGenerator};
+    use epfis_lrusim::simulate_lru;
+
+    fn dataset() -> Dataset {
+        Dataset::generate(DatasetSpec::synthetic(4000, 80, 20, 0.0, 0.3))
+    }
+
+    #[test]
+    fn truth_matches_exact_lru_simulation() {
+        let d = dataset();
+        let mut w = WorkloadGenerator::new(d.trace(), 5);
+        for _ in 0..5 {
+            let scan = w.draw(ScanKind::Small);
+            let slice = d.trace().scan_slice(scan.key_lo, scan.key_hi);
+            let curve = scan_truth(&d, &scan);
+            for cap in [1usize, 3, 12, 40] {
+                assert_eq!(curve.fetches(cap as u64), simulate_lru(slice, cap));
+            }
+        }
+    }
+
+    #[test]
+    fn full_scan_truth_covers_whole_trace() {
+        let d = dataset();
+        let mut w = WorkloadGenerator::new(d.trace(), 6);
+        let full = w.scan_with_fraction(1.0, ScanKind::Large);
+        let curve = scan_truth(&d, &full);
+        assert_eq!(curve.total(), d.records());
+        // A big enough buffer leaves only cold misses = distinct pages.
+        assert_eq!(
+            curve.fetches(d.table_pages() as u64),
+            d.trace().distinct_pages()
+        );
+    }
+
+    #[test]
+    fn workload_truth_is_one_curve_per_scan() {
+        let d = dataset();
+        let mut w = WorkloadGenerator::new(d.trace(), 7);
+        let scans: Vec<_> = (0..8).map(|_| w.draw(ScanKind::Large)).collect();
+        let truths = workload_truth(&d, &scans);
+        assert_eq!(truths.len(), 8);
+        for (s, c) in scans.iter().zip(&truths) {
+            assert_eq!(c.total(), s.records);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! A page-based B+-tree index over `(key, rid)` entries.
+//!
+//! The paper's subject is the *data-page* fetch pattern an index scan
+//! induces, so the index itself must deliver RIDs in key-sequence order with
+//! start/stop conditions and index-sargable predicates — exactly what this
+//! crate builds:
+//!
+//! * [`entry::IndexEntry`] — `(key, seq, minor, rid)`. `key` is the major
+//!   column value; `seq` is an insertion sequence number that makes entries
+//!   unique and preserves the paper's "RIDs for a given key value are *not*
+//!   sorted" property (sorted RIDs are listed as future work in §6); `minor`
+//!   carries a second column for index-sargable predicates.
+//! * [`node`] — byte-level leaf/internal node layout on 4 KiB pages with an
+//!   exact serialization codec.
+//! * [`tree::BTreeIndex`] — the tree: point inserts with node splits, bulk
+//!   build from sorted entries, deletes, range scans driven by
+//!   [`tree::KeyBound`] start/stop conditions, and invariant validation.
+//!   Index pages live on their own [`epfis_storage::InMemoryDisk`], so index
+//!   I/O never contaminates the data-page fetch counts under study.
+//! * [`stats_scan`](tree::BTreeIndex::statistics_trace) — the full-index
+//!   statistics scan that produces the [`epfis_lrusim::KeyedTrace`] LRU-Fit
+//!   consumes ("A scan of the index for index statistics collection has
+//!   exactly these characteristics", §4.1).
+
+pub mod entry;
+pub mod node;
+pub mod tree;
+
+pub use entry::IndexEntry;
+pub use node::{INTERNAL_CAPACITY, LEAF_CAPACITY};
+pub use tree::{BTreeIndex, KeyBound, RangeSpec};

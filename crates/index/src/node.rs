@@ -1,0 +1,216 @@
+//! Byte-level B+-tree node layout.
+//!
+//! Every node occupies one [`PAGE_SIZE`] page:
+//!
+//! ```text
+//! offset 0: tag (0 = leaf, 1 = internal)   u8
+//! offset 1: entry/key count                u16 LE
+//! offset 4: leaf: next-leaf page id        u32 LE (u32::MAX = none)
+//!           internal: unused (0)
+//! offset 8: payload
+//!   leaf:     count × 30-byte IndexEntry
+//!   internal: (count+1) × u32 child page ids, then count × 16-byte
+//!             (key i64, seq u64) separators
+//! ```
+//!
+//! A separator at position `i` is the **smallest sort key reachable in
+//! child `i + 1`**: descent goes to child `i` for targets `< sep[i]`.
+
+use crate::entry::IndexEntry;
+use epfis_storage::PAGE_SIZE;
+
+const HEADER: usize = 8;
+
+/// Max entries per leaf node: `(4096 − 8) / 30`.
+pub const LEAF_CAPACITY: usize = (PAGE_SIZE - HEADER) / IndexEntry::ENCODED_LEN;
+
+/// Max separator keys per internal node (children = keys + 1):
+/// `(4096 − 8 − 4) / (16 + 4)`.
+pub const INTERNAL_CAPACITY: usize = (PAGE_SIZE - HEADER - 4) / (16 + 4);
+
+/// Sentinel "no next leaf".
+pub const NO_LEAF: u32 = u32::MAX;
+
+/// A decoded node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// Leaf: sorted entries plus the right-sibling link.
+    Leaf {
+        /// Entries in `(key, seq)` order.
+        entries: Vec<IndexEntry>,
+        /// Next leaf page id, or [`NO_LEAF`].
+        next: u32,
+    },
+    /// Internal: sorted separators and child page ids.
+    Internal {
+        /// `keys.len() + 1 == children.len()`.
+        keys: Vec<(i64, u64)>,
+        /// Child page ids.
+        children: Vec<u32>,
+    },
+}
+
+impl Node {
+    /// An empty leaf.
+    pub fn empty_leaf() -> Self {
+        Node::Leaf {
+            entries: Vec::new(),
+            next: NO_LEAF,
+        }
+    }
+
+    /// Whether the node is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+
+    /// Serializes into a fresh page image.
+    ///
+    /// # Panics
+    /// Panics if the node exceeds its capacity or an internal node is
+    /// malformed.
+    pub fn to_page(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        match self {
+            Node::Leaf { entries, next } => {
+                assert!(entries.len() <= LEAF_CAPACITY, "leaf overflow");
+                buf[0] = 0;
+                buf[1..3].copy_from_slice(&(entries.len() as u16).to_le_bytes());
+                buf[4..8].copy_from_slice(&next.to_le_bytes());
+                let mut at = HEADER;
+                for e in entries {
+                    e.encode_into(&mut buf[at..at + IndexEntry::ENCODED_LEN]);
+                    at += IndexEntry::ENCODED_LEN;
+                }
+            }
+            Node::Internal { keys, children } => {
+                assert!(keys.len() <= INTERNAL_CAPACITY, "internal overflow");
+                assert_eq!(children.len(), keys.len() + 1, "malformed internal node");
+                buf[0] = 1;
+                buf[1..3].copy_from_slice(&(keys.len() as u16).to_le_bytes());
+                let mut at = HEADER;
+                for c in children {
+                    buf[at..at + 4].copy_from_slice(&c.to_le_bytes());
+                    at += 4;
+                }
+                for (k, s) in keys {
+                    buf[at..at + 8].copy_from_slice(&k.to_le_bytes());
+                    buf[at + 8..at + 16].copy_from_slice(&s.to_le_bytes());
+                    at += 16;
+                }
+            }
+        }
+        buf
+    }
+
+    /// Deserializes from a page image.
+    ///
+    /// # Panics
+    /// Panics on a corrupt tag or counts exceeding capacity.
+    pub fn from_page(buf: &[u8]) -> Self {
+        assert_eq!(buf.len(), PAGE_SIZE);
+        let count = u16::from_le_bytes(buf[1..3].try_into().unwrap()) as usize;
+        match buf[0] {
+            0 => {
+                assert!(count <= LEAF_CAPACITY, "corrupt leaf count");
+                let next = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+                let mut entries = Vec::with_capacity(count);
+                let mut at = HEADER;
+                for _ in 0..count {
+                    entries.push(IndexEntry::decode(&buf[at..at + IndexEntry::ENCODED_LEN]));
+                    at += IndexEntry::ENCODED_LEN;
+                }
+                Node::Leaf { entries, next }
+            }
+            1 => {
+                assert!(count <= INTERNAL_CAPACITY, "corrupt internal count");
+                let mut children = Vec::with_capacity(count + 1);
+                let mut at = HEADER;
+                for _ in 0..=count {
+                    children.push(u32::from_le_bytes(buf[at..at + 4].try_into().unwrap()));
+                    at += 4;
+                }
+                let mut keys = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let k = i64::from_le_bytes(buf[at..at + 8].try_into().unwrap());
+                    let s = u64::from_le_bytes(buf[at + 8..at + 16].try_into().unwrap());
+                    keys.push((k, s));
+                    at += 16;
+                }
+                Node::Internal { keys, children }
+            }
+            tag => panic!("corrupt node tag {tag}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epfis_storage::RecordId;
+
+    fn entry(key: i64, seq: u64) -> IndexEntry {
+        IndexEntry::new(key, seq, key * 2, RecordId::new(key as u32, 0))
+    }
+
+    #[test]
+    fn capacities_are_sane() {
+        assert_eq!(LEAF_CAPACITY, 136);
+        assert_eq!(INTERNAL_CAPACITY, 204);
+    }
+
+    #[test]
+    fn leaf_round_trips() {
+        let n = Node::Leaf {
+            entries: (0..LEAF_CAPACITY as i64)
+                .map(|i| entry(i, i as u64))
+                .collect(),
+            next: 77,
+        };
+        assert_eq!(Node::from_page(&n.to_page()), n);
+    }
+
+    #[test]
+    fn empty_leaf_round_trips() {
+        let n = Node::empty_leaf();
+        assert_eq!(Node::from_page(&n.to_page()), n);
+    }
+
+    #[test]
+    fn internal_round_trips() {
+        let keys: Vec<(i64, u64)> = (0..INTERNAL_CAPACITY as i64)
+            .map(|i| (i * 3, i as u64))
+            .collect();
+        let children: Vec<u32> = (0..=INTERNAL_CAPACITY as u32).collect();
+        let n = Node::Internal { keys, children };
+        assert_eq!(Node::from_page(&n.to_page()), n);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf overflow")]
+    fn oversized_leaf_panics() {
+        let n = Node::Leaf {
+            entries: (0..=LEAF_CAPACITY as i64).map(|i| entry(i, 0)).collect(),
+            next: NO_LEAF,
+        };
+        n.to_page();
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed internal")]
+    fn mismatched_children_panic() {
+        let n = Node::Internal {
+            keys: vec![(1, 0)],
+            children: vec![1, 2, 3],
+        };
+        n.to_page();
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt node tag")]
+    fn corrupt_tag_panics() {
+        let mut buf = Node::empty_leaf().to_page();
+        buf[0] = 9;
+        Node::from_page(&buf);
+    }
+}

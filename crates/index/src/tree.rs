@@ -1,0 +1,786 @@
+//! The B+-tree proper.
+
+use crate::entry::IndexEntry;
+use crate::node::{Node, INTERNAL_CAPACITY, LEAF_CAPACITY, NO_LEAF};
+use epfis_lrusim::KeyedTrace;
+use epfis_storage::{DiskManager, InMemoryDisk, RecordId, PAGE_SIZE};
+
+/// One side of a start/stop condition on the major key (§2: "Starting and
+/// stopping conditions can be used to limit the range of the index scan").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyBound {
+    /// No condition.
+    Unbounded,
+    /// `key >= v` (start) / `key <= v` (stop).
+    Included(i64),
+    /// `key > v` (start) / `key < v` (stop).
+    Excluded(i64),
+}
+
+/// A start + stop condition pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeSpec {
+    /// Lower bound (starting condition).
+    pub start: KeyBound,
+    /// Upper bound (stopping condition).
+    pub stop: KeyBound,
+}
+
+impl RangeSpec {
+    /// A full scan.
+    pub fn full() -> Self {
+        RangeSpec {
+            start: KeyBound::Unbounded,
+            stop: KeyBound::Unbounded,
+        }
+    }
+
+    /// The inclusive range `lo <= key <= hi`.
+    pub fn between(lo: i64, hi: i64) -> Self {
+        RangeSpec {
+            start: KeyBound::Included(lo),
+            stop: KeyBound::Included(hi),
+        }
+    }
+}
+
+/// A page-based B+-tree mapping `(key, seq)` to RIDs.
+///
+/// Index pages live on a private in-memory disk; [`BTreeIndex::io_stats`]
+/// exposes index-page I/O separately from the data-page fetches the paper
+/// studies.
+///
+/// ```
+/// use epfis_index::{BTreeIndex, RangeSpec};
+/// use epfis_storage::RecordId;
+///
+/// let mut tree = BTreeIndex::new();
+/// for k in [30i64, 10, 20, 10] {
+///     tree.insert(k, 0, RecordId::new(k as u32, 0));
+/// }
+/// let keys: Vec<i64> = tree.scan(RangeSpec::between(10, 20)).map(|e| e.key).collect();
+/// assert_eq!(keys, vec![10, 10, 20]); // key order, duplicates in insertion order
+/// tree.validate().unwrap();
+/// ```
+pub struct BTreeIndex {
+    disk: InMemoryDisk,
+    root: u32,
+    height: u32,
+    next_seq: u64,
+    len: u64,
+}
+
+impl Default for BTreeIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BTreeIndex {
+    /// Creates an empty tree (a single empty leaf as root).
+    pub fn new() -> Self {
+        let mut disk = InMemoryDisk::new();
+        let root = disk.allocate_page();
+        let mut tree = BTreeIndex {
+            disk,
+            root,
+            height: 1,
+            next_seq: 0,
+            len: 0,
+        };
+        tree.write_node(root, &Node::empty_leaf());
+        tree
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the tree has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height (1 = root is a leaf).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Pages allocated to index nodes.
+    pub fn node_pages(&self) -> u32 {
+        self.disk.page_count()
+    }
+
+    /// Index-page I/O counters.
+    pub fn io_stats(&self) -> epfis_storage::DiskStats {
+        self.disk.stats()
+    }
+
+    fn read_node(&mut self, page: u32) -> Node {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        self.disk
+            .read_page(page, &mut buf)
+            .expect("index page must exist");
+        Node::from_page(&buf)
+    }
+
+    fn write_node(&mut self, page: u32, node: &Node) {
+        let buf = node.to_page();
+        self.disk
+            .write_page(page, &buf)
+            .expect("index page must exist");
+    }
+
+    /// Inserts an entry for `(key, minor, rid)`, assigning and returning its
+    /// sequence number.
+    pub fn insert(&mut self, key: i64, minor: i64, rid: RecordId) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let entry = IndexEntry::new(key, seq, minor, rid);
+        if let Some((sep, right)) = self.insert_rec(self.root, entry) {
+            let new_root = self.disk.allocate_page();
+            let old_root = self.root;
+            self.write_node(
+                new_root,
+                &Node::Internal {
+                    keys: vec![sep],
+                    children: vec![old_root, right],
+                },
+            );
+            self.root = new_root;
+            self.height += 1;
+        }
+        self.len += 1;
+        seq
+    }
+
+    fn insert_rec(&mut self, page: u32, entry: IndexEntry) -> Option<((i64, u64), u32)> {
+        match self.read_node(page) {
+            Node::Leaf { mut entries, next } => {
+                let pos = entries.partition_point(|e| e.sort_key() <= entry.sort_key());
+                entries.insert(pos, entry);
+                if entries.len() <= LEAF_CAPACITY {
+                    self.write_node(page, &Node::Leaf { entries, next });
+                    return None;
+                }
+                let mid = entries.len() / 2;
+                let right_entries = entries.split_off(mid);
+                let sep = right_entries[0].sort_key();
+                let right_page = self.disk.allocate_page();
+                self.write_node(
+                    right_page,
+                    &Node::Leaf {
+                        entries: right_entries,
+                        next,
+                    },
+                );
+                self.write_node(
+                    page,
+                    &Node::Leaf {
+                        entries,
+                        next: right_page,
+                    },
+                );
+                Some((sep, right_page))
+            }
+            Node::Internal {
+                mut keys,
+                mut children,
+            } => {
+                let child_idx = keys.partition_point(|&k| k <= entry.sort_key());
+                let split = self.insert_rec(children[child_idx], entry)?;
+                let (sep, right) = split;
+                keys.insert(child_idx, sep);
+                children.insert(child_idx + 1, right);
+                if keys.len() <= INTERNAL_CAPACITY {
+                    self.write_node(page, &Node::Internal { keys, children });
+                    return None;
+                }
+                let mid = keys.len() / 2;
+                let promoted = keys[mid];
+                let right_keys = keys.split_off(mid + 1);
+                keys.pop(); // drop the promoted key from the left node
+                let right_children = children.split_off(mid + 1);
+                let right_page = self.disk.allocate_page();
+                self.write_node(
+                    right_page,
+                    &Node::Internal {
+                        keys: right_keys,
+                        children: right_children,
+                    },
+                );
+                self.write_node(page, &Node::Internal { keys, children });
+                Some((promoted, right_page))
+            }
+        }
+    }
+
+    /// Builds a tree from entries already sorted by `(key, seq)`, packing
+    /// leaves to `fill` (in `(0, 1]`; 1.0 = full pages).
+    ///
+    /// # Panics
+    /// Panics if the entries are not strictly sorted by `(key, seq)` or
+    /// `fill` is out of range.
+    pub fn bulk_load(entries: &[IndexEntry], fill: f64) -> Self {
+        assert!(fill > 0.0 && fill <= 1.0, "fill factor must be in (0, 1]");
+        for w in entries.windows(2) {
+            assert!(
+                w[0].sort_key() < w[1].sort_key(),
+                "bulk_load input must be strictly sorted by (key, seq)"
+            );
+        }
+        if entries.is_empty() {
+            return Self::new();
+        }
+        let per_leaf = ((LEAF_CAPACITY as f64 * fill) as usize).clamp(1, LEAF_CAPACITY);
+        let mut tree = BTreeIndex {
+            disk: InMemoryDisk::new(),
+            root: 0,
+            height: 1,
+            next_seq: entries.iter().map(|e| e.seq).max().unwrap() + 1,
+            len: entries.len() as u64,
+        };
+        // Build the leaf level.
+        let chunks: Vec<&[IndexEntry]> = entries.chunks(per_leaf).collect();
+        let leaf_pages: Vec<u32> = chunks.iter().map(|_| tree.disk.allocate_page()).collect();
+        let mut level: Vec<((i64, u64), u32)> = Vec::with_capacity(chunks.len());
+        for (i, chunk) in chunks.iter().enumerate() {
+            let next = leaf_pages.get(i + 1).copied().unwrap_or(NO_LEAF);
+            tree.write_node(
+                leaf_pages[i],
+                &Node::Leaf {
+                    entries: chunk.to_vec(),
+                    next,
+                },
+            );
+            level.push((chunk[0].sort_key(), leaf_pages[i]));
+        }
+        // Build internal levels bottom-up until one node remains.
+        let per_internal = ((INTERNAL_CAPACITY as f64 * fill) as usize).clamp(1, INTERNAL_CAPACITY);
+        while level.len() > 1 {
+            let mut upper = Vec::with_capacity(level.len() / per_internal + 1);
+            for group in level.chunks(per_internal + 1) {
+                let page = tree.disk.allocate_page();
+                let children: Vec<u32> = group.iter().map(|&(_, p)| p).collect();
+                let keys: Vec<(i64, u64)> = group[1..].iter().map(|&(k, _)| k).collect();
+                tree.write_node(page, &Node::Internal { keys, children });
+                upper.push((group[0].0, page));
+            }
+            level = upper;
+            tree.height += 1;
+        }
+        tree.root = level[0].1;
+        tree
+    }
+
+    /// Deletes the entry `(key, seq)`. Returns whether it existed. Nodes are
+    /// not rebalanced (lazy deletion, as in many production B-trees); the
+    /// tree stays correct, merely under-full.
+    pub fn delete(&mut self, key: i64, seq: u64) -> bool {
+        let mut page = self.root;
+        loop {
+            match self.read_node(page) {
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|&k| k <= (key, seq));
+                    page = children[idx];
+                }
+                Node::Leaf { mut entries, next } => {
+                    match entries.binary_search_by_key(&(key, seq), |e| e.sort_key()) {
+                        Ok(pos) => {
+                            entries.remove(pos);
+                            self.write_node(page, &Node::Leaf { entries, next });
+                            self.len -= 1;
+                            return true;
+                        }
+                        Err(_) => return false,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Finds the leaf holding the first entry with sort key `>= target` and
+    /// the entry's position within it.
+    fn seek(&mut self, target: (i64, u64)) -> (u32, Node) {
+        let mut page = self.root;
+        loop {
+            let node = self.read_node(page);
+            match node {
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|&k| k <= target);
+                    page = children[idx];
+                }
+                leaf @ Node::Leaf { .. } => return (page, leaf),
+            }
+        }
+    }
+
+    /// Scans the range in key order, yielding entries that satisfy the
+    /// start/stop conditions. Index-sargable filtering happens at the
+    /// caller (it sees `minor`).
+    pub fn scan(&mut self, range: RangeSpec) -> ScanIter<'_> {
+        let start_target = match range.start {
+            KeyBound::Unbounded => (i64::MIN, 0),
+            KeyBound::Included(k) => (k, 0),
+            KeyBound::Excluded(k) => {
+                if k == i64::MAX {
+                    return ScanIter::empty(self);
+                }
+                (k + 1, 0)
+            }
+        };
+        let (_, node) = self.seek(start_target);
+        let (entries, next) = match node {
+            Node::Leaf { entries, next } => (entries, next),
+            Node::Internal { .. } => unreachable!("seek returns a leaf"),
+        };
+        let pos = entries.partition_point(|e| e.sort_key() < start_target);
+        ScanIter {
+            tree: self,
+            entries,
+            pos,
+            next_leaf: next,
+            stop: range.stop,
+            done: false,
+        }
+    }
+
+    /// The statistics scan (§4.1): a full scan grouped into per-key runs,
+    /// with each RID's page mapped to a table-relative ordinal by
+    /// `page_map`. Returns the [`KeyedTrace`] LRU-Fit consumes.
+    ///
+    /// Returns `None` for an empty index.
+    pub fn statistics_trace(
+        &mut self,
+        table_pages: u32,
+        mut page_map: impl FnMut(RecordId) -> u32,
+    ) -> Option<KeyedTrace> {
+        let mut pages = Vec::with_capacity(self.len as usize);
+        let mut run_lengths: Vec<u32> = Vec::new();
+        let mut current_key: Option<i64> = None;
+        for e in self.scan(RangeSpec::full()) {
+            if current_key == Some(e.key) {
+                *run_lengths.last_mut().unwrap() += 1;
+            } else {
+                current_key = Some(e.key);
+                run_lengths.push(1);
+            }
+            pages.push(page_map(e.rid));
+        }
+        if pages.is_empty() {
+            return None;
+        }
+        Some(KeyedTrace::from_run_lengths(
+            pages,
+            &run_lengths,
+            table_pages,
+        ))
+    }
+
+    /// Checks structural invariants; returns a description of the first
+    /// violation, if any.
+    pub fn validate(&mut self) -> Result<(), String> {
+        let root = self.root;
+        let expect_depth = self.height;
+        let mut leaf_first_pages = Vec::new();
+        self.validate_rec(root, 1, expect_depth, None, None, &mut leaf_first_pages)?;
+        // Leaf chain must visit the same leaves in the same order.
+        let mut chained = Vec::new();
+        let mut page = {
+            // Leftmost leaf.
+            let mut p = root;
+            loop {
+                match self.read_node(p) {
+                    Node::Internal { children, .. } => p = children[0],
+                    Node::Leaf { .. } => break p,
+                }
+            }
+        };
+        let mut count = 0u64;
+        loop {
+            match self.read_node(page) {
+                Node::Leaf { entries, next } => {
+                    chained.push(page);
+                    count += entries.len() as u64;
+                    if next == NO_LEAF {
+                        break;
+                    }
+                    page = next;
+                }
+                Node::Internal { .. } => return Err("leaf chain reached an internal node".into()),
+            }
+        }
+        if chained != leaf_first_pages {
+            return Err("leaf chain order differs from in-order traversal".into());
+        }
+        if count != self.len {
+            return Err(format!("entry count {count} != len {}", self.len));
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn validate_rec(
+        &mut self,
+        page: u32,
+        depth: u32,
+        expect_depth: u32,
+        lo: Option<(i64, u64)>,
+        hi: Option<(i64, u64)>,
+        leaves: &mut Vec<u32>,
+    ) -> Result<(), String> {
+        match self.read_node(page) {
+            Node::Leaf { entries, .. } => {
+                if depth != expect_depth {
+                    return Err(format!(
+                        "leaf {page} at depth {depth}, expected {expect_depth}"
+                    ));
+                }
+                for w in entries.windows(2) {
+                    if w[0].sort_key() >= w[1].sort_key() {
+                        return Err(format!("leaf {page} not strictly sorted"));
+                    }
+                }
+                for e in &entries {
+                    if let Some(lo) = lo {
+                        if e.sort_key() < lo {
+                            return Err(format!("leaf {page} violates lower separator"));
+                        }
+                    }
+                    if let Some(hi) = hi {
+                        if e.sort_key() >= hi {
+                            return Err(format!("leaf {page} violates upper separator"));
+                        }
+                    }
+                }
+                leaves.push(page);
+                Ok(())
+            }
+            Node::Internal { keys, children } => {
+                if depth >= expect_depth {
+                    return Err(format!("internal {page} below expected leaf depth"));
+                }
+                if children.len() != keys.len() + 1 {
+                    return Err(format!("internal {page} child/key mismatch"));
+                }
+                for w in keys.windows(2) {
+                    if w[0] >= w[1] {
+                        return Err(format!("internal {page} keys not strictly sorted"));
+                    }
+                }
+                for (i, &child) in children.iter().enumerate() {
+                    let child_lo = if i == 0 { lo } else { Some(keys[i - 1]) };
+                    let child_hi = if i == keys.len() { hi } else { Some(keys[i]) };
+                    self.validate_rec(child, depth + 1, expect_depth, child_lo, child_hi, leaves)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Streaming range-scan cursor.
+pub struct ScanIter<'a> {
+    tree: &'a mut BTreeIndex,
+    entries: Vec<IndexEntry>,
+    pos: usize,
+    next_leaf: u32,
+    stop: KeyBound,
+    done: bool,
+}
+
+impl<'a> ScanIter<'a> {
+    fn empty(tree: &'a mut BTreeIndex) -> Self {
+        ScanIter {
+            tree,
+            entries: Vec::new(),
+            pos: 0,
+            next_leaf: NO_LEAF,
+            stop: KeyBound::Unbounded,
+            done: true,
+        }
+    }
+
+    fn passes_stop(&self, key: i64) -> bool {
+        match self.stop {
+            KeyBound::Unbounded => true,
+            KeyBound::Included(hi) => key <= hi,
+            KeyBound::Excluded(hi) => key < hi,
+        }
+    }
+}
+
+impl Iterator for ScanIter<'_> {
+    type Item = IndexEntry;
+
+    fn next(&mut self) -> Option<IndexEntry> {
+        loop {
+            if self.done {
+                return None;
+            }
+            if self.pos < self.entries.len() {
+                let e = self.entries[self.pos];
+                self.pos += 1;
+                if self.passes_stop(e.key) {
+                    return Some(e);
+                }
+                self.done = true;
+                return None;
+            }
+            if self.next_leaf == NO_LEAF {
+                self.done = true;
+                return None;
+            }
+            let node = self.tree.read_node(self.next_leaf);
+            match node {
+                Node::Leaf { entries, next } => {
+                    self.entries = entries;
+                    self.pos = 0;
+                    self.next_leaf = next;
+                }
+                Node::Internal { .. } => unreachable!("leaf chain is leaf-only"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rid(n: u32) -> RecordId {
+        RecordId::new(n, (n % 7) as u16)
+    }
+
+    fn collect_keys(tree: &mut BTreeIndex, range: RangeSpec) -> Vec<i64> {
+        tree.scan(range).map(|e| e.key).collect()
+    }
+
+    #[test]
+    fn empty_tree_scans_empty() {
+        let mut t = BTreeIndex::new();
+        assert!(t.is_empty());
+        assert_eq!(collect_keys(&mut t, RangeSpec::full()), Vec::<i64>::new());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn small_inserts_scan_in_order() {
+        let mut t = BTreeIndex::new();
+        for k in [5i64, 1, 9, 3, 7] {
+            t.insert(k, k * 10, rid(k as u32));
+        }
+        assert_eq!(collect_keys(&mut t, RangeSpec::full()), vec![1, 3, 5, 7, 9]);
+        assert_eq!(t.len(), 5);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_keys_preserve_insertion_order() {
+        let mut t = BTreeIndex::new();
+        let s1 = t.insert(4, 0, rid(100));
+        let s2 = t.insert(4, 0, rid(5));
+        let s3 = t.insert(4, 0, rid(50));
+        assert!(s1 < s2 && s2 < s3);
+        let rids: Vec<u32> = t.scan(RangeSpec::full()).map(|e| e.rid.page).collect();
+        // Unsorted RIDs within a key: emission order is insertion order.
+        assert_eq!(rids, vec![100, 5, 50]);
+    }
+
+    #[test]
+    fn many_inserts_split_and_stay_sorted() {
+        let mut t = BTreeIndex::new();
+        // Insert a pseudo-random permutation of 0..5000.
+        let mut keys: Vec<i64> = (0..5000).collect();
+        let mut state = 12345u64;
+        for i in (1..keys.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            keys.swap(i, j);
+        }
+        for &k in &keys {
+            t.insert(k, 0, rid(k as u32));
+        }
+        assert_eq!(t.len(), 5000);
+        assert!(t.height() >= 2, "5000 entries must split");
+        t.validate().unwrap();
+        let got = collect_keys(&mut t, RangeSpec::full());
+        assert_eq!(got, (0..5000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_scans_respect_bounds() {
+        let mut t = BTreeIndex::new();
+        for k in 0..1000i64 {
+            t.insert(k, 0, rid(k as u32));
+        }
+        assert_eq!(
+            collect_keys(&mut t, RangeSpec::between(10, 15)),
+            vec![10, 11, 12, 13, 14, 15]
+        );
+        let ge = RangeSpec {
+            start: KeyBound::Excluded(996),
+            stop: KeyBound::Unbounded,
+        };
+        assert_eq!(collect_keys(&mut t, ge), vec![997, 998, 999]);
+        let lt = RangeSpec {
+            start: KeyBound::Unbounded,
+            stop: KeyBound::Excluded(3),
+        };
+        assert_eq!(collect_keys(&mut t, lt), vec![0, 1, 2]);
+        // Empty range.
+        assert_eq!(
+            collect_keys(&mut t, RangeSpec::between(500, 400)),
+            Vec::<i64>::new()
+        );
+    }
+
+    #[test]
+    fn range_with_duplicates_returns_all_of_boundary_keys() {
+        let mut t = BTreeIndex::new();
+        for k in 0..100i64 {
+            for _ in 0..5 {
+                t.insert(k, 0, rid(k as u32));
+            }
+        }
+        let got = collect_keys(&mut t, RangeSpec::between(10, 12));
+        assert_eq!(got.len(), 15);
+        assert_eq!(got.iter().filter(|&&k| k == 10).count(), 5);
+        assert_eq!(got.iter().filter(|&&k| k == 12).count(), 5);
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental_inserts() {
+        let entries: Vec<IndexEntry> = (0..3000i64)
+            .map(|k| IndexEntry::new(k / 3, k as u64, k, rid(k as u32)))
+            .collect();
+        let mut bulk = BTreeIndex::bulk_load(&entries, 1.0);
+        bulk.validate().unwrap();
+        let mut incr = BTreeIndex::new();
+        for e in &entries {
+            incr.insert(e.key, e.minor, e.rid);
+        }
+        let a: Vec<IndexEntry> = bulk.scan(RangeSpec::full()).collect();
+        let b: Vec<IndexEntry> = incr.scan(RangeSpec::full()).collect();
+        assert_eq!(a.len(), b.len());
+        // Same keys/rids in the same order (seq numbering may differ).
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.key, x.rid), (y.key, y.rid));
+        }
+    }
+
+    #[test]
+    fn bulk_load_partial_fill_spreads_entries() {
+        let entries: Vec<IndexEntry> = (0..1000i64)
+            .map(|k| IndexEntry::new(k, k as u64, 0, rid(k as u32)))
+            .collect();
+        let full = BTreeIndex::bulk_load(&entries, 1.0);
+        let half = BTreeIndex::bulk_load(&entries, 0.5);
+        assert!(half.node_pages() > full.node_pages());
+        let mut half = half;
+        half.validate().unwrap();
+    }
+
+    #[test]
+    fn inserts_after_bulk_load_work() {
+        let entries: Vec<IndexEntry> = (0..500i64)
+            .map(|k| IndexEntry::new(k * 2, k as u64, 0, rid(k as u32)))
+            .collect();
+        let mut t = BTreeIndex::bulk_load(&entries, 1.0);
+        for k in 0..500i64 {
+            t.insert(k * 2 + 1, 0, rid(9999 + k as u32));
+        }
+        t.validate().unwrap();
+        assert_eq!(t.len(), 1000);
+        let keys = collect_keys(&mut t, RangeSpec::full());
+        assert_eq!(keys, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn delete_removes_specific_entry() {
+        let mut t = BTreeIndex::new();
+        let s1 = t.insert(7, 0, rid(1));
+        let s2 = t.insert(7, 0, rid(2));
+        assert!(t.delete(7, s1));
+        assert!(!t.delete(7, s1), "double delete fails");
+        assert_eq!(t.len(), 1);
+        let left: Vec<u64> = t.scan(RangeSpec::full()).map(|e| e.seq).collect();
+        assert_eq!(left, vec![s2]);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn delete_across_many_pages() {
+        let mut t = BTreeIndex::new();
+        let seqs: Vec<u64> = (0..2000i64)
+            .map(|k| t.insert(k, 0, rid(k as u32)))
+            .collect();
+        for (k, &s) in seqs.iter().enumerate().filter(|(k, _)| k % 2 == 0) {
+            assert!(t.delete(k as i64, s));
+        }
+        assert_eq!(t.len(), 1000);
+        t.validate().unwrap();
+        let keys = collect_keys(&mut t, RangeSpec::full());
+        assert_eq!(keys, (0..2000).filter(|k| k % 2 == 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn excluded_max_key_scans_empty() {
+        let mut t = BTreeIndex::new();
+        t.insert(i64::MAX, 0, rid(1));
+        let r = RangeSpec {
+            start: KeyBound::Excluded(i64::MAX),
+            stop: KeyBound::Unbounded,
+        };
+        assert_eq!(collect_keys(&mut t, r), Vec::<i64>::new());
+        let r2 = RangeSpec {
+            start: KeyBound::Included(i64::MAX),
+            stop: KeyBound::Unbounded,
+        };
+        assert_eq!(collect_keys(&mut t, r2), vec![i64::MAX]);
+    }
+
+    #[test]
+    fn statistics_trace_groups_runs_by_key() {
+        let mut t = BTreeIndex::new();
+        // Keys 0,0,1,2,2,2 on data pages 10,11,10,12,13,12.
+        let data = [(0i64, 10u32), (0, 11), (1, 10), (2, 12), (2, 13), (2, 12)];
+        for &(k, p) in &data {
+            t.insert(k, 0, RecordId::new(p, 0));
+        }
+        let trace = t.statistics_trace(20, |r| r.page).unwrap();
+        assert_eq!(trace.num_keys(), 3);
+        assert_eq!(trace.num_entries(), 6);
+        assert_eq!(trace.run_length(0), 2);
+        assert_eq!(trace.run_length(2), 3);
+        assert_eq!(trace.pages(), &[10, 11, 10, 12, 13, 12]);
+    }
+
+    #[test]
+    fn statistics_trace_on_empty_tree_is_none() {
+        let mut t = BTreeIndex::new();
+        assert!(t.statistics_trace(10, |r| r.page).is_none());
+    }
+
+    #[test]
+    fn io_stats_count_reads_and_writes() {
+        let mut t = BTreeIndex::new();
+        for k in 0..100i64 {
+            t.insert(k, 0, rid(k as u32));
+        }
+        let before = t.io_stats().reads;
+        let _: Vec<_> = t.scan(RangeSpec::full()).collect();
+        assert!(t.io_stats().reads > before);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly sorted")]
+    fn bulk_load_rejects_unsorted() {
+        let entries = vec![
+            IndexEntry::new(5, 0, 0, rid(0)),
+            IndexEntry::new(3, 1, 0, rid(1)),
+        ];
+        BTreeIndex::bulk_load(&entries, 1.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property tests: the B+-tree against a sorted reference model.
+
+use epfis_index::{BTreeIndex, IndexEntry, KeyBound, RangeSpec};
+use epfis_storage::RecordId;
+use proptest::prelude::*;
+
+/// Reference model: a plain sorted vector of entries.
+fn model_scan(model: &[IndexEntry], range: RangeSpec) -> Vec<IndexEntry> {
+    model
+        .iter()
+        .filter(|e| {
+            let ge = match range.start {
+                KeyBound::Unbounded => true,
+                KeyBound::Included(k) => e.key >= k,
+                KeyBound::Excluded(k) => e.key > k,
+            };
+            let le = match range.stop {
+                KeyBound::Unbounded => true,
+                KeyBound::Included(k) => e.key <= k,
+                KeyBound::Excluded(k) => e.key < k,
+            };
+            ge && le
+        })
+        .copied()
+        .collect()
+}
+
+fn keys_strategy() -> impl Strategy<Value = Vec<i64>> {
+    // Narrow key domain forces duplicates; wide exercises splits.
+    prop_oneof![
+        prop::collection::vec(-8i64..8, 0..600),
+        prop::collection::vec(-1000i64..1000, 0..600),
+    ]
+}
+
+fn bound_strategy() -> impl Strategy<Value = KeyBound> {
+    prop_oneof![
+        Just(KeyBound::Unbounded),
+        (-1100i64..1100).prop_map(KeyBound::Included),
+        (-1100i64..1100).prop_map(KeyBound::Excluded),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn insert_then_scan_matches_sorted_model(keys in keys_strategy(), start in bound_strategy(), stop in bound_strategy()) {
+        let mut tree = BTreeIndex::new();
+        let mut model = Vec::new();
+        for (i, &k) in keys.iter().enumerate() {
+            let rid = RecordId::new(i as u32, 0);
+            let seq = tree.insert(k, -k, rid);
+            model.push(IndexEntry::new(k, seq, -k, rid));
+        }
+        model.sort();
+        tree.validate().unwrap();
+
+        let range = RangeSpec { start, stop };
+        let got: Vec<IndexEntry> = tree.scan(range).collect();
+        prop_assert_eq!(got, model_scan(&model, range));
+    }
+
+    #[test]
+    fn bulk_load_equals_incremental(keys in keys_strategy(), fill in 0.3f64..=1.0) {
+        let mut sorted: Vec<IndexEntry> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| IndexEntry::new(k, i as u64, 0, RecordId::new(i as u32, 0)))
+            .collect();
+        sorted.sort();
+        let mut bulk = BTreeIndex::bulk_load(&sorted, fill);
+        bulk.validate().unwrap();
+        let got: Vec<IndexEntry> = bulk.scan(RangeSpec::full()).collect();
+        prop_assert_eq!(got, sorted);
+    }
+
+    #[test]
+    fn deletes_remove_exactly_the_victims(keys in keys_strategy(), victims in prop::collection::vec(any::<prop::sample::Index>(), 0..40)) {
+        let mut tree = BTreeIndex::new();
+        let mut model = Vec::new();
+        for (i, &k) in keys.iter().enumerate() {
+            let rid = RecordId::new(i as u32, 0);
+            let seq = tree.insert(k, 0, rid);
+            model.push(IndexEntry::new(k, seq, 0, rid));
+        }
+        if !model.is_empty() {
+            let mut removed = std::collections::HashSet::new();
+            for v in victims {
+                let e = model[v.index(model.len())];
+                if removed.insert(e.seq) {
+                    prop_assert!(tree.delete(e.key, e.seq));
+                } else {
+                    prop_assert!(!tree.delete(e.key, e.seq));
+                }
+            }
+            model.retain(|e| !removed.contains(&e.seq));
+        }
+        model.sort();
+        tree.validate().unwrap();
+        let got: Vec<IndexEntry> = tree.scan(RangeSpec::full()).collect();
+        prop_assert_eq!(got, model);
+    }
+
+    #[test]
+    fn mixed_operation_sequences_match_the_model(
+        seed_keys in prop::collection::vec(-50i64..50, 0..200),
+        ops in prop::collection::vec((0u8..4, -60i64..60), 0..250),
+        fill in 0.4f64..=1.0,
+    ) {
+        // Interleave bulk load, inserts, deletes, and range scans; after
+        // every operation the tree must agree with a sorted-vec model.
+        let mut sorted: Vec<IndexEntry> = seed_keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| IndexEntry::new(k, i as u64, 0, RecordId::new(i as u32, 0)))
+            .collect();
+        sorted.sort();
+        let mut tree = BTreeIndex::bulk_load(&sorted, fill);
+        let mut model = sorted;
+        for (op, k) in ops {
+            match op {
+                // Insert.
+                0 | 1 => {
+                    let rid = RecordId::new((k.unsigned_abs() % 97) as u32, 0);
+                    let seq = tree.insert(k, k, rid);
+                    model.push(IndexEntry::new(k, seq, k, rid));
+                    model.sort();
+                }
+                // Delete the first model entry with key >= k, if any.
+                2 => {
+                    if let Some(pos) = model.iter().position(|e| e.key >= k) {
+                        let victim = model.remove(pos);
+                        prop_assert!(tree.delete(victim.key, victim.seq));
+                    }
+                }
+                // Range scan around k.
+                _ => {
+                    let range = RangeSpec::between(k - 10, k + 10);
+                    let got: Vec<IndexEntry> = tree.scan(range).collect();
+                    prop_assert_eq!(got, model_scan(&model, range));
+                }
+            }
+        }
+        tree.validate().unwrap();
+        let got: Vec<IndexEntry> = tree.scan(RangeSpec::full()).collect();
+        prop_assert_eq!(got, model);
+    }
+
+    #[test]
+    fn statistics_trace_matches_scan_grouping(keys in prop::collection::vec(0i64..30, 1..400)) {
+        let mut tree = BTreeIndex::new();
+        for (i, &k) in keys.iter().enumerate() {
+            tree.insert(k, 0, RecordId::new((i % 50) as u32, 0));
+        }
+        let trace = tree.statistics_trace(50, |rid| rid.page).unwrap();
+        prop_assert_eq!(trace.num_entries(), keys.len() as u64);
+        // Distinct keys in the trace == distinct keys inserted.
+        let distinct: std::collections::HashSet<i64> = keys.iter().copied().collect();
+        prop_assert_eq!(trace.num_keys(), distinct.len() as u64);
+        // Page sequence equals the scan's RID pages.
+        let pages: Vec<u32> = tree.scan(RangeSpec::full()).map(|e| e.rid.page).collect();
+        prop_assert_eq!(trace.pages(), &pages[..]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Shared-buffer contention simulation (§6 future work: "intra-query
+//! contention, and multi-user contention").
+//!
+//! EPFIS models a scan that owns its `B` buffer pages. In reality several
+//! scans share one pool, and each one's effective buffer shrinks. This
+//! module simulates `k` concurrent scans — round-robin interleaved, pages
+//! namespaced per stream so distinct tables never collide — over one shared
+//! LRU buffer, attributing misses to the stream that incurred them. The
+//! harness uses it to measure how EPFIS's single-stream estimate degrades
+//! with contention and how well the classic `B/k` fair-share heuristic
+//! repairs it.
+
+use crate::lru::LruBuffer;
+
+/// Bits reserved for the page id within a stream's namespace.
+const STREAM_SHIFT: u32 = 27;
+
+/// Maximum page ordinal a stream may reference.
+pub const MAX_STREAM_PAGE: u32 = (1 << STREAM_SHIFT) - 1;
+
+/// Maximum number of concurrent streams.
+pub const MAX_STREAMS: usize = 1 << (32 - STREAM_SHIFT);
+
+/// Round-robin interleaving of `streams`, tagging each reference with its
+/// stream index: returns `(stream, namespaced_page)` pairs.
+///
+/// One reference is taken from each live stream per round, modeling equal
+/// I/O progress; exhausted streams drop out (a finished query releases no
+/// further references but its pages stay cached until evicted).
+///
+/// # Panics
+/// Panics if there are more than [`MAX_STREAMS`] streams or a page exceeds
+/// [`MAX_STREAM_PAGE`].
+pub fn interleave(streams: &[&[u32]]) -> Vec<(u32, u32)> {
+    assert!(streams.len() <= MAX_STREAMS, "too many streams");
+    let total: usize = streams.iter().map(|s| s.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut cursors = vec![0usize; streams.len()];
+    let mut live = streams.len();
+    while live > 0 {
+        live = 0;
+        for (i, stream) in streams.iter().enumerate() {
+            if cursors[i] < stream.len() {
+                let page = stream[cursors[i]];
+                assert!(page <= MAX_STREAM_PAGE, "page {page} out of namespace");
+                out.push((i as u32, ((i as u32) << STREAM_SHIFT) | page));
+                cursors[i] += 1;
+                if cursors[i] < stream.len() {
+                    live += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Simulates the interleaved streams over one shared LRU buffer of
+/// `capacity` pages and returns each stream's miss (fetch) count.
+///
+/// # Panics
+/// Panics if `capacity == 0` or the stream limits are exceeded.
+pub fn shared_lru_misses(streams: &[&[u32]], capacity: usize) -> Vec<u64> {
+    let mut buffer = LruBuffer::new(capacity);
+    let mut misses = vec![0u64; streams.len()];
+    for (stream, page) in interleave(streams) {
+        if buffer.access(page) {
+            misses[stream as usize] += 1;
+        }
+    }
+    misses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate_lru;
+
+    #[test]
+    fn single_stream_matches_plain_simulation() {
+        let trace: Vec<u32> = (0..500u32)
+            .map(|i| i.wrapping_mul(2654435761) % 40)
+            .collect();
+        for cap in [1usize, 8, 40] {
+            let shared = shared_lru_misses(&[&trace], cap);
+            assert_eq!(shared, vec![simulate_lru(&trace, cap)]);
+        }
+    }
+
+    #[test]
+    fn interleave_is_round_robin_and_namespaced() {
+        let a = [1u32, 2];
+        let b = [7u32, 8, 9];
+        let mixed = interleave(&[&a, &b]);
+        let streams: Vec<u32> = mixed.iter().map(|&(s, _)| s).collect();
+        assert_eq!(streams, vec![0, 1, 0, 1, 1]);
+        // Pages from different streams never collide even when equal.
+        let same = [5u32];
+        let mixed = interleave(&[&same, &same]);
+        assert_ne!(mixed[0].1, mixed[1].1);
+    }
+
+    #[test]
+    fn identical_streams_share_nothing_but_still_fit_big_buffers() {
+        // Two identical (but namespaced) sequential scans of 30 pages: with
+        // a buffer of >= 60 both see only cold misses.
+        let trace: Vec<u32> = (0..60u32).map(|i| i % 30).collect();
+        let misses = shared_lru_misses(&[&trace, &trace], 60);
+        assert_eq!(misses, vec![30, 30]);
+    }
+
+    #[test]
+    fn contention_inflates_misses_monotonically() {
+        // One looping scan that fits alone in the buffer; adding competitors
+        // steals its frames and re-introduces misses.
+        let victim: Vec<u32> = (0..600u32).map(|i| i % 20).collect();
+        let noise: Vec<u32> = (0..600u32).map(|i| i.wrapping_mul(48271) % 3000).collect();
+        let cap = 40usize;
+        let alone = shared_lru_misses(&[&victim], cap)[0];
+        let with_one = shared_lru_misses(&[&victim, &noise], cap)[0];
+        let with_three = shared_lru_misses(&[&victim, &noise, &noise, &noise], cap)[0];
+        assert!(alone <= with_one, "{alone} vs {with_one}");
+        assert!(with_one <= with_three, "{with_one} vs {with_three}");
+        assert_eq!(alone, 20, "fits alone: cold misses only");
+        assert!(with_three > 100, "heavy contention must thrash the victim");
+    }
+
+    #[test]
+    fn fair_share_heuristic_brackets_contended_misses() {
+        // k identical streams over a shared B behave roughly like one
+        // stream over B/k: check the heuristic lands within 2x.
+        let trace: Vec<u32> = (0..2000u32)
+            .map(|i| i.wrapping_mul(2654435761) % 100)
+            .collect();
+        let cap = 64usize;
+        let k = 4;
+        let streams: Vec<&[u32]> = (0..k).map(|_| trace.as_slice()).collect();
+        let contended = shared_lru_misses(&streams, cap)[0];
+        let fair_share = simulate_lru(&trace, cap / k);
+        let ratio = contended as f64 / fair_share as f64;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "contended {contended} vs fair-share {fair_share}"
+        );
+    }
+
+    #[test]
+    fn exhausted_streams_leave_residue_but_stop_missing() {
+        let short = [1u32, 2];
+        let long: Vec<u32> = (0..100u32).collect();
+        let misses = shared_lru_misses(&[&short, &long], 16);
+        assert_eq!(misses[0], 2);
+        assert_eq!(misses[1], 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of namespace")]
+    fn oversized_page_panics() {
+        interleave(&[&[u32::MAX][..]]);
+    }
+}

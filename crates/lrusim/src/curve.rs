@@ -1,0 +1,236 @@
+//! Stack-distance histograms and the derived fetch curves.
+//!
+//! The outcome of a Mattson pass is a histogram: for each reference, either a
+//! finite LRU stack distance `d >= 1` or "cold" (first touch of that page).
+//! Under LRU's inclusion property a reference with distance `d` hits in every
+//! buffer of size `>= d` and misses in every smaller one, so the number of
+//! page fetches with buffer size `B` is
+//!
+//! ```text
+//! F(B) = cold + #{ references with finite distance > B }
+//! ```
+//!
+//! [`FetchCurve`] materializes `F(B)` for every `B` via one suffix-sum pass.
+//! This single exact curve replaces the paper's "simulate at k chosen buffer
+//! sizes" step — LRU-Fit then merely *samples* it at its grid points.
+
+/// Histogram of LRU stack distances over one trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StackDistanceHistogram {
+    /// `counts[d]` = number of references with finite stack distance `d`
+    /// (index 0 is unused and always 0).
+    counts: Vec<u64>,
+    /// References to never-before-seen pages (infinite distance). This also
+    /// equals the number of distinct pages in the trace — the paper's `A`
+    /// for a full scan.
+    cold: u64,
+    /// Total references (the trace length; the paper's `N` for a full index
+    /// scan with one record per index entry).
+    total: u64,
+}
+
+impl StackDistanceHistogram {
+    /// Builds a histogram from raw parts. `counts[0]` must be zero.
+    pub fn from_parts(counts: Vec<u64>, cold: u64) -> Self {
+        debug_assert!(counts.first().copied().unwrap_or(0) == 0);
+        let total = cold + counts.iter().sum::<u64>();
+        StackDistanceHistogram {
+            counts,
+            cold,
+            total,
+        }
+    }
+
+    /// An empty histogram (empty trace).
+    pub fn empty() -> Self {
+        StackDistanceHistogram {
+            counts: vec![0],
+            cold: 0,
+            total: 0,
+        }
+    }
+
+    /// Number of references with finite stack distance exactly `d`.
+    pub fn count_at(&self, d: usize) -> u64 {
+        self.counts.get(d).copied().unwrap_or(0)
+    }
+
+    /// Cold (first-touch) references == distinct pages touched (`A`).
+    pub fn cold(&self) -> u64 {
+        self.cold
+    }
+
+    /// Total references in the trace.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest finite distance observed (0 if none).
+    pub fn max_distance(&self) -> usize {
+        (1..self.counts.len())
+            .rev()
+            .find(|&d| self.counts[d] != 0)
+            .unwrap_or(0)
+    }
+
+    /// Page fetches with an LRU buffer of `b` pages (`b >= 1`).
+    ///
+    /// O(len) per call; use [`FetchCurve`] for repeated queries.
+    pub fn fetches_at(&self, b: usize) -> u64 {
+        assert!(b >= 1, "buffer size must be >= 1");
+        let warm_hits: u64 = self.counts.iter().take(b + 1).sum();
+        self.total - warm_hits
+    }
+
+    /// Materializes the full `F(B)` curve.
+    pub fn fetch_curve(&self) -> FetchCurve {
+        FetchCurve::from_histogram(self)
+    }
+}
+
+/// The exact page-fetch curve `F(B)` for `B = 1..` derived from a histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FetchCurve {
+    /// `fetches[b-1]` = F(b) for `b` in `1..=fetches.len()`. Beyond that the
+    /// curve is flat at `cold`.
+    fetches: Vec<u64>,
+    cold: u64,
+    total: u64,
+}
+
+impl FetchCurve {
+    /// Builds the curve from a histogram in one suffix pass.
+    pub fn from_histogram(h: &StackDistanceHistogram) -> Self {
+        let maxd = h.max_distance();
+        let mut fetches = Vec::with_capacity(maxd);
+        // F(b) = total - sum_{d<=b} counts[d]; running cumulative.
+        let mut cum = 0u64;
+        for b in 1..=maxd {
+            cum += h.count_at(b);
+            fetches.push(h.total() - cum);
+        }
+        FetchCurve {
+            fetches,
+            cold: h.cold(),
+            total: h.total(),
+        }
+    }
+
+    /// Page fetches with an LRU buffer of `b` pages (`b >= 1`).
+    pub fn fetches(&self, b: u64) -> u64 {
+        assert!(b >= 1, "buffer size must be >= 1");
+        let idx = (b - 1) as usize;
+        if idx < self.fetches.len() {
+            self.fetches[idx]
+        } else {
+            // Buffer at least as large as the deepest reuse: only cold misses.
+            self.cold
+        }
+    }
+
+    /// Smallest buffer size at which the curve reaches its floor (`cold`
+    /// misses only). This is the paper's observation that once `B`
+    /// approaches `A`, disorganization becomes irrelevant.
+    pub fn saturation_buffer(&self) -> u64 {
+        self.fetches.len() as u64 + 1
+    }
+
+    /// Cold misses == distinct pages (`A`).
+    pub fn cold(&self) -> u64 {
+        self.cold
+    }
+
+    /// Total references.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Hit ratio at buffer size `b`.
+    pub fn hit_ratio(&self, b: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        1.0 - self.fetches(b) as f64 / self.total as f64
+    }
+
+    /// Samples the curve at the given buffer sizes, returning `(B, F)` pairs.
+    pub fn sample(&self, buffer_sizes: &[u64]) -> Vec<(u64, u64)> {
+        buffer_sizes.iter().map(|&b| (b, self.fetches(b))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(counts: Vec<u64>, cold: u64) -> StackDistanceHistogram {
+        StackDistanceHistogram::from_parts(counts, cold)
+    }
+
+    #[test]
+    fn fetches_at_counts_cold_plus_deep() {
+        // distances: two at 1, one at 3; cold 4. total = 7.
+        let h = hist(vec![0, 2, 0, 1], 4);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.fetches_at(1), 5); // misses: cold 4 + the d=3 ref
+        assert_eq!(h.fetches_at(2), 5);
+        assert_eq!(h.fetches_at(3), 4);
+        assert_eq!(h.fetches_at(100), 4);
+    }
+
+    #[test]
+    fn curve_matches_histogram_everywhere() {
+        let h = hist(vec![0, 5, 3, 0, 2, 1], 9);
+        let c = h.fetch_curve();
+        for b in 1..12 {
+            assert_eq!(c.fetches(b as u64), h.fetches_at(b), "B={b}");
+        }
+        assert_eq!(c.cold(), 9);
+        assert_eq!(c.total(), h.total());
+    }
+
+    #[test]
+    fn curve_is_monotone_nonincreasing_and_floors_at_cold() {
+        let h = hist(vec![0, 1, 4, 2, 0, 7], 11);
+        let c = h.fetch_curve();
+        let mut prev = u64::MAX;
+        for b in 1..=10 {
+            let f = c.fetches(b);
+            assert!(f <= prev);
+            prev = f;
+        }
+        assert_eq!(c.fetches(c.saturation_buffer()), c.cold());
+        assert_eq!(c.fetches(10_000), c.cold());
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = StackDistanceHistogram::empty();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.fetches_at(1), 0);
+        let c = h.fetch_curve();
+        assert_eq!(c.fetches(1), 0);
+        assert_eq!(c.hit_ratio(1), 0.0);
+    }
+
+    #[test]
+    fn hit_ratio_complements_fetches() {
+        let h = hist(vec![0, 6], 4); // total 10, F(1) = 4
+        let c = h.fetch_curve();
+        assert!((c.hit_ratio(1) - 0.6).abs() < 1e-12);
+        assert!((c.hit_ratio(5) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_returns_pairs_in_order() {
+        let h = hist(vec![0, 2, 2], 2); // total 6
+        let c = h.fetch_curve();
+        assert_eq!(c.sample(&[1, 2, 3]), vec![(1, 4), (2, 2), (3, 2)]);
+    }
+
+    #[test]
+    fn max_distance_ignores_trailing_zeros() {
+        let h = hist(vec![0, 1, 0, 0, 5, 0, 0], 0);
+        assert_eq!(h.max_distance(), 4);
+    }
+}

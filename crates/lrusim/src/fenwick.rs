@@ -1,0 +1,157 @@
+//! A Fenwick (binary indexed) tree over `u64` counts.
+//!
+//! Used by [`crate::stack::StackAnalyzer`] to count, in O(log n), how many
+//! "most recent access" marks fall at or after a given reference time.
+
+/// Fenwick tree supporting point add and prefix-sum queries over
+/// `0..len` (externally 0-indexed).
+#[derive(Debug, Clone)]
+pub struct Fenwick {
+    tree: Vec<u64>,
+}
+
+impl Fenwick {
+    /// Creates a tree over `len` zeroed positions.
+    pub fn new(len: usize) -> Self {
+        Fenwick {
+            tree: vec![0; len + 1],
+        }
+    }
+
+    /// Number of positions.
+    pub fn len(&self) -> usize {
+        self.tree.len() - 1
+    }
+
+    /// Whether the tree has zero positions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Grows the tree to cover at least `len` positions, preserving counts.
+    pub fn grow_to(&mut self, len: usize) {
+        if len <= self.len() {
+            return;
+        }
+        // Rebuild from per-position values; growth is amortized by doubling.
+        let new_len = len.max(self.len() * 2).max(16);
+        let values = self.values();
+        let mut fresh = Fenwick::new(new_len);
+        for (i, v) in values.into_iter().enumerate() {
+            if v != 0 {
+                fresh.add(i, v as i64);
+            }
+        }
+        *self = fresh;
+    }
+
+    /// Adds `delta` at position `i` (0-indexed). `delta` may be negative but
+    /// must not drive the position's count below zero.
+    pub fn add(&mut self, i: usize, delta: i64) {
+        debug_assert!(i < self.len());
+        let mut idx = i + 1;
+        while idx < self.tree.len() {
+            self.tree[idx] = (self.tree[idx] as i64 + delta) as u64;
+            idx += idx & idx.wrapping_neg();
+        }
+    }
+
+    /// Sum over `0..=i` (0-indexed, inclusive).
+    pub fn prefix_sum(&self, i: usize) -> u64 {
+        let mut idx = (i + 1).min(self.len());
+        let mut sum = 0;
+        while idx > 0 {
+            sum += self.tree[idx];
+            idx -= idx & idx.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Sum over the whole array.
+    pub fn total(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.prefix_sum(self.len() - 1)
+        }
+    }
+
+    /// Sum over `i..len` (0-indexed, inclusive of `i`).
+    pub fn suffix_sum(&self, i: usize) -> u64 {
+        if i == 0 {
+            return self.total();
+        }
+        self.total() - self.prefix_sum(i - 1)
+    }
+
+    fn values(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut prev = 0;
+        for i in 0..self.len() {
+            let cur = self.prefix_sum(i);
+            out.push(cur - prev);
+            prev = cur;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_sums_match_reference() {
+        let mut f = Fenwick::new(10);
+        let mut reference = [0i64; 10];
+        let updates = [(0usize, 3i64), (4, 7), (9, 1), (4, -2), (7, 5)];
+        for (i, d) in updates {
+            f.add(i, d);
+            reference[i] += d;
+        }
+        let mut acc = 0;
+        for (i, r) in reference.iter().enumerate() {
+            acc += r;
+            assert_eq!(f.prefix_sum(i), acc as u64, "prefix at {i}");
+        }
+    }
+
+    #[test]
+    fn suffix_sum_complements_prefix() {
+        let mut f = Fenwick::new(8);
+        for i in 0..8 {
+            f.add(i, (i + 1) as i64);
+        }
+        let total = f.total();
+        assert_eq!(total, 36);
+        for i in 0..8 {
+            assert_eq!(
+                f.suffix_sum(i) + if i > 0 { f.prefix_sum(i - 1) } else { 0 },
+                total
+            );
+        }
+        assert_eq!(f.suffix_sum(0), 36);
+        assert_eq!(f.suffix_sum(7), 8);
+    }
+
+    #[test]
+    fn grow_preserves_counts() {
+        let mut f = Fenwick::new(4);
+        f.add(1, 5);
+        f.add(3, 2);
+        f.grow_to(100);
+        assert!(f.len() >= 100);
+        assert_eq!(f.prefix_sum(1), 5);
+        assert_eq!(f.prefix_sum(3), 7);
+        assert_eq!(f.total(), 7);
+        f.add(99, 1);
+        assert_eq!(f.total(), 8);
+    }
+
+    #[test]
+    fn empty_tree_total_is_zero() {
+        let f = Fenwick::new(0);
+        assert!(f.is_empty());
+        assert_eq!(f.total(), 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! LRU buffer modeling: the analytical core of EPFIS.
+//!
+//! Section 4.1 of the paper builds its Full-index-scan Page Fetch (FPF) data
+//! by simulating an LRU buffer pool over the sequence of data-page numbers
+//! produced by a full index scan — *simultaneously for every buffer size* —
+//! using the stack property of LRU (Mattson et al., 1970): at any instant the
+//! contents of an LRU buffer of size `B` are exactly the top `B` entries of a
+//! single LRU stack, so one pass that computes each reference's *stack
+//! distance* determines hit/miss for all `B` at once.
+//!
+//! This crate provides:
+//!
+//! * [`lru::LruBuffer`] — an exact single-size LRU simulator (hash map +
+//!   intrusive list), the definition of truth,
+//! * [`stack::StackAnalyzer`] — the one-pass Mattson analysis using a Fenwick
+//!   tree over reference time, O(n log n) for a trace of length n,
+//! * [`naive::NaiveStackAnalyzer`] — a literal LRU-stack implementation used
+//!   to cross-validate the Fenwick version,
+//! * [`curve::StackDistanceHistogram`] / [`curve::FetchCurve`] — the
+//!   distance histogram and the derived `F(B)` curve for every `B`,
+//! * [`trace::KeyedTrace`] — a page-reference trace annotated with key-run
+//!   boundaries, the common input shared by EPFIS and every baseline
+//!   estimator (key runs are needed for Mackert–Lohman's `x` and for the
+//!   DC algorithm's cluster counter).
+
+pub mod contention;
+pub mod curve;
+pub mod fenwick;
+pub mod lru;
+pub mod naive;
+pub mod policies;
+pub mod stack;
+pub mod trace;
+
+pub use contention::shared_lru_misses;
+pub use curve::{FetchCurve, StackDistanceHistogram};
+pub use lru::LruBuffer;
+pub use naive::NaiveStackAnalyzer;
+pub use policies::{simulate_clock, simulate_fifo};
+pub use stack::StackAnalyzer;
+pub use trace::KeyedTrace;
+
+/// Analyzes a whole trace and returns its stack-distance histogram.
+///
+/// Convenience wrapper over [`StackAnalyzer`].
+pub fn analyze_trace(trace: &[u32]) -> StackDistanceHistogram {
+    let mut a = StackAnalyzer::with_capacity(trace.len());
+    for &p in trace {
+        a.access(p);
+    }
+    a.finish()
+}
+
+/// Simulates an exact LRU buffer of `capacity` pages over `trace` and
+/// returns the number of misses (page fetches).
+///
+/// Convenience wrapper over [`LruBuffer`].
+pub fn simulate_lru(trace: &[u32], capacity: usize) -> u64 {
+    let mut buf = LruBuffer::new(capacity);
+    let mut misses = 0;
+    for &p in trace {
+        if buf.access(p) {
+            misses += 1;
+        }
+    }
+    misses
+}
+
+/// The smallest buffer size LRU-Fit models (§4.1):
+/// `B_min = max(0.01 · T, B_sml)`, capped at `T`.
+///
+/// `b_sml` is "the smallest buffer pool size modeled ... chosen to avoid the
+/// large effects on page fetches due to too small a buffer size"; the paper
+/// uses 12.
+pub fn epfis_b_min(table_pages: u32, b_sml: u64) -> u64 {
+    let one_percent = (0.01 * table_pages as f64).ceil() as u64;
+    one_percent.max(b_sml).min(table_pages.max(1) as u64)
+}
+
+/// The paper's clustering factor (§4.1): `C = (N − F_min) / (N − T)`,
+/// clamped into `[0, 1]`, where `F_min` is the page fetches of a full index
+/// scan with buffer size `b_min`.
+///
+/// Degenerate case: when every record sits on its own page (`N == T`), any
+/// order is perfectly clustered, so `C = 1`.
+pub fn clustering_factor(curve: &FetchCurve, table_pages: u32, b_min: u64) -> f64 {
+    let n = curve.total();
+    let t = table_pages as u64;
+    if n <= t {
+        return 1.0;
+    }
+    let f_min = curve.fetches(b_min.max(1));
+    let c = (n as f64 - f_min as f64) / (n as f64 - t as f64);
+    c.clamp(0.0, 1.0)
+}

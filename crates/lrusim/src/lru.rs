@@ -1,0 +1,265 @@
+//! An exact single-size LRU buffer simulator.
+//!
+//! This is the reference semantics: a hash map from page id to an intrusive
+//! doubly-linked-list node, O(1) per access. The Mattson analysis in
+//! [`crate::stack`] must agree with it for every buffer size — a property
+//! test enforces exactly that.
+
+use std::collections::HashMap;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Copy)]
+struct Node {
+    page: u32,
+    prev: u32,
+    next: u32,
+}
+
+/// A fixed-capacity LRU page buffer; [`access`](LruBuffer::access) returns
+/// whether the access missed.
+///
+/// ```
+/// use epfis_lrusim::LruBuffer;
+///
+/// let mut buf = LruBuffer::new(2);
+/// assert!(buf.access(10));  // cold miss
+/// assert!(buf.access(20));  // cold miss
+/// assert!(!buf.access(10)); // hit
+/// assert!(buf.access(30));  // evicts 20 (the least recently used)
+/// assert!(buf.access(20));  // miss again
+/// assert_eq!(buf.misses(), 4);
+/// ```
+pub struct LruBuffer {
+    capacity: usize,
+    map: HashMap<u32, u32>,
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    /// LRU end (eviction side).
+    head: u32,
+    /// MRU end.
+    tail: u32,
+    hits: u64,
+    misses: u64,
+}
+
+impl LruBuffer {
+    /// Creates a buffer holding at most `capacity` pages.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LRU buffer needs capacity >= 1");
+        LruBuffer {
+            capacity,
+            map: HashMap::with_capacity(capacity * 2),
+            nodes: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Buffer capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of resident pages.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no pages are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses (page fetches) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Whether `page` is currently resident (does not touch recency).
+    pub fn contains(&self, page: u32) -> bool {
+        self.map.contains_key(&page)
+    }
+
+    /// References `page`; returns `true` on a miss (fetch), `false` on a hit.
+    pub fn access(&mut self, page: u32) -> bool {
+        if let Some(&idx) = self.map.get(&page) {
+            self.hits += 1;
+            self.unlink(idx);
+            self.push_mru(idx);
+            return false;
+        }
+        self.misses += 1;
+        if self.map.len() == self.capacity {
+            let victim = self.head;
+            debug_assert_ne!(victim, NIL);
+            let vpage = self.nodes[victim as usize].page;
+            self.unlink(victim);
+            self.map.remove(&vpage);
+            self.free.push(victim);
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize].page = page;
+                i
+            }
+            None => {
+                self.nodes.push(Node {
+                    page,
+                    prev: NIL,
+                    next: NIL,
+                });
+                (self.nodes.len() - 1) as u32
+            }
+        };
+        self.map.insert(page, idx);
+        self.push_mru(idx);
+        true
+    }
+
+    /// Resident pages from most to least recently used (diagnostics).
+    pub fn contents_mru_to_lru(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut cur = self.tail;
+        while cur != NIL {
+            out.push(self.nodes[cur as usize].page);
+            cur = self.nodes[cur as usize].prev;
+        }
+        out
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let (p, n) = {
+            let node = &self.nodes[idx as usize];
+            (node.prev, node.next)
+        };
+        if p != NIL {
+            self.nodes[p as usize].next = n;
+        } else if self.head == idx {
+            self.head = n;
+        }
+        if n != NIL {
+            self.nodes[n as usize].prev = p;
+        } else if self.tail == idx {
+            self.tail = p;
+        }
+        self.nodes[idx as usize].prev = NIL;
+        self.nodes[idx as usize].next = NIL;
+    }
+
+    fn push_mru(&mut self, idx: u32) {
+        self.nodes[idx as usize].prev = self.tail;
+        self.nodes[idx as usize].next = NIL;
+        if self.tail != NIL {
+            self.nodes[self.tail as usize].next = idx;
+        } else {
+            self.head = idx;
+        }
+        self.tail = idx;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_misses_then_hits() {
+        let mut b = LruBuffer::new(2);
+        assert!(b.access(1));
+        assert!(b.access(2));
+        assert!(!b.access(1));
+        assert!(!b.access(2));
+        assert_eq!(b.misses(), 2);
+        assert_eq!(b.hits(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut b = LruBuffer::new(2);
+        b.access(1);
+        b.access(2);
+        b.access(1); // 2 is now LRU
+        assert!(b.access(3)); // evicts 2
+        assert!(!b.access(1));
+        assert!(b.access(2)); // 2 was evicted
+    }
+
+    #[test]
+    fn capacity_one_always_misses_on_alternation() {
+        let mut b = LruBuffer::new(1);
+        for _ in 0..5 {
+            assert!(b.access(1));
+            assert!(b.access(2));
+        }
+        assert_eq!(b.misses(), 10);
+    }
+
+    #[test]
+    fn repeated_same_page_hits() {
+        let mut b = LruBuffer::new(1);
+        assert!(b.access(9));
+        for _ in 0..100 {
+            assert!(!b.access(9));
+        }
+        assert_eq!(b.misses(), 1);
+    }
+
+    #[test]
+    fn contents_ordered_mru_first() {
+        let mut b = LruBuffer::new(3);
+        b.access(1);
+        b.access(2);
+        b.access(3);
+        b.access(1);
+        assert_eq!(b.contents_mru_to_lru(), vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn len_caps_at_capacity() {
+        let mut b = LruBuffer::new(3);
+        for p in 0..10 {
+            b.access(p);
+            assert!(b.len() <= 3);
+        }
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn classic_trace_reference_counts() {
+        // Same trace as the buffer-pool test: B=2, trace 0,1,0,2,0,1 -> 4
+        // misses under LRU.
+        assert_eq!(crate::simulate_lru(&[0, 1, 0, 2, 0, 1], 2), 4);
+        // With B=3 everything fits after the cold misses.
+        assert_eq!(crate::simulate_lru(&[0, 1, 0, 2, 0, 1], 3), 3);
+    }
+
+    #[test]
+    fn larger_buffer_never_misses_more() {
+        // LRU inclusion property, spot-checked on a fixed pseudo-random trace.
+        let trace: Vec<u32> = (0..500u32).map(|i| (i * 7919 + 13) % 37).collect();
+        let mut prev = u64::MAX;
+        for cap in 1..=40 {
+            let m = crate::simulate_lru(&trace, cap);
+            assert!(m <= prev, "cap={cap}: {m} > {prev}");
+            prev = m;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity >= 1")]
+    fn zero_capacity_panics() {
+        let _ = LruBuffer::new(0);
+    }
+}

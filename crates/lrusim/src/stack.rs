@@ -1,0 +1,216 @@
+//! One-pass Mattson stack-distance analysis, Fenwick-tree flavoured.
+//!
+//! For each reference we need the referenced page's current depth in the LRU
+//! stack, i.e. the number of *distinct* pages referenced since (and
+//! including) its previous reference. Maintaining the stack literally costs
+//! O(depth) per access ([`crate::naive`]); instead we keep
+//!
+//! * `last[page]` — the time of the page's most recent reference, and
+//! * a Fenwick tree over time with a 1 at each page's most recent reference
+//!   time,
+//!
+//! so the stack distance of a reference at time `t` to a page last referenced
+//! at `lp` is the number of marks in `[lp, t)` — a suffix count, O(log n).
+//! After the query the mark moves from `lp` to `t`. This is the standard
+//! O(n log n) reuse-distance algorithm and is what makes the paper's
+//! "simulate all buffer sizes in one index-statistics scan" practical.
+
+use crate::curve::StackDistanceHistogram;
+use crate::fenwick::Fenwick;
+use std::collections::HashMap;
+
+/// Incremental stack-distance analyzer. Feed references with
+/// [`access`](StackAnalyzer::access); obtain the histogram with
+/// [`finish`](StackAnalyzer::finish).
+///
+/// ```
+/// use epfis_lrusim::StackAnalyzer;
+///
+/// let mut a = StackAnalyzer::new();
+/// for page in [1u32, 2, 1, 3, 2, 1] {
+///     a.access(page);
+/// }
+/// let curve = a.finish().fetch_curve();
+/// // One pass answers "how many fetches with B pages?" for every B:
+/// assert_eq!(curve.fetches(1), 6); // thrashes: every access misses
+/// assert_eq!(curve.fetches(3), 3); // everything fits: cold misses only
+/// ```
+pub struct StackAnalyzer {
+    fenwick: Fenwick,
+    last: HashMap<u32, usize>,
+    counts: Vec<u64>,
+    cold: u64,
+    now: usize,
+}
+
+impl Default for StackAnalyzer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StackAnalyzer {
+    /// Creates an analyzer with a small initial time horizon.
+    pub fn new() -> Self {
+        Self::with_capacity(1024)
+    }
+
+    /// Creates an analyzer sized for a trace of about `n` references
+    /// (avoids Fenwick re-growth when the length is known).
+    pub fn with_capacity(n: usize) -> Self {
+        StackAnalyzer {
+            fenwick: Fenwick::new(n.max(16)),
+            last: HashMap::new(),
+            counts: vec![0],
+            cold: 0,
+            now: 0,
+        }
+    }
+
+    /// Processes one page reference and returns its stack distance
+    /// (`None` for a cold first touch).
+    pub fn access(&mut self, page: u32) -> Option<usize> {
+        let t = self.now;
+        self.now += 1;
+        if t >= self.fenwick.len() {
+            self.fenwick.grow_to(t + 1);
+        }
+        match self.last.insert(page, t) {
+            None => {
+                self.cold += 1;
+                self.fenwick.add(t, 1);
+                None
+            }
+            Some(lp) => {
+                // Marks in [lp, t): lp's own mark is still set, t's not yet.
+                let d = self.fenwick.suffix_sum(lp) as usize;
+                debug_assert!(d >= 1);
+                self.fenwick.add(lp, -1);
+                self.fenwick.add(t, 1);
+                if d >= self.counts.len() {
+                    self.counts.resize(d + 1, 0);
+                }
+                self.counts[d] += 1;
+                Some(d)
+            }
+        }
+    }
+
+    /// Number of references processed so far.
+    pub fn references(&self) -> u64 {
+        self.now as u64
+    }
+
+    /// Number of distinct pages seen so far.
+    pub fn distinct_pages(&self) -> u64 {
+        self.cold
+    }
+
+    /// Consumes the analyzer and returns the distance histogram.
+    pub fn finish(self) -> StackDistanceHistogram {
+        StackDistanceHistogram::from_parts(self.counts, self.cold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveStackAnalyzer;
+
+    fn analyze(trace: &[u32]) -> StackDistanceHistogram {
+        let mut a = StackAnalyzer::with_capacity(trace.len());
+        for &p in trace {
+            a.access(p);
+        }
+        a.finish()
+    }
+
+    #[test]
+    fn distances_on_hand_trace() {
+        // trace:      1  2  1  3  2  1
+        // distances:  -  -  2  -  3  3
+        let mut a = StackAnalyzer::new();
+        assert_eq!(a.access(1), None);
+        assert_eq!(a.access(2), None);
+        assert_eq!(a.access(1), Some(2));
+        assert_eq!(a.access(3), None);
+        assert_eq!(a.access(2), Some(3));
+        assert_eq!(a.access(1), Some(3));
+        let h = a.finish();
+        assert_eq!(h.cold(), 3);
+        assert_eq!(h.count_at(2), 1);
+        assert_eq!(h.count_at(3), 2);
+    }
+
+    #[test]
+    fn immediate_rereference_has_distance_one() {
+        let mut a = StackAnalyzer::new();
+        a.access(7);
+        assert_eq!(a.access(7), Some(1));
+        assert_eq!(a.access(7), Some(1));
+    }
+
+    #[test]
+    fn histogram_fetches_match_exact_lru_on_fixed_trace() {
+        let trace: Vec<u32> = vec![0, 1, 2, 0, 3, 1, 4, 0, 2, 2, 5, 1, 0, 3, 3, 6, 0];
+        let h = analyze(&trace);
+        let curve = h.fetch_curve();
+        for cap in 1..=8 {
+            assert_eq!(
+                curve.fetches(cap as u64),
+                crate::simulate_lru(&trace, cap),
+                "cap={cap}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_naive_analyzer_on_pseudorandom_trace() {
+        let trace: Vec<u32> = (0..3000u32)
+            .map(|i| i.wrapping_mul(2654435761) % 101)
+            .collect();
+        let fen = analyze(&trace);
+        let mut naive = NaiveStackAnalyzer::new();
+        for &p in &trace {
+            naive.access(p);
+        }
+        assert_eq!(fen, naive.finish());
+    }
+
+    #[test]
+    fn sequential_scan_is_all_cold() {
+        let trace: Vec<u32> = (0..100).collect();
+        let h = analyze(&trace);
+        assert_eq!(h.cold(), 100);
+        assert_eq!(h.max_distance(), 0);
+        // Table-scan property: F(B) == T for every B.
+        for b in [1u64, 2, 50, 1000] {
+            assert_eq!(h.fetch_curve().fetches(b), 100);
+        }
+    }
+
+    #[test]
+    fn growth_beyond_initial_capacity_is_correct() {
+        // Start tiny and feed a long trace to force Fenwick growth.
+        let trace: Vec<u32> = (0..5000u32).map(|i| i % 13).collect();
+        let mut a = StackAnalyzer::with_capacity(4);
+        for &p in &trace {
+            a.access(p);
+        }
+        let h = a.finish();
+        assert_eq!(h.total(), 5000);
+        assert_eq!(h.cold(), 13);
+        // Cyclic trace over 13 pages: every warm reference has distance 13.
+        assert_eq!(h.count_at(13), 5000 - 13);
+    }
+
+    #[test]
+    fn references_and_distinct_counters() {
+        let mut a = StackAnalyzer::new();
+        for p in [1u32, 1, 2, 3, 2] {
+            a.access(p);
+        }
+        assert_eq!(a.references(), 5);
+        assert_eq!(a.distinct_pages(), 3);
+    }
+}

@@ -1,0 +1,227 @@
+//! Key-annotated page-reference traces.
+//!
+//! A full index scan visits the index entries in key-sequence order; each
+//! entry names a data page. Everything in the paper consumes this object:
+//!
+//! * LRU-Fit runs the stack analysis over the whole trace,
+//! * a *partial* scan with start/stop key conditions is a contiguous slice
+//!   of it (entries are key-ordered),
+//! * Algorithm ML needs the number of distinct key values `x` in the range,
+//! * Algorithm DC's cluster counter compares the first page of each key's
+//!   run with the last page of the previous key's run.
+//!
+//! [`KeyedTrace`] therefore stores the page sequence plus the run boundary of
+//! every distinct key, in key order.
+
+use std::collections::HashSet;
+use std::ops::Range;
+
+/// A page-reference trace in key-sequence order with per-key run boundaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyedTrace {
+    /// Data page (file-relative ordinal) per index entry, key order.
+    pages: Vec<u32>,
+    /// `run_starts[i]..run_starts[i+1]` are the entries of the i-th distinct
+    /// key; length is `num_keys() + 1` with the last element == `pages.len()`.
+    run_starts: Vec<u32>,
+    /// Total pages in the table (the paper's `T`), which may exceed the
+    /// number of *referenced* pages.
+    table_pages: u32,
+}
+
+impl KeyedTrace {
+    /// Builds a trace from the page sequence and per-key run lengths.
+    ///
+    /// # Panics
+    /// Panics if the run lengths do not sum to `pages.len()`, if any run is
+    /// empty, or if a page ordinal is `>= table_pages`.
+    pub fn from_run_lengths(pages: Vec<u32>, run_lengths: &[u32], table_pages: u32) -> Self {
+        let mut run_starts = Vec::with_capacity(run_lengths.len() + 1);
+        let mut acc: u64 = 0;
+        run_starts.push(0u32);
+        for &len in run_lengths {
+            assert!(len > 0, "a distinct key must have at least one entry");
+            acc += len as u64;
+            assert!(acc <= u32::MAX as u64, "trace too long for u32 offsets");
+            run_starts.push(acc as u32);
+        }
+        assert_eq!(
+            acc as usize,
+            pages.len(),
+            "run lengths must cover the trace exactly"
+        );
+        if let Some(&max) = pages.iter().max() {
+            assert!(max < table_pages, "page ordinal {max} >= T={table_pages}");
+        }
+        KeyedTrace {
+            pages,
+            run_starts,
+            table_pages,
+        }
+    }
+
+    /// Builds a trace where every entry is its own key (distinct column).
+    pub fn all_distinct(pages: Vec<u32>, table_pages: u32) -> Self {
+        let lens = vec![1u32; pages.len()];
+        Self::from_run_lengths(pages, &lens, table_pages)
+    }
+
+    /// The full page sequence.
+    pub fn pages(&self) -> &[u32] {
+        &self.pages
+    }
+
+    /// Number of index entries (`N`: one entry per record).
+    pub fn num_entries(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    /// Number of distinct key values (`I`).
+    pub fn num_keys(&self) -> u64 {
+        (self.run_starts.len() - 1) as u64
+    }
+
+    /// Total pages in the table (`T`).
+    pub fn table_pages(&self) -> u32 {
+        self.table_pages
+    }
+
+    /// Entry range of key index `k` (0-based, key order).
+    pub fn run(&self, k: usize) -> Range<usize> {
+        self.run_starts[k] as usize..self.run_starts[k + 1] as usize
+    }
+
+    /// Pages referenced by key index `k`.
+    pub fn run_pages(&self, k: usize) -> &[u32] {
+        &self.pages[self.run(k)]
+    }
+
+    /// Number of records under key index `k`.
+    pub fn run_length(&self, k: usize) -> usize {
+        self.run(k).len()
+    }
+
+    /// Entry range covered by the inclusive key-index range `[k_lo, k_hi]`.
+    pub fn key_range_to_entries(&self, k_lo: usize, k_hi: usize) -> Range<usize> {
+        assert!(k_lo <= k_hi && k_hi < self.num_keys() as usize);
+        self.run_starts[k_lo] as usize..self.run_starts[k_hi + 1] as usize
+    }
+
+    /// Page slice for a partial scan over keys `[k_lo, k_hi]` inclusive.
+    pub fn scan_slice(&self, k_lo: usize, k_hi: usize) -> &[u32] {
+        &self.pages[self.key_range_to_entries(k_lo, k_hi)]
+    }
+
+    /// Selectivity `σ` of the inclusive key-index range `[k_lo, k_hi]`:
+    /// the fraction of records it covers.
+    pub fn selectivity(&self, k_lo: usize, k_hi: usize) -> f64 {
+        self.key_range_to_entries(k_lo, k_hi).len() as f64 / self.num_entries() as f64
+    }
+
+    /// Distinct data pages referenced by the whole trace (the paper's `A`
+    /// for a full scan).
+    pub fn distinct_pages(&self) -> u64 {
+        let set: HashSet<u32> = self.pages.iter().copied().collect();
+        set.len() as u64
+    }
+
+    /// Distinct data pages referenced by a partial scan.
+    pub fn distinct_pages_in(&self, k_lo: usize, k_hi: usize) -> u64 {
+        let set: HashSet<u32> = self.scan_slice(k_lo, k_hi).iter().copied().collect();
+        set.len() as u64
+    }
+
+    /// First page of key `k`'s run (the DC algorithm's "first page containing
+    /// the records of the next key value").
+    pub fn first_page_of_key(&self, k: usize) -> u32 {
+        self.pages[self.run_starts[k] as usize]
+    }
+
+    /// Last page of key `k`'s run.
+    pub fn last_page_of_key(&self, k: usize) -> u32 {
+        self.pages[self.run_starts[k + 1] as usize - 1]
+    }
+
+    /// Cumulative record counts: `prefix(i)` = records under keys `< i`.
+    /// Length `num_keys() + 1`. Used by the workload generator to translate
+    /// "at least rN records" into key positions.
+    pub fn record_prefix(&self) -> &[u32] {
+        &self.run_starts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> KeyedTrace {
+        // 3 keys: runs [10, 11], [11], [12, 10, 13] over a 20-page table.
+        KeyedTrace::from_run_lengths(vec![10, 11, 11, 12, 10, 13], &[2, 1, 3], 20)
+    }
+
+    #[test]
+    fn counts_and_accessors() {
+        let t = sample();
+        assert_eq!(t.num_entries(), 6);
+        assert_eq!(t.num_keys(), 3);
+        assert_eq!(t.table_pages(), 20);
+        assert_eq!(t.run_pages(0), &[10, 11]);
+        assert_eq!(t.run_pages(1), &[11]);
+        assert_eq!(t.run_pages(2), &[12, 10, 13]);
+        assert_eq!(t.run_length(2), 3);
+        assert_eq!(t.distinct_pages(), 4);
+    }
+
+    #[test]
+    fn key_range_slicing() {
+        let t = sample();
+        assert_eq!(t.scan_slice(0, 0), &[10, 11]);
+        assert_eq!(t.scan_slice(1, 2), &[11, 12, 10, 13]);
+        assert_eq!(t.scan_slice(0, 2), t.pages());
+        assert_eq!(t.key_range_to_entries(1, 1), 2..3);
+        assert_eq!(t.distinct_pages_in(1, 2), 4);
+        assert_eq!(t.distinct_pages_in(0, 0), 2);
+    }
+
+    #[test]
+    fn selectivity_is_record_fraction() {
+        let t = sample();
+        assert!((t.selectivity(0, 0) - 2.0 / 6.0).abs() < 1e-12);
+        assert!((t.selectivity(0, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_last_pages_per_key() {
+        let t = sample();
+        assert_eq!(t.first_page_of_key(0), 10);
+        assert_eq!(t.last_page_of_key(0), 11);
+        assert_eq!(t.first_page_of_key(2), 12);
+        assert_eq!(t.last_page_of_key(2), 13);
+    }
+
+    #[test]
+    fn all_distinct_constructor() {
+        let t = KeyedTrace::all_distinct(vec![3, 1, 2], 5);
+        assert_eq!(t.num_keys(), 3);
+        assert_eq!(t.run_length(1), 1);
+        assert_eq!(t.first_page_of_key(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the trace exactly")]
+    fn mismatched_run_lengths_panic() {
+        KeyedTrace::from_run_lengths(vec![1, 2, 3], &[2, 2], 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn empty_run_panics() {
+        KeyedTrace::from_run_lengths(vec![1, 2], &[2, 0], 5);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= T")]
+    fn page_beyond_table_panics() {
+        KeyedTrace::from_run_lengths(vec![5], &[1], 5);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the LRU modeling core.
+//!
+//! These pin the crate's central invariant: the one-pass Fenwick stack
+//! analysis, the literal stack analysis, and brute-force LRU simulation all
+//! describe the same function F(B).
+
+use epfis_lrusim::{analyze_trace, simulate_lru, LruBuffer, NaiveStackAnalyzer};
+use proptest::prelude::*;
+
+fn trace_strategy() -> impl Strategy<Value = Vec<u32>> {
+    // Small page universe forces heavy reuse; large universe exercises cold
+    // paths. Mix both.
+    prop_oneof![
+        prop::collection::vec(0u32..8, 0..200),
+        prop::collection::vec(0u32..64, 0..300),
+        prop::collection::vec(0u32..1000, 0..300),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn fenwick_matches_naive_analyzer(trace in trace_strategy()) {
+        let fen = analyze_trace(&trace);
+        let mut naive = NaiveStackAnalyzer::new();
+        for &p in &trace {
+            naive.access(p);
+        }
+        prop_assert_eq!(fen, naive.finish());
+    }
+
+    #[test]
+    fn histogram_predicts_exact_lru_for_every_buffer_size(trace in trace_strategy()) {
+        let curve = analyze_trace(&trace).fetch_curve();
+        let distinct = curve.cold().max(1);
+        for cap in 1..=(distinct as usize + 2) {
+            prop_assert_eq!(
+                curve.fetches(cap as u64),
+                simulate_lru(&trace, cap),
+                "capacity {}", cap
+            );
+        }
+    }
+
+    #[test]
+    fn fetches_monotone_nonincreasing_in_buffer_size(trace in trace_strategy()) {
+        let curve = analyze_trace(&trace).fetch_curve();
+        let mut prev = u64::MAX;
+        for cap in 1..130u64 {
+            let f = curve.fetches(cap);
+            prop_assert!(f <= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn fetch_bounds_hold(trace in trace_strategy()) {
+        // A <= F(B) <= N for every B (Section 2's bounds).
+        let curve = analyze_trace(&trace).fetch_curve();
+        for cap in [1u64, 2, 3, 10, 100] {
+            let f = curve.fetches(cap);
+            prop_assert!(f >= curve.cold());
+            prop_assert!(f <= curve.total());
+        }
+    }
+
+    #[test]
+    fn big_enough_buffer_only_cold_misses(trace in trace_strategy()) {
+        let curve = analyze_trace(&trace).fetch_curve();
+        let distinct = curve.cold();
+        prop_assert_eq!(curve.fetches(distinct.max(1)), distinct);
+    }
+
+    #[test]
+    fn lru_inclusion_property(trace in prop::collection::vec(0u32..32, 0..150), cap in 1usize..12) {
+        // The resident set of a B-page LRU buffer is a subset of the resident
+        // set of a (B+1)-page buffer at every point in time.
+        let mut small = LruBuffer::new(cap);
+        let mut large = LruBuffer::new(cap + 1);
+        for &p in &trace {
+            small.access(p);
+            large.access(p);
+            for q in small.contents_mru_to_lru() {
+                prop_assert!(large.contains(q), "page {} in small but not large", q);
+            }
+        }
+    }
+
+    #[test]
+    fn miss_count_equals_hits_plus_misses_total(trace in trace_strategy(), cap in 1usize..20) {
+        let mut buf = LruBuffer::new(cap);
+        for &p in &trace {
+            buf.access(p);
+        }
+        prop_assert_eq!(buf.hits() + buf.misses(), trace.len() as u64);
+    }
+}

@@ -1,0 +1,295 @@
+//! Fitting piecewise-linear approximations to sampled curves.
+//!
+//! Both fitters interpolate *through* sample points (knots are a subset of
+//! the samples), which matches the paper's catalog format: segment end-points
+//! are `(B_i, F_i)` pairs actually observed by the LRU simulation.
+//!
+//! The core operation is greedy knot refinement: start with the two extreme
+//! samples as knots; repeatedly find the sample with the largest vertical
+//! deviation from the current approximation and promote it to a knot. For
+//! monotone, convex-ish FPF curves this is within a small factor of the
+//! optimal max-error fit and is the standard practical scheme (cf. the
+//! Douglas–Peucker family and Natarajan's one-pass methods).
+
+use crate::pwl::PiecewiseLinear;
+
+/// Residual metrics of a fit against the points it was built from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitReport {
+    /// Largest `|fit(x) - y|` over the sample points.
+    pub max_abs_error: f64,
+    /// Mean `|fit(x) - y|` over the sample points.
+    pub mean_abs_error: f64,
+    /// Largest `|fit(x) - y| / max(|y|, 1)` over the sample points.
+    pub max_rel_error: f64,
+    /// Number of segments in the fit.
+    pub segments: usize,
+}
+
+/// Computes residuals of `f` against `points`.
+pub fn report(f: &PiecewiseLinear, points: &[(f64, f64)]) -> FitReport {
+    let mut max_abs = 0.0f64;
+    let mut sum_abs = 0.0f64;
+    let mut max_rel = 0.0f64;
+    for &(x, y) in points {
+        let e = (f.eval(x) - y).abs();
+        max_abs = max_abs.max(e);
+        sum_abs += e;
+        max_rel = max_rel.max(e / y.abs().max(1.0));
+    }
+    FitReport {
+        max_abs_error: max_abs,
+        mean_abs_error: if points.is_empty() {
+            0.0
+        } else {
+            sum_abs / points.len() as f64
+        },
+        max_rel_error: max_rel,
+        segments: f.segments(),
+    }
+}
+
+fn validate_points(points: &[(f64, f64)]) {
+    assert!(!points.is_empty(), "need at least one sample point");
+    for w in points.windows(2) {
+        assert!(
+            w[0].0 < w[1].0,
+            "sample x-coordinates must be strictly increasing"
+        );
+    }
+    for &(x, y) in points {
+        assert!(x.is_finite() && y.is_finite(), "samples must be finite");
+    }
+}
+
+/// Vertical deviation of each interior point from the chord through the
+/// bracketing knots; returns the worst offender's index within
+/// `points[lo..=hi]`, if its deviation exceeds 0.
+fn worst_deviation(points: &[(f64, f64)], lo: usize, hi: usize) -> Option<(usize, f64)> {
+    if hi - lo < 2 {
+        return None;
+    }
+    let (x0, y0) = points[lo];
+    let (x1, y1) = points[hi];
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &(x, y)) in points.iter().enumerate().take(hi).skip(lo + 1) {
+        let chord = y0 + (y1 - y0) * (x - x0) / (x1 - x0);
+        let dev = (y - chord).abs();
+        if dev > best.map_or(0.0, |(_, d)| d) {
+            best = Some((i, dev));
+        }
+    }
+    best.filter(|&(_, d)| d > 0.0)
+}
+
+/// Fits a piecewise-linear approximation through `points` using at most
+/// `max_segments` segments (so at most `max_segments + 1` knots).
+///
+/// The first and last points are always knots. If the points are already
+/// exactly piecewise linear with fewer segments, fewer are used.
+///
+/// ```
+/// use epfis_segfit::fit_max_segments;
+///
+/// // A V-shaped curve needs two segments; the greedy fitter finds the
+/// // kink and reproduces the samples exactly.
+/// let pts: Vec<(f64, f64)> = (0..21)
+///     .map(|i| (i as f64, (i as f64 - 10.0).abs()))
+///     .collect();
+/// let f = fit_max_segments(&pts, 6);
+/// assert_eq!(f.segments(), 2);
+/// assert!((f.eval(3.0) - 7.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+/// Panics if `points` is empty, unsorted, non-finite, or
+/// `max_segments == 0`.
+pub fn fit_max_segments(points: &[(f64, f64)], max_segments: usize) -> PiecewiseLinear {
+    assert!(max_segments >= 1, "need at least one segment");
+    validate_points(points);
+    if points.len() <= 2 {
+        return PiecewiseLinear::new(points.to_vec());
+    }
+    let mut knot_idx = vec![0usize, points.len() - 1];
+    while knot_idx.len() < max_segments + 1 {
+        // Find the interval with the single worst deviation overall.
+        let mut worst: Option<(usize, usize, f64)> = None; // (insert_pos, point_idx, dev)
+        for (pos, w) in knot_idx.windows(2).enumerate() {
+            if let Some((idx, dev)) = worst_deviation(points, w[0], w[1]) {
+                if dev > worst.map_or(0.0, |(_, _, d)| d) {
+                    worst = Some((pos + 1, idx, dev));
+                }
+            }
+        }
+        match worst {
+            Some((pos, idx, _)) => knot_idx.insert(pos, idx),
+            None => break, // exact fit achieved early
+        }
+    }
+    PiecewiseLinear::new(knot_idx.into_iter().map(|i| points[i]).collect())
+}
+
+/// Fits with as few segments as needed so every sample's vertical deviation
+/// is `<= tolerance`. Returns the fit; the segment count is in
+/// [`PiecewiseLinear::segments`].
+///
+/// # Panics
+/// Panics on invalid `points` or a negative/non-finite `tolerance`.
+pub fn fit_tolerance(points: &[(f64, f64)], tolerance: f64) -> PiecewiseLinear {
+    assert!(
+        tolerance.is_finite() && tolerance >= 0.0,
+        "tolerance must be finite and non-negative"
+    );
+    validate_points(points);
+    if points.len() <= 2 {
+        return PiecewiseLinear::new(points.to_vec());
+    }
+    let mut knot_idx = vec![0usize, points.len() - 1];
+    loop {
+        let mut worst: Option<(usize, usize, f64)> = None;
+        for (pos, w) in knot_idx.windows(2).enumerate() {
+            if let Some((idx, dev)) = worst_deviation(points, w[0], w[1]) {
+                if dev > worst.map_or(0.0, |(_, _, d)| d) {
+                    worst = Some((pos + 1, idx, dev));
+                }
+            }
+        }
+        match worst {
+            Some((pos, idx, dev)) if dev > tolerance => knot_idx.insert(pos, idx),
+            _ => break,
+        }
+    }
+    PiecewiseLinear::new(knot_idx.into_iter().map(|i| points[i]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_curve() -> Vec<(f64, f64)> {
+        // A convex decreasing curve shaped like the paper's FPF curves:
+        // exponential decay from ~N down to ~T as B grows.
+        (0..200)
+            .map(|i| {
+                let x = 10.0 + i as f64 * 5.0;
+                (x, 1000.0 + 49_000.0 * (-(x - 10.0) / 150.0).exp())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_on_already_linear_points() {
+        let pts = vec![(0.0, 0.0), (1.0, 2.0), (2.0, 4.0), (3.0, 6.0)];
+        let f = fit_max_segments(&pts, 6);
+        assert_eq!(report(&f, &pts).max_abs_error, 0.0);
+        // Collinear points need only one segment.
+        assert_eq!(f.segments(), 1);
+    }
+
+    #[test]
+    fn respects_segment_budget() {
+        let pts = sample_curve();
+        for k in [1usize, 2, 3, 6, 10] {
+            let f = fit_max_segments(&pts, k);
+            assert!(f.segments() <= k, "budget {k} produced {}", f.segments());
+        }
+    }
+
+    #[test]
+    fn error_decreases_with_more_segments() {
+        let pts = sample_curve();
+        let mut prev = f64::INFINITY;
+        for k in [1usize, 2, 4, 6, 12] {
+            let e = report(&fit_max_segments(&pts, k), &pts).max_abs_error;
+            assert!(e <= prev + 1e-9, "k={k}: {e} > {prev}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn six_segments_fit_fpf_like_curve_well() {
+        // The paper's claim: ~6 segments suffice for FPF curves.
+        let pts = sample_curve();
+        let f = fit_max_segments(&pts, 6);
+        let r = report(&f, &pts);
+        let range = pts[0].1 - pts.last().unwrap().1;
+        assert!(
+            r.max_abs_error / range < 0.03,
+            "six segments should fit a convex curve within 3% of its range, got {}",
+            r.max_abs_error / range
+        );
+    }
+
+    #[test]
+    fn endpoints_are_always_knots() {
+        let pts = sample_curve();
+        let f = fit_max_segments(&pts, 3);
+        assert_eq!(f.knots()[0], pts[0]);
+        assert_eq!(*f.knots().last().unwrap(), *pts.last().unwrap());
+    }
+
+    #[test]
+    fn tolerance_fit_meets_tolerance() {
+        let pts = sample_curve();
+        for tol in [10000.0, 1000.0, 100.0, 1.0] {
+            let f = fit_tolerance(&pts, tol);
+            let r = report(&f, &pts);
+            assert!(
+                r.max_abs_error <= tol + 1e-9,
+                "tol {tol}: err {}",
+                r.max_abs_error
+            );
+        }
+    }
+
+    #[test]
+    fn tighter_tolerance_needs_more_segments() {
+        let pts = sample_curve();
+        let loose = fit_tolerance(&pts, 10000.0).segments();
+        let tight = fit_tolerance(&pts, 10.0).segments();
+        assert!(tight >= loose);
+    }
+
+    #[test]
+    fn zero_tolerance_reproduces_every_point() {
+        let pts: Vec<(f64, f64)> = (0..40).map(|i| (i as f64, ((i * 7) % 11) as f64)).collect();
+        let f = fit_tolerance(&pts, 0.0);
+        for &(x, y) in &pts {
+            assert!((f.eval(x) - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn two_points_fit_is_the_chord() {
+        let pts = vec![(1.0, 5.0), (3.0, 9.0)];
+        let f = fit_max_segments(&pts, 6);
+        assert_eq!(f.segments(), 1);
+        assert!((f.eval(2.0) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_point_fit_is_constant() {
+        let f = fit_max_segments(&[(2.0, 4.0)], 3);
+        assert_eq!(f.eval(100.0), 4.0);
+    }
+
+    #[test]
+    fn report_on_empty_points() {
+        let f = PiecewiseLinear::new(vec![(0.0, 0.0), (1.0, 1.0)]);
+        let r = report(&f, &[]);
+        assert_eq!(r.max_abs_error, 0.0);
+        assert_eq!(r.mean_abs_error, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn zero_budget_panics() {
+        fit_max_segments(&[(0.0, 0.0), (1.0, 1.0)], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn duplicate_x_panics() {
+        fit_max_segments(&[(0.0, 0.0), (0.0, 1.0)], 2);
+    }
+}

@@ -1,0 +1,24 @@
+//! Piecewise-linear approximation of monotone curves.
+//!
+//! Section 4.1 of the paper approximates the FPF curve "using line segments
+//! (see, for example, Natarajan, 1991)", stores only the segment end-points
+//! in the system catalog, and reports that estimation error stops improving
+//! beyond five segments (six are used). This crate provides:
+//!
+//! * [`PiecewiseLinear`] — the catalog representation: a sorted list of
+//!   `(x, y)` knots, evaluated by interpolation inside the knot range and by
+//!   linear extrapolation of the end segments outside it (the paper's
+//!   "extrapolation is used to generate page fetch estimates" when the
+//!   optimizer's `B` falls outside the modeled range);
+//! * [`fit_max_segments`] — fits at most `k` segments by greedy knot
+//!   refinement (repeatedly split the segment with the largest vertical
+//!   deviation — the Douglas–Peucker/Natarajan scheme);
+//! * [`fit_tolerance`] — fits as few segments as needed for a vertical error
+//!   bound (used by the sensitivity experiment);
+//! * [`FitReport`] — residual metrics of a fit against its source points.
+
+pub mod fit;
+pub mod pwl;
+
+pub use fit::{fit_max_segments, fit_tolerance, FitReport};
+pub use pwl::PiecewiseLinear;

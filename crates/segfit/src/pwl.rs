@@ -1,0 +1,165 @@
+//! The piecewise-linear function type.
+
+/// A piecewise-linear function defined by sorted knots.
+///
+/// * Inside `[x_first, x_last]`: linear interpolation between bracketing
+///   knots.
+/// * Outside: linear extrapolation of the first/last segment (a single-knot
+///   function is constant).
+///
+/// This is exactly the catalog object EPFIS stores per index: "the
+/// coordinates of the end-points of the line segments".
+///
+/// ```
+/// use epfis_segfit::PiecewiseLinear;
+///
+/// let f = PiecewiseLinear::new(vec![(0.0, 10.0), (10.0, 0.0)]);
+/// assert_eq!(f.eval(5.0), 5.0);    // interpolation
+/// assert_eq!(f.eval(20.0), -10.0); // linear extrapolation past the end
+/// assert_eq!(f.eval_clamped(20.0, 0.0, 10.0), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseLinear {
+    knots: Vec<(f64, f64)>,
+}
+
+impl PiecewiseLinear {
+    /// Builds a function from knots sorted by strictly increasing `x`.
+    ///
+    /// # Panics
+    /// Panics if `knots` is empty, contains non-finite coordinates, or is
+    /// not strictly increasing in `x`.
+    pub fn new(knots: Vec<(f64, f64)>) -> Self {
+        assert!(!knots.is_empty(), "need at least one knot");
+        for w in knots.windows(2) {
+            assert!(
+                w[0].0 < w[1].0,
+                "knot x-coordinates must be strictly increasing"
+            );
+        }
+        for &(x, y) in &knots {
+            assert!(x.is_finite() && y.is_finite(), "knots must be finite");
+        }
+        PiecewiseLinear { knots }
+    }
+
+    /// The knots, sorted by `x`.
+    pub fn knots(&self) -> &[(f64, f64)] {
+        &self.knots
+    }
+
+    /// Number of line segments (`knots - 1`, or 0 for a constant).
+    pub fn segments(&self) -> usize {
+        self.knots.len().saturating_sub(1)
+    }
+
+    /// Smallest knot `x`.
+    pub fn x_min(&self) -> f64 {
+        self.knots[0].0
+    }
+
+    /// Largest knot `x`.
+    pub fn x_max(&self) -> f64 {
+        self.knots[self.knots.len() - 1].0
+    }
+
+    /// Evaluates the function at `x` (interpolating or extrapolating).
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.knots.len();
+        if n == 1 {
+            return self.knots[0].1;
+        }
+        // Pick the segment: clamp to the end segments outside the range.
+        let seg = match self
+            .knots
+            .binary_search_by(|probe| probe.0.partial_cmp(&x).expect("finite x"))
+        {
+            Ok(i) => return self.knots[i].1,
+            Err(0) => 0,
+            Err(i) if i >= n => n - 2,
+            Err(i) => i - 1,
+        };
+        let (x0, y0) = self.knots[seg];
+        let (x1, y1) = self.knots[seg + 1];
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// Evaluates with the result clamped into `[lo, hi]` — used by Est-IO to
+    /// keep extrapolated full-scan fetch counts within the hard bounds
+    /// `A <= PF_B <= N`.
+    pub fn eval_clamped(&self, x: f64, lo: f64, hi: f64) -> f64 {
+        self.eval(x).clamp(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f() -> PiecewiseLinear {
+        PiecewiseLinear::new(vec![(0.0, 0.0), (10.0, 100.0), (20.0, 100.0)])
+    }
+
+    #[test]
+    fn evaluates_at_knots_exactly() {
+        let f = f();
+        assert_eq!(f.eval(0.0), 0.0);
+        assert_eq!(f.eval(10.0), 100.0);
+        assert_eq!(f.eval(20.0), 100.0);
+    }
+
+    #[test]
+    fn interpolates_between_knots() {
+        let f = f();
+        assert!((f.eval(5.0) - 50.0).abs() < 1e-12);
+        assert!((f.eval(15.0) - 100.0).abs() < 1e-12);
+        assert!((f.eval(2.5) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extrapolates_end_segments() {
+        let f = f();
+        assert!((f.eval(-5.0) - -50.0).abs() < 1e-12);
+        assert!((f.eval(30.0) - 100.0).abs() < 1e-12); // flat last segment
+    }
+
+    #[test]
+    fn clamped_eval_respects_bounds() {
+        let f = f();
+        assert_eq!(f.eval_clamped(-5.0, 0.0, 100.0), 0.0);
+        assert_eq!(f.eval_clamped(5.0, 0.0, 100.0), 50.0);
+        assert_eq!(f.eval_clamped(9.9, 0.0, 40.0), 40.0);
+    }
+
+    #[test]
+    fn single_knot_is_constant() {
+        let f = PiecewiseLinear::new(vec![(3.0, 7.0)]);
+        assert_eq!(f.eval(-100.0), 7.0);
+        assert_eq!(f.eval(3.0), 7.0);
+        assert_eq!(f.eval(100.0), 7.0);
+        assert_eq!(f.segments(), 0);
+    }
+
+    #[test]
+    fn segment_count() {
+        assert_eq!(f().segments(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_knots_panic() {
+        PiecewiseLinear::new(vec![(1.0, 0.0), (1.0, 5.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one knot")]
+    fn empty_knots_panic() {
+        PiecewiseLinear::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_knot_panics() {
+        PiecewiseLinear::new(vec![(0.0, f64::NAN)]);
+    }
+}

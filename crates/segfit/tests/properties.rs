@@ -1,0 +1,77 @@
+//! Property tests for the piecewise-linear fitter.
+
+use epfis_segfit::{fit_max_segments, fit_tolerance, PiecewiseLinear};
+use proptest::prelude::*;
+
+fn points_strategy() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    // Strictly increasing x; bounded y to keep arithmetic tame.
+    prop::collection::vec((0.01f64..10.0, -1000.0f64..1000.0), 1..60).prop_map(|steps| {
+        let mut x = 0.0;
+        steps
+            .into_iter()
+            .map(|(dx, y)| {
+                x += dx;
+                (x, y)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn fit_stays_within_budget(pts in points_strategy(), k in 1usize..10) {
+        let f = fit_max_segments(&pts, k);
+        prop_assert!(f.segments() <= k);
+    }
+
+    #[test]
+    fn fit_passes_through_endpoints(pts in points_strategy(), k in 1usize..10) {
+        let f = fit_max_segments(&pts, k);
+        let first = pts[0];
+        let last = *pts.last().unwrap();
+        prop_assert!((f.eval(first.0) - first.1).abs() < 1e-9);
+        prop_assert!((f.eval(last.0) - last.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tolerance_fit_honors_tolerance(pts in points_strategy(), tol in 0.0f64..500.0) {
+        let f = fit_tolerance(&pts, tol);
+        for &(x, y) in &pts {
+            prop_assert!((f.eval(x) - y).abs() <= tol + 1e-6);
+        }
+    }
+
+    #[test]
+    fn knots_are_a_subset_of_samples(pts in points_strategy(), k in 1usize..10) {
+        let f = fit_max_segments(&pts, k);
+        for knot in f.knots() {
+            prop_assert!(pts.iter().any(|p| p == knot));
+        }
+    }
+
+    #[test]
+    fn eval_is_monotone_for_monotone_knots(ys in prop::collection::vec(0.0f64..100.0, 2..20)) {
+        // Build a non-increasing knot list (like an FPF curve) and check
+        // interpolation never rises.
+        let mut acc = 1_000_000.0f64;
+        let knots: Vec<(f64, f64)> = ys
+            .iter()
+            .enumerate()
+            .map(|(i, &dy)| {
+                acc -= dy;
+                (i as f64 * 3.0 + 1.0, acc)
+            })
+            .collect();
+        let f = PiecewiseLinear::new(knots.clone());
+        let mut prev = f64::INFINITY;
+        let lo = f.x_min();
+        let hi = f.x_max();
+        let steps = 50;
+        for s in 0..=steps {
+            let x = lo + (hi - lo) * s as f64 / steps as f64;
+            let y = f.eval(x);
+            prop_assert!(y <= prev + 1e-9);
+            prev = y;
+        }
+    }
+}

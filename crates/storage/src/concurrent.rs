@@ -1,0 +1,186 @@
+//! A thread-safe wrapper around the buffer pool.
+//!
+//! The single-threaded [`BufferPool`](crate::BufferPool) is the unit of
+//! study (the paper models one scan's fetches); [`SharedBufferPool`] wraps
+//! it in a mutex so several scan threads can share one pool — the
+//! *multi-user contention* setting §6 lists as future work. Coarse-grained
+//! locking is deliberate: contention effects on the *replacement state* are
+//! what the experiments measure, and a single lock keeps the pool's
+//! accounting exactly as trustworthy as the sequential version (every
+//! interleaving is some serial order of page accesses).
+
+use crate::bufferpool::{BufferPool, PoolConfig, PoolStats};
+use crate::disk::DiskManager;
+use crate::page::PageId;
+use crate::Result;
+use std::sync::Mutex;
+
+/// A mutex-guarded buffer pool shareable across scan threads.
+pub struct SharedBufferPool<D: DiskManager> {
+    inner: Mutex<BufferPool<D>>,
+}
+
+impl<D: DiskManager + Send> SharedBufferPool<D> {
+    /// Creates a shared pool over `disk`.
+    pub fn new(disk: D, config: PoolConfig) -> Self {
+        SharedBufferPool {
+            inner: Mutex::new(BufferPool::new(disk, config)),
+        }
+    }
+
+    /// Runs `f` over an immutable view of page `id` (pool locked for the
+    /// duration — page accesses serialize, as they would through a latch).
+    pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        self.inner
+            .lock()
+            .expect("pool lock poisoned")
+            .with_page(id, f)
+    }
+
+    /// Runs `f` over a mutable view of page `id`.
+    pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
+        self.inner
+            .lock()
+            .expect("pool lock poisoned")
+            .with_page_mut(id, f)
+    }
+
+    /// Access counters so far.
+    pub fn stats(&self) -> PoolStats {
+        self.inner.lock().expect("pool lock poisoned").stats()
+    }
+
+    /// Tears the pool down, flushing dirty pages, and returns the disk.
+    pub fn into_disk(self) -> Result<D> {
+        self.inner
+            .into_inner()
+            .expect("pool lock poisoned")
+            .into_disk()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::InMemoryDisk;
+    use crate::page;
+
+    fn disk_with(pages: u32) -> InMemoryDisk {
+        let mut d = InMemoryDisk::new();
+        for _ in 0..pages {
+            d.allocate_page();
+        }
+        d
+    }
+
+    #[test]
+    fn serial_use_matches_plain_pool() {
+        let trace: Vec<u32> = (0..500u32)
+            .map(|i| i.wrapping_mul(2654435761) % 24)
+            .collect();
+        let shared = SharedBufferPool::new(disk_with(24), PoolConfig::lru(8));
+        for &p in &trace {
+            shared.with_page(p, |_| ()).unwrap();
+        }
+        assert_eq!(shared.stats().misses, epfis_lrusim::simulate_lru(&trace, 8));
+    }
+
+    #[test]
+    fn concurrent_scans_preserve_accounting_invariants() {
+        let shared = SharedBufferPool::new(disk_with(64), PoolConfig::lru(16));
+        let threads = 4;
+        let per_thread = 2_000u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let pool = &shared;
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        let pid = ((i.wrapping_mul(31).wrapping_add(t * 17)) % 64) as u32;
+                        pool.with_page(pid, |_| ()).unwrap();
+                    }
+                });
+            }
+        });
+        let stats = shared.stats();
+        assert_eq!(stats.requests, threads * per_thread);
+        assert_eq!(stats.hits + stats.misses, stats.requests);
+        // All 64 pages were touched; each needs at least one fetch.
+        assert!(stats.misses >= 64);
+        // With 16 frames over 64 hot pages the pool must evict heavily, but
+        // misses can never exceed requests.
+        assert!(stats.misses <= stats.requests);
+    }
+
+    #[test]
+    fn concurrent_writers_never_lose_records() {
+        let shared = SharedBufferPool::new(disk_with(8), PoolConfig::lru(2));
+        let threads = 4u8;
+        let per_thread = 50u8;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let pool = &shared;
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        let pid = (i % 8) as u32;
+                        pool.with_page_mut(pid, |b| {
+                            page::insert(b, &[t, i]).unwrap();
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        // Every insert survived eviction/write-back churn.
+        let mut disk = shared.into_disk().unwrap();
+        let mut total = 0usize;
+        let mut buf = vec![0u8; crate::PAGE_SIZE];
+        for pid in 0..8u32 {
+            crate::DiskManager::read_page(&mut disk, pid, &mut buf).unwrap();
+            total += (0..page::slot_count(&buf))
+                .filter(|&s| page::slot(&buf, s).is_some())
+                .count();
+        }
+        assert_eq!(total, threads as usize * per_thread as usize);
+    }
+
+    #[test]
+    fn contention_costs_extra_misses_vs_isolation() {
+        // Two disjoint looping scans: alone each fits in the pool; together
+        // they thrash it. A barrier forces genuine overlap each round, so
+        // the outcome does not depend on scheduler luck.
+        let rounds = 30u32;
+        let run_alone = |offset: u32| {
+            let pool = SharedBufferPool::new(disk_with(64), PoolConfig::lru(20));
+            for _ in 0..rounds {
+                for p in 0..16u32 {
+                    pool.with_page(offset + p, |_| ()).unwrap();
+                }
+            }
+            pool.stats().misses
+        };
+        let alone = run_alone(0) + run_alone(16);
+        assert_eq!(alone, 32, "each loop fits alone: cold misses only");
+
+        let shared = SharedBufferPool::new(disk_with(64), PoolConfig::lru(20));
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|scope| {
+            for offset in [0u32, 16] {
+                let pool = &shared;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    for _ in 0..rounds {
+                        barrier.wait();
+                        for p in 0..16u32 {
+                            pool.with_page(offset + p, |_| ()).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        let together = shared.stats().misses;
+        assert!(
+            together > alone,
+            "sharing 20 frames across two 16-page loops must thrash: {together} vs {alone}"
+        );
+    }
+}

@@ -1,0 +1,402 @@
+//! Byte-level slotted pages.
+//!
+//! A page is a fixed-size byte array with a small header, a slot directory
+//! growing from the front, and record payloads growing from the back:
+//!
+//! ```text
+//! +--------+--------------------+..........free..........+----------+---------+
+//! | header | slot 0 | slot 1 .. |                        | record 1 | record 0|
+//! +--------+--------------------+........................+----------+---------+
+//! ```
+//!
+//! * header: `slot_count: u16`, `free_end: u16` (offset one past the free
+//!   region; records live in `[free_end, PAGE_SIZE)`).
+//! * slot entry: `offset: u16`, `len: u16`. A slot with `offset == 0` is a
+//!   tombstone (offset 0 can never hold a record because the header lives
+//!   there).
+//!
+//! Deleting a record leaves a tombstone and does not compact; `compact` can
+//! be called to reclaim the space. This mirrors a typical slotted-page design
+//! (e.g. PostgreSQL's line pointers) at a miniature scale.
+
+use crate::{Result, StorageError};
+
+/// Size in bytes of every page in the system.
+pub const PAGE_SIZE: usize = 4096;
+
+const HEADER_BYTES: usize = 4;
+const SLOT_BYTES: usize = 4;
+
+/// Identifier of a page on the backing disk (0-based, dense).
+pub type PageId = u32;
+
+/// Identifier of a slot within a page.
+pub type SlotId = u16;
+
+/// A record identifier: which page, which slot.
+///
+/// This is the unit an index stores per entry and the unit a scan resolves
+/// through the buffer pool. The paper's page-reference traces are exactly the
+/// `page` components of the RIDs an index scan emits, in emission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecordId {
+    /// The data page holding the record.
+    pub page: PageId,
+    /// The slot within that page.
+    pub slot: SlotId,
+}
+
+impl RecordId {
+    /// Creates a record identifier from its parts.
+    pub const fn new(page: PageId, slot: SlotId) -> Self {
+        RecordId { page, slot }
+    }
+}
+
+impl std::fmt::Display for RecordId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({},{})", self.page, self.slot)
+    }
+}
+
+/// An owned page buffer plus the slotted-page operations over it.
+///
+/// `PageBuf` borrows no storage machinery: it interprets a `[u8; PAGE_SIZE]`
+/// in place, so the buffer pool can hand out raw frames and callers wrap them
+/// on demand with [`PageBuf::from_bytes`] or the free functions in this module.
+#[derive(Clone)]
+pub struct PageBuf {
+    bytes: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Default for PageBuf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PageBuf {
+    /// Creates an empty, formatted page.
+    pub fn new() -> Self {
+        let mut p = PageBuf {
+            bytes: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap(),
+        };
+        format_page(p.bytes.as_mut_slice());
+        p
+    }
+
+    /// Wraps an existing byte image (assumed already formatted).
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        assert_eq!(bytes.len(), PAGE_SIZE, "page image must be PAGE_SIZE bytes");
+        let mut boxed = vec![0u8; PAGE_SIZE].into_boxed_slice();
+        boxed.copy_from_slice(bytes);
+        PageBuf {
+            bytes: boxed.try_into().unwrap(),
+        }
+    }
+
+    /// The raw byte image.
+    pub fn as_bytes(&self) -> &[u8] {
+        self.bytes.as_slice()
+    }
+
+    /// The raw byte image, mutably.
+    pub fn as_bytes_mut(&mut self) -> &mut [u8] {
+        self.bytes.as_mut_slice()
+    }
+
+    /// Number of slots in the directory (including tombstones).
+    pub fn slot_count(&self) -> u16 {
+        slot_count(self.as_bytes())
+    }
+
+    /// Number of live (non-deleted) records.
+    pub fn live_count(&self) -> u16 {
+        let b = self.as_bytes();
+        (0..slot_count(b)).filter(|&s| slot(b, s).is_some()).count() as u16
+    }
+
+    /// Contiguous free bytes available for a new record **and** its slot.
+    pub fn free_space(&self) -> usize {
+        free_space(self.as_bytes())
+    }
+
+    /// Whether a record of `len` bytes fits (counting a fresh slot entry).
+    pub fn fits(&self, len: usize) -> bool {
+        fits(self.as_bytes(), len)
+    }
+
+    /// Inserts a record payload, returning its slot.
+    pub fn insert(&mut self, payload: &[u8]) -> Result<SlotId> {
+        insert(self.as_bytes_mut(), payload)
+    }
+
+    /// Returns the payload stored in `slot`, if live.
+    pub fn get(&self, slot: SlotId) -> Option<&[u8]> {
+        get(self.as_bytes(), slot)
+    }
+
+    /// Deletes the record in `slot`, leaving a tombstone.
+    pub fn delete(&mut self, slot: SlotId) -> Result<()> {
+        delete(self.as_bytes_mut(), slot)
+    }
+
+    /// Compacts payloads to the end of the page, preserving slot numbers.
+    pub fn compact(&mut self) {
+        compact(self.as_bytes_mut());
+    }
+
+    /// Iterates `(slot, payload)` over live records in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (SlotId, &[u8])> {
+        let b = self.as_bytes();
+        (0..slot_count(b)).filter_map(move |s| slot(b, s).map(|(off, len)| (s, &b[off..off + len])))
+    }
+}
+
+/// Formats a raw byte slice as an empty slotted page.
+pub fn format_page(bytes: &mut [u8]) {
+    debug_assert_eq!(bytes.len(), PAGE_SIZE);
+    write_u16(bytes, 0, 0); // slot_count
+    write_u16(bytes, 2, PAGE_SIZE as u16); // free_end
+}
+
+/// Number of slots in the directory of a raw page image.
+pub fn slot_count(bytes: &[u8]) -> u16 {
+    read_u16(bytes, 0)
+}
+
+fn free_end(bytes: &[u8]) -> usize {
+    read_u16(bytes, 2) as usize
+}
+
+fn slot_entry_pos(s: SlotId) -> usize {
+    HEADER_BYTES + (s as usize) * SLOT_BYTES
+}
+
+/// Returns `(offset, len)` of a live slot in a raw page image.
+pub fn slot(bytes: &[u8], s: SlotId) -> Option<(usize, usize)> {
+    if s >= slot_count(bytes) {
+        return None;
+    }
+    let pos = slot_entry_pos(s);
+    let off = read_u16(bytes, pos) as usize;
+    if off == 0 {
+        return None; // tombstone
+    }
+    let len = read_u16(bytes, pos + 2) as usize;
+    Some((off, len))
+}
+
+/// Free bytes between the slot directory and the payload region.
+pub fn free_space(bytes: &[u8]) -> usize {
+    let dir_end = HEADER_BYTES + slot_count(bytes) as usize * SLOT_BYTES;
+    free_end(bytes).saturating_sub(dir_end)
+}
+
+/// Whether a payload of `len` bytes plus a fresh slot entry fits.
+pub fn fits(bytes: &[u8], len: usize) -> bool {
+    free_space(bytes) >= len + SLOT_BYTES
+}
+
+/// Inserts `payload` into a raw page image, returning the new slot id.
+pub fn insert(bytes: &mut [u8], payload: &[u8]) -> Result<SlotId> {
+    let max_payload = PAGE_SIZE - HEADER_BYTES - SLOT_BYTES;
+    if payload.len() > max_payload {
+        return Err(StorageError::RecordTooLarge {
+            bytes: payload.len(),
+        });
+    }
+    if !fits(bytes, payload.len()) {
+        // The caller treats this as "page full"; distinguishable from the
+        // impossible case above because the payload *could* fit in an empty
+        // page.
+        return Err(StorageError::RecordTooLarge {
+            bytes: payload.len(),
+        });
+    }
+    let count = slot_count(bytes);
+    let new_end = free_end(bytes) - payload.len();
+    bytes[new_end..new_end + payload.len()].copy_from_slice(payload);
+    let pos = slot_entry_pos(count);
+    write_u16(bytes, pos, new_end as u16);
+    write_u16(bytes, pos + 2, payload.len() as u16);
+    write_u16(bytes, 0, count + 1);
+    write_u16(bytes, 2, new_end as u16);
+    Ok(count)
+}
+
+/// Returns the payload stored in `slot` of a raw page image, if live.
+pub fn get(bytes: &[u8], s: SlotId) -> Option<&[u8]> {
+    slot(bytes, s).map(|(off, len)| &bytes[off..off + len])
+}
+
+/// Deletes the record in `slot`, leaving a tombstone.
+pub fn delete(bytes: &mut [u8], s: SlotId) -> Result<()> {
+    if slot(bytes, s).is_none() {
+        return Err(StorageError::SlotNotFound(RecordId::new(0, s)));
+    }
+    let pos = slot_entry_pos(s);
+    write_u16(bytes, pos, 0);
+    write_u16(bytes, pos + 2, 0);
+    Ok(())
+}
+
+/// Moves all live payloads flush against the end of the page.
+///
+/// Slot ids are stable across compaction (only offsets change), so RIDs held
+/// by indexes remain valid.
+pub fn compact(bytes: &mut [u8]) {
+    let count = slot_count(bytes);
+    // Collect live payloads (slot, bytes) then rewrite back-to-front.
+    let mut live: Vec<(SlotId, Vec<u8>)> = Vec::new();
+    for s in 0..count {
+        if let Some((off, len)) = slot(bytes, s) {
+            live.push((s, bytes[off..off + len].to_vec()));
+        }
+    }
+    let mut end = PAGE_SIZE;
+    for (s, payload) in &live {
+        end -= payload.len();
+        bytes[end..end + payload.len()].copy_from_slice(payload);
+        let pos = slot_entry_pos(*s);
+        write_u16(bytes, pos, end as u16);
+        write_u16(bytes, pos + 2, payload.len() as u16);
+    }
+    write_u16(bytes, 2, end as u16);
+}
+
+#[inline]
+fn read_u16(bytes: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes([bytes[at], bytes[at + 1]])
+}
+
+#[inline]
+fn write_u16(bytes: &mut [u8], at: usize, v: u16) {
+    bytes[at..at + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_page_has_no_slots_and_full_free_space() {
+        let p = PageBuf::new();
+        assert_eq!(p.slot_count(), 0);
+        assert_eq!(p.live_count(), 0);
+        assert_eq!(p.free_space(), PAGE_SIZE - HEADER_BYTES);
+    }
+
+    #[test]
+    fn insert_then_get_round_trips() {
+        let mut p = PageBuf::new();
+        let s0 = p.insert(b"hello").unwrap();
+        let s1 = p.insert(b"world!").unwrap();
+        assert_eq!(s0, 0);
+        assert_eq!(s1, 1);
+        assert_eq!(p.get(s0), Some(&b"hello"[..]));
+        assert_eq!(p.get(s1), Some(&b"world!"[..]));
+        assert_eq!(p.live_count(), 2);
+    }
+
+    #[test]
+    fn payloads_grow_from_the_back() {
+        let mut p = PageBuf::new();
+        p.insert(&[0xAA; 10]).unwrap();
+        p.insert(&[0xBB; 10]).unwrap();
+        let (off0, _) = slot(p.as_bytes(), 0).unwrap();
+        let (off1, _) = slot(p.as_bytes(), 1).unwrap();
+        assert_eq!(off0, PAGE_SIZE - 10);
+        assert_eq!(off1, PAGE_SIZE - 20);
+    }
+
+    #[test]
+    fn delete_leaves_tombstone_and_get_returns_none() {
+        let mut p = PageBuf::new();
+        let s = p.insert(b"doomed").unwrap();
+        p.delete(s).unwrap();
+        assert_eq!(p.get(s), None);
+        assert_eq!(p.live_count(), 0);
+        // Slot directory length is unchanged.
+        assert_eq!(p.slot_count(), 1);
+        // Deleting again is an error.
+        assert!(p.delete(s).is_err());
+    }
+
+    #[test]
+    fn insert_after_delete_gets_fresh_slot() {
+        let mut p = PageBuf::new();
+        let s0 = p.insert(b"a").unwrap();
+        p.delete(s0).unwrap();
+        let s1 = p.insert(b"b").unwrap();
+        assert_ne!(s0, s1);
+        assert_eq!(p.get(s1), Some(&b"b"[..]));
+    }
+
+    #[test]
+    fn fills_up_and_reports_full() {
+        let mut p = PageBuf::new();
+        let payload = [7u8; 100];
+        let mut n = 0;
+        while p.fits(payload.len()) {
+            p.insert(&payload).unwrap();
+            n += 1;
+        }
+        // 4096 - 4 header = 4092; each record costs 100 + 4 slot = 104.
+        assert_eq!(n, (PAGE_SIZE - HEADER_BYTES) / 104);
+        assert!(p.insert(&payload).is_err());
+    }
+
+    #[test]
+    fn oversized_record_is_rejected() {
+        let mut p = PageBuf::new();
+        assert!(matches!(
+            p.insert(&vec![0u8; PAGE_SIZE]),
+            Err(StorageError::RecordTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn compact_reclaims_deleted_space_and_preserves_slots() {
+        let mut p = PageBuf::new();
+        let s0 = p.insert(&[1u8; 500]).unwrap();
+        let s1 = p.insert(&[2u8; 500]).unwrap();
+        let s2 = p.insert(&[3u8; 500]).unwrap();
+        p.delete(s1).unwrap();
+        let before = p.free_space();
+        p.compact();
+        let after = p.free_space();
+        assert!(after >= before + 500, "compaction should reclaim the hole");
+        assert_eq!(p.get(s0), Some(&[1u8; 500][..]));
+        assert_eq!(p.get(s2), Some(&[3u8; 500][..]));
+        assert_eq!(p.get(s1), None);
+    }
+
+    #[test]
+    fn iter_skips_tombstones_in_slot_order() {
+        let mut p = PageBuf::new();
+        p.insert(b"a").unwrap();
+        let s1 = p.insert(b"b").unwrap();
+        p.insert(b"c").unwrap();
+        p.delete(s1).unwrap();
+        let got: Vec<(SlotId, Vec<u8>)> = p.iter().map(|(s, b)| (s, b.to_vec())).collect();
+        assert_eq!(got, vec![(0, b"a".to_vec()), (2, b"c".to_vec())]);
+    }
+
+    #[test]
+    fn from_bytes_round_trips_image() {
+        let mut p = PageBuf::new();
+        p.insert(b"persisted").unwrap();
+        let image = p.as_bytes().to_vec();
+        let q = PageBuf::from_bytes(&image);
+        assert_eq!(q.get(0), Some(&b"persisted"[..]));
+    }
+
+    #[test]
+    fn zero_length_payload_is_legal() {
+        let mut p = PageBuf::new();
+        let s = p.insert(b"").unwrap();
+        assert_eq!(p.get(s), Some(&b""[..]));
+        assert_eq!(p.live_count(), 1);
+    }
+}

@@ -1,0 +1,297 @@
+//! A miniature typed row codec.
+//!
+//! Tables in the reproduction carry real (if simple) rows rather than opaque
+//! blobs: a [`Schema`] is an ordered list of [`ColumnType`]s and a [`Record`]
+//! is a matching list of [`Value`]s. Encoding is positional:
+//!
+//! * `Int` — 8 bytes, little-endian two's complement,
+//! * `Str` — `u16` length prefix followed by UTF-8 bytes.
+//!
+//! The codec is intentionally free of self-description: like most row
+//! formats, it is only decodable against its schema, which lives in the
+//! catalog, not in every record.
+
+use crate::{Result, StorageError};
+
+/// The type of one column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 64-bit signed integer.
+    Int,
+    /// Variable-length UTF-8 string (at most `u16::MAX` bytes).
+    Str,
+}
+
+/// One column value.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Value {
+    /// An integer value.
+    Int(i64),
+    /// A string value.
+    Str(String),
+}
+
+impl Value {
+    /// Returns the integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Int(_) => None,
+        }
+    }
+
+    fn column_type(&self) -> ColumnType {
+        match self {
+            Value::Int(_) => ColumnType::Int,
+            Value::Str(_) => ColumnType::Str,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+/// An ordered list of column types with names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<(String, ColumnType)>,
+}
+
+impl Schema {
+    /// Builds a schema from `(name, type)` pairs.
+    pub fn new(columns: Vec<(impl Into<String>, ColumnType)>) -> Self {
+        Schema {
+            columns: columns.into_iter().map(|(n, t)| (n.into(), t)).collect(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column type at `idx`.
+    pub fn column_type(&self, idx: usize) -> ColumnType {
+        self.columns[idx].1
+    }
+
+    /// Column name at `idx`.
+    pub fn column_name(&self, idx: usize) -> &str {
+        &self.columns[idx].0
+    }
+
+    /// Position of the column named `name`, if present.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|(n, _)| n == name)
+    }
+
+    /// Checks that `record` matches this schema.
+    pub fn validate(&self, record: &Record) -> Result<()> {
+        if record.values.len() != self.arity() {
+            return Err(StorageError::CorruptRecord(format!(
+                "arity mismatch: schema has {}, record has {}",
+                self.arity(),
+                record.values.len()
+            )));
+        }
+        for (i, v) in record.values.iter().enumerate() {
+            if v.column_type() != self.column_type(i) {
+                return Err(StorageError::CorruptRecord(format!(
+                    "column {i} type mismatch"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One row: an ordered list of values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// The column values, in schema order.
+    pub values: Vec<Value>,
+}
+
+impl Record {
+    /// Builds a record from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Record { values }
+    }
+
+    /// Encodes against `schema` into a fresh byte vector.
+    pub fn encode(&self, schema: &Schema) -> Result<Vec<u8>> {
+        schema.validate(self)?;
+        let mut out = Vec::with_capacity(self.values.len() * 8);
+        for v in &self.values {
+            match v {
+                Value::Int(x) => out.extend_from_slice(&x.to_le_bytes()),
+                Value::Str(s) => {
+                    let bytes = s.as_bytes();
+                    if bytes.len() > u16::MAX as usize {
+                        return Err(StorageError::CorruptRecord(
+                            "string column exceeds u16::MAX bytes".into(),
+                        ));
+                    }
+                    out.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+                    out.extend_from_slice(bytes);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Decodes a byte payload against `schema`.
+    pub fn decode(schema: &Schema, mut bytes: &[u8]) -> Result<Record> {
+        let mut values = Vec::with_capacity(schema.arity());
+        for i in 0..schema.arity() {
+            match schema.column_type(i) {
+                ColumnType::Int => {
+                    if bytes.len() < 8 {
+                        return Err(StorageError::CorruptRecord(format!(
+                            "truncated int column {i}"
+                        )));
+                    }
+                    let (head, rest) = bytes.split_at(8);
+                    values.push(Value::Int(i64::from_le_bytes(head.try_into().unwrap())));
+                    bytes = rest;
+                }
+                ColumnType::Str => {
+                    if bytes.len() < 2 {
+                        return Err(StorageError::CorruptRecord(format!(
+                            "truncated string length, column {i}"
+                        )));
+                    }
+                    let (head, rest) = bytes.split_at(2);
+                    let len = u16::from_le_bytes(head.try_into().unwrap()) as usize;
+                    if rest.len() < len {
+                        return Err(StorageError::CorruptRecord(format!(
+                            "truncated string column {i}"
+                        )));
+                    }
+                    let (s, rest) = rest.split_at(len);
+                    let s = std::str::from_utf8(s)
+                        .map_err(|e| StorageError::CorruptRecord(format!("bad utf8: {e}")))?;
+                    values.push(Value::Str(s.to_owned()));
+                    bytes = rest;
+                }
+            }
+        }
+        if !bytes.is_empty() {
+            return Err(StorageError::CorruptRecord(format!(
+                "{} trailing bytes after decode",
+                bytes.len()
+            )));
+        }
+        Ok(Record::new(values))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ("id", ColumnType::Int),
+            ("name", ColumnType::Str),
+            ("amount", ColumnType::Int),
+        ])
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let s = schema();
+        let r = Record::new(vec![Value::Int(42), "alice".into(), Value::Int(-7)]);
+        let bytes = r.encode(&s).unwrap();
+        let back = Record::decode(&s, &bytes).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn int_encoding_is_8_bytes_le() {
+        let s = Schema::new(vec![("x", ColumnType::Int)]);
+        let bytes = Record::new(vec![Value::Int(0x0102030405060708)])
+            .encode(&s)
+            .unwrap();
+        assert_eq!(bytes, vec![8, 7, 6, 5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn empty_string_round_trips() {
+        let s = Schema::new(vec![("x", ColumnType::Str)]);
+        let r = Record::new(vec!["".into()]);
+        let bytes = r.encode(&s).unwrap();
+        assert_eq!(bytes.len(), 2);
+        assert_eq!(Record::decode(&s, &bytes).unwrap(), r);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected_on_encode() {
+        let s = schema();
+        let r = Record::new(vec![Value::Int(1)]);
+        assert!(r.encode(&s).is_err());
+    }
+
+    #[test]
+    fn type_mismatch_rejected_on_encode() {
+        let s = Schema::new(vec![("x", ColumnType::Int)]);
+        let r = Record::new(vec!["not an int".into()]);
+        assert!(r.encode(&s).is_err());
+    }
+
+    #[test]
+    fn truncated_bytes_rejected_on_decode() {
+        let s = Schema::new(vec![("x", ColumnType::Int)]);
+        assert!(Record::decode(&s, &[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected_on_decode() {
+        let s = Schema::new(vec![("x", ColumnType::Int)]);
+        let mut bytes = Record::new(vec![Value::Int(5)]).encode(&s).unwrap();
+        bytes.push(0xFF);
+        assert!(Record::decode(&s, &bytes).is_err());
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        let s = Schema::new(vec![("x", ColumnType::Str)]);
+        let bytes = vec![2, 0, 0xFF, 0xFE];
+        assert!(Record::decode(&s, &bytes).is_err());
+    }
+
+    #[test]
+    fn column_lookup_by_name() {
+        let s = schema();
+        assert_eq!(s.column_index("name"), Some(1));
+        assert_eq!(s.column_index("missing"), None);
+        assert_eq!(s.column_name(2), "amount");
+    }
+
+    #[test]
+    fn negative_and_extreme_ints_round_trip() {
+        let s = Schema::new(vec![("x", ColumnType::Int)]);
+        for v in [i64::MIN, -1, 0, 1, i64::MAX] {
+            let r = Record::new(vec![Value::Int(v)]);
+            let bytes = r.encode(&s).unwrap();
+            assert_eq!(Record::decode(&s, &bytes).unwrap(), r);
+        }
+    }
+}

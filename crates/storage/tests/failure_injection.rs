@@ -1,0 +1,144 @@
+//! Failure injection: the buffer pool's error paths under a misbehaving
+//! disk. A wrapper `DiskManager` fails reads/writes on command; the pool
+//! must surface the error, leave its bookkeeping consistent, and keep
+//! working once the fault clears.
+
+use epfis_storage::{
+    page, BufferPool, DiskManager, DiskStats, InMemoryDisk, PoolConfig, Result, StorageError,
+};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Shared fault switchboard.
+#[derive(Clone, Default)]
+struct Faults {
+    fail_reads: Rc<Cell<bool>>,
+    fail_writes: Rc<Cell<bool>>,
+}
+
+struct FlakyDisk {
+    inner: InMemoryDisk,
+    faults: Faults,
+}
+
+impl DiskManager for FlakyDisk {
+    fn allocate_page(&mut self) -> u32 {
+        self.inner.allocate_page()
+    }
+
+    fn read_page(&mut self, id: u32, buf: &mut [u8]) -> Result<()> {
+        if self.faults.fail_reads.get() {
+            return Err(StorageError::PageNotFound(id));
+        }
+        self.inner.read_page(id, buf)
+    }
+
+    fn write_page(&mut self, id: u32, buf: &[u8]) -> Result<()> {
+        if self.faults.fail_writes.get() {
+            return Err(StorageError::PageNotFound(id));
+        }
+        self.inner.write_page(id, buf)
+    }
+
+    fn page_count(&self) -> u32 {
+        self.inner.page_count()
+    }
+
+    fn stats(&self) -> DiskStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.reset_stats()
+    }
+}
+
+fn flaky_pool(pages: u32, frames: usize) -> (BufferPool<FlakyDisk>, Faults) {
+    let mut inner = InMemoryDisk::new();
+    for _ in 0..pages {
+        inner.allocate_page();
+    }
+    let faults = Faults::default();
+    let disk = FlakyDisk {
+        inner,
+        faults: faults.clone(),
+    };
+    (BufferPool::new(disk, PoolConfig::lru(frames)), faults)
+}
+
+#[test]
+fn read_fault_is_surfaced_and_counters_roll_back() {
+    let (mut pool, faults) = flaky_pool(4, 2);
+    pool.with_page(0, |_| ()).unwrap();
+    faults.fail_reads.set(true);
+    let err = pool.with_page(1, |_| ()).unwrap_err();
+    assert!(matches!(err, StorageError::PageNotFound(1)));
+    // The failed request was rolled back entirely.
+    let stats = pool.stats();
+    assert_eq!(stats.requests, 1);
+    assert_eq!(stats.misses, 1);
+    // Already-resident pages still hit while reads are down.
+    assert!(pool.with_page(0, |_| ()).is_ok());
+    // Recovery: the faulted page loads once reads come back.
+    faults.fail_reads.set(false);
+    assert!(pool.with_page(1, |_| ()).is_ok());
+    assert_eq!(pool.stats().misses, 2);
+}
+
+#[test]
+fn repeated_read_faults_do_not_leak_frames() {
+    let (mut pool, faults) = flaky_pool(8, 2);
+    faults.fail_reads.set(true);
+    for pid in 0..8u32 {
+        assert!(pool.with_page(pid, |_| ()).is_err());
+    }
+    faults.fail_reads.set(false);
+    // Both frames must still be usable.
+    for pid in 0..8u32 {
+        assert!(pool.with_page(pid, |_| ()).is_ok());
+    }
+    assert_eq!(pool.resident_pages().len(), 2);
+}
+
+#[test]
+fn dirty_eviction_write_fault_is_surfaced() {
+    let (mut pool, faults) = flaky_pool(3, 1);
+    pool.with_page_mut(0, |b| {
+        page::insert(b, b"dirty").unwrap();
+    })
+    .unwrap();
+    faults.fail_writes.set(true);
+    // Faulting in page 1 must evict dirty page 0 -> write-back fails.
+    let err = pool.with_page(1, |_| ()).unwrap_err();
+    assert!(matches!(err, StorageError::PageNotFound(0)));
+    // After the fault clears, the dirty page is still in the pool and its
+    // data is intact.
+    faults.fail_writes.set(false);
+    let got = pool
+        .with_page(0, |b| page::get(b, 0).map(|x| x.to_vec()))
+        .unwrap();
+    assert_eq!(got.as_deref(), Some(&b"dirty"[..]));
+    // And eviction now succeeds.
+    pool.with_page(2, |_| ()).unwrap();
+    let mut disk = pool.into_disk().unwrap();
+    let mut buf = vec![0u8; epfis_storage::PAGE_SIZE];
+    DiskManager::read_page(&mut disk, 0, &mut buf).unwrap();
+    assert_eq!(page::get(&buf, 0), Some(&b"dirty"[..]));
+}
+
+#[test]
+fn flush_all_propagates_write_faults_without_corrupting_state() {
+    let (mut pool, faults) = flaky_pool(2, 2);
+    pool.with_page_mut(0, |b| {
+        page::insert(b, b"a").unwrap();
+    })
+    .unwrap();
+    faults.fail_writes.set(true);
+    assert!(pool.flush_all().is_err());
+    faults.fail_writes.set(false);
+    pool.flush_all().unwrap();
+    let mut disk = pool.into_disk().unwrap();
+    let mut buf = vec![0u8; epfis_storage::PAGE_SIZE];
+    DiskManager::read_page(&mut disk, 0, &mut buf).unwrap();
+    assert_eq!(page::get(&buf, 0), Some(&b"a"[..]));
+}

@@ -1,0 +1,123 @@
+//! Property tests for the storage engine.
+
+use epfis_storage::{
+    page, BufferPool, ColumnType, DiskManager, HeapFile, InMemoryDisk, PageBuf, PoolConfig, Record,
+    Schema, Value,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn slotted_page_behaves_like_a_vec_of_payloads(
+        ops in prop::collection::vec((any::<bool>(), prop::collection::vec(any::<u8>(), 0..200)), 0..80)
+    ) {
+        // Model: Vec<Option<payload>> indexed by slot.
+        let mut p = PageBuf::new();
+        let mut model: Vec<Option<Vec<u8>>> = Vec::new();
+        for (delete, payload) in ops {
+            if delete {
+                // Delete the first live slot, if any.
+                if let Some(slot) = model.iter().position(|s| s.is_some()) {
+                    p.delete(slot as u16).unwrap();
+                    model[slot] = None;
+                }
+            } else if p.fits(payload.len()) {
+                let slot = p.insert(&payload).unwrap();
+                prop_assert_eq!(slot as usize, model.len());
+                model.push(Some(payload));
+            }
+        }
+        for (slot, expect) in model.iter().enumerate() {
+            prop_assert_eq!(p.get(slot as u16), expect.as_deref());
+        }
+        // Compaction changes nothing observable.
+        p.compact();
+        for (slot, expect) in model.iter().enumerate() {
+            prop_assert_eq!(p.get(slot as u16), expect.as_deref());
+        }
+    }
+
+    #[test]
+    fn record_codec_round_trips(ints in prop::collection::vec(any::<i64>(), 0..6), s in ".*") {
+        let mut cols: Vec<(String, ColumnType)> =
+            ints.iter().enumerate().map(|(i, _)| (format!("c{i}"), ColumnType::Int)).collect();
+        cols.push(("s".into(), ColumnType::Str));
+        let schema = Schema::new(cols);
+        let mut values: Vec<Value> = ints.iter().map(|&v| Value::Int(v)).collect();
+        values.push(Value::Str(s));
+        let rec = Record::new(values);
+        if let Ok(bytes) = rec.encode(&schema) {
+            prop_assert_eq!(Record::decode(&schema, &bytes).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn buffer_pool_miss_count_matches_lru_simulator(
+        trace in prop::collection::vec(0u32..24, 0..400),
+        frames in 1usize..12,
+    ) {
+        let mut disk = InMemoryDisk::new();
+        for _ in 0..24 {
+            disk.allocate_page();
+        }
+        let mut pool = BufferPool::new(disk, PoolConfig::lru(frames));
+        for &p in &trace {
+            pool.with_page(p, |_| ()).unwrap();
+        }
+        prop_assert_eq!(
+            pool.stats().misses,
+            epfis_lrusim::simulate_lru(&trace, frames)
+        );
+        prop_assert_eq!(pool.stats().requests, trace.len() as u64);
+    }
+
+    #[test]
+    fn heap_file_preserves_every_record(keys in prop::collection::vec(any::<i64>(), 1..300), frames in 1usize..8) {
+        let schema = Schema::new(vec![("k", ColumnType::Int)]);
+        let mut pool = BufferPool::new(InMemoryDisk::new(), PoolConfig::lru(frames));
+        let mut heap = HeapFile::create(&mut pool, schema);
+        let mut rids = Vec::new();
+        for &k in &keys {
+            rids.push(heap.insert(&mut pool, &Record::new(vec![Value::Int(k)])).unwrap());
+        }
+        for (&k, &rid) in keys.iter().zip(&rids) {
+            let rec = heap.get(&mut pool, rid).unwrap();
+            prop_assert_eq!(rec.values[0].as_int(), Some(k));
+        }
+        prop_assert_eq!(heap.record_count(&mut pool).unwrap(), keys.len() as u64);
+    }
+
+    #[test]
+    fn dirty_pages_survive_arbitrary_eviction_pressure(
+        writes in prop::collection::vec((0u32..16, any::<u8>()), 1..100),
+        frames in 1usize..4,
+    ) {
+        // Write one marker record per page through a tiny pool, interleaved
+        // so evictions constantly flush dirty pages; verify final contents.
+        let mut disk = InMemoryDisk::new();
+        for _ in 0..16 {
+            disk.allocate_page();
+        }
+        let mut pool = BufferPool::new(disk, PoolConfig::lru(frames));
+        let mut model: std::collections::HashMap<u32, Vec<u8>> = Default::default();
+        for (pid, byte) in writes {
+            pool.with_page_mut(pid, |b| {
+                page::insert(b, &[byte]).unwrap();
+            })
+            .unwrap();
+            model.entry(pid).or_default().push(byte);
+        }
+        for (pid, expect) in model {
+            let got = pool
+                .with_page(pid, |b| {
+                    (0..page::slot_count(b))
+                        .filter_map(|s| page::get(b, s).map(|x| x[0]))
+                        .collect::<Vec<u8>>()
+                })
+                .unwrap();
+            prop_assert_eq!(got, expect, "page {}", pid);
+        }
+    }
+}

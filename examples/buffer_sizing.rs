@@ -1,0 +1,70 @@
+//! Buffer sizing: a DBA-style what-if study built on FPF curves.
+//!
+//! Section 2's Figure 1 shows that index-scan cost can be violently
+//! sensitive to the buffer pool size. This example generates indexes with
+//! different degrees of clustering, prints their FPF curves (F/T versus
+//! B/T, the same normalization as Figure 1), and answers the planning
+//! question: *how many buffer pages does each index need before a full scan
+//! costs at most 1.5 T fetches?*
+//!
+//! ```text
+//! cargo run --release --example buffer_sizing
+//! ```
+
+use epfis::{EpfisConfig, LruFit};
+use epfis_datagen::{Dataset, DatasetSpec};
+use epfis_lrusim::analyze_trace;
+
+fn main() {
+    let ks = [0.0, 0.05, 0.20, 0.50, 1.0];
+    let mut curves = Vec::new();
+    for &k in &ks {
+        let spec = DatasetSpec::synthetic(80_000, 800, 40, 0.0, k);
+        let dataset = Dataset::generate(spec);
+        let curve = analyze_trace(dataset.trace().pages()).fetch_curve();
+        let stats = LruFit::new(EpfisConfig::default()).collect(dataset.trace());
+        curves.push((k, dataset.table_pages() as u64, curve, stats));
+    }
+
+    println!("FPF curves (F/T at each B/T), 80k records, 40 per page:");
+    print!("{:>6}", "B/T");
+    for &(k, _, _, _) in &curves {
+        print!("  {:>8}", format!("K={k}"));
+    }
+    println!();
+    for pct in [1, 2, 5, 10, 20, 30, 50, 70, 100] {
+        print!("{:>5}%", pct);
+        for (_, t, curve, _) in &curves {
+            let b = (t * pct / 100).max(1);
+            print!("  {:>8.2}", curve.fetches(b) as f64 / *t as f64);
+        }
+        println!();
+    }
+
+    println!("\nclustering factors and buffer budgets for F <= 1.5 T:");
+    println!(
+        "{:>6} {:>8} {:>14} {:>16}",
+        "K", "C", "B needed", "as % of T"
+    );
+    for (k, t, curve, stats) in &curves {
+        // Smallest B with F(B) <= 1.5 T, found by walking the exact curve.
+        let target = (*t as f64 * 1.5) as u64;
+        let mut needed = *t;
+        for b in 1..=*t {
+            if curve.fetches(b) <= target {
+                needed = b;
+                break;
+            }
+        }
+        println!(
+            "{:>6} {:>8.3} {:>14} {:>15.1}%",
+            k,
+            stats.clustering_factor,
+            needed,
+            100.0 * needed as f64 / *t as f64
+        );
+    }
+    println!("\nReading: a clustered index (K=0) never needs buffer help; at");
+    println!("K=1 the scan thrashes until the buffer holds a large fraction");
+    println!("of the table — the sensitivity Figure 1 of the paper shows.");
+}

@@ -1,0 +1,16 @@
+use epfis::EpfisConfig;
+use epfis_datagen::{Dataset, DatasetSpec, ScanWorkloadConfig};
+use epfis_harness::experiment::{paper_buffer_grid, DatasetExperiment};
+fn main() {
+    let spec = DatasetSpec::synthetic(50_000, 500, 40, 0.0, 0.05);
+    let exp = DatasetExperiment::build(Dataset::generate(spec), &ScanWorkloadConfig{scans:120, small_fraction:0.5, seed:13}, EpfisConfig::default());
+    let s = exp.summary();
+    let bmin = epfis_lrusim::epfis_b_min(s.table_pages as u32, 12);
+    println!("T={} N={} I={} C={:.3}", s.table_pages, s.records, s.distinct_keys, epfis_lrusim::clustering_factor(&s.fetch_curve, s.table_pages as u32, bmin));
+    let buffers = paper_buffer_grid(s.table_pages, 60);
+    for &b in &buffers {
+        print!("B={b}: ");
+        for i in 0..5 { print!("{}={:.1}% ", exp.algorithm_names()[i], exp.error_percent(i, b)); }
+        println!();
+    }
+}

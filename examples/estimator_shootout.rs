@@ -1,0 +1,62 @@
+//! Estimator shootout: the §5 comparison in miniature, on one dataset.
+//!
+//! Generates a synthetic dataset, draws the paper's 200-scan mixed
+//! workload, and prints the aggregate error metric of EPFIS, ML, DC, SD,
+//! and OT at each buffer size, plus the per-algorithm worst case.
+//!
+//! ```text
+//! cargo run --release --example estimator_shootout
+//! ```
+
+use epfis::EpfisConfig;
+use epfis_datagen::{Dataset, DatasetSpec, ScanWorkloadConfig};
+use epfis_harness::experiment::{paper_buffer_grid, DatasetExperiment};
+
+fn main() {
+    let spec = DatasetSpec::synthetic(200_000, 2_000, 40, 0.86, 0.20);
+    println!("dataset: {}", spec.name);
+    let dataset = Dataset::generate(spec);
+    println!(
+        "  N={}, T={}, I={}",
+        dataset.records(),
+        dataset.table_pages(),
+        dataset.distinct_keys()
+    );
+    let workload = ScanWorkloadConfig {
+        scans: 200,
+        small_fraction: 0.5,
+        seed: 99,
+    };
+    let exp = DatasetExperiment::build(dataset, &workload, EpfisConfig::default());
+    println!(
+        "  measured C = {:.3} (from the shared one-pass statistics scan)",
+        {
+            let s = exp.summary();
+            let b_min = epfis_lrusim::epfis_b_min(s.table_pages as u32, 12);
+            epfis_lrusim::clustering_factor(&s.fetch_curve, s.table_pages as u32, b_min)
+        }
+    );
+
+    let buffers = paper_buffer_grid(exp.summary().table_pages, 100);
+    let names = exp.algorithm_names();
+    print!("{:>8}", "B%ofT");
+    for n in &names {
+        print!("  {n:>8}");
+    }
+    println!("   (error %, signed)");
+    let t = exp.summary().table_pages as f64;
+    for &b in &buffers {
+        print!("{:>7.1}%", 100.0 * b as f64 / t);
+        for idx in 0..names.len() {
+            print!("  {:>8.1}", exp.error_percent(idx, b));
+        }
+        println!();
+    }
+    println!("\nworst |error| per algorithm over the sweep:");
+    for (name, worst) in exp.max_abs_error(&buffers) {
+        println!("  {name:>6}: {worst:8.1}%");
+    }
+    println!("\nThe shape to look for (paper §5): EPFIS small and stable across");
+    println!("the whole buffer range; ML drifting with B; DC/SD/OT unstable,");
+    println!("with order-of-magnitude blowups on unclustered data.");
+}

@@ -1,0 +1,92 @@
+//! The full query lifecycle: predicate → histogram selectivity → Est-IO
+//! costing → plan choice → execution against the storage engine.
+//!
+//! This is the paper's Section 2 scenario made runnable end to end,
+//! including the part the paper leaves to the literature (selectivity
+//! estimation via an equi-depth histogram).
+//!
+//! ```text
+//! cargo run --release --example query_lifecycle
+//! ```
+
+use epfis::{EpfisConfig, LruFit};
+use epfis_datagen::{Dataset, DatasetSpec};
+use epfis_repro::exec::{histogram_for, plan_and_execute, QueryRequest};
+use epfis_repro::pipeline::LoadedTable;
+
+fn main() {
+    // A moderately unclustered table: 40k records, 20/page, K = 0.4.
+    let spec = DatasetSpec::synthetic(40_000, 800, 20, 0.86, 0.4);
+    let dataset = Dataset::generate(spec);
+    println!(
+        "table: N={} T={} I={}",
+        dataset.records(),
+        dataset.table_pages(),
+        dataset.distinct_keys()
+    );
+    let mut table = LoadedTable::load(&dataset);
+    let trace = table.statistics_trace();
+    let stats = LruFit::new(EpfisConfig::default()).collect(&trace);
+    let histogram = histogram_for(&dataset, 32);
+    println!(
+        "statistics: C={:.3}, histogram of {} buckets, catalog stores {} points\n",
+        stats.clustering_factor,
+        histogram.buckets(),
+        stats.stored_points()
+    );
+
+    let buffer = 400usize; // 20% of T
+    let key = |k: usize| dataset.key_value(k);
+    let queries: Vec<(&str, QueryRequest)> = vec![
+        (
+            "k BETWEEN 100..115 (tiny range)",
+            QueryRequest {
+                key_range: Some((key(100), key(115))),
+                minor_below: None,
+                order_by_key: false,
+            },
+        ),
+        (
+            "k BETWEEN 100..520 (half the table)",
+            QueryRequest {
+                key_range: Some((key(100), key(520))),
+                minor_below: None,
+                order_by_key: false,
+            },
+        ),
+        (
+            "k BETWEEN 100..520 AND minor < 100",
+            QueryRequest {
+                key_range: Some((key(100), key(520))),
+                minor_below: Some(100),
+                order_by_key: false,
+            },
+        ),
+        (
+            "ORDER BY k (no predicate)",
+            QueryRequest {
+                key_range: None,
+                minor_below: None,
+                order_by_key: true,
+            },
+        ),
+    ];
+
+    for (label, request) in queries {
+        let exec = plan_and_execute(&mut table, &stats, &histogram, &request, buffer);
+        println!("query: {label}");
+        println!(
+            "  sigma-hat = {:.4}; plans considered: {}",
+            exec.estimated_sigma,
+            exec.alternatives.len()
+        );
+        for p in &exec.alternatives {
+            let marker = if p == &exec.chosen { "->" } else { "  " };
+            println!("  {marker} {:>9.0}  {}", p.io_cost, p.plan);
+        }
+        println!(
+            "  executed: {} rows, {} data-page fetches (estimated {:.0})\n",
+            exec.outcome.rows, exec.outcome.data_page_fetches, exec.chosen.io_cost
+        );
+    }
+}

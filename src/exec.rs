@@ -1,0 +1,139 @@
+//! Query planning *and* execution, end to end.
+//!
+//! This closes the loop the paper's introduction describes: a predicate
+//! arrives, the optimizer estimates its selectivity (equi-depth histogram),
+//! asks Est-IO for the page-fetch cost of every access plan, picks the
+//! cheapest, and the chosen plan then actually runs against the storage
+//! engine — so the prediction can be compared with the measured I/O.
+//!
+//! The query surface is deliberately the paper's: a single table, an
+//! optional start/stop range on the indexed key column, an optional
+//! index-sargable predicate on the `minor` column, and an optional
+//! ORDER BY on the key.
+
+use crate::pipeline::{LoadedTable, ScanOutcome};
+use epfis::optimizer::{AccessPathSelector, AccessPlan, CostedPlan, IndexCandidate, QuerySpec};
+use epfis::selectivity::{EquiDepthHistogram, KeyBound as SelBound};
+use epfis::IndexStatistics;
+use epfis_datagen::Dataset;
+use epfis_index::{KeyBound, RangeSpec};
+
+/// A single-table query: predicates plus an ordering requirement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryRequest {
+    /// Inclusive range on the key column (`lo <= k <= hi`), if any.
+    pub key_range: Option<(i64, i64)>,
+    /// Index-sargable predicate `minor < threshold` (minor is uniform in
+    /// `0..1000`), if any.
+    pub minor_below: Option<i64>,
+    /// Whether results must come out in key order.
+    pub order_by_key: bool,
+}
+
+/// The planner's output: what it chose, why, and what actually happened.
+#[derive(Debug, Clone)]
+pub struct QueryExecution {
+    /// The chosen (cheapest-estimated) plan.
+    pub chosen: CostedPlan,
+    /// Every plan considered, cheapest first.
+    pub alternatives: Vec<CostedPlan>,
+    /// The histogram's selectivity estimate for the key range (1.0 when no
+    /// range predicate).
+    pub estimated_sigma: f64,
+    /// What running the chosen plan measured.
+    pub outcome: ScanOutcome,
+}
+
+/// Builds the equi-depth histogram the planner uses from the same
+/// statistics scan that feeds LRU-Fit.
+pub fn histogram_for(dataset: &Dataset, buckets: usize) -> EquiDepthHistogram {
+    let pairs: Vec<(i64, u64)> = dataset
+        .counts()
+        .iter()
+        .enumerate()
+        .map(|(k, &c)| (dataset.key_value(k), c))
+        .collect();
+    EquiDepthHistogram::build(&pairs, buckets)
+}
+
+/// Plans `request` with the catalog entry + histogram, executes the chosen
+/// plan against the engine, and reports both sides.
+pub fn plan_and_execute(
+    table: &mut LoadedTable,
+    stats: &IndexStatistics,
+    histogram: &EquiDepthHistogram,
+    request: &QueryRequest,
+    buffer_pages: usize,
+) -> QueryExecution {
+    // 1. Selectivity estimation (the part the paper cites Mannino et al. for).
+    let estimated_sigma = match request.key_range {
+        None => 1.0,
+        Some((lo, hi)) => histogram.estimate_range(SelBound::Included(lo), SelBound::Included(hi)),
+    };
+    let sargable = request
+        .minor_below
+        .map(|t| (t.clamp(0, 1000) as f64) / 1000.0)
+        .unwrap_or(1.0);
+
+    // 2. Cost every access plan with Est-IO.
+    let selector = AccessPathSelector {
+        table_pages: stats.table_pages,
+        records: stats.records,
+        buffer_pages: buffer_pages as u64,
+    };
+    let spec = QuerySpec {
+        output_selectivity: estimated_sigma * sargable,
+        required_order: request.order_by_key.then(|| "key_index".to_string()),
+        candidates: vec![IndexCandidate {
+            name: "key_index".into(),
+            stats: stats.clone(),
+            range_selectivity: request.key_range.map(|_| estimated_sigma),
+            sargable_selectivity: sargable,
+        }],
+        consider_rid_plans: true,
+    };
+    let alternatives = selector.enumerate(&spec);
+    let chosen = alternatives[0].clone();
+
+    // 3. Execute the chosen plan for real.
+    let outcome = execute_plan(table, &chosen.plan, request, buffer_pages);
+    QueryExecution {
+        chosen,
+        alternatives,
+        estimated_sigma,
+        outcome,
+    }
+}
+
+/// Executes one access plan for `request` (any ORDER BY is an in-memory
+/// sort of the result and does not change data-page I/O here; the cost
+/// model's sort charge approximates an external sort).
+pub fn execute_plan(
+    table: &mut LoadedTable,
+    plan: &AccessPlan,
+    request: &QueryRequest,
+    buffer_pages: usize,
+) -> ScanOutcome {
+    let range = match request.key_range {
+        None => RangeSpec::full(),
+        Some((lo, hi)) => RangeSpec {
+            start: KeyBound::Included(lo),
+            stop: KeyBound::Included(hi),
+        },
+    };
+    let threshold = request.minor_below.unwrap_or(i64::MAX);
+    match plan {
+        AccessPlan::TableScan { .. } => {
+            let (klo, khi) = request.key_range.unwrap_or((i64::MIN, i64::MAX));
+            table.execute_table_scan_filtered(buffer_pages, |k, m| {
+                k >= klo && k <= khi && m < threshold
+            })
+        }
+        AccessPlan::PartialIndexScan { .. } | AccessPlan::FullIndexScan { .. } => {
+            table.execute_index_scan(range, buffer_pages, |m| m < threshold)
+        }
+        AccessPlan::RidSortedIndexScan { .. } => {
+            table.execute_index_scan_sorted_rids(range, buffer_pages, |m| m < threshold)
+        }
+    }
+}

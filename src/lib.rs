@@ -1,0 +1,26 @@
+//! Umbrella crate for the EPFIS reproduction.
+//!
+//! This crate exists to host the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`); the functionality lives in the
+//! workspace crates, re-exported here for convenience:
+//!
+//! * [`epfis`] — the paper's algorithm: LRU-Fit, Est-IO, catalog, optimizer.
+//! * [`epfis_storage`] — slotted pages, heap files, buffer pool.
+//! * [`epfis_index`] — the B+-tree and its statistics scan.
+//! * [`epfis_lrusim`] — exact LRU simulation and Mattson stack analysis.
+//! * [`epfis_segfit`] — piecewise-linear curve fitting.
+//! * [`epfis_datagen`] — synthetic datasets, GWL stand-ins, scan workloads.
+//! * [`epfis_estimators`] — the ML/DC/SD/OT baselines.
+//! * [`epfis_harness`] — ground truth, the §5 error metric, figure drivers.
+
+pub mod exec;
+pub mod pipeline;
+
+pub use epfis;
+pub use epfis_datagen;
+pub use epfis_estimators;
+pub use epfis_harness;
+pub use epfis_index;
+pub use epfis_lrusim;
+pub use epfis_segfit;
+pub use epfis_storage;

@@ -1,0 +1,255 @@
+//! End-to-end pipeline glue: load a logical [`Dataset`] into the *real*
+//! storage engine (heap file + B+-tree), run statistics scans, and execute
+//! index scans against a real LRU buffer pool, counting true page fetches.
+//!
+//! The experiment harness mostly works from logical traces (fast path); this
+//! module is the proof that those traces are what the engine actually does —
+//! the integration tests check `statistics_trace()` from the real B-tree
+//! equals `dataset.trace()`, and that real buffer-pool fetch counts equal
+//! the stack-simulated ground truth.
+
+use epfis_datagen::Dataset;
+use epfis_index::{BTreeIndex, KeyBound, RangeSpec};
+use epfis_lrusim::KeyedTrace;
+use epfis_storage::{
+    BufferPool, ColumnType, HeapFile, InMemoryDisk, PoolConfig, Record, Schema, Value,
+};
+
+/// A dataset materialized in the storage engine.
+pub struct LoadedTable {
+    disk: InMemoryDisk,
+    heap: HeapFile,
+    /// The B+-tree over the dataset's key column (major) and a synthetic
+    /// `minor` column for sargable predicates.
+    pub index: BTreeIndex,
+    /// A second B+-tree over the `minor` column, for index-ANDing plans
+    /// (§6 future work).
+    pub minor_index: BTreeIndex,
+}
+
+/// Result of executing a scan through the buffer pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanOutcome {
+    /// Rows returned (after all predicates).
+    pub rows: u64,
+    /// Data pages fetched from disk — the paper's `F`, measured.
+    pub data_page_fetches: u64,
+    /// Logical data-page requests (`A`-side events, counting repeats).
+    pub data_page_requests: u64,
+}
+
+impl LoadedTable {
+    /// Materializes `dataset`: a heap file with the dataset's exact record
+    /// placement and a B+-tree over the key column. The `minor` column of
+    /// record `j` (in key order) is `j % 1000`, giving sargable predicates
+    /// something uniform to select on.
+    pub fn load(dataset: &Dataset) -> Self {
+        let schema = Schema::new(vec![("k", ColumnType::Int), ("minor", ColumnType::Int)]);
+        let mut pool = BufferPool::new(InMemoryDisk::new(), PoolConfig::lru(64));
+        let mut heap = HeapFile::create_with_pages(&mut pool, schema, dataset.table_pages());
+        let mut index = BTreeIndex::new();
+        let mut minor_index = BTreeIndex::new();
+        let trace = dataset.trace();
+        let mut record_idx: u64 = 0;
+        for key_idx in 0..dataset.distinct_keys() as usize {
+            let key = dataset.key_value(key_idx);
+            for &page in trace.run_pages(key_idx) {
+                let minor = (record_idx % 1000) as i64;
+                let rec = Record::new(vec![Value::Int(key), Value::Int(minor)]);
+                let rid = heap
+                    .insert_at(&mut pool, page, &rec)
+                    .expect("dataset placement must fit page capacity");
+                index.insert(key, minor, rid);
+                minor_index.insert(minor, key, rid);
+                record_idx += 1;
+            }
+        }
+        let disk = pool.into_disk().expect("flush");
+        LoadedTable {
+            disk,
+            heap,
+            index,
+            minor_index,
+        }
+    }
+
+    /// Pages in the table.
+    pub fn table_pages(&self) -> u32 {
+        self.heap.page_count()
+    }
+
+    /// The statistics scan (§4.1) straight off the real index: data-page
+    /// ordinals in key order with key-run boundaries.
+    pub fn statistics_trace(&mut self) -> KeyedTrace {
+        let heap = &self.heap;
+        let pages = heap.page_count();
+        self.index
+            .statistics_trace(pages, |rid| {
+                heap.page_ordinal(rid.page).expect("rid in heap")
+            })
+            .expect("loaded table is non-empty")
+    }
+
+    /// Executes a real index scan: walk the index in key order, apply the
+    /// sargable predicate on `minor`, and fetch each qualifying record
+    /// through a fresh LRU buffer pool of `buffer_pages` frames.
+    pub fn execute_index_scan(
+        &mut self,
+        range: RangeSpec,
+        buffer_pages: usize,
+        sargable: impl Fn(i64) -> bool,
+    ) -> ScanOutcome {
+        let entries: Vec<_> = self
+            .index
+            .scan(range)
+            .filter(|e| sargable(e.minor))
+            .collect();
+        let disk = std::mem::take(&mut self.disk);
+        let mut pool = BufferPool::new(disk, PoolConfig::lru(buffer_pages));
+        let mut rows = 0u64;
+        for e in &entries {
+            let rec = self.heap.get(&mut pool, e.rid).expect("rid resolves");
+            debug_assert_eq!(rec.values[0], Value::Int(e.key));
+            rows += 1;
+        }
+        let stats = pool.stats();
+        self.disk = pool.into_disk().expect("flush");
+        ScanOutcome {
+            rows,
+            data_page_fetches: stats.misses,
+            data_page_requests: stats.requests,
+        }
+    }
+
+    /// Executes a RID-sorted index scan (§6 future work): collect the
+    /// qualifying RIDs, sort them by physical position, then fetch through a
+    /// fresh LRU pool. Each distinct page is fetched exactly once, so the
+    /// fetch count is buffer-independent.
+    pub fn execute_index_scan_sorted_rids(
+        &mut self,
+        range: RangeSpec,
+        buffer_pages: usize,
+        sargable: impl Fn(i64) -> bool,
+    ) -> ScanOutcome {
+        let mut entries: Vec<_> = self
+            .index
+            .scan(range)
+            .filter(|e| sargable(e.minor))
+            .collect();
+        entries.sort_by_key(|e| e.rid);
+        self.fetch_rids(entries.iter().map(|e| e.rid), buffer_pages)
+    }
+
+    /// Executes an index-ANDing plan (§6 future work): intersect the RID
+    /// lists of a range on the key column and a range on the minor column,
+    /// sort the intersection, and fetch.
+    pub fn execute_index_and(
+        &mut self,
+        key_range: RangeSpec,
+        minor_range: RangeSpec,
+        buffer_pages: usize,
+    ) -> ScanOutcome {
+        let left: std::collections::HashSet<_> =
+            self.index.scan(key_range).map(|e| e.rid).collect();
+        let mut rids: Vec<_> = self
+            .minor_index
+            .scan(minor_range)
+            .map(|e| e.rid)
+            .filter(|rid| left.contains(rid))
+            .collect();
+        rids.sort_unstable();
+        self.fetch_rids(rids.into_iter(), buffer_pages)
+    }
+
+    /// Executes an index-ORing plan (§6 future work): unite the RID lists
+    /// of a range on the key column and a range on the minor column,
+    /// deduplicate, sort, and fetch.
+    pub fn execute_index_or(
+        &mut self,
+        key_range: RangeSpec,
+        minor_range: RangeSpec,
+        buffer_pages: usize,
+    ) -> ScanOutcome {
+        let mut set: std::collections::HashSet<_> =
+            self.index.scan(key_range).map(|e| e.rid).collect();
+        set.extend(self.minor_index.scan(minor_range).map(|e| e.rid));
+        let mut rids: Vec<_> = set.into_iter().collect();
+        rids.sort_unstable();
+        self.fetch_rids(rids.into_iter(), buffer_pages)
+    }
+
+    fn fetch_rids(
+        &mut self,
+        rids: impl Iterator<Item = epfis_storage::RecordId>,
+        buffer_pages: usize,
+    ) -> ScanOutcome {
+        let disk = std::mem::take(&mut self.disk);
+        let mut pool = BufferPool::new(disk, PoolConfig::lru(buffer_pages));
+        let mut rows = 0u64;
+        for rid in rids {
+            self.heap.get(&mut pool, rid).expect("rid resolves");
+            rows += 1;
+        }
+        let stats = pool.stats();
+        self.disk = pool.into_disk().expect("flush");
+        ScanOutcome {
+            rows,
+            data_page_fetches: stats.misses,
+            data_page_requests: stats.requests,
+        }
+    }
+
+    /// Executes a table scan with a row predicate over `(key, minor)`:
+    /// every page is fetched exactly once, rows counted after filtering.
+    pub fn execute_table_scan_filtered(
+        &mut self,
+        buffer_pages: usize,
+        predicate: impl Fn(i64, i64) -> bool,
+    ) -> ScanOutcome {
+        let disk = std::mem::take(&mut self.disk);
+        let mut pool = BufferPool::new(disk, PoolConfig::lru(buffer_pages));
+        let mut rows = 0u64;
+        let mut scan = self.heap.scan();
+        while let Some((_, rec)) = scan.next(&mut pool).expect("scan") {
+            let key = rec.values[0].as_int().expect("key column");
+            let minor = rec.values[1].as_int().expect("minor column");
+            if predicate(key, minor) {
+                rows += 1;
+            }
+        }
+        let stats = pool.stats();
+        self.disk = pool.into_disk().expect("flush");
+        ScanOutcome {
+            rows,
+            data_page_fetches: stats.misses,
+            data_page_requests: stats.requests,
+        }
+    }
+
+    /// Executes a table scan through a fresh pool (always `T` fetches).
+    pub fn execute_table_scan(&mut self, buffer_pages: usize) -> ScanOutcome {
+        let disk = std::mem::take(&mut self.disk);
+        let mut pool = BufferPool::new(disk, PoolConfig::lru(buffer_pages));
+        let mut rows = 0u64;
+        let mut scan = self.heap.scan();
+        while scan.next(&mut pool).expect("scan").is_some() {
+            rows += 1;
+        }
+        let stats = pool.stats();
+        self.disk = pool.into_disk().expect("flush");
+        ScanOutcome {
+            rows,
+            data_page_fetches: stats.misses,
+            data_page_requests: stats.requests,
+        }
+    }
+
+    /// The [`RangeSpec`] covering the dataset's key indices
+    /// `[key_lo, key_hi]` inclusive (as produced by the workload generator).
+    pub fn range_for_keys(dataset: &Dataset, key_lo: usize, key_hi: usize) -> RangeSpec {
+        RangeSpec {
+            start: KeyBound::Included(dataset.key_value(key_lo)),
+            stop: KeyBound::Included(dataset.key_value(key_hi)),
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Reduced-scale reproduction of the paper's §5 comparison, run as a test:
+//! EPFIS must dominate the ML/DC/SD/OT baselines on aggregate worst-case
+//! error, and must stay stable across the buffer sweep.
+
+use epfis::EpfisConfig;
+use epfis_datagen::{gwl, Dataset, DatasetSpec, ScanWorkloadConfig};
+use epfis_harness::experiment::{paper_buffer_grid, DatasetExperiment};
+
+fn workload(seed: u64) -> ScanWorkloadConfig {
+    ScanWorkloadConfig {
+        scans: 120,
+        small_fraction: 0.5,
+        seed,
+    }
+}
+
+fn run(theta: f64, k: f64) -> DatasetExperiment {
+    let spec = DatasetSpec::synthetic(50_000, 500, 40, theta, k);
+    DatasetExperiment::build(
+        Dataset::generate(spec),
+        &workload(13),
+        EpfisConfig::default(),
+    )
+}
+
+#[test]
+fn epfis_dominates_on_synthetic_matrix() {
+    // A 2x3 slice of the paper's theta x K matrix at 1/20 scale.
+    for theta in [0.0, 0.86] {
+        for k in [0.05, 0.5, 1.0] {
+            let exp = run(theta, k);
+            let buffers = paper_buffer_grid(exp.summary().table_pages, 60);
+            let maxes = exp.max_abs_error(&buffers);
+            let epfis = maxes[0].1;
+            // The paper's full-scale worst case is 48%; at 1/20 scale the
+            // small-sigma correction overshoots a little more on the
+            // mid-clustered cell (B_min sits well below the K-window), so
+            // allow headroom while still requiring the same error family.
+            assert!(
+                epfis < 80.0,
+                "theta={theta} K={k}: EPFIS worst {epfis}% is out of family"
+            );
+            for (name, worst) in &maxes[1..] {
+                assert!(
+                    epfis <= worst + 5.0,
+                    "theta={theta} K={k}: EPFIS {epfis}% should not lose to {name} {worst}%"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn epfis_is_stable_across_buffer_sizes() {
+    // Section 5: "EPFIS is very stable, exhibiting low errors over the
+    // entire range of buffer sizes". Check the error spread.
+    let exp = run(0.0, 0.5);
+    let buffers = paper_buffer_grid(exp.summary().table_pages, 60);
+    let errors: Vec<f64> = buffers.iter().map(|&b| exp.error_percent(0, b)).collect();
+    let spread = errors.iter().cloned().fold(f64::MIN, f64::max)
+        - errors.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(spread < 60.0, "EPFIS error spread {spread}% across buffers");
+}
+
+#[test]
+fn baselines_blow_up_where_the_paper_says_they_do() {
+    // Unclustered data (K=1): the cluster-ratio heuristics misfire; at
+    // least one baseline exceeds 100% somewhere while EPFIS stays small.
+    let exp = run(0.0, 1.0);
+    let buffers = paper_buffer_grid(exp.summary().table_pages, 60);
+    let maxes = exp.max_abs_error(&buffers);
+    let epfis = maxes[0].1;
+    let worst_baseline = maxes[1..].iter().map(|(_, w)| *w).fold(0.0f64, f64::max);
+    assert!(
+        worst_baseline > 80.0,
+        "some baseline should misfire badly on K=1 (got {worst_baseline}%)"
+    );
+    assert!(
+        epfis * 2.0 < worst_baseline,
+        "EPFIS {epfis}% vs {worst_baseline}%"
+    );
+}
+
+#[test]
+fn gwl_stand_in_comparison_runs_and_epfis_wins() {
+    let col = gwl::gwl_column("CMAC.BRAN").unwrap().scaled_down(4);
+    let (dataset, measured_c) = gwl::synthesize_gwl_column(&col, 21);
+    assert!(
+        (measured_c - 0.433).abs() < 0.08,
+        "C target missed: {measured_c}"
+    );
+    let exp = DatasetExperiment::build(dataset, &workload(21), EpfisConfig::default());
+    let buffers = paper_buffer_grid(exp.summary().table_pages, 40);
+    let maxes = exp.max_abs_error(&buffers);
+    let epfis = maxes[0].1;
+    assert!(epfis < 40.0, "EPFIS worst on CMAC.BRAN stand-in: {epfis}%");
+    for (name, worst) in &maxes[1..] {
+        assert!(
+            epfis <= worst + 5.0,
+            "EPFIS {epfis}% vs {name} {worst}% on the GWL stand-in"
+        );
+    }
+}
+
+#[test]
+fn correction_term_earns_its_keep_on_small_scans() {
+    // Ablation as a regression test: on unclustered data with small scans,
+    // disabling the Equation-1 correction must hurt (more negative error).
+    let spec = DatasetSpec::synthetic(50_000, 500, 40, 0.0, 1.0);
+    let dataset = Dataset::generate(spec);
+    let small_only = ScanWorkloadConfig {
+        scans: 100,
+        small_fraction: 1.0,
+        seed: 31,
+    };
+    let with = DatasetExperiment::build(
+        Dataset::generate(dataset.spec().clone()),
+        &small_only,
+        EpfisConfig::default(),
+    );
+    let without = DatasetExperiment::build(
+        dataset,
+        &small_only,
+        EpfisConfig::default().without_correction(),
+    );
+    let buffers = paper_buffer_grid(with.summary().table_pages, 60);
+    let worst_with = with.max_abs_error(&buffers)[0].1;
+    let worst_without = without.max_abs_error(&buffers)[0].1;
+    assert!(
+        worst_with < worst_without,
+        "correction should reduce worst error: {worst_with}% vs {worst_without}%"
+    );
+}

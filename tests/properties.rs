@@ -1,0 +1,119 @@
+//! Cross-crate property tests: invariants that must hold for *any* dataset
+//! the generator can produce.
+
+use epfis::{EpfisConfig, LruFit, ScanQuery};
+use epfis_datagen::{Dataset, DatasetSpec, ScanKind, WorkloadGenerator};
+use epfis_lrusim::analyze_trace;
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = DatasetSpec> {
+    (
+        200u64..3000, // records
+        2u64..60,     // distinct (capped below records)
+        2u32..40,     // records per page
+        0.0f64..1.5,  // theta
+        0.0f64..=1.0, // K
+        0.0f64..0.2,  // noise
+        any::<u64>(), // seed
+    )
+        .prop_map(|(n, i, r, theta, k, noise, seed)| DatasetSpec {
+            name: "prop".into(),
+            records: n,
+            distinct: i.min(n),
+            records_per_page: r,
+            theta,
+            window_fraction: k,
+            noise,
+            shuffle_frequencies: true,
+            sorted_rids: false,
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_dataset_is_structurally_sound(spec in spec_strategy()) {
+        let d = Dataset::generate(spec.clone());
+        prop_assert_eq!(d.records(), spec.records);
+        prop_assert_eq!(d.distinct_keys(), spec.distinct);
+        let t = d.table_pages() as u64;
+        prop_assert_eq!(t, spec.records.div_ceil(spec.records_per_page as u64));
+        // No page holds more than R records.
+        let mut fills = vec![0u32; t as usize];
+        for &p in d.trace().pages() {
+            fills[p as usize] += 1;
+            prop_assert!(fills[p as usize] <= spec.records_per_page);
+        }
+    }
+
+    #[test]
+    fn fetch_bounds_hold_for_any_dataset(spec in spec_strategy()) {
+        let d = Dataset::generate(spec);
+        let curve = analyze_trace(d.trace().pages()).fetch_curve();
+        let a = d.trace().distinct_pages();
+        let n = d.records();
+        for b in [1u64, 3, 12, 100, 100_000] {
+            let f = curve.fetches(b);
+            prop_assert!(f >= a, "F >= A");
+            prop_assert!(f <= n, "F <= N");
+        }
+    }
+
+    #[test]
+    fn est_io_stays_within_global_bounds(spec in spec_strategy(), sigma in 0.0f64..=1.0, bsel in 0u8..4) {
+        let d = Dataset::generate(spec);
+        let stats = LruFit::new(EpfisConfig::default()).collect(d.trace());
+        let t = d.table_pages() as u64;
+        let b = [1u64, 12, t.max(1) / 2, t.max(1)][bsel as usize].max(1);
+        let est = stats.estimate(&ScanQuery::range(sigma, b));
+        prop_assert!(est >= 0.0);
+        prop_assert!(est.is_finite());
+        // sigma * PF_B <= N and the correction adds at most T more.
+        prop_assert!(est <= d.records() as f64 + t as f64 + 1e-6);
+    }
+
+    #[test]
+    fn workload_scans_are_valid_ranges(spec in spec_strategy(), seed in any::<u64>()) {
+        let d = Dataset::generate(spec);
+        let mut w = WorkloadGenerator::new(d.trace(), seed);
+        for kind in [ScanKind::Small, ScanKind::Large] {
+            let s = w.draw(kind);
+            prop_assert!(s.key_lo <= s.key_hi);
+            prop_assert!((s.key_hi as u64) < d.distinct_keys());
+            prop_assert!(s.records >= 1);
+            prop_assert!((s.selectivity - s.records as f64 / d.records() as f64).abs() < 1e-12);
+            // The scan's truth curve totals its records.
+            let truth = epfis_harness::scan_truth(&d, &s);
+            prop_assert_eq!(truth.total(), s.records);
+        }
+    }
+
+    #[test]
+    fn clustering_factor_tracks_window_fraction(seed in any::<u64>()) {
+        // For a fixed shape, C(K=0, no noise) >= C(K=1).
+        let base = |k: f64, noise: f64| DatasetSpec {
+            name: "c-mono".into(),
+            records: 4000,
+            distinct: 100,
+            records_per_page: 20,
+            theta: 0.0,
+            window_fraction: k,
+            noise,
+            shuffle_frequencies: true,
+            sorted_rids: false,
+            seed,
+        };
+        let measure = |spec: DatasetSpec| {
+            let d = Dataset::generate(spec);
+            let curve = analyze_trace(d.trace().pages()).fetch_curve();
+            let b_min = epfis_lrusim::epfis_b_min(d.table_pages(), 12);
+            epfis_lrusim::clustering_factor(&curve, d.table_pages(), b_min)
+        };
+        let clustered = measure(base(0.0, 0.0));
+        let scattered = measure(base(1.0, 0.05));
+        prop_assert!(clustered >= scattered);
+        prop_assert!(clustered > 0.99);
+    }
+}

@@ -1,0 +1,190 @@
+//! End-to-end query processing: histogram selectivity → Est-IO costing →
+//! plan choice → real execution, all against the storage engine.
+
+use epfis::optimizer::AccessPlan;
+use epfis::{EpfisConfig, LruFit};
+use epfis_datagen::{Dataset, DatasetSpec};
+use epfis_repro::exec::{execute_plan, histogram_for, plan_and_execute, QueryRequest};
+use epfis_repro::pipeline::LoadedTable;
+
+struct Fixture {
+    dataset: Dataset,
+    table: LoadedTable,
+    stats: epfis::IndexStatistics,
+    histogram: epfis::EquiDepthHistogram,
+}
+
+fn fixture(k: f64, seed: u64) -> Fixture {
+    let spec = DatasetSpec {
+        name: format!("exec-k{k}"),
+        records: 12_000,
+        distinct: 240,
+        records_per_page: 20,
+        theta: 0.86,
+        window_fraction: k,
+        noise: 0.05,
+        shuffle_frequencies: true,
+        sorted_rids: false,
+        seed,
+    };
+    let dataset = Dataset::generate(spec);
+    let mut table = LoadedTable::load(&dataset);
+    let trace = table.statistics_trace();
+    let stats = LruFit::new(EpfisConfig::default()).collect(&trace);
+    let histogram = histogram_for(&dataset, 24);
+    Fixture {
+        dataset,
+        table,
+        stats,
+        histogram,
+    }
+}
+
+#[test]
+fn histogram_sigma_tracks_true_selectivity() {
+    let mut f = fixture(0.3, 1);
+    let n = f.dataset.records() as f64;
+    for (lo_key, hi_key) in [(10usize, 60usize), (0, 239), (100, 110)] {
+        let request = QueryRequest {
+            key_range: Some((f.dataset.key_value(lo_key), f.dataset.key_value(hi_key))),
+            minor_below: None,
+            order_by_key: false,
+        };
+        let exec = plan_and_execute(&mut f.table, &f.stats, &f.histogram, &request, 100);
+        let truth = f.dataset.trace().key_range_to_entries(lo_key, hi_key).len() as f64 / n;
+        assert!(
+            (exec.estimated_sigma - truth).abs() < 0.05,
+            "keys {lo_key}..{hi_key}: sigma {} vs truth {truth}",
+            exec.estimated_sigma
+        );
+        // The executed plan returns exactly the qualifying rows.
+        assert_eq!(exec.outcome.rows as f64, truth * n);
+    }
+}
+
+#[test]
+fn every_plan_returns_the_same_rows() {
+    let mut f = fixture(1.0, 2);
+    let request = QueryRequest {
+        key_range: Some((f.dataset.key_value(40), f.dataset.key_value(140))),
+        minor_below: Some(300),
+        order_by_key: false,
+    };
+    let exec = plan_and_execute(&mut f.table, &f.stats, &f.histogram, &request, 50);
+    assert!(exec.alternatives.len() >= 3, "table + partial + rid-sorted");
+    let mut rows = Vec::new();
+    for plan in &exec.alternatives {
+        let outcome = execute_plan(&mut f.table, &plan.plan, &request, 50);
+        rows.push((plan.plan.clone(), outcome.rows));
+    }
+    for (plan, r) in &rows {
+        assert_eq!(*r, rows[0].1, "plan {plan} returned different rows");
+    }
+}
+
+#[test]
+fn selective_query_picks_an_index_plan_and_wins_measured() {
+    let mut f = fixture(0.0, 3); // clustered index
+    let request = QueryRequest {
+        key_range: Some((f.dataset.key_value(5), f.dataset.key_value(9))),
+        minor_below: None,
+        order_by_key: false,
+    };
+    let exec = plan_and_execute(&mut f.table, &f.stats, &f.histogram, &request, 60);
+    assert!(
+        !matches!(exec.chosen.plan, AccessPlan::TableScan { .. }),
+        "a ~2% clustered range must not table-scan: {}",
+        exec.chosen.plan
+    );
+    // The measured cost of the chosen plan beats a measured table scan.
+    let table_scan = execute_plan(
+        &mut f.table,
+        &AccessPlan::TableScan { sort: false },
+        &request,
+        60,
+    );
+    assert!(exec.outcome.data_page_fetches * 4 < table_scan.data_page_fetches);
+}
+
+#[test]
+fn wide_query_on_unclustered_index_prefers_a_full_page_bounded_plan() {
+    let mut f = fixture(1.0, 4);
+    let request = QueryRequest {
+        key_range: Some((f.dataset.key_value(10), f.dataset.key_value(220))),
+        minor_below: None,
+        order_by_key: false,
+    };
+    // Tiny buffer: the key-order scan would thrash; the planner must pick
+    // either the table scan or the RID-sorted plan (both bounded by ~T).
+    let exec = plan_and_execute(&mut f.table, &f.stats, &f.histogram, &request, 12);
+    assert!(
+        matches!(
+            exec.chosen.plan,
+            AccessPlan::TableScan { .. } | AccessPlan::RidSortedIndexScan { .. }
+        ),
+        "chose {}",
+        exec.chosen.plan
+    );
+    assert!(exec.outcome.data_page_fetches as u32 <= f.dataset.table_pages());
+    // And the rejected key-order index scan is measurably worse.
+    let key_order = execute_plan(
+        &mut f.table,
+        &AccessPlan::PartialIndexScan {
+            index: "key_index".into(),
+            sort: false,
+        },
+        &request,
+        12,
+    );
+    assert!(key_order.data_page_fetches > 2 * exec.outcome.data_page_fetches);
+}
+
+#[test]
+fn order_by_is_respected_in_plan_flags() {
+    let mut f = fixture(0.5, 5);
+    let request = QueryRequest {
+        key_range: Some((f.dataset.key_value(0), f.dataset.key_value(239))),
+        minor_below: None,
+        order_by_key: true,
+    };
+    let exec = plan_and_execute(&mut f.table, &f.stats, &f.histogram, &request, 100);
+    for plan in &exec.alternatives {
+        match &plan.plan {
+            AccessPlan::TableScan { sort } => assert!(sort),
+            AccessPlan::PartialIndexScan { sort, .. } => {
+                assert!(!sort, "the key index delivers the order")
+            }
+            AccessPlan::RidSortedIndexScan { sort, .. } => {
+                assert!(sort, "RID order destroys key order")
+            }
+            AccessPlan::FullIndexScan { .. } => {}
+        }
+    }
+}
+
+#[test]
+fn estimated_cost_ranking_matches_measured_on_clear_cut_cases() {
+    // Clustered index, tiny range: every sane cost model must rank the
+    // partial index scan measurably AND estimatedly first.
+    let mut f = fixture(0.0, 6);
+    let request = QueryRequest {
+        key_range: Some((f.dataset.key_value(100), f.dataset.key_value(103))),
+        minor_below: None,
+        order_by_key: false,
+    };
+    let exec = plan_and_execute(&mut f.table, &f.stats, &f.histogram, &request, 60);
+    let mut measured: Vec<(String, u64)> = exec
+        .alternatives
+        .iter()
+        .map(|p| {
+            let o = execute_plan(&mut f.table, &p.plan, &request, 60);
+            (p.plan.to_string(), o.data_page_fetches)
+        })
+        .collect();
+    let estimated_best = exec.alternatives[0].plan.to_string();
+    measured.sort_by_key(|&(_, f)| f);
+    assert_eq!(
+        measured[0].0, estimated_best,
+        "estimated winner should also win measured: {measured:?}"
+    );
+}

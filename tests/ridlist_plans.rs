@@ -1,0 +1,168 @@
+//! Integration tests for the §6 future-work extension: RID-sorted scans and
+//! index ANDing, estimation against real execution.
+
+use epfis::ridlist;
+use epfis_datagen::{Dataset, DatasetSpec, ScanKind, WorkloadGenerator};
+use epfis_index::{KeyBound, RangeSpec};
+use epfis_repro::pipeline::LoadedTable;
+
+fn unclustered_dataset(seed: u64) -> Dataset {
+    let spec = DatasetSpec {
+        name: "ridlist".into(),
+        records: 10_000,
+        distinct: 200,
+        records_per_page: 20,
+        theta: 0.0,
+        window_fraction: 1.0,
+        noise: 0.05,
+        shuffle_frequencies: true,
+        sorted_rids: false,
+        seed,
+    };
+    Dataset::generate(spec)
+}
+
+#[test]
+fn sorted_rid_scan_fetch_count_is_buffer_independent_and_minimal() {
+    let d = unclustered_dataset(1);
+    let mut table = LoadedTable::load(&d);
+    let mut w = WorkloadGenerator::new(d.trace(), 9);
+    let scan = w.draw(ScanKind::Large);
+    let range = LoadedTable::range_for_keys(&d, scan.key_lo, scan.key_hi);
+    let distinct = d.trace().distinct_pages_in(scan.key_lo, scan.key_hi);
+
+    let mut fetch_counts = Vec::new();
+    for buffer in [1usize, 12, 100] {
+        let outcome = table.execute_index_scan_sorted_rids(range, buffer, |_| true);
+        assert_eq!(outcome.rows, scan.records);
+        assert_eq!(outcome.data_page_fetches, distinct, "buffer={buffer}");
+        fetch_counts.push(outcome.data_page_fetches);
+    }
+    assert!(fetch_counts.windows(2).all(|w| w[0] == w[1]));
+
+    // The ordinary (key-order) scan with a tiny buffer re-fetches pages;
+    // sorted RIDs never do.
+    let thrashing = table.execute_index_scan(range, 4, |_| true);
+    assert!(thrashing.data_page_fetches > distinct);
+}
+
+#[test]
+fn yao_estimate_matches_measured_sorted_scan() {
+    let d = unclustered_dataset(2);
+    let mut table = LoadedTable::load(&d);
+    let mut w = WorkloadGenerator::new(d.trace(), 11);
+    for kind in [ScanKind::Small, ScanKind::Large] {
+        let scan = w.draw(kind);
+        let range = LoadedTable::range_for_keys(&d, scan.key_lo, scan.key_hi);
+        let outcome = table.execute_index_scan_sorted_rids(range, 12, |_| true);
+        let est = ridlist::sorted_rid_fetches(d.table_pages() as u64, d.records(), scan.records);
+        let actual = outcome.data_page_fetches as f64;
+        let rel = (est - actual).abs() / actual;
+        // Yao assumes random selection; a contiguous key range on an
+        // unclustered (K=1) placement is close to that.
+        assert!(
+            rel < 0.15,
+            "{kind:?}: yao {est} vs measured {actual} ({:.1}% off)",
+            rel * 100.0
+        );
+    }
+}
+
+#[test]
+fn index_anding_intersects_and_estimates_compose() {
+    let d = unclustered_dataset(3);
+    let mut table = LoadedTable::load(&d);
+    // Key range covering ~40% of records; minor range covering 30%.
+    let mut w = WorkloadGenerator::new(d.trace(), 13);
+    let scan = w.scan_with_fraction(0.4, ScanKind::Large);
+    let key_range = LoadedTable::range_for_keys(&d, scan.key_lo, scan.key_hi);
+    let minor_range = RangeSpec {
+        start: KeyBound::Included(0),
+        stop: KeyBound::Excluded(300), // minor is uniform in 0..1000
+    };
+    let outcome = table.execute_index_and(key_range, minor_range, 12);
+
+    let s_minor = 0.3;
+    let expected_rows = ridlist::and_qualifying(d.records(), &[scan.selectivity, s_minor]);
+    let rel_rows = (outcome.rows as f64 - expected_rows).abs() / expected_rows;
+    assert!(
+        rel_rows < 0.10,
+        "rows {} vs independence estimate {expected_rows}",
+        outcome.rows
+    );
+
+    let est = ridlist::and_plan_fetches(
+        d.table_pages() as u64,
+        d.records(),
+        &[scan.selectivity, s_minor],
+    );
+    let actual = outcome.data_page_fetches as f64;
+    let rel = (est - actual).abs() / actual;
+    assert!(
+        rel < 0.15,
+        "anding estimate {est} vs measured {actual} ({:.1}% off)",
+        rel * 100.0
+    );
+    // ANDing fetches fewer pages than either single-predicate sorted scan.
+    let single = table.execute_index_scan_sorted_rids(key_range, 12, |_| true);
+    assert!(outcome.data_page_fetches < single.data_page_fetches);
+}
+
+#[test]
+fn index_oring_unites_and_estimates_compose() {
+    let d = unclustered_dataset(5);
+    let mut table = LoadedTable::load(&d);
+    let mut w = WorkloadGenerator::new(d.trace(), 15);
+    let scan = w.scan_with_fraction(0.3, ScanKind::Large);
+    let key_range = LoadedTable::range_for_keys(&d, scan.key_lo, scan.key_hi);
+    let minor_range = RangeSpec {
+        start: KeyBound::Included(0),
+        stop: KeyBound::Excluded(200), // S = 0.2 on the uniform minor column
+    };
+    let outcome = table.execute_index_or(key_range, minor_range, 12);
+
+    let expected_rows = ridlist::or_qualifying(d.records(), &[scan.selectivity, 0.2]);
+    let rel_rows = (outcome.rows as f64 - expected_rows).abs() / expected_rows;
+    assert!(
+        rel_rows < 0.10,
+        "rows {} vs inclusion-exclusion estimate {expected_rows}",
+        outcome.rows
+    );
+
+    let est = ridlist::or_plan_fetches(
+        d.table_pages() as u64,
+        d.records(),
+        &[scan.selectivity, 0.2],
+    );
+    let actual = outcome.data_page_fetches as f64;
+    let rel = (est - actual).abs() / actual;
+    assert!(
+        rel < 0.15,
+        "oring estimate {est} vs measured {actual} ({:.1}% off)",
+        rel * 100.0
+    );
+    // ORing fetches at least as many pages as either input alone.
+    let single = table.execute_index_scan_sorted_rids(key_range, 12, |_| true);
+    assert!(outcome.data_page_fetches >= single.data_page_fetches);
+    assert!(outcome.rows >= single.rows);
+}
+
+#[test]
+fn anding_result_is_subset_of_both_inputs() {
+    let d = unclustered_dataset(4);
+    let mut table = LoadedTable::load(&d);
+    let key_range = LoadedTable::range_for_keys(&d, 50, 150);
+    let minor_range = RangeSpec {
+        start: KeyBound::Included(500),
+        stop: KeyBound::Unbounded,
+    };
+    let anded = table.execute_index_and(key_range, minor_range, 12);
+    let by_key = table.execute_index_scan_sorted_rids(key_range, 12, |_| true);
+    let by_minor_rows = (0.5 * d.records() as f64) as u64;
+    assert!(anded.rows <= by_key.rows);
+    assert!(anded.rows <= by_minor_rows + by_minor_rows / 10);
+    // Equivalent filtering through the sargable path gives the same rows.
+    let sargable = table.execute_index_scan_sorted_rids(key_range, 12, |m| m >= 500);
+    assert_eq!(anded.rows, sargable.rows);
+    assert_eq!(anded.data_page_fetches, sargable.data_page_fetches);
+}
