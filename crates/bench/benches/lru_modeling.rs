@@ -18,20 +18,30 @@ fn trace() -> KeyedTrace {
     Dataset::generate(spec).trace().clone()
 }
 
+/// A Zipf-skewed (θ = 0.86, the paper's skewed setting) reference string at
+/// the paper's full synthetic scale (N = 10^6 records, I = 10^4 keys). The
+/// length matters: it is what separates a time axis that spans the whole
+/// trace from one bounded by the working set.
+fn zipf_pages() -> Vec<u32> {
+    let spec = DatasetSpec::synthetic(1_000_000, 10_000, 40, 0.86, 0.3);
+    Dataset::generate(spec).trace().pages().to_vec()
+}
+
+/// Runs one full analyzer pass and returns the histogram.
+fn analyze(pages: &[u32]) -> epfis_lrusim::StackDistanceHistogram {
+    let mut a = StackAnalyzer::with_capacity(pages.len());
+    for &p in pages {
+        a.access(black_box(p));
+    }
+    a.finish()
+}
+
 fn bench_stack_analysis(c: &mut Criterion) {
     let trace = trace();
     let pages = trace.pages();
     let mut g = c.benchmark_group("stack_analysis");
     g.throughput(Throughput::Elements(pages.len() as u64));
-    g.bench_function("fenwick_one_pass", |b| {
-        b.iter(|| {
-            let mut a = StackAnalyzer::with_capacity(pages.len());
-            for &p in pages {
-                a.access(black_box(p));
-            }
-            a.finish()
-        })
-    });
+    g.bench_function("fenwick_one_pass", |b| b.iter(|| analyze(pages)));
     g.sample_size(10);
     g.bench_function("naive_list_one_pass", |b| {
         b.iter(|| {
@@ -58,6 +68,35 @@ fn bench_stack_analysis(c: &mut Criterion) {
     g.finish();
 }
 
+/// Analyzer throughput across trace shapes: Zipf skew concentrates reuse at
+/// small stack distances (short Fenwick descents), a sequential scan is all
+/// cold misses, and a long cyclic trace exercises time-axis compaction.
+fn bench_trace_shapes(c: &mut Criterion) {
+    let zipf = zipf_pages();
+    let mut g = c.benchmark_group("analyzer_traces");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(zipf.len() as u64));
+    g.bench_function("zipf_skewed", |b| b.iter(|| analyze(&zipf)));
+
+    let sequential: Vec<u32> = (0..zipf.len() as u32).collect();
+    g.bench_function("sequential_scan", |b| b.iter(|| analyze(&sequential)));
+
+    // References cycling over 500 pages with jitter: `now` outruns the
+    // live-mark count many times over, so compaction fires repeatedly.
+    let cyclic: Vec<u32> = (0..zipf.len() as u32)
+        .map(|i| {
+            let h = i.wrapping_mul(0x9E3779B1);
+            if h % 7 == 0 {
+                h % 500
+            } else {
+                i % 350
+            }
+        })
+        .collect();
+    g.bench_function("compacting_cyclic", |b| b.iter(|| analyze(&cyclic)));
+    g.finish();
+}
+
 fn bench_lru_fit_pipeline(c: &mut Criterion) {
     let trace = trace();
     let mut g = c.benchmark_group("lru_fit");
@@ -70,5 +109,10 @@ fn bench_lru_fit_pipeline(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_stack_analysis, bench_lru_fit_pipeline);
+criterion_group!(
+    benches,
+    bench_stack_analysis,
+    bench_trace_shapes,
+    bench_lru_fit_pipeline
+);
 criterion_main!(benches);

@@ -1,0 +1,165 @@
+//! Times the quick-scale reproduction phases plus raw stack-analyzer
+//! throughput and writes a machine-readable summary.
+//!
+//! ```text
+//! cargo run -p epfis-bench --release --bin bench_summary -- \
+//!     [--out FILE] [--seed S] [--threads N]
+//! ```
+//!
+//! Each phase calls the same figure drivers as `repro_all --quick 1` (at the
+//! same quick-scale parameters) but discards the artifacts — only wall-clock
+//! matters here. The output (default `BENCH_PR1.json`) records per-phase
+//! seconds and analyzer references/second on Zipf and sequential traces, so
+//! perf changes can be compared across commits and thread counts.
+
+use epfis::EpfisConfig;
+use epfis_bench::Options;
+use epfis_datagen::{Dataset, DatasetSpec};
+use epfis_harness::figures::{self, SyntheticParams};
+use epfis_lrusim::StackAnalyzer;
+use std::time::Instant;
+
+fn timed<R>(f: impl FnOnce() -> R) -> f64 {
+    let start = Instant::now();
+    let r = f();
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(r);
+    secs
+}
+
+/// References/second of one analyzer pass over `trace`.
+fn analyzer_rate(trace: &[u32]) -> f64 {
+    let mut analyzer = StackAnalyzer::with_capacity(trace.len());
+    let secs = timed(|| {
+        for &p in trace {
+            analyzer.access(p);
+        }
+    });
+    trace.len() as f64 / secs.max(1e-9)
+}
+
+fn main() {
+    let opts = Options::from_env();
+    opts.init_threads();
+    let out = opts.get_str("out").unwrap_or("BENCH_PR1.json").to_string();
+    let seed: u64 = opts.get("seed", figures::DEFAULT_SEED);
+
+    // The same quick-scale parameters repro_all uses with --quick 1.
+    let small_spec = |k: f64| DatasetSpec::synthetic(20_000, 400, 40, 0.0, k).with_seed(seed);
+    let synth_params: Vec<SyntheticParams> = [0.0, 0.86]
+        .iter()
+        .flat_map(|&theta| {
+            [0.0, 0.05, 0.10, 0.20, 0.50, 1.0]
+                .iter()
+                .map(move |&k| SyntheticParams::paper(theta, k).scaled(20))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let policy_spec = DatasetSpec::synthetic(20_000, 400, 40, 0.0, 0.5).with_seed(seed);
+
+    let phases: Vec<(&str, f64)> = vec![
+        (
+            "tables_fig1",
+            timed(|| (figures::tables(20, seed), figures::fig1(20, seed))),
+        ),
+        ("gwl_figures", timed(|| figures::gwl_all(20, 15, seed))),
+        (
+            "synthetic_figures",
+            timed(|| figures::synthetic_all(&synth_params)),
+        ),
+        (
+            "segment_sensitivity",
+            timed(|| {
+                let counts: Vec<usize> = (1..=12).collect();
+                figures::segment_sensitivity(small_spec(0.2), &counts, 30, seed)
+            }),
+        ),
+        (
+            "ablations",
+            timed(|| {
+                let configs = [
+                    ("paper", EpfisConfig::default()),
+                    ("no-correction", EpfisConfig::default().without_correction()),
+                ];
+                (
+                    figures::config_ablation(small_spec(0.2), &configs, 30, seed),
+                    figures::sd_exponent_ablation(small_spec(0.2), 30, seed),
+                    figures::baseline_variant_ablation(small_spec(0.2), 30, seed),
+                )
+            }),
+        ),
+        (
+            "policy_sensitivity",
+            timed(|| figures::policy_sensitivity(policy_spec.clone(), 30, seed)),
+        ),
+        (
+            "sargable_accuracy",
+            timed(|| {
+                let t = small_spec(1.0).records / 40;
+                figures::sargable_accuracy(
+                    small_spec(1.0),
+                    &[t / 20, t / 4, t / 2, t],
+                    &[0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9],
+                    seed,
+                )
+            }),
+        ),
+        (
+            "staleness",
+            timed(|| {
+                figures::staleness(small_spec(0.2), &[1.0, 1.1, 1.25, 1.5, 2.0, 3.0], 30, seed)
+            }),
+        ),
+        (
+            "contention",
+            timed(|| {
+                figures::contention(
+                    policy_spec.clone(),
+                    &[1, 2, 4, 8],
+                    policy_spec.records / 40 / 4,
+                    40,
+                    seed,
+                )
+            }),
+        ),
+    ];
+    let total: f64 = phases.iter().map(|(_, s)| s).sum();
+
+    // Raw analyzer throughput: a Zipf-skewed reference string (θ = 0.86 at
+    // the paper's full N = 10^6 scale, matching the lru_modeling bench) and
+    // a pure sequential scan.
+    let zipf = Dataset::generate(DatasetSpec::synthetic(1_000_000, 10_000, 40, 0.86, 0.3));
+    let zipf_trace = zipf.trace().pages();
+    let zipf_rate = analyzer_rate(zipf_trace);
+    let seq_trace: Vec<u32> = (0..1_000_000).collect();
+    let seq_rate = analyzer_rate(&seq_trace);
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"threads\": {},\n", epfis_par::threads()));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str("  \"phases\": [\n");
+    for (i, (name, secs)) in phases.iter().enumerate() {
+        let comma = if i + 1 < phases.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"seconds\": {secs:.6}}}{comma}\n"
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"total_seconds\": {total:.6},\n"));
+    json.push_str("  \"analyzer\": {\n");
+    json.push_str(&format!(
+        "    \"zipf_references\": {},\n    \"zipf_refs_per_sec\": {:.0},\n",
+        zipf_trace.len(),
+        zipf_rate
+    ));
+    json.push_str(&format!(
+        "    \"sequential_references\": {},\n    \"sequential_refs_per_sec\": {:.0}\n",
+        seq_trace.len(),
+        seq_rate
+    ));
+    json.push_str("  }\n}\n");
+
+    std::fs::write(&out, &json).expect("write benchmark summary");
+    print!("{json}");
+    println!("wrote {out}");
+}

@@ -3,17 +3,19 @@
 //!
 //! ```text
 //! cargo run -p epfis-bench --release --bin gwl_errors -- \
-//!     [--scale N] [--min-buffer B] [--seed S] [--column TABLE.COL] [--csv DIR]
+//!     [--scale N] [--min-buffer B] [--seed S] [--column TABLE.COL] \
+//!     [--csv DIR] [--threads N]
 //! ```
 //!
 //! Defaults: full scale, the paper's `max(300, 0.05 T)` buffer floor, all
 //! eight columns. Scaled runs should shrink `--min-buffer` proportionally.
 
-use epfis_bench::{print_max_errors, slug, write_csv, Options};
+use epfis_bench::{print_max_errors, slug, write_csv, MaxErrors, Options};
 use epfis_harness::figures;
 
 fn main() {
     let opts = Options::from_env();
+    opts.init_threads();
     let scale: u32 = opts.get("scale", 1);
     let min_buffer: u64 = opts.get("min-buffer", 300 / scale as u64);
     let seed: u64 = opts.get("seed", figures::DEFAULT_SEED);
@@ -25,7 +27,7 @@ fn main() {
         None => figures::gwl_all(scale, min_buffer, seed),
     };
 
-    let mut overall: Vec<(String, f64)> = Vec::new();
+    let mut overall = MaxErrors::new();
     for (fig, maxes) in &results {
         print!("{}", fig.to_table());
         print_max_errors(&fig.title, maxes);
@@ -33,13 +35,8 @@ fn main() {
         if let Some(dir) = opts.csv_dir() {
             write_csv(&dir, &slug(&fig.title), &fig.to_csv());
         }
-        for (name, worst) in maxes {
-            match overall.iter_mut().find(|(n, _)| n == name) {
-                Some((_, w)) => *w = w.max(*worst),
-                None => overall.push((name.clone(), *worst)),
-            }
-        }
+        overall.merge(maxes);
     }
     println!("=== Section 5.1 summary (paper: EPFIS <= 20%, ML 97.8%, SD 1889.7%, OT 2046.2%, DC 2876.4%) ===");
-    print_max_errors("all GWL columns", &overall);
+    print_max_errors("all GWL columns", overall.as_slice());
 }

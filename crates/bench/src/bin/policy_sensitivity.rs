@@ -18,6 +18,7 @@ use epfis_harness::figures;
 
 fn main() {
     let opts = Options::from_env();
+    opts.init_threads();
     let records: u64 = opts.get("records", 100_000);
     let distinct: u64 = opts.get("distinct", 1_000);
     let per_page: u32 = opts.get("per-page", 40);

@@ -3,14 +3,18 @@
 //!
 //! ```text
 //! cargo run -p epfis-bench --release --bin repro_all -- \
-//!     [--out DIR] [--quick 1] [--seed S]
+//!     [--out DIR] [--quick 1] [--seed S] [--threads N]
 //! ```
 //!
 //! `--quick 1` shrinks every dataset ~20× (minutes → seconds) for smoke
-//! runs; the default is the paper's full scale (~2 minutes).
+//! runs; the default is the paper's full scale. `--threads N` caps the
+//! worker-thread budget (0 = all cores). Independent figure groups run
+//! concurrently and every result is collected in a fixed order, so the
+//! artifacts under `--out` are byte-identical for a given seed at any
+//! thread count; only the interleaving of progress lines on stdout varies.
 
 use epfis::{EpfisConfig, GridStrategy, PhiMode};
-use epfis_bench::{print_max_errors, slug, write_csv, Options};
+use epfis_bench::{format_max_errors, slug, write_csv, MaxErrors, Options};
 use epfis_datagen::DatasetSpec;
 use epfis_harness::figures::{self, SyntheticParams};
 use epfis_harness::FigureData;
@@ -35,6 +39,7 @@ impl Sink {
 
 fn main() {
     let opts = Options::from_env();
+    opts.init_threads();
     let out: String = opts.get_str("out").unwrap_or("results").to_string();
     let quick: u32 = opts.get("quick", 0);
     let seed: u64 = opts.get("seed", figures::DEFAULT_SEED);
@@ -61,92 +66,6 @@ fn main() {
         DatasetSpec::synthetic(n, i, 40, 0.0, k).with_seed(seed)
     };
     let small_min_buffer = if quick > 0 { 30 } else { 60 };
-
-    // Tables 2-3 and Figure 1.
-    sink.text("tables", &figures::tables(gwl_scale, seed));
-    sink.figure("fig1", &figures::fig1(gwl_scale, seed));
-
-    // Figures 2-9 (GWL) with the Section 5.1 summary.
-    let mut gwl_out = String::new();
-    let mut overall: Vec<(String, f64)> = Vec::new();
-    for (fig, maxes) in figures::gwl_all(gwl_scale, gwl_min_buffer, seed) {
-        gwl_out.push_str(&fig.to_table());
-        gwl_out.push('\n');
-        write_csv(&sink.dir.join("csv"), &slug(&fig.title), &fig.to_csv());
-        for (name, worst) in maxes {
-            match overall.iter_mut().find(|(n, _)| *n == name) {
-                Some((_, w)) => *w = w.max(worst),
-                None => overall.push((name, worst)),
-            }
-        }
-    }
-    sink.text("gwl_errors", &gwl_out);
-    print_max_errors(
-        "GWL overall (paper: EPFIS<=20, ML 97.8, SD 1889.7, OT 2046.2, DC 2876.4)",
-        &overall,
-    );
-
-    // Figures 10-21 (synthetic) with the Section 5.2 summary.
-    let mut synth_out = String::new();
-    let mut overall: Vec<(String, f64)> = Vec::new();
-    for theta in [0.0, 0.86] {
-        for k in [0.0, 0.05, 0.10, 0.20, 0.50, 1.0] {
-            let (fig, maxes) = figures::synthetic_error_figure(synth(theta, k));
-            synth_out.push_str(&fig.to_table());
-            synth_out.push('\n');
-            write_csv(&sink.dir.join("csv"), &slug(&fig.title), &fig.to_csv());
-            for (name, worst) in maxes {
-                match overall.iter_mut().find(|(n, _)| *n == name) {
-                    Some((_, w)) => *w = w.max(worst),
-                    None => overall.push((name, worst)),
-                }
-            }
-        }
-    }
-    sink.text("synthetic_errors", &synth_out);
-    print_max_errors(
-        "synthetic overall (paper: EPFIS 48, ML 94.9, SD 97.6, OT 2453.1, DC 1994.8)",
-        &overall,
-    );
-
-    // Section 4.1 segment sensitivity.
-    let counts: Vec<usize> = (1..=12).collect();
-    sink.figure(
-        "segment_sensitivity",
-        &figures::segment_sensitivity(small_spec(0.2), &counts, small_min_buffer, seed),
-    );
-
-    // Extensions: ablations, policy sensitivity, sargable, staleness,
-    // contention.
-    let configs: Vec<(&str, EpfisConfig)> = vec![
-        ("paper", EpfisConfig::default()),
-        ("no-correction", EpfisConfig::default().without_correction()),
-        (
-            "phi=min",
-            EpfisConfig {
-                phi_mode: PhiMode::ProseMin,
-                ..EpfisConfig::default()
-            },
-        ),
-        (
-            "geometric-grid",
-            EpfisConfig::default().with_grid(GridStrategy::Geometric { points: 24 }),
-        ),
-        ("segments=3", EpfisConfig::default().with_segments(3)),
-        ("segments=12", EpfisConfig::default().with_segments(12)),
-    ];
-    sink.figure(
-        "ablations_config",
-        &figures::config_ablation(small_spec(0.2), &configs, small_min_buffer, seed),
-    );
-    sink.figure(
-        "ablations_sd",
-        &figures::sd_exponent_ablation(small_spec(0.2), small_min_buffer, seed),
-    );
-    sink.figure(
-        "ablations_baselines",
-        &figures::baseline_variant_ablation(small_spec(0.2), small_min_buffer, seed),
-    );
     let policy_spec = {
         let (n, i) = if quick > 0 {
             (20_000, 400)
@@ -155,39 +74,154 @@ fn main() {
         };
         DatasetSpec::synthetic(n, i, 40, 0.0, 0.5).with_seed(seed)
     };
-    sink.figure(
-        "policy_sensitivity",
-        &figures::policy_sensitivity(policy_spec.clone(), small_min_buffer, seed),
-    );
-    let t = small_spec(1.0).records / 40;
-    sink.figure(
-        "sargable_accuracy",
-        &figures::sargable_accuracy(
-            small_spec(1.0),
-            &[t / 20, t / 4, t / 2, t],
-            &[0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9],
-            seed,
-        ),
-    );
-    sink.figure(
-        "staleness",
-        &figures::staleness(
-            small_spec(0.2),
-            &[1.0, 1.1, 1.25, 1.5, 2.0, 3.0],
-            small_min_buffer,
-            seed,
-        ),
-    );
-    sink.figure(
-        "contention",
-        &figures::contention(
-            policy_spec.clone(),
-            &[1, 2, 4, 8],
-            policy_spec.records / 40 / 4,
-            40,
-            seed,
-        ),
-    );
+
+    let sink = &sink;
+    // Independent figure groups, fanned out over the thread budget. Each
+    // task writes its own artifact files (no two tasks share a file) and
+    // returns its summary text; summaries print after the join, in the
+    // fixed order below.
+    type Group<'a> = Box<dyn FnOnce() -> String + Send + 'a>;
+    let groups: Vec<Group> = vec![
+        // Tables 2-3 and Figure 1.
+        Box::new(move || {
+            sink.text("tables", &figures::tables(gwl_scale, seed));
+            sink.figure("fig1", &figures::fig1(gwl_scale, seed));
+            String::new()
+        }),
+        // Figures 2-9 (GWL) with the Section 5.1 summary.
+        Box::new(move || {
+            let mut gwl_out = String::new();
+            let mut overall = MaxErrors::new();
+            for (fig, maxes) in figures::gwl_all(gwl_scale, gwl_min_buffer, seed) {
+                gwl_out.push_str(&fig.to_table());
+                gwl_out.push('\n');
+                write_csv(&sink.dir.join("csv"), &slug(&fig.title), &fig.to_csv());
+                overall.merge(&maxes);
+            }
+            sink.text("gwl_errors", &gwl_out);
+            format_max_errors(
+                "GWL overall (paper: EPFIS<=20, ML 97.8, SD 1889.7, OT 2046.2, DC 2876.4)",
+                overall.as_slice(),
+            )
+        }),
+        // Figures 10-21 (synthetic) with the Section 5.2 summary.
+        Box::new(move || {
+            let params: Vec<SyntheticParams> = [0.0, 0.86]
+                .iter()
+                .flat_map(|&theta| {
+                    [0.0, 0.05, 0.10, 0.20, 0.50, 1.0]
+                        .iter()
+                        .map(move |&k| synth(theta, k))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            let mut synth_out = String::new();
+            let mut overall = MaxErrors::new();
+            for (fig, maxes) in figures::synthetic_all(&params) {
+                synth_out.push_str(&fig.to_table());
+                synth_out.push('\n');
+                write_csv(&sink.dir.join("csv"), &slug(&fig.title), &fig.to_csv());
+                overall.merge(&maxes);
+            }
+            sink.text("synthetic_errors", &synth_out);
+            format_max_errors(
+                "synthetic overall (paper: EPFIS 48, ML 94.9, SD 97.6, OT 2453.1, DC 1994.8)",
+                overall.as_slice(),
+            )
+        }),
+        // Section 4.1 segment sensitivity.
+        Box::new(move || {
+            let counts: Vec<usize> = (1..=12).collect();
+            sink.figure(
+                "segment_sensitivity",
+                &figures::segment_sensitivity(small_spec(0.2), &counts, small_min_buffer, seed),
+            );
+            String::new()
+        }),
+        // Extensions: ablations.
+        Box::new(move || {
+            let configs: Vec<(&str, EpfisConfig)> = vec![
+                ("paper", EpfisConfig::default()),
+                ("no-correction", EpfisConfig::default().without_correction()),
+                (
+                    "phi=min",
+                    EpfisConfig {
+                        phi_mode: PhiMode::ProseMin,
+                        ..EpfisConfig::default()
+                    },
+                ),
+                (
+                    "geometric-grid",
+                    EpfisConfig::default().with_grid(GridStrategy::Geometric { points: 24 }),
+                ),
+                ("segments=3", EpfisConfig::default().with_segments(3)),
+                ("segments=12", EpfisConfig::default().with_segments(12)),
+            ];
+            sink.figure(
+                "ablations_config",
+                &figures::config_ablation(small_spec(0.2), &configs, small_min_buffer, seed),
+            );
+            sink.figure(
+                "ablations_sd",
+                &figures::sd_exponent_ablation(small_spec(0.2), small_min_buffer, seed),
+            );
+            sink.figure(
+                "ablations_baselines",
+                &figures::baseline_variant_ablation(small_spec(0.2), small_min_buffer, seed),
+            );
+            String::new()
+        }),
+        // Extensions: policy sensitivity and contention.
+        {
+            let policy_spec = policy_spec.clone();
+            Box::new(move || {
+                sink.figure(
+                    "policy_sensitivity",
+                    &figures::policy_sensitivity(policy_spec.clone(), small_min_buffer, seed),
+                );
+                sink.figure(
+                    "contention",
+                    &figures::contention(
+                        policy_spec.clone(),
+                        &[1, 2, 4, 8],
+                        policy_spec.records / 40 / 4,
+                        40,
+                        seed,
+                    ),
+                );
+                String::new()
+            })
+        },
+        // Extensions: sargable accuracy and staleness.
+        Box::new(move || {
+            let t = small_spec(1.0).records / 40;
+            sink.figure(
+                "sargable_accuracy",
+                &figures::sargable_accuracy(
+                    small_spec(1.0),
+                    &[t / 20, t / 4, t / 2, t],
+                    &[0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9],
+                    seed,
+                ),
+            );
+            sink.figure(
+                "staleness",
+                &figures::staleness(
+                    small_spec(0.2),
+                    &[1.0, 1.1, 1.25, 1.5, 2.0, 3.0],
+                    small_min_buffer,
+                    seed,
+                ),
+            );
+            String::new()
+        }),
+    ];
+
+    for summary in epfis_par::par_invoke(groups) {
+        if !summary.is_empty() {
+            print!("{summary}");
+        }
+    }
 
     println!("\nall artifacts regenerated under {out}/ (quick={quick})");
 }

@@ -13,6 +13,7 @@ use epfis_harness::figures;
 
 fn main() {
     let opts = Options::from_env();
+    opts.init_threads();
     let records: u64 = opts.get("records", 200_000);
     let distinct: u64 = opts.get("distinct", 2_000);
     let per_page: u32 = opts.get("per-page", 40);

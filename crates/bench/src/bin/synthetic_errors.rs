@@ -4,17 +4,18 @@
 //! ```text
 //! cargo run -p epfis-bench --release --bin synthetic_errors -- \
 //!     [--theta 0|0.86] [--k K] [--records N] [--distinct I] [--per-page R] \
-//!     [--min-buffer B] [--seed S] [--csv DIR]
+//!     [--min-buffer B] [--seed S] [--csv DIR] [--threads N]
 //! ```
 //!
 //! Defaults: the paper's N = 10^6, I = 10^4, R = 40, both θ values, all six
 //! K values. Use `--records`/`--distinct`/`--min-buffer` to scale down.
 
-use epfis_bench::{print_max_errors, slug, write_csv, Options};
+use epfis_bench::{print_max_errors, slug, write_csv, MaxErrors, Options};
 use epfis_harness::figures::{self, SyntheticParams};
 
 fn main() {
     let opts = Options::from_env();
+    opts.init_threads();
     let thetas: Vec<f64> = match opts.get_str("theta") {
         Some(raw) => vec![raw.parse().expect("bad --theta")],
         None => vec![0.0, 0.86],
@@ -29,33 +30,33 @@ fn main() {
     let min_buffer: u64 = opts.get("min-buffer", 300);
     let seed: u64 = opts.get("seed", figures::DEFAULT_SEED);
 
-    let mut overall: Vec<(String, f64)> = Vec::new();
-    for &theta in &thetas {
-        for &k in &ks {
-            let params = SyntheticParams {
-                records,
-                distinct,
-                per_page,
-                theta,
-                k,
-                min_buffer,
-                seed,
-            };
-            let (fig, maxes) = figures::synthetic_error_figure(params);
-            print!("{}", fig.to_table());
-            print_max_errors(&fig.title, &maxes);
-            println!();
-            if let Some(dir) = opts.csv_dir() {
-                write_csv(&dir, &slug(&fig.title), &fig.to_csv());
-            }
-            for (name, worst) in &maxes {
-                match overall.iter_mut().find(|(n, _)| n == name) {
-                    Some((_, w)) => *w = w.max(*worst),
-                    None => overall.push((name.clone(), *worst)),
-                }
-            }
+    let params: Vec<SyntheticParams> = thetas
+        .iter()
+        .flat_map(|&theta| {
+            ks.iter()
+                .map(|&k| SyntheticParams {
+                    records,
+                    distinct,
+                    per_page,
+                    theta,
+                    k,
+                    min_buffer,
+                    seed,
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let mut overall = MaxErrors::new();
+    for (fig, maxes) in figures::synthetic_all(&params) {
+        print!("{}", fig.to_table());
+        print_max_errors(&fig.title, &maxes);
+        println!();
+        if let Some(dir) = opts.csv_dir() {
+            write_csv(&dir, &slug(&fig.title), &fig.to_csv());
         }
+        overall.merge(&maxes);
     }
     println!("=== Section 5.2 summary (paper: EPFIS 48%, SD 97.6%, ML 94.9%, OT 2453.1%, DC 1994.8%) ===");
-    print_max_errors("all synthetic datasets", &overall);
+    print_max_errors("all synthetic datasets", overall.as_slice());
 }

@@ -10,6 +10,7 @@ use epfis_harness::figures;
 
 fn main() {
     let opts = Options::from_env();
+    opts.init_threads();
     let scale: u32 = opts.get("scale", 1);
     let seed: u64 = opts.get("seed", figures::DEFAULT_SEED);
     print!("{}", figures::tables(scale, seed));

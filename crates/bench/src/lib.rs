@@ -59,6 +59,49 @@ impl Options {
     pub fn csv_dir(&self) -> Option<PathBuf> {
         self.get_str("csv").map(PathBuf::from)
     }
+
+    /// The worker-thread budget from `--threads N` (0, the default, means
+    /// all available cores).
+    pub fn threads(&self) -> usize {
+        self.get("threads", 0usize)
+    }
+
+    /// Applies `--threads` to the process-global parallelism budget. Call
+    /// once at the top of every binary's `main`.
+    pub fn init_threads(&self) {
+        epfis_par::set_threads(self.threads());
+    }
+}
+
+/// Per-algorithm worst-case |error%| accumulator, preserving first-seen
+/// algorithm order — the §5 "overall" summary shared by `repro_all`,
+/// `gwl_errors`, and `synthetic_errors`.
+#[derive(Debug, Clone, Default)]
+pub struct MaxErrors {
+    entries: Vec<(String, f64)>,
+}
+
+impl MaxErrors {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one figure's per-algorithm maxima into the running worst case.
+    pub fn merge(&mut self, maxes: &[(String, f64)]) {
+        for (name, worst) in maxes {
+            match self.entries.iter_mut().find(|(n, _)| n == name) {
+                Some((_, w)) => *w = w.max(*worst),
+                None => self.entries.push((name.clone(), *worst)),
+            }
+        }
+    }
+
+    /// The accumulated `(algorithm, worst |error%|)` pairs in first-seen
+    /// order.
+    pub fn as_slice(&self) -> &[(String, f64)] {
+        &self.entries
+    }
 }
 
 /// Writes a figure's CSV into `dir/<slug>.csv`, creating the directory.
@@ -87,12 +130,19 @@ pub fn slug(title: &str) -> String {
         .join("_")
 }
 
+/// Renders the §5-style max-error summary block as lines of text (useful
+/// when output must be buffered, e.g. from parallel figure groups).
+pub fn format_max_errors(label: &str, maxes: &[(String, f64)]) -> String {
+    let mut out = format!("max |error| per algorithm for {label}:\n");
+    for (name, worst) in maxes {
+        out.push_str(&format!("  {name:>6}: {worst:8.1}%\n"));
+    }
+    out
+}
+
 /// Prints the §5-style max-error summary block.
 pub fn print_max_errors(label: &str, maxes: &[(String, f64)]) {
-    println!("max |error| per algorithm for {label}:");
-    for (name, worst) in maxes {
-        println!("  {name:>6}: {worst:8.1}%");
-    }
+    print!("{}", format_max_errors(label, maxes));
 }
 
 #[cfg(test)]
@@ -136,5 +186,29 @@ mod tests {
     #[should_panic(expected = "unexpected argument")]
     fn stray_argument_panics() {
         Options::parse(["banana"].iter().map(|s| s.to_string()));
+    }
+
+    #[test]
+    fn threads_flag_defaults_to_zero() {
+        let o = Options::parse([].iter().map(|s: &&str| s.to_string()));
+        assert_eq!(o.threads(), 0);
+        let o = Options::parse(["--threads", "4"].iter().map(|s| s.to_string()));
+        assert_eq!(o.threads(), 4);
+    }
+
+    #[test]
+    fn max_errors_keeps_worst_per_algorithm_in_first_seen_order() {
+        let mut m = MaxErrors::new();
+        m.merge(&[("EPFIS".into(), 10.0), ("ML".into(), 50.0)]);
+        m.merge(&[("ML".into(), 30.0), ("DC".into(), 99.0)]);
+        m.merge(&[("EPFIS".into(), 12.5)]);
+        assert_eq!(
+            m.as_slice(),
+            &[
+                ("EPFIS".to_string(), 12.5),
+                ("ML".to_string(), 50.0),
+                ("DC".to_string(), 99.0),
+            ]
+        );
     }
 }

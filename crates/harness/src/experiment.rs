@@ -37,10 +37,13 @@ pub fn paper_buffer_grid(table_pages: u64, min_buffer: u64) -> Vec<u64> {
 }
 
 /// A fully-prepared experiment over one dataset (or raw keyed trace).
+///
+/// Estimator boxes are `Send + Sync` (every estimator is plain fitted data)
+/// so estimation and error sweeps can fan out across threads.
 pub struct DatasetExperiment {
     trace: KeyedTrace,
     summary: TraceSummary,
-    estimators: Vec<Box<dyn PageFetchEstimator>>,
+    estimators: Vec<Box<dyn PageFetchEstimator + Send + Sync>>,
     scans: Vec<RangeScan>,
     truths: Vec<FetchCurve>,
 }
@@ -70,7 +73,7 @@ impl DatasetExperiment {
             summary.records,
             summary.distinct_keys,
         );
-        let estimators: Vec<Box<dyn PageFetchEstimator>> = vec![
+        let estimators: Vec<Box<dyn PageFetchEstimator + Send + Sync>> = vec![
             Box::new(EpfisEstimator::new(stats)),
             Box::new(MlEstimator::from_summary(&summary)),
             Box::new(DcEstimator::from_summary(&summary)),
@@ -110,15 +113,13 @@ impl DatasetExperiment {
     }
 
     /// All estimates of algorithm `idx` at buffer size `b`.
+    ///
+    /// Scans are estimated in parallel; results stay in scan order.
     pub fn estimates(&self, idx: usize, b: u64) -> Vec<f64> {
-        self.scans
-            .iter()
-            .map(|s| {
-                let params =
-                    ScanParams::range(s.selectivity, b).with_distinct_keys(s.distinct_keys);
-                self.estimators[idx].estimate(&params)
-            })
-            .collect()
+        epfis_par::par_map(&self.scans, |s| {
+            let params = ScanParams::range(s.selectivity, b).with_distinct_keys(s.distinct_keys);
+            self.estimators[idx].estimate(&params)
+        })
     }
 
     /// All ground-truth fetch counts at buffer size `b`.
@@ -137,19 +138,21 @@ impl DatasetExperiment {
     /// DC/OT around 100%); pass `f64::INFINITY` to keep everything.
     pub fn error_series(&self, buffers: &[u64], clip_percent: f64) -> Vec<Series> {
         let t = self.summary.table_pages as f64;
+        // One task per (algorithm, buffer) grid point; index-ordered results
+        // reassemble into per-algorithm series identical to a serial sweep.
+        let n_b = buffers.len();
+        let grid = epfis_par::run_indexed(self.estimators.len() * n_b, |k| {
+            let (idx, b) = (k / n_b, buffers[k % n_b]);
+            let x = 100.0 * b as f64 / t;
+            let e = self.error_percent(idx, b);
+            (x, (e.abs() <= clip_percent).then_some(e))
+        });
         self.estimators
             .iter()
             .enumerate()
             .map(|(idx, est)| Series {
                 name: est.name().to_string(),
-                points: buffers
-                    .iter()
-                    .map(|&b| {
-                        let x = 100.0 * b as f64 / t;
-                        let e = self.error_percent(idx, b);
-                        (x, (e.abs() <= clip_percent).then_some(e))
-                    })
-                    .collect(),
+                points: grid[idx * n_b..(idx + 1) * n_b].to_vec(),
             })
             .collect()
     }
@@ -157,13 +160,17 @@ impl DatasetExperiment {
     /// Maximum |error%| per algorithm over a buffer sweep (the §5 summary
     /// numbers), unclipped.
     pub fn max_abs_error(&self, buffers: &[u64]) -> Vec<(String, f64)> {
+        let n_b = buffers.len();
+        let grid = epfis_par::run_indexed(self.estimators.len() * n_b, |k| {
+            self.error_percent(k / n_b, buffers[k % n_b]).abs()
+        });
         self.estimators
             .iter()
             .enumerate()
             .map(|(idx, est)| {
-                let worst = buffers
+                let worst = grid[idx * n_b..(idx + 1) * n_b]
                     .iter()
-                    .map(|&b| self.error_percent(idx, b).abs())
+                    .copied()
                     .fold(0.0f64, f64::max);
                 (est.name().to_string(), worst)
             })

@@ -95,12 +95,13 @@ pub fn gwl_error_figure(
 }
 
 /// Figures 2–9 in order, with their per-algorithm maximum errors.
+///
+/// The eight columns are independent experiments, so they run in parallel;
+/// index-ordered collection keeps the output identical to a serial run.
 pub fn gwl_all(scale: u32, min_buffer: u64, seed: u64) -> Vec<(FigureData, Vec<(String, f64)>)> {
-    GWL_COLUMNS
-        .iter()
-        .enumerate()
-        .map(|(i, col)| gwl_error_figure(i + 2, col.name, scale, min_buffer, seed))
-        .collect()
+    epfis_par::run_indexed(GWL_COLUMNS.len(), |i| {
+        gwl_error_figure(i + 2, GWL_COLUMNS[i].name, scale, min_buffer, seed)
+    })
 }
 
 /// Parameters of one synthetic dataset (§5.2); paper values are
@@ -190,6 +191,12 @@ pub fn synthetic_error_figure(p: SyntheticParams) -> (FigureData, Vec<(String, f
         },
         maxes,
     )
+}
+
+/// Runs a batch of synthetic-dataset figures (e.g. the 12-point `(θ, K)`
+/// grid behind Figures 10–21) in parallel, preserving input order.
+pub fn synthetic_all(params: &[SyntheticParams]) -> Vec<(FigureData, Vec<(String, f64)>)> {
+    epfis_par::par_map(params, |p| synthetic_error_figure(*p))
 }
 
 /// Tables 2 and 3: the GWL shapes and the measured clustering factors of
@@ -294,8 +301,9 @@ pub fn config_ablation(
     let buffers = paper_buffer_grid(summary.table_pages, min_buffer);
     let t = summary.table_pages as f64;
 
-    let mut series = Vec::with_capacity(configs.len());
-    for (name, cfg) in configs {
+    // Each configuration is an independent fit + sweep; fan them out.
+    let series = epfis_par::run_indexed(configs.len(), |ci| {
+        let (name, cfg) = &configs[ci];
         let stats = LruFit::new(*cfg).collect_from_curve(
             &summary.fetch_curve,
             summary.table_pages,
@@ -316,8 +324,8 @@ pub fn config_ablation(
                 )
             })
             .collect();
-        series.push(Series::dense(*name, points));
-    }
+        Series::dense(*name, points)
+    });
     FigureData {
         title: format!("EPFIS configuration ablation on {}", spec.name),
         x_label: "B as % of T".into(),
@@ -402,28 +410,34 @@ pub fn sargable_accuracy(
         seed,
     });
 
-    let mut series = Vec::with_capacity(buffers.len());
-    for &b in buffers {
-        let mut points = Vec::with_capacity(s_values.len());
-        for &s in s_values {
-            let mut estimates = Vec::with_capacity(scans.len());
-            let mut actuals = Vec::with_capacity(scans.len());
-            let mut rng = Rng::new(seed ^ s.to_bits().rotate_left(17));
-            for scan in &scans {
-                let q = ScanQuery::range(scan.selectivity, b).with_sargable(s);
-                estimates.push(stats.estimate(&q));
-                let slice = dataset.trace().scan_slice(scan.key_lo, scan.key_hi);
-                let filtered: Vec<u32> =
-                    slice.iter().copied().filter(|_| rng.gen_bool(s)).collect();
-                actuals.push(epfis_lrusim::simulate_lru(&filtered, b as usize).max(1) as f64);
-            }
-            points.push((
-                s,
-                crate::metrics::aggregate_error_percent(&estimates, &actuals),
-            ));
+    // Every (buffer, S) grid point owns a fresh Rng seeded only from the
+    // global seed and S, so fanning the grid out cannot change the numbers:
+    // no RNG state crosses grid points. The per-scan loop inside a point
+    // stays serial because its draws are sequential by construction.
+    let n_s = s_values.len();
+    let grid = epfis_par::run_indexed(buffers.len() * n_s, |idx| {
+        let b = buffers[idx / n_s];
+        let s = s_values[idx % n_s];
+        let mut estimates = Vec::with_capacity(scans.len());
+        let mut actuals = Vec::with_capacity(scans.len());
+        let mut rng = Rng::new(seed ^ s.to_bits().rotate_left(17));
+        for scan in &scans {
+            let q = ScanQuery::range(scan.selectivity, b).with_sargable(s);
+            estimates.push(stats.estimate(&q));
+            let slice = dataset.trace().scan_slice(scan.key_lo, scan.key_hi);
+            let filtered: Vec<u32> = slice.iter().copied().filter(|_| rng.gen_bool(s)).collect();
+            actuals.push(epfis_lrusim::simulate_lru(&filtered, b as usize).max(1) as f64);
         }
-        series.push(Series::dense(format!("B={b}"), points));
-    }
+        (
+            s,
+            crate::metrics::aggregate_error_percent(&estimates, &actuals),
+        )
+    });
+    let series = buffers
+        .iter()
+        .enumerate()
+        .map(|(bi, &b)| Series::dense(format!("B={b}"), grid[bi * n_s..(bi + 1) * n_s].to_vec()))
+        .collect();
     FigureData {
         title: format!("sargable urn-model accuracy on {}", spec.name),
         x_label: "sargable selectivity S".into(),
@@ -447,8 +461,9 @@ pub fn staleness(spec: DatasetSpec, growths: &[f64], min_buffer: u64, seed: u64)
         summary.records,
         summary.distinct_keys,
     );
-    let mut points = Vec::with_capacity(growths.len());
-    for &g in growths {
+    // Each growth factor regenerates and measures its own dataset — the
+    // expensive part — so the factors fan out in parallel.
+    let points = epfis_par::par_map(growths, |&g| {
         assert!(g >= 1.0, "growth factor must be >= 1");
         let mut grown_spec = spec.clone();
         grown_spec.records = (spec.records as f64 * g) as u64;
@@ -473,8 +488,8 @@ pub fn staleness(spec: DatasetSpec, growths: &[f64], min_buffer: u64, seed: u64)
             let actuals: Vec<f64> = truths.iter().map(|c| c.fetches(b) as f64).collect();
             worst = worst.max(crate::metrics::aggregate_error_percent(&estimates, &actuals).abs());
         }
-        points.push(((g - 1.0) * 100.0, worst));
-    }
+        ((g - 1.0) * 100.0, worst)
+    });
     FigureData {
         title: format!("statistics staleness on {}", spec.name),
         x_label: "data growth since ANALYZE (%)".into(),
@@ -515,31 +530,32 @@ pub fn policy_sensitivity(spec: DatasetSpec, min_buffer: u64, seed: u64) -> Figu
         ("vs Clock", simulate_clock),
         ("vs FIFO", simulate_fifo),
     ];
+    // FIFO/Clock pay one full simulation per (scan, buffer), which makes
+    // this the slowest figure; fan out the whole (policy, buffer) grid.
+    let n_b = buffers.len();
+    let grid = epfis_par::run_indexed(policies.len() * n_b, |idx| {
+        let (_, simulate) = policies[idx / n_b];
+        let b = buffers[idx % n_b];
+        let estimates: Vec<f64> = scans
+            .iter()
+            .map(|s| stats.estimate(&ScanQuery::range(s.selectivity, b)))
+            .collect();
+        let actuals: Vec<f64> = scans
+            .iter()
+            .map(|s| {
+                let slice = dataset.trace().scan_slice(s.key_lo, s.key_hi);
+                simulate(slice, b as usize) as f64
+            })
+            .collect();
+        (
+            100.0 * b as f64 / t,
+            crate::metrics::aggregate_error_percent(&estimates, &actuals),
+        )
+    });
     let series = policies
         .iter()
-        .map(|(name, simulate)| {
-            let points: Vec<(f64, f64)> = buffers
-                .iter()
-                .map(|&b| {
-                    let estimates: Vec<f64> = scans
-                        .iter()
-                        .map(|s| stats.estimate(&ScanQuery::range(s.selectivity, b)))
-                        .collect();
-                    let actuals: Vec<f64> = scans
-                        .iter()
-                        .map(|s| {
-                            let slice = dataset.trace().scan_slice(s.key_lo, s.key_hi);
-                            simulate(slice, b as usize) as f64
-                        })
-                        .collect();
-                    (
-                        100.0 * b as f64 / t,
-                        crate::metrics::aggregate_error_percent(&estimates, &actuals),
-                    )
-                })
-                .collect();
-            Series::dense(*name, points)
-        })
+        .enumerate()
+        .map(|(pi, (name, _))| Series::dense(*name, grid[pi * n_b..(pi + 1) * n_b].to_vec()))
         .collect();
     FigureData {
         title: format!(

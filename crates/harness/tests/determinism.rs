@@ -1,0 +1,89 @@
+//! Parallel-vs-serial determinism: for a fixed seed, every harness result
+//! must be bit-identical at any thread count. This is what guarantees that
+//! the CSV/table artifacts `repro_all` writes do not depend on `--threads`.
+
+use epfis::EpfisConfig;
+use epfis_datagen::{Dataset, DatasetSpec, ScanKind, ScanWorkloadConfig, WorkloadGenerator};
+use epfis_harness::experiment::{paper_buffer_grid, DatasetExperiment};
+use epfis_harness::truth::workload_truth_on;
+
+/// Runs `f` under each thread budget in turn and asserts every run returns
+/// the same value as the single-threaded one.
+fn assert_thread_invariant<R, F>(label: &str, f: F) -> R
+where
+    R: PartialEq + std::fmt::Debug,
+    F: Fn() -> R,
+{
+    epfis_par::set_threads(1);
+    let serial = f();
+    for t in [2usize, 4, 8] {
+        epfis_par::set_threads(t);
+        let parallel = f();
+        assert_eq!(
+            parallel, serial,
+            "{label}: threads={t} diverged from serial"
+        );
+    }
+    epfis_par::set_threads(0);
+    serial
+}
+
+#[test]
+fn workload_truth_identical_across_thread_counts() {
+    let dataset = Dataset::generate(DatasetSpec::synthetic(8000, 160, 20, 0.0, 0.3));
+    let mut w = WorkloadGenerator::new(dataset.trace(), 42);
+    let scans: Vec<_> = (0..24)
+        .map(|i| {
+            w.draw(if i % 2 == 0 {
+                ScanKind::Small
+            } else {
+                ScanKind::Large
+            })
+        })
+        .collect();
+    let truths = assert_thread_invariant("workload_truth_on", || {
+        workload_truth_on(dataset.trace(), &scans)
+    });
+    assert_eq!(truths.len(), scans.len());
+}
+
+#[test]
+fn error_series_identical_across_thread_counts() {
+    let spec = DatasetSpec::synthetic(10_000, 200, 20, 0.0, 0.5);
+    let workload = ScanWorkloadConfig {
+        scans: 40,
+        small_fraction: 0.5,
+        seed: 7,
+    };
+    // Build serially once: construction itself uses the parallel truth
+    // measurement, which the first test already pins down.
+    epfis_par::set_threads(1);
+    let exp = DatasetExperiment::build(Dataset::generate(spec), &workload, EpfisConfig::default());
+    let buffers = paper_buffer_grid(exp.summary().table_pages, 30);
+
+    let series = assert_thread_invariant("error_series", || exp.error_series(&buffers, 100.0));
+    assert_eq!(series.len(), 5);
+
+    assert_thread_invariant("max_abs_error", || exp.max_abs_error(&buffers));
+    assert_thread_invariant("estimates", || exp.estimates(0, buffers[0]));
+}
+
+#[test]
+fn figure_drivers_identical_across_thread_counts() {
+    use epfis_harness::figures;
+    let fig = assert_thread_invariant("gwl_error_figure", || {
+        figures::gwl_error_figure(2, "CMAC.BRAN", 20, 15, 3)
+    });
+    assert_eq!(fig.0.series.len(), 5);
+
+    let spec = DatasetSpec::synthetic(6000, 120, 20, 0.0, 0.5);
+    assert_thread_invariant("policy_sensitivity", || {
+        figures::policy_sensitivity(spec.clone(), 20, 5).series
+    });
+    assert_thread_invariant("sargable_accuracy", || {
+        figures::sargable_accuracy(spec.clone(), &[60, 150], &[0.1, 0.5, 0.9], 7).series
+    });
+    assert_thread_invariant("staleness", || {
+        figures::staleness(spec.clone(), &[1.0, 1.5], 20, 7).series
+    });
+}

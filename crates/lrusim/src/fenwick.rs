@@ -1,13 +1,18 @@
-//! A Fenwick (binary indexed) tree over `u64` counts.
+//! A Fenwick (binary indexed) tree over `u32` counts.
 //!
 //! Used by [`crate::stack::StackAnalyzer`] to count, in O(log n), how many
-//! "most recent access" marks fall at or after a given reference time.
+//! "most recent access" marks fall at or after a given reference time. Nodes
+//! are `u32` to halve the cache footprint of the hot tree walks; any prefix
+//! sum must stay below 2^32, which holds for every realizable trace (the
+//! analyzer stores one mark per distinct `u32` page id, and the last-
+//! reference tables would need tens of gigabytes first). Sums are still
+//! returned as `u64` so callers accumulate without caring.
 
 /// Fenwick tree supporting point add and prefix-sum queries over
 /// `0..len` (externally 0-indexed).
 #[derive(Debug, Clone)]
 pub struct Fenwick {
-    tree: Vec<u64>,
+    tree: Vec<u32>,
 }
 
 impl Fenwick {
@@ -28,40 +33,128 @@ impl Fenwick {
         self.len() == 0
     }
 
+    /// Builds a tree over `len` positions where positions `0..ones` hold a
+    /// count of 1 and the rest are zero, in O(len).
+    ///
+    /// This is the shape [`crate::stack::StackAnalyzer`] needs after
+    /// time-axis compaction: every live page gets one mark at its rank.
+    pub fn with_prefix_ones(ones: usize, len: usize) -> Self {
+        assert!(ones <= len, "prefix of ones longer than the tree");
+        let mut tree = vec![0u32; len + 1];
+        // Each internal node covers (i - lowbit(i), i]; with a prefix of
+        // ones its count is the overlap of that range with [1, ones].
+        for (i, slot) in tree.iter_mut().enumerate().skip(1) {
+            let low = i - (i & i.wrapping_neg());
+            *slot = (i.min(ones) - low.min(ones)) as u32;
+        }
+        Fenwick { tree }
+    }
+
     /// Grows the tree to cover at least `len` positions, preserving counts.
+    ///
+    /// Runs in O(new length): the old tree is converted to raw per-position
+    /// values in place (reverse child-into-parent subtraction), extended with
+    /// zeros, and converted back (forward child-into-parent addition) —
+    /// no per-position prefix-sum queries.
     pub fn grow_to(&mut self, len: usize) {
-        if len <= self.len() {
+        let old = self.len();
+        if len <= old {
             return;
         }
-        // Rebuild from per-position values; growth is amortized by doubling.
-        let new_len = len.max(self.len() * 2).max(16);
-        let values = self.values();
-        let mut fresh = Fenwick::new(new_len);
-        for (i, v) in values.into_iter().enumerate() {
-            if v != 0 {
-                fresh.add(i, v as i64);
+        // Growth is amortized by doubling.
+        let new_len = len.max(old * 2).max(16);
+        for i in (1..=old).rev() {
+            let parent = i + (i & i.wrapping_neg());
+            if parent <= old {
+                self.tree[parent] -= self.tree[i];
             }
         }
-        *self = fresh;
+        self.tree.resize(new_len + 1, 0);
+        for i in 1..=new_len {
+            let parent = i + (i & i.wrapping_neg());
+            if parent <= new_len {
+                self.tree[parent] += self.tree[i];
+            }
+        }
     }
 
     /// Adds `delta` at position `i` (0-indexed). `delta` may be negative but
     /// must not drive the position's count below zero.
+    #[inline]
     pub fn add(&mut self, i: usize, delta: i64) {
         debug_assert!(i < self.len());
         let mut idx = i + 1;
         while idx < self.tree.len() {
-            self.tree[idx] = (self.tree[idx] as i64 + delta) as u64;
+            let next = i64::from(self.tree[idx]) + delta;
+            debug_assert!((0..=i64::from(u32::MAX)).contains(&next));
+            self.tree[idx] = next as u32;
             idx += idx & idx.wrapping_neg();
         }
     }
 
+    /// Moves a unit count from position `from` to position `to` (both
+    /// 0-indexed, `from < to < len`) and returns the sum over `0..from`
+    /// (exclusive of `from`), all in one pass.
+    ///
+    /// This is [`crate::stack::StackAnalyzer`]'s whole hot path, with two
+    /// structural savings over three separate `prefix_sum`/`add` calls:
+    ///
+    /// * the update paths of `from` and `to` merge at their lowest common
+    ///   ancestor in the Fenwick update graph, and past the collision every
+    ///   node would receive `-1` then `+1` — so both walks stop there. For
+    ///   small moves (skewed traces re-referencing near the top of the LRU
+    ///   stack) that is O(log (to - from)) work, not O(log len);
+    /// * the query chain is interleaved with the updates, which is safe —
+    ///   the query touches nodes at indices `<= from` while both updates
+    ///   touch nodes `>= from + 1` — and lets the CPU overlap the
+    ///   pointer-chasing chains' cache misses.
+    #[inline]
+    pub fn move_mark(&mut self, from: usize, to: usize) -> u64 {
+        debug_assert!(from < to && to < self.len());
+        let end = self.tree.len();
+        // 1-indexed walk cursors: query strips low bits, updates add them.
+        let mut q = from;
+        let mut dec = from + 1;
+        let mut inc = to + 1;
+        let mut sum = 0u64;
+        loop {
+            if q > 0 {
+                sum += u64::from(self.tree[q]);
+                q -= q & q.wrapping_neg();
+            }
+            // Advance whichever update cursor trails; a collision means the
+            // rest of the path is shared and the +/-1 pair cancels.
+            if dec == inc {
+                break;
+            }
+            if dec < inc {
+                if dec >= end {
+                    break;
+                }
+                self.tree[dec] = self.tree[dec].wrapping_sub(1);
+                dec += dec & dec.wrapping_neg();
+            } else {
+                if inc >= end {
+                    break;
+                }
+                self.tree[inc] = self.tree[inc].wrapping_add(1);
+                inc += inc & inc.wrapping_neg();
+            }
+        }
+        while q > 0 {
+            sum += u64::from(self.tree[q]);
+            q -= q & q.wrapping_neg();
+        }
+        sum
+    }
+
     /// Sum over `0..=i` (0-indexed, inclusive).
+    #[inline]
     pub fn prefix_sum(&self, i: usize) -> u64 {
         let mut idx = (i + 1).min(self.len());
-        let mut sum = 0;
+        let mut sum = 0u64;
         while idx > 0 {
-            sum += self.tree[idx];
+            sum += u64::from(self.tree[idx]);
             idx -= idx & idx.wrapping_neg();
         }
         sum
@@ -82,17 +175,6 @@ impl Fenwick {
             return self.total();
         }
         self.total() - self.prefix_sum(i - 1)
-    }
-
-    fn values(&self) -> Vec<u64> {
-        let mut out = Vec::with_capacity(self.len());
-        let mut prev = 0;
-        for i in 0..self.len() {
-            let cur = self.prefix_sum(i);
-            out.push(cur - prev);
-            prev = cur;
-        }
-        out
     }
 }
 
@@ -135,6 +217,41 @@ mod tests {
     }
 
     #[test]
+    fn move_mark_matches_query_plus_two_adds() {
+        // Exhaustive over all (from, to) pairs on a tree of live unit
+        // marks, checked against the three-call formulation.
+        let len = 37;
+        for from in 0..len - 1 {
+            for to in from + 1..len {
+                let mut fused = Fenwick::new(len);
+                let mut split = Fenwick::new(len);
+                for i in 0..len {
+                    // Marks everywhere except `to` (its mark arrives now).
+                    if i != to {
+                        fused.add(i, 1);
+                        split.add(i, 1);
+                    }
+                }
+                let expect = if from == 0 {
+                    0
+                } else {
+                    split.prefix_sum(from - 1)
+                };
+                split.add(from, -1);
+                split.add(to, 1);
+                assert_eq!(fused.move_mark(from, to), expect, "from={from} to={to}");
+                for i in 0..len {
+                    assert_eq!(
+                        fused.prefix_sum(i),
+                        split.prefix_sum(i),
+                        "from={from} to={to} i={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn grow_preserves_counts() {
         let mut f = Fenwick::new(4);
         f.add(1, 5);
@@ -153,5 +270,62 @@ mod tests {
         let f = Fenwick::new(0);
         assert!(f.is_empty());
         assert_eq!(f.total(), 0);
+    }
+
+    #[test]
+    fn grow_matches_fresh_tree_on_random_contents() {
+        // Cross-check the in-place BIT<->raw conversion against rebuilding
+        // from scratch, across awkward (non power-of-two) sizes.
+        for (old_len, new_len) in [(1usize, 2usize), (5, 11), (16, 17), (33, 100), (100, 257)] {
+            let mut grown = Fenwick::new(old_len);
+            let mut values = vec![0u64; old_len];
+            let mut state = 0x9E3779B97F4A7C15u64;
+            for (i, v) in values.iter_mut().enumerate() {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                *v = state % 7;
+                grown.add(i, *v as i64);
+            }
+            grown.grow_to(new_len);
+            assert!(grown.len() >= new_len);
+            let mut fresh = Fenwick::new(grown.len());
+            for (i, &v) in values.iter().enumerate() {
+                fresh.add(i, v as i64);
+            }
+            for i in 0..grown.len() {
+                assert_eq!(
+                    grown.prefix_sum(i),
+                    fresh.prefix_sum(i),
+                    "old={old_len} new={new_len} i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_ones_matches_incremental_adds() {
+        for (ones, len) in [(0usize, 0usize), (0, 9), (1, 1), (3, 8), (8, 8), (13, 40)] {
+            let built = Fenwick::with_prefix_ones(ones, len);
+            let mut manual = Fenwick::new(len);
+            for i in 0..ones {
+                manual.add(i, 1);
+            }
+            assert_eq!(built.len(), len);
+            for i in 0..len {
+                assert_eq!(
+                    built.prefix_sum(i),
+                    manual.prefix_sum(i),
+                    "ones={ones} len={len} i={i}"
+                );
+            }
+            assert_eq!(built.total(), ones as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix of ones longer")]
+    fn prefix_ones_rejects_overlong_prefix() {
+        Fenwick::with_prefix_ones(5, 4);
     }
 }

@@ -54,8 +54,16 @@ pub fn analyze_trace(trace: &[u32]) -> StackDistanceHistogram {
 /// Simulates an exact LRU buffer of `capacity` pages over `trace` and
 /// returns the number of misses (page fetches).
 ///
+/// `capacity == 0` is the degenerate "no buffer" case: nothing can be
+/// retained, so every reference is a fetch and the result is
+/// `trace.len()`. ([`LruBuffer::new`] itself rejects capacity 0, since an
+/// evicting buffer needs at least one slot.)
+///
 /// Convenience wrapper over [`LruBuffer`].
 pub fn simulate_lru(trace: &[u32], capacity: usize) -> u64 {
+    if capacity == 0 {
+        return trace.len() as u64;
+    }
     let mut buf = LruBuffer::new(capacity);
     let mut misses = 0;
     for &p in trace {

@@ -44,16 +44,33 @@ pub struct LruBuffer {
 }
 
 impl LruBuffer {
+    /// Pre-allocation threshold: buffers up to this capacity get their map
+    /// and node storage reserved up front. Larger capacities start empty —
+    /// a simulation sweep over big `B` values often touches far fewer
+    /// distinct pages than `B`, and eagerly reserving `2 * capacity` hash
+    /// slots per buffer made such sweeps allocation-bound.
+    const PRESIZE_LIMIT: usize = 4096;
+
     /// Creates a buffer holding at most `capacity` pages.
+    ///
+    /// A zero-capacity buffer cannot exist: LRU eviction needs somewhere to
+    /// put the incoming page. Callers modeling "no buffer at all" should
+    /// count every reference as a fetch instead (see
+    /// [`crate::simulate_lru`], which does exactly that for `capacity == 0`).
     ///
     /// # Panics
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "LRU buffer needs capacity >= 1");
+        let presize = if capacity <= Self::PRESIZE_LIMIT {
+            capacity
+        } else {
+            0
+        };
         LruBuffer {
             capacity,
-            map: HashMap::with_capacity(capacity * 2),
-            nodes: Vec::with_capacity(capacity),
+            map: HashMap::with_capacity(presize * 2),
+            nodes: Vec::with_capacity(presize),
             free: Vec::new(),
             head: NIL,
             tail: NIL,
@@ -261,5 +278,28 @@ mod tests {
     #[should_panic(expected = "capacity >= 1")]
     fn zero_capacity_panics() {
         let _ = LruBuffer::new(0);
+    }
+
+    #[test]
+    fn zero_capacity_simulation_counts_every_reference() {
+        // simulate_lru treats B = 0 as "no buffer": all accesses fetch.
+        assert_eq!(crate::simulate_lru(&[1, 1, 1, 2, 2], 0), 5);
+        assert_eq!(crate::simulate_lru(&[], 0), 0);
+    }
+
+    #[test]
+    fn large_capacity_defers_allocation() {
+        // A huge buffer must not reserve memory proportional to capacity.
+        let b = LruBuffer::new(1 << 30);
+        assert_eq!(b.capacity(), 1 << 30);
+        assert!(b.map.capacity() < 1024);
+        assert_eq!(b.nodes.capacity(), 0);
+    }
+
+    #[test]
+    fn small_capacity_presizes_map() {
+        let b = LruBuffer::new(64);
+        assert!(b.map.capacity() >= 64);
+        assert!(b.nodes.capacity() >= 64);
     }
 }

@@ -5,19 +5,46 @@
 //! including) its previous reference. Maintaining the stack literally costs
 //! O(depth) per access ([`crate::naive`]); instead we keep
 //!
-//! * `last[page]` — the time of the page's most recent reference, and
+//! * the time of each page's most recent reference (a dense `Vec` keyed by
+//!   page id, with a `HashMap` fallback for very large/sparse ids), and
 //! * a Fenwick tree over time with a 1 at each page's most recent reference
 //!   time,
 //!
 //! so the stack distance of a reference at time `t` to a page last referenced
-//! at `lp` is the number of marks in `[lp, t)` — a suffix count, O(log n).
-//! After the query the mark moves from `lp` to `t`. This is the standard
-//! O(n log n) reuse-distance algorithm and is what makes the paper's
-//! "simulate all buffer sizes in one index-statistics scan" practical.
+//! at `lp` is the number of marks in `[lp, t)`. The live-mark total always
+//! equals the distinct-page count, so that suffix count is computed as
+//! `distinct - prefix_sum(lp - 1)` — a **single** Fenwick descent rather
+//! than the two a literal `suffix_sum` costs. After the query the mark moves
+//! from `lp` to `t`. This is the standard O(n log n) reuse-distance
+//! algorithm and is what makes the paper's "simulate all buffer sizes in one
+//! index-statistics scan" practical.
+//!
+//! # Time-axis compaction
+//!
+//! Reference times grow without bound, so a naive tree over raw time uses
+//! O(trace length) memory and pays log(trace length) per descent. Following
+//! Bennett & Kruskal's original batched formulation, whenever the clock
+//! reaches the end of the tree **and** exceeds ~4x the number of live marks,
+//! the analyzer renumbers time instead of growing: live marks are sorted by
+//! their current time and reassigned consecutive ranks `0..distinct`, the
+//! tree is rebuilt as a prefix of ones in O(len), and the clock restarts at
+//! `distinct`. Relative order — the only thing stack distances depend on —
+//! is preserved, while the tree stays at O(distinct pages) regardless of
+//! trace length and descents cost log(distinct), not log(references).
+//! [`references`](StackAnalyzer::references) counts all accesses on a
+//! separate counter, unaffected by the renumbering.
 
 use crate::curve::StackDistanceHistogram;
 use crate::fenwick::Fenwick;
 use std::collections::HashMap;
+
+/// Page ids below this bound get a dense `Vec` slot (at most 16 MiB of
+/// last-reference table); ids at or above it fall back to a `HashMap`.
+const DENSE_ID_LIMIT: usize = 1 << 21;
+
+/// The compaction trigger: renumber when the clock reaches the end of the
+/// tree while exceeding this multiple of the live-mark count.
+const COMPACTION_SLACK: usize = 4;
 
 /// Incremental stack-distance analyzer. Feed references with
 /// [`access`](StackAnalyzer::access); obtain the histogram with
@@ -37,11 +64,20 @@ use std::collections::HashMap;
 /// ```
 pub struct StackAnalyzer {
     fenwick: Fenwick,
-    last: HashMap<u32, usize>,
+    /// Last-reference time per page id; `NO_REF` marks never-seen pages.
+    dense: Vec<usize>,
+    /// Fallback last-reference map for page ids >= `DENSE_ID_LIMIT`.
+    sparse: HashMap<u32, usize>,
     counts: Vec<u64>,
+    /// Distinct pages seen; also the number of live marks in the tree.
     cold: u64,
+    /// Current position on the (compactable) time axis.
     now: usize,
+    /// Total references processed; unlike `now`, never renumbered.
+    refs: u64,
 }
+
+const NO_REF: usize = usize::MAX;
 
 impl Default for StackAnalyzer {
     fn default() -> Self {
@@ -55,27 +91,96 @@ impl StackAnalyzer {
         Self::with_capacity(1024)
     }
 
-    /// Creates an analyzer sized for a trace of about `n` references
-    /// (avoids Fenwick re-growth when the length is known).
+    /// Creates an analyzer sized for a trace of about `n` references.
+    ///
+    /// The hint only pre-sizes the tree up to a bound: thanks to time-axis
+    /// compaction the tree needs O(distinct pages) positions, not O(n), so a
+    /// huge `n` must not commit huge memory up front.
     pub fn with_capacity(n: usize) -> Self {
         StackAnalyzer {
-            fenwick: Fenwick::new(n.max(16)),
-            last: HashMap::new(),
+            fenwick: Fenwick::new(n.clamp(16, 65_536)),
+            dense: Vec::new(),
+            sparse: HashMap::new(),
             counts: vec![0],
             cold: 0,
             now: 0,
+            refs: 0,
+        }
+    }
+
+    /// Records `t` as `page`'s most recent reference time and returns the
+    /// previous one, if any.
+    #[inline]
+    fn swap_last(&mut self, page: u32, t: usize) -> Option<usize> {
+        let idx = page as usize;
+        if idx < DENSE_ID_LIMIT {
+            if idx >= self.dense.len() {
+                let new_len = (idx + 1).next_power_of_two().min(DENSE_ID_LIMIT);
+                self.dense.resize(new_len, NO_REF);
+            }
+            let prev = std::mem::replace(&mut self.dense[idx], t);
+            (prev != NO_REF).then_some(prev)
+        } else {
+            self.sparse.insert(page, t)
+        }
+    }
+
+    /// Renumbers the time axis: live marks keep their relative order but are
+    /// reassigned consecutive ranks `0..distinct`, and the tree is rebuilt as
+    /// a prefix of ones. O(len + distinct log distinct).
+    fn compact(&mut self) {
+        let mut live: Vec<(usize, u32)> = Vec::with_capacity(self.cold as usize);
+        for (page, &t) in self.dense.iter().enumerate() {
+            if t != NO_REF {
+                live.push((t, page as u32));
+            }
+        }
+        // HashMap iteration order is arbitrary, but sorting by (unique)
+        // time below makes the renumbering deterministic anyway.
+        for (&page, &t) in &self.sparse {
+            live.push((t, page));
+        }
+        live.sort_unstable();
+        debug_assert_eq!(live.len() as u64, self.cold);
+        for (rank, &(_, page)) in live.iter().enumerate() {
+            let idx = page as usize;
+            if idx < DENSE_ID_LIMIT {
+                self.dense[idx] = rank;
+            } else {
+                self.sparse.insert(page, rank);
+            }
+        }
+        // Rebuild at the compaction threshold for the current working set,
+        // shrinking an axis a larger initial hint (or an earlier, wider
+        // phase of the trace) left behind: shorter descents over a smaller,
+        // cache-resident tree, and the next compaction fires on schedule.
+        let len = COMPACTION_SLACK * live.len().max(64);
+        self.fenwick = Fenwick::with_prefix_ones(live.len(), len);
+        self.now = live.len();
+    }
+
+    /// Makes room for one more time position, by compaction when the clock
+    /// has outrun the live marks and by tree growth otherwise.
+    fn extend_time_axis(&mut self) {
+        let live = self.cold as usize;
+        if self.now >= COMPACTION_SLACK * live.max(64) {
+            self.compact();
+        } else {
+            self.fenwick.grow_to(self.now + 1);
         }
     }
 
     /// Processes one page reference and returns its stack distance
     /// (`None` for a cold first touch).
+    #[inline]
     pub fn access(&mut self, page: u32) -> Option<usize> {
+        self.refs += 1;
+        if self.now >= self.fenwick.len() {
+            self.extend_time_axis();
+        }
         let t = self.now;
         self.now += 1;
-        if t >= self.fenwick.len() {
-            self.fenwick.grow_to(t + 1);
-        }
-        match self.last.insert(page, t) {
+        match self.swap_last(page, t) {
             None => {
                 self.cold += 1;
                 self.fenwick.add(t, 1);
@@ -83,10 +188,12 @@ impl StackAnalyzer {
             }
             Some(lp) => {
                 // Marks in [lp, t): lp's own mark is still set, t's not yet.
-                let d = self.fenwick.suffix_sum(lp) as usize;
+                // All live marks sum to `cold`, so the suffix count needs
+                // only the prefix below `lp` — and `move_mark` folds that
+                // query and both mark updates into one interleaved pass.
+                let before = self.fenwick.move_mark(lp, t);
+                let d = (self.cold - before) as usize;
                 debug_assert!(d >= 1);
-                self.fenwick.add(lp, -1);
-                self.fenwick.add(t, 1);
                 if d >= self.counts.len() {
                     self.counts.resize(d + 1, 0);
                 }
@@ -98,12 +205,18 @@ impl StackAnalyzer {
 
     /// Number of references processed so far.
     pub fn references(&self) -> u64 {
-        self.now as u64
+        self.refs
     }
 
     /// Number of distinct pages seen so far.
     pub fn distinct_pages(&self) -> u64 {
         self.cold
+    }
+
+    /// Current Fenwick-tree length, in time positions. Bounded by time-axis
+    /// compaction; exposed so tests and benches can assert the bound.
+    pub fn time_axis_len(&self) -> usize {
+        self.fenwick.len()
     }
 
     /// Consumes the analyzer and returns the distance histogram.
@@ -212,5 +325,84 @@ mod tests {
         }
         assert_eq!(a.references(), 5);
         assert_eq!(a.distinct_pages(), 3);
+    }
+
+    #[test]
+    fn compaction_bounds_time_axis_on_long_trace() {
+        // 200k references over 50 pages: without compaction the tree would
+        // grow to >= 200k positions; with it, it must stay O(pages).
+        let mut a = StackAnalyzer::with_capacity(16);
+        for i in 0..200_000u32 {
+            a.access(i.wrapping_mul(2654435761) % 50);
+        }
+        assert_eq!(a.references(), 200_000);
+        assert_eq!(a.distinct_pages(), 50);
+        assert!(
+            a.time_axis_len() <= 1024,
+            "time axis grew to {} despite only 50 live pages",
+            a.time_axis_len()
+        );
+    }
+
+    #[test]
+    fn compaction_preserves_distances_vs_naive() {
+        // Cyclic-with-jitter trace long enough to compact many times.
+        let trace: Vec<u32> = (0..50_000u32)
+            .map(|i| {
+                let h = i.wrapping_mul(0x9E3779B1);
+                if h % 5 == 0 {
+                    h % 97
+                } else {
+                    i % 23
+                }
+            })
+            .collect();
+        let mut naive = NaiveStackAnalyzer::new();
+        for &p in &trace {
+            naive.access(p);
+        }
+        assert_eq!(analyze(&trace), naive.finish());
+    }
+
+    #[test]
+    fn sparse_page_ids_use_hashmap_fallback() {
+        // Ids straddling DENSE_ID_LIMIT must behave identically to small ids.
+        let base = (DENSE_ID_LIMIT as u32) - 2;
+        let pages = [base, base + 5, base, base + 9, base + 5, base];
+        let mut a = StackAnalyzer::new();
+        let mut naive = NaiveStackAnalyzer::new();
+        let got: Vec<_> = pages.iter().map(|&p| a.access(p)).collect();
+        let want: Vec<_> = pages.iter().map(|&p| naive.access(p)).collect();
+        assert_eq!(got, want);
+        assert!(
+            !a.sparse.is_empty(),
+            "large ids should land in the fallback"
+        );
+        assert_eq!(a.finish(), naive.finish());
+    }
+
+    #[test]
+    fn compaction_with_sparse_ids_matches_naive() {
+        let trace: Vec<u32> = (0..30_000u32)
+            .map(|i| {
+                let h = i.wrapping_mul(2654435761);
+                if h % 3 == 0 {
+                    u32::MAX - (h % 11)
+                } else {
+                    h % 17
+                }
+            })
+            .collect();
+        let mut naive = NaiveStackAnalyzer::new();
+        for &p in &trace {
+            naive.access(p);
+        }
+        assert_eq!(analyze(&trace), naive.finish());
+    }
+
+    #[test]
+    fn large_capacity_hint_does_not_presize_tree() {
+        let a = StackAnalyzer::with_capacity(100_000_000);
+        assert!(a.time_axis_len() <= 65_536);
     }
 }

@@ -4,7 +4,7 @@
 //! analysis, the literal stack analysis, and brute-force LRU simulation all
 //! describe the same function F(B).
 
-use epfis_lrusim::{analyze_trace, simulate_lru, LruBuffer, NaiveStackAnalyzer};
+use epfis_lrusim::{analyze_trace, simulate_lru, LruBuffer, NaiveStackAnalyzer, StackAnalyzer};
 use proptest::prelude::*;
 
 fn trace_strategy() -> impl Strategy<Value = Vec<u32>> {
@@ -15,6 +15,21 @@ fn trace_strategy() -> impl Strategy<Value = Vec<u32>> {
         prop::collection::vec(0u32..64, 0..300),
         prop::collection::vec(0u32..1000, 0..300),
     ]
+}
+
+/// Traces whose page ids are scattered across the whole u32 space: large
+/// gaps, ids straddling the analyzer's dense-table limit, and u32::MAX
+/// itself. Exercises the sparse-id fallback path.
+fn gappy_trace_strategy() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(
+        prop_oneof![
+            0u32..8,
+            (1u32 << 21) - 4..(1u32 << 21) + 4,
+            1_000_000_000u32..1_000_000_008,
+            u32::MAX - 7..=u32::MAX,
+        ],
+        0..300,
+    )
 }
 
 proptest! {
@@ -92,5 +107,49 @@ proptest! {
             buf.access(p);
         }
         prop_assert_eq!(buf.hits() + buf.misses(), trace.len() as u64);
+    }
+
+    #[test]
+    fn gappy_page_ids_match_naive_analyzer(trace in gappy_trace_strategy()) {
+        // Sparse/huge page ids take the HashMap fallback inside the
+        // analyzer; distances must be identical to the literal stack.
+        let fen = analyze_trace(&trace);
+        let mut naive = NaiveStackAnalyzer::new();
+        for &p in &trace {
+            naive.access(p);
+        }
+        prop_assert_eq!(fen, naive.finish());
+    }
+
+    #[test]
+    fn compacting_analyzer_matches_naive(
+        body in prop::collection::vec(0u32..12, 1..40),
+        reps in 20usize..120,
+        tail in gappy_trace_strategy(),
+    ) {
+        // Repeat a short body enough times that `now` outruns the live-mark
+        // count and time-axis compaction fires (repeatedly, for larger
+        // reps), then append gappy ids so renumbering also covers the
+        // sparse fallback.
+        let mut a = StackAnalyzer::with_capacity(4);
+        let mut naive = NaiveStackAnalyzer::new();
+        let trace: Vec<u32> = body
+            .iter()
+            .cycle()
+            .take(body.len() * reps)
+            .copied()
+            .chain(tail.iter().copied())
+            .collect();
+        for &p in &trace {
+            prop_assert_eq!(a.access(p), naive.access(p), "page {}", p);
+        }
+        // The compaction bound: the time axis never grows past
+        // max(4 * distinct, initial floor) after doubling slack.
+        let bound = 8 * (a.distinct_pages() as usize).max(64).max(16);
+        prop_assert!(
+            a.time_axis_len() <= bound,
+            "time axis {} exceeds bound {}", a.time_axis_len(), bound
+        );
+        prop_assert_eq!(a.finish(), naive.finish());
     }
 }

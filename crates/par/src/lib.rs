@@ -1,0 +1,278 @@
+//! Deterministic scoped-thread parallelism for the experiment harness.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! small slice of a data-parallelism library the workspace needs, on top of
+//! `std::thread::scope`:
+//!
+//! - [`run_indexed`] — evaluate `f(0..len)` across threads, returning results
+//!   **in index order** regardless of which thread computed what. This is the
+//!   key determinism property: callers that build CSV rows or tables from the
+//!   returned `Vec` produce byte-identical artifacts at any thread count.
+//! - [`par_map`] — slice convenience wrapper over [`run_indexed`].
+//! - [`par_invoke`] — run a heterogeneous batch of `FnOnce` tasks (e.g. the
+//!   independent figure groups in `repro_all`) and collect their results in
+//!   task order.
+//!
+//! # Thread budget
+//!
+//! A process-global budget caps concurrency at [`threads`]`()` total workers
+//! (configure via [`set_threads`]; `0` = all cores). Every parallel call
+//! reserves *helper* tokens from the shared pool and the calling thread
+//! always participates, so nested parallel calls degrade gracefully to
+//! serial execution instead of oversubscribing: an inner call made while all
+//! tokens are held simply runs on the caller's thread.
+//!
+//! Work distribution is dynamic (an atomic index counter), so threads that
+//! finish early steal remaining items; only the *result order* is fixed.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Configured worker-thread count; `0` means "use all available cores".
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of helper tokens currently reserved across the process.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the total worker-thread budget. `0` restores the default
+/// (all available cores). Takes effect for subsequent parallel calls.
+pub fn set_threads(n: usize) {
+    CONFIGURED.store(n, Ordering::Relaxed);
+}
+
+/// The total worker-thread budget currently in effect (always >= 1).
+pub fn threads() -> usize {
+    let configured = CONFIGURED.load(Ordering::Relaxed);
+    if configured != 0 {
+        configured
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Releases reserved helper tokens when dropped, including on panic.
+struct TokenGuard(usize);
+
+impl Drop for TokenGuard {
+    fn drop(&mut self) {
+        if self.0 > 0 {
+            ACTIVE.fetch_sub(self.0, Ordering::AcqRel);
+        }
+    }
+}
+
+/// Reserves up to `want` helper tokens from the global budget.
+///
+/// The calling thread itself is never counted: with a budget of `T` threads
+/// at most `T - 1` helpers exist at once, so total concurrency stays at `T`.
+fn reserve_helpers(want: usize) -> TokenGuard {
+    let budget = threads().saturating_sub(1);
+    if budget == 0 || want == 0 {
+        return TokenGuard(0);
+    }
+    let mut current = ACTIVE.load(Ordering::Relaxed);
+    loop {
+        let available = budget.saturating_sub(current);
+        let take = want.min(available);
+        if take == 0 {
+            return TokenGuard(0);
+        }
+        match ACTIVE.compare_exchange(current, current + take, Ordering::AcqRel, Ordering::Relaxed)
+        {
+            Ok(_) => return TokenGuard(take),
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+/// Evaluates `f(i)` for every `i in 0..len`, possibly across threads, and
+/// returns the results **in index order**.
+///
+/// Items are claimed dynamically, so per-item cost may vary freely; the
+/// output is identical to `(0..len).map(f).collect()` as long as `f` is a
+/// pure function of its index. Panics in `f` propagate to the caller.
+pub fn run_indexed<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if len <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let guard = reserve_helpers(len - 1);
+    let helpers = guard.0;
+    if helpers == 0 {
+        return (0..len).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = (0..len).map(|_| None).collect();
+    let f = &f;
+    let next = &next;
+    let drain = move || {
+        let mut out = Vec::new();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= len {
+                return out;
+            }
+            out.push((i, f(i)));
+        }
+    };
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..helpers).map(|_| scope.spawn(drain)).collect();
+        for (i, r) in drain() {
+            results[i] = Some(r);
+        }
+        for handle in handles {
+            let pairs = handle
+                .join()
+                .unwrap_or_else(|e| std::panic::resume_unwind(e));
+            for (i, r) in pairs {
+                results[i] = Some(r);
+            }
+        }
+    });
+    drop(guard);
+
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every index was claimed exactly once"))
+        .collect()
+}
+
+/// Maps `f` over a slice in parallel, preserving element order.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    run_indexed(items.len(), |i| f(&items[i]))
+}
+
+/// A boxed one-shot task, as consumed by [`par_invoke`].
+pub type Task<'a, R> = Box<dyn FnOnce() -> R + Send + 'a>;
+
+/// Runs a batch of independent `FnOnce` tasks, returning results in task
+/// order. Useful when the tasks are heterogeneous closures rather than a
+/// uniform map over data.
+pub fn par_invoke<'a, R: Send>(tasks: Vec<Task<'a, R>>) -> Vec<R> {
+    let slots: Vec<Mutex<Option<Task<'a, R>>>> =
+        tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    run_indexed(slots.len(), |i| {
+        let task = slots[i]
+            .lock()
+            .expect("task slot poisoned")
+            .take()
+            .expect("each task index is claimed once");
+        task()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that mutate the global thread configuration.
+    fn config_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn indexed_results_are_ordered() {
+        let _g = config_lock();
+        set_threads(4);
+        let out = run_indexed(100, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+        set_threads(0);
+    }
+
+    #[test]
+    fn matches_serial_for_any_thread_count() {
+        let _g = config_lock();
+        let expected: Vec<u64> = (0..257).map(|i| (i as u64).wrapping_mul(0x9E37)).collect();
+        for t in [1, 2, 3, 8] {
+            set_threads(t);
+            let got = run_indexed(257, |i| (i as u64).wrapping_mul(0x9E37));
+            assert_eq!(got, expected, "threads={t}");
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let _g = config_lock();
+        set_threads(3);
+        let items: Vec<i32> = (0..50).collect();
+        assert_eq!(par_map(&items, |x| x + 1), (1..51).collect::<Vec<i32>>());
+        set_threads(0);
+    }
+
+    #[test]
+    fn par_invoke_heterogeneous_tasks_in_order() {
+        let _g = config_lock();
+        set_threads(4);
+        let tasks: Vec<Box<dyn FnOnce() -> String + Send>> = vec![
+            Box::new(|| "alpha".to_string()),
+            Box::new(|| format!("{}", 6 * 7)),
+            Box::new(|| "omega".to_string()),
+        ];
+        assert_eq!(par_invoke(tasks), vec!["alpha", "42", "omega"]);
+        set_threads(0);
+    }
+
+    #[test]
+    fn nested_calls_fall_back_to_serial_without_deadlock() {
+        let _g = config_lock();
+        set_threads(2);
+        let out = run_indexed(8, |i| {
+            // Inner call competes for the same budget; must complete either way.
+            let inner = run_indexed(4, |j| i * 10 + j);
+            inner.iter().sum::<usize>()
+        });
+        let expected: Vec<usize> = (0..8).map(|i| (0..4).map(|j| i * 10 + j).sum()).collect();
+        assert_eq!(out, expected);
+        set_threads(0);
+    }
+
+    #[test]
+    fn single_thread_budget_runs_serially() {
+        let _g = config_lock();
+        set_threads(1);
+        assert_eq!(ACTIVE.load(Ordering::Relaxed), 0);
+        let out = run_indexed(16, |i| i);
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+        assert_eq!(ACTIVE.load(Ordering::Relaxed), 0);
+        set_threads(0);
+    }
+
+    #[test]
+    fn tokens_released_after_panic() {
+        let _g = config_lock();
+        set_threads(4);
+        let result = std::panic::catch_unwind(|| {
+            run_indexed(8, |i| {
+                if i == 5 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        assert!(result.is_err());
+        assert_eq!(ACTIVE.load(Ordering::Relaxed), 0, "tokens leaked on panic");
+        set_threads(0);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let _g = config_lock();
+        assert!(run_indexed(0, |i| i).is_empty());
+        assert_eq!(run_indexed(1, |i| i + 7), vec![7]);
+        assert!(par_map::<u8, u8, _>(&[], |x| *x).is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! An offline, dependency-free subset of the [proptest](https://docs.rs/proptest)
+//! API.
+//!
+//! The build environment for this repository has no access to a crates
+//! registry, so the real `proptest` cannot be fetched. This crate implements
+//! exactly the surface the workspace's property tests use — `proptest!`,
+//! `prop_assert!`/`prop_assert_eq!`, `prop_oneof!`, `any`, `Just`, range and
+//! tuple strategies, `prop::collection::vec`, `prop::sample::Index`, and
+//! `ProptestConfig::with_cases` — with the same semantics for passing tests.
+//!
+//! Differences from the real crate, chosen for simplicity:
+//!
+//! * **No shrinking.** A failing case reports the test name, case number,
+//!   and the deterministic per-case seed instead of a minimized input.
+//! * **Deterministic generation.** Case `i` of test `t` always sees the same
+//!   pseudo-random stream (seeded from `t` and `i`), so failures reproduce
+//!   exactly without a `proptest-regressions` file (regression files are
+//!   ignored).
+//! * String strategies ignore the regex and generate arbitrary short
+//!   strings (the workspace only uses `".*"`).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Runs every case of one property, panicking on the first failure.
+///
+/// This is the engine behind the [`proptest!`] macro; `body` generates the
+/// inputs from `rng` and evaluates the test, returning `Err` on a failed
+/// `prop_assert!`.
+pub fn run_property<F>(config: &test_runner::ProptestConfig, name: &str, mut body: F)
+where
+    F: FnMut(&mut test_runner::TestRng) -> Result<(), test_runner::TestCaseError>,
+{
+    for case in 0..config.cases {
+        let mut rng = test_runner::TestRng::for_case(name, case);
+        if let Err(e) = body(&mut rng) {
+            panic!(
+                "property `{name}` failed at case {}/{} (deterministic; rerun reproduces it): {e}",
+                case + 1,
+                config.cases
+            );
+        }
+    }
+}
+
+/// Declares property tests: `proptest! { #[test] fn f(x in strategy) { .. } }`.
+///
+/// Supports an optional leading `#![proptest_config(expr)]` attribute and any
+/// number of test functions, like the real macro.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_body! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                $crate::run_property(
+                    &__config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__rng| {
+                        $( let $arg = $crate::strategy::Strategy::new_value(&($strat), __rng); )+
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not the
+/// process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {}",
+                stringify!($left),
+                stringify!($right)
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                $($fmt)+
+            )));
+        }
+    }};
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $($strat:expr),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![ $( $crate::strategy::boxed($strat) ),+ ])
+    };
+}

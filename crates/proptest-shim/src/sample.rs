@@ -1,0 +1,42 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+/// An index into a collection whose length is unknown at generation time.
+///
+/// Generated via `any::<Index>()`; resolved with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Builds an index from raw random bits.
+    pub fn from_raw(raw: u64) -> Self {
+        Index(raw)
+    }
+
+    /// Resolves the index against a collection of `len` elements.
+    ///
+    /// # Panics
+    /// Panics if `len == 0` (matching the real crate).
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_maps_into_bounds() {
+        let i = Index::from_raw(u64::MAX - 3);
+        for len in [1usize, 2, 7, 1000] {
+            assert!(i.index(len) < len);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty collection")]
+    fn empty_collection_panics() {
+        Index::from_raw(5).index(0);
+    }
+}

@@ -1,0 +1,255 @@
+//! The [`Strategy`] trait and the combinators the workspace uses.
+
+use crate::test_runner::TestRng;
+
+/// A generator of test-case values.
+///
+/// Unlike the real crate there is no value tree / shrinking: a strategy is
+/// just a deterministic function of the per-case RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (the real crate's `prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Object-safe strategy view, used by [`Union`] (`prop_oneof!`).
+pub trait DynStrategy<V> {
+    /// Generates one value.
+    fn new_value_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn new_value_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.new_value(rng)
+    }
+}
+
+/// Boxes a strategy for use in a [`Union`] (`prop_oneof!` plumbing).
+pub fn boxed<S>(s: S) -> Box<dyn DynStrategy<S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// Uniform choice among several strategies of one value type.
+pub struct Union<V> {
+    variants: Vec<Box<dyn DynStrategy<V>>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; `variants` must be non-empty.
+    pub fn new(variants: Vec<Box<dyn DynStrategy<V>>>) -> Self {
+        assert!(
+            !variants.is_empty(),
+            "prop_oneof! needs at least one variant"
+        );
+        Union { variants }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.variants.len() as u64) as usize;
+        self.variants[i].new_value_dyn(rng)
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        // unit_f64 is half-open; stretch the top bin onto the endpoint.
+        let u = rng.unit_f64();
+        if u >= 1.0 - 1e-12 {
+            hi
+        } else {
+            lo + u * (hi - lo)
+        }
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+
+    fn new_value(&self, rng: &mut TestRng) -> f32 {
+        self.start + rng.unit_f64() as f32 * (self.end - self.start)
+    }
+}
+
+/// String-literal "regex" strategies. The workspace only uses `".*"`, so the
+/// pattern is ignored and a short arbitrary string is produced.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let len = rng.below(17) as usize;
+        (0..len)
+            .map(|_| match rng.below(8) {
+                // Mostly printable ASCII, with some multi-byte checks mixed in.
+                0 => char::from_u32(0x00C0 + rng.below(0x100) as u32).unwrap_or('é'),
+                1 => char::from_u32(0x4E00 + rng.below(0x100) as u32).unwrap_or('中'),
+                _ => (0x20 + rng.below(0x5F) as u8) as char,
+            })
+            .collect()
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("strategy-tests", 0)
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (3u32..17).new_value(&mut r);
+            assert!((3..17).contains(&v));
+            let w = (-5i64..=5).new_value(&mut r);
+            assert!((-5..=5).contains(&w));
+            let f = (0.25f64..0.75).new_value(&mut r);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_and_just_compose() {
+        let mut r = rng();
+        let s = (1u8..5).prop_map(|v| v as u32 * 10);
+        for _ in 0..50 {
+            let v = s.new_value(&mut r);
+            assert!((10..50).contains(&v) && v % 10 == 0);
+        }
+        assert_eq!(Just(7i32).new_value(&mut r), 7);
+    }
+
+    #[test]
+    fn union_picks_every_variant() {
+        let mut r = rng();
+        let u = Union::new(vec![boxed(Just(1u8)), boxed(Just(2u8)), boxed(Just(3u8))]);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[u.new_value(&mut r) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut r = rng();
+        let (a, b, c) = (0u8..4, 10u32..20, 0.0f64..1.0).new_value(&mut r);
+        assert!(a < 4);
+        assert!((10..20).contains(&b));
+        assert!((0.0..1.0).contains(&c));
+    }
+}

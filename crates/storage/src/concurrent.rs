@@ -1,6 +1,6 @@
 //! A thread-safe wrapper around the buffer pool.
 //!
-//! The single-threaded [`BufferPool`](crate::BufferPool) is the unit of
+//! The single-threaded [`BufferPool`] is the unit of
 //! study (the paper models one scan's fetches); [`SharedBufferPool`] wraps
 //! it in a mutex so several scan threads can share one pool — the
 //! *multi-user contention* setting §6 lists as future work. Coarse-grained
