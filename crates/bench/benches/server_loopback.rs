@@ -1,0 +1,55 @@
+//! Benchmarks the served estimation path end to end over loopback TCP:
+//! the Est-IO formula is nanoseconds, so a service's real per-estimate cost
+//! is protocol framing + syscalls + catalog snapshot — this measures that,
+//! single-connection and with several concurrent clients, plus the
+//! streaming-ingest path (`PAGE` batches into the stack analyzer).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use epfis_bench::loopback::{self, PAGE_BATCH};
+use epfis_server::Client;
+
+fn bench_loopback(c: &mut Criterion) {
+    let (server, addr) = loopback::start_server();
+    let refs = loopback::synthetic_scan(2_000, 4, 400);
+    loopback::ingest_rate(addr, "bench.ix", &refs, 400);
+
+    let mut g = c.benchmark_group("server_loopback");
+
+    let mut client = Client::connect(addr).expect("connect");
+    let mut i = 0u64;
+    g.bench_function("estimate_roundtrip", |b| {
+        b.iter(|| {
+            i += 1;
+            let sigma = 0.01 + 0.9 * ((i % 97) as f64 / 97.0);
+            let buffer = 1 + i % 200;
+            client
+                .request(&format!("ESTIMATE bench.ix {sigma} {buffer}"))
+                .expect("estimate")
+        })
+    });
+
+    // One PAGE batch through parse + incremental stack analysis. All
+    // references share one key, so repeated iterations legally extend the
+    // same run (a key may not restart once another key has begun).
+    let mut ingest_client = Client::connect(addr).expect("connect");
+    let batch = {
+        let mut line = String::from("PAGE");
+        for (_, p) in refs.iter().take(PAGE_BATCH) {
+            line.push_str(&format!(" 7 {p}"));
+        }
+        line
+    };
+    ingest_client
+        .request("ANALYZE BEGIN scratch.ix table_pages=400")
+        .expect("begin");
+    g.bench_function("page_batch_256", |b| {
+        b.iter(|| ingest_client.request(&batch).expect("page"))
+    });
+    ingest_client.request("ANALYZE ABORT").expect("abort");
+
+    g.finish();
+    server.shutdown_and_join();
+}
+
+criterion_group!(benches, bench_loopback);
+criterion_main!(benches);

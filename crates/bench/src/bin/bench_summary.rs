@@ -8,9 +8,11 @@
 //!
 //! Each phase calls the same figure drivers as `repro_all --quick 1` (at the
 //! same quick-scale parameters) but discards the artifacts — only wall-clock
-//! matters here. The output (default `BENCH_PR1.json`) records per-phase
-//! seconds and analyzer references/second on Zipf and sequential traces, so
-//! perf changes can be compared across commits and thread counts.
+//! matters here. The output (default `BENCH_PR2.json`) records per-phase
+//! seconds, analyzer references/second on Zipf and sequential traces, and
+//! `epfis-server` loopback throughput (streaming ingest references/second,
+//! single- and multi-connection estimates/second), so perf changes can be
+//! compared across commits and thread counts.
 
 use epfis::EpfisConfig;
 use epfis_bench::Options;
@@ -41,7 +43,7 @@ fn analyzer_rate(trace: &[u32]) -> f64 {
 fn main() {
     let opts = Options::from_env();
     opts.init_threads();
-    let out = opts.get_str("out").unwrap_or("BENCH_PR1.json").to_string();
+    let out = opts.get_str("out").unwrap_or("BENCH_PR2.json").to_string();
     let seed: u64 = opts.get("seed", figures::DEFAULT_SEED);
 
     // The same quick-scale parameters repro_all uses with --quick 1.
@@ -134,6 +136,19 @@ fn main() {
     let seq_trace: Vec<u32> = (0..1_000_000).collect();
     let seq_rate = analyzer_rate(&seq_trace);
 
+    // Served-path throughput over loopback TCP: streaming ingest, then
+    // estimates from one and from several concurrent connections.
+    use epfis_bench::loopback;
+    let (server, addr) = loopback::start_server();
+    let scan = loopback::synthetic_scan(50_000, 4, 2_000);
+    let ingest_refs_per_sec = loopback::ingest_rate(addr, "bench.ix", &scan, 2_000);
+    let estimates_per_conn = 5_000;
+    let single_conn_rate = loopback::estimate_rate(addr, "bench.ix", 1, estimates_per_conn);
+    let multi_connections = 4;
+    let multi_conn_rate =
+        loopback::estimate_rate(addr, "bench.ix", multi_connections, estimates_per_conn);
+    server.shutdown_and_join();
+
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"threads\": {},\n", epfis_par::threads()));
     json.push_str(&format!("  \"seed\": {seed},\n"));
@@ -156,6 +171,21 @@ fn main() {
         "    \"sequential_references\": {},\n    \"sequential_refs_per_sec\": {:.0}\n",
         seq_trace.len(),
         seq_rate
+    ));
+    json.push_str("  },\n");
+    json.push_str("  \"server_loopback\": {\n");
+    json.push_str(&format!(
+        "    \"ingest_references\": {},\n    \"ingest_refs_per_sec\": {:.0},\n",
+        scan.len(),
+        ingest_refs_per_sec
+    ));
+    json.push_str(&format!(
+        "    \"estimates_per_connection\": {estimates_per_conn},\n    \
+         \"single_connection_estimates_per_sec\": {single_conn_rate:.0},\n"
+    ));
+    json.push_str(&format!(
+        "    \"connections\": {multi_connections},\n    \
+         \"multi_connection_estimates_per_sec\": {multi_conn_rate:.0}\n"
     ));
     json.push_str("  }\n}\n");
 

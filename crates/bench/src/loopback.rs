@@ -1,0 +1,76 @@
+//! Loopback throughput measurement for `epfis-server`: how fast the service
+//! ingests a statistics scan and serves estimates over real TCP connections
+//! on 127.0.0.1. Shared by `bench_summary` (JSON numbers) and the
+//! `server_loopback` criterion bench.
+
+use epfis_server::{serve, Client, ServerConfig, ServerHandle};
+use std::net::SocketAddr;
+use std::time::Instant;
+
+/// References per `PAGE` line — large batches amortize the per-line framing.
+pub const PAGE_BATCH: usize = 256;
+
+/// Starts an in-memory loopback server sized for benchmarking.
+pub fn start_server() -> (ServerHandle, SocketAddr) {
+    let server = serve(ServerConfig::default()).expect("bind loopback server");
+    let addr = server.addr();
+    (server, addr)
+}
+
+/// A deterministic synthetic statistics scan: `keys` runs of `run_len`
+/// references over `table_pages` pages.
+pub fn synthetic_scan(keys: usize, run_len: usize, table_pages: u32) -> Vec<(i64, u32)> {
+    let mut refs = Vec::with_capacity(keys * run_len);
+    for k in 0..keys {
+        for j in 0..run_len {
+            let page = ((k * run_len + j) as u32).wrapping_mul(2654435761) % table_pages;
+            refs.push((k as i64, page));
+        }
+    }
+    refs
+}
+
+/// Streams `refs` into entry `name` over one connection, committing at the
+/// end. Returns references ingested per second (protocol + analysis + fit).
+pub fn ingest_rate(addr: SocketAddr, name: &str, refs: &[(i64, u32)], table_pages: u32) -> f64 {
+    let mut client = Client::connect(addr).expect("connect");
+    let start = Instant::now();
+    client
+        .request(&format!("ANALYZE BEGIN {name} table_pages={table_pages}"))
+        .expect("begin");
+    for batch in refs.chunks(PAGE_BATCH) {
+        let mut line = String::with_capacity(batch.len() * 8 + 4);
+        line.push_str("PAGE");
+        for (k, p) in batch {
+            line.push_str(&format!(" {k} {p}"));
+        }
+        client.request(&line).expect("page");
+    }
+    client.request("ANALYZE COMMIT").expect("commit");
+    refs.len() as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Runs `requests` `ESTIMATE`s against `name` from each of `connections`
+/// concurrent clients; returns aggregate estimates per second.
+pub fn estimate_rate(addr: SocketAddr, name: &str, connections: usize, requests: usize) -> f64 {
+    let start = Instant::now();
+    let workers: Vec<_> = (0..connections)
+        .map(|w| {
+            let name = name.to_string();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for i in 0..requests {
+                    let sigma = 0.01 + 0.9 * ((w * requests + i) % 97) as f64 / 97.0;
+                    let buffer = 1 + (i % 200) as u64;
+                    client
+                        .request(&format!("ESTIMATE {name} {sigma} {buffer}"))
+                        .expect("estimate");
+                }
+            })
+        })
+        .collect();
+    for t in workers {
+        t.join().expect("estimate worker");
+    }
+    (connections * requests) as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}

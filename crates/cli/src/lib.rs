@@ -15,7 +15,13 @@
 //! `analyze` generates the named synthetic dataset (or GWL stand-in)
 //! deterministically from its parameters, runs the statistics scan, and
 //! stores the catalog entry; the other commands work purely from the
-//! catalog file, exactly as an optimizer would.
+//! catalog file, exactly as an optimizer would. `epfis serve` exposes the
+//! same catalog over TCP (see `epfis-server` and `docs/protocol.md`), and
+//! `epfis client` scripts that service from the shell.
+//!
+//! Exit codes: `0` success, `2` usage / argument parse errors, `1` runtime
+//! errors (missing files, unknown entries, server failures). Errors go to
+//! stderr; stdout carries only command output.
 
 use epfis::optimizer::{AccessPathSelector, IndexCandidate, QuerySpec};
 use epfis::{Catalog, EpfisConfig, LruFit, ScanQuery};
@@ -111,7 +117,14 @@ pub const USAGE: &str = "usage: epfis <analyze|show|fpf|estimate|plan> --catalog
              computed from the trace alone — no catalog needed)
   bench     --trace FILE [--table-pages T] [--scans N] [--min-buffer B] [--seed S]
             (the paper's Section 5 experiment on a captured trace: random
-             partial scans, aggregate error per algorithm per buffer size)";
+             partial scans, aggregate error per algorithm per buffer size)
+  serve     [--addr HOST:PORT] [--catalog F] [--workers N] [--segments M]
+            (long-running estimation service; prints `listening on ADDR`,
+             stops on the SHUTDOWN protocol command)
+  client    --addr HOST:PORT [--send CMD]
+            (one-shot with --send, otherwise reads protocol commands from
+             stdin; see docs/protocol.md)
+exit codes: 0 ok, 2 usage/parse error, 1 runtime error";
 
 /// Parses a captured statistics-scan trace: one `key page` pair per line
 /// (`#` comments and blank lines ignored), keys grouped contiguously in key
@@ -177,6 +190,26 @@ pub fn parse_trace_file(
     ))
 }
 
+/// Whether `name` is a subcommand the CLI knows. An unknown subcommand is a
+/// usage error (exit 2), not a runtime failure.
+pub fn is_known_command(name: &str) -> bool {
+    matches!(
+        name,
+        "analyze"
+            | "show"
+            | "fpf"
+            | "estimate"
+            | "plan"
+            | "compare"
+            | "bench"
+            | "serve"
+            | "client"
+            | "help"
+            | "--help"
+            | "-h"
+    )
+}
+
 /// Executes a parsed command, returning the text to print.
 pub fn run(cmd: &Command) -> Result<String, CliError> {
     match cmd.name.as_str() {
@@ -187,15 +220,24 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
         "plan" => plan(cmd),
         "compare" => compare(cmd),
         "bench" => bench(cmd),
+        "serve" => serve(cmd),
+        "client" => client(cmd),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(err(format!("unknown command {other:?}\n{USAGE}"))),
     }
 }
 
-fn load_catalog(cmd: &Command) -> Result<(Catalog, String), CliError> {
+/// Loads the catalog file. Commands that only read statistics require the
+/// file to exist — a typo'd path must fail loudly, not estimate from an
+/// empty catalog. Only `analyze` may create the file.
+fn load_catalog(cmd: &Command, must_exist: bool) -> Result<(Catalog, String), CliError> {
     let path: String = cmd.require("catalog")?;
     let catalog = if std::path::Path::new(&path).exists() {
         Catalog::load(&path).map_err(|e| err(format!("cannot read catalog {path}: {e}")))?
+    } else if must_exist {
+        return Err(err(format!(
+            "catalog file {path} does not exist (create it with `epfis analyze`)"
+        )));
     } else {
         Catalog::new()
     };
@@ -216,7 +258,7 @@ fn entry<'c>(
 }
 
 fn analyze(cmd: &Command) -> Result<String, CliError> {
-    let (mut catalog, path) = load_catalog(cmd)?;
+    let (mut catalog, path) = load_catalog(cmd, false)?;
     let seed: u64 = cmd.get_or("seed", 0x5EED_EF15)?;
     if let Some(trace_path) = cmd.get::<String>("trace")? {
         // Captured-trace mode: run LRU-Fit directly on the file.
@@ -285,7 +327,7 @@ fn analyze(cmd: &Command) -> Result<String, CliError> {
 }
 
 fn show(cmd: &Command) -> Result<String, CliError> {
-    let (catalog, path) = load_catalog(cmd)?;
+    let (catalog, path) = load_catalog(cmd, true)?;
     if catalog.is_empty() {
         return Ok(format!("catalog {path}: empty"));
     }
@@ -314,7 +356,7 @@ fn show(cmd: &Command) -> Result<String, CliError> {
 }
 
 fn fpf(cmd: &Command) -> Result<String, CliError> {
-    let (catalog, _) = load_catalog(cmd)?;
+    let (catalog, _) = load_catalog(cmd, true)?;
     let (name, stats) = entry(&catalog, cmd)?;
     let points: usize = cmd.get_or("points", 12)?;
     let mut out = format!(
@@ -340,7 +382,7 @@ fn fpf(cmd: &Command) -> Result<String, CliError> {
 }
 
 fn estimate(cmd: &Command) -> Result<String, CliError> {
-    let (catalog, _) = load_catalog(cmd)?;
+    let (catalog, _) = load_catalog(cmd, true)?;
     let (name, stats) = entry(&catalog, cmd)?;
     let sigma: f64 = cmd.require("sigma")?;
     let buffer: u64 = cmd.require("buffer")?;
@@ -362,7 +404,7 @@ fn estimate(cmd: &Command) -> Result<String, CliError> {
 }
 
 fn plan(cmd: &Command) -> Result<String, CliError> {
-    let (catalog, _) = load_catalog(cmd)?;
+    let (catalog, _) = load_catalog(cmd, true)?;
     let (name, stats) = entry(&catalog, cmd)?;
     let sigma: f64 = cmd.require("sigma")?;
     let buffer: u64 = cmd.require("buffer")?;
@@ -490,6 +532,69 @@ fn bench(cmd: &Command) -> Result<String, CliError> {
 "
         ));
     }
+    Ok(out)
+}
+
+fn serve(cmd: &Command) -> Result<String, CliError> {
+    use std::io::Write as _;
+    let addr: String = cmd.get_or("addr", "127.0.0.1:0".to_string())?;
+    let workers: usize = cmd.get_or("workers", 0)?;
+    let segments: usize = cmd.get_or("segments", 6)?;
+    if !(1..=64).contains(&segments) {
+        return Err(err("--segments must be in [1, 64]"));
+    }
+    let config = epfis_server::ServerConfig {
+        addr,
+        workers,
+        catalog_path: cmd.get::<String>("catalog")?.map(Into::into),
+        epfis_config: EpfisConfig::default().with_segments(segments),
+    };
+    let server = epfis_server::serve(config).map_err(|e| err(format!("cannot serve: {e}")))?;
+    // Announce the bound address immediately (port 0 resolves here) so
+    // scripts can connect; the command then blocks until SHUTDOWN.
+    println!("listening on {}", server.addr());
+    std::io::stdout().flush().ok();
+    server.join();
+    Ok("server stopped".to_string())
+}
+
+fn client(cmd: &Command) -> Result<String, CliError> {
+    let addr: String = cmd.require("addr")?;
+    let mut client = epfis_server::Client::connect(&addr)
+        .map_err(|e| err(format!("cannot connect to {addr}: {e}")))?;
+    let mut send = |command: &str, out: &mut String| -> Result<(), CliError> {
+        let lines = client.request(command).map_err(|e| err(e.to_string()))?;
+        for line in lines {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        Ok(())
+    };
+    let mut out = String::new();
+    if let Some(command) = cmd.get::<String>("send")? {
+        send(&command, &mut out)?;
+    } else {
+        // Script mode: one protocol command per stdin line, so multi-command
+        // ANALYZE sessions stay on this single connection.
+        let stdin = std::io::stdin();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match std::io::BufRead::read_line(&mut stdin.lock(), &mut line) {
+                Ok(0) => break,
+                Ok(_) => {
+                    let command = line.trim();
+                    if command.is_empty() || command.starts_with('#') {
+                        continue;
+                    }
+                    send(command, &mut out)?;
+                }
+                Err(e) => return Err(err(format!("stdin: {e}"))),
+            }
+        }
+    }
+    // Trim the final newline; main prints one.
+    out.pop();
     Ok(out)
 }
 
@@ -715,8 +820,34 @@ mod tests {
 
     #[test]
     fn missing_required_flag_is_reported_by_name() {
-        let e = run(&cmd("estimate --catalog /tmp/none")).unwrap_err();
-        // catalog does not exist -> treated as empty; the name flag fails first.
+        let path = temp_catalog("flags");
+        run(&cmd(&format!(
+            "analyze --catalog {path} --name ix --records 2000 --distinct 50 --per-page 20 --k 0.2"
+        )))
+        .unwrap();
+        let e = run(&cmd(&format!("estimate --catalog {path}"))).unwrap_err();
         assert!(e.0.contains("--name"), "{e}");
+    }
+
+    #[test]
+    fn read_commands_require_the_catalog_file_to_exist() {
+        for sub in ["show", "fpf", "estimate", "plan"] {
+            let e = run(&cmd(&format!(
+                "{sub} --catalog /tmp/epfis-no-such-catalog --name x --sigma 0.1 --buffer 10"
+            )))
+            .unwrap_err();
+            assert!(e.0.contains("does not exist"), "{sub}: {e}");
+        }
+    }
+
+    #[test]
+    fn known_commands_cover_the_dispatch_table() {
+        for sub in [
+            "analyze", "show", "fpf", "estimate", "plan", "compare", "bench", "serve", "client",
+            "help",
+        ] {
+            assert!(is_known_command(sub), "{sub}");
+        }
+        assert!(!is_known_command("frobnicate"));
     }
 }

@@ -1,4 +1,7 @@
 //! The `epfis` binary: see [`epfis_cli`] for the command reference.
+//!
+//! Exit codes: `0` success, `2` usage / argument parse errors (including an
+//! unknown subcommand), `1` runtime errors. Errors print to stderr.
 
 fn main() {
     let cmd = match epfis_cli::Command::parse(std::env::args().skip(1)) {
@@ -8,6 +11,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if !epfis_cli::is_known_command(&cmd.name) {
+        eprintln!("unknown command {:?}\n{}", cmd.name, epfis_cli::USAGE);
+        std::process::exit(2);
+    }
     match epfis_cli::run(&cmd) {
         Ok(out) => println!("{out}"),
         Err(e) => {

@@ -1,0 +1,178 @@
+//! Exit-code and stream-discipline tests against the real `epfis` binary.
+//!
+//! The documented contract (see `USAGE` and `main.rs`): exit 0 on success,
+//! exit 2 for usage/parse errors (unknown subcommand, malformed flags),
+//! exit 1 for runtime errors (missing files, unknown entries) — and errors
+//! always go to stderr, never stdout.
+
+use std::process::{Command, Output, Stdio};
+
+fn epfis(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_epfis"))
+        .args(args)
+        .stdin(Stdio::null())
+        .output()
+        .expect("run epfis binary")
+}
+
+fn assert_usage_error(out: &Output, ctx: &str) {
+    assert_eq!(out.status.code(), Some(2), "{ctx}: {out:?}");
+    assert!(out.stdout.is_empty(), "{ctx}: stdout must stay clean");
+    assert!(!out.stderr.is_empty(), "{ctx}: error must go to stderr");
+}
+
+fn assert_runtime_error(out: &Output, ctx: &str) {
+    assert_eq!(out.status.code(), Some(1), "{ctx}: {out:?}");
+    assert!(out.stdout.is_empty(), "{ctx}: stdout must stay clean");
+    assert!(!out.stderr.is_empty(), "{ctx}: error must go to stderr");
+}
+
+#[test]
+fn unknown_subcommand_is_a_usage_error() {
+    let out = epfis(&["frobnicate"]);
+    assert_usage_error(&out, "unknown subcommand");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown command"), "{stderr}");
+    assert!(stderr.contains("usage"), "{stderr}");
+}
+
+#[test]
+fn no_arguments_is_a_usage_error() {
+    assert_usage_error(&epfis(&[]), "no arguments");
+}
+
+#[test]
+fn malformed_flags_are_usage_errors() {
+    // A flag with no value.
+    assert_usage_error(&epfis(&["estimate", "--sigma"]), "flag without value");
+    // A positional argument where a flag is expected.
+    assert_usage_error(&epfis(&["estimate", "oops"]), "stray positional");
+}
+
+#[test]
+fn missing_catalog_file_is_a_runtime_error() {
+    let out = epfis(&[
+        "estimate",
+        "--catalog",
+        "/tmp/epfis-definitely-missing.cat",
+        "--name",
+        "x",
+        "--sigma",
+        "0.1",
+        "--buffer",
+        "10",
+    ]);
+    assert_runtime_error(&out, "missing catalog");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("does not exist"),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn unknown_entry_is_a_runtime_error() {
+    let dir = std::env::temp_dir().join("epfis-cli-errors-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cat = dir.join("entries.cat");
+    std::fs::remove_file(&cat).ok();
+    let cat = cat.to_str().unwrap();
+    let ok = epfis(&[
+        "analyze",
+        "--catalog",
+        cat,
+        "--name",
+        "ix",
+        "--records",
+        "2000",
+        "--distinct",
+        "50",
+        "--per-page",
+        "20",
+    ]);
+    assert_eq!(ok.status.code(), Some(0), "{ok:?}");
+    assert!(ok.stderr.is_empty(), "success must not write stderr");
+
+    let out = epfis(&[
+        "estimate",
+        "--catalog",
+        cat,
+        "--name",
+        "nope",
+        "--sigma",
+        "0.1",
+        "--buffer",
+        "10",
+    ]);
+    assert_runtime_error(&out, "unknown entry");
+}
+
+#[test]
+fn help_prints_usage_to_stdout_and_exits_zero() {
+    let out = epfis(&["help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("usage"), "{stdout}");
+    assert!(stdout.contains("exit codes"), "{stdout}");
+    assert!(out.stderr.is_empty());
+}
+
+#[test]
+fn serve_and_client_round_trip_through_the_binary() {
+    use std::io::{BufRead, BufReader, Write};
+
+    // Start `epfis serve` on an ephemeral port and learn it from stdout.
+    let mut server = Command::new(env!("CARGO_BIN_EXE_epfis"))
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn epfis serve");
+    // Keep the reader alive for the server's lifetime: dropping it closes
+    // the pipe and the server's final status print would hit EPIPE.
+    let mut server_stdout = BufReader::new(server.stdout.take().unwrap());
+    let mut first_line = String::new();
+    server_stdout.read_line(&mut first_line).unwrap();
+    let addr = first_line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {first_line:?}"))
+        .to_string();
+
+    // Script a full ANALYZE session plus queries through `epfis client`.
+    let mut client = Command::new(env!("CARGO_BIN_EXE_epfis"))
+        .args(["client", "--addr", &addr])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn epfis client");
+    client
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(
+            b"# a tiny clustered index\n\
+              ANALYZE BEGIN t.k table_pages=4\n\
+              PAGE 1 0 1 0 2 1 3 2 4 3\n\
+              ANALYZE COMMIT\n\
+              ESTIMATE t.k 0.5 2\n\
+              STATS\n",
+        )
+        .unwrap();
+    let out = client.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("committed t.k epoch=1"), "{stdout}");
+    assert!(stdout.contains("command ESTIMATE count=1"), "{stdout}");
+
+    // A protocol-level error surfaces as a client runtime error (exit 1).
+    let bad = epfis(&["client", "--addr", &addr, "--send", "ESTIMATE nope 0.5 2"]);
+    assert_runtime_error(&bad, "server ERR response");
+
+    // SHUTDOWN stops the serve process cleanly (exit 0).
+    let stop = epfis(&["client", "--addr", &addr, "--send", "SHUTDOWN"]);
+    assert_eq!(stop.status.code(), Some(0), "{stop:?}");
+    let status = server.wait().unwrap();
+    assert!(status.success(), "{status:?}");
+}

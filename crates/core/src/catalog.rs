@@ -20,7 +20,14 @@ pub enum CatalogError {
     /// The header line is missing or names an unsupported version.
     BadHeader(String),
     /// A line could not be parsed.
-    Parse { line: usize, message: String },
+    Parse {
+        /// 1-based line number within the input text.
+        line: usize,
+        /// What was wrong.
+        message: String,
+        /// The offending line, verbatim.
+        text: String,
+    },
     /// An entry ended before all required fields were seen.
     IncompleteEntry(String),
     /// An index name contains characters the codec cannot represent.
@@ -33,8 +40,12 @@ impl std::fmt::Display for CatalogError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CatalogError::BadHeader(h) => write!(f, "bad catalog header: {h:?}"),
-            CatalogError::Parse { line, message } => {
-                write!(f, "parse error at line {line}: {message}")
+            CatalogError::Parse {
+                line,
+                message,
+                text,
+            } => {
+                write!(f, "parse error at line {line}: {message} (in {text:?})")
             }
             CatalogError::IncompleteEntry(name) => {
                 write!(f, "incomplete catalog entry {name:?}")
@@ -191,6 +202,7 @@ impl Catalog {
                         return Err(CatalogError::Parse {
                             line: line_no,
                             message: "new entry before previous 'end'".into(),
+                            text: raw.to_string(),
                         });
                     }
                     if rest.is_empty() {
@@ -199,9 +211,10 @@ impl Catalog {
                     current = Some((rest.to_string(), EntryBuilder::default()));
                 }
                 "end" => {
-                    let (name, builder) = current.take().ok_or(CatalogError::Parse {
+                    let (name, builder) = current.take().ok_or_else(|| CatalogError::Parse {
                         line: line_no,
                         message: "'end' without entry".into(),
+                        text: raw.to_string(),
                     })?;
                     let stats = builder
                         .build()
@@ -212,15 +225,17 @@ impl Catalog {
                     catalog.insert(name, stats)?;
                 }
                 _ => {
-                    let (_, builder) = current.as_mut().ok_or(CatalogError::Parse {
+                    let (_, builder) = current.as_mut().ok_or_else(|| CatalogError::Parse {
                         line: line_no,
                         message: format!("field {keyword:?} outside entry"),
+                        text: raw.to_string(),
                     })?;
                     builder
                         .field(keyword, rest)
                         .map_err(|message| CatalogError::Parse {
                             line: line_no,
                             message,
+                            text: raw.to_string(),
                         })?;
                 }
             }
@@ -231,9 +246,10 @@ impl Catalog {
         Ok(catalog)
     }
 
-    /// Writes the catalog to a file.
+    /// Writes the catalog to a file atomically (see [`write_atomic`]): a
+    /// crash or failure mid-save leaves any previous file intact.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        std::fs::write(path, self.to_text())
+        write_atomic(path.as_ref(), &self.to_text())
     }
 
     /// Reads a catalog from a file.
@@ -347,6 +363,57 @@ where
     T::Err: std::fmt::Display,
 {
     s.parse().map_err(|e| format!("cannot parse {s:?}: {e}"))
+}
+
+/// Writes `contents` to `path` atomically: the bytes go to a temporary file
+/// in the same directory (same filesystem, so the rename cannot degrade to a
+/// copy), are fsynced, and the temp file is renamed over `path`. A reader —
+/// or a crash — at any instant sees either the complete old file or the
+/// complete new one, never a torn write.
+pub fn write_atomic(path: &std::path::Path, contents: &str) -> std::io::Result<()> {
+    write_atomic_impl(path, contents, false)
+}
+
+fn write_atomic_impl(
+    path: &std::path::Path,
+    contents: &str,
+    fail_before_rename: bool,
+) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    let file_name = path.file_name().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name")
+    })?;
+    let tmp_name = format!(
+        ".{}.tmp.{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    );
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_all()?;
+        if fail_before_rename {
+            return Err(std::io::Error::other("injected failure before rename"));
+        }
+        std::fs::rename(&tmp, path)?;
+        // Durability of the rename itself needs the directory synced; best
+        // effort — not all platforms allow opening a directory for sync.
+        if let Some(d) = dir {
+            if let Ok(dirf) = std::fs::File::open(d) {
+                let _ = dirf.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
 }
 
 #[cfg(test)]
@@ -468,12 +535,24 @@ mod tests {
     }
 
     #[test]
-    fn garbage_field_rejected_with_line_number() {
+    fn garbage_field_rejected_with_line_number_and_text() {
         let text = format!("{HEADER}\nindex ix\nwat 7\nend\n");
         match Catalog::from_text(&text) {
-            Err(CatalogError::Parse { line, .. }) => assert_eq!(line, 3),
+            Err(CatalogError::Parse { line, text, .. }) => {
+                assert_eq!(line, 3);
+                assert_eq!(text, "wat 7");
+            }
             other => panic!("expected parse error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_error_display_names_the_offending_line() {
+        let text = format!("{HEADER}\nindex ix\ntable_pages eleven\nend\n");
+        let err = Catalog::from_text(&text).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 3"), "{msg}");
+        assert!(msg.contains("table_pages eleven"), "{msg}");
     }
 
     #[test]
@@ -491,6 +570,47 @@ mod tests {
             Catalog::from_text(&doubled),
             Err(CatalogError::DuplicateName(_))
         ));
+    }
+
+    #[test]
+    fn failed_atomic_write_preserves_the_old_file() {
+        let dir = std::env::temp_dir().join("epfis-catalog-atomic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("catalog.txt");
+        let mut old = Catalog::new();
+        old.insert("survivor", stats(1)).unwrap();
+        old.save(&path).unwrap();
+
+        // A write that dies after the temp file is written but before the
+        // rename must leave the previous catalog byte-identical on disk and
+        // clean up its temp file.
+        let mut new = Catalog::new();
+        new.insert("replacement", stats(2)).unwrap();
+        let err = write_atomic_impl(&path, &new.to_text(), true).unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+
+        let back = Catalog::load(&path).unwrap();
+        assert_eq!(back, old, "old catalog must survive a failed save");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp file must be cleaned up");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn write_atomic_creates_and_replaces() {
+        let dir = std::env::temp_dir().join("epfis-catalog-atomic-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("file.txt");
+        std::fs::remove_file(&path).ok();
+        write_atomic(&path, "first").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first");
+        write_atomic(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

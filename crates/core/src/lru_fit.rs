@@ -25,6 +25,13 @@ pub struct LruFit {
     config: EpfisConfig,
 }
 
+impl Default for LruFit {
+    /// A collector with the paper-default [`EpfisConfig`].
+    fn default() -> Self {
+        LruFit::new(EpfisConfig::default())
+    }
+}
+
 impl LruFit {
     /// Creates a collector; panics on invalid configuration.
     pub fn new(config: EpfisConfig) -> Self {

@@ -1,0 +1,437 @@
+//! The server's durable, versioned catalog and its lock-light sharing model.
+//!
+//! Each entry is the core [`epfis::IndexStatistics`] plus version metadata:
+//! a monotonically increasing **epoch** (bumped on every commit, globally —
+//! an entry's epoch records *when* it was last analyzed relative to every
+//! other commit) and an **analyzed-at** unix timestamp, so clients can
+//! reason about staleness (see `docs/protocol.md`).
+//!
+//! Persistence reuses the core text codec verbatim and prepends a metadata
+//! section, separated by a literal `---` line:
+//!
+//! ```text
+//! epfis-server-catalog v1
+//! epoch 7
+//! meta orders.customer_id epoch=7 analyzed_at=1754400000
+//! ---
+//! epfis-catalog v1
+//! index orders.customer_id
+//! ...
+//! end
+//! ```
+//!
+//! Writes go through [`epfis::catalog::write_atomic`] (write temp + fsync +
+//! rename), so a crash mid-save can never leave a torn file; on startup the
+//! server simply reloads the last successfully renamed version.
+//!
+//! Sharing: [`SharedCatalog`] keeps the current [`VersionedCatalog`] behind
+//! `RwLock<Arc<...>>`. Readers take the lock only long enough to clone the
+//! `Arc` ([`SharedCatalog::snapshot`]); a commit builds the successor
+//! catalog and persists it *outside* any lock readers touch, then swaps the
+//! `Arc`. Concurrent `ESTIMATE`s therefore never block behind an ingest.
+
+use epfis::catalog::write_atomic;
+use epfis::{Catalog, IndexStatistics};
+use epfis_estimators::TraceSummary;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, RwLock};
+
+const HEADER: &str = "epfis-server-catalog v1";
+const SEPARATOR: &str = "---";
+
+/// One named index's statistics plus version metadata.
+#[derive(Clone)]
+pub struct VersionedEntry {
+    /// The catalog entry Est-IO reads.
+    pub stats: IndexStatistics,
+    /// Global commit counter value when this entry was last analyzed.
+    pub epoch: u64,
+    /// Unix timestamp (seconds) of the analysis commit.
+    pub analyzed_at: u64,
+    /// One-pass trace statistics for `COMPARE`, kept in memory only — an
+    /// entry reloaded from disk after a restart has `None` here.
+    pub summary: Option<Arc<TraceSummary>>,
+}
+
+/// An immutable catalog version: named [`VersionedEntry`]s plus the global
+/// epoch. Commits produce a new value; readers hold `Arc` snapshots.
+#[derive(Clone, Default)]
+pub struct VersionedCatalog {
+    epoch: u64,
+    entries: BTreeMap<String, VersionedEntry>,
+}
+
+impl VersionedCatalog {
+    /// An empty catalog at epoch 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The global epoch: the number of commits this catalog has seen.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the catalog has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks an entry up by name.
+    pub fn get(&self, name: &str) -> Option<&VersionedEntry> {
+        self.entries.get(name)
+    }
+
+    /// Iterates entries in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &VersionedEntry)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Inserts (or replaces) an entry, bumping the global epoch and stamping
+    /// the entry with it. Returns the new epoch.
+    pub fn insert(
+        &mut self,
+        name: impl Into<String>,
+        stats: IndexStatistics,
+        analyzed_at: u64,
+        summary: Option<Arc<TraceSummary>>,
+    ) -> Result<u64, epfis::catalog::CatalogError> {
+        let name = name.into();
+        // Reuse the core codec's name validation so anything we accept here
+        // is guaranteed to persist and reload.
+        Catalog::new().insert(name.clone(), stats.clone())?;
+        self.epoch += 1;
+        self.entries.insert(
+            name,
+            VersionedEntry {
+                stats,
+                epoch: self.epoch,
+                analyzed_at,
+                summary,
+            },
+        );
+        Ok(self.epoch)
+    }
+
+    /// Serializes to the server text format (the in-memory `summary` is not
+    /// persisted).
+    pub fn to_text(&self) -> String {
+        let mut core = Catalog::new();
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        out.push_str(&format!("epoch {}\n", self.epoch));
+        for (name, e) in &self.entries {
+            out.push_str(&format!(
+                "meta {name} epoch={} analyzed_at={}\n",
+                e.epoch, e.analyzed_at
+            ));
+            core.insert(name.clone(), e.stats.clone())
+                .expect("entry names were validated on insert");
+        }
+        out.push_str(SEPARATOR);
+        out.push('\n');
+        out.push_str(&core.to_text());
+        out
+    }
+
+    /// Parses the server text format.
+    pub fn from_text(text: &str) -> io::Result<Self> {
+        let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(h) if h.trim() == HEADER => {}
+            other => {
+                return Err(invalid(format!(
+                    "bad server catalog header: {:?}",
+                    other.unwrap_or_default()
+                )))
+            }
+        }
+        let mut epoch: Option<u64> = None;
+        let mut meta: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        for raw in lines.by_ref() {
+            let line = raw.trim();
+            if line == SEPARATOR {
+                break;
+            }
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(v) = line.strip_prefix("epoch ") {
+                epoch = Some(
+                    v.trim()
+                        .parse()
+                        .map_err(|e| invalid(format!("bad epoch {v:?}: {e}")))?,
+                );
+            } else if let Some(rest) = line.strip_prefix("meta ") {
+                let mut toks = rest.split_whitespace();
+                let name = toks
+                    .next()
+                    .ok_or_else(|| invalid("meta line without a name".into()))?
+                    .to_string();
+                let (mut e, mut at) = (None, None);
+                for kv in toks {
+                    match kv.split_once('=') {
+                        Some(("epoch", v)) => {
+                            e =
+                                Some(v.parse().map_err(|err| {
+                                    invalid(format!("bad meta epoch {v:?}: {err}"))
+                                })?)
+                        }
+                        Some(("analyzed_at", v)) => {
+                            at = Some(v.parse().map_err(|err| {
+                                invalid(format!("bad meta analyzed_at {v:?}: {err}"))
+                            })?)
+                        }
+                        _ => return Err(invalid(format!("unknown meta item {kv:?}"))),
+                    }
+                }
+                let (e, at) = (
+                    e.ok_or_else(|| invalid(format!("meta {name:?} missing epoch")))?,
+                    at.ok_or_else(|| invalid(format!("meta {name:?} missing analyzed_at")))?,
+                );
+                meta.insert(name, (e, at));
+            } else {
+                return Err(invalid(format!(
+                    "unexpected line before separator: {line:?}"
+                )));
+            }
+        }
+        let epoch = epoch.ok_or_else(|| invalid("missing global epoch line".into()))?;
+        let body: String = lines.map(|l| format!("{l}\n")).collect();
+        let core = Catalog::from_text(&body)
+            .map_err(|e| invalid(format!("embedded core catalog: {e}")))?;
+        let mut entries = BTreeMap::new();
+        for (name, stats) in core.iter() {
+            let &(entry_epoch, analyzed_at) = meta
+                .get(name)
+                .ok_or_else(|| invalid(format!("entry {name:?} has no meta line")))?;
+            entries.insert(
+                name.to_string(),
+                VersionedEntry {
+                    stats: stats.clone(),
+                    epoch: entry_epoch,
+                    analyzed_at,
+                    summary: None,
+                },
+            );
+        }
+        if let Some(orphan) = meta.keys().find(|n| !entries.contains_key(*n)) {
+            return Err(invalid(format!("meta for unknown entry {orphan:?}")));
+        }
+        Ok(VersionedCatalog { epoch, entries })
+    }
+}
+
+/// The concurrently shared catalog: `Arc` snapshots for readers, serialized
+/// copy-persist-swap commits for writers, optional durability to a file.
+pub struct SharedCatalog {
+    current: RwLock<Arc<VersionedCatalog>>,
+    path: Option<PathBuf>,
+    commit_lock: Mutex<()>,
+}
+
+impl SharedCatalog {
+    /// An in-memory catalog (no persistence).
+    pub fn in_memory() -> Self {
+        SharedCatalog {
+            current: RwLock::new(Arc::new(VersionedCatalog::new())),
+            path: None,
+            commit_lock: Mutex::new(()),
+        }
+    }
+
+    /// Opens a durable catalog at `path`, reloading the last atomically
+    /// persisted version if the file exists.
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<Self> {
+        let path = path.into();
+        let initial = if path.exists() {
+            VersionedCatalog::from_text(&std::fs::read_to_string(&path)?)?
+        } else {
+            VersionedCatalog::new()
+        };
+        Ok(SharedCatalog {
+            current: RwLock::new(Arc::new(initial)),
+            path: Some(path),
+            commit_lock: Mutex::new(()),
+        })
+    }
+
+    /// The persistence path, if durable.
+    pub fn path(&self) -> Option<&std::path::Path> {
+        self.path.as_deref()
+    }
+
+    /// A point-in-time snapshot. O(1): clones the `Arc`, never the entries.
+    pub fn snapshot(&self) -> Arc<VersionedCatalog> {
+        self.current
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Commits a new analysis for `name`: builds the successor catalog,
+    /// persists it atomically (when durable), then publishes it. Returns the
+    /// new epoch.
+    ///
+    /// Commits are serialized with each other but never make a reader wait
+    /// for I/O: the `current` write lock is held only for the `Arc` swap.
+    pub fn commit(
+        &self,
+        name: &str,
+        stats: IndexStatistics,
+        summary: Option<Arc<TraceSummary>>,
+    ) -> io::Result<u64> {
+        let _serialize = self.commit_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let mut next = (*self.snapshot()).clone();
+        let epoch = next
+            .insert(name, stats, unix_now(), summary)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        if let Some(path) = &self.path {
+            write_atomic(path, &next.to_text())?;
+        }
+        *self.current.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(next);
+        Ok(epoch)
+    }
+}
+
+fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epfis::{EpfisConfig, LruFit};
+    use epfis_lrusim::KeyedTrace;
+
+    fn stats(seed: u32) -> IndexStatistics {
+        let pages: Vec<u32> = (0..1200u32)
+            .map(|i| (i.wrapping_mul(2654435761).wrapping_add(seed)) % 90)
+            .collect();
+        LruFit::new(EpfisConfig::default()).collect(&KeyedTrace::all_distinct(pages, 90))
+    }
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("epfis-server-catalog-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(format!("{tag}.scat"));
+        std::fs::remove_file(&p).ok();
+        p
+    }
+
+    #[test]
+    fn text_round_trip_preserves_entries_and_epochs() {
+        let mut c = VersionedCatalog::new();
+        c.insert("a.x", stats(1), 111, None).unwrap();
+        c.insert("b.y", stats(2), 222, None).unwrap();
+        c.insert("a.x", stats(3), 333, None).unwrap(); // re-analyze bumps epoch
+        assert_eq!(c.epoch(), 3);
+        let back = VersionedCatalog::from_text(&c.to_text()).unwrap();
+        assert_eq!(back.epoch(), 3);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.get("a.x").unwrap().epoch, 3);
+        assert_eq!(back.get("a.x").unwrap().analyzed_at, 333);
+        assert_eq!(back.get("b.y").unwrap().epoch, 2);
+        assert_eq!(back.get("a.x").unwrap().stats, c.get("a.x").unwrap().stats);
+    }
+
+    #[test]
+    fn malformed_texts_are_rejected() {
+        assert!(VersionedCatalog::from_text("").is_err());
+        assert!(VersionedCatalog::from_text("wrong header\n").is_err());
+        // Missing epoch line.
+        assert!(
+            VersionedCatalog::from_text(&format!("{HEADER}\n{SEPARATOR}\nepfis-catalog v1\n"))
+                .is_err()
+        );
+        // Meta naming a non-existent entry.
+        assert!(VersionedCatalog::from_text(&format!(
+            "{HEADER}\nepoch 1\nmeta ghost epoch=1 analyzed_at=0\n{SEPARATOR}\nepfis-catalog v1\n"
+        ))
+        .is_err());
+        // Entry without meta.
+        let mut c = VersionedCatalog::new();
+        c.insert("ix", stats(1), 0, None).unwrap();
+        let text = c.to_text().replace("meta ix epoch=1 analyzed_at=0\n", "");
+        assert!(VersionedCatalog::from_text(&text).is_err());
+    }
+
+    #[test]
+    fn durable_commit_and_reload() {
+        let path = tmp("reload");
+        let shared = SharedCatalog::open(&path).unwrap();
+        shared.commit("t.k", stats(7), None).unwrap();
+        let e2 = shared.commit("t.k2", stats(8), None).unwrap();
+        assert_eq!(e2, 2);
+
+        let reopened = SharedCatalog::open(&path).unwrap();
+        let snap = reopened.snapshot();
+        assert_eq!(snap.epoch(), 2);
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap.get("t.k").unwrap().stats, stats(7));
+        assert!(snap.get("t.k").unwrap().summary.is_none());
+    }
+
+    #[test]
+    fn snapshots_are_stable_across_commits() {
+        let shared = SharedCatalog::in_memory();
+        shared.commit("ix", stats(1), None).unwrap();
+        let old = shared.snapshot();
+        shared.commit("ix", stats(2), None).unwrap();
+        // The old snapshot still sees the old entry; the new one the new.
+        assert_eq!(old.get("ix").unwrap().stats, stats(1));
+        assert_eq!(shared.snapshot().get("ix").unwrap().stats, stats(2));
+        assert_eq!(shared.snapshot().epoch(), 2);
+    }
+
+    #[test]
+    fn invalid_names_are_rejected_at_commit() {
+        let shared = SharedCatalog::in_memory();
+        assert!(shared.commit("has space", stats(1), None).is_err());
+        assert_eq!(shared.snapshot().epoch(), 0);
+    }
+
+    #[test]
+    fn concurrent_readers_during_commits_see_consistent_versions() {
+        let shared = std::sync::Arc::new(SharedCatalog::in_memory());
+        shared.commit("ix", stats(1), None).unwrap();
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let shared = shared.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let mut last_epoch = 0;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let snap = shared.snapshot();
+                        let e = snap.epoch();
+                        assert!(e >= last_epoch, "epoch went backwards");
+                        last_epoch = e;
+                        let entry = snap.get("ix").expect("entry never disappears");
+                        assert!(entry.epoch <= e);
+                    }
+                })
+            })
+            .collect();
+        for i in 0..20 {
+            shared.commit("ix", stats(i), None).unwrap();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(shared.snapshot().epoch(), 21);
+    }
+}

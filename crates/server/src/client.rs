@@ -1,0 +1,90 @@
+//! A minimal blocking client for the line protocol.
+//!
+//! One request in flight at a time per connection; [`Client::request`]
+//! writes a command line and reads the counted-line response frame. Protocol
+//! `ERR` responses surface as [`ClientError::Server`], transport problems as
+//! [`ClientError::Io`] — callers that script multi-command `ANALYZE`
+//! sessions care about the difference (a server-side reject leaves the
+//! connection usable; an I/O error does not).
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Why a request failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure; the connection is no longer usable.
+    Io(std::io::Error),
+    /// The server answered `ERR <message>`; the connection stays usable.
+    Server(String),
+    /// The response violated the `OK <n>` / `ERR` framing.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking connection to an epfis-server.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `"127.0.0.1:7878"`).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true).ok();
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { writer, reader })
+    }
+
+    /// Sends one command line and returns the response's data lines.
+    pub fn request(&mut self, command: &str) -> Result<Vec<String>, ClientError> {
+        self.writer.write_all(command.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        let status = self.read_line()?;
+        if let Some(msg) = status.strip_prefix("ERR ") {
+            return Err(ClientError::Server(msg.to_string()));
+        }
+        let n: usize = status
+            .strip_prefix("OK ")
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("bad status line {status:?}")))?;
+        let mut lines = Vec::with_capacity(n);
+        for _ in 0..n {
+            lines.push(self.read_line()?);
+        }
+        Ok(lines)
+    }
+
+    fn read_line(&mut self) -> Result<String, ClientError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Protocol(
+                "connection closed mid-response".into(),
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+}

@@ -1,0 +1,277 @@
+//! Streaming LRU-Fit ingestion: one session per connection.
+//!
+//! The paper runs LRU-Fit over the statistics scan of an index — a pass
+//! that, in a live system, arrives as a *stream* of `(key, page)` references
+//! in key order, not as a file. [`IngestSession`] consumes that stream
+//! incrementally:
+//!
+//! * every reference goes straight into a [`StackAnalyzer`] (whose
+//!   time-axis compaction bounds memory to the working set, so an
+//!   arbitrarily long scan never accumulates the trace),
+//! * run boundaries (key changes), Algorithm DC's cluster counters, and the
+//!   max page id are tracked on the fly,
+//!
+//! so session memory is O(distinct pages + distinct keys) — the key-order
+//! duplicate check needs a set of seen keys — regardless of how many
+//! references stream in. [`IngestSession::commit`] then performs the
+//! remaining LRU-Fit steps (grid sampling + segment fitting) and returns
+//! both the catalog entry and the [`TraceSummary`] the `COMPARE` command
+//! serves the baseline estimators from.
+
+use epfis::{EpfisConfig, IndexStatistics, LruFit};
+use epfis_estimators::TraceSummary;
+use epfis_lrusim::StackAnalyzer;
+use std::collections::HashSet;
+
+/// An in-progress streaming analysis (`ANALYZE BEGIN` … `COMMIT`).
+pub struct IngestSession {
+    name: String,
+    config: EpfisConfig,
+    declared_table_pages: Option<u32>,
+    analyzer: StackAnalyzer,
+    records: u64,
+    keys: u64,
+    max_page: u32,
+    current_key: Option<i64>,
+    seen_keys: HashSet<i64>,
+    // Algorithm DC cluster-counter state, maintained to match what
+    // `TraceSummary::from_trace` computes from a whole trace. The min/max
+    // reading compares a run's min page against the *previous* run's max,
+    // so each boundary is decided when the later run closes.
+    cc_minmax: u64,
+    cc_run_order: u64,
+    run_min: u32,
+    run_max: u32,
+    run_last: u32,
+    prev_run_max: u32,
+    prev_run_last: u32,
+}
+
+impl IngestSession {
+    /// Opens a session for the entry `name`.
+    ///
+    /// # Panics
+    /// Panics on an invalid `config` (mirrors [`LruFit::new`]); the server
+    /// validates configuration before opening sessions.
+    pub fn new(name: String, config: EpfisConfig, declared_table_pages: Option<u32>) -> Self {
+        config.validate();
+        IngestSession {
+            name,
+            config,
+            declared_table_pages,
+            analyzer: StackAnalyzer::new(),
+            records: 0,
+            keys: 0,
+            max_page: 0,
+            current_key: None,
+            seen_keys: HashSet::new(),
+            cc_minmax: 0,
+            cc_run_order: 0,
+            run_min: 0,
+            run_max: 0,
+            run_last: 0,
+            prev_run_max: 0,
+            prev_run_last: 0,
+        }
+    }
+
+    /// The entry name this session will commit to.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// References fed so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Distinct keys seen so far.
+    pub fn keys(&self) -> u64 {
+        self.keys
+    }
+
+    /// Feeds one `(key, page)` reference. Keys must arrive grouped (key
+    /// order): a key restarting after another key is rejected, as is a page
+    /// at or beyond a declared `table_pages`.
+    pub fn feed(&mut self, key: i64, page: u32) -> Result<(), String> {
+        if let Some(t) = self.declared_table_pages {
+            if page >= t {
+                return Err(format!("page {page} >= declared table_pages {t}"));
+            }
+        }
+        if self.current_key == Some(key) {
+            self.run_min = self.run_min.min(page);
+            self.run_max = self.run_max.max(page);
+            self.run_last = page;
+        } else {
+            if !self.seen_keys.insert(key) {
+                return Err(format!(
+                    "key {key} appears in two separate runs (references must be in key order)"
+                ));
+            }
+            if self.current_key.is_some() {
+                self.close_run();
+            }
+            self.current_key = Some(key);
+            self.keys += 1;
+            if self.keys > 1 && page >= self.prev_run_last {
+                self.cc_run_order += 1;
+            }
+            self.run_min = page;
+            self.run_max = page;
+            self.run_last = page;
+        }
+        self.analyzer.access(page);
+        self.records += 1;
+        self.max_page = self.max_page.max(page);
+        Ok(())
+    }
+
+    /// Seals the current run: decides the min/max cluster counter for the
+    /// boundary between it and the run before it, and shifts the
+    /// previous-run state forward.
+    fn close_run(&mut self) {
+        if self.keys >= 2 && self.run_min >= self.prev_run_max {
+            self.cc_minmax += 1;
+        }
+        self.prev_run_max = self.run_max;
+        self.prev_run_last = self.run_last;
+    }
+
+    /// Discards the session, returning its name and how many references are
+    /// being dropped.
+    pub fn abort(self) -> (String, u64) {
+        (self.name, self.records)
+    }
+
+    /// Completes LRU-Fit: grid-samples the exact fetch curve, fits segments,
+    /// and returns the catalog entry plus the baseline-estimator summary.
+    pub fn commit(mut self) -> Result<(IndexStatistics, TraceSummary), String> {
+        if self.records == 0 {
+            return Err("session has no references (feed PAGE lines first)".into());
+        }
+        self.close_run();
+        let table_pages = match self.declared_table_pages {
+            Some(t) => t,
+            None => self
+                .max_page
+                .checked_add(1)
+                .ok_or("max page id overflows table_pages")?,
+        };
+        let distinct_pages = self.analyzer.distinct_pages();
+        let curve = self.analyzer.finish().fetch_curve();
+        let stats = LruFit::new(self.config).collect_from_curve(
+            &curve,
+            table_pages as u64,
+            self.records,
+            self.keys,
+        );
+        let summary = TraceSummary {
+            table_pages: table_pages as u64,
+            records: self.records,
+            distinct_keys: self.keys,
+            distinct_pages,
+            fetch_curve: curve,
+            cluster_counter: self.cc_minmax,
+            cluster_counter_run_order: self.cc_run_order,
+        };
+        Ok((stats, summary))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epfis_lrusim::KeyedTrace;
+
+    /// Feeds a keyed trace through a session, pair by pair.
+    fn stream(trace: &KeyedTrace, table_pages: Option<u32>) -> IngestSession {
+        let mut s = IngestSession::new("ix".into(), EpfisConfig::default(), table_pages);
+        for k in 0..trace.num_keys() as usize {
+            for &p in trace.run_pages(k) {
+                s.feed(k as i64, p).unwrap();
+            }
+        }
+        s
+    }
+
+    fn test_trace() -> KeyedTrace {
+        let pages: Vec<u32> = (0..2000u32)
+            .map(|i| i.wrapping_mul(2654435761) % 120)
+            .collect();
+        let lens = vec![4u32; 500];
+        KeyedTrace::from_run_lengths(pages, &lens, 120)
+    }
+
+    #[test]
+    fn streaming_commit_matches_batch_lru_fit_and_summary() {
+        let trace = test_trace();
+        let (stats, summary) = stream(&trace, Some(120)).commit().unwrap();
+
+        let batch_stats = LruFit::new(EpfisConfig::default()).collect(&trace);
+        assert_eq!(stats, batch_stats);
+
+        let batch_summary = TraceSummary::from_trace(&trace);
+        assert_eq!(summary.table_pages, batch_summary.table_pages);
+        assert_eq!(summary.records, batch_summary.records);
+        assert_eq!(summary.distinct_keys, batch_summary.distinct_keys);
+        assert_eq!(summary.distinct_pages, batch_summary.distinct_pages);
+        assert_eq!(summary.cluster_counter, batch_summary.cluster_counter);
+        assert_eq!(
+            summary.cluster_counter_run_order,
+            batch_summary.cluster_counter_run_order
+        );
+        for b in [1u64, 5, 30, 120] {
+            assert_eq!(
+                summary.fetch_curve.fetches(b),
+                batch_summary.fetch_curve.fetches(b)
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_counters_match_on_hand_trace() {
+        // Same shape as the TraceSummary doc example: runs [0,0],[1],[0,2],[1].
+        let trace = KeyedTrace::from_run_lengths(vec![0, 0, 1, 0, 2, 1], &[2, 1, 2, 1], 4);
+        let (_, summary) = stream(&trace, Some(4)).commit().unwrap();
+        let batch = TraceSummary::from_trace(&trace);
+        assert_eq!(summary.cluster_counter, batch.cluster_counter);
+        assert_eq!(
+            summary.cluster_counter_run_order,
+            batch.cluster_counter_run_order
+        );
+        assert_eq!(summary.cluster_counter, 1);
+    }
+
+    #[test]
+    fn inferred_table_pages_is_max_plus_one() {
+        let mut s = IngestSession::new("ix".into(), EpfisConfig::default(), None);
+        for (k, p) in [(1i64, 3u32), (1, 7), (2, 0)] {
+            s.feed(k, p).unwrap();
+        }
+        let (stats, _) = s.commit().unwrap();
+        assert_eq!(stats.table_pages, 8);
+    }
+
+    #[test]
+    fn rejects_out_of_order_keys_and_oversized_pages() {
+        let mut s = IngestSession::new("ix".into(), EpfisConfig::default(), Some(10));
+        s.feed(1, 0).unwrap();
+        s.feed(2, 1).unwrap();
+        assert!(s.feed(1, 2).is_err(), "split run must be rejected");
+        assert!(s.feed(3, 10).is_err(), "page >= T must be rejected");
+        // The session stays usable after a rejected reference.
+        s.feed(3, 9).unwrap();
+        assert_eq!(s.records(), 3);
+        assert_eq!(s.keys(), 3);
+    }
+
+    #[test]
+    fn empty_commit_is_an_error_and_abort_reports_drops() {
+        let s = IngestSession::new("ix".into(), EpfisConfig::default(), None);
+        assert!(s.commit().is_err());
+        let mut s = IngestSession::new("ix".into(), EpfisConfig::default(), None);
+        s.feed(1, 0).unwrap();
+        assert_eq!(s.abort(), ("ix".to_string(), 1));
+    }
+}

@@ -1,0 +1,37 @@
+//! `epfis-server`: a concurrent catalog + estimation service.
+//!
+//! The EPFIS paper splits page-fetch estimation into two phases with very
+//! different costs: **LRU-Fit** runs once per index at statistics-collection
+//! time (a full scan through a stack analyzer plus segment fitting), while
+//! **Est-IO** runs at every query compilation and must be cheap. This crate
+//! turns that split into a long-running TCP service:
+//!
+//! * [`serve`] binds a listener and a worker pool; each connection speaks a
+//!   line protocol ([`protocol`]) with commands mirroring the `epfis` CLI —
+//!   `ESTIMATE`, `FPF`, `COMPARE`, `SHOW`, `STATS`.
+//! * `ANALYZE BEGIN … PAGE … ANALYZE COMMIT` streams a statistics scan into
+//!   a per-connection [`IngestSession`] (incremental Mattson stack analysis,
+//!   bounded memory); the commit fits segments and atomically publishes a
+//!   versioned entry into the [`SharedCatalog`].
+//! * Reads take an `Arc` snapshot, so concurrent `ESTIMATE`s never block
+//!   behind an ingest; the catalog persists atomically (temp + fsync +
+//!   rename) and reloads on startup.
+//! * [`Metrics`] keeps per-command counters and latency histograms, served
+//!   back by `STATS`.
+//!
+//! The wire format is documented in `docs/protocol.md`; `epfis serve` and
+//! `epfis client` expose the server from the CLI.
+
+pub mod catalog;
+pub mod client;
+pub mod ingest;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use catalog::{SharedCatalog, VersionedCatalog, VersionedEntry};
+pub use client::{Client, ClientError};
+pub use ingest::IngestSession;
+pub use metrics::{CommandStats, Metrics};
+pub use protocol::{frame_err, frame_ok, parse_request, Request};
+pub use server::{serve, ServerConfig, ServerHandle};

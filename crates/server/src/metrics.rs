@@ -1,0 +1,219 @@
+//! Built-in observability: per-command request counters and latency
+//! histograms, rendered by the `STATS` command.
+//!
+//! Latencies land in power-of-two microsecond buckets (bucket `i` holds
+//! values of bit length `i`, i.e. `[2^(i-1), 2^i)` µs, with zero in bucket
+//! 0), so recording is a couple of atomic increments and
+//! quantiles are read back as the upper bound of the bucket containing the
+//! requested rank — deliberately the same trade-off production servers make
+//! (HdrHistogram-style), not per-request sample retention.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 latency buckets: covers up to ~2^27 µs ≈ 134 s.
+const BUCKETS: usize = 28;
+
+/// Counters and a latency histogram for one command.
+#[derive(Default)]
+pub struct CommandStats {
+    count: AtomicU64,
+    errors: AtomicU64,
+    total_micros: AtomicU64,
+    max_micros: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl CommandStats {
+    fn record(&self, micros: u64, is_error: bool) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if is_error {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+        let bucket = (64 - micros.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Requests that produced an `ERR` response.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Worst observed latency, µs.
+    pub fn max_micros(&self) -> u64 {
+        self.max_micros.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency, µs (0 when empty).
+    pub fn mean_micros(&self) -> u64 {
+        self.total_micros
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+            .unwrap_or(0)
+    }
+
+    /// Approximate latency quantile (`q` in `[0, 1]`), µs: the upper bound
+    /// of the histogram bucket containing the rank, clamped to the observed
+    /// maximum.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                let upper = if i == 0 { 1 } else { 1u64 << i };
+                return upper.min(self.max_micros().max(1));
+            }
+        }
+        self.max_micros()
+    }
+}
+
+/// Server-wide metrics: one [`CommandStats`] per protocol command (plus an
+/// `INVALID` slot for unparseable lines) and connection counters.
+#[derive(Default)]
+pub struct Metrics {
+    commands: std::collections::BTreeMap<&'static str, CommandStats>,
+    connections_opened: AtomicU64,
+    connections_closed: AtomicU64,
+}
+
+impl Metrics {
+    /// Creates a metrics registry with a slot per known command label.
+    pub fn new(labels: &[&'static str]) -> Self {
+        Metrics {
+            commands: labels
+                .iter()
+                .map(|&l| (l, CommandStats::default()))
+                .collect(),
+            connections_opened: AtomicU64::new(0),
+            connections_closed: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one request outcome under `label`.
+    ///
+    /// # Panics
+    /// Panics on a label that was not registered at construction — command
+    /// labels are static, so an unknown one is a programming error.
+    pub fn record(&self, label: &str, micros: u64, is_error: bool) {
+        self.commands
+            .get(label)
+            .unwrap_or_else(|| panic!("unregistered metrics label {label:?}"))
+            .record(micros, is_error);
+    }
+
+    /// Stats for one command label, if registered.
+    pub fn command(&self, label: &str) -> Option<&CommandStats> {
+        self.commands.get(label)
+    }
+
+    /// Marks a connection accepted.
+    pub fn connection_opened(&self) {
+        self.connections_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks a connection finished.
+    pub fn connection_closed(&self) {
+        self.connections_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total connections accepted so far.
+    pub fn connections_opened_total(&self) -> u64 {
+        self.connections_opened.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently being served.
+    pub fn connections_active(&self) -> u64 {
+        self.connections_opened
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.connections_closed.load(Ordering::Relaxed))
+    }
+
+    /// Renders the `STATS` data lines: global counters first, then one line
+    /// per command that has been used, in label order.
+    pub fn render(&self, uptime_secs: u64, epoch: u64, entries: usize) -> Vec<String> {
+        let mut lines = vec![
+            format!("uptime_seconds {uptime_secs}"),
+            format!("connections_total {}", self.connections_opened_total()),
+            format!("connections_active {}", self.connections_active()),
+            format!("catalog_epoch {epoch}"),
+            format!("catalog_entries {entries}"),
+        ];
+        for (label, stats) in &self.commands {
+            if stats.count() == 0 {
+                continue;
+            }
+            lines.push(format!(
+                "command {label} count={} errors={} mean_us={} p50_us={} p99_us={} max_us={}",
+                stats.count(),
+                stats.errors(),
+                stats.mean_micros(),
+                stats.quantile_micros(0.50),
+                stats.quantile_micros(0.99),
+                stats.max_micros(),
+            ));
+        }
+        lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_errors_and_latency_summary() {
+        let m = Metrics::new(&["ESTIMATE", "SHOW"]);
+        m.record("ESTIMATE", 10, false);
+        m.record("ESTIMATE", 1000, true);
+        m.record("ESTIMATE", 20, false);
+        let c = m.command("ESTIMATE").unwrap();
+        assert_eq!(c.count(), 3);
+        assert_eq!(c.errors(), 1);
+        assert_eq!(c.max_micros(), 1000);
+        assert!(c.mean_micros() >= 300);
+        // p50 falls in the bucket holding the 2nd-smallest sample (~20 µs).
+        assert!(c.quantile_micros(0.5) <= 32, "{}", c.quantile_micros(0.5));
+        assert_eq!(c.quantile_micros(1.0), 1000);
+        assert_eq!(m.command("SHOW").unwrap().count(), 0);
+    }
+
+    #[test]
+    fn render_skips_unused_commands() {
+        let m = Metrics::new(&["A", "B"]);
+        m.record("B", 5, false);
+        let lines = m.render(7, 3, 2);
+        assert!(lines.iter().any(|l| l == "uptime_seconds 7"));
+        assert!(lines.iter().any(|l| l == "catalog_epoch 3"));
+        assert!(lines.iter().any(|l| l == "catalog_entries 2"));
+        assert!(lines.iter().any(|l| l.starts_with("command B ")));
+        assert!(!lines.iter().any(|l| l.starts_with("command A ")));
+    }
+
+    #[test]
+    fn connection_counters_balance() {
+        let m = Metrics::new(&[]);
+        m.connection_opened();
+        m.connection_opened();
+        m.connection_closed();
+        assert_eq!(m.connections_opened_total(), 2);
+        assert_eq!(m.connections_active(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered")]
+    fn unknown_label_panics() {
+        Metrics::new(&["A"]).record("NOPE", 1, false);
+    }
+}

@@ -1,0 +1,379 @@
+//! The wire protocol: line-based requests, counted-line responses.
+//!
+//! Requests are single text lines, tokens separated by whitespace. Responses
+//! are framed so a client never has to guess where one ends:
+//!
+//! ```text
+//! OK <n>\n        followed by exactly n data lines, or
+//! ERR <message>\n a single line (the message never contains a newline).
+//! ```
+//!
+//! Floating-point values in responses use Rust's shortest round-tripping
+//! decimal representation (`{}`), so a client that parses a served estimate
+//! back into an `f64` recovers the server's bits exactly — the integration
+//! tests compare served `ESTIMATE` lines byte-for-byte against the
+//! in-process Est-IO result. The full command reference lives in
+//! `docs/protocol.md`.
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// List catalog entries with their version metadata.
+    Show,
+    /// Est-IO on a stored entry.
+    Estimate {
+        /// Catalog entry name.
+        name: String,
+        /// Range selectivity `σ` in `[0, 1]`.
+        sigma: f64,
+        /// Buffer pages `B >= 1`.
+        buffer: u64,
+        /// Index-sargable selectivity in `[0, 1]` (default 1).
+        sargable: f64,
+    },
+    /// Sample a stored entry's FPF curve.
+    Fpf {
+        /// Catalog entry name.
+        name: String,
+        /// Number of sample rows.
+        points: usize,
+    },
+    /// Exact LRU fetches vs all five estimators for a served-analyzed entry.
+    Compare {
+        /// Catalog entry name.
+        name: String,
+        /// Number of buffer-size rows.
+        points: usize,
+    },
+    /// Open a streaming ingestion session on this connection.
+    AnalyzeBegin {
+        /// Name the committed entry will get.
+        name: String,
+        /// Segment budget override (`segments=N`).
+        segments: Option<usize>,
+        /// Declared table size (`table_pages=T`); default `max(page)+1`.
+        table_pages: Option<u32>,
+    },
+    /// Feed `(key, page)` reference pairs into the open session.
+    Page {
+        /// One or more pairs from a key-ordered statistics scan.
+        pairs: Vec<(i64, u32)>,
+    },
+    /// Run segment fitting and atomically publish the session's entry.
+    AnalyzeCommit,
+    /// Discard the open session.
+    AnalyzeAbort,
+    /// Request counters and latency histograms.
+    Stats,
+    /// Gracefully stop the server.
+    Shutdown,
+}
+
+impl Request {
+    /// Stable label used for per-command metrics and `STATS` output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Request::Ping => "PING",
+            Request::Show => "SHOW",
+            Request::Estimate { .. } => "ESTIMATE",
+            Request::Fpf { .. } => "FPF",
+            Request::Compare { .. } => "COMPARE",
+            Request::AnalyzeBegin { .. } => "ANALYZE_BEGIN",
+            Request::Page { .. } => "PAGE",
+            Request::AnalyzeCommit => "ANALYZE_COMMIT",
+            Request::AnalyzeAbort => "ANALYZE_ABORT",
+            Request::Stats => "STATS",
+            Request::Shutdown => "SHUTDOWN",
+        }
+    }
+
+    /// Every label [`Request::label`] can produce, in `STATS` output order.
+    pub const LABELS: &'static [&'static str] = &[
+        "PING",
+        "SHOW",
+        "ESTIMATE",
+        "FPF",
+        "COMPARE",
+        "ANALYZE_BEGIN",
+        "PAGE",
+        "ANALYZE_COMMIT",
+        "ANALYZE_ABORT",
+        "STATS",
+        "SHUTDOWN",
+        "INVALID",
+    ];
+}
+
+fn parse_token<T: std::str::FromStr>(tok: &str, what: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    tok.parse().map_err(|e| format!("bad {what} {tok:?}: {e}"))
+}
+
+/// Parses one request line. Command words are case-insensitive; names and
+/// values are taken verbatim.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let mut toks = line.split_whitespace();
+    let cmd = toks.next().ok_or("empty request")?.to_ascii_uppercase();
+    let rest: Vec<&str> = toks.collect();
+    let exactly = |lo: usize, hi: usize, usage: &str| -> Result<(), String> {
+        if rest.len() < lo || rest.len() > hi {
+            Err(format!("usage: {usage}"))
+        } else {
+            Ok(())
+        }
+    };
+    match cmd.as_str() {
+        "PING" => {
+            exactly(0, 0, "PING")?;
+            Ok(Request::Ping)
+        }
+        "SHOW" => {
+            exactly(0, 0, "SHOW")?;
+            Ok(Request::Show)
+        }
+        "STATS" => {
+            exactly(0, 0, "STATS")?;
+            Ok(Request::Stats)
+        }
+        "SHUTDOWN" => {
+            exactly(0, 0, "SHUTDOWN")?;
+            Ok(Request::Shutdown)
+        }
+        "ESTIMATE" => {
+            exactly(3, 4, "ESTIMATE <name> <sigma> <buffer> [<sargable>]")?;
+            Ok(Request::Estimate {
+                name: rest[0].to_string(),
+                sigma: parse_token(rest[1], "sigma")?,
+                buffer: parse_token(rest[2], "buffer")?,
+                sargable: rest
+                    .get(3)
+                    .map(|t| parse_token(t, "sargable"))
+                    .transpose()?
+                    .unwrap_or(1.0),
+            })
+        }
+        "FPF" => {
+            exactly(1, 2, "FPF <name> [<points>]")?;
+            Ok(Request::Fpf {
+                name: rest[0].to_string(),
+                points: rest
+                    .get(1)
+                    .map(|t| parse_token(t, "points"))
+                    .transpose()?
+                    .unwrap_or(12),
+            })
+        }
+        "COMPARE" => {
+            exactly(1, 2, "COMPARE <name> [<points>]")?;
+            Ok(Request::Compare {
+                name: rest[0].to_string(),
+                points: rest
+                    .get(1)
+                    .map(|t| parse_token(t, "points"))
+                    .transpose()?
+                    .unwrap_or(10),
+            })
+        }
+        "PAGE" => {
+            if rest.is_empty() || !rest.len().is_multiple_of(2) {
+                return Err("usage: PAGE <key> <page> [<key> <page> ...]".into());
+            }
+            let mut pairs = Vec::with_capacity(rest.len() / 2);
+            for kv in rest.chunks(2) {
+                pairs.push((parse_token(kv[0], "key")?, parse_token(kv[1], "page")?));
+            }
+            Ok(Request::Page { pairs })
+        }
+        "ANALYZE" => {
+            let sub = rest
+                .first()
+                .ok_or("usage: ANALYZE BEGIN <name> [k=v ...] | ANALYZE COMMIT | ANALYZE ABORT")?
+                .to_ascii_uppercase();
+            match sub.as_str() {
+                "COMMIT" => {
+                    exactly(1, 1, "ANALYZE COMMIT")?;
+                    Ok(Request::AnalyzeCommit)
+                }
+                "ABORT" => {
+                    exactly(1, 1, "ANALYZE ABORT")?;
+                    Ok(Request::AnalyzeAbort)
+                }
+                "BEGIN" => {
+                    let name = rest
+                        .get(1)
+                        .ok_or("usage: ANALYZE BEGIN <name> [segments=N] [table_pages=T]")?
+                        .to_string();
+                    let mut segments = None;
+                    let mut table_pages = None;
+                    for opt in &rest[2..] {
+                        match opt.split_once('=') {
+                            Some(("segments", v)) => {
+                                segments = Some(parse_token(v, "segments")?);
+                            }
+                            Some(("table_pages", v)) => {
+                                table_pages = Some(parse_token(v, "table_pages")?);
+                            }
+                            _ => return Err(format!("unknown ANALYZE BEGIN option {opt:?}")),
+                        }
+                    }
+                    Ok(Request::AnalyzeBegin {
+                        name,
+                        segments,
+                        table_pages,
+                    })
+                }
+                other => Err(format!("unknown ANALYZE subcommand {other:?}")),
+            }
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Frames a successful response: `OK <n>` plus the data lines.
+///
+/// # Panics
+/// Panics if a data line contains a newline (the framing would desync).
+pub fn frame_ok(lines: &[String]) -> String {
+    let mut out = format!("OK {}\n", lines.len());
+    for line in lines {
+        assert!(!line.contains('\n'), "data lines must be newline-free");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Frames an error response, flattening any embedded newlines.
+pub fn frame_err(message: &str) -> String {
+    format!("ERR {}\n", message.replace(['\n', '\r'], " "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_command_shape() {
+        assert_eq!(parse_request("PING").unwrap(), Request::Ping);
+        assert_eq!(parse_request("show").unwrap(), Request::Show);
+        assert_eq!(
+            parse_request("ESTIMATE t.k 0.5 100").unwrap(),
+            Request::Estimate {
+                name: "t.k".into(),
+                sigma: 0.5,
+                buffer: 100,
+                sargable: 1.0
+            }
+        );
+        assert_eq!(
+            parse_request("estimate t.k 0.5 100 0.25").unwrap(),
+            Request::Estimate {
+                name: "t.k".into(),
+                sigma: 0.5,
+                buffer: 100,
+                sargable: 0.25
+            }
+        );
+        assert_eq!(
+            parse_request("FPF ix 7").unwrap(),
+            Request::Fpf {
+                name: "ix".into(),
+                points: 7
+            }
+        );
+        assert_eq!(
+            parse_request("COMPARE ix").unwrap(),
+            Request::Compare {
+                name: "ix".into(),
+                points: 10
+            }
+        );
+        assert_eq!(
+            parse_request("ANALYZE BEGIN ix segments=4 table_pages=99").unwrap(),
+            Request::AnalyzeBegin {
+                name: "ix".into(),
+                segments: Some(4),
+                table_pages: Some(99)
+            }
+        );
+        assert_eq!(
+            parse_request("PAGE 5 0 5 1 6 2").unwrap(),
+            Request::Page {
+                pairs: vec![(5, 0), (5, 1), (6, 2)]
+            }
+        );
+        assert_eq!(
+            parse_request("ANALYZE COMMIT").unwrap(),
+            Request::AnalyzeCommit
+        );
+        assert_eq!(
+            parse_request("ANALYZE ABORT").unwrap(),
+            Request::AnalyzeAbort
+        );
+        assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
+        assert_eq!(parse_request("SHUTDOWN").unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("FROB").is_err());
+        assert!(parse_request("ESTIMATE onlyname").is_err());
+        assert!(parse_request("ESTIMATE ix notafloat 10").is_err());
+        assert!(parse_request("PAGE 1").is_err());
+        assert!(parse_request("PAGE").is_err());
+        assert!(parse_request("ANALYZE").is_err());
+        assert!(parse_request("ANALYZE BEGIN ix bogus=1").is_err());
+        assert!(parse_request("PING extra").is_err());
+    }
+
+    #[test]
+    fn every_label_is_listed() {
+        for req in [
+            Request::Ping,
+            Request::Show,
+            Request::Estimate {
+                name: "x".into(),
+                sigma: 0.0,
+                buffer: 1,
+                sargable: 1.0,
+            },
+            Request::Fpf {
+                name: "x".into(),
+                points: 1,
+            },
+            Request::Compare {
+                name: "x".into(),
+                points: 1,
+            },
+            Request::AnalyzeBegin {
+                name: "x".into(),
+                segments: None,
+                table_pages: None,
+            },
+            Request::Page {
+                pairs: vec![(0, 0)],
+            },
+            Request::AnalyzeCommit,
+            Request::AnalyzeAbort,
+            Request::Stats,
+            Request::Shutdown,
+        ] {
+            assert!(Request::LABELS.contains(&req.label()), "{}", req.label());
+        }
+    }
+
+    #[test]
+    fn framing_is_counted_and_newline_safe() {
+        assert_eq!(frame_ok(&[]), "OK 0\n");
+        assert_eq!(
+            frame_ok(&["a".to_string(), "b c".to_string()]),
+            "OK 2\na\nb c\n"
+        );
+        assert_eq!(frame_err("multi\nline"), "ERR multi line\n");
+    }
+}

@@ -1,0 +1,497 @@
+//! The TCP service: accept loop, worker pool, per-connection sessions.
+//!
+//! The paper's split — LRU-Fit once at statistics-collection time, Est-IO
+//! at every query compilation — maps onto a background ingestion path and a
+//! hot serving path. This module wires both onto one listener:
+//!
+//! * a fixed worker pool (sized from `epfis-par`'s process-global thread
+//!   budget unless overridden) pulls accepted connections off a channel,
+//! * each connection speaks the line protocol ([`crate::protocol`]); an
+//!   `ANALYZE BEGIN` opens a per-connection [`IngestSession`],
+//! * `ESTIMATE`/`FPF`/`COMPARE`/`SHOW` run against an `Arc` snapshot of the
+//!   shared catalog, so they never block behind a concurrent commit,
+//! * every request is timed into [`Metrics`], served back by `STATS`.
+//!
+//! Shutdown is cooperative: the `SHUTDOWN` command (or
+//! [`ServerHandle::shutdown`]) raises a flag, pokes the listener awake, and
+//! workers drain. Worker reads use a short timeout so idle connections
+//! notice the flag promptly. Process signals (SIGTERM) are *not* caught —
+//! std offers no portable handler — but every catalog save is atomic, so
+//! killing the process at any instant leaves the last committed version
+//! intact on disk; that is exactly what the CI smoke test asserts.
+
+use crate::catalog::SharedCatalog;
+use crate::ingest::IngestSession;
+use crate::metrics::Metrics;
+use crate::protocol::{frame_err, frame_ok, parse_request, Request};
+use epfis::{EpfisConfig, ScanQuery};
+use epfis_estimators::{
+    DcEstimator, MlEstimator, OtEstimator, PageFetchEstimator, ScanParams, SdEstimator,
+};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How often an idle connection re-checks the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Server construction options.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads; 0 derives `max(4, epfis_par::threads())`.
+    pub workers: usize,
+    /// Catalog persistence path; `None` serves from memory only.
+    pub catalog_path: Option<PathBuf>,
+    /// Default LRU-Fit configuration for `ANALYZE` sessions.
+    pub epfis_config: EpfisConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            catalog_path: None,
+            epfis_config: EpfisConfig::default(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Resolved worker count: the explicit setting, else the `epfis-par`
+    /// budget with a floor of 4 so several clients can stay connected even
+    /// on small machines.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            epfis_par::threads().max(4)
+        }
+    }
+}
+
+/// Shared server state.
+struct Shared {
+    catalog: SharedCatalog,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    config: EpfisConfig,
+    started: Instant,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Poke the (blocking) accept loop awake so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running server: its address plus the handles needed to stop it.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Raises the shutdown flag and wakes the accept loop. Does not wait.
+    pub fn shutdown(&self) {
+        self.shared.request_shutdown();
+    }
+
+    /// Whether shutdown has been requested (via this handle or `SHUTDOWN`).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown and joins every thread.
+    pub fn shutdown_and_join(mut self) {
+        self.shared.request_shutdown();
+        self.join_threads();
+    }
+
+    /// Blocks until the server stops (e.g. a client sends `SHUTDOWN`).
+    pub fn join(mut self) {
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shared.request_shutdown();
+        self.join_threads();
+    }
+}
+
+/// Binds and starts a server.
+///
+/// Returns once the listener is bound and the worker pool is running; the
+/// returned handle stops the server on drop.
+pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let catalog = match &config.catalog_path {
+        Some(p) => SharedCatalog::open(p)?,
+        None => SharedCatalog::in_memory(),
+    };
+    let shared = Arc::new(Shared {
+        catalog,
+        metrics: Metrics::new(Request::LABELS),
+        shutdown: AtomicBool::new(false),
+        config: config.epfis_config,
+        started: Instant::now(),
+        addr,
+    });
+
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let workers: Vec<_> = (0..config.effective_workers())
+        .map(|i| {
+            let rx = rx.clone();
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name(format!("epfis-worker-{i}"))
+                .spawn(move || loop {
+                    let stream = {
+                        let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+                        guard.recv()
+                    };
+                    match stream {
+                        Ok(s) => handle_connection(s, &shared),
+                        Err(_) => return, // channel closed: accept loop ended
+                    }
+                })
+                .expect("spawn worker thread")
+        })
+        .collect();
+
+    let accept = {
+        let shared = shared.clone();
+        std::thread::Builder::new()
+            .name("epfis-accept".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(s) = stream {
+                        // A send can only fail once workers are gone, which
+                        // only happens at shutdown.
+                        if tx.send(s).is_err() {
+                            break;
+                        }
+                    }
+                }
+                drop(tx); // lets idle workers drain and exit
+            })
+            .expect("spawn accept thread")
+    };
+
+    Ok(ServerHandle {
+        shared,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+/// Reads newline-terminated lines from a stream with a poll timeout, so the
+/// worker can notice the shutdown flag while a connection sits idle.
+struct LineReader {
+    stream: TcpStream,
+    pending: Vec<u8>,
+}
+
+impl LineReader {
+    fn new(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_read_timeout(Some(POLL_INTERVAL))?;
+        Ok(LineReader {
+            stream,
+            pending: Vec::new(),
+        })
+    }
+
+    /// Next line (without the newline), or `None` on EOF / shutdown.
+    fn read_line(&mut self, shutdown: &AtomicBool) -> Option<String> {
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.pending.drain(..=pos).collect();
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Some(String::from_utf8_lossy(&line).into_owned());
+            }
+            match self.stream.read(&mut buf) {
+                Ok(0) => return None,
+                Ok(n) => self.pending.extend_from_slice(&buf[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return None;
+                    }
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+/// Serves one connection to completion.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    shared.metrics.connection_opened();
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => {
+            shared.metrics.connection_closed();
+            return;
+        }
+    };
+    let mut reader = match LineReader::new(stream) {
+        Ok(r) => r,
+        Err(_) => {
+            shared.metrics.connection_closed();
+            return;
+        }
+    };
+    let mut session: Option<IngestSession> = None;
+
+    while let Some(line) = reader.read_line(&shared.shutdown) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let start = Instant::now();
+        let (label, result) = match parse_request(&line) {
+            Ok(req) => {
+                let label = req.label();
+                let is_shutdown = matches!(req, Request::Shutdown);
+                let result = execute(req, shared, &mut session);
+                if let (true, Ok(lines)) = (is_shutdown, &result) {
+                    let micros = start.elapsed().as_micros() as u64;
+                    shared.metrics.record(label, micros, false);
+                    let _ = writer.write_all(frame_ok(lines).as_bytes());
+                    shared.request_shutdown();
+                    break;
+                }
+                (label, result)
+            }
+            Err(e) => ("INVALID", Err(e)),
+        };
+        let micros = start.elapsed().as_micros() as u64;
+        let response = match &result {
+            Ok(lines) => frame_ok(lines),
+            Err(msg) => frame_err(msg),
+        };
+        shared.metrics.record(label, micros, result.is_err());
+        if writer.write_all(response.as_bytes()).is_err() {
+            break;
+        }
+    }
+    shared.metrics.connection_closed();
+}
+
+/// Executes one parsed request against the shared state, returning response
+/// data lines.
+fn execute(
+    req: Request,
+    shared: &Shared,
+    session: &mut Option<IngestSession>,
+) -> Result<Vec<String>, String> {
+    match req {
+        Request::Ping => Ok(vec!["pong".to_string()]),
+        Request::Shutdown => Ok(vec!["bye".to_string()]),
+        Request::Show => {
+            let snap = shared.catalog.snapshot();
+            Ok(snap
+                .iter()
+                .map(|(name, e)| {
+                    format!(
+                        "{name} epoch={} analyzed_at={} T={} N={} I={} C={} segments={}",
+                        e.epoch,
+                        e.analyzed_at,
+                        e.stats.table_pages,
+                        e.stats.records,
+                        e.stats.distinct_keys,
+                        e.stats.clustering_factor,
+                        e.stats.fpf.segments()
+                    )
+                })
+                .collect())
+        }
+        Request::Estimate {
+            name,
+            sigma,
+            buffer,
+            sargable,
+        } => {
+            if !(0.0..=1.0).contains(&sigma) || !(0.0..=1.0).contains(&sargable) {
+                return Err("selectivities must be in [0, 1]".into());
+            }
+            if buffer == 0 {
+                return Err("buffer must be at least 1".into());
+            }
+            let snap = shared.catalog.snapshot();
+            let entry = snap
+                .get(&name)
+                .ok_or_else(|| format!("no catalog entry named {name:?} (try SHOW)"))?;
+            let q = ScanQuery::range(sigma, buffer).with_sargable(sargable);
+            let f = entry.stats.estimate(&q);
+            Ok(vec![format!("{f}")])
+        }
+        Request::Fpf { name, points } => {
+            if points == 0 || points > 10_000 {
+                return Err("points must be in [1, 10000]".into());
+            }
+            let snap = shared.catalog.snapshot();
+            let entry = snap
+                .get(&name)
+                .ok_or_else(|| format!("no catalog entry named {name:?} (try SHOW)"))?;
+            let s = &entry.stats;
+            let mut lines = Vec::with_capacity(points);
+            for i in 0..points {
+                let b = s.b_min
+                    + ((s.b_max - s.b_min) as f64 * i as f64 / (points - 1).max(1) as f64) as u64;
+                lines.push(format!("{b} {}", s.full_scan_fetches(b)));
+            }
+            Ok(lines)
+        }
+        Request::Compare { name, points } => {
+            if points == 0 || points > 10_000 {
+                return Err("points must be in [1, 10000]".into());
+            }
+            let snap = shared.catalog.snapshot();
+            let entry = snap
+                .get(&name)
+                .ok_or_else(|| format!("no catalog entry named {name:?} (try SHOW)"))?;
+            let summary = entry.summary.as_ref().ok_or_else(|| {
+                format!(
+                    "no trace summary for {name:?}: COMPARE needs an entry analyzed by this \
+                     server process (entries reloaded from disk keep only their segments)"
+                )
+            })?;
+            let s = &entry.stats;
+            let estimators: Vec<Box<dyn PageFetchEstimator>> = vec![
+                Box::new(MlEstimator::from_summary(summary)),
+                Box::new(DcEstimator::from_summary(summary)),
+                Box::new(SdEstimator::from_summary(summary)),
+                Box::new(OtEstimator::from_summary(summary)),
+            ];
+            let mut lines = Vec::with_capacity(points + 1);
+            let mut header = "B exact EPFIS".to_string();
+            for e in &estimators {
+                header.push(' ');
+                header.push_str(e.name());
+            }
+            lines.push(header);
+            for i in 0..points {
+                let b = s.b_min
+                    + ((s.b_max - s.b_min) as f64 * i as f64 / (points - 1).max(1) as f64) as u64;
+                let mut row = format!(
+                    "{b} {} {}",
+                    summary.fetch_curve.fetches(b),
+                    s.estimate(&ScanQuery::full(b))
+                );
+                let params = ScanParams::range(1.0, b).with_distinct_keys(summary.distinct_keys);
+                for e in &estimators {
+                    row.push(' ');
+                    row.push_str(&format!("{}", e.estimate(&params)));
+                }
+                lines.push(row);
+            }
+            Ok(lines)
+        }
+        Request::AnalyzeBegin {
+            name,
+            segments,
+            table_pages,
+        } => {
+            if let Some(open) = session {
+                return Err(format!(
+                    "a session for {:?} is already open on this connection \
+                     (COMMIT or ABORT it first)",
+                    open.name()
+                ));
+            }
+            if name.is_empty() || name.chars().any(|c| c.is_whitespace() || c.is_control()) {
+                return Err(format!("invalid entry name {name:?}"));
+            }
+            let mut config = shared.config;
+            if let Some(m) = segments {
+                if !(1..=64).contains(&m) {
+                    return Err("segments must be in [1, 64]".into());
+                }
+                config = config.with_segments(m);
+            }
+            if table_pages == Some(0) {
+                return Err("table_pages must be at least 1".into());
+            }
+            *session = Some(IngestSession::new(name.clone(), config, table_pages));
+            Ok(vec![format!("session {name}")])
+        }
+        Request::Page { pairs } => {
+            let open = session
+                .as_mut()
+                .ok_or("no open session (send ANALYZE BEGIN first)")?;
+            for (key, page) in pairs {
+                open.feed(key, page)?;
+            }
+            Ok(vec![format!("fed {}", open.records())])
+        }
+        Request::AnalyzeCommit => {
+            let open = session
+                .take()
+                .ok_or("no open session (send ANALYZE BEGIN first)")?;
+            let name = open.name().to_string();
+            let (stats, summary) = open.commit()?;
+            let (t, n, i, c) = (
+                stats.table_pages,
+                stats.records,
+                stats.distinct_keys,
+                stats.clustering_factor,
+            );
+            let epoch = shared
+                .catalog
+                .commit(&name, stats, Some(Arc::new(summary)))
+                .map_err(|e| format!("commit failed: {e}"))?;
+            Ok(vec![format!(
+                "committed {name} epoch={epoch} T={t} N={n} I={i} C={c}"
+            )])
+        }
+        Request::AnalyzeAbort => {
+            let open = session
+                .take()
+                .ok_or("no open session (send ANALYZE BEGIN first)")?;
+            let (name, dropped) = open.abort();
+            Ok(vec![format!("aborted {name} dropped={dropped}")])
+        }
+        Request::Stats => {
+            let snap = shared.catalog.snapshot();
+            Ok(shared
+                .metrics
+                .render(shared.started.elapsed().as_secs(), snap.epoch(), snap.len()))
+        }
+    }
+}

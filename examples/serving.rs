@@ -1,0 +1,99 @@
+//! Serving: the EPFIS lifecycle as a network service.
+//!
+//! 1. Start an in-process `epfis-server` on an ephemeral loopback port.
+//! 2. Stream a statistics scan into it over TCP (`ANALYZE BEGIN` /
+//!    batched `PAGE` lines / `ANALYZE COMMIT`) — the server runs LRU-Fit
+//!    incrementally and publishes a versioned catalog entry.
+//! 3. Issue `ESTIMATE`s from several concurrent connections and verify they
+//!    match the in-process Est-IO result bit for bit.
+//! 4. Read the server's own telemetry back with `STATS`.
+//!
+//! ```text
+//! cargo run --release --example serving
+//! ```
+
+use epfis_repro::epfis::{EpfisConfig, LruFit, ScanQuery};
+use epfis_repro::epfis_datagen::{Dataset, DatasetSpec};
+use epfis_repro::epfis_server::{serve, Client, ServerConfig};
+
+fn main() {
+    // A 40k-record table, 20 records/page (T = 2000), mildly clustered.
+    let spec = DatasetSpec::synthetic(40_000, 400, 20, 0.0, 0.10);
+    let dataset = Dataset::generate(spec);
+    let trace = dataset.trace();
+    println!(
+        "dataset: N={} records, T={} pages, I={} distinct keys",
+        dataset.records(),
+        dataset.table_pages(),
+        dataset.distinct_keys()
+    );
+
+    let server = serve(ServerConfig::default()).expect("start server");
+    let addr = server.addr();
+    println!("epfis-server listening on {addr}");
+
+    // --- Statistics collection over the wire (streaming LRU-Fit) ---
+    let mut ingest = Client::connect(addr).expect("connect");
+    ingest
+        .request(&format!(
+            "ANALYZE BEGIN demo.ix table_pages={}",
+            trace.table_pages()
+        ))
+        .expect("begin");
+    let mut batch = String::new();
+    let mut batched = 0usize;
+    let mut sent = 0usize;
+    for k in 0..trace.num_keys() as usize {
+        for &p in trace.run_pages(k) {
+            batch.push_str(&format!(" {k} {p}"));
+            batched += 1;
+            if batched == 256 {
+                ingest.request(&format!("PAGE{batch}")).expect("page");
+                sent += batched;
+                batch.clear();
+                batched = 0;
+            }
+        }
+    }
+    if batched > 0 {
+        ingest.request(&format!("PAGE{batch}")).expect("page");
+        sent += batched;
+    }
+    let committed = ingest.request("ANALYZE COMMIT").expect("commit");
+    println!("streamed {sent} references; {}", committed[0]);
+
+    // --- Query compilation time, over four concurrent connections ---
+    let local = LruFit::new(EpfisConfig::default()).collect(trace);
+    let handles: Vec<_> = (0..4)
+        .map(|w| {
+            let local = local.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                for i in 1..=5u64 {
+                    let sigma = 0.05 * (w + 1) as f64;
+                    let buffer = 100 * i;
+                    let served = c
+                        .request(&format!("ESTIMATE demo.ix {sigma} {buffer}"))
+                        .expect("estimate")[0]
+                        .clone();
+                    let expected = format!("{}", local.estimate(&ScanQuery::range(sigma, buffer)));
+                    assert_eq!(served, expected, "served estimate must match Est-IO");
+                }
+                println!("connection {w}: 5 served estimates match in-process Est-IO");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // --- Observability ---
+    let mut c = Client::connect(addr).expect("connect");
+    println!("STATS:");
+    for line in c.request("STATS").expect("stats") {
+        println!("  {line}");
+    }
+
+    server.shutdown_and_join();
+    println!("server stopped");
+}

@@ -12,6 +12,8 @@
 //! * [`epfis_datagen`] — synthetic datasets, GWL stand-ins, scan workloads.
 //! * [`epfis_estimators`] — the ML/DC/SD/OT baselines.
 //! * [`epfis_harness`] — ground truth, the §5 error metric, figure drivers.
+//! * [`epfis_server`] — the TCP catalog + estimation service with streaming
+//!   LRU-Fit ingestion (`ANALYZE BEGIN` / `PAGE` / `COMMIT`).
 
 pub mod exec;
 pub mod pipeline;
@@ -23,4 +25,5 @@ pub use epfis_harness;
 pub use epfis_index;
 pub use epfis_lrusim;
 pub use epfis_segfit;
+pub use epfis_server;
 pub use epfis_storage;
