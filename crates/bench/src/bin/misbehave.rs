@@ -1,0 +1,70 @@
+//! A misbehaving epfis-server client, for smoke-testing the hardening
+//! layer from CI and the shell. Thin wrapper over `epfis_server::hostile`,
+//! so scripts exercise exactly the scenarios the fault-injection test
+//! suite does.
+//!
+//! ```text
+//! misbehave --scenario flood --addr HOST:PORT [--bytes N]
+//!     stream N newline-less bytes (default 8 MiB); prints how far the
+//!     flood got and the server's rejection, exits 0 iff it was rejected
+//! misbehave --scenario idle --addr HOST:PORT [--count N] [--hold-ms T]
+//!     open N silent connections (default 4) and hold them T ms
+//!     (default 2000); prints how each ended
+//! misbehave --scenario loris --addr HOST:PORT [--interval-ms T] [--max-ms T]
+//!     trickle newline-less bytes; exits 0 iff the server disconnected us
+//! ```
+
+use epfis_bench::Options;
+use epfis_server::hostile;
+use std::io::Read;
+use std::time::Duration;
+
+fn main() {
+    let opts = Options::from_env();
+    let addr = opts
+        .get_str("addr")
+        .expect("--addr HOST:PORT is required")
+        .to_string();
+    let scenario = opts
+        .get_str("scenario")
+        .expect("--scenario flood|idle|loris is required (see the doc comment in misbehave.rs)");
+    match scenario {
+        "flood" => {
+            let bytes: u64 = opts.get("bytes", 8 * 1024 * 1024u64);
+            let outcome = hostile::flood_without_newline(&addr, bytes).expect("connect");
+            println!(
+                "flood attempted={bytes} written={} disconnected={} response={:?}",
+                outcome.bytes_written, outcome.disconnected, outcome.response
+            );
+            let rejected = outcome.disconnected
+                || outcome
+                    .response
+                    .as_deref()
+                    .is_some_and(|r| r.contains("limit"));
+            std::process::exit(if rejected { 0 } else { 1 });
+        }
+        "idle" => {
+            let count: usize = opts.get("count", 4usize);
+            let hold = Duration::from_millis(opts.get("hold-ms", 2000u64));
+            let conns = hostile::hold_idle_connections(&addr, count).expect("connect");
+            std::thread::sleep(hold);
+            for (i, mut s) in conns.into_iter().enumerate() {
+                s.set_read_timeout(Some(Duration::from_millis(100))).ok();
+                let mut response = String::new();
+                let _ = s.read_to_string(&mut response);
+                println!("idle[{i}] response={:?}", response.trim_end());
+            }
+        }
+        "loris" => {
+            let interval = Duration::from_millis(opts.get("interval-ms", 50u64));
+            let max = Duration::from_millis(opts.get("max-ms", 10_000u64));
+            let outcome = hostile::slow_loris(&addr, interval, max).expect("connect");
+            println!(
+                "loris written={} disconnected={} response={:?}",
+                outcome.bytes_written, outcome.disconnected, outcome.response
+            );
+            std::process::exit(if outcome.disconnected { 0 } else { 1 });
+        }
+        other => panic!("unknown --scenario {other:?} (flood|idle|loris)"),
+    }
+}

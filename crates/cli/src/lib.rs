@@ -119,8 +119,12 @@ pub const USAGE: &str = "usage: epfis <analyze|show|fpf|estimate|plan> --catalog
             (the paper's Section 5 experiment on a captured trace: random
              partial scans, aggregate error per algorithm per buffer size)
   serve     [--addr HOST:PORT] [--catalog F] [--workers N] [--segments M]
+            [--max-line-bytes B] [--max-pending-bytes B] [--idle-timeout-ms T]
+            [--max-connections N] [--max-session-refs R]
             (long-running estimation service; prints `listening on ADDR`,
-             stops on the SHUTDOWN protocol command)
+             stops on the SHUTDOWN protocol command; the limit flags bound
+             what one client can cost the server — see docs/protocol.md,
+             \"Limits & backpressure\")
   client    --addr HOST:PORT [--send CMD]
             (one-shot with --send, otherwise reads protocol commands from
              stdin; see docs/protocol.md)
@@ -543,11 +547,23 @@ fn serve(cmd: &Command) -> Result<String, CliError> {
     if !(1..=64).contains(&segments) {
         return Err(err("--segments must be in [1, 64]"));
     }
+    let defaults = epfis_server::LimitsConfig::default();
+    let limits = epfis_server::LimitsConfig {
+        max_line_bytes: cmd.get_or("max-line-bytes", defaults.max_line_bytes)?,
+        max_pending_bytes: cmd.get_or("max-pending-bytes", defaults.max_pending_bytes)?,
+        idle_timeout: std::time::Duration::from_millis(
+            cmd.get_or("idle-timeout-ms", defaults.idle_timeout.as_millis() as u64)?,
+        ),
+        max_connections: cmd.get_or("max-connections", defaults.max_connections)?,
+        max_session_refs: cmd.get_or("max-session-refs", defaults.max_session_refs)?,
+    };
+    limits.validate().map_err(|e| err(format!("limits: {e}")))?;
     let config = epfis_server::ServerConfig {
         addr,
         workers,
         catalog_path: cmd.get::<String>("catalog")?.map(Into::into),
         epfis_config: EpfisConfig::default().with_segments(segments),
+        limits,
     };
     let server = epfis_server::serve(config).map_err(|e| err(format!("cannot serve: {e}")))?;
     // Announce the bound address immediately (port 0 resolves here) so

@@ -117,6 +117,44 @@ fn help_prints_usage_to_stdout_and_exits_zero() {
 }
 
 #[test]
+fn serve_rejects_invalid_limits_before_binding() {
+    // A line bound below the 64-byte floor.
+    let out = epfis(&["serve", "--addr", "127.0.0.1:0", "--max-line-bytes", "10"]);
+    assert_runtime_error(&out, "tiny max-line-bytes");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("limits"),
+        "{out:?}"
+    );
+
+    // A pending bound smaller than the line bound is self-contradictory.
+    let out = epfis(&[
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--max-line-bytes",
+        "65536",
+        "--max-pending-bytes",
+        "1024",
+    ]);
+    assert_runtime_error(&out, "pending below line bound");
+
+    // Non-numeric limit values fail before the server binds, like any
+    // per-command value parse (`bad value for --flag`).
+    let out = epfis(&[
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--max-connections",
+        "many",
+    ]);
+    assert_runtime_error(&out, "non-numeric max-connections");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("bad value for --max-connections"),
+        "{out:?}"
+    );
+}
+
+#[test]
 fn serve_and_client_round_trip_through_the_binary() {
     use std::io::{BufRead, BufReader, Write};
 

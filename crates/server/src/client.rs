@@ -18,6 +18,10 @@ pub enum ClientError {
     Io(std::io::Error),
     /// The server answered `ERR <message>`; the connection stays usable.
     Server(String),
+    /// The server shed this connection with `SERVER_BUSY <message>` at
+    /// admission (its concurrent-connection limit was reached); the
+    /// connection is closed — reconnect and retry later.
+    Busy(String),
     /// The response violated the `OK <n>` / `ERR` framing.
     Protocol(String),
 }
@@ -27,6 +31,7 @@ impl fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "connection error: {e}"),
             ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Busy(m) => write!(f, "server busy: {m}"),
             ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
         }
     }
@@ -62,6 +67,9 @@ impl Client {
         let status = self.read_line()?;
         if let Some(msg) = status.strip_prefix("ERR ") {
             return Err(ClientError::Server(msg.to_string()));
+        }
+        if let Some(msg) = status.strip_prefix("SERVER_BUSY") {
+            return Err(ClientError::Busy(msg.trim_start().to_string()));
         }
         let n: usize = status
             .strip_prefix("OK ")

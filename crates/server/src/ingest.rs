@@ -127,6 +127,48 @@ impl IngestSession {
         Ok(())
     }
 
+    /// Validates a whole `(key, page)` batch against the current session
+    /// state *without* mutating it: every check [`IngestSession::feed`]
+    /// would make — pages within a declared `table_pages`, no key restarting
+    /// after another key began (neither against already-fed keys nor within
+    /// the batch itself) — is simulated up front. A batch that passes cannot
+    /// fail when fed, so `PAGE` lines apply atomically: a rejected line
+    /// leaves the session exactly as it was, and the client can correct and
+    /// retry it.
+    pub fn check_batch(&self, pairs: &[(i64, u32)]) -> Result<(), String> {
+        let mut current = self.current_key;
+        let mut started_in_batch: HashSet<i64> = HashSet::new();
+        for &(key, page) in pairs {
+            if let Some(t) = self.declared_table_pages {
+                if page >= t {
+                    return Err(format!("page {page} >= declared table_pages {t}"));
+                }
+            }
+            if current != Some(key) {
+                if self.seen_keys.contains(&key) || started_in_batch.contains(&key) {
+                    return Err(format!(
+                        "key {key} appears in two separate runs (references must be in key order)"
+                    ));
+                }
+                started_in_batch.insert(key);
+                current = Some(key);
+            }
+        }
+        Ok(())
+    }
+
+    /// Feeds a whole batch atomically: validates every pair first
+    /// ([`IngestSession::check_batch`]), then applies them all. On `Err`
+    /// nothing was applied.
+    pub fn feed_batch(&mut self, pairs: &[(i64, u32)]) -> Result<(), String> {
+        self.check_batch(pairs)?;
+        for &(key, page) in pairs {
+            self.feed(key, page)
+                .expect("check_batch validated every pair");
+        }
+        Ok(())
+    }
+
     /// Seals the current run: decides the min/max cluster counter for the
     /// boundary between it and the run before it, and shifts the
     /// previous-run state forward.
@@ -264,6 +306,49 @@ mod tests {
         s.feed(3, 9).unwrap();
         assert_eq!(s.records(), 3);
         assert_eq!(s.keys(), 3);
+    }
+
+    #[test]
+    fn rejected_batch_leaves_the_session_untouched() {
+        let mut s = IngestSession::new("ix".into(), EpfisConfig::default(), Some(10));
+        s.feed_batch(&[(1, 0), (2, 1)]).unwrap();
+        assert_eq!(s.records(), 2);
+
+        // Key 1 restarting mid-batch: rejected, with the valid prefix
+        // (3, 2) NOT applied.
+        let err = s.feed_batch(&[(3, 2), (1, 5)]).unwrap_err();
+        assert!(err.contains("two separate runs"), "{err}");
+        assert_eq!(s.records(), 2);
+        assert_eq!(s.keys(), 2);
+
+        // A page beyond table_pages mid-batch: same atomicity.
+        let err = s.feed_batch(&[(3, 2), (4, 10)]).unwrap_err();
+        assert!(err.contains("table_pages"), "{err}");
+        assert_eq!(s.records(), 2);
+
+        // A key may not repeat within one batch non-contiguously either.
+        let err = s.feed_batch(&[(3, 2), (4, 3), (3, 4)]).unwrap_err();
+        assert!(err.contains("two separate runs"), "{err}");
+        assert_eq!(s.records(), 2);
+
+        // The corrected retry (reusing the same keys!) now succeeds, and
+        // the committed statistics equal a clean one-shot ingest.
+        s.feed_batch(&[(3, 2), (4, 3)]).unwrap();
+        let (stats, _) = s.commit().unwrap();
+        let mut clean = IngestSession::new("ix".into(), EpfisConfig::default(), Some(10));
+        clean.feed_batch(&[(1, 0), (2, 1), (3, 2), (4, 3)]).unwrap();
+        let (clean_stats, _) = clean.commit().unwrap();
+        assert_eq!(stats, clean_stats);
+    }
+
+    #[test]
+    fn batch_continuing_the_current_run_is_valid() {
+        let mut s = IngestSession::new("ix".into(), EpfisConfig::default(), Some(10));
+        s.feed_batch(&[(1, 0), (1, 1)]).unwrap();
+        // The open run for key 1 may continue at the head of the next batch.
+        s.feed_batch(&[(1, 2), (2, 3)]).unwrap();
+        assert_eq!(s.records(), 4);
+        assert_eq!(s.keys(), 2);
     }
 
     #[test]

@@ -17,13 +17,22 @@
 //!   behind an ingest; the catalog persists atomically (temp + fsync +
 //!   rename) and reloads on startup.
 //! * [`Metrics`] keeps per-command counters and latency histograms, served
-//!   back by `STATS`.
+//!   back by `STATS` — including the governance counters
+//!   (`limit_rejections`, `connections_shed`, `sessions_disconnected`,
+//!   bytes in/out).
+//! * [`LimitsConfig`] bounds what any single peer can cost the server:
+//!   request-line and pending-buffer bytes, an idle deadline that also
+//!   defeats slow-loris writers, an admission cap that sheds excess
+//!   connections with `SERVER_BUSY` instead of queueing them forever, and
+//!   a per-session reference cap. [`hostile`] packages the corresponding
+//!   misbehaving clients for fault-injection tests.
 //!
 //! The wire format is documented in `docs/protocol.md`; `epfis serve` and
 //! `epfis client` expose the server from the CLI.
 
 pub mod catalog;
 pub mod client;
+pub mod hostile;
 pub mod ingest;
 pub mod metrics;
 pub mod protocol;
@@ -33,5 +42,5 @@ pub use catalog::{SharedCatalog, VersionedCatalog, VersionedEntry};
 pub use client::{Client, ClientError};
 pub use ingest::IngestSession;
 pub use metrics::{CommandStats, Metrics};
-pub use protocol::{frame_err, frame_ok, parse_request, Request};
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use protocol::{frame_busy, frame_err, frame_ok, parse_request, Request};
+pub use server::{serve, LimitsConfig, ServerConfig, ServerHandle};

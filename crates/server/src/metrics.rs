@@ -80,12 +80,20 @@ impl CommandStats {
 }
 
 /// Server-wide metrics: one [`CommandStats`] per protocol command (plus an
-/// `INVALID` slot for unparseable lines) and connection counters.
+/// `INVALID` slot for unparseable lines), connection counters, and the
+/// governance counters the hardening layer maintains (limit rejections,
+/// shed connections, mid-session disconnects, wire bytes in each
+/// direction).
 #[derive(Default)]
 pub struct Metrics {
     commands: std::collections::BTreeMap<&'static str, CommandStats>,
     connections_opened: AtomicU64,
     connections_closed: AtomicU64,
+    limit_rejections: AtomicU64,
+    connections_shed: AtomicU64,
+    sessions_disconnected: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
 }
 
 impl Metrics {
@@ -96,8 +104,7 @@ impl Metrics {
                 .iter()
                 .map(|&l| (l, CommandStats::default()))
                 .collect(),
-            connections_opened: AtomicU64::new(0),
-            connections_closed: AtomicU64::new(0),
+            ..Metrics::default()
         }
     }
 
@@ -140,6 +147,58 @@ impl Metrics {
             .saturating_sub(self.connections_closed.load(Ordering::Relaxed))
     }
 
+    /// Marks one limit violation (over-long line, idle deadline, session
+    /// reference cap) that produced an `ERR limit ...` response.
+    pub fn limit_rejection(&self) {
+        self.limit_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Limit violations so far.
+    pub fn limit_rejections_total(&self) -> u64 {
+        self.limit_rejections.load(Ordering::Relaxed)
+    }
+
+    /// Marks a connection rejected with `SERVER_BUSY` at admission.
+    pub fn connection_shed(&self) {
+        self.connections_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections shed with `SERVER_BUSY` so far.
+    pub fn connections_shed_total(&self) -> u64 {
+        self.connections_shed.load(Ordering::Relaxed)
+    }
+
+    /// Marks a connection that ended while an `ANALYZE` session was still
+    /// open (its uncommitted references were discarded).
+    pub fn session_disconnected(&self) {
+        self.sessions_disconnected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Mid-session disconnects so far.
+    pub fn sessions_disconnected_total(&self) -> u64 {
+        self.sessions_disconnected.load(Ordering::Relaxed)
+    }
+
+    /// Adds `n` bytes read off client sockets.
+    pub fn add_bytes_in(&self, n: u64) {
+        self.bytes_in.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total bytes read off client sockets.
+    pub fn bytes_in_total(&self) -> u64 {
+        self.bytes_in.load(Ordering::Relaxed)
+    }
+
+    /// Adds `n` bytes written to client sockets.
+    pub fn add_bytes_out(&self, n: u64) {
+        self.bytes_out.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total bytes written to client sockets.
+    pub fn bytes_out_total(&self) -> u64 {
+        self.bytes_out.load(Ordering::Relaxed)
+    }
+
     /// Renders the `STATS` data lines: global counters first, then one line
     /// per command that has been used, in label order.
     pub fn render(&self, uptime_secs: u64, epoch: u64, entries: usize) -> Vec<String> {
@@ -147,6 +206,14 @@ impl Metrics {
             format!("uptime_seconds {uptime_secs}"),
             format!("connections_total {}", self.connections_opened_total()),
             format!("connections_active {}", self.connections_active()),
+            format!("connections_shed {}", self.connections_shed_total()),
+            format!("limit_rejections {}", self.limit_rejections_total()),
+            format!(
+                "sessions_disconnected {}",
+                self.sessions_disconnected_total()
+            ),
+            format!("bytes_in {}", self.bytes_in_total()),
+            format!("bytes_out {}", self.bytes_out_total()),
             format!("catalog_epoch {epoch}"),
             format!("catalog_entries {entries}"),
         ];
@@ -215,5 +282,32 @@ mod tests {
     #[should_panic(expected = "unregistered")]
     fn unknown_label_panics() {
         Metrics::new(&["A"]).record("NOPE", 1, false);
+    }
+
+    #[test]
+    fn governance_counters_render_exactly() {
+        let m = Metrics::new(&[]);
+        m.limit_rejection();
+        m.limit_rejection();
+        m.connection_shed();
+        m.session_disconnected();
+        m.add_bytes_in(100);
+        m.add_bytes_in(23);
+        m.add_bytes_out(7);
+        assert_eq!(m.limit_rejections_total(), 2);
+        assert_eq!(m.connections_shed_total(), 1);
+        assert_eq!(m.sessions_disconnected_total(), 1);
+        assert_eq!(m.bytes_in_total(), 123);
+        assert_eq!(m.bytes_out_total(), 7);
+        let lines = m.render(0, 0, 0);
+        for expect in [
+            "connections_shed 1",
+            "limit_rejections 2",
+            "sessions_disconnected 1",
+            "bytes_in 123",
+            "bytes_out 7",
+        ] {
+            assert!(lines.iter().any(|l| l == expect), "{expect}: {lines:?}");
+        }
     }
 }

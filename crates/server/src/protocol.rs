@@ -4,9 +4,17 @@
 //! are framed so a client never has to guess where one ends:
 //!
 //! ```text
-//! OK <n>\n        followed by exactly n data lines, or
-//! ERR <message>\n a single line (the message never contains a newline).
+//! OK <n>\n          followed by exactly n data lines,
+//! ERR <message>\n   a single line (the message never contains a newline), or
+//! SERVER_BUSY <m>\n a single line, sent only at admission when the server
+//!                   sheds the connection; the socket closes right after.
 //! ```
+//!
+//! `ERR` messages that begin with the word `limit` form the resource-limit
+//! family (`ERR limit line ...`, `ERR limit idle ...`,
+//! `ERR limit session-refs ...`): the server counted them under the
+//! `limit_rejections` metric, and for line/idle violations it closes the
+//! connection after the response.
 //!
 //! Floating-point values in responses use Rust's shortest round-tripping
 //! decimal representation (`{}`), so a client that parses a served estimate
@@ -252,6 +260,13 @@ pub fn frame_err(message: &str) -> String {
     format!("ERR {}\n", message.replace(['\n', '\r'], " "))
 }
 
+/// Frames the admission-shed response, flattening any embedded newlines.
+/// Sent instead of serving a connection when the server is at its
+/// concurrent-connection limit; the connection closes right after.
+pub fn frame_busy(message: &str) -> String {
+    format!("SERVER_BUSY {}\n", message.replace(['\n', '\r'], " "))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -375,5 +390,9 @@ mod tests {
             "OK 2\na\nb c\n"
         );
         assert_eq!(frame_err("multi\nline"), "ERR multi line\n");
+        assert_eq!(
+            frame_busy("4 busy\nworkers"),
+            "SERVER_BUSY 4 busy workers\n"
+        );
     }
 }

@@ -23,20 +23,98 @@
 use crate::catalog::SharedCatalog;
 use crate::ingest::IngestSession;
 use crate::metrics::Metrics;
-use crate::protocol::{frame_err, frame_ok, parse_request, Request};
+use crate::protocol::{frame_busy, frame_err, frame_ok, parse_request, Request};
 use epfis::{EpfisConfig, ScanQuery};
 use epfis_estimators::{
     DcEstimator, MlEstimator, OtEstimator, PageFetchEstimator, ScanParams, SdEstimator,
 };
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// How often an idle connection re-checks the shutdown flag.
+/// How often an idle connection re-checks the shutdown flag and its idle
+/// deadline.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Per-connection and server-wide resource limits.
+///
+/// Every limit exists because one misbehaving peer must not be able to
+/// grow server memory or starve other clients: `max_line_bytes` bounds how
+/// much a newline-less flood can buffer, `idle_timeout` reclaims workers
+/// from connections that stop sending complete requests (including
+/// slow-loris writers that trickle bytes but never finish a line),
+/// `max_connections` sheds admissions with `SERVER_BUSY` instead of
+/// queueing them behind a saturated worker pool, and `max_session_refs`
+/// caps what a single `ANALYZE` session may accumulate. Violations answer
+/// in the `ERR limit ...` / `SERVER_BUSY` response family and are counted
+/// by [`Metrics::limit_rejections_total`] /
+/// [`Metrics::connections_shed_total`].
+#[derive(Debug, Clone, Copy)]
+pub struct LimitsConfig {
+    /// Longest accepted request line in bytes (default 1 MiB). A line that
+    /// grows past this answers `ERR limit line ...` and the connection
+    /// closes, so a flood without a newline reads at most this many bytes
+    /// (plus one read chunk) before being dropped.
+    pub max_line_bytes: usize,
+    /// Cap on a connection's buffered-but-unconsumed bytes (default 2 MiB;
+    /// must be at least `max_line_bytes`). The read loop only buffers while
+    /// no complete line is pending, so this is a belt-and-braces bound on
+    /// per-connection read memory.
+    pub max_pending_bytes: usize,
+    /// How long a connection may go without completing a request line
+    /// before it is disconnected with `ERR limit idle ...`
+    /// (default 300 s; `Duration::ZERO` disables). Measured from the last
+    /// *complete* line, so trickling single bytes does not reset it.
+    pub idle_timeout: Duration,
+    /// Maximum concurrently admitted connections; a fresh connection beyond
+    /// this is answered `SERVER_BUSY` and closed immediately instead of
+    /// queueing forever behind busy workers (default 0 = 4 × workers).
+    pub max_connections: usize,
+    /// Maximum references one `ANALYZE` session may accumulate; a `PAGE`
+    /// batch that would exceed it answers `ERR limit session-refs ...` and
+    /// leaves the session untouched (default 100 M; 0 disables).
+    pub max_session_refs: u64,
+}
+
+impl Default for LimitsConfig {
+    fn default() -> Self {
+        LimitsConfig {
+            max_line_bytes: 1 << 20,
+            max_pending_bytes: 2 << 20,
+            idle_timeout: Duration::from_secs(300),
+            max_connections: 0,
+            max_session_refs: 100_000_000,
+        }
+    }
+}
+
+impl LimitsConfig {
+    /// Checks internal consistency; [`serve`] rejects an invalid config
+    /// before binding.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_line_bytes < 64 {
+            return Err("max_line_bytes must be at least 64".into());
+        }
+        if self.max_pending_bytes < self.max_line_bytes {
+            return Err("max_pending_bytes must be >= max_line_bytes".into());
+        }
+        Ok(())
+    }
+
+    /// Resolved admission cap: the explicit setting, else four connections
+    /// per worker (so short-lived clients can queue briefly, but a pile-up
+    /// is shed rather than growing without bound).
+    pub fn effective_max_connections(&self, workers: usize) -> usize {
+        if self.max_connections > 0 {
+            self.max_connections
+        } else {
+            workers.saturating_mul(4).max(1)
+        }
+    }
+}
 
 /// Server construction options.
 #[derive(Debug, Clone)]
@@ -49,6 +127,8 @@ pub struct ServerConfig {
     pub catalog_path: Option<PathBuf>,
     /// Default LRU-Fit configuration for `ANALYZE` sessions.
     pub epfis_config: EpfisConfig,
+    /// Resource limits and connection-governance knobs.
+    pub limits: LimitsConfig,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +138,7 @@ impl Default for ServerConfig {
             workers: 0,
             catalog_path: None,
             epfis_config: EpfisConfig::default(),
+            limits: LimitsConfig::default(),
         }
     }
 }
@@ -81,6 +162,12 @@ struct Shared {
     metrics: Metrics,
     shutdown: AtomicBool,
     config: EpfisConfig,
+    limits: LimitsConfig,
+    /// Connections admitted (accepted and not shed) and not yet finished;
+    /// compared against the admission cap by the accept loop.
+    admitted: AtomicUsize,
+    /// Resolved admission cap ([`LimitsConfig::effective_max_connections`]).
+    max_connections: usize,
     started: Instant,
     addr: SocketAddr,
 }
@@ -89,7 +176,18 @@ impl Shared {
     fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // Poke the (blocking) accept loop awake so it observes the flag.
-        let _ = TcpStream::connect(self.addr);
+        // The listener may be bound to an unspecified address
+        // (0.0.0.0 / ::), which is not connectable on every platform, so
+        // aim the poke at the loopback address on the same port.
+        let mut poke = self.addr;
+        if poke.ip().is_unspecified() {
+            poke.set_ip(if poke.is_ipv4() {
+                IpAddr::V4(Ipv4Addr::LOCALHOST)
+            } else {
+                IpAddr::V6(Ipv6Addr::LOCALHOST)
+            });
+        }
+        let _ = TcpStream::connect_timeout(&poke, Duration::from_millis(500));
     }
 }
 
@@ -149,24 +247,32 @@ impl Drop for ServerHandle {
 /// Returns once the listener is bound and the worker pool is running; the
 /// returned handle stops the server on drop.
 pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    config
+        .limits
+        .validate()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let catalog = match &config.catalog_path {
         Some(p) => SharedCatalog::open(p)?,
         None => SharedCatalog::in_memory(),
     };
+    let workers_n = config.effective_workers();
     let shared = Arc::new(Shared {
         catalog,
         metrics: Metrics::new(Request::LABELS),
         shutdown: AtomicBool::new(false),
         config: config.epfis_config,
+        limits: config.limits,
+        admitted: AtomicUsize::new(0),
+        max_connections: config.limits.effective_max_connections(workers_n),
         started: Instant::now(),
         addr,
     });
 
     let (tx, rx) = mpsc::channel::<TcpStream>();
     let rx = Arc::new(Mutex::new(rx));
-    let workers: Vec<_> = (0..config.effective_workers())
+    let workers: Vec<_> = (0..workers_n)
         .map(|i| {
             let rx = rx.clone();
             let shared = shared.clone();
@@ -178,7 +284,10 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
                         guard.recv()
                     };
                     match stream {
-                        Ok(s) => handle_connection(s, &shared),
+                        Ok(s) => {
+                            handle_connection(s, &shared);
+                            shared.admitted.fetch_sub(1, Ordering::SeqCst);
+                        }
                         Err(_) => return, // channel closed: accept loop ended
                     }
                 })
@@ -196,6 +305,15 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
                         break;
                     }
                     if let Ok(s) = stream {
+                        // Admission control: beyond the connection cap a
+                        // fresh peer is shed with SERVER_BUSY right here,
+                        // instead of queueing (possibly forever) behind a
+                        // saturated worker pool.
+                        if shared.admitted.load(Ordering::SeqCst) >= shared.max_connections {
+                            shed_connection(s, &shared);
+                            continue;
+                        }
+                        shared.admitted.fetch_add(1, Ordering::SeqCst);
                         // A send can only fail once workers are gone, which
                         // only happens at shutdown.
                         if tx.send(s).is_err() {
@@ -215,8 +333,42 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
     })
 }
 
+/// Rejects a connection at admission: writes one `SERVER_BUSY` line (with a
+/// short timeout, so a peer that never reads cannot stall the accept loop)
+/// and drops the socket.
+fn shed_connection(stream: TcpStream, shared: &Shared) {
+    shared.metrics.connection_shed();
+    let response = frame_busy(&format!(
+        "{} connections active (limit {}); retry later",
+        shared.admitted.load(Ordering::SeqCst),
+        shared.max_connections
+    ));
+    let mut stream = stream;
+    if stream
+        .set_write_timeout(Some(Duration::from_millis(250)))
+        .is_ok()
+        && stream.write_all(response.as_bytes()).is_ok()
+    {
+        shared.metrics.add_bytes_out(response.len() as u64);
+    }
+}
+
+/// Why [`LineReader::read_line`] returned without a request line.
+enum ReadOutcome {
+    /// One complete request line (newline stripped).
+    Line(String),
+    /// Peer closed, transport error, or server shutdown: just hang up.
+    Closed,
+    /// No complete line arrived within the idle deadline (covers both
+    /// silent peers and slow-loris writers that trickle bytes forever).
+    IdleTimeout,
+    /// The line under construction exceeded the byte limit.
+    LineTooLong,
+}
+
 /// Reads newline-terminated lines from a stream with a poll timeout, so the
-/// worker can notice the shutdown flag while a connection sits idle.
+/// worker can notice the shutdown flag while a connection sits idle, and
+/// with the [`LimitsConfig`] byte/idle bounds enforced.
 struct LineReader {
     stream: TcpStream,
     pending: Vec<u8>,
@@ -231,38 +383,74 @@ impl LineReader {
         })
     }
 
-    /// Next line (without the newline), or `None` on EOF / shutdown.
-    fn read_line(&mut self, shutdown: &AtomicBool) -> Option<String> {
+    /// Next request line or the reason there is none.
+    ///
+    /// The idle deadline restarts on every call — i.e. it measures time
+    /// since the previous *complete* line, so a peer cannot hold a worker
+    /// by trickling newline-less bytes. Bytes read are counted into
+    /// [`Metrics`]; the pending buffer is bounded by
+    /// `max(max_line_bytes + one read chunk, max_pending_bytes)`.
+    fn read_line(&mut self, shared: &Shared) -> ReadOutcome {
+        let limits = &shared.limits;
+        let deadline =
+            (limits.idle_timeout > Duration::ZERO).then(|| Instant::now() + limits.idle_timeout);
         let mut buf = [0u8; 4096];
         loop {
             if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+                if pos > limits.max_line_bytes {
+                    return ReadOutcome::LineTooLong;
+                }
                 let mut line: Vec<u8> = self.pending.drain(..=pos).collect();
                 line.pop(); // the newline
                 if line.last() == Some(&b'\r') {
                     line.pop();
                 }
-                return Some(String::from_utf8_lossy(&line).into_owned());
+                return ReadOutcome::Line(String::from_utf8_lossy(&line).into_owned());
+            }
+            if self.pending.len() > limits.max_line_bytes {
+                return ReadOutcome::LineTooLong;
             }
             match self.stream.read(&mut buf) {
-                Ok(0) => return None,
-                Ok(n) => self.pending.extend_from_slice(&buf[..n]),
+                Ok(0) => return ReadOutcome::Closed,
+                Ok(n) => {
+                    if self.pending.len() + n > limits.max_pending_bytes {
+                        return ReadOutcome::LineTooLong;
+                    }
+                    shared.metrics.add_bytes_in(n as u64);
+                    self.pending.extend_from_slice(&buf[..n]);
+                }
                 Err(e)
                     if e.kind() == std::io::ErrorKind::WouldBlock
                         || e.kind() == std::io::ErrorKind::TimedOut =>
                 {
-                    if shutdown.load(Ordering::SeqCst) {
-                        return None;
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return ReadOutcome::Closed;
+                    }
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        return ReadOutcome::IdleTimeout;
                     }
                 }
-                Err(_) => return None,
+                Err(_) => return ReadOutcome::Closed,
             }
         }
+    }
+}
+
+/// Writes a response, counting the bytes into [`Metrics`]. Returns whether
+/// the write succeeded (a failure means the connection is gone).
+fn send_response(writer: &mut TcpStream, response: &str, shared: &Shared) -> bool {
+    if writer.write_all(response.as_bytes()).is_ok() {
+        shared.metrics.add_bytes_out(response.len() as u64);
+        true
+    } else {
+        false
     }
 }
 
 /// Serves one connection to completion.
 fn handle_connection(stream: TcpStream, shared: &Shared) {
     shared.metrics.connection_opened();
+    let mut session: Option<IngestSession> = None;
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => {
@@ -270,16 +458,47 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             return;
         }
     };
-    let mut reader = match LineReader::new(stream) {
-        Ok(r) => r,
-        Err(_) => {
-            shared.metrics.connection_closed();
-            return;
-        }
-    };
-    let mut session: Option<IngestSession> = None;
+    if let Ok(mut reader) = LineReader::new(stream) {
+        serve_lines(&mut reader, &mut writer, shared, &mut session);
+    }
+    if session.is_some() {
+        // The connection ended (EOF, error, limit, shutdown) with an
+        // ANALYZE session still open: its references are discarded.
+        shared.metrics.session_disconnected();
+    }
+    shared.metrics.connection_closed();
+}
 
-    while let Some(line) = reader.read_line(&shared.shutdown) {
+/// The per-connection request loop; returns when the connection is done.
+fn serve_lines(
+    reader: &mut LineReader,
+    writer: &mut TcpStream,
+    shared: &Shared,
+    session: &mut Option<IngestSession>,
+) {
+    loop {
+        let line = match reader.read_line(shared) {
+            ReadOutcome::Line(line) => line,
+            ReadOutcome::Closed => return,
+            ReadOutcome::IdleTimeout => {
+                shared.metrics.limit_rejection();
+                let msg = format!(
+                    "limit idle: no complete request within {}s; closing connection",
+                    shared.limits.idle_timeout.as_secs_f64()
+                );
+                send_response(writer, &frame_err(&msg), shared);
+                return;
+            }
+            ReadOutcome::LineTooLong => {
+                shared.metrics.limit_rejection();
+                let msg = format!(
+                    "limit line: request line exceeds {} bytes; closing connection",
+                    shared.limits.max_line_bytes
+                );
+                send_response(writer, &frame_err(&msg), shared);
+                return;
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -288,13 +507,13 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             Ok(req) => {
                 let label = req.label();
                 let is_shutdown = matches!(req, Request::Shutdown);
-                let result = execute(req, shared, &mut session);
+                let result = execute(req, shared, session);
                 if let (true, Ok(lines)) = (is_shutdown, &result) {
                     let micros = start.elapsed().as_micros() as u64;
                     shared.metrics.record(label, micros, false);
-                    let _ = writer.write_all(frame_ok(lines).as_bytes());
+                    send_response(writer, &frame_ok(lines), shared);
                     shared.request_shutdown();
-                    break;
+                    return;
                 }
                 (label, result)
             }
@@ -303,14 +522,20 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         let micros = start.elapsed().as_micros() as u64;
         let response = match &result {
             Ok(lines) => frame_ok(lines),
-            Err(msg) => frame_err(msg),
+            Err(msg) => {
+                // Errors in the resource-limit family (`ERR limit ...`)
+                // count toward the limit_rejections metric.
+                if msg.starts_with("limit ") {
+                    shared.metrics.limit_rejection();
+                }
+                frame_err(msg)
+            }
         };
         shared.metrics.record(label, micros, result.is_err());
-        if writer.write_all(response.as_bytes()).is_err() {
-            break;
+        if !send_response(writer, &response, shared) {
+            return;
         }
     }
-    shared.metrics.connection_closed();
 }
 
 /// Executes one parsed request against the shared state, returning response
@@ -455,9 +680,18 @@ fn execute(
             let open = session
                 .as_mut()
                 .ok_or("no open session (send ANALYZE BEGIN first)")?;
-            for (key, page) in pairs {
-                open.feed(key, page)?;
+            let cap = shared.limits.max_session_refs;
+            if cap > 0 && open.records().saturating_add(pairs.len() as u64) > cap {
+                return Err(format!(
+                    "limit session-refs: session holds {} references and the batch adds {}, \
+                     exceeding the {cap} cap (COMMIT or ABORT first)",
+                    open.records(),
+                    pairs.len()
+                ));
             }
+            // Batches apply atomically: a rejected line leaves the session
+            // untouched, so the client can correct and resend it.
+            open.feed_batch(&pairs)?;
             Ok(vec![format!("fed {}", open.records())])
         }
         Request::AnalyzeCommit => {

@@ -1,0 +1,107 @@
+//! Property tests for the wire layer: the parser must never panic on any
+//! input (a hostile peer controls every byte of a request line), and the
+//! `OK`/`ERR` framing must stay in sync for arbitrary data.
+
+use epfis_server::{frame_err, frame_ok, parse_request};
+use proptest::prelude::*;
+
+/// Arbitrary bytes decoded the way the server decodes them (lossy UTF-8).
+fn wire_line() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u8>(), 0..300)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+/// Printable-ish lines biased toward almost-valid commands, to exercise the
+/// deeper parse branches (numbers, options, subcommands).
+fn command_like_line() -> impl Strategy<Value = String> {
+    (
+        prop_oneof![
+            Just("PING"),
+            Just("ESTIMATE"),
+            Just("FPF"),
+            Just("COMPARE"),
+            Just("ANALYZE"),
+            Just("PAGE"),
+            Just("STATS"),
+            Just("estimate"),
+            Just("BEGIN"),
+        ],
+        prop::collection::vec(
+            prop_oneof![
+                Just("ix".to_string()),
+                Just("BEGIN".to_string()),
+                Just("0.5".to_string()),
+                Just("-3".to_string()),
+                Just("99999999999999999999".to_string()),
+                Just("NaN".to_string()),
+                Just("segments=0".to_string()),
+                Just("table_pages=x".to_string()),
+                Just("=".to_string()),
+                Just("\u{7f}".to_string()),
+            ],
+            0..6,
+        ),
+    )
+        .prop_map(|(cmd, toks)| {
+            let mut line = cmd.to_string();
+            for t in toks {
+                line.push(' ');
+                line.push_str(&t);
+            }
+            line
+        })
+}
+
+proptest! {
+    /// The parser is total: any byte sequence yields Ok or Err, never a
+    /// panic, and error messages stay single-line (so `frame_err` cannot
+    /// desync the framing).
+    #[test]
+    fn parse_request_never_panics(line in wire_line()) {
+        if let Err(msg) = parse_request(&line) {
+            let framed = frame_err(&msg);
+            prop_assert!(framed.starts_with("ERR "));
+            prop_assert_eq!(framed.matches('\n').count(), 1);
+            prop_assert!(framed.ends_with('\n'));
+        }
+    }
+
+    #[test]
+    fn parse_request_never_panics_on_command_like_input(line in command_like_line()) {
+        let _ = parse_request(&line);
+    }
+
+    /// `frame_ok` round-trips: the count header matches the number of data
+    /// lines exactly, and every data line comes back verbatim.
+    #[test]
+    fn frame_ok_count_stays_in_sync(raw in prop::collection::vec(wire_line(), 0..20)) {
+        // Data lines are newline-free by contract; responses are built from
+        // single-line formatting, so sanitize the generated ones the same way.
+        let lines: Vec<String> = raw
+            .iter()
+            .map(|l| l.replace(['\n', '\r'], " "))
+            .collect();
+        let framed = frame_ok(&lines);
+        let mut parts = framed.split('\n');
+        let header = parts.next().unwrap();
+        let n: usize = header.strip_prefix("OK ").unwrap().parse().unwrap();
+        prop_assert_eq!(n, lines.len());
+        let data: Vec<&str> = parts.collect();
+        // split('\n') leaves one trailing empty piece after the final newline.
+        prop_assert_eq!(data.len(), n + 1);
+        prop_assert_eq!(data[n], "");
+        for (got, want) in data.iter().zip(&lines) {
+            prop_assert_eq!(*got, want.as_str());
+        }
+    }
+
+    /// `frame_err` flattens any embedded newlines into one response line.
+    #[test]
+    fn frame_err_always_emits_one_line(msg in wire_line()) {
+        let framed = frame_err(&msg);
+        prop_assert!(framed.starts_with("ERR "));
+        prop_assert!(framed.ends_with('\n'));
+        prop_assert_eq!(framed.matches('\n').count(), 1);
+        prop_assert!(!framed.trim_end_matches('\n').contains('\r'));
+    }
+}
