@@ -8,11 +8,13 @@
 //!
 //! Each phase calls the same figure drivers as `repro_all --quick 1` (at the
 //! same quick-scale parameters) but discards the artifacts — only wall-clock
-//! matters here. The output (default `BENCH_PR2.json`) records per-phase
-//! seconds, analyzer references/second on Zipf and sequential traces, and
+//! matters here. The output (default `BENCH_PR5.json`) records per-phase
+//! seconds, analyzer references/second on Zipf and sequential traces,
 //! `epfis-server` loopback throughput (streaming ingest references/second,
-//! single- and multi-connection estimates/second), so perf changes can be
-//! compared across commits and thread counts.
+//! single- and multi-connection estimates/second), and an `obs` section
+//! comparing ingest with full telemetry (debug logger + `/metrics`
+//! endpoint) against the default server, so perf changes can be compared
+//! across commits and thread counts.
 
 use epfis::EpfisConfig;
 use epfis_bench::Options;
@@ -43,7 +45,7 @@ fn analyzer_rate(trace: &[u32]) -> f64 {
 fn main() {
     let opts = Options::from_env();
     opts.init_threads();
-    let out = opts.get_str("out").unwrap_or("BENCH_PR2.json").to_string();
+    let out = opts.get_str("out").unwrap_or("BENCH_PR5.json").to_string();
     let seed: u64 = opts.get("seed", figures::DEFAULT_SEED);
 
     // The same quick-scale parameters repro_all uses with --quick 1.
@@ -149,6 +151,18 @@ fn main() {
         loopback::estimate_rate(addr, "bench.ix", multi_connections, estimates_per_conn);
     server.shutdown_and_join();
 
+    // Observability overhead: the same ingest against a server running with
+    // every telemetry feature on (debug-level structured logger plus the
+    // `/metrics` HTTP endpoint). Metric counters themselves are
+    // unconditional, so the default-server rate above already includes
+    // them; this isolates what the *optional* layers add.
+    let (observed_server, observed_addr) = loopback::start_observed_server();
+    let observed_ingest_refs_per_sec =
+        loopback::ingest_rate(observed_addr, "bench.ix", &scan, 2_000);
+    observed_server.shutdown_and_join();
+    let obs_overhead_percent =
+        100.0 * (1.0 - observed_ingest_refs_per_sec / ingest_refs_per_sec.max(1e-9));
+
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"threads\": {},\n", epfis_par::threads()));
     json.push_str(&format!("  \"seed\": {seed},\n"));
@@ -186,6 +200,13 @@ fn main() {
     json.push_str(&format!(
         "    \"connections\": {multi_connections},\n    \
          \"multi_connection_estimates_per_sec\": {multi_conn_rate:.0}\n"
+    ));
+    json.push_str("  },\n");
+    json.push_str("  \"obs\": {\n");
+    json.push_str(&format!(
+        "    \"ingest_refs_per_sec_default\": {ingest_refs_per_sec:.0},\n    \
+         \"ingest_refs_per_sec_full_telemetry\": {observed_ingest_refs_per_sec:.0},\n    \
+         \"telemetry_overhead_percent\": {obs_overhead_percent:.2}\n"
     ));
     json.push_str("  }\n}\n");
 

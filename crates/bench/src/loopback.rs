@@ -10,9 +10,28 @@ use std::time::Instant;
 /// References per `PAGE` line — large batches amortize the per-line framing.
 pub const PAGE_BATCH: usize = 256;
 
-/// Starts an in-memory loopback server sized for benchmarking.
+/// Starts an in-memory loopback server sized for benchmarking. Metric
+/// counters are always on (they are unconditional atomics); the structured
+/// logger and the HTTP exposition endpoint are off, as in a default deploy.
 pub fn start_server() -> (ServerHandle, SocketAddr) {
     let server = serve(ServerConfig::default()).expect("bind loopback server");
+    let addr = server.addr();
+    (server, addr)
+}
+
+/// Starts a loopback server with every observability feature enabled: a
+/// debug-level structured logger (ring buffer, no sinks) and the `/metrics`
+/// HTTP endpoint. The spread between this and [`start_server`] is the
+/// worst-case telemetry overhead `bench_summary` records.
+pub fn start_observed_server() -> (ServerHandle, SocketAddr) {
+    let server = serve(ServerConfig {
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        logger: Some(std::sync::Arc::new(epfis_obs::Logger::new(Some(
+            epfis_obs::Level::Debug,
+        )))),
+        ..ServerConfig::default()
+    })
+    .expect("bind observed loopback server");
     let addr = server.addr();
     (server, addr)
 }

@@ -9,6 +9,7 @@
 //! epfis show     --catalog cat.txt                 # list catalog entries
 //! epfis fpf      --catalog cat.txt --name t.k      # print the stored curve
 //! epfis estimate --catalog cat.txt --name t.k --sigma 0.1 --buffer 500 [--sargable 0.5]
+//! epfis explain  --catalog cat.txt --name t.k --sigma 0.1 --buffer 500
 //! epfis plan     --catalog cat.txt --name t.k --sigma 0.1 --buffer 500
 //! ```
 //!
@@ -111,6 +112,11 @@ pub const USAGE: &str = "usage: epfis <analyze|show|fpf|estimate|plan> --catalog
   show      --catalog F
   fpf       --catalog F --name NAME [--points P]
   estimate  --catalog F --name NAME --sigma S --buffer B [--sargable X]
+  explain   --catalog F --name NAME --sigma S --buffer B [--sargable X]
+            (the same estimate plus the full Est-IO decision trace: FPF
+             segment, clamp, small-sigma correction, sargable reduction;
+             with --addr HOST:PORT instead of --catalog the trace comes
+             from a running server via EXPLAIN ESTIMATE)
   plan      --catalog F --name NAME --sigma S --buffer B [--sargable X]
   compare   --trace FILE [--table-pages T] [--points P]
             (full-scan fetches: exact LRU simulation vs EPFIS/ML/DC/SD/OT,
@@ -121,10 +127,16 @@ pub const USAGE: &str = "usage: epfis <analyze|show|fpf|estimate|plan> --catalog
   serve     [--addr HOST:PORT] [--catalog F] [--workers N] [--segments M]
             [--max-line-bytes B] [--max-pending-bytes B] [--idle-timeout-ms T]
             [--max-connections N] [--max-session-refs R]
+            [--metrics-addr HOST:PORT] [--log-level L] [--log-format human|json]
+            [--log-file F]
             (long-running estimation service; prints `listening on ADDR`,
              stops on the SHUTDOWN protocol command; the limit flags bound
              what one client can cost the server — see docs/protocol.md,
-             \"Limits & backpressure\")
+             \"Limits & backpressure\". --metrics-addr adds an HTTP endpoint
+             serving /metrics, /healthz, and /events and prints `metrics on
+             ADDR`; --log-level trace|debug|info|warn|error|off enables
+             structured events on stderr, --log-file appends them as JSON
+             lines — see docs/observability.md)
   client    --addr HOST:PORT [--send CMD]
             (one-shot with --send, otherwise reads protocol commands from
              stdin; see docs/protocol.md)
@@ -203,6 +215,7 @@ pub fn is_known_command(name: &str) -> bool {
             | "show"
             | "fpf"
             | "estimate"
+            | "explain"
             | "plan"
             | "compare"
             | "bench"
@@ -221,6 +234,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
         "show" => show(cmd),
         "fpf" => fpf(cmd),
         "estimate" => estimate(cmd),
+        "explain" => explain(cmd),
         "plan" => plan(cmd),
         "compare" => compare(cmd),
         "bench" => bench(cmd),
@@ -407,6 +421,71 @@ fn estimate(cmd: &Command) -> Result<String, CliError> {
     ))
 }
 
+/// Step headings for the wire trace records (`docs/protocol.md`, "EXPLAIN
+/// ESTIMATE"). Unknown record keys render under their own name so a newer
+/// server's extra records still show up instead of being dropped.
+fn explain_heading(key: &str) -> &str {
+    match key {
+        "entry" => "catalog entry",
+        "input" => "query",
+        "stats" => "statistics",
+        "fpf" => "step 4: FPF lookup",
+        "scaled" => "step 5: sigma scaling",
+        "correction" => "step 6: small-sigma correction",
+        "sargable" => "step 7: sargable reduction",
+        "value" => "final estimate",
+        other => other,
+    }
+}
+
+/// Renders `EXPLAIN ESTIMATE` wire lines (or a locally produced
+/// [`epfis::explain::EstimateTrace::wire_lines`]) for humans: the estimate
+/// first — byte-identical to what `estimate` prints — then one labelled
+/// line per Est-IO decision record.
+pub fn render_explain(lines: &[String]) -> Result<String, CliError> {
+    let value = lines.first().ok_or_else(|| err("empty EXPLAIN response"))?;
+    let mut out = format!("estimated page fetches = {value}\n");
+    for line in &lines[1..] {
+        let (key, rest) = line.split_once(' ').unwrap_or((line.as_str(), ""));
+        out.push_str(&format!("  {:<30} {}\n", explain_heading(key), rest));
+    }
+    out.pop();
+    Ok(out)
+}
+
+fn explain(cmd: &Command) -> Result<String, CliError> {
+    if let Some(addr) = cmd.get::<String>("addr")? {
+        // Remote mode: ask a running server, which also names the catalog
+        // epoch the estimate came from.
+        let name: String = cmd.require("name")?;
+        let sigma: f64 = cmd.require("sigma")?;
+        let buffer: u64 = cmd.require("buffer")?;
+        let mut request = format!("EXPLAIN ESTIMATE {name} {sigma} {buffer}");
+        if let Some(sargable) = cmd.get::<f64>("sargable")? {
+            request.push_str(&format!(" {sargable}"));
+        }
+        let mut client = epfis_server::Client::connect(&addr)
+            .map_err(|e| err(format!("cannot connect to {addr}: {e}")))?;
+        let lines = client.request(&request).map_err(|e| err(e.to_string()))?;
+        return render_explain(&lines);
+    }
+    // Local mode: same validation and arithmetic as `estimate`, plus the
+    // decision trace (the traced value is bit-identical by construction).
+    let (catalog, _) = load_catalog(cmd, true)?;
+    let (_, stats) = entry(&catalog, cmd)?;
+    let sigma: f64 = cmd.require("sigma")?;
+    let buffer: u64 = cmd.require("buffer")?;
+    let sargable: f64 = cmd.get_or("sargable", 1.0)?;
+    if !(0.0..=1.0).contains(&sigma) || !(0.0..=1.0).contains(&sargable) {
+        return Err(err("selectivities must be in [0, 1]"));
+    }
+    if buffer == 0 {
+        return Err(err("--buffer must be at least 1"));
+    }
+    let q = ScanQuery::range(sigma, buffer).with_sargable(sargable);
+    render_explain(&stats.estimate_traced(&q).wire_lines())
+}
+
 fn plan(cmd: &Command) -> Result<String, CliError> {
     let (catalog, _) = load_catalog(cmd, true)?;
     let (name, stats) = entry(&catalog, cmd)?;
@@ -564,14 +643,49 @@ fn serve(cmd: &Command) -> Result<String, CliError> {
         catalog_path: cmd.get::<String>("catalog")?.map(Into::into),
         epfis_config: EpfisConfig::default().with_segments(segments),
         limits,
+        metrics_addr: cmd.get::<String>("metrics-addr")?,
+        logger: serve_logger(cmd)?,
     };
     let server = epfis_server::serve(config).map_err(|e| err(format!("cannot serve: {e}")))?;
-    // Announce the bound address immediately (port 0 resolves here) so
-    // scripts can connect; the command then blocks until SHUTDOWN.
+    // Announce the bound addresses immediately (port 0 resolves here) so
+    // scripts can connect and scrape; the command then blocks until
+    // SHUTDOWN.
     println!("listening on {}", server.addr());
+    if let Some(metrics) = server.metrics_addr() {
+        println!("metrics on {metrics}");
+    }
     std::io::stdout().flush().ok();
     server.join();
     Ok("server stopped".to_string())
+}
+
+/// Builds the structured-event logger for `epfis serve` from `--log-level`
+/// (default `info` once any logging flag appears), `--log-format` (stderr
+/// encoding), and `--log-file` (JSON lines, appended). Returns `None` — the
+/// zero-cost disabled logger — when no logging flag is given.
+fn serve_logger(cmd: &Command) -> Result<Option<std::sync::Arc<epfis_obs::Logger>>, CliError> {
+    let level_flag = cmd.get::<String>("log-level")?;
+    let format_flag = cmd.get::<String>("log-format")?;
+    let file_flag = cmd.get::<String>("log-file")?;
+    if level_flag.is_none() && format_flag.is_none() && file_flag.is_none() {
+        return Ok(None);
+    }
+    let level = match &level_flag {
+        Some(raw) => epfis_obs::Level::parse_filter(raw).map_err(err)?,
+        None => Some(epfis_obs::Level::Info),
+    };
+    let format = match &format_flag {
+        Some(raw) => epfis_obs::LogFormat::parse(raw).map_err(err)?,
+        None => epfis_obs::LogFormat::Human,
+    };
+    let mut logger =
+        epfis_obs::Logger::new(level).with_sink(Box::new(epfis_obs::StderrSink::new(format)));
+    if let Some(path) = &file_flag {
+        let sink = epfis_obs::FileSink::append(path)
+            .map_err(|e| err(format!("cannot open log file {path}: {e}")))?;
+        logger = logger.with_sink(Box::new(sink));
+    }
+    Ok(Some(std::sync::Arc::new(logger)))
 }
 
 fn client(cmd: &Command) -> Result<String, CliError> {
@@ -846,8 +960,68 @@ mod tests {
     }
 
     #[test]
+    fn explain_agrees_with_estimate_and_names_every_step() {
+        let path = temp_catalog("explain");
+        run(&cmd(&format!(
+            "analyze --catalog {path} --name ix --records 4000 --distinct 80 --per-page 20 --k 0.3"
+        )))
+        .unwrap();
+        let out = run(&cmd(&format!(
+            "explain --catalog {path} --name ix --sigma 0.2 --buffer 40 --sargable 0.5"
+        )))
+        .unwrap();
+        assert!(out.starts_with("estimated page fetches = "), "{out}");
+        for heading in [
+            "query",
+            "statistics",
+            "step 4: FPF lookup",
+            "step 5: sigma scaling",
+            "step 6: small-sigma correction",
+            "step 7: sargable reduction",
+            "final estimate",
+        ] {
+            assert!(out.contains(heading), "missing {heading:?} in:\n{out}");
+        }
+        // The first line carries the estimate byte-identical to `estimate`:
+        // both print the same `{}`-formatted value.
+        let (catalog, _) =
+            load_catalog(&cmd(&format!("explain --catalog {path} --name ix")), true).unwrap();
+        let stats = catalog.get("ix").unwrap();
+        let q = ScanQuery::range(0.2, 40).with_sargable(0.5);
+        assert!(
+            out.lines()
+                .next()
+                .unwrap()
+                .ends_with(&format!("= {}", stats.estimate(&q))),
+            "{out}"
+        );
+        // Validation mirrors `estimate`'s.
+        assert!(run(&cmd(&format!(
+            "explain --catalog {path} --name ix --sigma 1.5 --buffer 40"
+        )))
+        .is_err());
+        assert!(run(&cmd(&format!(
+            "explain --catalog {path} --name ix --sigma 0.5 --buffer 0"
+        )))
+        .is_err());
+    }
+
+    #[test]
+    fn render_explain_labels_records_and_keeps_unknown_keys() {
+        let lines: Vec<String> = ["42.5", "value 42.5", "mystery a=1"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let out = render_explain(&lines).unwrap();
+        assert!(out.starts_with("estimated page fetches = 42.5\n"), "{out}");
+        assert!(out.contains("final estimate"), "{out}");
+        assert!(out.contains("mystery"), "{out}");
+        assert!(render_explain(&[]).is_err());
+    }
+
+    #[test]
     fn read_commands_require_the_catalog_file_to_exist() {
-        for sub in ["show", "fpf", "estimate", "plan"] {
+        for sub in ["show", "fpf", "estimate", "explain", "plan"] {
             let e = run(&cmd(&format!(
                 "{sub} --catalog /tmp/epfis-no-such-catalog --name x --sigma 0.1 --buffer 10"
             )))
@@ -859,8 +1033,8 @@ mod tests {
     #[test]
     fn known_commands_cover_the_dispatch_table() {
         for sub in [
-            "analyze", "show", "fpf", "estimate", "plan", "compare", "bench", "serve", "client",
-            "help",
+            "analyze", "show", "fpf", "estimate", "explain", "plan", "compare", "bench", "serve",
+            "client", "help",
         ] {
             assert!(is_known_command(sub), "{sub}");
         }

@@ -45,8 +45,43 @@ fn no_arguments_is_a_usage_error() {
 fn malformed_flags_are_usage_errors() {
     // A flag with no value.
     assert_usage_error(&epfis(&["estimate", "--sigma"]), "flag without value");
+    assert_usage_error(
+        &epfis(&["explain", "--sigma"]),
+        "explain flag without value",
+    );
     // A positional argument where a flag is expected.
     assert_usage_error(&epfis(&["estimate", "oops"]), "stray positional");
+    assert_usage_error(&epfis(&["explain", "oops"]), "explain stray positional");
+}
+
+#[test]
+fn explain_runtime_errors_mirror_estimate() {
+    // A typo'd catalog path must fail loudly, exactly like `estimate`.
+    let out = epfis(&[
+        "explain",
+        "--catalog",
+        "/tmp/epfis-definitely-missing.cat",
+        "--name",
+        "x",
+        "--sigma",
+        "0.1",
+        "--buffer",
+        "10",
+    ]);
+    assert_runtime_error(&out, "explain missing catalog");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("does not exist"),
+        "{out:?}"
+    );
+
+    // A bad log level on serve is a runtime error before the bind, like
+    // the limit flags.
+    let out = epfis(&["serve", "--addr", "127.0.0.1:0", "--log-level", "chatty"]);
+    assert_runtime_error(&out, "bad log level");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown log level"),
+        "{out:?}"
+    );
 }
 
 #[test]
@@ -158,9 +193,16 @@ fn serve_rejects_invalid_limits_before_binding() {
 fn serve_and_client_round_trip_through_the_binary() {
     use std::io::{BufRead, BufReader, Write};
 
-    // Start `epfis serve` on an ephemeral port and learn it from stdout.
+    // Start `epfis serve` on ephemeral ports and learn both from stdout —
+    // the same handshake the CI smoke test scripts.
     let mut server = Command::new(env!("CARGO_BIN_EXE_epfis"))
-        .args(["serve", "--addr", "127.0.0.1:0"])
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--metrics-addr",
+            "127.0.0.1:0",
+        ])
         .stdin(Stdio::null())
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
@@ -176,6 +218,24 @@ fn serve_and_client_round_trip_through_the_binary() {
         .strip_prefix("listening on ")
         .unwrap_or_else(|| panic!("unexpected banner {first_line:?}"))
         .to_string();
+    let mut metrics_line = String::new();
+    server_stdout.read_line(&mut metrics_line).unwrap();
+    let metrics_addr = metrics_line
+        .trim()
+        .strip_prefix("metrics on ")
+        .unwrap_or_else(|| panic!("unexpected metrics banner {metrics_line:?}"))
+        .to_string();
+
+    // The observability endpoint answers its liveness probe.
+    {
+        use std::io::Read;
+        let mut stream = std::net::TcpStream::connect(&metrics_addr).unwrap();
+        write!(stream, "GET /healthz HTTP/1.1\r\nHost: epfis\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+        assert!(raw.contains("\"status\":\"ok\""), "{raw}");
+    }
 
     // Script a full ANALYZE session plus queries through `epfis client`.
     let mut client = Command::new(env!("CARGO_BIN_EXE_epfis"))
@@ -203,6 +263,16 @@ fn serve_and_client_round_trip_through_the_binary() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("committed t.k epoch=1"), "{stdout}");
     assert!(stdout.contains("command ESTIMATE count=1"), "{stdout}");
+
+    // `explain --addr` renders the server's EXPLAIN ESTIMATE trace.
+    let explained = epfis(&[
+        "explain", "--addr", &addr, "--name", "t.k", "--sigma", "0.5", "--buffer", "2",
+    ]);
+    assert_eq!(explained.status.code(), Some(0), "{explained:?}");
+    let text = String::from_utf8_lossy(&explained.stdout);
+    assert!(text.starts_with("estimated page fetches = "), "{text}");
+    assert!(text.contains("catalog entry"), "{text}");
+    assert!(text.contains("step 4: FPF lookup"), "{text}");
 
     // A protocol-level error surfaces as a client runtime error (exit 1).
     let bad = epfis(&["client", "--addr", &addr, "--send", "ESTIMATE nope 0.5 2"]);

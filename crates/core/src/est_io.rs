@@ -20,6 +20,7 @@
 //! probing instead — weighted by how unclustered the index is (`1 − C`).
 
 use crate::config::{EpfisConfig, PhiMode};
+use crate::explain::{Clamp, CorrectionTrace, EstimateTrace, FpfTrace, SargableTrace};
 use crate::stats::IndexStatistics;
 use epfis_estimators::occupancy::cardenas;
 use epfis_estimators::traits::{PageFetchEstimator, ScanParams};
@@ -73,20 +74,109 @@ impl ScanQuery {
 
 /// Estimates page fetches for `query` against `stats` (Subprogram Est-IO).
 pub fn estimate(stats: &IndexStatistics, query: &ScanQuery, config: &EpfisConfig) -> f64 {
+    estimate_impl::<false>(stats, query, config).0
+}
+
+/// Like [`estimate`] but records every decision on the way: the FPF
+/// segment used and how (`EXPLAIN ESTIMATE`'s payload), the `[A, N]`
+/// clamp, the small-σ correction, and the sargable reduction.
+///
+/// The traced value is bit-identical to [`estimate`]: both are the same
+/// `estimate_impl` instantiation-by-flag, so the arithmetic cannot drift.
+pub fn estimate_traced(
+    stats: &IndexStatistics,
+    query: &ScanQuery,
+    config: &EpfisConfig,
+) -> EstimateTrace {
+    estimate_impl::<true>(stats, query, config)
+        .1
+        .expect("traced instantiation always returns a trace")
+}
+
+/// The one Est-IO implementation. `TRACED = false` performs exactly the
+/// historical computation; `TRACED = true` additionally materializes an
+/// [`EstimateTrace`]. Keeping a single body is what guarantees the
+/// byte-for-byte `EXPLAIN ESTIMATE` ≡ `ESTIMATE` protocol contract.
+fn estimate_impl<const TRACED: bool>(
+    stats: &IndexStatistics,
+    query: &ScanQuery,
+    config: &EpfisConfig,
+) -> (f64, Option<EstimateTrace>) {
     query.validate();
     let sigma = query.selectivity;
-    if sigma == 0.0 {
-        return 0.0;
-    }
     let t = stats.table_pages as f64;
     let n = stats.records as f64;
     let c = stats.clustering_factor;
 
+    let mut correction_trace = CorrectionTrace {
+        enabled: config.enable_correction,
+        phi: 0.0,
+        threshold: 0.0,
+        fired: false,
+        damping: 0.0,
+        cardenas: 0.0,
+        term: 0.0,
+    };
+    let mut sargable_trace = SargableTrace {
+        enabled: config.enable_sargable_model,
+        applied: false,
+        q_pages: 0.0,
+        k: 0.0,
+        factor: 1.0,
+    };
+
+    if sigma == 0.0 {
+        // A plain `if` (not `bool::then`) keeps the untraced instantiation
+        // from building the record at all.
+        let trace = if TRACED {
+            Some(EstimateTrace {
+                query: *query,
+                table_pages: stats.table_pages,
+                records: stats.records,
+                distinct_pages: stats.distinct_pages,
+                clustering_factor: c,
+                short_circuit: true,
+                fpf: None,
+                scaled: 0.0,
+                correction: correction_trace,
+                sargable: sargable_trace,
+                value: 0.0,
+            })
+        } else {
+            None
+        };
+        return (0.0, trace);
+    }
+
     // Step 4: PF_B from the line-segment approximation.
-    let pf_b = stats.full_scan_fetches(query.buffer_pages);
+    let (pf_b, fpf_trace) = if TRACED {
+        let segment = stats.fpf.eval_traced(query.buffer_pages as f64);
+        let lo = stats.distinct_pages as f64;
+        let hi = stats.records as f64;
+        let value = segment.value.clamp(lo, hi);
+        let clamp = if value > segment.value {
+            Clamp::Floor
+        } else if value < segment.value {
+            Clamp::Ceiling
+        } else {
+            Clamp::None
+        };
+        let trace = FpfTrace {
+            segments: stats.fpf.segments(),
+            segment,
+            clamp_lo: lo,
+            clamp_hi: hi,
+            clamp,
+            value,
+        };
+        (value, Some(trace))
+    } else {
+        (stats.full_scan_fetches(query.buffer_pages), None)
+    };
 
     // Step 5: scale by the start/stop selectivity.
-    let mut est = sigma * pf_b;
+    let scaled = sigma * pf_b;
+    let mut est = scaled;
 
     // Step 6: small-σ heuristic correction (Equation 1).
     if config.enable_correction {
@@ -96,9 +186,21 @@ pub fn estimate(stats: &IndexStatistics, query: &ScanQuery, config: &EpfisConfig
             PhiMode::ProseMin => ratio.min(1.0),
         };
         let nu = if phi >= 3.0 * sigma { 1.0 } else { 0.0 };
+        if TRACED {
+            correction_trace.phi = phi;
+            correction_trace.threshold = 3.0 * sigma;
+            correction_trace.fired = nu > 0.0;
+        }
         if nu > 0.0 {
             let damping = (phi / (6.0 * sigma)).min(1.0);
-            est += damping * (1.0 - c) * cardenas(t, sigma * n);
+            let probe = cardenas(t, sigma * n);
+            let term = damping * (1.0 - c) * probe;
+            est += term;
+            if TRACED {
+                correction_trace.damping = damping;
+                correction_trace.cardenas = probe;
+                correction_trace.term = term;
+            }
         }
     }
 
@@ -117,9 +219,33 @@ pub fn estimate(stats: &IndexStatistics, query: &ScanQuery, config: &EpfisConfig
             1.0 - (1.0 - 1.0 / q_pages).powf(k)
         };
         est *= factor;
+        if TRACED {
+            sargable_trace.applied = true;
+            sargable_trace.q_pages = q_pages;
+            sargable_trace.k = k;
+            sargable_trace.factor = factor;
+        }
     }
 
-    est.max(0.0)
+    let value = est.max(0.0);
+    let trace = if TRACED {
+        Some(EstimateTrace {
+            query: *query,
+            table_pages: stats.table_pages,
+            records: stats.records,
+            distinct_pages: stats.distinct_pages,
+            clustering_factor: c,
+            short_circuit: false,
+            fpf: fpf_trace,
+            scaled,
+            correction: correction_trace,
+            sargable: sargable_trace,
+            value,
+        })
+    } else {
+        None
+    };
+    (value, trace)
 }
 
 /// Adapter so EPFIS can stand in the same benchmark harness slot as the
@@ -338,5 +464,65 @@ mod tests {
     fn zero_buffer_rejected() {
         let stats = unclustered_stats();
         stats.estimate(&ScanQuery::range(0.5, 0));
+    }
+
+    /// The cross-validation grid: every traced value must be bit-identical
+    /// to the untraced estimate — the `EXPLAIN ESTIMATE` protocol promise.
+    #[test]
+    fn traced_estimates_are_bit_identical_across_the_grid() {
+        for stats in [unclustered_stats(), clustered_stats()] {
+            for sigma in [0.0, 0.01, 0.05, 0.2, 1.0 / 3.0, 0.5, 0.9, 1.0] {
+                for b in [1u64, 12, 30, 55, 100, 250] {
+                    for s in [0.0, 0.01, 0.5, 1.0] {
+                        let q = ScanQuery::range(sigma, b).with_sargable(s);
+                        let plain = stats.estimate(&q);
+                        let trace = stats.estimate_traced(&q);
+                        assert_eq!(
+                            plain.to_bits(),
+                            trace.value.to_bits(),
+                            "sigma={sigma} B={b} S={s}: {plain} != {}",
+                            trace.value
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The trace names what actually happened: segment kinds, clamps,
+    /// correction firing, and sargable application match the inputs.
+    #[test]
+    fn trace_records_the_decision_path() {
+        let stats = unclustered_stats();
+        // Inside the modeled range: interpolated (or an exact knot hit).
+        let t = stats.estimate_traced(&ScanQuery::range(0.05, 50));
+        assert!(!t.short_circuit);
+        let fpf = t.fpf.as_ref().unwrap();
+        assert!(fpf.segment.x0 <= 50.0 && 50.0 <= fpf.segment.x1);
+        assert!(fpf.segments >= 1);
+        assert!(t.correction.enabled && t.correction.fired);
+        assert!(t.correction.term > 0.0);
+        assert!(!t.sargable.applied);
+        assert_eq!(t.scaled, 0.05 * fpf.value);
+
+        // Past the modeled range: extrapolated above, clamped to A.
+        let t = stats.estimate_traced(&ScanQuery::full(100_000));
+        let fpf = t.fpf.as_ref().unwrap();
+        assert_eq!(
+            fpf.segment.kind,
+            epfis_segfit::SegmentKind::ExtrapolatedAbove
+        );
+        assert_eq!(fpf.value, stats.full_scan_fetches(100_000));
+
+        // Large sigma: correction computed but not fired.
+        let t = stats.estimate_traced(&ScanQuery::range(0.5, 50));
+        assert!(t.correction.enabled && !t.correction.fired);
+        assert_eq!(t.correction.term, 0.0);
+
+        // Sargable predicate applies and reduces.
+        let t = stats.estimate_traced(&ScanQuery::range(0.5, 50).with_sargable(0.1));
+        assert!(t.sargable.applied);
+        assert!(t.sargable.factor < 1.0 && t.sargable.factor > 0.0);
+        assert!(t.sargable.q_pages > 1.0);
     }
 }

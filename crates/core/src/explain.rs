@@ -1,0 +1,214 @@
+//! `EXPLAIN`-able estimates: the [`EstimateTrace`] produced by
+//! [`crate::est_io::estimate_traced`] and its wire rendering.
+//!
+//! The trace records every decision Est-IO makes on the way to a number:
+//! which FPF line segment the buffer size landed on (and whether it was
+//! interpolated, extrapolated, or an exact knot hit), whether the clamp
+//! into `[A, N]` engaged, whether the small-σ correction fired and with
+//! what damping and Cardenas term, and whether the urn-model sargable
+//! reduction applied. The traced *value* is bit-identical to
+//! [`crate::est_io::estimate`] — both run the same arithmetic; tracing
+//! only records intermediates — so `EXPLAIN ESTIMATE` can promise
+//! byte-for-byte agreement with `ESTIMATE`.
+//!
+//! All floats render with Rust's `{}` shortest round-trip formatting, the
+//! same contract the wire protocol documents for estimates.
+
+use crate::est_io::ScanQuery;
+use epfis_segfit::EvalTrace;
+
+/// Whether the FPF clamp into `[A, N]` changed the raw segment value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Clamp {
+    /// The raw value was already within bounds.
+    None,
+    /// The raw value was below `A` and was raised to it.
+    Floor,
+    /// The raw value was above `N` and was lowered to it.
+    Ceiling,
+}
+
+impl Clamp {
+    /// Stable lower-case name for wire formats.
+    pub fn name(self) -> &'static str {
+        match self {
+            Clamp::None => "none",
+            Clamp::Floor => "floor",
+            Clamp::Ceiling => "ceiling",
+        }
+    }
+}
+
+/// Step 4 of Est-IO: `PF_B` from the stored curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpfTrace {
+    /// Total segments in the stored approximation.
+    pub segments: usize,
+    /// The segment evaluation: index, kind, endpoints, raw value.
+    pub segment: EvalTrace,
+    /// Lower clamp bound: distinct pages `A`.
+    pub clamp_lo: f64,
+    /// Upper clamp bound: records `N`.
+    pub clamp_hi: f64,
+    /// Which clamp (if any) engaged.
+    pub clamp: Clamp,
+    /// `PF_B` after clamping — what step 5 scales.
+    pub value: f64,
+}
+
+/// Step 6 of Est-IO: the small-σ heuristic correction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorrectionTrace {
+    /// Whether the configuration enables the correction at all.
+    pub enabled: bool,
+    /// The φ reading used (`PhiMode`-dependent).
+    pub phi: f64,
+    /// The firing threshold `3σ`.
+    pub threshold: f64,
+    /// ν: whether the correction fired (`φ ≥ 3σ`).
+    pub fired: bool,
+    /// Damping `min(1, φ/(6σ))`; 0 when not fired.
+    pub damping: f64,
+    /// The Cardenas random-probe estimate `Card(T, σN)`; 0 when not fired.
+    pub cardenas: f64,
+    /// The term actually added: `damping · (1 − C) · cardenas`.
+    pub term: f64,
+}
+
+/// Step 7 of Est-IO: the urn-model sargable-predicate reduction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SargableTrace {
+    /// Whether the configuration enables the sargable model.
+    pub enabled: bool,
+    /// Whether it actually applied (`enabled` and `S < 1`).
+    pub applied: bool,
+    /// Referenced pages `Q = CσT + (1 − C)·min(T, σN)`; 0 when unused.
+    pub q_pages: f64,
+    /// Qualifying records `k = SσN`; 0 when unused.
+    pub k: f64,
+    /// The reduction factor `1 − (1 − 1/Q)^k`; 1 when not applied.
+    pub factor: f64,
+}
+
+/// The full decision record of one Est-IO evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimateTrace {
+    /// The query as evaluated.
+    pub query: ScanQuery,
+    /// Table pages `T`.
+    pub table_pages: u64,
+    /// Records `N`.
+    pub records: u64,
+    /// Distinct pages `A` (the clamp floor).
+    pub distinct_pages: u64,
+    /// Clustering factor `C`.
+    pub clustering_factor: f64,
+    /// True when `σ = 0` short-circuited the whole evaluation to 0.
+    pub short_circuit: bool,
+    /// The FPF evaluation; `None` only when short-circuited.
+    pub fpf: Option<FpfTrace>,
+    /// Step 5: `σ · PF_B` (0 when short-circuited).
+    pub scaled: f64,
+    /// Step 6 record.
+    pub correction: CorrectionTrace,
+    /// Step 7 record.
+    pub sargable: SargableTrace,
+    /// The final estimate, bit-identical to `est_io::estimate`.
+    pub value: f64,
+}
+
+impl EstimateTrace {
+    /// Renders the wire form: the first line is exactly the estimate as
+    /// `ESTIMATE` would serve it (`{}` formatting, byte-identical), the
+    /// remaining lines are `key key=value...` trace records.
+    pub fn wire_lines(&self) -> Vec<String> {
+        let mut lines = vec![
+            format!("{}", self.value),
+            format!(
+                "input sigma={} sargable={} buffer={}",
+                self.query.selectivity, self.query.sargable_selectivity, self.query.buffer_pages
+            ),
+            format!(
+                "stats T={} N={} A={} C={}",
+                self.table_pages, self.records, self.distinct_pages, self.clustering_factor
+            ),
+        ];
+        match &self.fpf {
+            None => lines.push("fpf skipped=sigma-zero".to_string()),
+            Some(fpf) => {
+                let seg = &fpf.segment;
+                lines.push(format!(
+                    "fpf segment={}/{} kind={} b0={} f0={} b1={} f1={} raw={} clamp={} lo={} hi={} pf_b={}",
+                    seg.segment,
+                    fpf.segments,
+                    seg.kind.name(),
+                    seg.x0,
+                    seg.y0,
+                    seg.x1,
+                    seg.y1,
+                    seg.value,
+                    fpf.clamp.name(),
+                    fpf.clamp_lo,
+                    fpf.clamp_hi,
+                    fpf.value
+                ));
+            }
+        }
+        lines.push(format!("scaled {}", self.scaled));
+        let c = &self.correction;
+        lines.push(format!(
+            "correction enabled={} phi={} threshold={} fired={} damping={} cardenas={} term={}",
+            c.enabled, c.phi, c.threshold, c.fired, c.damping, c.cardenas, c.term
+        ));
+        let s = &self.sargable;
+        lines.push(format!(
+            "sargable enabled={} applied={} q_pages={} k={} factor={}",
+            s.enabled, s.applied, s.q_pages, s.k, s.factor
+        ));
+        lines.push(format!("value {}", self.value));
+        lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EpfisConfig;
+    use crate::est_io::estimate_traced;
+    use crate::lru_fit::LruFit;
+    use epfis_lrusim::KeyedTrace;
+
+    fn stats() -> crate::stats::IndexStatistics {
+        let pages: Vec<u32> = (0..2000u32)
+            .map(|i| i.wrapping_mul(2654435761) % 100)
+            .collect();
+        LruFit::new(EpfisConfig::default()).collect(&KeyedTrace::all_distinct(pages, 100))
+    }
+
+    #[test]
+    fn wire_lines_lead_with_the_exact_estimate() {
+        let stats = stats();
+        let q = ScanQuery::range(0.3, 40).with_sargable(0.2);
+        let trace = estimate_traced(&stats, &q, &stats.config);
+        let lines = trace.wire_lines();
+        assert_eq!(lines[0], format!("{}", stats.estimate(&q)));
+        assert_eq!(lines.last().unwrap(), &format!("value {}", trace.value));
+        assert!(lines.iter().any(|l| l.starts_with("fpf segment=")));
+        assert!(lines
+            .iter()
+            .any(|l| l.starts_with("correction enabled=true")));
+        assert!(lines
+            .iter()
+            .any(|l| l.starts_with("sargable enabled=true applied=true")));
+    }
+
+    #[test]
+    fn short_circuit_renders_a_skip_marker() {
+        let stats = stats();
+        let trace = estimate_traced(&stats, &ScanQuery::range(0.0, 40), &stats.config);
+        assert!(trace.short_circuit);
+        let lines = trace.wire_lines();
+        assert_eq!(lines[0], "0");
+        assert!(lines.iter().any(|l| l == "fpf skipped=sigma-zero"));
+    }
+}

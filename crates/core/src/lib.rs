@@ -56,6 +56,7 @@
 pub mod catalog;
 pub mod config;
 pub mod est_io;
+pub mod explain;
 pub mod grid;
 pub mod lru_fit;
 pub mod notation;
@@ -67,6 +68,7 @@ pub mod stats;
 pub use catalog::Catalog;
 pub use config::{EpfisConfig, GridStrategy, PhiMode};
 pub use est_io::{EpfisEstimator, ScanQuery};
+pub use explain::EstimateTrace;
 pub use lru_fit::LruFit;
 pub use selectivity::EquiDepthHistogram;
 pub use stats::IndexStatistics;

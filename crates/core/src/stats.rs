@@ -54,6 +54,14 @@ impl IndexStatistics {
         est_io::estimate(self, query, config)
     }
 
+    /// Estimated page fetches plus the full decision record (`EXPLAIN
+    /// ESTIMATE`): FPF segment identity, clamp, correction, and sargable
+    /// reduction. The traced value is bit-identical to
+    /// [`IndexStatistics::estimate`].
+    pub fn estimate_traced(&self, query: &ScanQuery) -> crate::explain::EstimateTrace {
+        est_io::estimate_traced(self, query, &self.config)
+    }
+
     /// Average records per page `R = N / T`.
     pub fn records_per_page(&self) -> f64 {
         self.records as f64 / self.table_pages as f64

@@ -75,6 +75,9 @@ pub struct StackAnalyzer {
     now: usize,
     /// Total references processed; unlike `now`, never renumbered.
     refs: u64,
+    /// Time-axis compactions performed; an observability counter (each one
+    /// is an O(live log live) rebuild, so operators want to see the rate).
+    compactions: u64,
 }
 
 const NO_REF: usize = usize::MAX;
@@ -105,6 +108,7 @@ impl StackAnalyzer {
             cold: 0,
             now: 0,
             refs: 0,
+            compactions: 0,
         }
     }
 
@@ -129,6 +133,7 @@ impl StackAnalyzer {
     /// reassigned consecutive ranks `0..distinct`, and the tree is rebuilt as
     /// a prefix of ones. O(len + distinct log distinct).
     fn compact(&mut self) {
+        self.compactions += 1;
         let mut live: Vec<(usize, u32)> = Vec::with_capacity(self.cold as usize);
         for (page, &t) in self.dense.iter().enumerate() {
             if t != NO_REF {
@@ -211,6 +216,11 @@ impl StackAnalyzer {
     /// Number of distinct pages seen so far.
     pub fn distinct_pages(&self) -> u64 {
         self.cold
+    }
+
+    /// Number of time-axis compactions performed so far.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
     }
 
     /// Current Fenwick-tree length, in time positions. Bounded by time-axis
@@ -342,6 +352,22 @@ mod tests {
             "time axis grew to {} despite only 50 live pages",
             a.time_axis_len()
         );
+        // Bounding the axis over 200k refs requires many renumberings, and
+        // the observability counter must have seen every one.
+        assert!(
+            a.compactions() >= 100,
+            "only {} compactions recorded",
+            a.compactions()
+        );
+    }
+
+    #[test]
+    fn short_traces_never_compact() {
+        let mut a = StackAnalyzer::new();
+        for p in [1u32, 1, 2, 3, 2] {
+            a.access(p);
+        }
+        assert_eq!(a.compactions(), 0);
     }
 
     #[test]

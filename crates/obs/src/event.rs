@@ -1,0 +1,334 @@
+//! Structured events: a level, a target, a name, and key=value fields.
+//!
+//! An [`Event`] is the unit every sink consumes. It is deliberately plain
+//! data — building one allocates only the field vector — so the hot-path
+//! cost of an *enabled* event is a handful of pushes plus one clock read,
+//! and the cost of a *disabled* event is a single relaxed atomic load in
+//! the logger (the builder never materializes).
+//!
+//! Two renderings are defined here and shared by all sinks:
+//!
+//! * [`Event::render_human`] — one space-separated line,
+//!   `<unix_secs.micros> LEVEL target name key=value ...`, string values
+//!   quoted only when they contain whitespace or quotes;
+//! * [`Event::render_json`] — one JSON object per line with fixed keys
+//!   `ts_us`, `level`, `target`, `event` and a nested `fields` object.
+//!   Non-finite floats are encoded as strings (`"NaN"`, `"inf"`, `"-inf"`)
+//!   because JSON has no literal for them.
+
+use std::fmt::Write as _;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Severity of an event, ordered from most to least verbose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Per-operation detail (e.g. one ingest batch); high volume.
+    Trace = 0,
+    /// Per-connection / per-request detail.
+    Debug = 1,
+    /// Lifecycle milestones: startup, commits, shutdown.
+    Info = 2,
+    /// Unexpected but handled conditions (limit rejections, sheds).
+    Warn = 3,
+    /// Failures the server could not absorb silently.
+    Error = 4,
+}
+
+impl Level {
+    /// Upper-case fixed-width name, as printed by the human format.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Trace => "TRACE",
+            Level::Debug => "DEBUG",
+            Level::Info => "INFO",
+            Level::Warn => "WARN",
+            Level::Error => "ERROR",
+        }
+    }
+
+    /// Lower-case name, as encoded in the JSON format.
+    pub fn name_lower(self) -> &'static str {
+        match self {
+            Level::Trace => "trace",
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    /// Parses a log-level *filter*: one of the five level names or
+    /// `off`/`none` (→ `None`, meaning nothing is logged). Case-insensitive.
+    pub fn parse_filter(s: &str) -> Result<Option<Level>, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "trace" => Ok(Some(Level::Trace)),
+            "debug" => Ok(Some(Level::Debug)),
+            "info" => Ok(Some(Level::Info)),
+            "warn" | "warning" => Ok(Some(Level::Warn)),
+            "error" => Ok(Some(Level::Error)),
+            "off" | "none" => Ok(None),
+            other => Err(format!(
+                "unknown log level {other:?} (expected trace|debug|info|warn|error|off)"
+            )),
+        }
+    }
+}
+
+/// A field value. Converted from common primitives via `From`, so call
+/// sites read `.field("refs", n)`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counts, byte totals, microseconds).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (estimates, ratios).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Free-form text (names, peer addresses, error messages).
+    Str(String),
+}
+
+macro_rules! value_from {
+    ($($t:ty => $v:ident as $cast:ty),* $(,)?) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::$v(v as $cast)
+            }
+        }
+    )*};
+}
+value_from!(u64 => U64 as u64, u32 => U64 as u64, u16 => U64 as u64, usize => U64 as u64,
+            i64 => I64 as i64, i32 => I64 as i64, f64 => F64 as f64);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+/// One structured event, ready for any sink.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Severity.
+    pub level: Level,
+    /// Subsystem that emitted the event (e.g. `"server"`, `"catalog"`).
+    pub target: &'static str,
+    /// Event name within the target (e.g. `"connection_opened"`).
+    pub name: &'static str,
+    /// Wall-clock timestamp, microseconds since the unix epoch.
+    pub unix_micros: u64,
+    /// Ordered key=value payload. Keys are static so field construction
+    /// never allocates for the key side.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+/// Current wall-clock time in microseconds since the unix epoch.
+pub fn now_unix_micros() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+impl Event {
+    /// Renders the single-line human format (no trailing newline).
+    pub fn render_human(&self) -> String {
+        let mut out = String::with_capacity(64 + self.fields.len() * 16);
+        let secs = self.unix_micros / 1_000_000;
+        let micros = self.unix_micros % 1_000_000;
+        let _ = write!(
+            out,
+            "{secs}.{micros:06} {:5} {} {}",
+            self.level.name(),
+            self.target,
+            self.name
+        );
+        for (key, value) in &self.fields {
+            out.push(' ');
+            out.push_str(key);
+            out.push('=');
+            render_value_human(&mut out, value);
+        }
+        out
+    }
+
+    /// Renders the single-line JSON format (no trailing newline).
+    pub fn render_json(&self) -> String {
+        let mut out = String::with_capacity(96 + self.fields.len() * 24);
+        let _ = write!(
+            out,
+            "{{\"ts_us\":{},\"level\":\"{}\",\"target\":",
+            self.unix_micros,
+            self.level.name_lower()
+        );
+        push_json_string(&mut out, self.target);
+        out.push_str(",\"event\":");
+        push_json_string(&mut out, self.name);
+        out.push_str(",\"fields\":{");
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, key);
+            out.push(':');
+            render_value_json(&mut out, value);
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+fn render_value_human(out: &mut String, value: &Value) {
+    match value {
+        Value::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::F64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::Bool(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::Str(s) => {
+            if s.is_empty() || s.contains(|c: char| c.is_whitespace() || c == '"' || c == '=') {
+                let _ = write!(out, "{s:?}");
+            } else {
+                out.push_str(s);
+            }
+        }
+    }
+}
+
+fn render_value_json(out: &mut String, value: &Value) {
+    match value {
+        Value::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::F64(v) if v.is_finite() => {
+            let _ = write!(out, "{v}");
+        }
+        Value::F64(v) => {
+            // JSON has no NaN/Infinity literals; encode as a string.
+            if v.is_nan() {
+                out.push_str("\"NaN\"");
+            } else if *v > 0.0 {
+                out.push_str("\"inf\"");
+            } else {
+                out.push_str("\"-inf\"");
+            }
+        }
+        Value::Bool(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::Str(s) => push_json_string(out, s),
+    }
+}
+
+/// Appends `s` as a JSON string literal (with quotes) to `out`.
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Event {
+        Event {
+            level: Level::Info,
+            target: "server",
+            name: "connection_opened",
+            unix_micros: 1_700_000_000_123_456,
+            fields: vec![
+                ("peer", Value::from("127.0.0.1:9")),
+                ("refs", Value::from(42u64)),
+                ("ratio", Value::from(0.5f64)),
+                ("ok", Value::from(true)),
+                ("msg", Value::from("two words")),
+            ],
+        }
+    }
+
+    #[test]
+    fn human_line_is_stable() {
+        assert_eq!(
+            sample().render_human(),
+            "1700000000.123456 INFO  server connection_opened \
+             peer=127.0.0.1:9 refs=42 ratio=0.5 ok=true msg=\"two words\""
+        );
+    }
+
+    #[test]
+    fn json_line_is_stable() {
+        assert_eq!(
+            sample().render_json(),
+            "{\"ts_us\":1700000000123456,\"level\":\"info\",\"target\":\"server\",\
+             \"event\":\"connection_opened\",\"fields\":{\"peer\":\"127.0.0.1:9\",\
+             \"refs\":42,\"ratio\":0.5,\"ok\":true,\"msg\":\"two words\"}}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_controls_and_nonfinite() {
+        let ev = Event {
+            level: Level::Error,
+            target: "t",
+            name: "n",
+            unix_micros: 0,
+            fields: vec![
+                ("s", Value::from("a\"b\\c\nd\u{1}")),
+                ("nan", Value::from(f64::NAN)),
+                ("inf", Value::from(f64::INFINITY)),
+                ("ninf", Value::from(f64::NEG_INFINITY)),
+            ],
+        };
+        let json = ev.render_json();
+        assert!(json.contains("\"s\":\"a\\\"b\\\\c\\nd\\u0001\""), "{json}");
+        assert!(json.contains("\"nan\":\"NaN\""));
+        assert!(json.contains("\"inf\":\"inf\""));
+        assert!(json.contains("\"ninf\":\"-inf\""));
+    }
+
+    #[test]
+    fn level_filter_parses() {
+        assert_eq!(Level::parse_filter("INFO"), Ok(Some(Level::Info)));
+        assert_eq!(Level::parse_filter("off"), Ok(None));
+        assert!(Level::parse_filter("loud").is_err());
+        assert!(Level::Trace < Level::Error);
+    }
+}

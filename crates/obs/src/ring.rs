@@ -1,0 +1,145 @@
+//! A bounded in-memory buffer of the most recent events, queryable at
+//! runtime (the server exposes it over HTTP as `/events`).
+//!
+//! Writers never wait: a slot index is claimed with one atomic
+//! `fetch_add`, and the slot itself is taken with `try_lock` — if a reader
+//! (or a stalled writer) holds that one slot, the event is dropped rather
+//! than blocking the serving path. Readers snapshot whatever slots they
+//! can take without waiting and order them by sequence number. The
+//! structure therefore trades perfect retention under contention for a
+//! hard guarantee that observability never stalls the observed system.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::event::Event;
+
+/// A slot holds the sequence number that claimed it plus the event.
+type Slot = Mutex<Option<(u64, Arc<Event>)>>;
+
+/// Fixed-capacity ring of the last N events.
+pub struct RingBuffer {
+    slots: Box<[Slot]>,
+    head: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl RingBuffer {
+    /// Creates a ring holding at most `capacity` events. A capacity of 0
+    /// disables retention (pushes become no-ops).
+    pub fn new(capacity: usize) -> RingBuffer {
+        let slots = (0..capacity).map(|_| Mutex::new(None)).collect();
+        RingBuffer {
+            slots,
+            head: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever pushed (including any dropped under contention).
+    pub fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Events dropped because their slot was contended at push time.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Stores an event, never blocking. Under slot contention the event is
+    /// counted in [`RingBuffer::dropped`] instead of being retained.
+    pub fn push(&self, event: Arc<Event>) {
+        if self.slots.is_empty() {
+            return;
+        }
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        match slot.try_lock() {
+            Ok(mut guard) => *guard = Some((seq, event)),
+            Err(_) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Returns up to `max` of the most recent events, oldest first.
+    /// Slots that are mid-write are skipped rather than waited on.
+    pub fn recent(&self, max: usize) -> Vec<Arc<Event>> {
+        let mut entries: Vec<(u64, Arc<Event>)> = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            if let Ok(guard) = slot.try_lock() {
+                if let Some((seq, ev)) = guard.as_ref() {
+                    entries.push((*seq, Arc::clone(ev)));
+                }
+            }
+        }
+        entries.sort_by_key(|(seq, _)| *seq);
+        let skip = entries.len().saturating_sub(max);
+        entries.into_iter().skip(skip).map(|(_, ev)| ev).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Level, Value};
+
+    fn ev(i: u64) -> Arc<Event> {
+        Arc::new(Event {
+            level: Level::Debug,
+            target: "t",
+            name: "n",
+            unix_micros: i,
+            fields: vec![("i", Value::from(i))],
+        })
+    }
+
+    #[test]
+    fn keeps_last_n_in_order() {
+        let ring = RingBuffer::new(4);
+        for i in 0..10 {
+            ring.push(ev(i));
+        }
+        let recent: Vec<u64> = ring.recent(16).iter().map(|e| e.unix_micros).collect();
+        assert_eq!(recent, vec![6, 7, 8, 9]);
+        let recent: Vec<u64> = ring.recent(2).iter().map(|e| e.unix_micros).collect();
+        assert_eq!(recent, vec![8, 9]);
+        assert_eq!(ring.pushed(), 10);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_is_a_noop() {
+        let ring = RingBuffer::new(0);
+        ring.push(ev(1));
+        assert!(ring.recent(8).is_empty());
+    }
+
+    #[test]
+    fn concurrent_pushes_retain_a_consistent_tail() {
+        let ring = Arc::new(RingBuffer::new(64));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        ring.push(ev(t * 1000 + i));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(ring.pushed(), 4000);
+        let recent = ring.recent(64);
+        assert!(recent.len() <= 64);
+        // Retained + dropped accounts for every claimed slot sequence.
+        assert!(ring.dropped() <= 4000);
+    }
+}

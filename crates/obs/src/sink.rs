@@ -1,0 +1,133 @@
+//! Event sinks: where rendered events go.
+//!
+//! A [`Sink`] consumes [`Event`]s the logger has already level-filtered.
+//! Sinks must be `Send + Sync` — the logger is shared across worker
+//! threads — and should degrade gracefully: an I/O failure (stderr gone,
+//! disk full) is swallowed, never propagated into the serving path.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::event::Event;
+
+/// Output encoding shared by the stderr and file sinks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogFormat {
+    /// One space-separated `key=value` line per event.
+    Human,
+    /// One JSON object per line per event.
+    Json,
+}
+
+impl LogFormat {
+    /// Parses `human` or `json` (case-insensitive).
+    pub fn parse(s: &str) -> Result<LogFormat, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "human" | "text" => Ok(LogFormat::Human),
+            "json" | "jsonl" => Ok(LogFormat::Json),
+            other => Err(format!(
+                "unknown log format {other:?} (expected human|json)"
+            )),
+        }
+    }
+}
+
+/// A destination for level-filtered events.
+pub trait Sink: Send + Sync {
+    /// Consumes one event. Must not panic and must not block unboundedly.
+    fn emit(&self, event: &Event);
+}
+
+/// Writes one line per event to stderr.
+pub struct StderrSink {
+    format: LogFormat,
+}
+
+impl StderrSink {
+    /// Creates a stderr sink with the given encoding.
+    pub fn new(format: LogFormat) -> StderrSink {
+        StderrSink { format }
+    }
+}
+
+impl Sink for StderrSink {
+    fn emit(&self, event: &Event) {
+        let line = match self.format {
+            LogFormat::Human => event.render_human(),
+            LogFormat::Json => event.render_json(),
+        };
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(err, "{line}");
+    }
+}
+
+/// Appends one JSON line per event to a file, flushing after each event so
+/// `tail -f` and post-crash inspection see everything that was emitted.
+///
+/// Serialized by a mutex: event volume at the default `info` level is a few
+/// lines per connection, so contention is not a concern; high-volume
+/// `trace` output should prefer the ring buffer.
+pub struct FileSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl FileSink {
+    /// Opens `path` in append mode (creating it if needed).
+    pub fn append<P: AsRef<Path>>(path: P) -> std::io::Result<FileSink> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(FileSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl Sink for FileSink {
+    fn emit(&self, event: &Event) {
+        let line = event.render_json();
+        if let Ok(mut w) = self.writer.lock() {
+            let _ = writeln!(w, "{line}");
+            let _ = w.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Level, Value};
+
+    #[test]
+    fn format_parses() {
+        assert_eq!(LogFormat::parse("Human"), Ok(LogFormat::Human));
+        assert_eq!(LogFormat::parse("jsonl"), Ok(LogFormat::Json));
+        assert!(LogFormat::parse("xml").is_err());
+    }
+
+    #[test]
+    fn file_sink_appends_json_lines() {
+        let dir = std::env::temp_dir().join(format!("epfis-obs-sink-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let sink = FileSink::append(&path).unwrap();
+        for i in 0..3u64 {
+            sink.emit(&Event {
+                level: Level::Info,
+                target: "t",
+                name: "n",
+                unix_micros: i,
+                fields: vec![("i", Value::from(i))],
+            });
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for (i, line) in lines.iter().enumerate() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert!(line.contains(&format!("\"ts_us\":{i}")));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

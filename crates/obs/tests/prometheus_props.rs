@@ -1,0 +1,139 @@
+//! Property tests for the Prometheus text renderer: whatever samples a
+//! histogram absorbs and whatever label values a family carries, the
+//! rendered exposition must (a) parse line-by-line as the text format,
+//! (b) have monotonically non-decreasing cumulative `_bucket` counts, and
+//! (c) end each histogram in a `+Inf` bucket equal to its `_count`.
+
+use proptest::prelude::*;
+
+use epfis_obs::Registry;
+
+/// Minimal line-level parser for the subset of the exposition format the
+/// renderer emits. Returns `(metric_with_labels, value)` for sample lines.
+fn parse_sample_line(line: &str) -> (String, f64) {
+    let (name_part, value_part) = line
+        .rsplit_once(' ')
+        .unwrap_or_else(|| panic!("no value separator in {line:?}"));
+    assert!(!name_part.is_empty(), "empty metric in {line:?}");
+    let first = name_part.chars().next().unwrap();
+    assert!(
+        first.is_ascii_alphabetic() || first == '_',
+        "bad metric start in {line:?}"
+    );
+    if let Some(open) = name_part.find('{') {
+        assert!(name_part.ends_with('}'), "unbalanced labels in {line:?}");
+        let labels = &name_part[open + 1..name_part.len() - 1];
+        // Label list: key="value" pairs separated by commas, values with
+        // backslash escapes. Walk it with a tiny state machine.
+        let mut chars = labels.chars().peekable();
+        while chars.peek().is_some() {
+            let key: String = chars.by_ref().take_while(|&c| c != '=').collect();
+            assert!(!key.is_empty(), "empty label key in {line:?}");
+            assert_eq!(
+                chars.next(),
+                Some('"'),
+                "label value not quoted in {line:?}"
+            );
+            let mut closed = false;
+            while let Some(c) = chars.next() {
+                match c {
+                    '\\' => {
+                        let escaped = chars.next().expect("dangling escape");
+                        assert!(
+                            matches!(escaped, '\\' | '"' | 'n'),
+                            "bad escape \\{escaped} in {line:?}"
+                        );
+                    }
+                    '"' => {
+                        closed = true;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            assert!(closed, "unterminated label value in {line:?}");
+            if let Some(&c) = chars.peek() {
+                assert_eq!(c, ',', "bad label separator in {line:?}");
+                chars.next();
+            }
+        }
+    }
+    let value = match value_part {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        v => v
+            .parse()
+            .unwrap_or_else(|_| panic!("bad value in {line:?}")),
+    };
+    (name_part.to_string(), value)
+}
+
+proptest! {
+    #[test]
+    fn renderer_emits_parseable_monotone_histograms(
+        samples in prop::collection::vec(any::<u64>(), 0..200),
+        small in prop::collection::vec(any::<u8>(), 0..50),
+        label in prop::collection::vec(any::<u8>(), 0..12),
+    ) {
+        let registry = Registry::new();
+        // A label value exercising escaping (arbitrary bytes → lossy utf8).
+        let label_value = String::from_utf8_lossy(&label).into_owned();
+        let hist = registry.histogram(
+            "epfis_prop_us",
+            "property-test histogram",
+            &[("case", label_value.as_str())],
+        );
+        for v in &samples {
+            hist.record(*v);
+        }
+        for v in &small {
+            hist.record(*v as u64);
+        }
+        let counter = registry.counter("epfis_prop_total", "events", &[]);
+        counter.add(samples.len() as u64);
+        registry.gauge("epfis_prop_active", "gauge", &[]).set(-3);
+
+        let text = registry.render_prometheus();
+        let total = (samples.len() + small.len()) as u64;
+
+        let mut bucket_values: Vec<f64> = Vec::new();
+        let mut inf_bucket = None;
+        let mut count_value = None;
+        let mut help_seen = 0;
+        let mut type_seen = 0;
+        for line in text.lines() {
+            prop_assert!(!line.is_empty(), "blank line in exposition");
+            if let Some(rest) = line.strip_prefix("# ") {
+                prop_assert!(
+                    rest.starts_with("HELP ") || rest.starts_with("TYPE "),
+                    "bad comment line {line:?}"
+                );
+                help_seen += usize::from(rest.starts_with("HELP "));
+                type_seen += usize::from(rest.starts_with("TYPE "));
+                continue;
+            }
+            let (metric, value) = parse_sample_line(line);
+            if metric.starts_with("epfis_prop_us_bucket") {
+                bucket_values.push(value);
+                if metric.contains("le=\"+Inf\"") {
+                    inf_bucket = Some(value);
+                }
+            } else if metric.starts_with("epfis_prop_us_count") {
+                count_value = Some(value);
+            }
+        }
+        prop_assert_eq!(help_seen, 3, "one HELP per family");
+        prop_assert_eq!(type_seen, 3, "one TYPE per family");
+
+        // Cumulative buckets never decrease…
+        for pair in bucket_values.windows(2) {
+            prop_assert!(pair[1] >= pair[0], "bucket counts decreased: {:?}", pair);
+        }
+        // …the +Inf bucket exists, equals _count, and equals the sample total.
+        let inf = inf_bucket.expect("+Inf bucket missing");
+        let count = count_value.expect("_count missing");
+        prop_assert_eq!(inf, count);
+        prop_assert_eq!(count, total as f64);
+    }
+}

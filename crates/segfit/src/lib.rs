@@ -21,4 +21,4 @@ pub mod fit;
 pub mod pwl;
 
 pub use fit::{fit_max_segments, fit_tolerance, FitReport};
-pub use pwl::PiecewiseLinear;
+pub use pwl::{EvalTrace, PiecewiseLinear, SegmentKind};

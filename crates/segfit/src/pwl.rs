@@ -23,6 +23,54 @@ pub struct PiecewiseLinear {
     knots: Vec<(f64, f64)>,
 }
 
+/// How a [`PiecewiseLinear::eval_traced`] value was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentKind {
+    /// `x` fell strictly between the segment's knots.
+    Interpolated,
+    /// `x` hit a knot exactly; the knot's `y` was returned verbatim.
+    AtKnot,
+    /// `x` was below the first knot; the first segment was extended.
+    ExtrapolatedBelow,
+    /// `x` was above the last knot; the last segment was extended.
+    ExtrapolatedAbove,
+    /// The function has a single knot and is constant everywhere.
+    Constant,
+}
+
+impl SegmentKind {
+    /// Short lower-case name, stable for wire formats.
+    pub fn name(self) -> &'static str {
+        match self {
+            SegmentKind::Interpolated => "interpolated",
+            SegmentKind::AtKnot => "at-knot",
+            SegmentKind::ExtrapolatedBelow => "extrapolated-below",
+            SegmentKind::ExtrapolatedAbove => "extrapolated-above",
+            SegmentKind::Constant => "constant",
+        }
+    }
+}
+
+/// The result of [`PiecewiseLinear::eval_traced`]: the value plus the
+/// identity of the segment that produced it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalTrace {
+    /// Index of the segment used (0-based; 0 for a constant function).
+    pub segment: usize,
+    /// How the value relates to that segment.
+    pub kind: SegmentKind,
+    /// Left endpoint `x`.
+    pub x0: f64,
+    /// Left endpoint `y`.
+    pub y0: f64,
+    /// Right endpoint `x`.
+    pub x1: f64,
+    /// Right endpoint `y`.
+    pub y1: f64,
+    /// The evaluated value, bit-identical to [`PiecewiseLinear::eval`].
+    pub value: f64,
+}
+
 impl PiecewiseLinear {
     /// Builds a function from knots sorted by strictly increasing `x`.
     ///
@@ -65,23 +113,66 @@ impl PiecewiseLinear {
 
     /// Evaluates the function at `x` (interpolating or extrapolating).
     pub fn eval(&self, x: f64) -> f64 {
+        self.eval_traced(x).value
+    }
+
+    /// Evaluates at `x` and reports *which* piece of the function produced
+    /// the value: the segment index, its endpoint knots, and whether the
+    /// point was interpolated, extrapolated past an end segment, hit a
+    /// knot exactly, or came from a single-knot constant.
+    ///
+    /// [`PiecewiseLinear::eval`] delegates here, so the traced value is
+    /// bit-identical to the untraced one by construction.
+    pub fn eval_traced(&self, x: f64) -> EvalTrace {
         let n = self.knots.len();
         if n == 1 {
-            return self.knots[0].1;
+            let (kx, ky) = self.knots[0];
+            return EvalTrace {
+                segment: 0,
+                kind: SegmentKind::Constant,
+                x0: kx,
+                y0: ky,
+                x1: kx,
+                y1: ky,
+                value: ky,
+            };
         }
         // Pick the segment: clamp to the end segments outside the range.
-        let seg = match self
+        let (seg, kind) = match self
             .knots
             .binary_search_by(|probe| probe.0.partial_cmp(&x).expect("finite x"))
         {
-            Ok(i) => return self.knots[i].1,
-            Err(0) => 0,
-            Err(i) if i >= n => n - 2,
-            Err(i) => i - 1,
+            Ok(i) => {
+                // Exact knot hit: report the segment the knot starts (or,
+                // for the last knot, ends) without re-deriving the value.
+                let seg = i.min(n - 2);
+                let (x0, y0) = self.knots[seg];
+                let (x1, y1) = self.knots[seg + 1];
+                return EvalTrace {
+                    segment: seg,
+                    kind: SegmentKind::AtKnot,
+                    x0,
+                    y0,
+                    x1,
+                    y1,
+                    value: self.knots[i].1,
+                };
+            }
+            Err(0) => (0, SegmentKind::ExtrapolatedBelow),
+            Err(i) if i >= n => (n - 2, SegmentKind::ExtrapolatedAbove),
+            Err(i) => (i - 1, SegmentKind::Interpolated),
         };
         let (x0, y0) = self.knots[seg];
         let (x1, y1) = self.knots[seg + 1];
-        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+        EvalTrace {
+            segment: seg,
+            kind,
+            x0,
+            y0,
+            x1,
+            y1,
+            value: y0 + (y1 - y0) * (x - x0) / (x1 - x0),
+        }
     }
 
     /// Evaluates with the result clamped into `[lo, hi]` — used by Est-IO to
@@ -143,6 +234,34 @@ mod tests {
     #[test]
     fn segment_count() {
         assert_eq!(f().segments(), 2);
+    }
+
+    #[test]
+    fn traced_eval_reports_segment_identity() {
+        let f = f();
+        let t = f.eval_traced(5.0);
+        assert_eq!(t.kind, SegmentKind::Interpolated);
+        assert_eq!(t.segment, 0);
+        assert_eq!((t.x0, t.y0, t.x1, t.y1), (0.0, 0.0, 10.0, 100.0));
+        let t = f.eval_traced(15.0);
+        assert_eq!((t.kind, t.segment), (SegmentKind::Interpolated, 1));
+        assert_eq!(f.eval_traced(10.0).kind, SegmentKind::AtKnot);
+        assert_eq!(f.eval_traced(20.0).kind, SegmentKind::AtKnot);
+        assert_eq!(f.eval_traced(20.0).segment, 1);
+        assert_eq!(f.eval_traced(-1.0).kind, SegmentKind::ExtrapolatedBelow);
+        assert_eq!(f.eval_traced(99.0).kind, SegmentKind::ExtrapolatedAbove);
+        let c = PiecewiseLinear::new(vec![(3.0, 7.0)]);
+        assert_eq!(c.eval_traced(0.0).kind, SegmentKind::Constant);
+        assert_eq!(c.eval_traced(0.0).value, 7.0);
+    }
+
+    #[test]
+    fn traced_value_is_bit_identical_to_eval() {
+        let f = f();
+        for i in -50..=100 {
+            let x = i as f64 * 0.37;
+            assert_eq!(f.eval(x).to_bits(), f.eval_traced(x).value.to_bits());
+        }
     }
 
     #[test]

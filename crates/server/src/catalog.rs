@@ -237,6 +237,7 @@ pub struct SharedCatalog {
     current: RwLock<Arc<VersionedCatalog>>,
     path: Option<PathBuf>,
     commit_lock: Mutex<()>,
+    logger: Arc<epfis_obs::Logger>,
 }
 
 impl SharedCatalog {
@@ -246,6 +247,7 @@ impl SharedCatalog {
             current: RwLock::new(Arc::new(VersionedCatalog::new())),
             path: None,
             commit_lock: Mutex::new(()),
+            logger: Arc::new(epfis_obs::Logger::disabled()),
         }
     }
 
@@ -262,7 +264,14 @@ impl SharedCatalog {
             current: RwLock::new(Arc::new(initial)),
             path: Some(path),
             commit_lock: Mutex::new(()),
+            logger: Arc::new(epfis_obs::Logger::disabled()),
         })
+    }
+
+    /// Attaches a logger; each commit then emits a `catalog commit` span
+    /// covering build + atomic save + publish.
+    pub fn set_logger(&mut self, logger: Arc<epfis_obs::Logger>) {
+        self.logger = logger;
     }
 
     /// The persistence path, if durable.
@@ -291,6 +300,11 @@ impl SharedCatalog {
         summary: Option<Arc<TraceSummary>>,
     ) -> io::Result<u64> {
         let _serialize = self.commit_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let mut span = self
+            .logger
+            .span(epfis_obs::Level::Info, "catalog", "commit")
+            .field("entry", name)
+            .field("durable", self.path.is_some());
         let mut next = (*self.snapshot()).clone();
         let epoch = next
             .insert(name, stats, unix_now(), summary)
@@ -299,6 +313,7 @@ impl SharedCatalog {
             write_atomic(path, &next.to_text())?;
         }
         *self.current.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(next);
+        span.add_field("epoch", epoch);
         Ok(epoch)
     }
 }

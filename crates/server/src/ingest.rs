@@ -90,6 +90,13 @@ impl IngestSession {
         self.keys
     }
 
+    /// Time-axis compactions the underlying stack analyzer has performed so
+    /// far; the server publishes the per-batch delta into the process-global
+    /// `epfis_analyzer_compactions_total` counter.
+    pub fn compactions(&self) -> u64 {
+        self.analyzer.compactions()
+    }
+
     /// Feeds one `(key, page)` reference. Keys must arrive grouped (key
     /// order): a key restarting after another key is rejected, as is a page
     /// at or beyond a declared `table_pages`.

@@ -16,10 +16,19 @@
 //! * Reads take an `Arc` snapshot, so concurrent `ESTIMATE`s never block
 //!   behind an ingest; the catalog persists atomically (temp + fsync +
 //!   rename) and reloads on startup.
+//! * `EXPLAIN ESTIMATE` serves the same estimate byte-for-byte plus the
+//!   full Est-IO decision trace (FPF segment identity, clamp, small-σ
+//!   correction, urn-model sargable reduction) — see `epfis::explain`.
 //! * [`Metrics`] keeps per-command counters and latency histograms, served
 //!   back by `STATS` — including the governance counters
 //!   (`limit_rejections`, `connections_shed`, `sessions_disconnected`,
-//!   bytes in/out).
+//!   bytes in/out). Every instrument is registered in an `epfis-obs`
+//!   registry, so the optional HTTP endpoint
+//!   ([`ServerConfig::metrics_addr`]) exposes the same atomics as
+//!   Prometheus text on `/metrics`, a liveness probe on `/healthz`, and
+//!   the structured-event ring buffer on `/events`; an optional
+//!   [`ServerConfig::logger`] records connection lifecycle, limit
+//!   violations, ANALYZE sessions, and catalog commit spans.
 //! * [`LimitsConfig`] bounds what any single peer can cost the server:
 //!   request-line and pending-buffer bytes, an idle deadline that also
 //!   defeats slow-loris writers, an admission cap that sheds excess

@@ -1,81 +1,87 @@
 //! Built-in observability: per-command request counters and latency
-//! histograms, rendered by the `STATS` command.
+//! histograms, rendered by the `STATS` command *and* exported to
+//! Prometheus.
 //!
-//! Latencies land in power-of-two microsecond buckets (bucket `i` holds
-//! values of bit length `i`, i.e. `[2^(i-1), 2^i)` µs, with zero in bucket
-//! 0), so recording is a couple of atomic increments and
+//! The instruments themselves live in `epfis-obs`: every counter and
+//! histogram here is registered in a per-server
+//! [`Registry`], so one `record()` call feeds both the
+//! line-protocol `STATS` rendering and the `/metrics` exposition — the two
+//! views can never disagree. Latencies land in `epfis-obs`'s power-of-two
+//! microsecond buckets (bucket `i` holds values of bit length `i`, with
+//! zero in bucket 0), so recording is a couple of atomic increments and
 //! quantiles are read back as the upper bound of the bucket containing the
 //! requested rank — deliberately the same trade-off production servers make
 //! (HdrHistogram-style), not per-request sample retention.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use epfis_obs::{Counter, Histogram, Registry};
+use std::sync::Arc;
 
-/// Number of log2 latency buckets: covers up to ~2^27 µs ≈ 134 s.
-const BUCKETS: usize = 28;
-
-/// Counters and a latency histogram for one command.
-#[derive(Default)]
+/// Counters and a latency histogram for one command, backed by registered
+/// `epfis-obs` instruments (`epfis_server_requests_total`,
+/// `epfis_server_request_errors_total`, `epfis_server_request_duration_us`,
+/// all labeled `command="..."`).
 pub struct CommandStats {
-    count: AtomicU64,
-    errors: AtomicU64,
-    total_micros: AtomicU64,
-    max_micros: AtomicU64,
-    buckets: [AtomicU64; BUCKETS],
+    requests: Arc<Counter>,
+    errors: Arc<Counter>,
+    latency: Arc<Histogram>,
 }
 
 impl CommandStats {
-    fn record(&self, micros: u64, is_error: bool) {
-        self.count.fetch_add(1, Ordering::Relaxed);
-        if is_error {
-            self.errors.fetch_add(1, Ordering::Relaxed);
+    fn new(registry: &Registry, label: &'static str) -> Self {
+        let labels = [("command", label)];
+        CommandStats {
+            requests: registry.counter(
+                "epfis_server_requests_total",
+                "Requests served, by protocol command",
+                &labels,
+            ),
+            errors: registry.counter(
+                "epfis_server_request_errors_total",
+                "Requests answered with an ERR response, by protocol command",
+                &labels,
+            ),
+            latency: registry.histogram(
+                "epfis_server_request_duration_us",
+                "Request service time in microseconds, by protocol command",
+                &labels,
+            ),
         }
-        self.total_micros.fetch_add(micros, Ordering::Relaxed);
-        self.max_micros.fetch_max(micros, Ordering::Relaxed);
-        let bucket = (64 - micros.leading_zeros() as usize).min(BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record(&self, micros: u64, is_error: bool) {
+        self.requests.inc();
+        if is_error {
+            self.errors.inc();
+        }
+        self.latency.record(micros);
     }
 
     /// Requests recorded.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.requests.get()
     }
 
     /// Requests that produced an `ERR` response.
     pub fn errors(&self) -> u64 {
-        self.errors.load(Ordering::Relaxed)
+        self.errors.get()
     }
 
     /// Worst observed latency, µs.
     pub fn max_micros(&self) -> u64 {
-        self.max_micros.load(Ordering::Relaxed)
+        self.latency.max()
     }
 
     /// Mean latency, µs (0 when empty).
     pub fn mean_micros(&self) -> u64 {
-        self.total_micros
-            .load(Ordering::Relaxed)
-            .checked_div(self.count())
-            .unwrap_or(0)
+        self.latency.mean()
     }
 
     /// Approximate latency quantile (`q` in `[0, 1]`), µs: the upper bound
     /// of the histogram bucket containing the rank, clamped to the observed
-    /// maximum.
+    /// maximum (see [`Histogram::quantile`] for the `q = 0` / `q = 1` edge
+    /// semantics).
     pub fn quantile_micros(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen >= rank {
-                let upper = if i == 0 { 1 } else { 1u64 << i };
-                return upper.min(self.max_micros().max(1));
-            }
-        }
-        self.max_micros()
+        self.latency.quantile(q)
     }
 }
 
@@ -83,29 +89,88 @@ impl CommandStats {
 /// `INVALID` slot for unparseable lines), connection counters, and the
 /// governance counters the hardening layer maintains (limit rejections,
 /// shed connections, mid-session disconnects, wire bytes in each
-/// direction).
-#[derive(Default)]
+/// direction). Everything is registered in [`Metrics::registry`], so the
+/// Prometheus exposition and the `STATS` command read the same atomics.
 pub struct Metrics {
+    registry: Arc<Registry>,
     commands: std::collections::BTreeMap<&'static str, CommandStats>,
-    connections_opened: AtomicU64,
-    connections_closed: AtomicU64,
-    limit_rejections: AtomicU64,
-    connections_shed: AtomicU64,
-    sessions_disconnected: AtomicU64,
-    bytes_in: AtomicU64,
-    bytes_out: AtomicU64,
+    connections_opened: Arc<Counter>,
+    connections_closed: Arc<Counter>,
+    limit_rejections: Arc<Counter>,
+    connections_shed: Arc<Counter>,
+    sessions_disconnected: Arc<Counter>,
+    bytes_in: Arc<Counter>,
+    bytes_out: Arc<Counter>,
 }
 
 impl Metrics {
     /// Creates a metrics registry with a slot per known command label.
     pub fn new(labels: &[&'static str]) -> Self {
+        let registry = Arc::new(Registry::new());
+        let commands = labels
+            .iter()
+            .map(|&l| (l, CommandStats::new(&registry, l)))
+            .collect();
+        let connections_opened = registry.counter(
+            "epfis_server_connections_total",
+            "Connections admitted (accepted and not shed)",
+            &[],
+        );
+        let connections_closed = registry.counter(
+            "epfis_server_connections_closed_total",
+            "Admitted connections that have finished",
+            &[],
+        );
+        // Active = opened − closed, computed at render time from the same
+        // two counters STATS reads, so the gauge can never drift from them.
+        let (opened, closed) = (
+            Arc::clone(&connections_opened),
+            Arc::clone(&connections_closed),
+        );
+        registry.gauge_fn(
+            "epfis_server_connections_active",
+            "Connections currently being served",
+            &[],
+            move || opened.get().saturating_sub(closed.get()) as f64,
+        );
         Metrics {
-            commands: labels
-                .iter()
-                .map(|&l| (l, CommandStats::default()))
-                .collect(),
-            ..Metrics::default()
+            commands,
+            connections_opened,
+            connections_closed,
+            limit_rejections: registry.counter(
+                "epfis_server_limit_rejections_total",
+                "Requests rejected by a resource limit (line length, idle deadline, session refs)",
+                &[],
+            ),
+            connections_shed: registry.counter(
+                "epfis_server_connections_shed_total",
+                "Connections shed with SERVER_BUSY at admission",
+                &[],
+            ),
+            sessions_disconnected: registry.counter(
+                "epfis_server_sessions_disconnected_total",
+                "Connections that ended with an ANALYZE session still open",
+                &[],
+            ),
+            bytes_in: registry.counter(
+                "epfis_server_bytes_in_total",
+                "Bytes read off client sockets",
+                &[],
+            ),
+            bytes_out: registry.counter(
+                "epfis_server_bytes_out_total",
+                "Bytes written to client sockets",
+                &[],
+            ),
+            registry,
         }
+    }
+
+    /// The per-server instrument registry backing these metrics; `serve`
+    /// adds its own gauges (uptime, catalog epoch) and `/metrics` renders
+    /// it alongside [`Registry::global`].
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Records one request outcome under `label`.
@@ -127,76 +192,76 @@ impl Metrics {
 
     /// Marks a connection accepted.
     pub fn connection_opened(&self) {
-        self.connections_opened.fetch_add(1, Ordering::Relaxed);
+        self.connections_opened.inc();
     }
 
     /// Marks a connection finished.
     pub fn connection_closed(&self) {
-        self.connections_closed.fetch_add(1, Ordering::Relaxed);
+        self.connections_closed.inc();
     }
 
     /// Total connections accepted so far.
     pub fn connections_opened_total(&self) -> u64 {
-        self.connections_opened.load(Ordering::Relaxed)
+        self.connections_opened.get()
     }
 
     /// Connections currently being served.
     pub fn connections_active(&self) -> u64 {
         self.connections_opened
-            .load(Ordering::Relaxed)
-            .saturating_sub(self.connections_closed.load(Ordering::Relaxed))
+            .get()
+            .saturating_sub(self.connections_closed.get())
     }
 
     /// Marks one limit violation (over-long line, idle deadline, session
     /// reference cap) that produced an `ERR limit ...` response.
     pub fn limit_rejection(&self) {
-        self.limit_rejections.fetch_add(1, Ordering::Relaxed);
+        self.limit_rejections.inc();
     }
 
     /// Limit violations so far.
     pub fn limit_rejections_total(&self) -> u64 {
-        self.limit_rejections.load(Ordering::Relaxed)
+        self.limit_rejections.get()
     }
 
     /// Marks a connection rejected with `SERVER_BUSY` at admission.
     pub fn connection_shed(&self) {
-        self.connections_shed.fetch_add(1, Ordering::Relaxed);
+        self.connections_shed.inc();
     }
 
     /// Connections shed with `SERVER_BUSY` so far.
     pub fn connections_shed_total(&self) -> u64 {
-        self.connections_shed.load(Ordering::Relaxed)
+        self.connections_shed.get()
     }
 
     /// Marks a connection that ended while an `ANALYZE` session was still
     /// open (its uncommitted references were discarded).
     pub fn session_disconnected(&self) {
-        self.sessions_disconnected.fetch_add(1, Ordering::Relaxed);
+        self.sessions_disconnected.inc();
     }
 
     /// Mid-session disconnects so far.
     pub fn sessions_disconnected_total(&self) -> u64 {
-        self.sessions_disconnected.load(Ordering::Relaxed)
+        self.sessions_disconnected.get()
     }
 
     /// Adds `n` bytes read off client sockets.
     pub fn add_bytes_in(&self, n: u64) {
-        self.bytes_in.fetch_add(n, Ordering::Relaxed);
+        self.bytes_in.add(n);
     }
 
     /// Total bytes read off client sockets.
     pub fn bytes_in_total(&self) -> u64 {
-        self.bytes_in.load(Ordering::Relaxed)
+        self.bytes_in.get()
     }
 
     /// Adds `n` bytes written to client sockets.
     pub fn add_bytes_out(&self, n: u64) {
-        self.bytes_out.fetch_add(n, Ordering::Relaxed);
+        self.bytes_out.add(n);
     }
 
     /// Total bytes written to client sockets.
     pub fn bytes_out_total(&self) -> u64 {
-        self.bytes_out.load(Ordering::Relaxed)
+        self.bytes_out.get()
     }
 
     /// Renders the `STATS` data lines: global counters first, then one line
@@ -308,6 +373,30 @@ mod tests {
             "bytes_out 7",
         ] {
             assert!(lines.iter().any(|l| l == expect), "{expect}: {lines:?}");
+        }
+    }
+
+    /// The Prometheus rendering and the STATS rendering are two views of
+    /// the same atomics: the exported series must equal the STATS counters
+    /// exactly.
+    #[test]
+    fn prometheus_view_matches_stats_view() {
+        let m = Metrics::new(&["ESTIMATE"]);
+        m.record("ESTIMATE", 10, false);
+        m.record("ESTIMATE", 20, true);
+        m.connection_opened();
+        m.add_bytes_in(42);
+        let text = m.registry().render_prometheus();
+        for expect in [
+            "epfis_server_requests_total{command=\"ESTIMATE\"} 2",
+            "epfis_server_request_errors_total{command=\"ESTIMATE\"} 1",
+            "epfis_server_request_duration_us_count{command=\"ESTIMATE\"} 2",
+            "epfis_server_request_duration_us_sum{command=\"ESTIMATE\"} 30",
+            "epfis_server_connections_total 1",
+            "epfis_server_connections_active 1",
+            "epfis_server_bytes_in_total 42",
+        ] {
+            assert!(text.contains(expect), "missing {expect:?} in:\n{text}");
         }
     }
 }

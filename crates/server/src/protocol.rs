@@ -41,6 +41,19 @@ pub enum Request {
         /// Index-sargable selectivity in `[0, 1]` (default 1).
         sargable: f64,
     },
+    /// Est-IO on a stored entry plus the full decision trace (`EXPLAIN
+    /// ESTIMATE`). The first data line is byte-identical to what the same
+    /// `ESTIMATE` would serve.
+    Explain {
+        /// Catalog entry name.
+        name: String,
+        /// Range selectivity `σ` in `[0, 1]`.
+        sigma: f64,
+        /// Buffer pages `B >= 1`.
+        buffer: u64,
+        /// Index-sargable selectivity in `[0, 1]` (default 1).
+        sargable: f64,
+    },
     /// Sample a stored entry's FPF curve.
     Fpf {
         /// Catalog entry name.
@@ -86,6 +99,7 @@ impl Request {
             Request::Ping => "PING",
             Request::Show => "SHOW",
             Request::Estimate { .. } => "ESTIMATE",
+            Request::Explain { .. } => "EXPLAIN",
             Request::Fpf { .. } => "FPF",
             Request::Compare { .. } => "COMPARE",
             Request::AnalyzeBegin { .. } => "ANALYZE_BEGIN",
@@ -102,6 +116,7 @@ impl Request {
         "PING",
         "SHOW",
         "ESTIMATE",
+        "EXPLAIN",
         "FPF",
         "COMPARE",
         "ANALYZE_BEGIN",
@@ -159,6 +174,27 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 buffer: parse_token(rest[2], "buffer")?,
                 sargable: rest
                     .get(3)
+                    .map(|t| parse_token(t, "sargable"))
+                    .transpose()?
+                    .unwrap_or(1.0),
+            })
+        }
+        "EXPLAIN" => {
+            const USAGE: &str = "EXPLAIN ESTIMATE <name> <sigma> <buffer> [<sargable>]";
+            let sub = rest
+                .first()
+                .ok_or(format!("usage: {USAGE}"))?
+                .to_ascii_uppercase();
+            if sub != "ESTIMATE" {
+                return Err(format!("unknown EXPLAIN subcommand {sub:?}"));
+            }
+            exactly(4, 5, USAGE)?;
+            Ok(Request::Explain {
+                name: rest[1].to_string(),
+                sigma: parse_token(rest[2], "sigma")?,
+                buffer: parse_token(rest[3], "buffer")?,
+                sargable: rest
+                    .get(4)
                     .map(|t| parse_token(t, "sargable"))
                     .transpose()?
                     .unwrap_or(1.0),
@@ -294,6 +330,24 @@ mod tests {
             }
         );
         assert_eq!(
+            parse_request("explain estimate t.k 0.5 100").unwrap(),
+            Request::Explain {
+                name: "t.k".into(),
+                sigma: 0.5,
+                buffer: 100,
+                sargable: 1.0
+            }
+        );
+        assert_eq!(
+            parse_request("EXPLAIN ESTIMATE t.k 0.5 100 0.25").unwrap(),
+            Request::Explain {
+                name: "t.k".into(),
+                sigma: 0.5,
+                buffer: 100,
+                sargable: 0.25
+            }
+        );
+        assert_eq!(
             parse_request("FPF ix 7").unwrap(),
             Request::Fpf {
                 name: "ix".into(),
@@ -339,6 +393,10 @@ mod tests {
         assert!(parse_request("FROB").is_err());
         assert!(parse_request("ESTIMATE onlyname").is_err());
         assert!(parse_request("ESTIMATE ix notafloat 10").is_err());
+        assert!(parse_request("EXPLAIN").is_err());
+        assert!(parse_request("EXPLAIN FPF ix").is_err());
+        assert!(parse_request("EXPLAIN ESTIMATE onlyname").is_err());
+        assert!(parse_request("EXPLAIN ESTIMATE ix notafloat 10").is_err());
         assert!(parse_request("PAGE 1").is_err());
         assert!(parse_request("PAGE").is_err());
         assert!(parse_request("ANALYZE").is_err());
@@ -352,6 +410,12 @@ mod tests {
             Request::Ping,
             Request::Show,
             Request::Estimate {
+                name: "x".into(),
+                sigma: 0.0,
+                buffer: 1,
+                sargable: 1.0,
+            },
+            Request::Explain {
                 name: "x".into(),
                 sigma: 0.0,
                 buffer: 1,

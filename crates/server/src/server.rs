@@ -28,6 +28,8 @@ use epfis::{EpfisConfig, ScanQuery};
 use epfis_estimators::{
     DcEstimator, MlEstimator, OtEstimator, PageFetchEstimator, ScanParams, SdEstimator,
 };
+use epfis_obs::http::{HttpServer, Response};
+use epfis_obs::{Level, Logger, Registry};
 use std::io::{Read, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -129,6 +131,12 @@ pub struct ServerConfig {
     pub epfis_config: EpfisConfig,
     /// Resource limits and connection-governance knobs.
     pub limits: LimitsConfig,
+    /// Bind address for the HTTP observability endpoint (`/metrics`,
+    /// `/healthz`, `/events`); `None` disables exposition.
+    pub metrics_addr: Option<String>,
+    /// Structured event logger shared by the server, its connections, and
+    /// the catalog; `None` logs nothing (zero per-request cost).
+    pub logger: Option<Arc<Logger>>,
 }
 
 impl Default for ServerConfig {
@@ -139,6 +147,8 @@ impl Default for ServerConfig {
             catalog_path: None,
             epfis_config: EpfisConfig::default(),
             limits: LimitsConfig::default(),
+            metrics_addr: None,
+            logger: None,
         }
     }
 }
@@ -158,8 +168,9 @@ impl ServerConfig {
 
 /// Shared server state.
 struct Shared {
-    catalog: SharedCatalog,
+    catalog: Arc<SharedCatalog>,
     metrics: Metrics,
+    logger: Arc<Logger>,
     shutdown: AtomicBool,
     config: EpfisConfig,
     limits: LimitsConfig,
@@ -196,12 +207,20 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    /// The HTTP observability endpoint, when configured; stops on drop.
+    metrics_http: Option<HttpServer>,
 }
 
 impl ServerHandle {
     /// The bound address (useful with port 0).
     pub fn addr(&self) -> SocketAddr {
         self.shared.addr
+    }
+
+    /// The bound address of the HTTP observability endpoint, when
+    /// [`ServerConfig::metrics_addr`] was set (useful with port 0).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_http.as_ref().map(|h| h.addr())
     }
 
     /// Raises the shutdown flag and wakes the accept loop. Does not wait.
@@ -232,6 +251,9 @@ impl ServerHandle {
         for t in self.workers.drain(..) {
             let _ = t.join();
         }
+        if let Some(mut http) = self.metrics_http.take() {
+            http.shutdown();
+        }
     }
 }
 
@@ -253,22 +275,70 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
-    let catalog = match &config.catalog_path {
+    let logger = config
+        .logger
+        .clone()
+        .unwrap_or_else(|| Arc::new(Logger::disabled()));
+    let mut catalog = match &config.catalog_path {
         Some(p) => SharedCatalog::open(p)?,
         None => SharedCatalog::in_memory(),
     };
+    catalog.set_logger(Arc::clone(&logger));
+    let catalog = Arc::new(catalog);
     let workers_n = config.effective_workers();
+    let metrics = Metrics::new(Request::LABELS);
+    let started = Instant::now();
+    // Render-time gauges for values owned elsewhere: uptime and the
+    // catalog's epoch / entry count (read off an Arc snapshot, never a
+    // lock the serving path holds).
+    let registry = Arc::clone(metrics.registry());
+    registry.gauge_fn(
+        "epfis_server_uptime_seconds",
+        "Seconds since the server started",
+        &[],
+        move || started.elapsed().as_secs_f64(),
+    );
+    let cat = Arc::clone(&catalog);
+    registry.gauge_fn(
+        "epfis_server_catalog_epoch",
+        "Global catalog epoch (total commits)",
+        &[],
+        move || cat.snapshot().epoch() as f64,
+    );
+    let cat = Arc::clone(&catalog);
+    registry.gauge_fn(
+        "epfis_server_catalog_entries",
+        "Catalog entries currently stored",
+        &[],
+        move || cat.snapshot().len() as f64,
+    );
+    let metrics_http = match &config.metrics_addr {
+        Some(metrics_addr) => Some(start_metrics_endpoint(
+            metrics_addr,
+            Arc::clone(&registry),
+            Arc::clone(&logger),
+        )?),
+        None => None,
+    };
     let shared = Arc::new(Shared {
         catalog,
-        metrics: Metrics::new(Request::LABELS),
+        metrics,
+        logger,
         shutdown: AtomicBool::new(false),
         config: config.epfis_config,
         limits: config.limits,
         admitted: AtomicUsize::new(0),
         max_connections: config.limits.effective_max_connections(workers_n),
-        started: Instant::now(),
+        started,
         addr,
     });
+    shared
+        .logger
+        .event(Level::Info, "server", "started")
+        .field("addr", addr.to_string())
+        .field("workers", workers_n as u64)
+        .field("catalog_entries", shared.catalog.snapshot().len() as u64)
+        .emit();
 
     let (tx, rx) = mpsc::channel::<TcpStream>();
     let rx = Arc::new(Mutex::new(rx));
@@ -330,7 +400,61 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
         shared,
         accept: Some(accept),
         workers,
+        metrics_http,
     })
+}
+
+/// Starts the HTTP observability endpoint: `/metrics` renders the
+/// per-server registry followed by the process-global one (buffer pool,
+/// analyzer), `/healthz` answers a JSON liveness probe, and `/events?n=K`
+/// serves the logger's most recent ring-buffer events as JSON lines.
+fn start_metrics_endpoint(
+    addr: &str,
+    registry: Arc<Registry>,
+    logger: Arc<Logger>,
+) -> std::io::Result<HttpServer> {
+    // Pre-register the process-global families so every scrape sees them
+    // (at zero) even before the first buffer-pool access or ANALYZE
+    // session touches them.
+    epfis_obs::wellknown::bufferpool();
+    epfis_obs::wellknown::analyzer();
+    HttpServer::serve(
+        addr,
+        Arc::new(move |path: &str| {
+            let (route, query) = match path.split_once('?') {
+                Some((r, q)) => (r, q),
+                None => (path, ""),
+            };
+            match route {
+                "/metrics" => {
+                    let mut body = registry.render_prometheus();
+                    Registry::global().render_prometheus_into(&mut body);
+                    Some(Response::ok(
+                        "text/plain; version=0.0.4; charset=utf-8",
+                        body,
+                    ))
+                }
+                "/healthz" => Some(Response::ok(
+                    "application/json; charset=utf-8",
+                    "{\"status\":\"ok\"}\n".to_string(),
+                )),
+                "/events" => {
+                    let n = query
+                        .split('&')
+                        .find_map(|kv| kv.strip_prefix("n="))
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .unwrap_or(64);
+                    let mut body = String::new();
+                    for event in logger.recent(n) {
+                        body.push_str(&event.render_json());
+                        body.push('\n');
+                    }
+                    Some(Response::ok("application/json; charset=utf-8", body))
+                }
+                _ => None,
+            }
+        }),
+    )
 }
 
 /// Rejects a connection at admission: writes one `SERVER_BUSY` line (with a
@@ -338,6 +462,12 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
 /// and drops the socket.
 fn shed_connection(stream: TcpStream, shared: &Shared) {
     shared.metrics.connection_shed();
+    shared
+        .logger
+        .event(Level::Warn, "server", "connection_shed")
+        .field("active", shared.admitted.load(Ordering::SeqCst) as u64)
+        .field("limit", shared.max_connections as u64)
+        .emit();
     let response = frame_busy(&format!(
         "{} connections active (limit {}); retry later",
         shared.admitted.load(Ordering::SeqCst),
@@ -450,6 +580,15 @@ fn send_response(writer: &mut TcpStream, response: &str, shared: &Shared) -> boo
 /// Serves one connection to completion.
 fn handle_connection(stream: TcpStream, shared: &Shared) {
     shared.metrics.connection_opened();
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_default();
+    shared
+        .logger
+        .event(Level::Debug, "server", "connection_opened")
+        .field("peer", peer.as_str())
+        .emit();
     let mut session: Option<IngestSession> = None;
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
@@ -461,12 +600,24 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     if let Ok(mut reader) = LineReader::new(stream) {
         serve_lines(&mut reader, &mut writer, shared, &mut session);
     }
-    if session.is_some() {
+    if let Some(open) = &session {
         // The connection ended (EOF, error, limit, shutdown) with an
         // ANALYZE session still open: its references are discarded.
         shared.metrics.session_disconnected();
+        epfis_obs::wellknown::analyzer().active_sessions.sub(1);
+        shared
+            .logger
+            .event(Level::Warn, "server", "session_disconnected")
+            .field("entry", open.name())
+            .field("dropped_refs", open.records())
+            .emit();
     }
     shared.metrics.connection_closed();
+    shared
+        .logger
+        .event(Level::Debug, "server", "connection_closed")
+        .field("peer", peer.as_str())
+        .emit();
 }
 
 /// The per-connection request loop; returns when the connection is done.
@@ -482,6 +633,11 @@ fn serve_lines(
             ReadOutcome::Closed => return,
             ReadOutcome::IdleTimeout => {
                 shared.metrics.limit_rejection();
+                shared
+                    .logger
+                    .event(Level::Warn, "server", "limit_idle")
+                    .field("timeout_s", shared.limits.idle_timeout.as_secs_f64())
+                    .emit();
                 let msg = format!(
                     "limit idle: no complete request within {}s; closing connection",
                     shared.limits.idle_timeout.as_secs_f64()
@@ -491,6 +647,11 @@ fn serve_lines(
             }
             ReadOutcome::LineTooLong => {
                 shared.metrics.limit_rejection();
+                shared
+                    .logger
+                    .event(Level::Warn, "server", "limit_line")
+                    .field("max_line_bytes", shared.limits.max_line_bytes as u64)
+                    .emit();
                 let msg = format!(
                     "limit line: request line exceeds {} bytes; closing connection",
                     shared.limits.max_line_bytes
@@ -586,6 +747,31 @@ fn execute(
             let f = entry.stats.estimate(&q);
             Ok(vec![format!("{f}")])
         }
+        Request::Explain {
+            name,
+            sigma,
+            buffer,
+            sargable,
+        } => {
+            if !(0.0..=1.0).contains(&sigma) || !(0.0..=1.0).contains(&sargable) {
+                return Err("selectivities must be in [0, 1]".into());
+            }
+            if buffer == 0 {
+                return Err("buffer must be at least 1".into());
+            }
+            let snap = shared.catalog.snapshot();
+            let entry = snap
+                .get(&name)
+                .ok_or_else(|| format!("no catalog entry named {name:?} (try SHOW)"))?;
+            let q = ScanQuery::range(sigma, buffer).with_sargable(sargable);
+            let trace = entry.stats.estimate_traced(&q);
+            // Line 0 is the estimate exactly as ESTIMATE would serve it
+            // (same arithmetic, same `{}` formatting — see EstimateTrace);
+            // the entry identity slots in right after it.
+            let mut lines = trace.wire_lines();
+            lines.insert(1, format!("entry {name} epoch={}", entry.epoch));
+            Ok(lines)
+        }
         Request::Fpf { name, points } => {
             if points == 0 || points > 10_000 {
                 return Err("points must be in [1, 10000]".into());
@@ -674,6 +860,14 @@ fn execute(
                 return Err("table_pages must be at least 1".into());
             }
             *session = Some(IngestSession::new(name.clone(), config, table_pages));
+            let analyzer = epfis_obs::wellknown::analyzer();
+            analyzer.sessions.inc();
+            analyzer.active_sessions.add(1);
+            shared
+                .logger
+                .event(Level::Info, "server", "analyze_begin")
+                .field("entry", name.as_str())
+                .emit();
             Ok(vec![format!("session {name}")])
         }
         Request::Page { pairs } => {
@@ -691,15 +885,32 @@ fn execute(
             }
             // Batches apply atomically: a rejected line leaves the session
             // untouched, so the client can correct and resend it.
+            let compactions_before = open.compactions();
             open.feed_batch(&pairs)?;
+            // Telemetry publishes per batch, never per reference: the
+            // analyzer's access loop runs tens of millions of refs/s and
+            // must stay free of shared atomics.
+            let analyzer = epfis_obs::wellknown::analyzer();
+            analyzer.refs.add(pairs.len() as u64);
+            analyzer
+                .compactions
+                .add(open.compactions() - compactions_before);
             Ok(vec![format!("fed {}", open.records())])
         }
         Request::AnalyzeCommit => {
             let open = session
                 .take()
                 .ok_or("no open session (send ANALYZE BEGIN first)")?;
+            epfis_obs::wellknown::analyzer().active_sessions.sub(1);
+            let span = shared
+                .logger
+                .span(Level::Info, "server", "analyze_commit")
+                .field("entry", open.name())
+                .field("refs", open.records())
+                .field("keys", open.keys());
             let name = open.name().to_string();
             let (stats, summary) = open.commit()?;
+            drop(span);
             let (t, n, i, c) = (
                 stats.table_pages,
                 stats.records,
@@ -718,7 +929,14 @@ fn execute(
             let open = session
                 .take()
                 .ok_or("no open session (send ANALYZE BEGIN first)")?;
+            epfis_obs::wellknown::analyzer().active_sessions.sub(1);
             let (name, dropped) = open.abort();
+            shared
+                .logger
+                .event(Level::Info, "server", "analyze_abort")
+                .field("entry", name.as_str())
+                .field("dropped_refs", dropped)
+                .emit();
             Ok(vec![format!("aborted {name} dropped={dropped}")])
         }
         Request::Stats => {
