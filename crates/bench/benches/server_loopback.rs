@@ -5,8 +5,8 @@
 //! streaming-ingest path (`PAGE` batches into the stack analyzer).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use epfis_bench::loopback::{self, PAGE_BATCH};
-use epfis_server::Client;
+use epfis_bench::loopback::{self, BINARY_PAGE_BATCH, PAGE_BATCH, PIPELINE_DEPTH};
+use epfis_server::{BinResponse, BinaryClient, Client};
 
 fn bench_loopback(c: &mut Criterion) {
     let (server, addr) = loopback::start_server();
@@ -46,6 +46,46 @@ fn bench_loopback(c: &mut Criterion) {
         b.iter(|| ingest_client.request(&batch).expect("page"))
     });
     ingest_client.request("ANALYZE ABORT").expect("abort");
+
+    // The binary-framing counterparts: one pipelined window of ESTIMATE
+    // frames (depth requests per flush, one write + one read-drain), and
+    // one fixed-width PAGE frame through zero-copy decode + atomic feed.
+    let mut bin = BinaryClient::connect(addr).expect("connect binary");
+    let mut i = 0u64;
+    g.bench_function("binary_estimate_pipeline_64", |b| {
+        b.iter(|| {
+            for _ in 0..PIPELINE_DEPTH {
+                i += 1;
+                let sigma = 0.01 + 0.9 * ((i % 97) as f64 / 97.0);
+                let buffer = 1 + i % 200;
+                bin.queue_estimate("bench.ix", sigma, buffer, 1.0);
+            }
+            bin.flush().expect("flush");
+            while bin.in_flight() > 0 {
+                match bin.recv().expect("recv") {
+                    BinResponse::F64(_) => {}
+                    other => panic!("{other:?}"),
+                }
+            }
+        })
+    });
+
+    let mut bin_ingest = BinaryClient::connect(addr).expect("connect binary");
+    let bin_batch: Vec<(i64, u32)> = (0..BINARY_PAGE_BATCH)
+        .map(|j| (7i64, (j as u32).wrapping_mul(2654435761) % 400))
+        .collect();
+    bin_ingest.queue_analyze_begin("bin.scratch.ix", None, Some(400));
+    bin_ingest.flush().expect("flush");
+    bin_ingest.recv().expect("begin");
+    g.bench_function("binary_page_batch_4096", |b| {
+        b.iter(|| match bin_ingest.page(&bin_batch) {
+            Ok(_) => {}
+            Err(e) => panic!("{e}"),
+        })
+    });
+    bin_ingest.queue_analyze_abort();
+    bin_ingest.flush().expect("flush");
+    bin_ingest.recv().expect("abort");
 
     g.finish();
     server.shutdown_and_join();

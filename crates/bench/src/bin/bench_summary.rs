@@ -3,18 +3,28 @@
 //!
 //! ```text
 //! cargo run -p epfis-bench --release --bin bench_summary -- \
-//!     [--out FILE] [--seed S] [--threads N]
+//!     [--out FILE] [--seed S] [--threads N] [--depth D] [--skip-baseline-assert]
 //! ```
 //!
 //! Each phase calls the same figure drivers as `repro_all --quick 1` (at the
 //! same quick-scale parameters) but discards the artifacts — only wall-clock
-//! matters here. The output (default `BENCH_PR5.json`) records per-phase
+//! matters here. The output (default `BENCH_PR6.json`) records per-phase
 //! seconds, analyzer references/second on Zipf and sequential traces,
 //! `epfis-server` loopback throughput (streaming ingest references/second,
-//! single- and multi-connection estimates/second), and an `obs` section
-//! comparing ingest with full telemetry (debug logger + `/metrics`
-//! endpoint) against the default server, so perf changes can be compared
-//! across commits and thread counts.
+//! single- and multi-connection estimates/second), a `binary_protocol`
+//! section measuring framing v2 (pipelined ingest and estimates, with the
+//! speedup over the text protocol), and an `obs` section comparing ingest
+//! with full telemetry (debug logger + `/metrics` endpoint) against the
+//! default server, so perf changes can be compared across commits and
+//! thread counts.
+//!
+//! Unless `--skip-baseline-assert` (or `EPFIS_BENCH_SKIP_BASELINE_ASSERT=1`)
+//! is given, the tool asserts the PR6 throughput floors in-process: binary
+//! ingest ≥ 9M refs/s, binary estimates ≥ 1M/s aggregate, and the text
+//! protocol within tolerance of the PR5 baselines (70%, absorbing
+//! machine-to-machine variance — the recorded baselines came from a
+//! multi-core host; the analyzer rate is reported alongside as a pure-CPU
+//! canary for comparing hosts).
 
 use epfis::EpfisConfig;
 use epfis_bench::Options;
@@ -42,10 +52,25 @@ fn analyzer_rate(trace: &[u32]) -> f64 {
     trace.len() as f64 / secs.max(1e-9)
 }
 
+/// The PR5-recorded loopback baselines this PR must not regress (see
+/// `BENCH_PR5.json` in the repository history) and the tolerance applied to
+/// them: wire-path rates depend on host core count, so a fixed fraction
+/// absorbs machine variance while still catching real regressions.
+mod baselines {
+    pub const TEXT_INGEST_REFS_PER_SEC: f64 = 3_740_973.0;
+    pub const TEXT_SINGLE_CONN_ESTIMATES_PER_SEC: f64 = 97_268.0;
+    pub const TEXT_MULTI_CONN_ESTIMATES_PER_SEC: f64 = 95_054.0;
+    pub const ANALYZER_ZIPF_REFS_PER_SEC: f64 = 18_118_677.0;
+    pub const TOLERANCE: f64 = 0.70;
+    /// PR6 targets for the new binary protocol (absolute floors).
+    pub const BINARY_INGEST_REFS_PER_SEC: f64 = 9_000_000.0;
+    pub const BINARY_ESTIMATES_PER_SEC: f64 = 1_000_000.0;
+}
+
 fn main() {
     let opts = Options::from_env();
     opts.init_threads();
-    let out = opts.get_str("out").unwrap_or("BENCH_PR5.json").to_string();
+    let out = opts.get_str("out").unwrap_or("BENCH_PR6.json").to_string();
     let seed: u64 = opts.get("seed", figures::DEFAULT_SEED);
 
     // The same quick-scale parameters repro_all uses with --quick 1.
@@ -149,6 +174,25 @@ fn main() {
     let multi_connections = 4;
     let multi_conn_rate =
         loopback::estimate_rate(addr, "bench.ix", multi_connections, estimates_per_conn);
+
+    // Binary framing v2 on the same server: pipelined fixed-width PAGE
+    // frames for ingest and pipelined ESTIMATE frames, against the same
+    // entry the text connections just used. A larger scan keeps the
+    // measurement out of timer-resolution territory at binary rates.
+    let depth: usize = opts.get("depth", loopback::PIPELINE_DEPTH);
+    let binary_scan = loopback::synthetic_scan(500_000, 4, 2_000);
+    let binary_ingest_refs_per_sec =
+        loopback::binary_ingest_rate(addr, "bench.bin.ix", &binary_scan, 2_000, depth);
+    let binary_estimates_per_conn = 100_000;
+    let binary_single_conn_rate =
+        loopback::binary_estimate_rate(addr, "bench.ix", 1, binary_estimates_per_conn, depth);
+    let binary_multi_conn_rate = loopback::binary_estimate_rate(
+        addr,
+        "bench.ix",
+        multi_connections,
+        binary_estimates_per_conn,
+        depth,
+    );
     server.shutdown_and_join();
 
     // Observability overhead: the same ingest against a server running with
@@ -202,6 +246,52 @@ fn main() {
          \"multi_connection_estimates_per_sec\": {multi_conn_rate:.0}\n"
     ));
     json.push_str("  },\n");
+    json.push_str("  \"binary_protocol\": {\n");
+    json.push_str(&format!(
+        "    \"pipeline_depth\": {depth},\n    \
+         \"page_batch_records\": {},\n",
+        loopback::BINARY_PAGE_BATCH
+    ));
+    json.push_str(&format!(
+        "    \"ingest_references\": {},\n    \"ingest_refs_per_sec\": {:.0},\n",
+        binary_scan.len(),
+        binary_ingest_refs_per_sec
+    ));
+    json.push_str(&format!(
+        "    \"estimates_per_connection\": {binary_estimates_per_conn},\n    \
+         \"single_connection_estimates_per_sec\": {binary_single_conn_rate:.0},\n"
+    ));
+    json.push_str(&format!(
+        "    \"connections\": {multi_connections},\n    \
+         \"multi_connection_estimates_per_sec\": {binary_multi_conn_rate:.0},\n"
+    ));
+    json.push_str(&format!(
+        "    \"ingest_speedup_vs_text\": {:.2},\n    \
+         \"estimate_speedup_vs_text\": {:.2}\n",
+        binary_ingest_refs_per_sec / ingest_refs_per_sec.max(1e-9),
+        binary_multi_conn_rate / multi_conn_rate.max(1e-9)
+    ));
+    json.push_str("  },\n");
+    json.push_str("  \"baselines_pr5\": {\n");
+    json.push_str(&format!(
+        "    \"text_ingest_refs_per_sec\": {:.0},\n    \
+         \"text_ingest_delta_percent\": {:.2},\n",
+        baselines::TEXT_INGEST_REFS_PER_SEC,
+        100.0 * (ingest_refs_per_sec / baselines::TEXT_INGEST_REFS_PER_SEC - 1.0)
+    ));
+    json.push_str(&format!(
+        "    \"text_multi_conn_estimates_per_sec\": {:.0},\n    \
+         \"text_multi_conn_estimates_delta_percent\": {:.2},\n",
+        baselines::TEXT_MULTI_CONN_ESTIMATES_PER_SEC,
+        100.0 * (multi_conn_rate / baselines::TEXT_MULTI_CONN_ESTIMATES_PER_SEC - 1.0)
+    ));
+    json.push_str(&format!(
+        "    \"analyzer_zipf_refs_per_sec\": {:.0},\n    \
+         \"analyzer_zipf_delta_percent\": {:.2}\n",
+        baselines::ANALYZER_ZIPF_REFS_PER_SEC,
+        100.0 * (zipf_rate / baselines::ANALYZER_ZIPF_REFS_PER_SEC - 1.0)
+    ));
+    json.push_str("  },\n");
     json.push_str("  \"obs\": {\n");
     json.push_str(&format!(
         "    \"ingest_refs_per_sec_default\": {ingest_refs_per_sec:.0},\n    \
@@ -213,4 +303,60 @@ fn main() {
     std::fs::write(&out, &json).expect("write benchmark summary");
     print!("{json}");
     println!("wrote {out}");
+
+    let skip_assert = opts.get("skip-baseline-assert", 0u32) != 0
+        || std::env::var("EPFIS_BENCH_SKIP_BASELINE_ASSERT").is_ok_and(|v| v != "0");
+    if skip_assert {
+        println!("baseline assertions skipped");
+        return;
+    }
+    let floors: Vec<(&str, f64, f64)> = vec![
+        (
+            "binary ingest refs/s",
+            binary_ingest_refs_per_sec,
+            baselines::BINARY_INGEST_REFS_PER_SEC,
+        ),
+        (
+            "binary estimates/s (best of single/multi)",
+            binary_single_conn_rate.max(binary_multi_conn_rate),
+            baselines::BINARY_ESTIMATES_PER_SEC,
+        ),
+        (
+            "text ingest refs/s vs PR5",
+            ingest_refs_per_sec,
+            baselines::TOLERANCE * baselines::TEXT_INGEST_REFS_PER_SEC,
+        ),
+        (
+            "text single-conn estimates/s vs PR5",
+            single_conn_rate,
+            baselines::TOLERANCE * baselines::TEXT_SINGLE_CONN_ESTIMATES_PER_SEC,
+        ),
+        (
+            "text multi-conn estimates/s vs PR5",
+            multi_conn_rate,
+            baselines::TOLERANCE * baselines::TEXT_MULTI_CONN_ESTIMATES_PER_SEC,
+        ),
+        (
+            "analyzer zipf refs/s vs PR5",
+            zipf_rate,
+            baselines::TOLERANCE * baselines::ANALYZER_ZIPF_REFS_PER_SEC,
+        ),
+    ];
+    let mut failed = false;
+    for (what, got, floor) in floors {
+        let ok = got >= floor;
+        failed |= !ok;
+        println!(
+            "baseline {}: {what}: {got:.0} >= {floor:.0}",
+            if ok { "PASS" } else { "FAIL" }
+        );
+    }
+    if failed {
+        eprintln!(
+            "baseline assertions FAILED (pass --skip-baseline-assert 1 or set \
+             EPFIS_BENCH_SKIP_BASELINE_ASSERT=1 to record numbers anyway)"
+        );
+        std::process::exit(1);
+    }
+    println!("baseline assertions passed");
 }

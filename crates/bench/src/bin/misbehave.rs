@@ -12,6 +12,10 @@
 //!     (default 2000); prints how each ended
 //! misbehave --scenario loris --addr HOST:PORT [--interval-ms T] [--max-ms T]
 //!     trickle newline-less bytes; exits 0 iff the server disconnected us
+//! misbehave --scenario binflood --addr HOST:PORT [--bytes N]
+//!     negotiate binary framing, then declare one N-byte frame (default
+//!     8 MiB) and flood its body; exits 0 iff the server rejected the
+//!     frame from its header (`ERR limit frame ...`) or cut the connection
 //! ```
 
 use epfis_bench::Options;
@@ -65,6 +69,21 @@ fn main() {
             );
             std::process::exit(if outcome.disconnected { 0 } else { 1 });
         }
-        other => panic!("unknown --scenario {other:?} (flood|idle|loris)"),
+        "binflood" => {
+            let bytes: u64 = opts.get("bytes", 8 * 1024 * 1024u64);
+            let declared = u32::try_from(bytes).expect("--bytes must fit u32");
+            let outcome = hostile::binary_flood(&addr, declared).expect("connect");
+            println!(
+                "binflood declared={declared} written={} disconnected={} response={:?}",
+                outcome.bytes_written, outcome.disconnected, outcome.response
+            );
+            let rejected = outcome.disconnected
+                || outcome
+                    .response
+                    .as_deref()
+                    .is_some_and(|r| r.contains("limit"));
+            std::process::exit(if rejected { 0 } else { 1 });
+        }
+        other => panic!("unknown --scenario {other:?} (flood|idle|loris|binflood)"),
     }
 }

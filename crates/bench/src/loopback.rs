@@ -3,12 +3,19 @@
 //! on 127.0.0.1. Shared by `bench_summary` (JSON numbers) and the
 //! `server_loopback` criterion bench.
 
-use epfis_server::{serve, Client, ServerConfig, ServerHandle};
+use epfis_server::{serve, BinResponse, BinaryClient, Client, ServerConfig, ServerHandle};
 use std::net::SocketAddr;
 use std::time::Instant;
 
 /// References per `PAGE` line — large batches amortize the per-line framing.
 pub const PAGE_BATCH: usize = 256;
+
+/// References per binary `PAGE` frame. Frames carry fixed 12-byte records,
+/// so a much larger batch still stays far below `max_line_bytes`.
+pub const BINARY_PAGE_BATCH: usize = 4096;
+
+/// Default pipeline depth: requests in flight per flush on the binary path.
+pub const PIPELINE_DEPTH: usize = 64;
 
 /// Starts an in-memory loopback server sized for benchmarking. Metric
 /// counters are always on (they are unconditional atomics); the structured
@@ -90,6 +97,81 @@ pub fn estimate_rate(addr: SocketAddr, name: &str, connections: usize, requests:
         .collect();
     for t in workers {
         t.join().expect("estimate worker");
+    }
+    (connections * requests) as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Receives every in-flight binary response, panicking on server `ERR`s.
+fn drain(client: &mut BinaryClient, what: &str) {
+    while client.in_flight() > 0 {
+        if let BinResponse::Err(m) = client.recv().expect(what) {
+            panic!("{what}: server ERR {m}");
+        }
+    }
+}
+
+/// Streams `refs` into entry `name` over binary framing v2: fixed-width
+/// `PAGE` frames, `depth` frames pipelined per flush. Returns references
+/// ingested per second (protocol + analysis + fit), the binary counterpart
+/// of [`ingest_rate`].
+pub fn binary_ingest_rate(
+    addr: SocketAddr,
+    name: &str,
+    refs: &[(i64, u32)],
+    table_pages: u32,
+    depth: usize,
+) -> f64 {
+    let depth = depth.max(1);
+    let mut client = BinaryClient::connect(addr).expect("connect binary");
+    let start = Instant::now();
+    client.queue_analyze_begin(name, None, Some(table_pages));
+    for batch in refs.chunks(BINARY_PAGE_BATCH) {
+        client.queue_page(batch);
+        if client.in_flight() >= depth {
+            client.flush().expect("flush");
+            drain(&mut client, "page");
+        }
+    }
+    client.queue_analyze_commit();
+    client.flush().expect("flush");
+    drain(&mut client, "commit");
+    refs.len() as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Runs `requests` binary `ESTIMATE`s against `name` from each of
+/// `connections` concurrent clients, `depth` requests pipelined per flush;
+/// returns aggregate estimates per second (counterpart of
+/// [`estimate_rate`]).
+pub fn binary_estimate_rate(
+    addr: SocketAddr,
+    name: &str,
+    connections: usize,
+    requests: usize,
+    depth: usize,
+) -> f64 {
+    let depth = depth.max(1);
+    let start = Instant::now();
+    let workers: Vec<_> = (0..connections)
+        .map(|w| {
+            let name = name.to_string();
+            std::thread::spawn(move || {
+                let mut client = BinaryClient::connect(addr).expect("connect binary");
+                for i in 0..requests {
+                    let sigma = 0.01 + 0.9 * ((w * requests + i) % 97) as f64 / 97.0;
+                    let buffer = 1 + (i % 200) as u64;
+                    client.queue_estimate(&name, sigma, buffer, 1.0);
+                    if client.in_flight() >= depth {
+                        client.flush().expect("flush");
+                        drain(&mut client, "estimate");
+                    }
+                }
+                client.flush().expect("flush");
+                drain(&mut client, "estimate");
+            })
+        })
+        .collect();
+    for t in workers {
+        t.join().expect("binary estimate worker");
     }
     (connections * requests) as f64 / start.elapsed().as_secs_f64().max(1e-9)
 }

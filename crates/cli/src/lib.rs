@@ -137,9 +137,11 @@ pub const USAGE: &str = "usage: epfis <analyze|show|fpf|estimate|plan> --catalog
              ADDR`; --log-level trace|debug|info|warn|error|off enables
              structured events on stderr, --log-file appends them as JSON
              lines — see docs/observability.md)
-  client    --addr HOST:PORT [--send CMD]
+  client    --addr HOST:PORT [--send CMD] [--binary true]
             (one-shot with --send, otherwise reads protocol commands from
-             stdin; see docs/protocol.md)
+             stdin; --binary true upgrades the connection to binary framing
+             v2 with HELLO BINARY and carries each command in a TEXT frame —
+             answers are identical; see docs/protocol.md)
 exit codes: 0 ok, 2 usage/parse error, 1 runtime error";
 
 /// Parses a captured statistics-scan trace: one `key page` pair per line
@@ -690,10 +692,30 @@ fn serve_logger(cmd: &Command) -> Result<Option<std::sync::Arc<epfis_obs::Logger
 
 fn client(cmd: &Command) -> Result<String, CliError> {
     let addr: String = cmd.require("addr")?;
-    let mut client = epfis_server::Client::connect(&addr)
-        .map_err(|e| err(format!("cannot connect to {addr}: {e}")))?;
+    // Either wire format serves the same commands: text sends raw lines,
+    // binary wraps each line in a framing-v2 TEXT frame after the
+    // HELLO BINARY upgrade. Responses are identical line-for-line.
+    enum Wire {
+        Text(epfis_server::Client),
+        Binary(epfis_server::BinaryClient),
+    }
+    let mut client = if cmd.get_or("binary", false)? {
+        Wire::Binary(
+            epfis_server::BinaryClient::connect(&addr)
+                .map_err(|e| err(format!("cannot connect to {addr}: {e}")))?,
+        )
+    } else {
+        Wire::Text(
+            epfis_server::Client::connect(&addr)
+                .map_err(|e| err(format!("cannot connect to {addr}: {e}")))?,
+        )
+    };
     let mut send = |command: &str, out: &mut String| -> Result<(), CliError> {
-        let lines = client.request(command).map_err(|e| err(e.to_string()))?;
+        let lines = match &mut client {
+            Wire::Text(c) => c.request(command),
+            Wire::Binary(c) => c.text(command),
+        }
+        .map_err(|e| err(e.to_string()))?;
         for line in lines {
             out.push_str(&line);
             out.push('\n');

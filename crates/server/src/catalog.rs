@@ -36,6 +36,7 @@ use epfis_estimators::TraceSummary;
 use std::collections::BTreeMap;
 use std::io;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 const HEADER: &str = "epfis-server-catalog v1";
@@ -57,10 +58,15 @@ pub struct VersionedEntry {
 
 /// An immutable catalog version: named [`VersionedEntry`]s plus the global
 /// epoch. Commits produce a new value; readers hold `Arc` snapshots.
+///
+/// Entries are individually `Arc`'d so a hot reader can hold a handle to
+/// one entry across requests (the binary protocol's zero-alloc `ESTIMATE`
+/// path) and so successor catalogs share unchanged entries instead of
+/// cloning them.
 #[derive(Clone, Default)]
 pub struct VersionedCatalog {
     epoch: u64,
-    entries: BTreeMap<String, VersionedEntry>,
+    entries: BTreeMap<String, Arc<VersionedEntry>>,
 }
 
 impl VersionedCatalog {
@@ -86,12 +92,19 @@ impl VersionedCatalog {
 
     /// Looks an entry up by name.
     pub fn get(&self, name: &str) -> Option<&VersionedEntry> {
+        self.entries.get(name).map(|e| &**e)
+    }
+
+    /// Looks an entry up by name, returning the shared handle. A caller may
+    /// hold the `Arc` beyond the snapshot's lifetime (the entry is immutable
+    /// once published).
+    pub fn get_arc(&self, name: &str) -> Option<&Arc<VersionedEntry>> {
         self.entries.get(name)
     }
 
     /// Iterates entries in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &VersionedEntry)> {
-        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+        self.entries.iter().map(|(k, v)| (k.as_str(), &**v))
     }
 
     /// Inserts (or replaces) an entry, bumping the global epoch and stamping
@@ -110,12 +123,12 @@ impl VersionedCatalog {
         self.epoch += 1;
         self.entries.insert(
             name,
-            VersionedEntry {
+            Arc::new(VersionedEntry {
                 stats,
                 epoch: self.epoch,
                 analyzed_at,
                 summary,
-            },
+            }),
         );
         Ok(self.epoch)
     }
@@ -216,12 +229,12 @@ impl VersionedCatalog {
                 .ok_or_else(|| invalid(format!("entry {name:?} has no meta line")))?;
             entries.insert(
                 name.to_string(),
-                VersionedEntry {
+                Arc::new(VersionedEntry {
                     stats: stats.clone(),
                     epoch: entry_epoch,
                     analyzed_at,
                     summary: None,
-                },
+                }),
             );
         }
         if let Some(orphan) = meta.keys().find(|n| !entries.contains_key(*n)) {
@@ -238,6 +251,11 @@ pub struct SharedCatalog {
     path: Option<PathBuf>,
     commit_lock: Mutex<()>,
     logger: Arc<epfis_obs::Logger>,
+    // The published catalog's epoch, readable without the lock. A reader
+    // holding a snapshot compares this against the snapshot's epoch to
+    // decide — lock-free — whether a cached entry handle is still current
+    // (the binary `ESTIMATE` fast path revalidates on every request).
+    epoch_hint: AtomicU64,
 }
 
 impl SharedCatalog {
@@ -248,6 +266,7 @@ impl SharedCatalog {
             path: None,
             commit_lock: Mutex::new(()),
             logger: Arc::new(epfis_obs::Logger::disabled()),
+            epoch_hint: AtomicU64::new(0),
         }
     }
 
@@ -260,11 +279,13 @@ impl SharedCatalog {
         } else {
             VersionedCatalog::new()
         };
+        let epoch = initial.epoch();
         Ok(SharedCatalog {
             current: RwLock::new(Arc::new(initial)),
             path: Some(path),
             commit_lock: Mutex::new(()),
             logger: Arc::new(epfis_obs::Logger::disabled()),
+            epoch_hint: AtomicU64::new(epoch),
         })
     }
 
@@ -285,6 +306,16 @@ impl SharedCatalog {
             .read()
             .unwrap_or_else(|e| e.into_inner())
             .clone()
+    }
+
+    /// The epoch of the most recently published catalog, read without any
+    /// lock. A snapshot whose [`VersionedCatalog::epoch`] equals this hint
+    /// is current; a mismatch means a commit landed and the caller should
+    /// re-[`snapshot`](SharedCatalog::snapshot). The hint is published
+    /// *after* the `Arc` swap, so a fresh snapshot is always at least as new
+    /// as the hint says.
+    pub fn epoch_hint(&self) -> u64 {
+        self.epoch_hint.load(Ordering::Acquire)
     }
 
     /// Commits a new analysis for `name`: builds the successor catalog,
@@ -313,6 +344,7 @@ impl SharedCatalog {
             write_atomic(path, &next.to_text())?;
         }
         *self.current.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(next);
+        self.epoch_hint.store(epoch, Ordering::Release);
         span.add_field("epoch", epoch);
         Ok(epoch)
     }
@@ -409,6 +441,31 @@ mod tests {
         assert_eq!(old.get("ix").unwrap().stats, stats(1));
         assert_eq!(shared.snapshot().get("ix").unwrap().stats, stats(2));
         assert_eq!(shared.snapshot().epoch(), 2);
+    }
+
+    #[test]
+    fn epoch_hint_tracks_published_commits() {
+        let shared = SharedCatalog::in_memory();
+        assert_eq!(shared.epoch_hint(), 0);
+        shared.commit("ix", stats(1), None).unwrap();
+        assert_eq!(shared.epoch_hint(), 1);
+        assert_eq!(shared.snapshot().epoch(), shared.epoch_hint());
+
+        // Cached entry handles outlive the snapshot they came from.
+        let snap = shared.snapshot();
+        let handle = snap.get_arc("ix").unwrap().clone();
+        shared.commit("ix", stats(2), None).unwrap();
+        assert_eq!(shared.epoch_hint(), 2);
+        assert_eq!(handle.stats, stats(1)); // old handle, old version
+        assert_ne!(snap.epoch(), shared.epoch_hint()); // mismatch detected
+
+        // A durable reload seeds the hint from the persisted epoch.
+        let path = tmp("hint");
+        let durable = SharedCatalog::open(&path).unwrap();
+        durable.commit("a", stats(3), None).unwrap();
+        durable.commit("b", stats(4), None).unwrap();
+        let reopened = SharedCatalog::open(&path).unwrap();
+        assert_eq!(reopened.epoch_hint(), 2);
     }
 
     #[test]

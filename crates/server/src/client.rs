@@ -1,14 +1,24 @@
-//! A minimal blocking client for the line protocol.
+//! Blocking clients for both wire formats.
 //!
-//! One request in flight at a time per connection; [`Client::request`]
-//! writes a command line and reads the counted-line response frame. Protocol
-//! `ERR` responses surface as [`ClientError::Server`], transport problems as
-//! [`ClientError::Io`] — callers that script multi-command `ANALYZE`
-//! sessions care about the difference (a server-side reject leaves the
-//! connection usable; an I/O error does not).
+//! [`Client`] speaks the text line protocol: one request in flight at a
+//! time; [`Client::request`] writes a command line and reads the
+//! counted-line response frame. Protocol `ERR` responses surface as
+//! [`ClientError::Server`], transport problems as [`ClientError::Io`] —
+//! callers that script multi-command `ANALYZE` sessions care about the
+//! difference (a server-side reject leaves the connection usable; an I/O
+//! error does not).
+//!
+//! [`BinaryClient`] negotiates framing v2 (`HELLO BINARY`) and supports
+//! **pipelining**: `queue_*` methods append request frames to a send
+//! buffer, [`BinaryClient::flush`] writes them in one syscall, and
+//! [`BinaryClient::recv`] reads responses back in order. The synchronous
+//! helpers ([`BinaryClient::estimate`], [`BinaryClient::page`],
+//! [`BinaryClient::text`]) wrap queue + flush + recv for the
+//! one-at-a-time case.
 
+use crate::framing::{self, decode_response, BinResponse};
 use std::fmt;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 /// Why a request failed.
@@ -94,5 +104,160 @@ impl Client {
             line.pop();
         }
         Ok(line)
+    }
+}
+
+/// A blocking connection speaking binary framing v2, with client-side
+/// pipelining (see the module docs).
+pub struct BinaryClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    send_buf: Vec<u8>,
+    recv_buf: Vec<u8>,
+    in_flight: usize,
+}
+
+impl BinaryClient {
+    /// Connects to `addr` and upgrades the connection with `HELLO BINARY`.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
+        let mut text = Client::connect(addr)?;
+        let ack = text.request(framing::HELLO_BINARY)?;
+        if ack != [framing::HELLO_ACK] {
+            return Err(ClientError::Protocol(format!(
+                "unexpected HELLO BINARY response {ack:?}"
+            )));
+        }
+        Ok(BinaryClient {
+            writer: text.writer,
+            reader: text.reader,
+            send_buf: Vec::with_capacity(8 * 1024),
+            recv_buf: Vec::new(),
+            in_flight: 0,
+        })
+    }
+
+    /// Responses queued (or flushed) but not yet received.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Queues a PING frame.
+    pub fn queue_ping(&mut self) {
+        framing::encode_tag_only(&mut self.send_buf, framing::REQ_PING);
+        self.in_flight += 1;
+    }
+
+    /// Queues an ESTIMATE frame; the response is the raw `f64`.
+    pub fn queue_estimate(&mut self, name: &str, sigma: f64, buffer: u64, sargable: f64) {
+        framing::encode_estimate(&mut self.send_buf, name, sigma, buffer, sargable);
+        self.in_flight += 1;
+    }
+
+    /// Queues a PAGE frame; the response is the session's total references.
+    pub fn queue_page(&mut self, pairs: &[(i64, u32)]) {
+        framing::encode_page(&mut self.send_buf, pairs);
+        self.in_flight += 1;
+    }
+
+    /// Queues an ANALYZE_BEGIN frame (`None` = server default).
+    pub fn queue_analyze_begin(
+        &mut self,
+        name: &str,
+        segments: Option<u32>,
+        table_pages: Option<u32>,
+    ) {
+        framing::encode_analyze_begin(
+            &mut self.send_buf,
+            name,
+            segments.unwrap_or(0),
+            table_pages.unwrap_or(0),
+        );
+        self.in_flight += 1;
+    }
+
+    /// Queues an ANALYZE_COMMIT frame.
+    pub fn queue_analyze_commit(&mut self) {
+        framing::encode_tag_only(&mut self.send_buf, framing::REQ_ANALYZE_COMMIT);
+        self.in_flight += 1;
+    }
+
+    /// Queues an ANALYZE_ABORT frame.
+    pub fn queue_analyze_abort(&mut self) {
+        framing::encode_tag_only(&mut self.send_buf, framing::REQ_ANALYZE_ABORT);
+        self.in_flight += 1;
+    }
+
+    /// Queues a TEXT passthrough frame carrying any line-protocol command.
+    pub fn queue_text(&mut self, line: &str) {
+        framing::encode_text(&mut self.send_buf, line);
+        self.in_flight += 1;
+    }
+
+    /// Writes every queued frame in one syscall.
+    pub fn flush(&mut self) -> Result<(), ClientError> {
+        if !self.send_buf.is_empty() {
+            self.writer.write_all(&self.send_buf)?;
+            self.send_buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Reads the next response frame (responses arrive in request order).
+    /// A server-side `ERR` is a [`BinResponse::Err`] value, not an `Err`
+    /// return — in a pipeline, later responses are still readable.
+    pub fn recv(&mut self) -> Result<BinResponse, ClientError> {
+        let mut header = [0u8; 4];
+        self.reader.read_exact(&mut header)?;
+        let len = u32::from_le_bytes(header) as usize;
+        self.recv_buf.resize(len, 0);
+        self.reader.read_exact(&mut self.recv_buf)?;
+        self.in_flight = self.in_flight.saturating_sub(1);
+        decode_response(&self.recv_buf).map_err(ClientError::Protocol)
+    }
+
+    /// One-shot ESTIMATE: queue, flush, receive the `f64`.
+    pub fn estimate(
+        &mut self,
+        name: &str,
+        sigma: f64,
+        buffer: u64,
+        sargable: f64,
+    ) -> Result<f64, ClientError> {
+        self.queue_estimate(name, sigma, buffer, sargable);
+        self.flush()?;
+        match self.recv()? {
+            BinResponse::F64(f) => Ok(f),
+            BinResponse::Err(m) => Err(ClientError::Server(m)),
+            other => Err(ClientError::Protocol(format!(
+                "expected F64, got {other:?}"
+            ))),
+        }
+    }
+
+    /// One-shot PAGE: queue, flush, receive the running total.
+    pub fn page(&mut self, pairs: &[(i64, u32)]) -> Result<u64, ClientError> {
+        self.queue_page(pairs);
+        self.flush()?;
+        match self.recv()? {
+            BinResponse::U64(n) => Ok(n),
+            BinResponse::Err(m) => Err(ClientError::Server(m)),
+            other => Err(ClientError::Protocol(format!(
+                "expected U64, got {other:?}"
+            ))),
+        }
+    }
+
+    /// One-shot TEXT passthrough: queue, flush, receive the data lines —
+    /// the binary analogue of [`Client::request`].
+    pub fn text(&mut self, line: &str) -> Result<Vec<String>, ClientError> {
+        self.queue_text(line);
+        self.flush()?;
+        match self.recv()? {
+            BinResponse::Lines(lines) => Ok(lines),
+            BinResponse::Err(m) => Err(ClientError::Server(m)),
+            other => Err(ClientError::Protocol(format!(
+                "expected LINES, got {other:?}"
+            ))),
+        }
     }
 }

@@ -171,6 +171,112 @@ pub fn hold_idle_connections<A: ToSocketAddrs>(
     (0..count).map(|_| TcpStream::connect(addr)).collect()
 }
 
+/// Negotiates binary framing, then floods the server with a single frame
+/// whose declared body length is `declared_body_bytes` — optionally backed
+/// by that many actual bytes, but a hardened server rejects the frame from
+/// its *header* (`ERR limit frame ...`) without ever buffering the body, so
+/// the flood writes at most a few socket buffers before the connection
+/// drops. The binary analogue of [`flood_without_newline`].
+pub fn binary_flood<A: ToSocketAddrs>(
+    addr: A,
+    declared_body_bytes: u32,
+) -> std::io::Result<HostileOutcome> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    // Handshake in raw text (this is the hostile module; no Client niceties).
+    stream.write_all(b"HELLO BINARY\n")?;
+    let (ack, disconnected) = read_response(&mut stream, Duration::from_secs(2));
+    if disconnected || ack.as_deref() != Some("OK 1") {
+        return Ok(HostileOutcome {
+            bytes_written: 0,
+            response: ack,
+            disconnected,
+        });
+    }
+    // The ack's data line ("binary v2") was consumed by read_response's
+    // buffer; from here every byte we send is binary framing.
+    let mut written = 0u64;
+    let header = declared_body_bytes.to_le_bytes();
+    if stream.write_all(&header).is_ok() {
+        written += header.len() as u64;
+        let chunk = [0xABu8; 8192];
+        let mut body_left = declared_body_bytes as u64;
+        while body_left > 0 {
+            let n = (body_left as usize).min(chunk.len());
+            match stream.write(&chunk[..n]) {
+                Ok(0) | Err(_) => break,
+                Ok(w) => {
+                    written += w as u64;
+                    body_left -= w as u64;
+                }
+            }
+        }
+    }
+    let (response, disconnected) = read_binary_error(&mut stream, Duration::from_secs(2));
+    Ok(HostileOutcome {
+        bytes_written: written,
+        response,
+        disconnected,
+    })
+}
+
+/// Reads one binary response frame, rendering an `ERR` body as
+/// `"ERR <message>"` so [`HostileOutcome::response`] matches the text
+/// scenarios' shape. Transport errors report `(None, true)`.
+fn read_binary_error(stream: &mut TcpStream, timeout: Duration) -> (Option<String>, bool) {
+    let _ = stream.set_read_timeout(Some(timeout));
+    let mut collected = Vec::new();
+    let mut buf = [0u8; 1024];
+    let deadline = Instant::now() + timeout;
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                collected.extend_from_slice(&buf[..n]);
+                if collected.len() >= 4 {
+                    let len = u32::from_le_bytes(collected[..4].try_into().expect("4 bytes"));
+                    if collected.len() >= 4 + len as usize {
+                        let body = &collected[4..4 + len as usize];
+                        let rendered = match crate::framing::decode_response(body) {
+                            Ok(crate::framing::BinResponse::Err(m)) => format!("ERR {m}"),
+                            Ok(other) => format!("{other:?}"),
+                            Err(e) => e,
+                        };
+                        // Drain until EOF/timeout to learn `disconnected`.
+                        let closed = loop {
+                            match stream.read(&mut buf) {
+                                Ok(0) => break true,
+                                Ok(_) => {}
+                                Err(e)
+                                    if e.kind() == std::io::ErrorKind::WouldBlock
+                                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                                {
+                                    if Instant::now() >= deadline {
+                                        break false;
+                                    }
+                                }
+                                Err(_) => break true,
+                            }
+                        };
+                        return (Some(rendered), closed);
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if Instant::now() >= deadline {
+                    return (None, false);
+                }
+            }
+            Err(_) => return (None, true),
+        }
+    }
+    (None, true)
+}
+
 /// Opens an `ANALYZE` session, feeds a few references, and vanishes without
 /// `COMMIT`/`ABORT` — the mid-ingest disconnect a server must clean up
 /// after (and count under `sessions_disconnected`).

@@ -21,7 +21,97 @@
 use epfis::{EpfisConfig, IndexStatistics, LruFit};
 use epfis_estimators::TraceSummary;
 use epfis_lrusim::StackAnalyzer;
-use std::collections::HashSet;
+
+/// An insert-only open-addressing set of `i64` keys.
+///
+/// The run-boundary duplicate check fires once per key change, which on
+/// short runs is a large fraction of every reference fed — with
+/// `std::collections::HashSet` (SipHash) it dominated the wire-to-analyzer
+/// gap the binary protocol is meant to close. Keys never leave the set, so
+/// a tombstone-free linear-probe table with a multiplicative hash does the
+/// same job at a fraction of the cost.
+#[derive(Debug, Default)]
+struct KeySet {
+    /// Slot keys; validity comes from `used` (keys are arbitrary `i64`s, so
+    /// no in-band sentinel exists).
+    slots: Vec<i64>,
+    /// One bit per slot.
+    used: Vec<u64>,
+    len: usize,
+}
+
+impl KeySet {
+    /// Fibonacci hashing: multiply, keep the high bits via the mask below.
+    #[inline]
+    fn hash(key: i64) -> u64 {
+        (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    #[inline]
+    fn is_used(&self, slot: usize) -> bool {
+        self.used[slot >> 6] & (1u64 << (slot & 63)) != 0
+    }
+
+    #[inline]
+    fn mark_used(&mut self, slot: usize) {
+        self.used[slot >> 6] |= 1u64 << (slot & 63);
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(64);
+        let old_slots = std::mem::replace(&mut self.slots, vec![0; new_cap]);
+        let old_used = std::mem::replace(&mut self.used, vec![0; new_cap / 64]);
+        for (i, key) in old_slots.into_iter().enumerate() {
+            if old_used[i >> 6] & (1u64 << (i & 63)) != 0 {
+                let mask = new_cap - 1;
+                let mut slot = (Self::hash(key) >> 32) as usize & mask;
+                while self.is_used(slot) {
+                    slot = (slot + 1) & mask;
+                }
+                self.slots[slot] = key;
+                self.mark_used(slot);
+            }
+        }
+    }
+
+    /// True if `key` is in the set.
+    #[inline]
+    fn contains(&self, key: i64) -> bool {
+        if self.len == 0 {
+            return false;
+        }
+        let mask = self.slots.len() - 1;
+        let mut slot = (Self::hash(key) >> 32) as usize & mask;
+        while self.is_used(slot) {
+            if self.slots[slot] == key {
+                return true;
+            }
+            slot = (slot + 1) & mask;
+        }
+        false
+    }
+
+    /// Inserts `key`; returns `true` if it was not already present.
+    #[inline]
+    fn insert(&mut self, key: i64) -> bool {
+        // Grow at 50% load so probe chains stay short.
+        if self.len * 2 >= self.slots.len() {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut slot = (Self::hash(key) >> 32) as usize & mask;
+        while self.is_used(slot) {
+            if self.slots[slot] == key {
+                return false;
+            }
+            slot = (slot + 1) & mask;
+        }
+        self.slots[slot] = key;
+        self.mark_used(slot);
+        self.len += 1;
+        true
+    }
+}
 
 /// An in-progress streaming analysis (`ANALYZE BEGIN` … `COMMIT`).
 pub struct IngestSession {
@@ -33,7 +123,7 @@ pub struct IngestSession {
     keys: u64,
     max_page: u32,
     current_key: Option<i64>,
-    seen_keys: HashSet<i64>,
+    seen_keys: KeySet,
     // Algorithm DC cluster-counter state, maintained to match what
     // `TraceSummary::from_trace` computes from a whole trace. The min/max
     // reading compares a run's min page against the *previous* run's max,
@@ -64,7 +154,7 @@ impl IngestSession {
             keys: 0,
             max_page: 0,
             current_key: None,
-            seen_keys: HashSet::new(),
+            seen_keys: KeySet::default(),
             cc_minmax: 0,
             cc_run_order: 0,
             run_min: 0,
@@ -143,16 +233,23 @@ impl IngestSession {
     /// leaves the session exactly as it was, and the client can correct and
     /// retry it.
     pub fn check_batch(&self, pairs: &[(i64, u32)]) -> Result<(), String> {
+        self.check_batch_iter(pairs.iter().copied())
+    }
+
+    /// [`IngestSession::check_batch`] over any `(key, page)` iterator. The
+    /// binary protocol validates `PAGE` frames straight off the wire buffer
+    /// through this — no intermediate `Vec` is ever built.
+    pub fn check_batch_iter(&self, pairs: impl Iterator<Item = (i64, u32)>) -> Result<(), String> {
         let mut current = self.current_key;
-        let mut started_in_batch: HashSet<i64> = HashSet::new();
-        for &(key, page) in pairs {
+        let mut started_in_batch = KeySet::default();
+        for (key, page) in pairs {
             if let Some(t) = self.declared_table_pages {
                 if page >= t {
                     return Err(format!("page {page} >= declared table_pages {t}"));
                 }
             }
             if current != Some(key) {
-                if self.seen_keys.contains(&key) || started_in_batch.contains(&key) {
+                if self.seen_keys.contains(key) || started_in_batch.contains(key) {
                     return Err(format!(
                         "key {key} appears in two separate runs (references must be in key order)"
                     ));
@@ -168,11 +265,59 @@ impl IngestSession {
     /// ([`IngestSession::check_batch`]), then applies them all. On `Err`
     /// nothing was applied.
     pub fn feed_batch(&mut self, pairs: &[(i64, u32)]) -> Result<(), String> {
-        self.check_batch(pairs)?;
-        for &(key, page) in pairs {
-            self.feed(key, page)
-                .expect("check_batch validated every pair");
+        self.feed_batch_iter(pairs.iter().copied())
+    }
+
+    /// [`IngestSession::feed_batch`] over any cloneable `(key, page)`
+    /// iterator: one validation pass, one feed pass, both straight off the
+    /// caller's buffer. The iterator must be `Clone` because atomicity
+    /// requires traversing the batch twice.
+    pub fn feed_batch_iter(
+        &mut self,
+        pairs: impl Iterator<Item = (i64, u32)> + Clone,
+    ) -> Result<(), String> {
+        self.check_batch_iter(pairs.clone())?;
+        // The feed pass repeats none of the checks — the batch is proven
+        // valid — and keeps the per-run state in locals so the loop touches
+        // the session only at run boundaries and through the analyzer.
+        let mut current = self.current_key;
+        let mut run_min = self.run_min;
+        let mut run_max = self.run_max;
+        let mut run_last = self.run_last;
+        let mut max_page = self.max_page;
+        let mut records = self.records;
+        for (key, page) in pairs {
+            if current != Some(key) {
+                self.run_min = run_min;
+                self.run_max = run_max;
+                self.run_last = run_last;
+                if current.is_some() {
+                    self.close_run();
+                }
+                self.seen_keys.insert(key);
+                current = Some(key);
+                self.keys += 1;
+                if self.keys > 1 && page >= self.prev_run_last {
+                    self.cc_run_order += 1;
+                }
+                run_min = page;
+                run_max = page;
+                run_last = page;
+            } else {
+                run_min = run_min.min(page);
+                run_max = run_max.max(page);
+                run_last = page;
+            }
+            self.analyzer.access(page);
+            records += 1;
+            max_page = max_page.max(page);
         }
+        self.current_key = current;
+        self.run_min = run_min;
+        self.run_max = run_max;
+        self.run_last = run_last;
+        self.max_page = max_page;
+        self.records = records;
         Ok(())
     }
 

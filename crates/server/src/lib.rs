@@ -36,11 +36,20 @@
 //!   a per-session reference cap. [`hostile`] packages the corresponding
 //!   misbehaving clients for fault-injection tests.
 //!
+//! * A `HELLO BINARY` line upgrades a connection to **binary framing v2**
+//!   ([`framing`]): length-prefixed frames, pipelined request batching,
+//!   zero-copy `PAGE` decode straight into the stack analyzer, and a
+//!   zero-alloc `ESTIMATE` fast path over cached catalog-entry handles.
+//!   [`BinaryClient`] is the matching pipelining client; both protocols
+//!   share the same governance semantics and produce bit-identical
+//!   answers (the cross-validation tests prove it).
+//!
 //! The wire format is documented in `docs/protocol.md`; `epfis serve` and
-//! `epfis client` expose the server from the CLI.
+//! `epfis client` (with `--binary`) expose the server from the CLI.
 
 pub mod catalog;
 pub mod client;
+pub mod framing;
 pub mod hostile;
 pub mod ingest;
 pub mod metrics;
@@ -48,8 +57,9 @@ pub mod protocol;
 pub mod server;
 
 pub use catalog::{SharedCatalog, VersionedCatalog, VersionedEntry};
-pub use client::{Client, ClientError};
+pub use client::{BinaryClient, Client, ClientError};
+pub use framing::{BinRequest, BinResponse};
 pub use ingest::IngestSession;
-pub use metrics::{CommandStats, Metrics};
-pub use protocol::{frame_busy, frame_err, frame_ok, parse_request, Request};
+pub use metrics::{CommandStats, Metrics, Protocol};
+pub use protocol::{frame_busy, frame_err, frame_ok, parse_page_into, parse_request, Request};
 pub use server::{serve, LimitsConfig, ServerConfig, ServerHandle};

@@ -101,6 +101,19 @@ pub struct Metrics {
     sessions_disconnected: Arc<Counter>,
     bytes_in: Arc<Counter>,
     bytes_out: Arc<Counter>,
+    requests_text: Arc<Counter>,
+    requests_binary: Arc<Counter>,
+    binary_upgrades: Arc<Counter>,
+}
+
+/// Which wire format a request arrived on (`HELLO BINARY` upgrades a
+/// connection from [`Protocol::Text`] to [`Protocol::Binary`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Protocol {
+    /// The default line protocol.
+    Text,
+    /// Length-prefixed binary framing v2.
+    Binary,
 }
 
 impl Metrics {
@@ -160,6 +173,21 @@ impl Metrics {
             bytes_out: registry.counter(
                 "epfis_server_bytes_out_total",
                 "Bytes written to client sockets",
+                &[],
+            ),
+            requests_text: registry.counter(
+                "epfis_server_protocol_requests_total",
+                "Requests served, by wire protocol",
+                &[("protocol", "text")],
+            ),
+            requests_binary: registry.counter(
+                "epfis_server_protocol_requests_total",
+                "Requests served, by wire protocol",
+                &[("protocol", "binary")],
+            ),
+            binary_upgrades: registry.counter(
+                "epfis_server_binary_upgrades_total",
+                "Connections upgraded to binary framing via HELLO BINARY",
                 &[],
             ),
             registry,
@@ -264,6 +292,33 @@ impl Metrics {
         self.bytes_out.get()
     }
 
+    /// Records which wire protocol served one request (in addition to its
+    /// per-command [`Metrics::record`]).
+    pub fn protocol_request(&self, protocol: Protocol) {
+        match protocol {
+            Protocol::Text => self.requests_text.inc(),
+            Protocol::Binary => self.requests_binary.inc(),
+        }
+    }
+
+    /// Requests served over `protocol` so far.
+    pub fn protocol_requests_total(&self, protocol: Protocol) -> u64 {
+        match protocol {
+            Protocol::Text => self.requests_text.get(),
+            Protocol::Binary => self.requests_binary.get(),
+        }
+    }
+
+    /// Marks one connection upgraded to binary framing (`HELLO BINARY`).
+    pub fn binary_upgrade(&self) {
+        self.binary_upgrades.inc();
+    }
+
+    /// Binary upgrades so far.
+    pub fn binary_upgrades_total(&self) -> u64 {
+        self.binary_upgrades.get()
+    }
+
     /// Renders the `STATS` data lines: global counters first, then one line
     /// per command that has been used, in label order.
     pub fn render(&self, uptime_secs: u64, epoch: u64, entries: usize) -> Vec<String> {
@@ -279,6 +334,15 @@ impl Metrics {
             ),
             format!("bytes_in {}", self.bytes_in_total()),
             format!("bytes_out {}", self.bytes_out_total()),
+            format!(
+                "protocol_requests_text {}",
+                self.protocol_requests_total(Protocol::Text)
+            ),
+            format!(
+                "protocol_requests_binary {}",
+                self.protocol_requests_total(Protocol::Binary)
+            ),
+            format!("binary_upgrades {}", self.binary_upgrades_total()),
             format!("catalog_epoch {epoch}"),
             format!("catalog_entries {entries}"),
         ];
@@ -373,6 +437,34 @@ mod tests {
             "bytes_out 7",
         ] {
             assert!(lines.iter().any(|l| l == expect), "{expect}: {lines:?}");
+        }
+    }
+
+    #[test]
+    fn protocol_counters_render_in_stats_and_prometheus() {
+        let m = Metrics::new(&[]);
+        m.protocol_request(Protocol::Text);
+        m.protocol_request(Protocol::Text);
+        m.protocol_request(Protocol::Binary);
+        m.binary_upgrade();
+        assert_eq!(m.protocol_requests_total(Protocol::Text), 2);
+        assert_eq!(m.protocol_requests_total(Protocol::Binary), 1);
+        assert_eq!(m.binary_upgrades_total(), 1);
+        let lines = m.render(0, 0, 0);
+        for expect in [
+            "protocol_requests_text 2",
+            "protocol_requests_binary 1",
+            "binary_upgrades 1",
+        ] {
+            assert!(lines.iter().any(|l| l == expect), "{expect}: {lines:?}");
+        }
+        let text = m.registry().render_prometheus();
+        for expect in [
+            "epfis_server_protocol_requests_total{protocol=\"text\"} 2",
+            "epfis_server_protocol_requests_total{protocol=\"binary\"} 1",
+            "epfis_server_binary_upgrades_total 1",
+        ] {
+            assert!(text.contains(expect), "missing {expect:?} in:\n{text}");
         }
     }
 

@@ -90,6 +90,10 @@ pub enum Request {
     Stats,
     /// Gracefully stop the server.
     Shutdown,
+    /// Upgrade this connection to binary framing v2 (`HELLO BINARY`). The
+    /// server acknowledges in text, then every subsequent byte on the
+    /// connection is length-prefixed frames (see the `framing` module).
+    Hello,
 }
 
 impl Request {
@@ -108,6 +112,7 @@ impl Request {
             Request::AnalyzeAbort => "ANALYZE_ABORT",
             Request::Stats => "STATS",
             Request::Shutdown => "SHUTDOWN",
+            Request::Hello => "HELLO",
         }
     }
 
@@ -125,6 +130,7 @@ impl Request {
         "ANALYZE_ABORT",
         "STATS",
         "SHUTDOWN",
+        "HELLO",
         "INVALID",
     ];
 }
@@ -165,6 +171,13 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "SHUTDOWN" => {
             exactly(0, 0, "SHUTDOWN")?;
             Ok(Request::Shutdown)
+        }
+        "HELLO" => {
+            exactly(1, 1, "HELLO BINARY")?;
+            if !rest[0].eq_ignore_ascii_case("BINARY") {
+                return Err(format!("unknown protocol {:?} (try HELLO BINARY)", rest[0]));
+            }
+            Ok(Request::Hello)
         }
         "ESTIMATE" => {
             exactly(3, 4, "ESTIMATE <name> <sigma> <buffer> [<sargable>]")?;
@@ -223,13 +236,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             })
         }
         "PAGE" => {
-            if rest.is_empty() || !rest.len().is_multiple_of(2) {
-                return Err("usage: PAGE <key> <page> [<key> <page> ...]".into());
-            }
             let mut pairs = Vec::with_capacity(rest.len() / 2);
-            for kv in rest.chunks(2) {
-                pairs.push((parse_token(kv[0], "key")?, parse_token(kv[1], "page")?));
-            }
+            parse_page_into(line, &mut pairs)?;
             Ok(Request::Page { pairs })
         }
         "ANALYZE" => {
@@ -275,6 +283,25 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }
         other => Err(format!("unknown command {other:?}")),
     }
+}
+
+/// Parses a `PAGE` request line's pairs into a caller-owned buffer —
+/// the hot-path alternative to [`parse_request`]'s `Request::Page`, letting
+/// a connection reuse one scratch `Vec` across batches instead of
+/// allocating per line. `line` is the whole request line (the leading
+/// `PAGE` token is skipped case-insensitively); `out` is cleared first.
+/// Errors are identical to [`parse_request`]'s for the same line.
+pub fn parse_page_into(line: &str, out: &mut Vec<(i64, u32)>) -> Result<(), String> {
+    out.clear();
+    let values = line.split_whitespace().count().saturating_sub(1);
+    if values == 0 || !values.is_multiple_of(2) {
+        return Err("usage: PAGE <key> <page> [<key> <page> ...]".into());
+    }
+    let mut toks = line.split_whitespace().skip(1);
+    while let (Some(k), Some(p)) = (toks.next(), toks.next()) {
+        out.push((parse_token(k, "key")?, parse_token(p, "page")?));
+    }
+    Ok(())
 }
 
 /// Frames a successful response: `OK <n>` plus the data lines.
@@ -385,6 +412,20 @@ mod tests {
         );
         assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
         assert_eq!(parse_request("SHUTDOWN").unwrap(), Request::Shutdown);
+        assert_eq!(parse_request("HELLO BINARY").unwrap(), Request::Hello);
+        assert_eq!(parse_request("hello binary").unwrap(), Request::Hello);
+    }
+
+    #[test]
+    fn parse_page_into_matches_parse_request() {
+        let mut scratch = vec![(9i64, 9u32)]; // stale contents must be cleared
+        parse_page_into("PAGE 5 0 5 1 6 2", &mut scratch).unwrap();
+        assert_eq!(scratch, vec![(5, 0), (5, 1), (6, 2)]);
+        for bad in ["PAGE", "PAGE 1", "PAGE 1 2 3", "PAGE 1 x", "PAGE x 1"] {
+            let by_into = parse_page_into(bad, &mut scratch).unwrap_err();
+            let by_parse = parse_request(bad).unwrap_err();
+            assert_eq!(by_into, by_parse, "{bad}");
+        }
     }
 
     #[test]
@@ -402,6 +443,9 @@ mod tests {
         assert!(parse_request("ANALYZE").is_err());
         assert!(parse_request("ANALYZE BEGIN ix bogus=1").is_err());
         assert!(parse_request("PING extra").is_err());
+        assert!(parse_request("HELLO").is_err());
+        assert!(parse_request("HELLO TEXTUAL").is_err());
+        assert!(parse_request("HELLO BINARY please").is_err());
     }
 
     #[test]
@@ -441,6 +485,7 @@ mod tests {
             Request::AnalyzeAbort,
             Request::Stats,
             Request::Shutdown,
+            Request::Hello,
         ] {
             assert!(Request::LABELS.contains(&req.label()), "{}", req.label());
         }

@@ -20,10 +20,14 @@
 //! killing the process at any instant leaves the last committed version
 //! intact on disk; that is exactly what the CI smoke test asserts.
 
-use crate::catalog::SharedCatalog;
+use crate::catalog::{SharedCatalog, VersionedEntry};
+use crate::framing::{
+    self, decode_request, encode_resp_err, encode_resp_f64, encode_resp_lines, encode_resp_str,
+    encode_resp_u64, BinRequest,
+};
 use crate::ingest::IngestSession;
-use crate::metrics::Metrics;
-use crate::protocol::{frame_busy, frame_err, frame_ok, parse_request, Request};
+use crate::metrics::{Metrics, Protocol};
+use crate::protocol::{frame_busy, frame_err, frame_ok, parse_page_into, parse_request, Request};
 use epfis::{EpfisConfig, ScanQuery};
 use epfis_estimators::{
     DcEstimator, MlEstimator, OtEstimator, PageFetchEstimator, ScanParams, SdEstimator,
@@ -483,7 +487,7 @@ fn shed_connection(stream: TcpStream, shared: &Shared) {
     }
 }
 
-/// Why [`LineReader::read_line`] returned without a request line.
+/// Why [`FrameReader::read_line`] returned without a request line.
 enum ReadOutcome {
     /// One complete request line (newline stripped).
     Line(String),
@@ -496,18 +500,38 @@ enum ReadOutcome {
     LineTooLong,
 }
 
-/// Reads newline-terminated lines from a stream with a poll timeout, so the
-/// worker can notice the shutdown flag while a connection sits idle, and
-/// with the [`LimitsConfig`] byte/idle bounds enforced.
-struct LineReader {
+/// Why [`FrameReader::read_frame`] returned without a complete frame.
+enum FrameOutcome {
+    /// A complete frame sits at the head of `pending` (4-byte length prefix
+    /// plus that many body bytes).
+    Frame,
+    /// Peer closed, transport error, or server shutdown: just hang up.
+    Closed,
+    /// No complete frame arrived within the idle deadline.
+    IdleTimeout,
+    /// The head frame declares a body larger than `max_line_bytes`, or the
+    /// pending buffer overflowed `max_pending_bytes`.
+    FrameTooLong {
+        /// The offending size, for the `ERR limit frame ...` message.
+        bytes: usize,
+    },
+}
+
+/// Reads requests from a stream with a poll timeout, so the worker can
+/// notice the shutdown flag while a connection sits idle, and with the
+/// [`LimitsConfig`] byte/idle bounds enforced. One reader serves both wire
+/// formats — newline-terminated lines before a `HELLO BINARY` upgrade,
+/// length-prefixed frames after — over the same pending buffer, so bytes a
+/// pipelining client sent behind its upgrade line are not lost.
+struct FrameReader {
     stream: TcpStream,
     pending: Vec<u8>,
 }
 
-impl LineReader {
+impl FrameReader {
     fn new(stream: TcpStream) -> std::io::Result<Self> {
         stream.set_read_timeout(Some(POLL_INTERVAL))?;
-        Ok(LineReader {
+        Ok(FrameReader {
             stream,
             pending: Vec::new(),
         })
@@ -564,6 +588,57 @@ impl LineReader {
             }
         }
     }
+
+    /// Waits until at least one complete binary frame is buffered, or
+    /// reports why none will arrive. Same governance as
+    /// [`FrameReader::read_line`]: the idle deadline restarts per call (so
+    /// it measures time since the last complete frame), a frame body may
+    /// not exceed `max_line_bytes`, and the pending buffer may not exceed
+    /// `max_pending_bytes`. The frame itself is *not* consumed — the caller
+    /// decodes zero-copy out of `pending` and drains what it processed,
+    /// which is how several pipelined frames get served per read syscall.
+    fn read_frame(&mut self, shared: &Shared) -> FrameOutcome {
+        let limits = &shared.limits;
+        let deadline =
+            (limits.idle_timeout > Duration::ZERO).then(|| Instant::now() + limits.idle_timeout);
+        let mut buf = [0u8; 65536];
+        loop {
+            if self.pending.len() >= 4 {
+                let body_len =
+                    u32::from_le_bytes(self.pending[..4].try_into().expect("4 bytes")) as usize;
+                if body_len > limits.max_line_bytes {
+                    return FrameOutcome::FrameTooLong { bytes: body_len };
+                }
+                if self.pending.len() >= 4 + body_len {
+                    return FrameOutcome::Frame;
+                }
+            }
+            match self.stream.read(&mut buf) {
+                Ok(0) => return FrameOutcome::Closed,
+                Ok(n) => {
+                    if self.pending.len() + n > limits.max_pending_bytes {
+                        return FrameOutcome::FrameTooLong {
+                            bytes: self.pending.len() + n,
+                        };
+                    }
+                    shared.metrics.add_bytes_in(n as u64);
+                    self.pending.extend_from_slice(&buf[..n]);
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return FrameOutcome::Closed;
+                    }
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        return FrameOutcome::IdleTimeout;
+                    }
+                }
+                Err(_) => return FrameOutcome::Closed,
+            }
+        }
+    }
 }
 
 /// Writes a response, counting the bytes into [`Metrics`]. Returns whether
@@ -590,6 +665,10 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         .field("peer", peer.as_str())
         .emit();
     let mut session: Option<IngestSession> = None;
+    // Responses are small and latency-sensitive (text) or batched into one
+    // buffered write per pipeline drain (binary); Nagle buys nothing either
+    // way.
+    let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => {
@@ -597,7 +676,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             return;
         }
     };
-    if let Ok(mut reader) = LineReader::new(stream) {
+    if let Ok(mut reader) = FrameReader::new(stream) {
         serve_lines(&mut reader, &mut writer, shared, &mut session);
     }
     if let Some(open) = &session {
@@ -622,11 +701,14 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
 
 /// The per-connection request loop; returns when the connection is done.
 fn serve_lines(
-    reader: &mut LineReader,
+    reader: &mut FrameReader,
     writer: &mut TcpStream,
     shared: &Shared,
     session: &mut Option<IngestSession>,
 ) {
+    // `PAGE` is the text protocol's hot line: its pairs parse into this
+    // connection-lifetime scratch buffer instead of a fresh `Vec` per batch.
+    let mut page_scratch: Vec<(i64, u32)> = Vec::new();
     loop {
         let line = match reader.read_line(shared) {
             ReadOutcome::Line(line) => line,
@@ -664,21 +746,60 @@ fn serve_lines(
             continue;
         }
         let start = Instant::now();
-        let (label, result) = match parse_request(&line) {
-            Ok(req) => {
-                let label = req.label();
-                let is_shutdown = matches!(req, Request::Shutdown);
-                let result = execute(req, shared, session);
-                if let (true, Ok(lines)) = (is_shutdown, &result) {
+        shared.metrics.protocol_request(Protocol::Text);
+        let first = line.split_whitespace().next().unwrap_or("");
+        let (label, result) = if first.eq_ignore_ascii_case("PAGE") {
+            // Fast path: parse into the scratch buffer and feed through the
+            // same batch-apply the full parser's Request::Page uses. Parse
+            // errors label INVALID exactly as parse_request's would.
+            match parse_page_into(&line, &mut page_scratch) {
+                Ok(()) => (
+                    "PAGE",
+                    apply_page_batch(
+                        shared,
+                        session,
+                        page_scratch.len(),
+                        page_scratch.iter().copied(),
+                    )
+                    .map(|n| vec![format!("fed {n}")]),
+                ),
+                Err(e) => ("INVALID", Err(e)),
+            }
+        } else {
+            match parse_request(&line) {
+                Ok(Request::Hello) => {
                     let micros = start.elapsed().as_micros() as u64;
-                    shared.metrics.record(label, micros, false);
-                    send_response(writer, &frame_ok(lines), shared);
-                    shared.request_shutdown();
+                    shared.metrics.record("HELLO", micros, false);
+                    if !send_response(writer, &frame_ok(&[framing::HELLO_ACK.to_string()]), shared)
+                    {
+                        return;
+                    }
+                    shared.metrics.binary_upgrade();
+                    shared
+                        .logger
+                        .event(Level::Info, "server", "binary_upgrade")
+                        .emit();
+                    // Everything after the HELLO line — including bytes a
+                    // pipelining client already sent, sitting in the
+                    // reader's pending buffer — is binary frames.
+                    serve_binary(reader, writer, shared, session);
                     return;
                 }
-                (label, result)
+                Ok(req) => {
+                    let label = req.label();
+                    let is_shutdown = matches!(req, Request::Shutdown);
+                    let result = execute(req, shared, session);
+                    if let (true, Ok(lines)) = (is_shutdown, &result) {
+                        let micros = start.elapsed().as_micros() as u64;
+                        shared.metrics.record(label, micros, false);
+                        send_response(writer, &frame_ok(lines), shared);
+                        shared.request_shutdown();
+                        return;
+                    }
+                    (label, result)
+                }
+                Err(e) => ("INVALID", Err(e)),
             }
-            Err(e) => ("INVALID", Err(e)),
         };
         let micros = start.elapsed().as_micros() as u64;
         let response = match &result {
@@ -697,6 +818,329 @@ fn serve_lines(
             return;
         }
     }
+}
+
+/// Flush threshold for the binary response buffer: past this, responses are
+/// written out mid-drain so an enormous pipeline cannot grow the buffer
+/// without bound.
+const BINARY_FLUSH_BYTES: usize = 256 * 1024;
+
+/// The binary `ESTIMATE` fast path's per-connection cache: the entry handle
+/// a previous request resolved, revalidated against
+/// [`SharedCatalog::epoch_hint`] — a relaxed atomic load — instead of
+/// re-taking the snapshot lock and re-walking the name lookup. While the
+/// catalog epoch and queried name stay put (the overwhelmingly common case
+/// for an estimate-hammering client), a request allocates nothing.
+struct EntryCache {
+    epoch: u64,
+    name: Vec<u8>,
+    entry: Arc<VersionedEntry>,
+}
+
+/// Writes and clears the buffered binary responses, counting the bytes.
+/// Returns whether the connection is still writable.
+fn flush_binary(writer: &mut TcpStream, out: &mut Vec<u8>, shared: &Shared) -> bool {
+    if out.is_empty() {
+        return true;
+    }
+    let ok = writer.write_all(out).is_ok();
+    if ok {
+        shared.metrics.add_bytes_out(out.len() as u64);
+    }
+    out.clear();
+    ok
+}
+
+/// The per-connection request loop after a `HELLO BINARY` upgrade.
+///
+/// Pipelining shape: one blocking wait for a complete head frame, then
+/// *every* complete frame already buffered is decoded and executed
+/// back-to-back — zero-copy out of the reader's pending buffer — with all
+/// their responses appended to one reusable output buffer, flushed in a
+/// single write when the drain runs dry. A client keeping N requests in
+/// flight therefore costs ~one read and one write syscall per N requests.
+fn serve_binary(
+    reader: &mut FrameReader,
+    writer: &mut TcpStream,
+    shared: &Shared,
+    session: &mut Option<IngestSession>,
+) {
+    let mut out: Vec<u8> = Vec::with_capacity(8 * 1024);
+    let mut cache: Option<EntryCache> = None;
+    loop {
+        let too_long = match reader.read_frame(shared) {
+            FrameOutcome::Frame => None,
+            FrameOutcome::Closed => return,
+            FrameOutcome::IdleTimeout => {
+                shared.metrics.limit_rejection();
+                shared
+                    .logger
+                    .event(Level::Warn, "server", "limit_idle")
+                    .field("timeout_s", shared.limits.idle_timeout.as_secs_f64())
+                    .emit();
+                let msg = format!(
+                    "limit idle: no complete request within {}s; closing connection",
+                    shared.limits.idle_timeout.as_secs_f64()
+                );
+                encode_resp_err(&mut out, &msg);
+                flush_binary(writer, &mut out, shared);
+                return;
+            }
+            FrameOutcome::FrameTooLong { bytes } => Some(bytes),
+        };
+        if let Some(bytes) = too_long {
+            limit_frame_rejection(writer, &mut out, shared, bytes);
+            return;
+        }
+        // Drain every complete buffered frame (the pipelining win).
+        let mut consumed = 0;
+        let mut open = true;
+        while open {
+            let rest = &reader.pending[consumed..];
+            if rest.len() < 4 {
+                break;
+            }
+            let body_len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+            if body_len > shared.limits.max_line_bytes {
+                reader.pending.drain(..consumed);
+                limit_frame_rejection(writer, &mut out, shared, body_len);
+                return;
+            }
+            if rest.len() < 4 + body_len {
+                break;
+            }
+            let body = &rest[4..4 + body_len];
+            open = handle_binary_frame(body, shared, session, &mut cache, &mut out);
+            consumed += 4 + body_len;
+            if out.len() >= BINARY_FLUSH_BYTES && !flush_binary(writer, &mut out, shared) {
+                reader.pending.drain(..consumed);
+                return;
+            }
+        }
+        reader.pending.drain(..consumed);
+        if !flush_binary(writer, &mut out, shared) || !open {
+            return;
+        }
+    }
+}
+
+/// Answers an oversized binary frame: the framing analogue of the text
+/// path's `ERR limit line ...` (counted, answered, connection closed).
+fn limit_frame_rejection(writer: &mut TcpStream, out: &mut Vec<u8>, shared: &Shared, bytes: usize) {
+    shared.metrics.limit_rejection();
+    shared
+        .logger
+        .event(Level::Warn, "server", "limit_frame")
+        .field("bytes", bytes as u64)
+        .field("max_line_bytes", shared.limits.max_line_bytes as u64)
+        .emit();
+    let msg = format!(
+        "limit frame: frame of {bytes} bytes exceeds {} bytes; closing connection",
+        shared.limits.max_line_bytes
+    );
+    encode_resp_err(out, &msg);
+    flush_binary(writer, out, shared);
+}
+
+/// Decodes and executes one binary frame body, appending its response to
+/// `out`. Returns `false` when the connection must close after the next
+/// flush (a served `SHUTDOWN`). Malformed bodies answer a recoverable
+/// `bad frame ...` error — the length prefix kept the framing in sync.
+fn handle_binary_frame(
+    body: &[u8],
+    shared: &Shared,
+    session: &mut Option<IngestSession>,
+    cache: &mut Option<EntryCache>,
+    out: &mut Vec<u8>,
+) -> bool {
+    let start = Instant::now();
+    shared.metrics.protocol_request(Protocol::Binary);
+    let record = |label: &str, is_error: bool| {
+        shared
+            .metrics
+            .record(label, start.elapsed().as_micros() as u64, is_error);
+    };
+    let req = match decode_request(body) {
+        Ok(req) => req,
+        Err(e) => {
+            encode_resp_err(out, &e);
+            record("INVALID", true);
+            return true;
+        }
+    };
+    match req {
+        BinRequest::Ping => {
+            encode_resp_str(out, "pong");
+            record("PING", false);
+        }
+        BinRequest::Estimate {
+            name,
+            sigma,
+            buffer,
+            sargable,
+        } => match binary_estimate(shared, cache, name, sigma, buffer, sargable) {
+            Ok(f) => {
+                encode_resp_f64(out, f);
+                record("ESTIMATE", false);
+            }
+            Err(e) => {
+                encode_resp_err(out, &e);
+                record("ESTIMATE", true);
+            }
+        },
+        BinRequest::Page(refs) => {
+            match apply_page_batch(shared, session, refs.len(), refs.iter()) {
+                Ok(n) => encode_resp_u64(out, n),
+                Err(e) => {
+                    if e.starts_with("limit ") {
+                        shared.metrics.limit_rejection();
+                    }
+                    encode_resp_err(out, &e);
+                    record("PAGE", true);
+                    return true;
+                }
+            }
+            record("PAGE", false);
+        }
+        BinRequest::AnalyzeBegin {
+            name,
+            segments,
+            table_pages,
+        } => {
+            let req = Request::AnalyzeBegin {
+                name: name.to_string(),
+                segments: (segments > 0).then_some(segments as usize),
+                table_pages: (table_pages > 0).then_some(table_pages),
+            };
+            let result = execute(req, shared, session);
+            encode_exec_result(out, &result);
+            record("ANALYZE_BEGIN", result.is_err());
+        }
+        BinRequest::AnalyzeCommit => {
+            let result = execute(Request::AnalyzeCommit, shared, session);
+            encode_exec_result(out, &result);
+            record("ANALYZE_COMMIT", result.is_err());
+        }
+        BinRequest::AnalyzeAbort => {
+            let result = execute(Request::AnalyzeAbort, shared, session);
+            encode_exec_result(out, &result);
+            record("ANALYZE_ABORT", result.is_err());
+        }
+        BinRequest::Text(line) => match parse_request(line) {
+            Ok(req) => {
+                let label = req.label();
+                let is_shutdown = matches!(req, Request::Shutdown);
+                let result = execute(req, shared, session);
+                if let Err(msg) = &result {
+                    if msg.starts_with("limit ") {
+                        shared.metrics.limit_rejection();
+                    }
+                }
+                encode_exec_result(out, &result);
+                record(label, result.is_err());
+                if is_shutdown && result.is_ok() {
+                    shared.request_shutdown();
+                    return false;
+                }
+            }
+            Err(e) => {
+                encode_resp_err(out, &e);
+                record("INVALID", true);
+            }
+        },
+    }
+    true
+}
+
+/// Encodes an `execute` outcome as a binary response frame.
+fn encode_exec_result(out: &mut Vec<u8>, result: &Result<Vec<String>, String>) {
+    match result {
+        Ok(lines) => encode_resp_lines(out, lines),
+        Err(msg) => encode_resp_err(out, msg),
+    }
+}
+
+/// The zero-alloc `ESTIMATE` path: validation and arithmetic identical to
+/// [`execute`]'s `Request::Estimate` arm (so the served `f64` bits equal
+/// what the text protocol's decimal would parse back to), but the catalog
+/// entry comes from the per-connection [`EntryCache`] when the epoch hint
+/// and name match — no lock, no B-tree walk, no allocation.
+fn binary_estimate(
+    shared: &Shared,
+    cache: &mut Option<EntryCache>,
+    name: &str,
+    sigma: f64,
+    buffer: u64,
+    sargable: f64,
+) -> Result<f64, String> {
+    if !(0.0..=1.0).contains(&sigma) || !(0.0..=1.0).contains(&sargable) {
+        return Err("selectivities must be in [0, 1]".into());
+    }
+    if buffer == 0 {
+        return Err("buffer must be at least 1".into());
+    }
+    let hint = shared.catalog.epoch_hint();
+    let hit = matches!(cache, Some(c) if c.epoch == hint && c.name == name.as_bytes());
+    if !hit {
+        let snap = shared.catalog.snapshot();
+        let entry = snap
+            .get_arc(name)
+            .ok_or_else(|| format!("no catalog entry named {name:?} (try SHOW)"))?
+            .clone();
+        match cache {
+            Some(c) => {
+                c.epoch = snap.epoch();
+                c.name.clear();
+                c.name.extend_from_slice(name.as_bytes());
+                c.entry = entry;
+            }
+            None => {
+                *cache = Some(EntryCache {
+                    epoch: snap.epoch(),
+                    name: name.as_bytes().to_vec(),
+                    entry,
+                });
+            }
+        }
+    }
+    let entry = &cache.as_ref().expect("cache populated above").entry;
+    let q = ScanQuery::range(sigma, buffer).with_sargable(sargable);
+    Ok(entry.stats.estimate(&q))
+}
+
+/// Applies one `PAGE` batch to the connection's open session: the session
+/// cap, atomic validate-then-feed, and per-batch analyzer telemetry shared
+/// by the text and binary paths. Returns the session's total references.
+fn apply_page_batch(
+    shared: &Shared,
+    session: &mut Option<IngestSession>,
+    batch_len: usize,
+    pairs: impl Iterator<Item = (i64, u32)> + Clone,
+) -> Result<u64, String> {
+    let open = session
+        .as_mut()
+        .ok_or("no open session (send ANALYZE BEGIN first)")?;
+    let cap = shared.limits.max_session_refs;
+    if cap > 0 && open.records().saturating_add(batch_len as u64) > cap {
+        return Err(format!(
+            "limit session-refs: session holds {} references and the batch adds {batch_len}, \
+             exceeding the {cap} cap (COMMIT or ABORT first)",
+            open.records()
+        ));
+    }
+    // Batches apply atomically: a rejected batch leaves the session
+    // untouched, so the client can correct and resend it.
+    let compactions_before = open.compactions();
+    open.feed_batch_iter(pairs)?;
+    // Telemetry publishes per batch, never per reference: the analyzer's
+    // access loop runs tens of millions of refs/s and must stay free of
+    // shared atomics.
+    let analyzer = epfis_obs::wellknown::analyzer();
+    analyzer.refs.add(batch_len as u64);
+    analyzer
+        .compactions
+        .add(open.compactions() - compactions_before);
+    Ok(open.records())
 }
 
 /// Executes one parsed request against the shared state, returning response
@@ -871,31 +1315,8 @@ fn execute(
             Ok(vec![format!("session {name}")])
         }
         Request::Page { pairs } => {
-            let open = session
-                .as_mut()
-                .ok_or("no open session (send ANALYZE BEGIN first)")?;
-            let cap = shared.limits.max_session_refs;
-            if cap > 0 && open.records().saturating_add(pairs.len() as u64) > cap {
-                return Err(format!(
-                    "limit session-refs: session holds {} references and the batch adds {}, \
-                     exceeding the {cap} cap (COMMIT or ABORT first)",
-                    open.records(),
-                    pairs.len()
-                ));
-            }
-            // Batches apply atomically: a rejected line leaves the session
-            // untouched, so the client can correct and resend it.
-            let compactions_before = open.compactions();
-            open.feed_batch(&pairs)?;
-            // Telemetry publishes per batch, never per reference: the
-            // analyzer's access loop runs tens of millions of refs/s and
-            // must stay free of shared atomics.
-            let analyzer = epfis_obs::wellknown::analyzer();
-            analyzer.refs.add(pairs.len() as u64);
-            analyzer
-                .compactions
-                .add(open.compactions() - compactions_before);
-            Ok(vec![format!("fed {}", open.records())])
+            let n = apply_page_batch(shared, session, pairs.len(), pairs.iter().copied())?;
+            Ok(vec![format!("fed {n}")])
         }
         Request::AnalyzeCommit => {
             let open = session
@@ -945,5 +1366,9 @@ fn execute(
                 .metrics
                 .render(shared.started.elapsed().as_secs(), snap.epoch(), snap.len()))
         }
+        // serve_lines intercepts HELLO before execute, so reaching this arm
+        // means the request arrived over an already-upgraded connection
+        // (a TEXT passthrough frame carrying "HELLO BINARY").
+        Request::Hello => Err("connection already uses binary framing".into()),
     }
 }

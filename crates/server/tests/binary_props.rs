@@ -1,0 +1,224 @@
+//! Property tests for binary framing v2: the decoder is total (a hostile
+//! peer controls every byte of a frame body), encode→decode round-trips
+//! exactly, and a stream of length-prefixed response frames never desyncs.
+
+use epfis_server::framing::{
+    decode_request, decode_response, encode_analyze_begin, encode_estimate, encode_page,
+    encode_resp_err, encode_resp_f64, encode_resp_lines, encode_resp_u64, encode_tag_only,
+    encode_text, BinRequest, BinResponse, REQ_ANALYZE_ABORT, REQ_ANALYZE_COMMIT, REQ_PING,
+};
+use proptest::prelude::*;
+
+/// Arbitrary frame bodies, biased toward real tags with corrupted payloads.
+fn frame_body() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        // Pure fuzz: any bytes at all.
+        prop::collection::vec(any::<u8>(), 0..200),
+        // A plausible tag followed by junk.
+        (0u8..8, prop::collection::vec(any::<u8>(), 0..64)).prop_map(|(tag, mut junk)| {
+            junk.insert(0, tag);
+            junk
+        }),
+    ]
+}
+
+fn entry_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9._]{0,30}"
+}
+
+/// A text line the passthrough accepts: UTF-8 with no newline bytes.
+fn passthrough_line() -> impl Strategy<Value = String> {
+    "[ -~]{0,80}"
+}
+
+proptest! {
+    /// The request decoder is total: any body yields a request or a
+    /// single-line `bad frame: ...` error, never a panic.
+    #[test]
+    fn decode_request_never_panics(body in frame_body()) {
+        if let Err(msg) = decode_request(&body) {
+            prop_assert!(!msg.contains('\n'), "error must stay single-line: {msg:?}");
+            prop_assert!(!msg.is_empty());
+        }
+    }
+
+    /// So is the response decoder (a hostile *server* is the client's
+    /// threat model).
+    #[test]
+    fn decode_response_never_panics(body in frame_body()) {
+        let _ = decode_response(&body);
+    }
+
+    /// ESTIMATE round-trips every field bit-for-bit, including NaN and
+    /// infinities (validation happens server-side, not in the codec).
+    #[test]
+    fn estimate_round_trips(
+        name in entry_name(),
+        sigma_bits in any::<u64>(),
+        buffer in any::<u64>(),
+        sargable_bits in any::<u64>(),
+    ) {
+        let mut buf = Vec::new();
+        encode_estimate(
+            &mut buf,
+            &name,
+            f64::from_bits(sigma_bits),
+            buffer,
+            f64::from_bits(sargable_bits),
+        );
+        let body = &buf[4..];
+        prop_assert_eq!(u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize, body.len());
+        match decode_request(body) {
+            Ok(BinRequest::Estimate { name: n, sigma, buffer: b, sargable }) => {
+                prop_assert_eq!(n, name.as_str());
+                prop_assert_eq!(sigma.to_bits(), sigma_bits);
+                prop_assert_eq!(b, buffer);
+                prop_assert_eq!(sargable.to_bits(), sargable_bits);
+            }
+            other => prop_assert!(false, "decoded {other:?}"),
+        }
+    }
+
+    /// PAGE round-trips arbitrary `(key, page)` batches zero-copy.
+    #[test]
+    fn page_round_trips(pairs in prop::collection::vec((any::<i64>(), any::<u32>()), 1..200)) {
+        let mut buf = Vec::new();
+        encode_page(&mut buf, &pairs);
+        match decode_request(&buf[4..]) {
+            Ok(BinRequest::Page(refs)) => {
+                prop_assert_eq!(refs.len(), pairs.len());
+                let decoded: Vec<_> = refs.iter().collect();
+                prop_assert_eq!(decoded, pairs);
+            }
+            other => prop_assert!(false, "decoded {other:?}"),
+        }
+    }
+
+    /// ANALYZE_BEGIN and TEXT round-trip.
+    #[test]
+    fn begin_and_text_round_trip(
+        name in entry_name(),
+        segments in any::<u32>(),
+        table_pages in any::<u32>(),
+        line in passthrough_line(),
+    ) {
+        let mut buf = Vec::new();
+        encode_analyze_begin(&mut buf, &name, segments, table_pages);
+        match decode_request(&buf[4..]) {
+            Ok(BinRequest::AnalyzeBegin { name: n, segments: s, table_pages: t }) => {
+                prop_assert_eq!((n, s, t), (name.as_str(), segments, table_pages));
+            }
+            other => prop_assert!(false, "decoded {other:?}"),
+        }
+        buf.clear();
+        encode_text(&mut buf, &line);
+        match decode_request(&buf[4..]) {
+            Ok(BinRequest::Text(l)) => prop_assert_eq!(l, line.as_str()),
+            other => prop_assert!(false, "decoded {other:?}"),
+        }
+    }
+
+    /// Any strict prefix of a fixed-layout request body is rejected — a
+    /// truncated frame can never silently decode as a shorter valid one.
+    #[test]
+    fn truncated_fixed_layout_bodies_always_error(
+        name in entry_name(),
+        pairs in prop::collection::vec((any::<i64>(), any::<u32>()), 1..20),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        for encoded in [
+            {
+                let mut b = Vec::new();
+                encode_estimate(&mut b, &name, 0.5, 10, 1.0);
+                b
+            },
+            {
+                let mut b = Vec::new();
+                encode_page(&mut b, &pairs);
+                b
+            },
+            {
+                let mut b = Vec::new();
+                encode_analyze_begin(&mut b, &name, 4, 99);
+                b
+            },
+        ] {
+            let body = &encoded[4..];
+            let keep = 1 + cut.index(body.len() - 1); // keep the tag, cut the rest
+            if keep < body.len() {
+                prop_assert!(
+                    decode_request(&body[..keep]).is_err(),
+                    "prefix of {} bytes decoded", keep
+                );
+            }
+        }
+    }
+
+    /// A buffer of concatenated response frames walks frame-by-frame with
+    /// no drift: the length prefixes partition the stream exactly, and each
+    /// body decodes back to the response that was encoded.
+    #[test]
+    fn pipelined_response_stream_never_desyncs(
+        responses in prop::collection::vec(
+            prop_oneof![
+                prop::collection::vec("[ -~]{0,20}", 0..4)
+                    // `[""]` encodes to the same empty payload as `[]`;
+                    // normalize the one ambiguous value.
+                    .prop_map(|ls| {
+                        BinResponse::Lines(if ls == [String::new()] { Vec::new() } else { ls })
+                    }),
+                any::<u64>().prop_map(|b| BinResponse::F64(f64::from_bits(b))),
+                any::<u64>().prop_map(BinResponse::U64),
+                "[ -~]{1,40}".prop_map(BinResponse::Err),
+            ],
+            0..16,
+        ),
+    ) {
+        let mut buf = Vec::new();
+        for r in &responses {
+            match r {
+                BinResponse::Lines(ls) => encode_resp_lines(&mut buf, ls),
+                BinResponse::F64(v) => encode_resp_f64(&mut buf, *v),
+                BinResponse::U64(v) => encode_resp_u64(&mut buf, *v),
+                BinResponse::Err(m) => encode_resp_err(&mut buf, m),
+            }
+        }
+        let mut at = 0usize;
+        let mut decoded = Vec::new();
+        while at < buf.len() {
+            prop_assert!(buf.len() - at >= 4, "dangling header at {at}");
+            let len = u32::from_le_bytes(buf[at..at + 4].try_into().unwrap()) as usize;
+            at += 4;
+            prop_assert!(buf.len() - at >= len, "dangling body at {at}");
+            decoded.push(decode_response(&buf[at..at + len]).unwrap());
+            at += len;
+        }
+        prop_assert_eq!(at, buf.len());
+        // NaN != NaN under PartialEq; compare via a bit-exact projection.
+        let key = |r: &BinResponse| match r {
+            BinResponse::Lines(ls) => format!("L{ls:?}"),
+            BinResponse::F64(v) => format!("F{}", v.to_bits()),
+            BinResponse::U64(v) => format!("U{v}"),
+            BinResponse::Err(m) => format!("E{m}"),
+        };
+        let got: Vec<String> = decoded.iter().map(key).collect();
+        let want: Vec<String> = responses.iter().map(key).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Tag-only frames (`PING`, `COMMIT`, `ABORT`) reject any payload.
+    #[test]
+    fn tag_only_frames_reject_payloads(
+        tag in prop_oneof![Just(REQ_PING), Just(REQ_ANALYZE_COMMIT), Just(REQ_ANALYZE_ABORT)],
+        junk in prop::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let mut body = vec![tag];
+        prop_assert!(decode_request(&body).is_ok());
+        body.extend_from_slice(&junk);
+        prop_assert!(decode_request(&body).is_err());
+        // Unused-import appeasement: encode_tag_only emits exactly tag+len.
+        let mut framed = Vec::new();
+        encode_tag_only(&mut framed, tag);
+        prop_assert_eq!(framed.len(), 5);
+    }
+}

@@ -451,3 +451,139 @@ fn bytes_counters_cover_both_directions() {
     assert_eq!(bytes_out, "OK 1\npong\n".len() as u64, "{stats:?}");
     server.shutdown_and_join();
 }
+
+#[test]
+fn binary_flood_is_rejected_from_the_frame_header_alone() {
+    let limits = LimitsConfig {
+        max_line_bytes: 64 * 1024,
+        max_pending_bytes: 128 * 1024,
+        ..LimitsConfig::default()
+    };
+    let server = tight_server(2, limits);
+    let addr = server.addr();
+
+    // Declare a 100 MB frame body. A hardened server rejects it from the
+    // 4-byte header without buffering the body, so the flood's writes fail
+    // after at most a few socket buffers.
+    let outcome = hostile::binary_flood(addr, 100 * 1024 * 1024).unwrap();
+    assert!(
+        outcome
+            .response
+            .as_deref()
+            .is_some_and(|r| r.contains("limit frame"))
+            || outcome.disconnected,
+        "binary flood must be rejected, got {outcome:?}"
+    );
+    assert!(
+        outcome.bytes_written < 8 * 1024 * 1024,
+        "server must push back long before the declared body arrives \
+         ({} bytes written)",
+        outcome.bytes_written
+    );
+
+    let mut c = Client::connect(addr).unwrap();
+    let stats = c.request("STATS").unwrap();
+    assert_eq!(stat(&stats, "limit_rejections"), 1, "{stats:?}");
+    assert_eq!(stat(&stats, "binary_upgrades"), 1, "{stats:?}");
+    let bytes_in = stat(&stats, "bytes_in");
+    assert!(
+        bytes_in < 2 * 128 * 1024,
+        "bytes_in {bytes_in} must stay near the pending-buffer cap"
+    );
+    server.shutdown_and_join();
+}
+
+#[test]
+fn binary_idle_connection_is_reclaimed_with_an_err_frame() {
+    let limits = LimitsConfig {
+        idle_timeout: Duration::from_millis(300),
+        ..LimitsConfig::default()
+    };
+    let server = tight_server(2, limits);
+    let mut c = epfis_server::BinaryClient::connect(server.addr()).unwrap();
+
+    // Don't send anything after the upgrade; the idle deadline must answer
+    // with a binary ERR frame and close.
+    match c.recv() {
+        Ok(epfis_server::BinResponse::Err(m)) => {
+            assert!(m.contains("limit idle"), "{m}")
+        }
+        Ok(other) => panic!("expected ERR frame, got {other:?}"),
+        // The server may reset before the client reads the frame.
+        Err(_) => {}
+    }
+    // The connection is gone: a follow-up request fails at write or read.
+    c.queue_ping();
+    assert!(c.flush().is_err() || c.recv().is_err());
+
+    let mut probe = Client::connect(server.addr()).unwrap();
+    let stats = probe.request("STATS").unwrap();
+    assert_eq!(stat(&stats, "limit_rejections"), 1, "{stats:?}");
+    server.shutdown_and_join();
+}
+
+#[test]
+fn malformed_binary_frames_error_without_desyncing_the_connection() {
+    let server = serve(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut c = epfis_server::BinaryClient::connect(server.addr()).unwrap();
+
+    // A malformed frame — TEXT with an embedded newline, rejected at
+    // decode — answers ERR but keeps the connection in sync: the length
+    // prefix bounds the damage, and a PING pipelined *behind* it in the
+    // same flush still answers correctly.
+    c.queue_text("PING\nSTATS");
+    c.queue_ping();
+    c.flush().unwrap();
+    match c.recv().unwrap() {
+        epfis_server::BinResponse::Err(m) => assert!(m.contains("bad frame"), "{m}"),
+        other => panic!("expected decode error, got {other:?}"),
+    }
+    match c.recv().unwrap() {
+        epfis_server::BinResponse::Lines(l) => assert_eq!(l, vec!["pong".to_string()]),
+        other => panic!("{other:?}"),
+    }
+    // And real requests still work after the error.
+    assert!(c.estimate("ghost", 0.5, 10, 1.0).is_err()); // no entry, clean ERR
+    assert!(c.text("STATS").is_ok());
+    server.shutdown_and_join();
+}
+
+#[test]
+fn binary_session_reference_cap_preserves_atomic_batches() {
+    let limits = LimitsConfig {
+        max_session_refs: 5,
+        ..LimitsConfig::default()
+    };
+    let server = tight_server(2, limits);
+    let mut c = epfis_server::BinaryClient::connect(server.addr()).unwrap();
+    c.queue_analyze_begin("capped.ix", None, Some(16));
+    c.flush().unwrap();
+    c.recv().unwrap();
+
+    assert_eq!(c.page(&[(1, 0), (1, 1), (2, 2), (3, 3)]).unwrap(), 4);
+    match c.page(&[(4, 4), (5, 5)]) {
+        Err(ClientError::Server(m)) => assert!(m.contains("limit session-refs"), "{m}"),
+        other => panic!("over-cap batch should be rejected, got {other:?}"),
+    }
+    // The rejected batch changed nothing; the session commits cleanly.
+    assert_eq!(c.page(&[(4, 4)]).unwrap(), 5);
+    c.queue_analyze_commit();
+    c.flush().unwrap();
+    match c.recv().unwrap() {
+        epfis_server::BinResponse::Lines(l) => assert!(l[0].contains("N=5"), "{l:?}"),
+        other => panic!("{other:?}"),
+    }
+    let mut probe = Client::connect(server.addr()).unwrap();
+    let stats = probe.request("STATS").unwrap();
+    assert_eq!(stat(&stats, "limit_rejections"), 1, "{stats:?}");
+    // The HELLO upgrade line and the probe's STATS are the only text
+    // requests; everything else went over binary frames.
+    assert_eq!(stat(&stats, "protocol_requests_text"), 2, "{stats:?}");
+    assert_eq!(stat(&stats, "protocol_requests_binary"), 5, "{stats:?}");
+    assert_eq!(stat(&stats, "binary_upgrades"), 1, "{stats:?}");
+    server.shutdown_and_join();
+}
