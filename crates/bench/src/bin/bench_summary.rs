@@ -8,23 +8,25 @@
 //!
 //! Each phase calls the same figure drivers as `repro_all --quick 1` (at the
 //! same quick-scale parameters) but discards the artifacts — only wall-clock
-//! matters here. The output (default `BENCH_PR6.json`) records per-phase
+//! matters here. The output (default `BENCH_PR7.json`) records per-phase
 //! seconds, analyzer references/second on Zipf and sequential traces,
 //! `epfis-server` loopback throughput (streaming ingest references/second,
 //! single- and multi-connection estimates/second), a `binary_protocol`
 //! section measuring framing v2 (pipelined ingest and estimates, with the
-//! speedup over the text protocol), and an `obs` section comparing ingest
+//! speedup over the text protocol), an `obs` section comparing ingest
 //! with full telemetry (debug logger + `/metrics` endpoint) against the
-//! default server, so perf changes can be compared across commits and
-//! thread counts.
+//! default server, and a `wal` section comparing binary ingest with
+//! write-ahead logging on (`fsync=batch`) against the in-memory default,
+//! so perf changes can be compared across commits and thread counts.
 //!
 //! Unless `--skip-baseline-assert` (or `EPFIS_BENCH_SKIP_BASELINE_ASSERT=1`)
-//! is given, the tool asserts the PR6 throughput floors in-process: binary
-//! ingest ≥ 9M refs/s, binary estimates ≥ 1M/s aggregate, and the text
-//! protocol within tolerance of the PR5 baselines (70%, absorbing
-//! machine-to-machine variance — the recorded baselines came from a
-//! multi-core host; the analyzer rate is reported alongside as a pure-CPU
-//! canary for comparing hosts).
+//! is given, the tool asserts the PR6/PR7 throughput floors in-process:
+//! binary ingest ≥ 9M refs/s, binary estimates ≥ 1M/s aggregate, WAL-on
+//! binary ingest within 20% of WAL-off, and the text protocol within
+//! tolerance of the PR5 baselines (70%, absorbing machine-to-machine
+//! variance — the recorded baselines came from a multi-core host; the
+//! analyzer rate is reported alongside as a pure-CPU canary for comparing
+//! hosts).
 
 use epfis::EpfisConfig;
 use epfis_bench::Options;
@@ -65,12 +67,15 @@ mod baselines {
     /// PR6 targets for the new binary protocol (absolute floors).
     pub const BINARY_INGEST_REFS_PER_SEC: f64 = 9_000_000.0;
     pub const BINARY_ESTIMATES_PER_SEC: f64 = 1_000_000.0;
+    /// PR7 target: WAL-on binary ingest keeps at least this fraction of
+    /// the WAL-off rate (i.e. durability costs at most 20%).
+    pub const WAL_ON_MIN_FRACTION: f64 = 0.80;
 }
 
 fn main() {
     let opts = Options::from_env();
     opts.init_threads();
-    let out = opts.get_str("out").unwrap_or("BENCH_PR6.json").to_string();
+    let out = opts.get_str("out").unwrap_or("BENCH_PR7.json").to_string();
     let seed: u64 = opts.get("seed", figures::DEFAULT_SEED);
 
     // The same quick-scale parameters repro_all uses with --quick 1.
@@ -207,6 +212,19 @@ fn main() {
     let obs_overhead_percent =
         100.0 * (1.0 - observed_ingest_refs_per_sec / ingest_refs_per_sec.max(1e-9));
 
+    // Durability overhead: the same pipelined binary ingest against a
+    // server writing a WAL at the `--wal-dir` defaults (fsync=batch),
+    // compared with the in-memory binary rate measured above.
+    let wal_dir = std::env::temp_dir().join(format!("epfis-bench-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let (wal_server, wal_addr) = loopback::start_wal_server(&wal_dir);
+    let wal_ingest_refs_per_sec =
+        loopback::binary_ingest_rate(wal_addr, "bench.wal.ix", &binary_scan, 2_000, depth);
+    wal_server.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let wal_overhead_percent =
+        100.0 * (1.0 - wal_ingest_refs_per_sec / binary_ingest_refs_per_sec.max(1e-9));
+
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"threads\": {},\n", epfis_par::threads()));
     json.push_str(&format!("  \"seed\": {seed},\n"));
@@ -298,6 +316,19 @@ fn main() {
          \"ingest_refs_per_sec_full_telemetry\": {observed_ingest_refs_per_sec:.0},\n    \
          \"telemetry_overhead_percent\": {obs_overhead_percent:.2}\n"
     ));
+    json.push_str("  },\n");
+    json.push_str("  \"wal\": {\n");
+    json.push_str("    \"fsync\": \"batch\",\n");
+    json.push_str(&format!(
+        "    \"ingest_references\": {},\n    \
+         \"binary_ingest_refs_per_sec_wal_off\": {:.0},\n    \
+         \"binary_ingest_refs_per_sec_wal_on\": {:.0},\n    \
+         \"wal_overhead_percent\": {:.2}\n",
+        binary_scan.len(),
+        binary_ingest_refs_per_sec,
+        wal_ingest_refs_per_sec,
+        wal_overhead_percent
+    ));
     json.push_str("  }\n}\n");
 
     std::fs::write(&out, &json).expect("write benchmark summary");
@@ -320,6 +351,11 @@ fn main() {
             "binary estimates/s (best of single/multi)",
             binary_single_conn_rate.max(binary_multi_conn_rate),
             baselines::BINARY_ESTIMATES_PER_SEC,
+        ),
+        (
+            "wal-on binary ingest refs/s vs wal-off",
+            wal_ingest_refs_per_sec,
+            baselines::WAL_ON_MIN_FRACTION * binary_ingest_refs_per_sec,
         ),
         (
             "text ingest refs/s vs PR5",

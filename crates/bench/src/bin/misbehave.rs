@@ -16,6 +16,12 @@
 //!     negotiate binary framing, then declare one N-byte frame (default
 //!     8 MiB) and flood its body; exits 0 iff the server rejected the
 //!     frame from its header (`ERR limit frame ...`) or cut the connection
+//! misbehave --scenario crashloop --addr HOST:PORT [--rounds N] [--refs N] [--name E]
+//!     open an ANALYZE session, stream part of a scan, and vanish without
+//!     COMMIT or ABORT — N times in a row (default 10 rounds of 5000
+//!     references into entry `crash.ix`). Against `--wal-dir` servers each
+//!     drop parks the session and the next BEGIN discards it; either way
+//!     the server must stay reachable. Exits 0 iff a final PING succeeds.
 //! ```
 
 use epfis_bench::Options;
@@ -84,6 +90,40 @@ fn main() {
                     .is_some_and(|r| r.contains("limit"));
             std::process::exit(if rejected { 0 } else { 1 });
         }
-        other => panic!("unknown --scenario {other:?} (flood|idle|loris|binflood)"),
+        "crashloop" => {
+            let rounds: usize = opts.get("rounds", 10usize);
+            let refs: usize = opts.get("refs", 5_000usize);
+            let name = opts.get_str("name").unwrap_or("crash.ix").to_string();
+            for round in 0..rounds {
+                let mut client = epfis_server::Client::connect(&*addr).expect("connect");
+                let begin = client
+                    .request(&format!("ANALYZE BEGIN {name} table_pages=500"))
+                    .expect("begin");
+                let mut sent = 0usize;
+                'stream: while sent < refs {
+                    let mut line = String::from("PAGE");
+                    for _ in 0..256 {
+                        if sent >= refs {
+                            break;
+                        }
+                        let page = (sent as u32).wrapping_mul(2654435761) % 500;
+                        line.push_str(&format!(" {} {page}", sent / 4));
+                        sent += 1;
+                    }
+                    if client.request(&line).is_err() {
+                        break 'stream;
+                    }
+                }
+                // Abrupt drop: no COMMIT, no ABORT, just a closed socket.
+                drop(client);
+                println!("crashloop[{round}] begin={:?} sent={sent}", begin.first());
+            }
+            let survived = epfis_server::Client::connect(&*addr)
+                .and_then(|mut c| c.request("PING"))
+                .is_ok();
+            println!("crashloop rounds={rounds} server_alive={survived}");
+            std::process::exit(if survived { 0 } else { 1 });
+        }
+        other => panic!("unknown --scenario {other:?} (flood|idle|loris|binflood|crashloop)"),
     }
 }

@@ -43,6 +43,20 @@ pub fn start_observed_server() -> (ServerHandle, SocketAddr) {
     (server, addr)
 }
 
+/// Starts a loopback server with write-ahead logging enabled at the same
+/// defaults `epfis serve --wal-dir` uses (`fsync=batch`). The spread
+/// between this and [`start_server`] on the same ingest is the durability
+/// overhead `bench_summary` records.
+pub fn start_wal_server(dir: &std::path::Path) -> (ServerHandle, SocketAddr) {
+    let server = serve(ServerConfig {
+        wal: Some(epfis_server::WalConfig::new(dir)),
+        ..ServerConfig::default()
+    })
+    .expect("bind wal loopback server");
+    let addr = server.addr();
+    (server, addr)
+}
+
 /// A deterministic synthetic statistics scan: `keys` runs of `run_len`
 /// references over `table_pages` pages.
 pub fn synthetic_scan(keys: usize, run_len: usize, table_pages: u32) -> Vec<(i64, u32)> {

@@ -128,7 +128,8 @@ pub const USAGE: &str = "usage: epfis <analyze|show|fpf|estimate|plan> --catalog
             [--max-line-bytes B] [--max-pending-bytes B] [--idle-timeout-ms T]
             [--max-connections N] [--max-session-refs R]
             [--metrics-addr HOST:PORT] [--log-level L] [--log-format human|json]
-            [--log-file F]
+            [--log-file F] [--wal-dir D] [--wal-fsync always|batch|never]
+            [--wal-segment-bytes B] [--wal-checkpoint-refs R]
             (long-running estimation service; prints `listening on ADDR`,
              stops on the SHUTDOWN protocol command; the limit flags bound
              what one client can cost the server — see docs/protocol.md,
@@ -136,7 +137,11 @@ pub const USAGE: &str = "usage: epfis <analyze|show|fpf|estimate|plan> --catalog
              serving /metrics, /healthz, and /events and prints `metrics on
              ADDR`; --log-level trace|debug|info|warn|error|off enables
              structured events on stderr, --log-file appends them as JSON
-             lines — see docs/observability.md)
+             lines — see docs/observability.md. --wal-dir write-ahead-logs
+             every ANALYZE session so a crash or disconnect never loses
+             in-flight references: on restart the server replays the log
+             and a client reattaches with ANALYZE RESUME — see
+             docs/durability.md)
   client    --addr HOST:PORT [--send CMD] [--binary true]
             (one-shot with --send, otherwise reads protocol commands from
              stdin; --binary true upgrades the connection to binary framing
@@ -227,6 +232,55 @@ pub fn is_known_command(name: &str) -> bool {
             | "--help"
             | "-h"
     )
+}
+
+/// Validates flags that the contract treats as usage errors (exit 2 with
+/// the usage text) rather than runtime failures — checks that need no work
+/// to be done first. Today that is `serve`'s `--wal-*` family: a bad fsync
+/// policy, a zero segment size or checkpoint interval, or a `--wal-dir`
+/// that cannot be a directory must be rejected before the listener binds.
+pub fn validate_usage(cmd: &Command) -> Result<(), CliError> {
+    if cmd.name == "serve" {
+        serve_wal_config(cmd)?;
+    }
+    Ok(())
+}
+
+/// Resolves the `--wal-*` flags into a [`epfis_server::WalConfig`], or
+/// `None` when `--wal-dir` is absent (dependent flags then reject).
+fn serve_wal_config(cmd: &Command) -> Result<Option<epfis_server::WalConfig>, CliError> {
+    let dir = cmd.get::<String>("wal-dir")?;
+    let fsync = cmd.get::<String>("wal-fsync")?;
+    let segment_bytes = cmd.get::<u64>("wal-segment-bytes")?;
+    let checkpoint_refs = cmd.get::<u64>("wal-checkpoint-refs")?;
+    let Some(dir) = dir else {
+        if fsync.is_some() || segment_bytes.is_some() || checkpoint_refs.is_some() {
+            return Err(err(
+                "--wal-fsync, --wal-segment-bytes, and --wal-checkpoint-refs require --wal-dir",
+            ));
+        }
+        return Ok(None);
+    };
+    let mut config = epfis_server::WalConfig::new(&dir);
+    if let Some(raw) = fsync {
+        config.fsync = raw
+            .parse::<epfis_server::FsyncPolicy>()
+            .map_err(|e| err(format!("bad value for --wal-fsync: {e}")))?;
+    }
+    if let Some(b) = segment_bytes {
+        config.segment_bytes = b;
+    }
+    if let Some(r) = checkpoint_refs {
+        config.checkpoint_refs = r;
+    }
+    config.validate().map_err(err)?;
+    // The directory is created on demand, but a path that already exists
+    // as a non-directory can never hold segments.
+    let p = std::path::Path::new(&dir);
+    if p.exists() && !p.is_dir() {
+        return Err(err(format!("--wal-dir {dir}: not a directory")));
+    }
+    Ok(Some(config))
 }
 
 /// Executes a parsed command, returning the text to print.
@@ -647,6 +701,7 @@ fn serve(cmd: &Command) -> Result<String, CliError> {
         limits,
         metrics_addr: cmd.get::<String>("metrics-addr")?,
         logger: serve_logger(cmd)?,
+        wal: serve_wal_config(cmd)?,
     };
     let server = epfis_server::serve(config).map_err(|e| err(format!("cannot serve: {e}")))?;
     // Announce the bound addresses immediately (port 0 resolves here) so

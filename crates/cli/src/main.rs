@@ -15,6 +15,10 @@ fn main() {
         eprintln!("unknown command {:?}\n{}", cmd.name, epfis_cli::USAGE);
         std::process::exit(2);
     }
+    if let Err(e) = epfis_cli::validate_usage(&cmd) {
+        eprintln!("{e}\n{}", epfis_cli::USAGE);
+        std::process::exit(2);
+    }
     match epfis_cli::run(&cmd) {
         Ok(out) => println!("{out}"),
         Err(e) => {

@@ -85,6 +85,62 @@ fn explain_runtime_errors_mirror_estimate() {
 }
 
 #[test]
+fn bad_wal_flags_are_usage_errors_before_the_bind() {
+    // Unknown fsync policy.
+    let out = epfis(&[
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--wal-dir",
+        "/tmp/epfis-wal-flags-test",
+        "--wal-fsync",
+        "eventually",
+    ]);
+    assert_usage_error(&out, "unknown fsync policy");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown fsync policy"), "{stderr}");
+    assert!(stderr.contains("usage"), "{stderr}");
+
+    // Zero segment size.
+    let out = epfis(&[
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--wal-dir",
+        "/tmp/epfis-wal-flags-test",
+        "--wal-segment-bytes",
+        "0",
+    ]);
+    assert_usage_error(&out, "zero segment size");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("segment size"), "{stderr}");
+    assert!(stderr.contains("usage"), "{stderr}");
+
+    // A --wal-dir that already exists as a plain file.
+    let file = std::env::temp_dir().join("epfis-wal-not-a-dir-test");
+    std::fs::write(&file, b"occupied").unwrap();
+    let out = epfis(&[
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--wal-dir",
+        file.to_str().unwrap(),
+    ]);
+    assert_usage_error(&out, "wal dir is a file");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("not a directory"), "{stderr}");
+    assert!(stderr.contains("usage"), "{stderr}");
+
+    // WAL tuning flags without --wal-dir make no sense.
+    let out = epfis(&["serve", "--addr", "127.0.0.1:0", "--wal-fsync", "batch"]);
+    assert_usage_error(&out, "wal flags without --wal-dir");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("require --wal-dir"),
+        "{out:?}"
+    );
+}
+
+#[test]
 fn missing_catalog_file_is_a_runtime_error() {
     let out = epfis(&[
         "estimate",

@@ -371,13 +371,48 @@ where
 /// or a crash — at any instant sees either the complete old file or the
 /// complete new one, never a torn write.
 pub fn write_atomic(path: &std::path::Path, contents: &str) -> std::io::Result<()> {
-    write_atomic_impl(path, contents, false)
+    write_atomic_impl(path, contents, FailPoint::None)
+}
+
+/// Crash-injection points for the fault-injection tests: each variant dies
+/// at a different stage of the write-temp / fsync / rename / dir-sync
+/// sequence, so the tests can assert what survives each kind of crash.
+#[cfg_attr(not(test), allow(dead_code))]
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FailPoint {
+    /// No injected failure (the production path).
+    None,
+    /// Die after the temp file is durable but before the rename: the old
+    /// file must survive byte-identical.
+    BeforeRename,
+    /// Die after the rename but before the directory sync: the new name
+    /// is in place but not yet guaranteed durable, and the caller must
+    /// see the error.
+    BeforeDirSync,
+}
+
+/// Durably records the rename in the directory's entry table. The temp
+/// file's own fsync makes the *bytes* durable, not the *name*: on a crash
+/// between rename and directory sync, ext4/XFS may replay the journal
+/// without the new entry and resurrect the old file. Directories cannot
+/// be opened for syncing on all platforms; where they cannot, the rename
+/// is as durable as the OS makes it.
+fn sync_parent_dir(dir: &std::path::Path) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        std::fs::File::open(dir)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+        Ok(())
+    }
 }
 
 fn write_atomic_impl(
     path: &std::path::Path,
     contents: &str,
-    fail_before_rename: bool,
+    fail: FailPoint,
 ) -> std::io::Result<()> {
     use std::io::Write as _;
     let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
@@ -397,16 +432,15 @@ fn write_atomic_impl(
         let mut f = std::fs::File::create(&tmp)?;
         f.write_all(contents.as_bytes())?;
         f.sync_all()?;
-        if fail_before_rename {
+        if fail == FailPoint::BeforeRename {
             return Err(std::io::Error::other("injected failure before rename"));
         }
         std::fs::rename(&tmp, path)?;
-        // Durability of the rename itself needs the directory synced; best
-        // effort — not all platforms allow opening a directory for sync.
+        if fail == FailPoint::BeforeDirSync {
+            return Err(std::io::Error::other("injected failure before dir sync"));
+        }
         if let Some(d) = dir {
-            if let Ok(dirf) = std::fs::File::open(d) {
-                let _ = dirf.sync_all();
-            }
+            sync_parent_dir(d)?;
         }
         Ok(())
     })();
@@ -586,7 +620,7 @@ mod tests {
         // clean up its temp file.
         let mut new = Catalog::new();
         new.insert("replacement", stats(2)).unwrap();
-        let err = write_atomic_impl(&path, &new.to_text(), true).unwrap_err();
+        let err = write_atomic_impl(&path, &new.to_text(), FailPoint::BeforeRename).unwrap_err();
         assert!(err.to_string().contains("injected"), "{err}");
 
         let back = Catalog::load(&path).unwrap();
@@ -597,6 +631,24 @@ mod tests {
             .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
             .collect();
         assert!(leftovers.is_empty(), "temp file must be cleaned up");
+
+        // Dying between rename and directory sync: the new bytes are in
+        // place (rename happened) but the caller must still see the error —
+        // the write is not durable until the directory entry is synced —
+        // and no temp file may linger.
+        let err = write_atomic_impl(&path, &new.to_text(), FailPoint::BeforeDirSync).unwrap_err();
+        assert!(err.to_string().contains("dir sync"), "{err}");
+        assert_eq!(Catalog::load(&path).unwrap(), new);
+        let leftovers = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .count();
+        assert_eq!(leftovers, 0, "temp file must be cleaned up");
+
+        // The production path succeeds and syncs the directory for real.
+        write_atomic(&path, &old.to_text()).unwrap();
+        assert_eq!(Catalog::load(&path).unwrap(), old);
         std::fs::remove_file(&path).ok();
     }
 

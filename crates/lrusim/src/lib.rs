@@ -37,7 +37,7 @@ pub use curve::{FetchCurve, StackDistanceHistogram};
 pub use lru::LruBuffer;
 pub use naive::NaiveStackAnalyzer;
 pub use policies::{simulate_clock, simulate_fifo};
-pub use stack::StackAnalyzer;
+pub use stack::{AnalyzerSnapshot, StackAnalyzer};
 pub use trace::KeyedTrace;
 
 /// Analyzes a whole trace and returns its stack-distance histogram.

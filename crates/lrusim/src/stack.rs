@@ -233,6 +233,88 @@ impl StackAnalyzer {
     pub fn finish(self) -> StackDistanceHistogram {
         StackDistanceHistogram::from_parts(self.counts, self.cold)
     }
+
+    /// Captures the analyzer's state as a compaction-normal form: live
+    /// pages ordered oldest-to-most-recent plus the accumulated counters.
+    /// Stack distances depend only on the *relative* order of last
+    /// references, so this is all a restored analyzer needs to continue
+    /// the trace with bit-identical distances — absolute clock values and
+    /// tree geometry are immaterial. Non-consuming so a checkpoint can be
+    /// taken mid-session.
+    pub fn snapshot(&self) -> AnalyzerSnapshot {
+        // Same collection recipe as `compact`: gather (time, page) for
+        // every live mark, sort by (unique) time for a deterministic order.
+        let mut live: Vec<(usize, u32)> = Vec::with_capacity(self.cold as usize);
+        for (page, &t) in self.dense.iter().enumerate() {
+            if t != NO_REF {
+                live.push((t, page as u32));
+            }
+        }
+        for (&page, &t) in &self.sparse {
+            live.push((t, page));
+        }
+        live.sort_unstable();
+        debug_assert_eq!(live.len() as u64, self.cold);
+        AnalyzerSnapshot {
+            pages_by_recency: live.into_iter().map(|(_, page)| page).collect(),
+            counts: self.counts.clone(),
+            refs: self.refs,
+            compactions: self.compactions,
+        }
+    }
+
+    /// Rebuilds an analyzer from a [`snapshot`](StackAnalyzer::snapshot).
+    /// The result is exactly the state `compact` would have produced at
+    /// the snapshot point: ranks `0..distinct` assigned in recency order,
+    /// the tree a prefix of ones. Continuing the trace from here yields
+    /// the same distance for every future reference as the original
+    /// analyzer would have (compaction *timing* may differ; distances and
+    /// the final histogram cannot).
+    pub fn from_snapshot(s: &AnalyzerSnapshot) -> Self {
+        let n = s.pages_by_recency.len();
+        let mut a = StackAnalyzer::with_capacity(16);
+        for (rank, &page) in s.pages_by_recency.iter().enumerate() {
+            let idx = page as usize;
+            if idx < DENSE_ID_LIMIT {
+                if idx >= a.dense.len() {
+                    let new_len = (idx + 1).next_power_of_two().min(DENSE_ID_LIMIT);
+                    a.dense.resize(new_len, NO_REF);
+                }
+                a.dense[idx] = rank;
+            } else {
+                a.sparse.insert(page, rank);
+            }
+        }
+        a.fenwick = Fenwick::with_prefix_ones(n, COMPACTION_SLACK * n.max(64));
+        a.now = n;
+        a.cold = n as u64;
+        a.counts = if s.counts.is_empty() {
+            vec![0]
+        } else {
+            s.counts.clone()
+        };
+        a.refs = s.refs;
+        a.compactions = s.compactions;
+        a
+    }
+}
+
+/// A serializable point-in-time capture of a [`StackAnalyzer`]: everything
+/// needed to resume a streaming analysis after a crash. Produced by
+/// [`StackAnalyzer::snapshot`], consumed by [`StackAnalyzer::from_snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyzerSnapshot {
+    /// Live pages ordered by last reference, oldest first. Length equals
+    /// the distinct-page count.
+    pub pages_by_recency: Vec<u32>,
+    /// Distance histogram counts accumulated so far (`counts[d]` = warm
+    /// references at stack distance `d`).
+    pub counts: Vec<u64>,
+    /// Total references processed so far.
+    pub refs: u64,
+    /// Compactions performed so far (carried through for observability
+    /// continuity; not needed for correctness).
+    pub compactions: u64,
 }
 
 #[cfg(test)]
@@ -430,5 +512,80 @@ mod tests {
     fn large_capacity_hint_does_not_presize_tree() {
         let a = StackAnalyzer::with_capacity(100_000_000);
         assert!(a.time_axis_len() <= 65_536);
+    }
+
+    /// Snapshot mid-trace, restore, continue on both — per-access
+    /// distances and the final histograms must agree exactly.
+    fn assert_snapshot_transparent(trace: &[u32], cut: usize) {
+        let mut original = StackAnalyzer::with_capacity(16);
+        for &p in &trace[..cut] {
+            original.access(p);
+        }
+        let snap = original.snapshot();
+        let mut restored = StackAnalyzer::from_snapshot(&snap);
+        assert_eq!(restored.references(), original.references());
+        assert_eq!(restored.distinct_pages(), original.distinct_pages());
+        for &p in &trace[cut..] {
+            assert_eq!(restored.access(p), original.access(p), "cut={cut} page={p}");
+        }
+        assert_eq!(restored.finish(), original.finish(), "cut={cut}");
+    }
+
+    #[test]
+    fn snapshot_restore_is_transparent_at_many_cut_points() {
+        let trace: Vec<u32> = (0..5000u32)
+            .map(|i| {
+                let h = i.wrapping_mul(2654435761);
+                if h % 4 == 0 {
+                    h % 257
+                } else {
+                    i % 31
+                }
+            })
+            .collect();
+        for cut in [0, 1, 7, 100, 1234, 2500, 4999, 5000] {
+            assert_snapshot_transparent(&trace, cut);
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_transparent_across_compactions_and_sparse_ids() {
+        // Long enough to compact repeatedly, with ids beyond the dense
+        // bound so both last-reference structures participate.
+        let trace: Vec<u32> = (0..60_000u32)
+            .map(|i| {
+                let h = i.wrapping_mul(0x9E37_79B1);
+                if h % 3 == 0 {
+                    u32::MAX - (h % 13)
+                } else {
+                    i % 29
+                }
+            })
+            .collect();
+        for cut in [500, 25_000, 59_999] {
+            assert_snapshot_transparent(&trace, cut);
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_restore() {
+        let mut a = StackAnalyzer::new();
+        for p in [3u32, 1, 4, 1, 5, 9, 2, 6, 5, 3] {
+            a.access(p);
+        }
+        let snap = a.snapshot();
+        // Restoring and re-snapshotting is a fixed point: the snapshot is
+        // already in compaction-normal form.
+        let restored = StackAnalyzer::from_snapshot(&snap);
+        assert_eq!(restored.snapshot(), snap);
+    }
+
+    #[test]
+    fn empty_snapshot_restores_to_fresh_analyzer() {
+        let empty = StackAnalyzer::new().snapshot();
+        assert!(empty.pages_by_recency.is_empty());
+        let mut a = StackAnalyzer::from_snapshot(&empty);
+        assert_eq!(a.access(9), None);
+        assert_eq!(a.access(9), Some(1));
     }
 }

@@ -108,6 +108,65 @@ pub fn analyzer() -> &'static AnalyzerMetrics {
     })
 }
 
+/// Write-ahead-log instruments, published by `epfis-wal` (appends, bytes,
+/// fsyncs, replay) and `epfis-server` (recovery outcome).
+pub struct WalMetrics {
+    /// Records appended (`epfis_wal_appends_total`).
+    pub appends: Arc<Counter>,
+    /// Bytes appended, framing included (`epfis_wal_bytes_total`).
+    pub bytes: Arc<Counter>,
+    /// Explicit data syncs issued (`epfis_wal_fsyncs_total`).
+    pub fsyncs: Arc<Counter>,
+    /// Records recovered during replay (`epfis_wal_replay_records_total`).
+    pub replay_records: Arc<Counter>,
+    /// Microseconds the last startup replay took
+    /// (`epfis_wal_replay_duration_us`).
+    pub replay_duration_us: Arc<Gauge>,
+    /// In-flight sessions recovered and parked for `ANALYZE RESUME`
+    /// (`epfis_wal_recovered_sessions_total`).
+    pub recovered_sessions: Arc<Counter>,
+}
+
+/// The process-global WAL instruments.
+pub fn wal() -> &'static WalMetrics {
+    static METRICS: OnceLock<WalMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = Registry::global();
+        WalMetrics {
+            appends: r.counter(
+                "epfis_wal_appends_total",
+                "Records appended to write-ahead logs in this process",
+                &[],
+            ),
+            bytes: r.counter(
+                "epfis_wal_bytes_total",
+                "Bytes appended to write-ahead logs, record framing included",
+                &[],
+            ),
+            fsyncs: r.counter(
+                "epfis_wal_fsyncs_total",
+                "Explicit fdatasync calls issued by write-ahead logs",
+                &[],
+            ),
+            replay_records: r.counter(
+                "epfis_wal_replay_records_total",
+                "Valid records recovered during write-ahead-log replay",
+                &[],
+            ),
+            replay_duration_us: r.gauge(
+                "epfis_wal_replay_duration_us",
+                "Duration of the most recent startup WAL replay, in microseconds",
+                &[],
+            ),
+            recovered_sessions: r.counter(
+                "epfis_wal_recovered_sessions_total",
+                "In-flight ANALYZE sessions recovered from the WAL and parked for resume",
+                &[],
+            ),
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,6 +181,8 @@ mod tests {
         analyzer().refs.add(10);
         analyzer().active_sessions.add(1);
         analyzer().active_sessions.sub(1);
+        wal().appends.inc();
+        wal().replay_duration_us.set(42);
         let text = Registry::global().render_prometheus();
         for family in [
             "epfis_bufferpool_requests_total",
@@ -133,6 +194,12 @@ mod tests {
             "epfis_analyzer_compactions_total",
             "epfis_analyzer_sessions_total",
             "epfis_analyzer_active_sessions 0",
+            "epfis_wal_appends_total",
+            "epfis_wal_bytes_total",
+            "epfis_wal_fsyncs_total",
+            "epfis_wal_replay_records_total",
+            "epfis_wal_replay_duration_us 42",
+            "epfis_wal_recovered_sessions_total",
         ] {
             assert!(text.contains(family), "missing {family} in:\n{text}");
         }

@@ -66,6 +66,13 @@ pub struct VersionedEntry {
 #[derive(Clone, Default)]
 pub struct VersionedCatalog {
     epoch: u64,
+    /// Highest WAL session id whose commit this catalog version includes.
+    /// WAL replay skips COMMIT records at or below this watermark, making
+    /// "append commit record, then persist catalog" exactly-once: a crash
+    /// between the two replays the commit; a crash after finds it already
+    /// absorbed. Zero (the default, and omitted from the text form) means
+    /// no WAL commit has ever landed.
+    wal_committed: u64,
     entries: BTreeMap<String, Arc<VersionedEntry>>,
 }
 
@@ -78,6 +85,16 @@ impl VersionedCatalog {
     /// The global epoch: the number of commits this catalog has seen.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Highest WAL session id whose commit is reflected here (0 if none).
+    pub fn wal_committed(&self) -> u64 {
+        self.wal_committed
+    }
+
+    /// Advances the WAL-commit watermark (it never moves backwards).
+    pub fn set_wal_committed(&mut self, session_id: u64) {
+        self.wal_committed = self.wal_committed.max(session_id);
     }
 
     /// Number of entries.
@@ -141,6 +158,9 @@ impl VersionedCatalog {
         out.push_str(HEADER);
         out.push('\n');
         out.push_str(&format!("epoch {}\n", self.epoch));
+        if self.wal_committed != 0 {
+            out.push_str(&format!("wal_committed {}\n", self.wal_committed));
+        }
         for (name, e) in &self.entries {
             out.push_str(&format!(
                 "meta {name} epoch={} analyzed_at={}\n",
@@ -169,6 +189,7 @@ impl VersionedCatalog {
             }
         }
         let mut epoch: Option<u64> = None;
+        let mut wal_committed = 0u64;
         let mut meta: BTreeMap<String, (u64, u64)> = BTreeMap::new();
         for raw in lines.by_ref() {
             let line = raw.trim();
@@ -184,6 +205,11 @@ impl VersionedCatalog {
                         .parse()
                         .map_err(|e| invalid(format!("bad epoch {v:?}: {e}")))?,
                 );
+            } else if let Some(v) = line.strip_prefix("wal_committed ") {
+                wal_committed = v
+                    .trim()
+                    .parse()
+                    .map_err(|e| invalid(format!("bad wal_committed {v:?}: {e}")))?;
             } else if let Some(rest) = line.strip_prefix("meta ") {
                 let mut toks = rest.split_whitespace();
                 let name = toks
@@ -240,7 +266,47 @@ impl VersionedCatalog {
         if let Some(orphan) = meta.keys().find(|n| !entries.contains_key(*n)) {
             return Err(invalid(format!("meta for unknown entry {orphan:?}")));
         }
-        Ok(VersionedCatalog { epoch, entries })
+        Ok(VersionedCatalog {
+            epoch,
+            wal_committed,
+            entries,
+        })
+    }
+
+    /// [`to_text`](VersionedCatalog::to_text) plus a trailing CRC32C footer
+    /// line over the serialized bytes. This is what actually hits disk:
+    /// `write_atomic`'s rename makes a *torn* file unreachable on any sane
+    /// filesystem, but the footer catches what rename cannot — bit rot,
+    /// truncation by external tooling, or a filesystem without atomic
+    /// rename — as a checksum mismatch rather than a parse error at an
+    /// arbitrary line.
+    pub fn to_text_checksummed(&self) -> String {
+        let body = self.to_text();
+        let crc = epfis_wal::crc32c(body.as_bytes());
+        format!("{body}crc32c {crc:08x}\n")
+    }
+
+    /// Parses the persisted form, verifying the CRC32C footer when present.
+    /// A damaged file yields a distinct `catalog checksum mismatch` error.
+    /// Files without a footer (written before checksumming existed) parse
+    /// as before.
+    pub fn from_text_checksummed(text: &str) -> io::Result<Self> {
+        let mismatch = || io::Error::new(io::ErrorKind::InvalidData, "catalog checksum mismatch");
+        let stripped = text.strip_suffix('\n').unwrap_or(text);
+        let (body, last) = match stripped.rfind('\n') {
+            Some(i) => (&text[..i + 1], &stripped[i + 1..]),
+            None => ("", stripped),
+        };
+        match last.strip_prefix("crc32c ") {
+            Some(hex) => {
+                let want = u32::from_str_radix(hex.trim(), 16).map_err(|_| mismatch())?;
+                if epfis_wal::crc32c(body.as_bytes()) != want {
+                    return Err(mismatch());
+                }
+                Self::from_text(body)
+            }
+            None => Self::from_text(text),
+        }
     }
 }
 
@@ -275,7 +341,7 @@ impl SharedCatalog {
     pub fn open(path: impl Into<PathBuf>) -> io::Result<Self> {
         let path = path.into();
         let initial = if path.exists() {
-            VersionedCatalog::from_text(&std::fs::read_to_string(&path)?)?
+            VersionedCatalog::from_text_checksummed(&std::fs::read_to_string(&path)?)?
         } else {
             VersionedCatalog::new()
         };
@@ -330,6 +396,23 @@ impl SharedCatalog {
         stats: IndexStatistics,
         summary: Option<Arc<TraceSummary>>,
     ) -> io::Result<u64> {
+        self.commit_analyzed(name, stats, summary, unix_now(), None)
+    }
+
+    /// [`commit`](SharedCatalog::commit) with an explicit `analyzed_at`
+    /// timestamp and, optionally, a WAL session id to fold into the
+    /// [`wal_committed`](VersionedCatalog::wal_committed) watermark. WAL
+    /// replay commits through this so a recovered catalog is byte-identical
+    /// to the one an uninterrupted run would have written: the timestamp
+    /// comes from the COMMIT record, not the replay clock.
+    pub fn commit_analyzed(
+        &self,
+        name: &str,
+        stats: IndexStatistics,
+        summary: Option<Arc<TraceSummary>>,
+        analyzed_at: u64,
+        wal_committed: Option<u64>,
+    ) -> io::Result<u64> {
         let _serialize = self.commit_lock.lock().unwrap_or_else(|e| e.into_inner());
         let mut span = self
             .logger
@@ -338,10 +421,13 @@ impl SharedCatalog {
             .field("durable", self.path.is_some());
         let mut next = (*self.snapshot()).clone();
         let epoch = next
-            .insert(name, stats, unix_now(), summary)
+            .insert(name, stats, analyzed_at, summary)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        if let Some(session_id) = wal_committed {
+            next.set_wal_committed(session_id);
+        }
         if let Some(path) = &self.path {
-            write_atomic(path, &next.to_text())?;
+            write_atomic(path, &next.to_text_checksummed())?;
         }
         *self.current.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(next);
         self.epoch_hint.store(epoch, Ordering::Release);
@@ -350,7 +436,7 @@ impl SharedCatalog {
     }
 }
 
-fn unix_now() -> u64 {
+pub(crate) fn unix_now() -> u64 {
     std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -413,6 +499,89 @@ mod tests {
         c.insert("ix", stats(1), 0, None).unwrap();
         let text = c.to_text().replace("meta ix epoch=1 analyzed_at=0\n", "");
         assert!(VersionedCatalog::from_text(&text).is_err());
+    }
+
+    #[test]
+    fn wal_committed_watermark_round_trips_and_is_omitted_at_zero() {
+        let mut c = VersionedCatalog::new();
+        c.insert("ix", stats(1), 5, None).unwrap();
+        assert_eq!(c.wal_committed(), 0);
+        assert!(
+            !c.to_text().contains("wal_committed"),
+            "zero watermark must not change the text format"
+        );
+        c.set_wal_committed(7);
+        c.set_wal_committed(3); // never moves backwards
+        assert_eq!(c.wal_committed(), 7);
+        assert!(c.to_text().contains("wal_committed 7\n"));
+        let back = VersionedCatalog::from_text(&c.to_text()).unwrap();
+        assert_eq!(back.wal_committed(), 7);
+        assert_eq!(back.epoch(), 1);
+    }
+
+    #[test]
+    fn checksummed_round_trip_and_tamper_detection() {
+        let mut c = VersionedCatalog::new();
+        c.insert("a.x", stats(1), 100, None).unwrap();
+        c.set_wal_committed(2);
+        let text = c.to_text_checksummed();
+        let back = VersionedCatalog::from_text_checksummed(&text).unwrap();
+        assert_eq!(back.epoch(), 1);
+        assert_eq!(back.wal_committed(), 2);
+        assert_eq!(back.get("a.x").unwrap().stats, c.get("a.x").unwrap().stats);
+
+        // Any flipped byte in the body — even deep inside a float — must
+        // surface as the distinct checksum error, not a parse error.
+        for pos in [0, text.len() / 3, text.len() / 2] {
+            let mut bytes = text.clone().into_bytes();
+            bytes[pos] ^= 0x20;
+            let tampered = String::from_utf8(bytes).unwrap();
+            let err = VersionedCatalog::from_text_checksummed(&tampered)
+                .err()
+                .expect("tampered text must not parse");
+            assert_eq!(err.to_string(), "catalog checksum mismatch", "pos={pos}");
+        }
+        // A damaged footer is a mismatch too.
+        let torn = format!("{}crc32c 12a\n", c.to_text());
+        let err = VersionedCatalog::from_text_checksummed(&torn)
+            .err()
+            .expect("damaged footer must not parse");
+        assert_eq!(err.to_string(), "catalog checksum mismatch");
+        // A footer-less (pre-checksum) file still parses.
+        let legacy = VersionedCatalog::from_text_checksummed(&c.to_text()).unwrap();
+        assert_eq!(legacy.epoch(), 1);
+    }
+
+    #[test]
+    fn durable_files_carry_the_footer_and_reject_tampering() {
+        let path = tmp("checksum");
+        let shared = SharedCatalog::open(&path).unwrap();
+        shared.commit("t.k", stats(7), None).unwrap();
+        let persisted = std::fs::read_to_string(&path).unwrap();
+        let last = persisted.trim_end().lines().last().unwrap();
+        assert!(last.starts_with("crc32c "), "missing footer: {last:?}");
+        assert!(SharedCatalog::open(&path).is_ok());
+
+        let tampered = persisted.replace("epoch 1", "epoch 2");
+        std::fs::write(&path, tampered).unwrap();
+        let err = SharedCatalog::open(&path)
+            .err()
+            .expect("tampered file must not load");
+        assert_eq!(err.to_string(), "catalog checksum mismatch");
+    }
+
+    #[test]
+    fn commit_analyzed_pins_timestamp_and_watermark() {
+        let shared = SharedCatalog::in_memory();
+        shared
+            .commit_analyzed("ix", stats(1), None, 1234, Some(9))
+            .unwrap();
+        let snap = shared.snapshot();
+        assert_eq!(snap.get("ix").unwrap().analyzed_at, 1234);
+        assert_eq!(snap.wal_committed(), 9);
+        // A plain commit preserves the watermark.
+        shared.commit("ix2", stats(2), None).unwrap();
+        assert_eq!(shared.snapshot().wal_committed(), 9);
     }
 
     #[test]

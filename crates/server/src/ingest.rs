@@ -111,6 +111,14 @@ impl KeySet {
         self.len += 1;
         true
     }
+
+    /// Iterates the stored keys, in unspecified (slot) order.
+    fn iter(&self) -> impl Iterator<Item = i64> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &k)| self.is_used(i).then_some(k))
+    }
 }
 
 /// An in-progress streaming analysis (`ANALYZE BEGIN` … `COMMIT`).
@@ -277,9 +285,20 @@ impl IngestSession {
         pairs: impl Iterator<Item = (i64, u32)> + Clone,
     ) -> Result<(), String> {
         self.check_batch_iter(pairs.clone())?;
-        // The feed pass repeats none of the checks — the batch is proven
-        // valid — and keeps the per-run state in locals so the loop touches
-        // the session only at run boundaries and through the analyzer.
+        self.feed_batch_unchecked_iter(pairs);
+        Ok(())
+    }
+
+    /// The feed half of [`IngestSession::feed_batch_iter`]: applies a batch
+    /// **already proven valid** by [`IngestSession::check_batch_iter`],
+    /// repeating none of the checks. Exposed separately so the WAL path can
+    /// interpose its append between validation and application — the batch
+    /// must be durable before it mutates the analyzer, and post-validation
+    /// application cannot fail. Feeding an unvalidated batch corrupts
+    /// session invariants.
+    pub fn feed_batch_unchecked_iter(&mut self, pairs: impl Iterator<Item = (i64, u32)>) {
+        // The feed pass keeps the per-run state in locals so the loop
+        // touches the session only at run boundaries and via the analyzer.
         let mut current = self.current_key;
         let mut run_min = self.run_min;
         let mut run_max = self.run_max;
@@ -318,7 +337,6 @@ impl IngestSession {
         self.run_last = run_last;
         self.max_page = max_page;
         self.records = records;
-        Ok(())
     }
 
     /// Seals the current run: decides the min/max cluster counter for the
@@ -336,6 +354,65 @@ impl IngestSession {
     /// being dropped.
     pub fn abort(self) -> (String, u64) {
         (self.name, self.records)
+    }
+
+    /// Captures the full session state as a serializable checkpoint:
+    /// run-tracking and cluster counters verbatim, the analyzer via its
+    /// compaction-normal [`snapshot`](StackAnalyzer::snapshot). A session
+    /// restored from this and fed the rest of the stream commits
+    /// statistics bit-identical to one that never stopped.
+    pub fn checkpoint(&self) -> SessionCheckpoint {
+        let mut seen_keys: Vec<i64> = self.seen_keys.iter().collect();
+        // Slot order depends on insertion history; sort so the same
+        // session state always serializes to the same bytes.
+        seen_keys.sort_unstable();
+        SessionCheckpoint {
+            name: self.name.clone(),
+            declared_table_pages: self.declared_table_pages,
+            analyzer: self.analyzer.snapshot(),
+            records: self.records,
+            keys: self.keys,
+            max_page: self.max_page,
+            current_key: self.current_key,
+            seen_keys,
+            cc_minmax: self.cc_minmax,
+            cc_run_order: self.cc_run_order,
+            run_min: self.run_min,
+            run_max: self.run_max,
+            run_last: self.run_last,
+            prev_run_max: self.prev_run_max,
+            prev_run_last: self.prev_run_last,
+        }
+    }
+
+    /// Rebuilds a session from a [`checkpoint`](IngestSession::checkpoint).
+    /// `config` is supplied by the caller (it is part of the ANALYZE BEGIN
+    /// request, not the streamed state) and must validate, as in
+    /// [`IngestSession::new`].
+    pub fn restore(cp: &SessionCheckpoint, config: EpfisConfig) -> Self {
+        config.validate();
+        let mut seen_keys = KeySet::default();
+        for &k in &cp.seen_keys {
+            seen_keys.insert(k);
+        }
+        IngestSession {
+            name: cp.name.clone(),
+            config,
+            declared_table_pages: cp.declared_table_pages,
+            analyzer: StackAnalyzer::from_snapshot(&cp.analyzer),
+            records: cp.records,
+            keys: cp.keys,
+            max_page: cp.max_page,
+            current_key: cp.current_key,
+            seen_keys,
+            cc_minmax: cp.cc_minmax,
+            cc_run_order: cp.cc_run_order,
+            run_min: cp.run_min,
+            run_max: cp.run_max,
+            run_last: cp.run_last,
+            prev_run_max: cp.prev_run_max,
+            prev_run_last: cp.prev_run_last,
+        }
     }
 
     /// Completes LRU-Fit: grid-samples the exact fetch curve, fits segments,
@@ -371,6 +448,44 @@ impl IngestSession {
         };
         Ok((stats, summary))
     }
+}
+
+/// A serializable point-in-time capture of an [`IngestSession`], written
+/// to the WAL so a crashed server can resume in-flight ANALYZE streams.
+/// Field-for-field mirror of the session; the analyzer is captured in
+/// compaction-normal form (see [`epfis_lrusim::AnalyzerSnapshot`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionCheckpoint {
+    /// Entry name the session will commit to.
+    pub name: String,
+    /// `table_pages` declared at ANALYZE BEGIN, if any.
+    pub declared_table_pages: Option<u32>,
+    /// Stack-analyzer state.
+    pub analyzer: epfis_lrusim::AnalyzerSnapshot,
+    /// References fed so far.
+    pub records: u64,
+    /// Distinct keys seen so far.
+    pub keys: u64,
+    /// Largest page id seen so far.
+    pub max_page: u32,
+    /// Key whose run is currently open.
+    pub current_key: Option<i64>,
+    /// All keys seen, sorted (canonical serialization order).
+    pub seen_keys: Vec<i64>,
+    /// Algorithm DC min/max cluster counter.
+    pub cc_minmax: u64,
+    /// Algorithm DC run-order cluster counter.
+    pub cc_run_order: u64,
+    /// Open run's min page.
+    pub run_min: u32,
+    /// Open run's max page.
+    pub run_max: u32,
+    /// Open run's most recent page.
+    pub run_last: u32,
+    /// Previous run's max page.
+    pub prev_run_max: u32,
+    /// Previous run's last page.
+    pub prev_run_last: u32,
 }
 
 #[cfg(test)]
@@ -501,6 +616,60 @@ mod tests {
         s.feed_batch(&[(1, 2), (2, 3)]).unwrap();
         assert_eq!(s.records(), 4);
         assert_eq!(s.keys(), 2);
+    }
+
+    #[test]
+    fn checkpoint_restore_commits_bit_identical_stats() {
+        let trace = test_trace();
+        let pairs: Vec<(i64, u32)> = (0..trace.num_keys() as usize)
+            .flat_map(|k| trace.run_pages(k).iter().map(move |&p| (k as i64, p)))
+            .collect();
+        let (clean_stats, clean_summary) = {
+            let mut s = IngestSession::new("ix".into(), EpfisConfig::default(), Some(120));
+            s.feed_batch(&pairs).unwrap();
+            s.commit().unwrap()
+        };
+        for cut in [0, 1, 999, 1000, 1999] {
+            let mut s = IngestSession::new("ix".into(), EpfisConfig::default(), Some(120));
+            s.feed_batch(&pairs[..cut]).unwrap();
+            let cp = s.checkpoint();
+            // The original dies here; only the checkpoint survives.
+            drop(s);
+            let mut resumed = IngestSession::restore(&cp, EpfisConfig::default());
+            resumed.feed_batch(&pairs[cut..]).unwrap();
+            let (stats, summary) = resumed.commit().unwrap();
+            assert_eq!(stats, clean_stats, "cut={cut}");
+            assert_eq!(summary.cluster_counter, clean_summary.cluster_counter);
+            assert_eq!(
+                summary.cluster_counter_run_order,
+                clean_summary.cluster_counter_run_order
+            );
+            assert_eq!(summary.records, clean_summary.records);
+            assert_eq!(summary.distinct_keys, clean_summary.distinct_keys);
+            assert_eq!(summary.distinct_pages, clean_summary.distinct_pages);
+            for b in [1u64, 5, 30, 120] {
+                assert_eq!(
+                    summary.fetch_curve.fetches(b),
+                    clean_summary.fetch_curve.fetches(b),
+                    "cut={cut} b={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_is_deterministic_and_restores_duplicate_detection() {
+        let mut s = IngestSession::new("ix".into(), EpfisConfig::default(), Some(10));
+        s.feed_batch(&[(5, 0), (2, 1), (9, 3)]).unwrap();
+        // Same state → same checkpoint, regardless of internal table layout.
+        assert_eq!(s.checkpoint(), s.checkpoint());
+        let mut resumed = IngestSession::restore(&s.checkpoint(), EpfisConfig::default());
+        // Keys 5 and 2 are closed runs; restarting one must still fail.
+        assert!(resumed.feed(5, 4).is_err());
+        // The open run for key 9 continues.
+        resumed.feed(9, 4).unwrap();
+        assert_eq!(resumed.records(), 4);
+        assert_eq!(resumed.keys(), 3);
     }
 
     #[test]

@@ -36,6 +36,14 @@
 //!   a per-session reference cap. [`hostile`] packages the corresponding
 //!   misbehaving clients for fault-injection tests.
 //!
+//! * With [`ServerConfig::wal`], `ANALYZE` sessions are write-ahead logged
+//!   ([`wal`], on the `epfis-wal` segment log): `PAGE` batches append before
+//!   they feed the analyzer, periodic checkpoints serialize the session so
+//!   replay is bounded, and restart replays the log *before binding* —
+//!   committed sessions re-apply exactly once (byte-identical catalog),
+//!   interrupted ones park for `ANALYZE RESUME`. A disconnect parks instead
+//!   of discarding. Contract and format: `docs/durability.md`.
+//!
 //! * A `HELLO BINARY` line upgrades a connection to **binary framing v2**
 //!   ([`framing`]): length-prefixed frames, pipelined request batching,
 //!   zero-copy `PAGE` decode straight into the stack analyzer, and a
@@ -55,11 +63,13 @@ pub mod ingest;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
+pub mod wal;
 
 pub use catalog::{SharedCatalog, VersionedCatalog, VersionedEntry};
 pub use client::{BinaryClient, Client, ClientError};
 pub use framing::{BinRequest, BinResponse};
-pub use ingest::IngestSession;
+pub use ingest::{IngestSession, SessionCheckpoint};
 pub use metrics::{CommandStats, Metrics, Protocol};
 pub use protocol::{frame_busy, frame_err, frame_ok, parse_page_into, parse_request, Request};
 pub use server::{serve, LimitsConfig, ServerConfig, ServerHandle};
+pub use wal::{FsyncPolicy, ServerWal, WalConfig, WalRecord};

@@ -86,6 +86,12 @@ pub enum Request {
     AnalyzeCommit,
     /// Discard the open session.
     AnalyzeAbort,
+    /// Reattach a crash-recovered (or disconnect-parked) session to this
+    /// connection. Only meaningful on a server running with `--wal-dir`.
+    AnalyzeResume {
+        /// Entry name the parked session was opened under.
+        name: String,
+    },
     /// Request counters and latency histograms.
     Stats,
     /// Gracefully stop the server.
@@ -110,6 +116,7 @@ impl Request {
             Request::Page { .. } => "PAGE",
             Request::AnalyzeCommit => "ANALYZE_COMMIT",
             Request::AnalyzeAbort => "ANALYZE_ABORT",
+            Request::AnalyzeResume { .. } => "ANALYZE_RESUME",
             Request::Stats => "STATS",
             Request::Shutdown => "SHUTDOWN",
             Request::Hello => "HELLO",
@@ -128,6 +135,7 @@ impl Request {
         "PAGE",
         "ANALYZE_COMMIT",
         "ANALYZE_ABORT",
+        "ANALYZE_RESUME",
         "STATS",
         "SHUTDOWN",
         "HELLO",
@@ -243,7 +251,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "ANALYZE" => {
             let sub = rest
                 .first()
-                .ok_or("usage: ANALYZE BEGIN <name> [k=v ...] | ANALYZE COMMIT | ANALYZE ABORT")?
+                .ok_or(
+                    "usage: ANALYZE BEGIN <name> [k=v ...] | ANALYZE COMMIT | ANALYZE ABORT \
+                     | ANALYZE RESUME <name>",
+                )?
                 .to_ascii_uppercase();
             match sub.as_str() {
                 "COMMIT" => {
@@ -253,6 +264,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 "ABORT" => {
                     exactly(1, 1, "ANALYZE ABORT")?;
                     Ok(Request::AnalyzeAbort)
+                }
+                "RESUME" => {
+                    exactly(2, 2, "ANALYZE RESUME <name>")?;
+                    Ok(Request::AnalyzeResume {
+                        name: rest[1].to_string(),
+                    })
                 }
                 "BEGIN" => {
                     let name = rest

@@ -28,6 +28,7 @@ use crate::framing::{
 use crate::ingest::IngestSession;
 use crate::metrics::{Metrics, Protocol};
 use crate::protocol::{frame_busy, frame_err, frame_ok, parse_page_into, parse_request, Request};
+use crate::wal::{ServerWal, WalConfig};
 use epfis::{EpfisConfig, ScanQuery};
 use epfis_estimators::{
     DcEstimator, MlEstimator, OtEstimator, PageFetchEstimator, ScanParams, SdEstimator,
@@ -141,6 +142,9 @@ pub struct ServerConfig {
     /// Structured event logger shared by the server, its connections, and
     /// the catalog; `None` logs nothing (zero per-request cost).
     pub logger: Option<Arc<Logger>>,
+    /// Write-ahead logging for `ANALYZE` sessions; `None` keeps in-flight
+    /// sessions memory-only (a disconnect or crash discards them).
+    pub wal: Option<WalConfig>,
 }
 
 impl Default for ServerConfig {
@@ -153,6 +157,7 @@ impl Default for ServerConfig {
             limits: LimitsConfig::default(),
             metrics_addr: None,
             logger: None,
+            wal: None,
         }
     }
 }
@@ -183,6 +188,9 @@ struct Shared {
     admitted: AtomicUsize,
     /// Resolved admission cap ([`LimitsConfig::effective_max_connections`]).
     max_connections: usize,
+    /// Durable-ingestion state when the server runs with a WAL; replayed
+    /// before the listener binds.
+    wal: Option<ServerWal>,
     started: Instant,
     addr: SocketAddr,
 }
@@ -289,6 +297,17 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
     };
     catalog.set_logger(Arc::clone(&logger));
     let catalog = Arc::new(catalog);
+    // Replay the WAL (if any) before the listener binds: a client can
+    // never observe a half-recovered catalog or race a parked session.
+    let wal = match &config.wal {
+        Some(wal_config) => Some(ServerWal::open(
+            wal_config,
+            &catalog,
+            config.epfis_config,
+            &logger,
+        )?),
+        None => None,
+    };
     let workers_n = config.effective_workers();
     let metrics = Metrics::new(Request::LABELS);
     let started = Instant::now();
@@ -333,6 +352,7 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
         limits: config.limits,
         admitted: AtomicUsize::new(0),
         max_connections: config.limits.effective_max_connections(workers_n),
+        wal,
         started,
         addr,
     });
@@ -422,6 +442,7 @@ fn start_metrics_endpoint(
     // session touches them.
     epfis_obs::wellknown::bufferpool();
     epfis_obs::wellknown::analyzer();
+    epfis_obs::wellknown::wal();
     HttpServer::serve(
         addr,
         Arc::new(move |path: &str| {
@@ -652,6 +673,17 @@ fn send_response(writer: &mut TcpStream, response: &str, shared: &Shared) -> boo
     }
 }
 
+/// The connection's open `ANALYZE` session plus its durability bookkeeping.
+/// With the WAL off, `wal_id` is 0 and never read.
+struct OpenSession {
+    inner: IngestSession,
+    /// WAL session id from the `BEGIN` record.
+    wal_id: u64,
+    /// `records()` when the last `CHECKPOINT` was appended; replay re-feeds
+    /// at most `records() - checkpointed_refs` references.
+    checkpointed_refs: u64,
+}
+
 /// Serves one connection to completion.
 fn handle_connection(stream: TcpStream, shared: &Shared) {
     shared.metrics.connection_opened();
@@ -664,7 +696,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         .event(Level::Debug, "server", "connection_opened")
         .field("peer", peer.as_str())
         .emit();
-    let mut session: Option<IngestSession> = None;
+    let mut session: Option<OpenSession> = None;
     // Responses are small and latency-sensitive (text) or batched into one
     // buffered write per pipeline drain (binary); Nagle buys nothing either
     // way.
@@ -679,17 +711,43 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     if let Ok(mut reader) = FrameReader::new(stream) {
         serve_lines(&mut reader, &mut writer, shared, &mut session);
     }
-    if let Some(open) = &session {
+    if let Some(open) = session.take() {
         // The connection ended (EOF, error, limit, shutdown) with an
-        // ANALYZE session still open: its references are discarded.
+        // ANALYZE session still open. With a WAL the session is parked —
+        // every reference it holds is already in the log, so a client can
+        // reattach with ANALYZE RESUME (even after a server restart).
+        // Without one, its references are discarded.
         shared.metrics.session_disconnected();
         epfis_obs::wellknown::analyzer().active_sessions.sub(1);
-        shared
-            .logger
-            .event(Level::Warn, "server", "session_disconnected")
-            .field("entry", open.name())
-            .field("dropped_refs", open.records())
-            .emit();
+        match &shared.wal {
+            Some(wal) => {
+                let name = open.inner.name().to_string();
+                let refs = open.inner.records();
+                if let Err(e) = wal.park(open.inner, open.wal_id) {
+                    shared
+                        .logger
+                        .event(Level::Warn, "server", "session_park_failed")
+                        .field("entry", name.as_str())
+                        .field("error", e.to_string())
+                        .emit();
+                } else {
+                    shared
+                        .logger
+                        .event(Level::Info, "server", "session_parked")
+                        .field("entry", name.as_str())
+                        .field("refs", refs)
+                        .emit();
+                }
+            }
+            None => {
+                shared
+                    .logger
+                    .event(Level::Warn, "server", "session_disconnected")
+                    .field("entry", open.inner.name())
+                    .field("dropped_refs", open.inner.records())
+                    .emit();
+            }
+        }
     }
     shared.metrics.connection_closed();
     shared
@@ -704,7 +762,7 @@ fn serve_lines(
     reader: &mut FrameReader,
     writer: &mut TcpStream,
     shared: &Shared,
-    session: &mut Option<IngestSession>,
+    session: &mut Option<OpenSession>,
 ) {
     // `PAGE` is the text protocol's hot line: its pairs parse into this
     // connection-lifetime scratch buffer instead of a fresh `Vec` per batch.
@@ -863,7 +921,7 @@ fn serve_binary(
     reader: &mut FrameReader,
     writer: &mut TcpStream,
     shared: &Shared,
-    session: &mut Option<IngestSession>,
+    session: &mut Option<OpenSession>,
 ) {
     let mut out: Vec<u8> = Vec::with_capacity(8 * 1024);
     let mut cache: Option<EntryCache> = None;
@@ -949,7 +1007,7 @@ fn limit_frame_rejection(writer: &mut TcpStream, out: &mut Vec<u8>, shared: &Sha
 fn handle_binary_frame(
     body: &[u8],
     shared: &Shared,
-    session: &mut Option<IngestSession>,
+    session: &mut Option<OpenSession>,
     cache: &mut Option<EntryCache>,
     out: &mut Vec<u8>,
 ) -> bool {
@@ -1111,9 +1169,14 @@ fn binary_estimate(
 /// Applies one `PAGE` batch to the connection's open session: the session
 /// cap, atomic validate-then-feed, and per-batch analyzer telemetry shared
 /// by the text and binary paths. Returns the session's total references.
+///
+/// With a WAL the batch is logged between validation and application —
+/// validation can reject, application cannot, so the log only ever holds
+/// batches the session actually absorbed and the atomic-batch contract
+/// (a rejected batch leaves the session untouched) is unchanged.
 fn apply_page_batch(
     shared: &Shared,
-    session: &mut Option<IngestSession>,
+    session: &mut Option<OpenSession>,
     batch_len: usize,
     pairs: impl Iterator<Item = (i64, u32)> + Clone,
 ) -> Result<u64, String> {
@@ -1121,17 +1184,34 @@ fn apply_page_batch(
         .as_mut()
         .ok_or("no open session (send ANALYZE BEGIN first)")?;
     let cap = shared.limits.max_session_refs;
-    if cap > 0 && open.records().saturating_add(batch_len as u64) > cap {
+    if cap > 0 && open.inner.records().saturating_add(batch_len as u64) > cap {
         return Err(format!(
             "limit session-refs: session holds {} references and the batch adds {batch_len}, \
              exceeding the {cap} cap (COMMIT or ABORT first)",
-            open.records()
+            open.inner.records()
         ));
     }
     // Batches apply atomically: a rejected batch leaves the session
     // untouched, so the client can correct and resend it.
-    let compactions_before = open.compactions();
-    open.feed_batch_iter(pairs)?;
+    let compactions_before = open.inner.compactions();
+    match &shared.wal {
+        Some(wal) => {
+            open.inner.check_batch_iter(pairs.clone())?;
+            wal.append_page(open.wal_id, batch_len, pairs.clone())
+                .map_err(|e| format!("wal append failed: {e}"))?;
+            open.inner.feed_batch_unchecked_iter(pairs);
+            // Periodic analyzer checkpoint: bounds replay to one interval
+            // of PAGE records per in-flight session.
+            if open.inner.records().saturating_sub(open.checkpointed_refs) >= wal.checkpoint_refs()
+            {
+                let cp = open.inner.checkpoint();
+                wal.append_checkpoint(open.wal_id, &cp)
+                    .map_err(|e| format!("wal append failed: {e}"))?;
+                open.checkpointed_refs = open.inner.records();
+            }
+        }
+        None => open.inner.feed_batch_iter(pairs)?,
+    }
     // Telemetry publishes per batch, never per reference: the analyzer's
     // access loop runs tens of millions of refs/s and must stay free of
     // shared atomics.
@@ -1139,8 +1219,8 @@ fn apply_page_batch(
     analyzer.refs.add(batch_len as u64);
     analyzer
         .compactions
-        .add(open.compactions() - compactions_before);
-    Ok(open.records())
+        .add(open.inner.compactions() - compactions_before);
+    Ok(open.inner.records())
 }
 
 /// Executes one parsed request against the shared state, returning response
@@ -1148,7 +1228,7 @@ fn apply_page_batch(
 fn execute(
     req: Request,
     shared: &Shared,
-    session: &mut Option<IngestSession>,
+    session: &mut Option<OpenSession>,
 ) -> Result<Vec<String>, String> {
     match req {
         Request::Ping => Ok(vec!["pong".to_string()]),
@@ -1287,7 +1367,7 @@ fn execute(
                 return Err(format!(
                     "a session for {:?} is already open on this connection \
                      (COMMIT or ABORT it first)",
-                    open.name()
+                    open.inner.name()
                 ));
             }
             if name.is_empty() || name.chars().any(|c| c.is_whitespace() || c.is_control()) {
@@ -1303,7 +1383,22 @@ fn execute(
             if table_pages == Some(0) {
                 return Err("table_pages must be at least 1".into());
             }
-            *session = Some(IngestSession::new(name.clone(), config, table_pages));
+            let wal_id = match &shared.wal {
+                Some(wal) => {
+                    // A fresh BEGIN supersedes any parked session under the
+                    // same name: the client is starting over.
+                    wal.discard_parked(&name)
+                        .map_err(|e| format!("wal append failed: {e}"))?;
+                    wal.begin(&name, segments, table_pages)
+                        .map_err(|e| format!("wal append failed: {e}"))?
+                }
+                None => 0,
+            };
+            *session = Some(OpenSession {
+                inner: IngestSession::new(name.clone(), config, table_pages),
+                wal_id,
+                checkpointed_refs: 0,
+            });
             let analyzer = epfis_obs::wellknown::analyzer();
             analyzer.sessions.inc();
             analyzer.active_sessions.add(1);
@@ -1326,11 +1421,22 @@ fn execute(
             let span = shared
                 .logger
                 .span(Level::Info, "server", "analyze_commit")
-                .field("entry", open.name())
-                .field("refs", open.records())
-                .field("keys", open.keys());
-            let name = open.name().to_string();
-            let (stats, summary) = open.commit()?;
+                .field("entry", open.inner.name())
+                .field("refs", open.inner.records())
+                .field("keys", open.inner.keys());
+            let name = open.inner.name().to_string();
+            let wal_id = open.wal_id;
+            let (stats, summary) = match open.inner.commit() {
+                Ok(v) => v,
+                Err(e) => {
+                    // The session is consumed either way; record the abort
+                    // so a restart does not resurrect it.
+                    if let Some(wal) = &shared.wal {
+                        let _ = wal.abort_session(wal_id);
+                    }
+                    return Err(e);
+                }
+            };
             drop(span);
             let (t, n, i, c) = (
                 stats.table_pages,
@@ -1338,10 +1444,31 @@ fn execute(
                 stats.distinct_keys,
                 stats.clustering_factor,
             );
-            let epoch = shared
-                .catalog
-                .commit(&name, stats, Some(Arc::new(summary)))
-                .map_err(|e| format!("commit failed: {e}"))?;
+            let epoch = match &shared.wal {
+                Some(wal) => {
+                    // The COMMIT record (with its commit sequence and this
+                    // timestamp) goes durable first; the catalog write runs
+                    // under the same guard so the watermark order matches
+                    // record order. A crash between the two replays the
+                    // commit with the *recorded* timestamp — byte-identical
+                    // catalog either way.
+                    let analyzed_at = crate::catalog::unix_now();
+                    wal.commit_session(wal_id, analyzed_at, |commit_seq| {
+                        shared.catalog.commit_analyzed(
+                            &name,
+                            stats,
+                            Some(Arc::new(summary)),
+                            analyzed_at,
+                            Some(commit_seq),
+                        )
+                    })
+                    .map_err(|e| format!("commit failed: {e}"))?
+                }
+                None => shared
+                    .catalog
+                    .commit(&name, stats, Some(Arc::new(summary)))
+                    .map_err(|e| format!("commit failed: {e}"))?,
+            };
             Ok(vec![format!(
                 "committed {name} epoch={epoch} T={t} N={n} I={i} C={c}"
             )])
@@ -1351,7 +1478,12 @@ fn execute(
                 .take()
                 .ok_or("no open session (send ANALYZE BEGIN first)")?;
             epfis_obs::wellknown::analyzer().active_sessions.sub(1);
-            let (name, dropped) = open.abort();
+            let wal_id = open.wal_id;
+            let (name, dropped) = open.inner.abort();
+            if let Some(wal) = &shared.wal {
+                wal.abort_session(wal_id)
+                    .map_err(|e| format!("wal append failed: {e}"))?;
+            }
             shared
                 .logger
                 .event(Level::Info, "server", "analyze_abort")
@@ -1360,11 +1492,58 @@ fn execute(
                 .emit();
             Ok(vec![format!("aborted {name} dropped={dropped}")])
         }
+        Request::AnalyzeResume { name } => {
+            let wal = shared
+                .wal
+                .as_ref()
+                .ok_or("session recovery requires a server started with --wal-dir")?;
+            if let Some(open) = session {
+                return Err(format!(
+                    "a session for {:?} is already open on this connection \
+                     (COMMIT or ABORT it first)",
+                    open.inner.name()
+                ));
+            }
+            let (inner, wal_id) = wal
+                .take_parked(&name)
+                .ok_or_else(|| format!("no recoverable session named {name:?}"))?;
+            let refs = inner.records();
+            epfis_obs::wellknown::analyzer().active_sessions.add(1);
+            shared
+                .logger
+                .event(Level::Info, "server", "analyze_resume")
+                .field("entry", name.as_str())
+                .field("refs", refs)
+                .emit();
+            *session = Some(OpenSession {
+                inner,
+                wal_id,
+                checkpointed_refs: refs,
+            });
+            Ok(vec![format!("resumed {name} refs={refs}")])
+        }
         Request::Stats => {
             let snap = shared.catalog.snapshot();
-            Ok(shared
-                .metrics
-                .render(shared.started.elapsed().as_secs(), snap.epoch(), snap.len()))
+            let mut lines =
+                shared
+                    .metrics
+                    .render(shared.started.elapsed().as_secs(), snap.epoch(), snap.len());
+            if let Some(wal) = &shared.wal {
+                let w = epfis_obs::wellknown::wal();
+                lines.push(format!("wal_appends_total {}", w.appends.get()));
+                lines.push(format!("wal_bytes_total {}", w.bytes.get()));
+                lines.push(format!("wal_fsyncs_total {}", w.fsyncs.get()));
+                lines.push(format!(
+                    "wal_replay_records_total {}",
+                    w.replay_records.get()
+                ));
+                lines.push(format!(
+                    "wal_recovered_sessions_total {}",
+                    w.recovered_sessions.get()
+                ));
+                lines.push(format!("wal_parked_sessions {}", wal.parked_names().len()));
+            }
+            Ok(lines)
         }
         // serve_lines intercepts HELLO before execute, so reaching this arm
         // means the request arrived over an already-upgraded connection

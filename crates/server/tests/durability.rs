@@ -1,0 +1,412 @@
+//! Crash-recovery acceptance tests for the WAL subsystem.
+//!
+//! The contract under test (docs/durability.md): killing the server at any
+//! instant leaves the persisted catalog either entirely old or entirely new
+//! (never mixed), replay never panics no matter where the log was cut, and
+//! a session resumed after a restart commits statistics bit-identical to an
+//! uninterrupted run. The kill-at-every-offset harness proves the first two
+//! properties exhaustively: it records a reference WAL stream, then replays
+//! every possible byte-length prefix of it against a copy of the
+//! pre-session catalog.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use epfis::EpfisConfig;
+use epfis_lrusim::AnalyzerSnapshot;
+use epfis_server::wal::{decode_record, encode_checkpoint};
+use epfis_server::{
+    serve, Client, FsyncPolicy, IngestSession, ServerConfig, ServerWal, SessionCheckpoint,
+    SharedCatalog, VersionedCatalog, WalConfig, WalRecord,
+};
+use proptest::prelude::*;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "epfis-durability-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A small deterministic scan: `n` references over `t` table pages, three
+/// references per key, pages scattered by a Knuth hash.
+fn scan_pairs(n: u32, t: u32) -> Vec<(i64, u32)> {
+    (0..n)
+        .map(|i| ((i / 3) as i64, i.wrapping_mul(2654435761) % t))
+        .collect()
+}
+
+fn wal_config(dir: impl Into<PathBuf>) -> WalConfig {
+    let mut cfg = WalConfig::new(dir);
+    // Tests re-read their own writes from the OS cache; skipping fsync
+    // keeps the every-offset loop fast without changing any byte on disk.
+    cfg.fsync = FsyncPolicy::Never;
+    cfg
+}
+
+/// Truncate the reference WAL at every byte offset and replay each prefix:
+/// the catalog must come out byte-identical to its pre-session or
+/// post-session contents — nothing else — and replay must never panic.
+#[test]
+fn kill_at_every_offset_leaves_catalog_old_or_new() {
+    let root = temp_dir("kill");
+    let cat_path = root.join("catalog.scat");
+    let gen_wal = root.join("gen-wal");
+    let logger = epfis_obs::Logger::disabled();
+
+    // Pre-state: a catalog that already holds one committed entry, so a
+    // "mixed" outcome (base entry damaged, or half of the new entry
+    // visible) would be detectable.
+    let catalog = SharedCatalog::open(&cat_path).unwrap();
+    {
+        let mut base = IngestSession::new("base".into(), EpfisConfig::default(), Some(30));
+        for (k, p) in scan_pairs(240, 30) {
+            base.feed(k, p).unwrap();
+        }
+        let (stats, summary) = base.commit().unwrap();
+        catalog
+            .commit_analyzed("base", stats, Some(Arc::new(summary)), 100, None)
+            .unwrap();
+    }
+    let pre_bytes = std::fs::read(&cat_path).unwrap();
+
+    // Reference stream: a full session (BEGIN, two PAGE batches, a
+    // mid-stream CHECKPOINT, COMMIT) recorded through the real ServerWal
+    // against the real catalog. A second "blocker" session stays open the
+    // whole time so the post-commit log reset cannot erase the stream.
+    let pairs = scan_pairs(240, 40);
+    let (first, rest) = pairs.split_at(pairs.len() / 2);
+    let wal = ServerWal::open(
+        &wal_config(&gen_wal),
+        &catalog,
+        EpfisConfig::default(),
+        &logger,
+    )
+    .unwrap();
+    let _blocker = wal.begin("blocker", None, None).unwrap();
+    let sid = wal.begin("ix.crash", None, Some(40)).unwrap();
+    let mut shadow = IngestSession::new("ix.crash".into(), EpfisConfig::default(), Some(40));
+    wal.append_page(sid, first.len(), first.iter().copied())
+        .unwrap();
+    shadow.feed_batch(first).unwrap();
+    wal.append_checkpoint(sid, &shadow.checkpoint()).unwrap();
+    wal.append_page(sid, rest.len(), rest.iter().copied())
+        .unwrap();
+    shadow.feed_batch(rest).unwrap();
+    let (stats, summary) = shadow.commit().unwrap();
+    wal.commit_session(sid, 777, |seq| {
+        catalog.commit_analyzed("ix.crash", stats, Some(Arc::new(summary)), 777, Some(seq))
+    })
+    .unwrap();
+    let post_bytes = std::fs::read(&cat_path).unwrap();
+    let wal_bytes = std::fs::read(gen_wal.join("wal-000000.seg")).unwrap();
+    assert_ne!(pre_bytes, post_bytes);
+    assert!(wal_bytes.len() > 100, "stream too short to be interesting");
+    drop(wal);
+
+    // The harness proper: every prefix length is a simulated kill point.
+    let replay_root = root.join("replay");
+    for cut in 0..=wal_bytes.len() {
+        let _ = std::fs::remove_dir_all(&replay_root);
+        let wal_dir = replay_root.join("wal");
+        std::fs::create_dir_all(&wal_dir).unwrap();
+        let cpath = replay_root.join("catalog.scat");
+        std::fs::write(&cpath, &pre_bytes).unwrap();
+        std::fs::write(wal_dir.join("wal-000000.seg"), &wal_bytes[..cut]).unwrap();
+
+        let catalog = SharedCatalog::open(&cpath)
+            .unwrap_or_else(|e| panic!("cut {cut}: catalog reopen failed: {e}"));
+        let recovered = ServerWal::open(
+            &wal_config(&wal_dir),
+            &catalog,
+            EpfisConfig::default(),
+            &logger,
+        )
+        .unwrap_or_else(|e| panic!("cut {cut}: replay failed: {e}"));
+
+        let after = std::fs::read(&cpath).unwrap();
+        assert!(
+            after == pre_bytes || after == post_bytes,
+            "cut {cut}: catalog is neither the old nor the new version"
+        );
+        if cut == wal_bytes.len() {
+            // The complete log must land the commit, byte-identical to the
+            // uninterrupted run (recorded analyzed_at, same watermark).
+            assert_eq!(after, post_bytes, "full log must recover the commit");
+            assert!(recovered.parked_names().contains(&"blocker".to_string()));
+        }
+    }
+}
+
+/// End-to-end over TCP: disconnect mid-session (parks), resume on the same
+/// server, kill the server, restart against the same WAL dir, resume again,
+/// and commit — the committed statistics and every served estimate must be
+/// byte-identical to a clean uninterrupted run.
+#[test]
+fn tcp_restart_resumes_and_commits_bit_identical() {
+    let root = temp_dir("tcp");
+    let cat_path = root.join("catalog.scat");
+    let wal_dir = root.join("wal");
+    let mut wal_cfg = WalConfig::new(&wal_dir);
+    wal_cfg.checkpoint_refs = 500; // exercise periodic checkpoints live
+    let config = || ServerConfig {
+        catalog_path: Some(cat_path.clone()),
+        wal: Some(wal_cfg.clone()),
+        ..ServerConfig::default()
+    };
+    let pairs = scan_pairs(3000, 150);
+    let feed = |client: &mut Client, slice: &[(i64, u32)]| {
+        for chunk in slice.chunks(100) {
+            let mut line = String::from("PAGE");
+            for (k, p) in chunk {
+                line.push_str(&format!(" {k} {p}"));
+            }
+            client.request(&line).unwrap();
+        }
+    };
+    let parked_sessions = |client: &mut Client| -> u64 {
+        client
+            .request("STATS")
+            .unwrap()
+            .iter()
+            .find_map(|l| {
+                l.strip_prefix("wal_parked_sessions ")
+                    .map(|v| v.parse().unwrap())
+            })
+            .expect("STATS must report wal_parked_sessions when the WAL is on")
+    };
+    let wait_parked = |client: &mut Client| {
+        // Parking happens when the worker notices the disconnect; give it
+        // a moment (bounded), polling through a separate control client.
+        for _ in 0..500 {
+            if parked_sessions(client) == 1 {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        panic!("session never parked");
+    };
+    let queries = [
+        "ESTIMATE ix.r 0.001 1",
+        "ESTIMATE ix.r 0.1 25",
+        "ESTIMATE ix.r 0.5 75",
+        "ESTIMATE ix.r 1.0 150",
+        "ESTIMATE ix.r 0.333 60 0.333",
+        "ESTIMATE ix.r 1.0 400 0.9",
+    ];
+
+    // The reference: the same scan through a clean in-memory server.
+    let clean_commit_line;
+    let clean_estimates: Vec<String>;
+    {
+        let server = serve(ServerConfig::default()).unwrap();
+        let mut c = Client::connect(server.addr()).unwrap();
+        c.request("ANALYZE BEGIN ix.r table_pages=150").unwrap();
+        feed(&mut c, &pairs);
+        clean_commit_line = c.request("ANALYZE COMMIT").unwrap()[0].clone();
+        clean_estimates = queries
+            .iter()
+            .map(|q| c.request(q).unwrap()[0].clone())
+            .collect();
+    }
+
+    // Phase 1: stream half the scan, then vanish. The server parks the
+    // session against the WAL instead of discarding it.
+    let server = serve(config()).unwrap();
+    let addr = server.addr();
+    let mut control = Client::connect(addr).unwrap();
+    {
+        let mut c1 = Client::connect(addr).unwrap();
+        c1.request("ANALYZE BEGIN ix.r table_pages=150").unwrap();
+        feed(&mut c1, &pairs[..1500]);
+    }
+    wait_parked(&mut control);
+
+    // Phase 2: resume on the same server, stream another quarter, vanish
+    // again.
+    {
+        let mut c2 = Client::connect(addr).unwrap();
+        let lines = c2.request("ANALYZE RESUME ix.r").unwrap();
+        assert_eq!(lines[0], "resumed ix.r refs=1500");
+        feed(&mut c2, &pairs[1500..2250]);
+    }
+    wait_parked(&mut control);
+
+    // Phase 3: kill the server. The parked session survives only in the
+    // WAL; the restarted server must rebuild it from BEGIN + CHECKPOINT +
+    // PAGE records before accepting connections.
+    drop(control);
+    drop(server);
+    let server = serve(config()).unwrap();
+    let mut c3 = Client::connect(server.addr()).unwrap();
+    let replayed: u64 = c3
+        .request("STATS")
+        .unwrap()
+        .iter()
+        .find_map(|l| {
+            l.strip_prefix("wal_replay_records_total ")
+                .map(|v| v.parse().unwrap())
+        })
+        .expect("STATS must report wal_replay_records_total");
+    assert!(replayed > 0, "restart must have replayed WAL records");
+    assert_eq!(parked_sessions(&mut c3), 1);
+
+    let lines = c3.request("ANALYZE RESUME ix.r").unwrap();
+    assert_eq!(lines[0], "resumed ix.r refs=2250");
+    feed(&mut c3, &pairs[2250..]);
+    let commit_line = c3.request("ANALYZE COMMIT").unwrap()[0].clone();
+    assert_eq!(
+        commit_line, clean_commit_line,
+        "recovered commit must match the uninterrupted run"
+    );
+    for (q, want) in queries.iter().zip(&clean_estimates) {
+        let got = &c3.request(q).unwrap()[0];
+        assert_eq!(got, want, "estimate diverged after recovery: {q}");
+    }
+
+    // The persisted catalog is a valid checksummed document.
+    let text = std::fs::read_to_string(&cat_path).unwrap();
+    let back = VersionedCatalog::from_text_checksummed(&text).unwrap();
+    assert!(back.get("ix.r").is_some());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// CHECKPOINT records round-trip arbitrary session state exactly —
+    /// including empty vectors, extreme counters, and negative keys.
+    #[test]
+    fn checkpoint_records_round_trip(
+        session_id in any::<u64>(),
+        name_seed in any::<u64>(),
+        has_table_pages in any::<bool>(),
+        table_pages in any::<u32>(),
+        pages in prop::collection::vec(any::<u32>(), 0..64),
+        counts in prop::collection::vec(any::<u64>(), 0..64),
+        refs in any::<u64>(),
+        compactions in any::<u64>(),
+        records in any::<u64>(),
+        keys in any::<u64>(),
+        max_page in any::<u32>(),
+        has_current in any::<bool>(),
+        current_key in any::<i64>(),
+        seen_keys in prop::collection::vec(any::<i64>(), 0..64),
+        cc_minmax in any::<u64>(),
+        cc_run_order in any::<u64>(),
+        run_min in any::<u32>(),
+        run_max in any::<u32>(),
+        run_last in any::<u32>(),
+        prev_run_max in any::<u32>(),
+        prev_run_last in any::<u32>(),
+    ) {
+        const NAMES: &[&str] = &["ix", "orders.pk", "a.very.long.index.name", "x_1"];
+        let cp = SessionCheckpoint {
+            name: NAMES[(name_seed % NAMES.len() as u64) as usize].to_string(),
+            declared_table_pages: has_table_pages.then_some(table_pages),
+            analyzer: AnalyzerSnapshot { pages_by_recency: pages, counts, refs, compactions },
+            records,
+            keys,
+            max_page,
+            current_key: has_current.then_some(current_key),
+            seen_keys,
+            cc_minmax,
+            cc_run_order,
+            run_min,
+            run_max,
+            run_last,
+            prev_run_max,
+            prev_run_last,
+        };
+        let mut buf = Vec::new();
+        encode_checkpoint(&mut buf, session_id, &cp);
+        match decode_record(&buf) {
+            Ok(WalRecord::Checkpoint { session_id: sid, checkpoint }) => {
+                prop_assert_eq!(sid, session_id);
+                prop_assert_eq!(checkpoint, cp);
+            }
+            other => prop_assert!(false, "decoded {other:?}"),
+        }
+    }
+
+    /// The checksummed catalog codec carries the nastiest f64s the FPF
+    /// curve can hold — subnormals, the largest finite value, long
+    /// mantissas — plus a NaN clustering factor, and any single flipped
+    /// body byte is rejected as a checksum mismatch.
+    #[test]
+    fn checksummed_catalog_round_trips_extreme_fpf_values(
+        knot_count in 2usize..8,
+        seed in any::<u64>(),
+        nan_clustering in any::<bool>(),
+        flip_at in any::<u64>(),
+        flip_bit in 0u32..8,
+    ) {
+        // The same palette as the core codec's property tests: knots must
+        // be finite, so NaN rides in `clustering_factor` instead.
+        const PALETTE: &[f64] = &[
+            5e-324,                  // smallest subnormal
+            2.2250738585072014e-308, // smallest normal
+            1e-300,
+            0.0,
+            1.0,
+            0.123_456_789_012_345_68,
+            1e308,
+            f64::MAX,
+            9.87654321e77,
+        ];
+        let knots: Vec<(f64, f64)> = (0..knot_count)
+            .map(|i| {
+                let y = PALETTE[(seed.wrapping_add(i as u64 * 7919) % PALETTE.len() as u64) as usize];
+                (i as f64 + 1.0, y)
+            })
+            .collect();
+        let stats = epfis::IndexStatistics {
+            table_pages: u64::MAX,
+            records: u64::MAX - 1,
+            distinct_keys: 1,
+            distinct_pages: u64::MAX / 2,
+            clustering_factor: if nan_clustering { f64::NAN } else { 5e-324 },
+            b_min: 1,
+            b_max: u64::MAX,
+            fpf: epfis_segfit::PiecewiseLinear::new(knots),
+            config: EpfisConfig::default(),
+        };
+        let mut catalog = VersionedCatalog::new();
+        catalog.insert("extreme", stats, 12345, None).unwrap();
+
+        let text = catalog.to_text_checksummed();
+        let back = VersionedCatalog::from_text_checksummed(&text).unwrap();
+        // NaN breaks value equality by design; the canonical text form is
+        // the identity that matters for crash recovery.
+        prop_assert_eq!(back.to_text(), catalog.to_text());
+
+        // Tamper with one bit of one body byte: the checksum must catch it.
+        let mut bytes = text.clone().into_bytes();
+        let body_len = text.rfind("crc32c ").expect("footer present");
+        let idx = (flip_at % body_len as u64) as usize;
+        bytes[idx] ^= 1 << flip_bit;
+        if bytes != text.as_bytes() {
+            let tampered = String::from_utf8_lossy(&bytes).into_owned();
+            // Flipping the newline that separates body from footer merges
+            // them, so the footer is no longer recognizable and the reject
+            // comes from the parser instead; every other flip must produce
+            // the distinct mismatch error.
+            let footer_intact = tampered
+                .trim_end_matches('\n')
+                .lines()
+                .next_back()
+                .is_some_and(|l| l.starts_with("crc32c "));
+            match VersionedCatalog::from_text_checksummed(&tampered) {
+                Ok(_) => prop_assert!(false, "tampered catalog must not parse"),
+                Err(err) if footer_intact => prop_assert!(
+                    err.to_string().contains("catalog checksum mismatch"),
+                    "unexpected error: {err}"
+                ),
+                Err(_) => {}
+            }
+        }
+    }
+}

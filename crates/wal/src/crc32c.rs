@@ -1,0 +1,153 @@
+//! Software CRC32C (Castagnoli, reflected polynomial `0x82F63B78`).
+//!
+//! The WAL sits on the streaming-ingest hot path, where binary `PAGE`
+//! frames arrive at hundreds of MB/s; a byte-at-a-time CRC would dominate
+//! the append cost. This is the classic slicing-by-8 formulation: eight
+//! 256-entry tables generated at compile time, consuming eight input bytes
+//! per step with table lookups only — comfortably in the GB/s range on any
+//! machine this workspace targets, with zero dependencies and no special
+//! CPU instructions.
+//!
+//! CRC32C (rather than the zlib CRC32) matches what storage systems use
+//! for on-disk integrity (iSCSI, ext4, Btrfs, LevelDB/RocksDB), so the
+//! published test vectors from RFC 3720 apply directly.
+
+/// Reflected Castagnoli polynomial.
+const POLY: u32 = 0x82F6_3B78;
+
+const fn tables() -> [[u32; 256]; 8] {
+    let mut t = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut j = 0;
+        while j < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            j += 1;
+        }
+        t[0][i] = crc;
+        i += 1;
+    }
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = t[k - 1][i];
+            t[k][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    t
+}
+
+static TABLES: [[u32; 256]; 8] = tables();
+
+/// CRC32C of `data` (init and final XOR both `!0`, per the standard).
+pub fn crc32c(data: &[u8]) -> u32 {
+    crc32c_update(0, data)
+}
+
+/// Continues a CRC32C over `data`, where `crc` is the digest of the bytes
+/// seen so far (`0` to start). `crc32c_update(crc32c(a), b) == crc32c(a ++ b)`.
+pub fn crc32c_update(crc: u32, data: &[u8]) -> u32 {
+    let mut crc = !crc;
+    let mut chunks = data.chunks_exact(8);
+    for c in chunks.by_ref() {
+        let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
+        let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+        crc = TABLES[7][(lo & 0xFF) as usize]
+            ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ TABLES[4][(lo >> 24) as usize]
+            ^ TABLES[3][(hi & 0xFF) as usize]
+            ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Bit-at-a-time reference implementation, for cross-checking the
+    /// sliced tables.
+    fn crc32c_bitwise(data: &[u8]) -> u32 {
+        let mut crc = !0u32;
+        for &b in data {
+            crc ^= b as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+        }
+        !crc
+    }
+
+    #[test]
+    fn rfc3720_test_vectors() {
+        // RFC 3720 §B.4 published CRC32C vectors.
+        assert_eq!(crc32c(b""), 0);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+        let ascending: Vec<u8> = (0u8..32).collect();
+        assert_eq!(crc32c(&ascending), 0x46DD_794E);
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+    }
+
+    #[test]
+    fn sliced_matches_bitwise_on_all_lengths() {
+        // Exercise every remainder length around the 8-byte chunking.
+        let data: Vec<u8> = (0..257u32)
+            .map(|i| (i.wrapping_mul(131) >> 3) as u8)
+            .collect();
+        for len in 0..data.len() {
+            assert_eq!(
+                crc32c(&data[..len]),
+                crc32c_bitwise(&data[..len]),
+                "len={len}"
+            );
+        }
+    }
+
+    #[test]
+    fn update_is_concatenation() {
+        let a = b"write-ahead";
+        let b = b" logging";
+        let whole = [&a[..], &b[..]].concat();
+        assert_eq!(crc32c_update(crc32c(a), b), crc32c(&whole));
+        // Splitting at every point agrees too.
+        for cut in 0..whole.len() {
+            assert_eq!(
+                crc32c_update(crc32c(&whole[..cut]), &whole[cut..]),
+                crc32c(&whole)
+            );
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"epfis wal record body";
+        let base = crc32c(data);
+        let mut tampered = data.to_vec();
+        for byte in 0..tampered.len() {
+            for bit in 0..8 {
+                tampered[byte] ^= 1 << bit;
+                assert_ne!(crc32c(&tampered), base, "flip at {byte}:{bit} undetected");
+                tampered[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

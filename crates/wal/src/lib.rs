@@ -1,0 +1,825 @@
+//! Append-only write-ahead log with CRC32C-checksummed records.
+//!
+//! `epfis-wal` is a generic record log: callers append opaque byte bodies
+//! and get them back, in order, on replay. It knows nothing about ANALYZE
+//! sessions or catalogs — `epfis-server` layers its record schema on top.
+//!
+//! # On-disk format
+//!
+//! The log is a directory of segments `wal-NNNNNN.seg`, numbered from 0.
+//! Each segment starts with a 12-byte header:
+//!
+//! ```text
+//! magic "EPFISWAL" (8 bytes) | version u32 LE (= 1)
+//! ```
+//!
+//! followed by records:
+//!
+//! ```text
+//! len u32 LE | crc u32 LE | body (len bytes)
+//! ```
+//!
+//! where `crc` is the CRC32C of `body`. A record is valid iff its length
+//! prefix is in `1..=MAX_RECORD_BYTES`, the full body is present, and the
+//! checksum matches. Appends rotate to a new segment once the current one
+//! reaches `segment_bytes`, so no segment outlives its usefulness for
+//! truncation-based garbage collection.
+//!
+//! # Torn-write protection
+//!
+//! A crash can leave a partial record at the log's tail: a short length
+//! prefix, a half-written body, or (on storage without atomic sector
+//! writes) a body whose middle never made it. Replay validates records in
+//! order and treats the **first** invalid record as the end of the log:
+//! the segment is truncated at that point, later segments (which could
+//! only contain records appended after the torn one) are deleted, and
+//! everything before it is returned. This mirrors the classic
+//! ARIES-style tail scan; the checksum+length pair means a torn tail is
+//! indistinguishable from a clean end-of-log, which is exactly the safe
+//! interpretation.
+//!
+//! # Fsync policy
+//!
+//! [`FsyncPolicy`] trades durability for throughput:
+//!
+//! * `always` — `fdatasync` after every append; a record acknowledged is a
+//!   record on stable storage.
+//! * `batch` — appends go to the OS page cache; [`Wal::sync`] is called at
+//!   session milestones (checkpoints, commits). A background flusher
+//!   thread `fdatasync`s on a duplicate fd every couple of appended MiB,
+//!   overlapping writeback with ingest so the milestone sync finds little
+//!   left to wait for. A process crash loses nothing (the kernel still has
+//!   the pages); a machine crash loses at most the appends since the last
+//!   completed sync.
+//! * `never` — no explicit syncs; durability rides entirely on the OS
+//!   writeback. For benchmarks and tests.
+
+mod crc32c;
+
+pub use crc32c::{crc32c, crc32c_update};
+
+use epfis_obs::wellknown;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Segment file header: magic plus format version.
+const MAGIC: &[u8; 8] = b"EPFISWAL";
+const VERSION: u32 = 1;
+/// Bytes of segment header before the first record.
+pub const SEGMENT_HEADER_BYTES: u64 = 12;
+/// Bytes of record framing (`len` + `crc`) before each body.
+pub const RECORD_HEADER_BYTES: u64 = 8;
+/// Upper bound on a single record body; a length prefix beyond this is
+/// treated as corruption rather than an allocation request.
+pub const MAX_RECORD_BYTES: u32 = 1 << 26;
+
+/// When to push appended records to stable storage. See the crate docs
+/// for the trade-offs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every append.
+    Always,
+    /// Sync only at explicit [`Wal::sync`] milestones.
+    Batch,
+    /// Never sync explicitly.
+    Never,
+}
+
+impl FromStr for FsyncPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "batch" => Ok(FsyncPolicy::Batch),
+            "never" => Ok(FsyncPolicy::Never),
+            other => Err(format!(
+                "unknown fsync policy {other:?} (expected always, batch, or never)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::Batch => "batch",
+            FsyncPolicy::Never => "never",
+        })
+    }
+}
+
+/// Configuration for opening a [`Wal`].
+#[derive(Debug, Clone)]
+pub struct WalOptions {
+    /// Directory holding the segments; created if absent.
+    pub dir: PathBuf,
+    /// When appends reach stable storage.
+    pub fsync: FsyncPolicy,
+    /// Rotate to a new segment once the current one reaches this size.
+    /// Must be non-zero; a record larger than this still lands whole in
+    /// one segment (segments may exceed the limit by one record).
+    pub segment_bytes: u64,
+}
+
+impl WalOptions {
+    /// Sane defaults: 64 MiB segments, batch fsync.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        WalOptions {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Batch,
+            segment_bytes: 64 << 20,
+        }
+    }
+}
+
+/// What replay found in an existing log directory.
+#[derive(Debug)]
+pub struct Replay {
+    /// Every valid record body, oldest first, across all segments.
+    pub records: Vec<Vec<u8>>,
+    /// Bytes discarded from the torn tail (0 for a clean log). Counts the
+    /// invalid bytes in the truncated segment plus entire later segments.
+    pub truncated_bytes: u64,
+    /// Segments present after truncation.
+    pub segments: usize,
+}
+
+/// An open write-ahead log. Single-writer: callers serialize appends
+/// (the server keeps the `Wal` behind a mutex).
+pub struct Wal {
+    dir: PathBuf,
+    fsync: FsyncPolicy,
+    segment_bytes: u64,
+    file: File,
+    seg_index: u64,
+    seg_len: u64,
+    /// Unsynced appends outstanding (only meaningful under `Batch`).
+    dirty: bool,
+    /// Reusable framing scratch so appends are one `write_all`.
+    scratch: Vec<u8>,
+    /// Background writeback thread (only under `Batch`): keeps the OS
+    /// flushing appended pages while the caller keeps appending, so the
+    /// milestone [`sync`](Wal::sync) finds little left to wait for.
+    flusher: Option<Flusher>,
+}
+
+/// Dirty bytes accumulated before the background flusher is nudged. Small
+/// enough that a milestone sync never waits on more than this much
+/// unflushed data (plus whatever the in-flight flush covers), large enough
+/// that the flusher is not woken per append.
+const FLUSH_THRESHOLD_BYTES: u64 = 2 << 20;
+
+struct FlushState {
+    /// Clone of the current segment's handle; `fdatasync` on a duplicate
+    /// fd flushes the same inode, so the flusher never touches `Wal.file`.
+    file: Option<File>,
+    /// Bytes appended since the last flush was started.
+    pending: u64,
+    shutdown: bool,
+}
+
+struct Flusher {
+    shared: Arc<(Mutex<FlushState>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Flusher {
+    fn spawn(file: File) -> Flusher {
+        let shared = Arc::new((
+            Mutex::new(FlushState {
+                file: Some(file),
+                pending: 0,
+                shutdown: false,
+            }),
+            Condvar::new(),
+        ));
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("epfis-wal-flush".to_string())
+            .spawn(move || {
+                let (lock, cv) = &*thread_shared;
+                loop {
+                    let mut st = lock.lock().unwrap_or_else(|e| e.into_inner());
+                    while !st.shutdown && st.pending < FLUSH_THRESHOLD_BYTES {
+                        st = cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                    }
+                    if st.shutdown {
+                        return;
+                    }
+                    st.pending = 0;
+                    let file = st.file.as_ref().and_then(|f| f.try_clone().ok());
+                    drop(st);
+                    // An error here is not lost: the milestone sync runs on
+                    // the primary handle and reports its own result.
+                    if let Some(f) = file {
+                        if f.sync_data().is_ok() {
+                            wellknown::wal().fsyncs.inc();
+                        }
+                    }
+                }
+            })
+            .ok();
+        Flusher { shared, handle }
+    }
+
+    /// Accounts `n` freshly appended bytes, waking the thread at the
+    /// threshold.
+    fn note_appended(&self, n: u64) {
+        let (lock, cv) = &*self.shared;
+        let mut st = lock.lock().unwrap_or_else(|e| e.into_inner());
+        st.pending += n;
+        if st.pending >= FLUSH_THRESHOLD_BYTES {
+            cv.notify_one();
+        }
+    }
+
+    /// Everything written so far just reached stable storage (milestone
+    /// sync or rotation); point the thread at `file` (the new current
+    /// segment) with nothing pending.
+    fn set_file(&self, file: Option<File>) {
+        let (lock, _) = &*self.shared;
+        let mut st = lock.lock().unwrap_or_else(|e| e.into_inner());
+        st.file = file;
+        st.pending = 0;
+    }
+
+    /// A milestone sync on the primary handle covered all appends.
+    fn synced(&self) {
+        let (lock, _) = &*self.shared;
+        lock.lock().unwrap_or_else(|e| e.into_inner()).pending = 0;
+    }
+}
+
+impl Drop for Flusher {
+    fn drop(&mut self) {
+        let (lock, cv) = &*self.shared;
+        {
+            let mut st = lock.lock().unwrap_or_else(|e| e.into_inner());
+            st.shutdown = true;
+            st.file = None;
+        }
+        cv.notify_one();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("wal-{index:06}.seg"))
+}
+
+/// Parses `wal-NNNNNN.seg` back to its index.
+fn segment_index(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("wal-")?.strip_suffix(".seg")?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Durably records directory-entry changes (segment create/delete/rename).
+/// File-data fsync alone does not persist the *name*; the directory inode
+/// needs its own sync. Not available on all platforms; best-effort there.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+        Ok(())
+    }
+}
+
+/// Scans one segment's bytes, returning the parsed record bodies and the
+/// validated prefix length. `valid < data.len()` means a torn tail.
+fn scan_segment(data: &[u8]) -> (Vec<Vec<u8>>, u64) {
+    let mut records = Vec::new();
+    if data.len() < SEGMENT_HEADER_BYTES as usize
+        || &data[..8] != MAGIC
+        || u32::from_le_bytes([data[8], data[9], data[10], data[11]]) != VERSION
+    {
+        return (records, 0);
+    }
+    let mut off = SEGMENT_HEADER_BYTES as usize;
+    while let Some(header) = data.get(off..off + RECORD_HEADER_BYTES as usize) {
+        let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+        let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+        if len == 0 || len > MAX_RECORD_BYTES {
+            break;
+        }
+        let body_start = off + RECORD_HEADER_BYTES as usize;
+        let Some(body) = data.get(body_start..body_start + len as usize) else {
+            break;
+        };
+        if crc32c(body) != crc {
+            break;
+        }
+        records.push(body.to_vec());
+        off = body_start + len as usize;
+    }
+    (records, off as u64)
+}
+
+impl Wal {
+    /// Opens (or creates) the log at `opts.dir`, replaying whatever is
+    /// there: every valid record is returned oldest-first, and the first
+    /// invalid record — a torn tail — truncates the log at that point.
+    /// The returned `Wal` appends after the last valid record.
+    pub fn open(opts: WalOptions) -> io::Result<(Wal, Replay)> {
+        if opts.segment_bytes == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "wal segment_bytes must be non-zero",
+            ));
+        }
+        fs::create_dir_all(&opts.dir)?;
+
+        let mut indices: Vec<u64> = Vec::new();
+        for entry in fs::read_dir(&opts.dir)? {
+            let entry = entry?;
+            if let Some(idx) = entry.file_name().to_str().and_then(segment_index) {
+                indices.push(idx);
+            }
+        }
+        indices.sort_unstable();
+
+        let mut records = Vec::new();
+        let mut truncated = 0u64;
+        let mut tail: Option<(u64, u64)> = None; // (segment index, valid length)
+        for (pos, &idx) in indices.iter().enumerate() {
+            let path = segment_path(&opts.dir, idx);
+            let mut data = Vec::new();
+            File::open(&path)?.read_to_end(&mut data)?;
+            let (mut segment_records, valid) = scan_segment(&data);
+            records.append(&mut segment_records);
+            if valid < data.len() as u64 {
+                // Torn tail: truncate here, drop every later segment.
+                truncated += data.len() as u64 - valid;
+                for &later in &indices[pos + 1..] {
+                    let later_path = segment_path(&opts.dir, later);
+                    truncated += fs::metadata(&later_path)?.len();
+                    fs::remove_file(&later_path)?;
+                }
+                tail = Some((idx, valid));
+                break;
+            }
+            tail = Some((idx, valid));
+        }
+
+        let (seg_index, seg_len, file) = match tail {
+            Some((idx, valid)) => {
+                let path = segment_path(&opts.dir, idx);
+                let file = OpenOptions::new().write(true).open(&path)?;
+                if valid < SEGMENT_HEADER_BYTES {
+                    // Header itself was torn; start the segment over.
+                    file.set_len(0)?;
+                    let mut file = file;
+                    write_header(&mut file)?;
+                    file.sync_data()?;
+                    (idx, SEGMENT_HEADER_BYTES, file)
+                } else {
+                    file.set_len(valid)?;
+                    file.sync_data()?;
+                    let mut file = file;
+                    file.seek(SeekFrom::End(0))?;
+                    (idx, valid, file)
+                }
+            }
+            None => {
+                let path = segment_path(&opts.dir, 0);
+                let mut file = OpenOptions::new()
+                    .write(true)
+                    .create(true)
+                    .truncate(true)
+                    .open(&path)?;
+                write_header(&mut file)?;
+                file.sync_data()?;
+                (0, SEGMENT_HEADER_BYTES, file)
+            }
+        };
+        sync_dir(&opts.dir)?;
+
+        let replayed = records.len() as u64;
+        if replayed > 0 {
+            wellknown::wal().replay_records.add(replayed);
+        }
+        let segments = seg_index as usize + 1;
+        let flusher = match opts.fsync {
+            FsyncPolicy::Batch => Some(Flusher::spawn(file.try_clone()?)),
+            _ => None,
+        };
+        Ok((
+            Wal {
+                dir: opts.dir,
+                fsync: opts.fsync,
+                segment_bytes: opts.segment_bytes,
+                file,
+                seg_index,
+                seg_len,
+                dirty: false,
+                scratch: Vec::new(),
+                flusher,
+            },
+            Replay {
+                records,
+                truncated_bytes: truncated,
+                segments,
+            },
+        ))
+    }
+
+    /// Appends one record. Under `FsyncPolicy::Always` the record is on
+    /// stable storage when this returns; otherwise it is buffered in the
+    /// OS page cache until the next [`sync`](Wal::sync) (or writeback).
+    pub fn append(&mut self, body: &[u8]) -> io::Result<()> {
+        assert!(
+            !body.is_empty() && body.len() <= MAX_RECORD_BYTES as usize,
+            "wal record body must be 1..={MAX_RECORD_BYTES} bytes"
+        );
+        if self.seg_len >= self.segment_bytes && self.seg_len > SEGMENT_HEADER_BYTES {
+            self.rotate()?;
+        }
+        self.scratch.clear();
+        self.scratch
+            .extend_from_slice(&(body.len() as u32).to_le_bytes());
+        self.scratch.extend_from_slice(&crc32c(body).to_le_bytes());
+        self.scratch.extend_from_slice(body);
+        self.file.write_all(&self.scratch)?;
+        self.seg_len += self.scratch.len() as u64;
+        let m = wellknown::wal();
+        m.appends.inc();
+        m.bytes.add(self.scratch.len() as u64);
+        match self.fsync {
+            FsyncPolicy::Always => {
+                self.file.sync_data()?;
+                m.fsyncs.inc();
+            }
+            FsyncPolicy::Batch => {
+                self.dirty = true;
+                if let Some(flusher) = &self.flusher {
+                    flusher.note_appended(self.scratch.len() as u64);
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(())
+    }
+
+    /// Milestone sync: pushes buffered appends to stable storage under the
+    /// `batch` policy. A no-op under `always` (nothing is buffered) and
+    /// `never` (durability is explicitly not requested).
+    pub fn sync(&mut self) -> io::Result<()> {
+        if self.dirty && self.fsync == FsyncPolicy::Batch {
+            self.file.sync_data()?;
+            wellknown::wal().fsyncs.inc();
+            self.dirty = false;
+            if let Some(flusher) = &self.flusher {
+                flusher.synced();
+            }
+        }
+        Ok(())
+    }
+
+    /// Closes the current segment and starts the next. The finished
+    /// segment is synced (unless policy is `never`) so rotation is also a
+    /// durability milestone, and the new name is durably in the directory.
+    fn rotate(&mut self) -> io::Result<()> {
+        if self.fsync != FsyncPolicy::Never {
+            self.file.sync_data()?;
+            wellknown::wal().fsyncs.inc();
+            self.dirty = false;
+        }
+        self.seg_index += 1;
+        let path = segment_path(&self.dir, self.seg_index);
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        write_header(&mut file)?;
+        if self.fsync != FsyncPolicy::Never {
+            file.sync_data()?;
+            sync_dir(&self.dir)?;
+        }
+        if let Some(flusher) = &self.flusher {
+            flusher.set_file(file.try_clone().ok());
+        }
+        self.file = file;
+        self.seg_len = SEGMENT_HEADER_BYTES;
+        Ok(())
+    }
+
+    /// Discards every record: deletes all segments and starts fresh at
+    /// segment 0. Used once no live session depends on the log (all
+    /// sessions committed or aborted), bounding disk usage.
+    pub fn reset(&mut self) -> io::Result<()> {
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if entry.file_name().to_str().and_then(segment_index).is_some() {
+                fs::remove_file(entry.path())?;
+            }
+        }
+        let path = segment_path(&self.dir, 0);
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        write_header(&mut file)?;
+        file.sync_data()?;
+        sync_dir(&self.dir)?;
+        if let Some(flusher) = &self.flusher {
+            flusher.set_file(file.try_clone().ok());
+        }
+        self.file = file;
+        self.seg_index = 0;
+        self.seg_len = SEGMENT_HEADER_BYTES;
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Index of the segment currently appended to.
+    pub fn current_segment(&self) -> u64 {
+        self.seg_index
+    }
+
+    /// Bytes in the current segment, header included.
+    pub fn current_segment_len(&self) -> u64 {
+        self.seg_len
+    }
+}
+
+fn write_header(file: &mut File) -> io::Result<()> {
+    file.write_all(MAGIC)?;
+    file.write_all(&VERSION.to_le_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "epfis-wal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn opts(dir: &Path) -> WalOptions {
+        WalOptions {
+            dir: dir.to_path_buf(),
+            fsync: FsyncPolicy::Never,
+            segment_bytes: 64 << 20,
+        }
+    }
+
+    #[test]
+    fn fsync_policy_parses_and_displays() {
+        for (s, p) in [
+            ("always", FsyncPolicy::Always),
+            ("batch", FsyncPolicy::Batch),
+            ("never", FsyncPolicy::Never),
+        ] {
+            assert_eq!(s.parse::<FsyncPolicy>().unwrap(), p);
+            assert_eq!(p.to_string(), s);
+        }
+        assert!("sometimes".parse::<FsyncPolicy>().is_err());
+    }
+
+    #[test]
+    fn append_then_replay_round_trips() {
+        let dir = temp_dir("roundtrip");
+        let bodies: Vec<Vec<u8>> = (0..100u32)
+            .map(|i| i.to_le_bytes().repeat(1 + (i as usize % 7)))
+            .collect();
+        {
+            let (mut wal, replay) = Wal::open(opts(&dir)).unwrap();
+            assert!(replay.records.is_empty());
+            for b in &bodies {
+                wal.append(b).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        let (_wal, replay) = Wal::open(opts(&dir)).unwrap();
+        assert_eq!(replay.records, bodies);
+        assert_eq!(replay.truncated_bytes, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_splits_segments_and_replays_in_order() {
+        let dir = temp_dir("rotate");
+        let mut o = opts(&dir);
+        o.segment_bytes = 256; // tiny segments force many rotations
+        let bodies: Vec<Vec<u8>> = (0..200u32).map(|i| i.to_le_bytes().to_vec()).collect();
+        {
+            let (mut wal, _) = Wal::open(o.clone()).unwrap();
+            for b in &bodies {
+                wal.append(b).unwrap();
+            }
+            assert!(wal.current_segment() > 1, "expected rotations");
+        }
+        let segs = fs::read_dir(&dir).unwrap().count();
+        assert!(segs > 2, "expected multiple segment files, got {segs}");
+        let (_wal, replay) = Wal::open(o).unwrap();
+        assert_eq!(replay.records, bodies);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oversized_record_lands_whole_in_one_segment() {
+        let dir = temp_dir("oversize");
+        let mut o = opts(&dir);
+        o.segment_bytes = 64;
+        let big = vec![0xABu8; 500];
+        {
+            let (mut wal, _) = Wal::open(o.clone()).unwrap();
+            wal.append(&big).unwrap();
+            wal.append(b"after").unwrap();
+        }
+        let (_wal, replay) = Wal::open(o).unwrap();
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(replay.records[0], big);
+        assert_eq!(replay.records[1], b"after");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncation_at_every_offset_never_loses_a_prefix() {
+        // The core torn-tail property: chop the (single-segment) log at
+        // every byte offset; replay must yield a prefix of the appended
+        // records and never error or panic.
+        let dir = temp_dir("truncate");
+        let bodies: Vec<Vec<u8>> = (0..10u32).map(|i| vec![i as u8; 3 + i as usize]).collect();
+        {
+            let (mut wal, _) = Wal::open(opts(&dir)).unwrap();
+            for b in &bodies {
+                wal.append(b).unwrap();
+            }
+        }
+        let seg = segment_path(&dir, 0);
+        let full = fs::read(&seg).unwrap();
+        for cut in 0..=full.len() {
+            fs::write(&seg, &full[..cut]).unwrap();
+            let (_wal, replay) = Wal::open(opts(&dir)).unwrap();
+            assert!(
+                replay.records.len() <= bodies.len(),
+                "cut={cut}: more records than written"
+            );
+            assert_eq!(
+                replay.records,
+                bodies[..replay.records.len()],
+                "cut={cut}: replay is not a prefix"
+            );
+            // Whatever survived must itself replay cleanly (truncation
+            // repaired the tail).
+            let (_wal2, again) = Wal::open(opts(&dir)).unwrap();
+            assert_eq!(again.records, replay.records, "cut={cut}: unstable repair");
+            assert_eq!(again.truncated_bytes, 0, "cut={cut}: repair left garbage");
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_byte_truncates_from_that_record() {
+        let dir = temp_dir("corrupt");
+        let bodies: Vec<Vec<u8>> = (0..5u32).map(|i| vec![i as u8; 16]).collect();
+        {
+            let (mut wal, _) = Wal::open(opts(&dir)).unwrap();
+            for b in &bodies {
+                wal.append(b).unwrap();
+            }
+        }
+        let seg = segment_path(&dir, 0);
+        let mut data = fs::read(&seg).unwrap();
+        // Flip a byte inside the third record's body.
+        let off = SEGMENT_HEADER_BYTES as usize + 2 * (8 + 16) + 8 + 4;
+        data[off] ^= 0x40;
+        fs::write(&seg, &data).unwrap();
+        let (_wal, replay) = Wal::open(opts(&dir)).unwrap();
+        assert_eq!(replay.records, bodies[..2]);
+        assert!(replay.truncated_bytes > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_drops_later_segments() {
+        let dir = temp_dir("multiseg-torn");
+        let mut o = opts(&dir);
+        o.segment_bytes = 128;
+        let bodies: Vec<Vec<u8>> = (0..40u32).map(|i| i.to_le_bytes().to_vec()).collect();
+        {
+            let (mut wal, _) = Wal::open(o.clone()).unwrap();
+            for b in &bodies {
+                wal.append(b).unwrap();
+            }
+            assert!(wal.current_segment() >= 2);
+        }
+        // Corrupt the first segment's second record: everything from there
+        // on — including whole later segments — must vanish.
+        let seg0 = segment_path(&dir, 0);
+        let mut data = fs::read(&seg0).unwrap();
+        data[SEGMENT_HEADER_BYTES as usize + 8 + 12 + 2] ^= 1;
+        fs::write(&seg0, &data).unwrap();
+        let (wal, replay) = Wal::open(o).unwrap();
+        assert_eq!(replay.records, bodies[..1]);
+        assert_eq!(wal.current_segment(), 0);
+        assert_eq!(
+            fs::read_dir(&dir)
+                .unwrap()
+                .filter(
+                    |e| segment_index(e.as_ref().unwrap().file_name().to_str().unwrap()).is_some()
+                )
+                .count(),
+            1
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_resumes_after_torn_tail_repair() {
+        let dir = temp_dir("resume-append");
+        {
+            let (mut wal, _) = Wal::open(opts(&dir)).unwrap();
+            wal.append(b"first").unwrap();
+            wal.append(b"second").unwrap();
+        }
+        // Tear the second record's tail off.
+        let seg = segment_path(&dir, 0);
+        let data = fs::read(&seg).unwrap();
+        fs::write(&seg, &data[..data.len() - 3]).unwrap();
+        {
+            let (mut wal, replay) = Wal::open(opts(&dir)).unwrap();
+            assert_eq!(replay.records, vec![b"first".to_vec()]);
+            wal.append(b"third").unwrap();
+        }
+        let (_wal, replay) = Wal::open(opts(&dir)).unwrap();
+        assert_eq!(replay.records, vec![b"first".to_vec(), b"third".to_vec()]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reset_discards_everything() {
+        let dir = temp_dir("reset");
+        let mut o = opts(&dir);
+        o.segment_bytes = 64;
+        let (mut wal, _) = Wal::open(o.clone()).unwrap();
+        for i in 0..20u32 {
+            wal.append(&i.to_le_bytes()).unwrap();
+        }
+        wal.reset().unwrap();
+        wal.append(b"fresh").unwrap();
+        drop(wal);
+        let (_wal, replay) = Wal::open(o).unwrap();
+        assert_eq!(replay.records, vec![b"fresh".to_vec()]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn always_policy_round_trips() {
+        let dir = temp_dir("always");
+        let mut o = opts(&dir);
+        o.fsync = FsyncPolicy::Always;
+        {
+            let (mut wal, _) = Wal::open(o.clone()).unwrap();
+            wal.append(b"durable").unwrap();
+        }
+        let (_wal, replay) = Wal::open(o).unwrap();
+        assert_eq!(replay.records, vec![b"durable".to_vec()]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn zero_segment_bytes_is_rejected() {
+        let dir = temp_dir("zeroseg");
+        let mut o = opts(&dir);
+        o.segment_bytes = 0;
+        assert!(Wal::open(o).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segment_names_parse_strictly() {
+        assert_eq!(segment_index("wal-000123.seg"), Some(123));
+        assert_eq!(segment_index("wal-0.seg"), Some(0));
+        assert_eq!(segment_index("wal-.seg"), None);
+        assert_eq!(segment_index("wal-12a.seg"), None);
+        assert_eq!(segment_index("catalog.scat"), None);
+    }
+}
