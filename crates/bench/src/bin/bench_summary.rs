@@ -8,25 +8,30 @@
 //!
 //! Each phase calls the same figure drivers as `repro_all --quick 1` (at the
 //! same quick-scale parameters) but discards the artifacts — only wall-clock
-//! matters here. The output (default `BENCH_PR7.json`) records per-phase
+//! matters here. The output (default `BENCH_PR8.json`) records per-phase
 //! seconds, analyzer references/second on Zipf and sequential traces,
 //! `epfis-server` loopback throughput (streaming ingest references/second,
 //! single- and multi-connection estimates/second), a `binary_protocol`
 //! section measuring framing v2 (pipelined ingest and estimates, with the
 //! speedup over the text protocol), an `obs` section comparing ingest
 //! with full telemetry (debug logger + `/metrics` endpoint) against the
-//! default server, and a `wal` section comparing binary ingest with
+//! default server, a `wal` section comparing binary ingest with
 //! write-ahead logging on (`fsync=batch`) against the in-memory default,
-//! so perf changes can be compared across commits and thread counts.
+//! and a `serving` section: the open-loop latency curve (per-front-end
+//! p50/p99/p99.9 under a fixed arrival rate, with 0 → 10k idle background
+//! connections) that separates the worker-pool front end from the
+//! `epfis-net` event loop — so perf changes can be compared across commits
+//! and thread counts.
 //!
 //! Unless `--skip-baseline-assert` (or `EPFIS_BENCH_SKIP_BASELINE_ASSERT=1`)
 //! is given, the tool asserts the PR6/PR7 throughput floors in-process:
-//! binary ingest ≥ 9M refs/s, binary estimates ≥ 1M/s aggregate, WAL-on
-//! binary ingest within 20% of WAL-off, and the text protocol within
-//! tolerance of the PR5 baselines (70%, absorbing machine-to-machine
-//! variance — the recorded baselines came from a multi-core host; the
-//! analyzer rate is reported alongside as a pure-CPU canary for comparing
-//! hosts).
+//! binary ingest ≥ 9M refs/s and within 20% of the PR7-recorded 10.07M,
+//! binary estimates ≥ 1M/s aggregate, WAL-on binary ingest within 20% of
+//! WAL-off, the event loop serving its open-loop load error-free under 1k
+//! idle connections, and the text protocol within tolerance of the PR5
+//! baselines (70%, absorbing machine-to-machine variance — the recorded
+//! baselines came from a multi-core host; the analyzer rate is reported
+//! alongside as a pure-CPU canary for comparing hosts).
 
 use epfis::EpfisConfig;
 use epfis_bench::Options;
@@ -70,12 +75,17 @@ mod baselines {
     /// PR7 target: WAL-on binary ingest keeps at least this fraction of
     /// the WAL-off rate (i.e. durability costs at most 20%).
     pub const WAL_ON_MIN_FRACTION: f64 = 0.80;
+    /// The PR7-recorded binary ingest rate (`BENCH_PR7.json` in the
+    /// repository history); PR 8's connection-core refactor must keep at
+    /// least [`PR7_INGEST_MIN_FRACTION`] of it.
+    pub const PR7_BINARY_INGEST_REFS_PER_SEC: f64 = 10_070_000.0;
+    pub const PR7_INGEST_MIN_FRACTION: f64 = 0.80;
 }
 
 fn main() {
     let opts = Options::from_env();
     opts.init_threads();
-    let out = opts.get_str("out").unwrap_or("BENCH_PR7.json").to_string();
+    let out = opts.get_str("out").unwrap_or("BENCH_PR8.json").to_string();
     let seed: u64 = opts.get("seed", figures::DEFAULT_SEED);
 
     // The same quick-scale parameters repro_all uses with --quick 1.
@@ -225,6 +235,45 @@ fn main() {
     let wal_overhead_percent =
         100.0 * (1.0 - wal_ingest_refs_per_sec / binary_ingest_refs_per_sec.max(1e-9));
 
+    // The connection-scaling curve: open-loop PING latency at a fixed
+    // arrival rate per front end, with a growing pile of idle background
+    // connections. The admission cap is lifted so the curve isolates the
+    // serving core (thread-per-connection vs readiness loop), not the
+    // shed policy: pool workers are pinned by idle peers, the event loop
+    // is not.
+    // Each point runs the `loadgen` binary (built alongside this one) as a
+    // subprocess rather than the library in-process: the 10k-idle point
+    // needs ~10k fds on each side of the loopback, and splitting client
+    // from server keeps both under a 20k `RLIMIT_NOFILE` hard cap even
+    // where `CAP_SYS_RESOURCE` is unavailable to raise it.
+    let serving_points: Vec<(epfis_server::Frontend, usize)> = vec![
+        (epfis_server::Frontend::Pool, 0),
+        (epfis_server::Frontend::Pool, 1_000),
+        (epfis_server::Frontend::Evloop, 0),
+        (epfis_server::Frontend::Evloop, 1_000),
+        (epfis_server::Frontend::Evloop, 10_000),
+    ];
+    let serving_rate = 2_000.0;
+    let mut serving_results = Vec::new();
+    for (frontend, idle_conns) in serving_points {
+        let server = epfis_server::serve(epfis_server::ServerConfig {
+            frontend,
+            // Enough pool workers for every *active* connection, so the
+            // pool points degrade from idle-peer pinning alone, not from
+            // undersizing the pool relative to the generator.
+            workers: 32,
+            limits: epfis_server::LimitsConfig {
+                max_connections: 20_000,
+                ..epfis_server::LimitsConfig::default()
+            },
+            ..epfis_server::ServerConfig::default()
+        })
+        .expect("bind serving-curve server");
+        let report = loadgen_subprocess(server.addr(), serving_rate, 1_000, 32, idle_conns);
+        server.shutdown_and_join();
+        serving_results.push((frontend, idle_conns, report));
+    }
+
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"threads\": {},\n", epfis_par::threads()));
     json.push_str(&format!("  \"seed\": {seed},\n"));
@@ -329,7 +378,33 @@ fn main() {
         wal_ingest_refs_per_sec,
         wal_overhead_percent
     ));
-    json.push_str("  }\n}\n");
+    json.push_str("  },\n");
+    json.push_str("  \"serving\": {\n");
+    json.push_str(&format!(
+        "    \"open_loop_rate_per_sec\": {serving_rate:.0},\n    \"points\": [\n"
+    ));
+    for (i, (frontend, idle_conns, report)) in serving_results.iter().enumerate() {
+        let comma = if i + 1 < serving_results.len() {
+            ","
+        } else {
+            ""
+        };
+        match report {
+            // The loadgen report is already one JSON object; annotate it
+            // with the point's coordinates by splicing past its brace.
+            Ok(line) => json.push_str(&format!(
+                "      {{\"frontend\": \"{}\", \"idle_conns\": {idle_conns}, {}{comma}\n",
+                frontend.as_str(),
+                line.trim_start_matches('{')
+            )),
+            Err(e) => json.push_str(&format!(
+                "      {{\"frontend\": \"{}\", \"idle_conns\": {idle_conns}, \
+                 \"failed\": \"{e}\"}}{comma}\n",
+                frontend.as_str()
+            )),
+        }
+    }
+    json.push_str("    ]\n  }\n}\n");
 
     std::fs::write(&out, &json).expect("write benchmark summary");
     print!("{json}");
@@ -351,6 +426,11 @@ fn main() {
             "binary estimates/s (best of single/multi)",
             binary_single_conn_rate.max(binary_multi_conn_rate),
             baselines::BINARY_ESTIMATES_PER_SEC,
+        ),
+        (
+            "binary ingest refs/s vs PR7 record",
+            binary_ingest_refs_per_sec,
+            baselines::PR7_INGEST_MIN_FRACTION * baselines::PR7_BINARY_INGEST_REFS_PER_SEC,
         ),
         (
             "wal-on binary ingest refs/s vs wal-off",
@@ -379,6 +459,30 @@ fn main() {
         ),
     ];
     let mut failed = false;
+    // The event loop must serve its open-loop load error-free underneath
+    // 1k idle connections (the pool is *expected* to degrade there — its
+    // points are recorded, not asserted).
+    match serving_results
+        .iter()
+        .find(|(f, idle, _)| *f == epfis_server::Frontend::Evloop && *idle == 1_000)
+    {
+        Some((_, _, Ok(line)))
+            if json_u64(line, "errors") == Some(0)
+                && json_u64(line, "completed").is_some_and(|c| c > 0)
+                && json_u64(line, "completed") == json_u64(line, "sent") =>
+        {
+            println!(
+                "baseline PASS: evloop open-loop @1k idle: {} completed, 0 errors, p99 {}us",
+                json_u64(line, "completed").unwrap_or(0),
+                json_u64(line, "p99_us").unwrap_or(0)
+            );
+        }
+        Some((_, _, report)) => {
+            failed = true;
+            println!("baseline FAIL: evloop open-loop @1k idle: {report:?}");
+        }
+        None => {}
+    }
     for (what, got, floor) in floors {
         let ok = got >= floor;
         failed |= !ok;
@@ -395,4 +499,60 @@ fn main() {
         std::process::exit(1);
     }
     println!("baseline assertions passed");
+}
+
+/// Runs the sibling `loadgen` binary against `addr` and returns its one-line
+/// JSON report. A subprocess keeps the client's ~`idle_conns` file
+/// descriptors out of this (server-hosting) process.
+fn loadgen_subprocess(
+    addr: std::net::SocketAddr,
+    rate: f64,
+    duration_ms: u64,
+    conns: usize,
+    idle_conns: usize,
+) -> std::io::Result<String> {
+    let bin = std::env::current_exe()?
+        .parent()
+        .ok_or_else(|| std::io::Error::other("no parent dir for current exe"))?
+        .join("loadgen");
+    let out = std::process::Command::new(&bin)
+        .args([
+            "--addr",
+            &addr.to_string(),
+            "--rate",
+            &rate.to_string(),
+            "--duration-ms",
+            &duration_ms.to_string(),
+            "--conns",
+            &conns.to_string(),
+            "--idle-conns",
+            &idle_conns.to_string(),
+            "--request",
+            "PING",
+        ])
+        .output()?;
+    let line = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .find(|l| l.starts_with('{'))
+        .map(str::to_string);
+    match line {
+        Some(l) if out.status.success() => Ok(l),
+        _ => Err(std::io::Error::other(format!(
+            "loadgen exited {}: {}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr).trim()
+        ))),
+    }
+}
+
+/// Extracts an unsigned integer field from a one-line JSON object. Good
+/// enough for the loadgen report this binary itself emits.
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    line.split(&format!("\"{key}\": "))
+        .nth(1)?
+        .split([',', '}'])
+        .next()?
+        .trim()
+        .parse()
+        .ok()
 }

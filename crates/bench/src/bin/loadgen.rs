@@ -1,0 +1,69 @@
+//! Open-loop load generator for a live epfis server (see
+//! `epfis_bench::loadgen` for the measurement contract: arrivals on a fixed
+//! schedule, latency from *scheduled* arrival, so queueing delay lands in
+//! the percentiles instead of being coordinated away).
+//!
+//! ```text
+//! loadgen --addr HOST:PORT [--rate R] [--duration-ms T] [--conns N]
+//!         [--idle-conns N] [--request CMD] [--out FILE]
+//!         [--assert-zero-errors true] [--assert-p99-ms MS]
+//!     drives R requests/s for T ms over N pipelined connections (default
+//!     1000 req/s, 2000 ms, 64 conns), optionally underneath N extra idle
+//!     connections; prints a one-line JSON report (and appends it to
+//!     --out). The --assert flags turn the report into an exit code for
+//!     CI: non-zero errors, or p99 above the bound, exit 1.
+//! ```
+
+use epfis_bench::loadgen::{run, LoadgenConfig};
+use epfis_bench::Options;
+use std::net::ToSocketAddrs;
+use std::time::Duration;
+
+fn main() {
+    let opts = Options::from_env();
+    let addr = opts
+        .get_str("addr")
+        .expect("--addr HOST:PORT is required")
+        .to_socket_addrs()
+        .expect("resolve --addr")
+        .next()
+        .expect("no address for --addr");
+    let config = LoadgenConfig {
+        addr,
+        rate: opts.get("rate", 1000.0f64),
+        duration: Duration::from_millis(opts.get("duration-ms", 2000u64)),
+        conns: opts.get("conns", 64usize),
+        idle_conns: opts.get("idle-conns", 0usize),
+        request: opts.get_str("request").unwrap_or("PING").to_string(),
+    };
+    let report = run(&config).expect("load generation failed");
+    let json = report.to_json();
+    println!("{json}");
+    if let Some(path) = opts.get_str("out") {
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .expect("open --out file");
+        writeln!(file, "{json}").expect("append report");
+    }
+    let mut failed = false;
+    if opts.get("assert-zero-errors", false) && report.errors > 0 {
+        eprintln!("FAIL: {} errors (expected zero)", report.errors);
+        failed = true;
+    }
+    let p99_bound_ms: u64 = opts.get("assert-p99-ms", 0u64);
+    if p99_bound_ms > 0 && report.p99_us > p99_bound_ms * 1000 {
+        eprintln!(
+            "FAIL: p99 {}us exceeds bound {}ms",
+            report.p99_us, p99_bound_ms
+        );
+        failed = true;
+    }
+    if report.completed == 0 {
+        eprintln!("FAIL: no requests completed");
+        failed = true;
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}

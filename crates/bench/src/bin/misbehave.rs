@@ -16,6 +16,12 @@
 //!     negotiate binary framing, then declare one N-byte frame (default
 //!     8 MiB) and flood its body; exits 0 iff the server rejected the
 //!     frame from its header (`ERR limit frame ...`) or cut the connection
+//! misbehave --scenario stall --addr HOST:PORT [--copies N] [--max-ms T] [--name E]
+//!     commit a tiny entry, pipeline N `FPF` requests that provoke far more
+//!     response bytes than the socket buffers hold (default 200 × 10000
+//!     curve points), then stop reading — the write-stall that used to pin
+//!     a worker forever in a blocking write_all. Exits 0 iff the server
+//!     reclaims the connection (reset observed) and still answers PING.
 //! misbehave --scenario crashloop --addr HOST:PORT [--rounds N] [--refs N] [--name E]
 //!     open an ANALYZE session, stream part of a scan, and vanish without
 //!     COMMIT or ABORT — N times in a row (default 10 rounds of 5000
@@ -90,6 +96,34 @@ fn main() {
                     .is_some_and(|r| r.contains("limit"));
             std::process::exit(if rejected { 0 } else { 1 });
         }
+        "stall" => {
+            let copies: usize = opts.get("copies", 200usize);
+            let max = Duration::from_millis(opts.get("max-ms", 10_000u64));
+            let name = opts.get_str("name").unwrap_or("stall.probe").to_string();
+            // Seed an entry so FPF has a curve to render; idempotent if a
+            // previous run already committed it.
+            let mut client = epfis_server::Client::connect(&*addr).expect("connect");
+            client
+                .request(&format!("ANALYZE BEGIN {name} table_pages=64"))
+                .expect("begin");
+            client.request("PAGE 1 0 1 5 2 9 3 13").expect("page");
+            client.request("ANALYZE COMMIT").expect("commit");
+            drop(client);
+            let request = format!("FPF {name} 10000");
+            let outcome = hostile::write_stall(&addr, &request, copies, max).expect("connect");
+            let survived = epfis_server::Client::connect(&*addr)
+                .and_then(|mut c| c.request("PING"))
+                .is_ok();
+            println!(
+                "stall written={} disconnected={} server_alive={survived}",
+                outcome.bytes_written, outcome.disconnected
+            );
+            std::process::exit(if outcome.disconnected && survived {
+                0
+            } else {
+                1
+            });
+        }
         "crashloop" => {
             let rounds: usize = opts.get("rounds", 10usize);
             let refs: usize = opts.get("refs", 5_000usize);
@@ -124,6 +158,6 @@ fn main() {
             println!("crashloop rounds={rounds} server_alive={survived}");
             std::process::exit(if survived { 0 } else { 1 });
         }
-        other => panic!("unknown --scenario {other:?} (flood|idle|loris|binflood|crashloop)"),
+        other => panic!("unknown --scenario {other:?} (flood|idle|loris|binflood|stall|crashloop)"),
     }
 }

@@ -4,6 +4,7 @@
 //! Every binary prints the figure as an aligned text table on stdout and,
 //! with `--csv DIR`, also writes one CSV per figure for plotting.
 
+pub mod loadgen;
 pub mod loopback;
 
 use std::collections::HashMap;

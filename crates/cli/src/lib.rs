@@ -125,13 +125,18 @@ pub const USAGE: &str = "usage: epfis <analyze|show|fpf|estimate|plan> --catalog
             (the paper's Section 5 experiment on a captured trace: random
              partial scans, aggregate error per algorithm per buffer size)
   serve     [--addr HOST:PORT] [--catalog F] [--workers N] [--segments M]
+            [--frontend pool|evloop]
             [--max-line-bytes B] [--max-pending-bytes B] [--idle-timeout-ms T]
             [--max-connections N] [--max-session-refs R]
             [--metrics-addr HOST:PORT] [--log-level L] [--log-format human|json]
             [--log-file F] [--wal-dir D] [--wal-fsync always|batch|never]
             [--wal-segment-bytes B] [--wal-checkpoint-refs R]
             (long-running estimation service; prints `listening on ADDR`,
-             stops on the SHUTDOWN protocol command; the limit flags bound
+             stops on the SHUTDOWN protocol command; --frontend picks the
+             serving core: `pool` (default) runs a worker thread per active
+             connection, `evloop` serves every connection from one
+             readiness-driven thread and scales to tens of thousands of
+             idle connections — see docs/serving.md; the limit flags bound
              what one client can cost the server — see docs/protocol.md,
              \"Limits & backpressure\". --metrics-addr adds an HTTP endpoint
              serving /metrics, /healthz, and /events and prints `metrics on
@@ -678,6 +683,10 @@ fn serve(cmd: &Command) -> Result<String, CliError> {
     use std::io::Write as _;
     let addr: String = cmd.get_or("addr", "127.0.0.1:0".to_string())?;
     let workers: usize = cmd.get_or("workers", 0)?;
+    let frontend = match cmd.get::<String>("frontend")? {
+        Some(raw) => epfis_server::Frontend::parse(&raw).map_err(err)?,
+        None => epfis_server::Frontend::default(),
+    };
     let segments: usize = cmd.get_or("segments", 6)?;
     if !(1..=64).contains(&segments) {
         return Err(err("--segments must be in [1, 64]"));
@@ -696,6 +705,7 @@ fn serve(cmd: &Command) -> Result<String, CliError> {
     let config = epfis_server::ServerConfig {
         addr,
         workers,
+        frontend,
         catalog_path: cmd.get::<String>("catalog")?.map(Into::into),
         epfis_config: EpfisConfig::default().with_segments(segments),
         limits,

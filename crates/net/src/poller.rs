@@ -1,0 +1,452 @@
+//! A thin, std-only readiness poller: `epoll(7)` on Linux with a portable
+//! `poll(2)` fallback.
+//!
+//! The wrapper is deliberately minimal — level-triggered only, `usize`
+//! tokens chosen by the caller, one reusable event buffer — because the
+//! [`crate::driver`] above it owns all connection state. Both backends are
+//! constructible on Linux so the fallback path has first-class test
+//! coverage instead of rotting behind a `cfg`.
+//!
+//! The bindings are local `extern "C"` declarations against the libc that
+//! std already links; no new dependency.
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+/// Caller-chosen identifier attached to a registered descriptor and
+/// reported back on its events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token(pub usize);
+
+/// Which readiness classes the caller wants reported for a descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    pub readable: bool,
+    pub writable: bool,
+}
+
+impl Interest {
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    pub const WRITABLE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness report.
+///
+/// Error/hangup conditions are folded into `readable` (and `writable`): the
+/// next `read(2)`/`write(2)` then observes the actual `EOF`/errno, which is
+/// the one classification point ([`crate::io::ReadStep`]) the serving loops
+/// already trust.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    pub token: Token,
+    pub readable: bool,
+    pub writable: bool,
+}
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLLIN: u32 = 0x1;
+const EPOLLOUT: u32 = 0x4;
+const EPOLLERR: u32 = 0x8;
+const EPOLLHUP: u32 = 0x10;
+
+// The kernel ABI packs this struct on x86-64 (a 12-byte layout); other
+// architectures use natural alignment.
+#[repr(C)]
+#[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+#[cfg(target_os = "linux")]
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn close(fd: i32) -> i32;
+}
+
+const POLLIN: i16 = 0x1;
+const POLLOUT: i16 = 0x4;
+const POLLERR: i16 = 0x8;
+const POLLHUP: i16 = 0x10;
+const POLLNVAL: i16 = 0x20;
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct PollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+}
+
+struct PollReg {
+    fd: RawFd,
+    token: Token,
+    interest: Interest,
+}
+
+enum Backend {
+    #[cfg(target_os = "linux")]
+    Epoll { epfd: RawFd, buf: Vec<EpollEvent> },
+    Poll {
+        regs: Vec<PollReg>,
+        buf: Vec<PollFd>,
+    },
+}
+
+/// Level-triggered readiness poller over either backend.
+pub struct Poller {
+    backend: Backend,
+}
+
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            // Round up so a short positive timeout never busy-loops as 0.
+            let ms = d.as_millis();
+            let ms = if ms == 0 && !d.is_zero() { 1 } else { ms };
+            ms.min(i32::MAX as u128) as i32
+        }
+    }
+}
+
+impl Poller {
+    /// The preferred backend for this platform: epoll on Linux, poll(2)
+    /// elsewhere.
+    pub fn new() -> io::Result<Poller> {
+        #[cfg(target_os = "linux")]
+        {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller {
+                backend: Backend::Epoll {
+                    epfd,
+                    buf: vec![EpollEvent { events: 0, data: 0 }; 1024],
+                },
+            })
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            Self::with_poll_backend()
+        }
+    }
+
+    /// Force the portable `poll(2)` backend (also available on Linux, so the
+    /// fallback is exercised by the regular test suite).
+    pub fn with_poll_backend() -> io::Result<Poller> {
+        Ok(Poller {
+            backend: Backend::Poll {
+                regs: Vec::new(),
+                buf: Vec::new(),
+            },
+        })
+    }
+
+    /// True when this poller runs on the epoll backend.
+    pub fn is_epoll(&self) -> bool {
+        #[cfg(target_os = "linux")]
+        {
+            matches!(self.backend, Backend::Epoll { .. })
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            false
+        }
+    }
+
+    fn epoll_mask(interest: Interest) -> u32 {
+        let mut events = 0;
+        if interest.readable {
+            events |= EPOLLIN;
+        }
+        if interest.writable {
+            events |= EPOLLOUT;
+        }
+        events
+    }
+
+    pub fn register(&mut self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd, .. } => {
+                let mut ev = EpollEvent {
+                    events: Self::epoll_mask(interest),
+                    data: token.0 as u64,
+                };
+                if unsafe { epoll_ctl(*epfd, EPOLL_CTL_ADD, fd, &mut ev) } != 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                Ok(())
+            }
+            Backend::Poll { regs, .. } => {
+                if regs.iter().any(|r| r.fd == fd) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AlreadyExists,
+                        "fd already registered",
+                    ));
+                }
+                regs.push(PollReg {
+                    fd,
+                    token,
+                    interest,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    pub fn modify(&mut self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd, .. } => {
+                let mut ev = EpollEvent {
+                    events: Self::epoll_mask(interest),
+                    data: token.0 as u64,
+                };
+                if unsafe { epoll_ctl(*epfd, EPOLL_CTL_MOD, fd, &mut ev) } != 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                Ok(())
+            }
+            Backend::Poll { regs, .. } => {
+                for reg in regs.iter_mut() {
+                    if reg.fd == fd {
+                        reg.token = token;
+                        reg.interest = interest;
+                        return Ok(());
+                    }
+                }
+                Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"))
+            }
+        }
+    }
+
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd, .. } => {
+                // Pre-2.6.9 kernels require a non-null event pointer for DEL.
+                let mut ev = EpollEvent { events: 0, data: 0 };
+                if unsafe { epoll_ctl(*epfd, EPOLL_CTL_DEL, fd, &mut ev) } != 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                Ok(())
+            }
+            Backend::Poll { regs, .. } => {
+                let before = regs.len();
+                regs.retain(|r| r.fd != fd);
+                if regs.len() == before {
+                    return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Wait up to `timeout` (`None` = forever) and append readiness reports
+    /// to `events` (which is cleared first). A signal arriving during the
+    /// wait (`EINTR`) is reported as zero events, not an error.
+    pub fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        let ms = timeout_ms(timeout);
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd, buf } => {
+                let n = unsafe { epoll_wait(*epfd, buf.as_mut_ptr(), buf.len() as i32, ms) };
+                if n < 0 {
+                    let err = io::Error::last_os_error();
+                    if err.kind() == io::ErrorKind::Interrupted {
+                        return Ok(());
+                    }
+                    return Err(err);
+                }
+                for ev in &buf[..n as usize] {
+                    // Copy out of the (possibly packed) struct before use.
+                    let bits = ev.events;
+                    let data = ev.data;
+                    events.push(Event {
+                        token: Token(data as usize),
+                        readable: bits & (EPOLLIN | EPOLLHUP | EPOLLERR) != 0,
+                        writable: bits & (EPOLLOUT | EPOLLERR) != 0,
+                    });
+                }
+                Ok(())
+            }
+            Backend::Poll { regs, buf } => {
+                buf.clear();
+                for reg in regs.iter() {
+                    let mut ev = 0i16;
+                    if reg.interest.readable {
+                        ev |= POLLIN;
+                    }
+                    if reg.interest.writable {
+                        ev |= POLLOUT;
+                    }
+                    buf.push(PollFd {
+                        fd: reg.fd,
+                        events: ev,
+                        revents: 0,
+                    });
+                }
+                let n = unsafe { poll(buf.as_mut_ptr(), buf.len() as u64, ms) };
+                if n < 0 {
+                    let err = io::Error::last_os_error();
+                    if err.kind() == io::ErrorKind::Interrupted {
+                        return Ok(());
+                    }
+                    return Err(err);
+                }
+                for (reg, fd) in regs.iter().zip(buf.iter()) {
+                    if fd.revents == 0 {
+                        continue;
+                    }
+                    let bad = fd.revents & (POLLERR | POLLHUP | POLLNVAL) != 0;
+                    events.push(Event {
+                        token: reg.token,
+                        readable: fd.revents & POLLIN != 0 || bad,
+                        writable: fd.revents & POLLOUT != 0 || fd.revents & POLLERR != 0,
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for Poller {
+    fn drop(&mut self) {
+        if let Backend::Epoll { epfd, .. } = &self.backend {
+            unsafe { close(*epfd) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let a = TcpStream::connect(addr).expect("connect");
+        let (b, _) = listener.accept().expect("accept");
+        (a, b)
+    }
+
+    fn backends() -> Vec<Poller> {
+        let mut pollers = vec![Poller::with_poll_backend().expect("poll backend")];
+        if cfg!(target_os = "linux") {
+            let p = Poller::new().expect("native backend");
+            assert!(p.is_epoll(), "Linux default backend should be epoll");
+            pollers.push(p);
+        }
+        pollers
+    }
+
+    #[test]
+    fn reports_readable_when_data_arrives() {
+        for mut poller in backends() {
+            let (mut a, b) = pair();
+            b.set_nonblocking(true).expect("nonblocking");
+            poller
+                .register(b.as_raw_fd(), Token(7), Interest::READABLE)
+                .expect("register");
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .expect("wait");
+            assert!(events.is_empty(), "no data yet → no events");
+
+            a.write_all(b"x").expect("write");
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .expect("wait");
+            assert_eq!(events.len(), 1);
+            assert_eq!(events[0].token, Token(7));
+            assert!(events[0].readable);
+            let mut buf = [0u8; 4];
+            let mut bsock = &b;
+            assert_eq!(bsock.read(&mut buf).expect("read"), 1);
+        }
+    }
+
+    #[test]
+    fn write_interest_and_modify_and_deregister() {
+        for mut poller in backends() {
+            let (a, _b) = pair();
+            a.set_nonblocking(true).expect("nonblocking");
+            poller
+                .register(a.as_raw_fd(), Token(3), Interest::WRITABLE)
+                .expect("register");
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .expect("wait");
+            assert_eq!(events.len(), 1, "fresh socket has send-buffer space");
+            assert!(events[0].writable);
+
+            // Drop write interest: level-triggered writable must stop firing.
+            poller
+                .modify(a.as_raw_fd(), Token(3), Interest::READABLE)
+                .expect("modify");
+            poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .expect("wait");
+            assert!(events.is_empty());
+
+            poller.deregister(a.as_raw_fd()).expect("deregister");
+            poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .expect("wait");
+            assert!(events.is_empty());
+        }
+    }
+
+    #[test]
+    fn hangup_is_reported_as_readable() {
+        for mut poller in backends() {
+            let (a, b) = pair();
+            b.set_nonblocking(true).expect("nonblocking");
+            poller
+                .register(b.as_raw_fd(), Token(1), Interest::READABLE)
+                .expect("register");
+            drop(a);
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .expect("wait");
+            assert_eq!(events.len(), 1);
+            assert!(
+                events[0].readable,
+                "hangup folds into readable so read() sees EOF"
+            );
+        }
+    }
+}

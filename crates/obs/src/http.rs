@@ -108,16 +108,7 @@ impl Drop for HttpServer {
 fn handle_connection(mut stream: TcpStream, handler: &Handler) {
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    let mut buf = Vec::with_capacity(512);
-    let mut chunk = [0u8; 1024];
-    // Read until the end of the header block, a cap, or a timeout.
-    while !contains_head_end(&buf) && buf.len() < MAX_REQUEST_BYTES {
-        match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(_) => break,
-        }
-    }
+    let buf = read_request_head(&mut stream);
     let head = String::from_utf8_lossy(&buf);
     let request_line = head.lines().next().unwrap_or("");
     let mut parts = request_line.split_whitespace();
@@ -151,6 +142,24 @@ fn handle_connection(mut stream: TcpStream, handler: &Handler) {
     let _ = stream.write_all(head.as_bytes());
     let _ = stream.write_all(response.body.as_bytes());
     let _ = stream.flush();
+}
+
+/// Reads the request head until the end of the header block, the size cap,
+/// EOF, or a timeout. `EINTR` is retried: a stray signal delivery is not a
+/// peer hangup (a prior version of this loop treated any error as one and
+/// served signal-interrupted scrapes a 405 from an empty request).
+fn read_request_head<R: Read>(stream: &mut R) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    while !contains_head_end(&buf) && buf.len() < MAX_REQUEST_BYTES {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    buf
 }
 
 fn contains_head_end(buf: &[u8]) -> bool {
@@ -199,6 +208,33 @@ mod tests {
         assert_eq!(status, 404);
         server.shutdown();
         server.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn interrupted_reads_are_retried_not_treated_as_hangup() {
+        // A reader that fails with EINTR before every chunk, as a socket
+        // read does when a signal lands mid-scrape.
+        struct Interrupted<R> {
+            inner: R,
+            pending_interrupt: bool,
+        }
+        impl<R: Read> Read for Interrupted<R> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.pending_interrupt {
+                    self.pending_interrupt = false;
+                    return Err(std::io::Error::from(std::io::ErrorKind::Interrupted));
+                }
+                self.pending_interrupt = true;
+                self.inner.read(buf)
+            }
+        }
+        let request = b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+        let mut stream = Interrupted {
+            inner: &request[..],
+            pending_interrupt: true,
+        };
+        let head = read_request_head(&mut stream);
+        assert_eq!(head, request, "EINTR must not truncate the request head");
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! The event-loop front end: one `epfis-net` driver thread serving every
+//! connection.
+//!
+//! This is the thin adapter between the transport-agnostic protocol engine
+//! ([`Conn`]) and the readiness-driven [`epfis_net::Driver`]: admission
+//! control and connection-lifecycle accounting live in [`EvFactory`], and
+//! [`EvConn`] forwards driver callbacks into the engine. Everything a
+//! worker-pool connection observes — limits, metrics, events, WAL
+//! park/resume, shutdown — behaves identically here; the cross-validation
+//! tests compare the two front ends byte for byte.
+
+use crate::server::{finish_connection, shed_connection, Shared};
+use crate::session::{Conn, Step};
+use epfis_net::{Control, Driver, DriverConfig, Session, SessionFactory};
+use epfis_obs::Level;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Matches the pool front end's poll cadence so idle deadlines and the
+/// shutdown flag are noticed on the same schedule.
+const TICK: Duration = Duration::from_millis(50);
+
+fn control(step: Step) -> Control {
+    match step {
+        Step::Continue => Control::Continue,
+        Step::Close => Control::Close,
+    }
+}
+
+/// One event-loop connection: the shared protocol engine plus the handles
+/// the driver callbacks need.
+struct EvConn {
+    conn: Conn,
+    shared: Arc<Shared>,
+    peer: String,
+    /// When the connection first ticked with deferred work and no write
+    /// progress since — the evloop's write-stall clock. The engine parks
+    /// (`has_deferred_work`) while responses drain, and `check_idle`
+    /// deliberately ignores a backlogged connection, so without this a
+    /// peer that stops reading mid-response would sit here forever. The
+    /// pool front end reclaims such a peer at its write deadline; this
+    /// clock matches that with the same patience (`idle_timeout`).
+    stalled_since: Option<Instant>,
+}
+
+impl Session for EvConn {
+    fn on_bytes(&mut self, data: &[u8], out: &mut Vec<u8>) -> Control {
+        control(self.conn.on_bytes(&self.shared, data, out))
+    }
+
+    fn on_writable(&mut self, out: &mut Vec<u8>) -> Control {
+        if self.conn.has_deferred_work() {
+            control(self.conn.resume(&self.shared, out))
+        } else if self.conn.is_closed() {
+            Control::Close
+        } else {
+            Control::Continue
+        }
+    }
+
+    fn on_tick(&mut self, out: &mut Vec<u8>) -> Control {
+        if self.conn.is_closed() {
+            return Control::Close;
+        }
+        if self.conn.has_deferred_work() {
+            let patience = self.shared.limits.idle_timeout;
+            match self.stalled_since {
+                _ if patience.is_zero() => {}
+                None => self.stalled_since = Some(Instant::now()),
+                Some(since) if since.elapsed() >= patience => {
+                    self.shared
+                        .logger
+                        .event(Level::Warn, "server", "write_stall")
+                        .field("peer", self.peer.as_str())
+                        .field("deadline_s", patience.as_secs_f64())
+                        .emit();
+                    // Mirror the pool's reclaim accounting: a stalled
+                    // connection with an open ANALYZE session is counted
+                    // by finish_connection instead.
+                    if !self.conn.has_open_session() {
+                        self.shared.metrics.session_disconnected();
+                    }
+                    return Control::Close;
+                }
+                Some(_) => {}
+            }
+            return Control::Continue;
+        }
+        self.stalled_since = None;
+        control(self.conn.check_idle(&self.shared, out))
+    }
+
+    fn on_wrote(&mut self, n: usize) {
+        self.stalled_since = None;
+        self.shared.metrics.add_bytes_out(n as u64);
+    }
+}
+
+/// Admission + lifecycle for the event loop; the counters and events mirror
+/// the pool's accept loop and `handle_connection` exactly.
+struct EvFactory {
+    shared: Arc<Shared>,
+}
+
+impl SessionFactory for EvFactory {
+    type Session = EvConn;
+
+    fn admit(&mut self, stream: TcpStream, peer: SocketAddr) -> Option<(TcpStream, EvConn)> {
+        let shared = &self.shared;
+        if shared.admitted.load(Ordering::SeqCst) >= shared.max_connections {
+            shed_connection(stream, shared);
+            return None;
+        }
+        shared.admitted.fetch_add(1, Ordering::SeqCst);
+        shared.metrics.connection_opened();
+        let peer = peer.to_string();
+        shared
+            .logger
+            .event(Level::Debug, "server", "connection_opened")
+            .field("peer", peer.as_str())
+            .emit();
+        let _ = stream.set_nodelay(true);
+        let session = EvConn {
+            conn: Conn::new(),
+            shared: Arc::clone(shared),
+            peer,
+            stalled_since: None,
+        };
+        Some((stream, session))
+    }
+
+    fn closed(&mut self, mut session: EvConn) {
+        let shared = &self.shared;
+        finish_connection(shared, session.conn.take_session());
+        shared.metrics.connection_closed();
+        shared
+            .logger
+            .event(Level::Debug, "server", "connection_closed")
+            .field("peer", session.peer.as_str())
+            .emit();
+        shared.admitted.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn should_stop(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// Body of the `epfis-evloop` thread: runs the driver until shutdown.
+pub(crate) fn run(listener: TcpListener, shared: Arc<Shared>) {
+    let factory = EvFactory {
+        shared: Arc::clone(&shared),
+    };
+    let config = DriverConfig {
+        tick: TICK,
+        ..DriverConfig::default()
+    };
+    if let Err(e) = Driver::run(listener, factory, config) {
+        shared
+            .logger
+            .event(Level::Error, "server", "evloop_failed")
+            .field("error", e.to_string())
+            .emit();
+    }
+}

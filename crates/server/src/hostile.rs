@@ -277,6 +277,66 @@ fn read_binary_error(stream: &mut TcpStream, timeout: Duration) -> (Option<Strin
     (None, true)
 }
 
+/// Pipelines `copies` repetitions of `request` (newline appended) and then
+/// **stops reading entirely** — the peer that provokes enough response
+/// bytes to fill every buffer between server and client and walks away.
+/// Before PR 8 this pinned a serving worker forever inside a blocking
+/// `write_all`; a hardened server abandons the flush at its write deadline
+/// and reclaims the worker (counted under `sessions_disconnected`).
+///
+/// Detection is by write probe: the server's close, with response bytes
+/// still unread in our receive queue, resets the connection, which turns
+/// subsequent probe writes into errors. `disconnected` is therefore the
+/// "server freed itself" signal; `false` after `max_duration` means the
+/// stall is still holding the connection hostage.
+pub fn write_stall<A: ToSocketAddrs>(
+    addr: A,
+    request: &str,
+    copies: usize,
+    max_duration: Duration,
+) -> std::io::Result<HostileOutcome> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    // A finite write timeout keeps the *client* from blocking once the
+    // pipeline has filled the socket buffers; that point is the stall.
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    let mut burst = Vec::with_capacity(request.len() + 1);
+    burst.extend_from_slice(request.as_bytes());
+    burst.push(b'\n');
+    let mut written = 0u64;
+    'send: for _ in 0..copies {
+        let mut sent = 0;
+        while sent < burst.len() {
+            match stream.write(&burst[sent..]) {
+                Ok(0) | Err(_) => break 'send,
+                Ok(n) => {
+                    sent += n;
+                    written += n as u64;
+                }
+            }
+        }
+    }
+    let deadline = Instant::now() + max_duration;
+    let mut disconnected = false;
+    while !disconnected && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(50));
+        // A lone space: harmless to the protocol (never completes a
+        // request), but an RST from the server's reclaim surfaces here.
+        match stream.write(b" ") {
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => disconnected = true,
+        }
+    }
+    Ok(HostileOutcome {
+        bytes_written: written,
+        response: None,
+        disconnected,
+    })
+}
+
 /// Opens an `ANALYZE` session, feeds a few references, and vanishes without
 /// `COMMIT`/`ABORT` — the mid-ingest disconnect a server must clean up
 /// after (and count under `sessions_disconnected`).

@@ -57,12 +57,14 @@
 
 pub mod catalog;
 pub mod client;
+mod evloop;
 pub mod framing;
 pub mod hostile;
 pub mod ingest;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
+mod session;
 pub mod wal;
 
 pub use catalog::{SharedCatalog, VersionedCatalog, VersionedEntry};
@@ -71,5 +73,5 @@ pub use framing::{BinRequest, BinResponse};
 pub use ingest::{IngestSession, SessionCheckpoint};
 pub use metrics::{CommandStats, Metrics, Protocol};
 pub use protocol::{frame_busy, frame_err, frame_ok, parse_page_into, parse_request, Request};
-pub use server::{serve, LimitsConfig, ServerConfig, ServerHandle};
+pub use server::{serve, Frontend, LimitsConfig, ServerConfig, ServerHandle};
 pub use wal::{FsyncPolicy, ServerWal, WalConfig, WalRecord};

@@ -1,38 +1,49 @@
-//! The TCP service: accept loop, worker pool, per-connection sessions.
+//! The TCP service: listener, front ends, request execution.
 //!
 //! The paper's split — LRU-Fit once at statistics-collection time, Est-IO
 //! at every query compilation — maps onto a background ingestion path and a
-//! hot serving path. This module wires both onto one listener:
+//! hot serving path. This module wires both onto one listener, behind a
+//! choice of two front ends ([`Frontend`]) sharing one protocol engine
+//! ([`crate::session::Conn`]):
 //!
-//! * a fixed worker pool (sized from `epfis-par`'s process-global thread
-//!   budget unless overridden) pulls accepted connections off a channel,
-//! * each connection speaks the line protocol ([`crate::protocol`]); an
-//!   `ANALYZE BEGIN` opens a per-connection [`IngestSession`],
-//! * `ESTIMATE`/`FPF`/`COMPARE`/`SHOW` run against an `Arc` snapshot of the
-//!   shared catalog, so they never block behind a concurrent commit,
-//! * every request is timed into [`Metrics`], served back by `STATS`.
+//! * **pool** (the default): a fixed worker pool (sized from `epfis-par`'s
+//!   process-global thread budget unless overridden) pulls accepted
+//!   connections off a channel and serves each one with blocking reads and
+//!   deadline-aware partial writes — a peer that stops reading is
+//!   disconnected at the deadline instead of pinning the worker in
+//!   `write_all` forever,
+//! * **evloop**: a single `epfis-net` event-loop thread multiplexes every
+//!   connection with epoll (poll(2) fallback) readiness, so tens of
+//!   thousands of mostly-idle connections cost slots and buffers, not
+//!   threads.
+//!
+//! Either way, an `ANALYZE BEGIN` opens a per-connection [`IngestSession`];
+//! `ESTIMATE`/`FPF`/`COMPARE`/`SHOW` run against an `Arc` snapshot of the
+//! shared catalog, so they never block behind a concurrent commit; every
+//! request is timed into [`Metrics`], served back by `STATS`. The
+//! cross-validation tests prove both front ends answer byte-identically on
+//! both wire formats.
 //!
 //! Shutdown is cooperative: the `SHUTDOWN` command (or
 //! [`ServerHandle::shutdown`]) raises a flag, pokes the listener awake, and
-//! workers drain. Worker reads use a short timeout so idle connections
-//! notice the flag promptly. Process signals (SIGTERM) are *not* caught —
-//! std offers no portable handler — but every catalog save is atomic, so
-//! killing the process at any instant leaves the last committed version
-//! intact on disk; that is exactly what the CI smoke test asserts.
+//! the front end drains. Worker reads use a short timeout (and the event
+//! loop a tick of the same length) so idle connections notice the flag
+//! promptly. Process signals (SIGTERM) are *not* caught — std offers no
+//! portable handler — but every catalog save is atomic, so killing the
+//! process at any instant leaves the last committed version intact on
+//! disk; that is exactly what the CI smoke test asserts.
 
-use crate::catalog::{SharedCatalog, VersionedEntry};
-use crate::framing::{
-    self, decode_request, encode_resp_err, encode_resp_f64, encode_resp_lines, encode_resp_str,
-    encode_resp_u64, BinRequest,
-};
+use crate::catalog::SharedCatalog;
 use crate::ingest::IngestSession;
-use crate::metrics::{Metrics, Protocol};
-use crate::protocol::{frame_busy, frame_err, frame_ok, parse_page_into, parse_request, Request};
+use crate::metrics::Metrics;
+use crate::protocol::{frame_busy, Request};
+use crate::session::Conn;
 use crate::wal::{ServerWal, WalConfig};
 use epfis::{EpfisConfig, ScanQuery};
 use epfis_estimators::{
     DcEstimator, MlEstimator, OtEstimator, PageFetchEstimator, ScanParams, SdEstimator,
 };
+use epfis_net::ReadStep;
 use epfis_obs::http::{HttpServer, Response};
 use epfis_obs::{Level, Logger, Registry};
 use std::io::{Read, Write};
@@ -123,6 +134,52 @@ impl LimitsConfig {
     }
 }
 
+/// Which serving core handles connections (`epfis serve --frontend`).
+///
+/// Both front ends run the same protocol engine ([`crate::session::Conn`])
+/// and the same [`LimitsConfig`] semantics; they differ only in how
+/// connections map onto threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Frontend {
+    /// Thread-per-connection worker pool: blocking reads with a poll
+    /// timeout, deadline-aware partial writes. Concurrency is bounded by
+    /// the admission cap (default 4 × workers).
+    #[default]
+    Pool,
+    /// Single-threaded `epfis-net` event loop: nonblocking readiness-driven
+    /// multiplexing (epoll, with a poll(2) fallback). Sustains tens of
+    /// thousands of concurrent connections; the admission cap defaults to
+    /// [`EVLOOP_DEFAULT_MAX_CONNECTIONS`].
+    Evloop,
+}
+
+impl Frontend {
+    /// Parse a `--frontend` value.
+    pub fn parse(s: &str) -> Result<Frontend, String> {
+        match s {
+            "pool" => Ok(Frontend::Pool),
+            "evloop" => Ok(Frontend::Evloop),
+            other => Err(format!(
+                "invalid frontend {other:?} (expected \"pool\" or \"evloop\")"
+            )),
+        }
+    }
+
+    /// The `--frontend` spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Frontend::Pool => "pool",
+            Frontend::Evloop => "evloop",
+        }
+    }
+}
+
+/// Admission cap for the event-loop front end when
+/// [`LimitsConfig::max_connections`] is 0: connections are cheap there, so
+/// the default is sized for "every client stays connected", not for a
+/// worker pool's queue depth.
+pub const EVLOOP_DEFAULT_MAX_CONNECTIONS: usize = 65_536;
+
 /// Server construction options.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -145,6 +202,8 @@ pub struct ServerConfig {
     /// Write-ahead logging for `ANALYZE` sessions; `None` keeps in-flight
     /// sessions memory-only (a disconnect or crash discards them).
     pub wal: Option<WalConfig>,
+    /// Which serving core handles connections (default: the worker pool).
+    pub frontend: Frontend,
 }
 
 impl Default for ServerConfig {
@@ -158,6 +217,7 @@ impl Default for ServerConfig {
             metrics_addr: None,
             logger: None,
             wal: None,
+            frontend: Frontend::default(),
         }
     }
 }
@@ -176,27 +236,29 @@ impl ServerConfig {
 }
 
 /// Shared server state.
-struct Shared {
-    catalog: Arc<SharedCatalog>,
-    metrics: Metrics,
-    logger: Arc<Logger>,
-    shutdown: AtomicBool,
-    config: EpfisConfig,
-    limits: LimitsConfig,
+pub(crate) struct Shared {
+    pub(crate) catalog: Arc<SharedCatalog>,
+    pub(crate) metrics: Metrics,
+    pub(crate) logger: Arc<Logger>,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) config: EpfisConfig,
+    pub(crate) limits: LimitsConfig,
     /// Connections admitted (accepted and not shed) and not yet finished;
-    /// compared against the admission cap by the accept loop.
-    admitted: AtomicUsize,
-    /// Resolved admission cap ([`LimitsConfig::effective_max_connections`]).
-    max_connections: usize,
+    /// compared against the admission cap at accept/admission time.
+    pub(crate) admitted: AtomicUsize,
+    /// Resolved admission cap ([`LimitsConfig::effective_max_connections`]
+    /// for the pool; [`EVLOOP_DEFAULT_MAX_CONNECTIONS`] default for the
+    /// event loop).
+    pub(crate) max_connections: usize,
     /// Durable-ingestion state when the server runs with a WAL; replayed
     /// before the listener binds.
-    wal: Option<ServerWal>,
-    started: Instant,
+    pub(crate) wal: Option<ServerWal>,
+    pub(crate) started: Instant,
     addr: SocketAddr,
 }
 
 impl Shared {
-    fn request_shutdown(&self) {
+    pub(crate) fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // Poke the (blocking) accept loop awake so it observes the flag.
         // The listener may be bound to an unspecified address
@@ -343,6 +405,18 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
         )?),
         None => None,
     };
+    let max_connections = match config.frontend {
+        Frontend::Pool => config.limits.effective_max_connections(workers_n),
+        // Event-loop connections cost a slot, not a worker: the pool's
+        // queue-depth-derived default would be absurdly low.
+        Frontend::Evloop => {
+            if config.limits.max_connections > 0 {
+                config.limits.max_connections
+            } else {
+                EVLOOP_DEFAULT_MAX_CONNECTIONS
+            }
+        }
+    };
     let shared = Arc::new(Shared {
         catalog,
         metrics,
@@ -351,7 +425,7 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
         config: config.epfis_config,
         limits: config.limits,
         admitted: AtomicUsize::new(0),
-        max_connections: config.limits.effective_max_connections(workers_n),
+        max_connections,
         wal,
         started,
         addr,
@@ -360,9 +434,26 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
         .logger
         .event(Level::Info, "server", "started")
         .field("addr", addr.to_string())
+        .field("frontend", config.frontend.as_str())
         .field("workers", workers_n as u64)
         .field("catalog_entries", shared.catalog.snapshot().len() as u64)
         .emit();
+
+    if config.frontend == Frontend::Evloop {
+        let evloop = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("epfis-evloop".to_string())
+                .spawn(move || crate::evloop::run(listener, shared))
+                .expect("spawn event-loop thread")
+        };
+        return Ok(ServerHandle {
+            shared,
+            accept: Some(evloop),
+            workers: Vec::new(),
+            metrics_http,
+        });
+    }
 
     let (tx, rx) = mpsc::channel::<TcpStream>();
     let rx = Arc::new(Mutex::new(rx));
@@ -485,7 +576,7 @@ fn start_metrics_endpoint(
 /// Rejects a connection at admission: writes one `SERVER_BUSY` line (with a
 /// short timeout, so a peer that never reads cannot stall the accept loop)
 /// and drops the socket.
-fn shed_connection(stream: TcpStream, shared: &Shared) {
+pub(crate) fn shed_connection(stream: TcpStream, shared: &Shared) {
     shared.metrics.connection_shed();
     shared
         .logger
@@ -508,183 +599,18 @@ fn shed_connection(stream: TcpStream, shared: &Shared) {
     }
 }
 
-/// Why [`FrameReader::read_line`] returned without a request line.
-enum ReadOutcome {
-    /// One complete request line (newline stripped).
-    Line(String),
-    /// Peer closed, transport error, or server shutdown: just hang up.
-    Closed,
-    /// No complete line arrived within the idle deadline (covers both
-    /// silent peers and slow-loris writers that trickle bytes forever).
-    IdleTimeout,
-    /// The line under construction exceeded the byte limit.
-    LineTooLong,
-}
-
-/// Why [`FrameReader::read_frame`] returned without a complete frame.
-enum FrameOutcome {
-    /// A complete frame sits at the head of `pending` (4-byte length prefix
-    /// plus that many body bytes).
-    Frame,
-    /// Peer closed, transport error, or server shutdown: just hang up.
-    Closed,
-    /// No complete frame arrived within the idle deadline.
-    IdleTimeout,
-    /// The head frame declares a body larger than `max_line_bytes`, or the
-    /// pending buffer overflowed `max_pending_bytes`.
-    FrameTooLong {
-        /// The offending size, for the `ERR limit frame ...` message.
-        bytes: usize,
-    },
-}
-
-/// Reads requests from a stream with a poll timeout, so the worker can
-/// notice the shutdown flag while a connection sits idle, and with the
-/// [`LimitsConfig`] byte/idle bounds enforced. One reader serves both wire
-/// formats — newline-terminated lines before a `HELLO BINARY` upgrade,
-/// length-prefixed frames after — over the same pending buffer, so bytes a
-/// pipelining client sent behind its upgrade line are not lost.
-struct FrameReader {
-    stream: TcpStream,
-    pending: Vec<u8>,
-}
-
-impl FrameReader {
-    fn new(stream: TcpStream) -> std::io::Result<Self> {
-        stream.set_read_timeout(Some(POLL_INTERVAL))?;
-        Ok(FrameReader {
-            stream,
-            pending: Vec::new(),
-        })
-    }
-
-    /// Next request line or the reason there is none.
-    ///
-    /// The idle deadline restarts on every call — i.e. it measures time
-    /// since the previous *complete* line, so a peer cannot hold a worker
-    /// by trickling newline-less bytes. Bytes read are counted into
-    /// [`Metrics`]; the pending buffer is bounded by
-    /// `max(max_line_bytes + one read chunk, max_pending_bytes)`.
-    fn read_line(&mut self, shared: &Shared) -> ReadOutcome {
-        let limits = &shared.limits;
-        let deadline =
-            (limits.idle_timeout > Duration::ZERO).then(|| Instant::now() + limits.idle_timeout);
-        let mut buf = [0u8; 4096];
-        loop {
-            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
-                if pos > limits.max_line_bytes {
-                    return ReadOutcome::LineTooLong;
-                }
-                let mut line: Vec<u8> = self.pending.drain(..=pos).collect();
-                line.pop(); // the newline
-                if line.last() == Some(&b'\r') {
-                    line.pop();
-                }
-                return ReadOutcome::Line(String::from_utf8_lossy(&line).into_owned());
-            }
-            if self.pending.len() > limits.max_line_bytes {
-                return ReadOutcome::LineTooLong;
-            }
-            match self.stream.read(&mut buf) {
-                Ok(0) => return ReadOutcome::Closed,
-                Ok(n) => {
-                    if self.pending.len() + n > limits.max_pending_bytes {
-                        return ReadOutcome::LineTooLong;
-                    }
-                    shared.metrics.add_bytes_in(n as u64);
-                    self.pending.extend_from_slice(&buf[..n]);
-                }
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    if shared.shutdown.load(Ordering::SeqCst) {
-                        return ReadOutcome::Closed;
-                    }
-                    if deadline.is_some_and(|d| Instant::now() >= d) {
-                        return ReadOutcome::IdleTimeout;
-                    }
-                }
-                Err(_) => return ReadOutcome::Closed,
-            }
-        }
-    }
-
-    /// Waits until at least one complete binary frame is buffered, or
-    /// reports why none will arrive. Same governance as
-    /// [`FrameReader::read_line`]: the idle deadline restarts per call (so
-    /// it measures time since the last complete frame), a frame body may
-    /// not exceed `max_line_bytes`, and the pending buffer may not exceed
-    /// `max_pending_bytes`. The frame itself is *not* consumed — the caller
-    /// decodes zero-copy out of `pending` and drains what it processed,
-    /// which is how several pipelined frames get served per read syscall.
-    fn read_frame(&mut self, shared: &Shared) -> FrameOutcome {
-        let limits = &shared.limits;
-        let deadline =
-            (limits.idle_timeout > Duration::ZERO).then(|| Instant::now() + limits.idle_timeout);
-        let mut buf = [0u8; 65536];
-        loop {
-            if self.pending.len() >= 4 {
-                let body_len =
-                    u32::from_le_bytes(self.pending[..4].try_into().expect("4 bytes")) as usize;
-                if body_len > limits.max_line_bytes {
-                    return FrameOutcome::FrameTooLong { bytes: body_len };
-                }
-                if self.pending.len() >= 4 + body_len {
-                    return FrameOutcome::Frame;
-                }
-            }
-            match self.stream.read(&mut buf) {
-                Ok(0) => return FrameOutcome::Closed,
-                Ok(n) => {
-                    if self.pending.len() + n > limits.max_pending_bytes {
-                        return FrameOutcome::FrameTooLong {
-                            bytes: self.pending.len() + n,
-                        };
-                    }
-                    shared.metrics.add_bytes_in(n as u64);
-                    self.pending.extend_from_slice(&buf[..n]);
-                }
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    if shared.shutdown.load(Ordering::SeqCst) {
-                        return FrameOutcome::Closed;
-                    }
-                    if deadline.is_some_and(|d| Instant::now() >= d) {
-                        return FrameOutcome::IdleTimeout;
-                    }
-                }
-                Err(_) => return FrameOutcome::Closed,
-            }
-        }
-    }
-}
-
-/// Writes a response, counting the bytes into [`Metrics`]. Returns whether
-/// the write succeeded (a failure means the connection is gone).
-fn send_response(writer: &mut TcpStream, response: &str, shared: &Shared) -> bool {
-    if writer.write_all(response.as_bytes()).is_ok() {
-        shared.metrics.add_bytes_out(response.len() as u64);
-        true
-    } else {
-        false
-    }
-}
-
 /// The connection's open `ANALYZE` session plus its durability bookkeeping.
 /// With the WAL off, `wal_id` is 0 and never read.
-struct OpenSession {
-    inner: IngestSession,
+pub(crate) struct OpenSession {
+    pub(crate) inner: IngestSession,
     /// WAL session id from the `BEGIN` record.
-    wal_id: u64,
+    pub(crate) wal_id: u64,
     /// `records()` when the last `CHECKPOINT` was appended; replay re-feeds
     /// at most `records() - checkpointed_refs` references.
-    checkpointed_refs: u64,
+    pub(crate) checkpointed_refs: u64,
 }
 
-/// Serves one connection to completion.
+/// Serves one connection to completion on the worker pool.
 fn handle_connection(stream: TcpStream, shared: &Shared) {
     shared.metrics.connection_opened();
     let peer = stream
@@ -696,59 +622,21 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         .event(Level::Debug, "server", "connection_opened")
         .field("peer", peer.as_str())
         .emit();
-    let mut session: Option<OpenSession> = None;
     // Responses are small and latency-sensitive (text) or batched into one
     // buffered write per pipeline drain (binary); Nagle buys nothing either
     // way.
     let _ = stream.set_nodelay(true);
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => {
-            shared.metrics.connection_closed();
-            return;
-        }
-    };
-    if let Ok(mut reader) = FrameReader::new(stream) {
-        serve_lines(&mut reader, &mut writer, shared, &mut session);
+    let mut conn = Conn::new();
+    let mut stream = stream;
+    // Short read/write timeouts turn the blocking socket into a polling
+    // one: reads wake to check the shutdown flag and the idle deadline;
+    // writes report stalls so the deadline below can reclaim the worker.
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_ok()
+        && stream.set_write_timeout(Some(POLL_INTERVAL)).is_ok()
+    {
+        pool_serve(&mut stream, shared, &mut conn);
     }
-    if let Some(open) = session.take() {
-        // The connection ended (EOF, error, limit, shutdown) with an
-        // ANALYZE session still open. With a WAL the session is parked —
-        // every reference it holds is already in the log, so a client can
-        // reattach with ANALYZE RESUME (even after a server restart).
-        // Without one, its references are discarded.
-        shared.metrics.session_disconnected();
-        epfis_obs::wellknown::analyzer().active_sessions.sub(1);
-        match &shared.wal {
-            Some(wal) => {
-                let name = open.inner.name().to_string();
-                let refs = open.inner.records();
-                if let Err(e) = wal.park(open.inner, open.wal_id) {
-                    shared
-                        .logger
-                        .event(Level::Warn, "server", "session_park_failed")
-                        .field("entry", name.as_str())
-                        .field("error", e.to_string())
-                        .emit();
-                } else {
-                    shared
-                        .logger
-                        .event(Level::Info, "server", "session_parked")
-                        .field("entry", name.as_str())
-                        .field("refs", refs)
-                        .emit();
-                }
-            }
-            None => {
-                shared
-                    .logger
-                    .event(Level::Warn, "server", "session_disconnected")
-                    .field("entry", open.inner.name())
-                    .field("dropped_refs", open.inner.records())
-                    .emit();
-            }
-        }
-    }
+    finish_connection(shared, conn.take_session());
     shared.metrics.connection_closed();
     shared
         .logger
@@ -757,413 +645,156 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         .emit();
 }
 
-/// The per-connection request loop; returns when the connection is done.
-fn serve_lines(
-    reader: &mut FrameReader,
-    writer: &mut TcpStream,
-    shared: &Shared,
-    session: &mut Option<OpenSession>,
-) {
-    // `PAGE` is the text protocol's hot line: its pairs parse into this
-    // connection-lifetime scratch buffer instead of a fresh `Vec` per batch.
-    let mut page_scratch: Vec<(i64, u32)> = Vec::new();
+/// The pool front end's per-connection loop: blocking-with-timeout reads
+/// pushed through the shared [`Conn`] engine, deadline-aware writes.
+fn pool_serve(stream: &mut TcpStream, shared: &Shared, conn: &mut Conn) {
+    let mut out: Vec<u8> = Vec::with_capacity(8 * 1024);
+    // 16 KiB keeps bytes_in overshoot past a limit violation small (the
+    // pending cap is checked after each chunk), while staying well above
+    // the pre-PR 8 reader's 4 KiB chunks for ingest throughput.
+    let mut buf = vec![0u8; 16 * 1024];
     loop {
-        let line = match reader.read_line(shared) {
-            ReadOutcome::Line(line) => line,
-            ReadOutcome::Closed => return,
-            ReadOutcome::IdleTimeout => {
-                shared.metrics.limit_rejection();
-                shared
-                    .logger
-                    .event(Level::Warn, "server", "limit_idle")
-                    .field("timeout_s", shared.limits.idle_timeout.as_secs_f64())
-                    .emit();
-                let msg = format!(
-                    "limit idle: no complete request within {}s; closing connection",
-                    shared.limits.idle_timeout.as_secs_f64()
-                );
-                send_response(writer, &frame_err(&msg), shared);
+        match flush_deadline(stream, &mut out, shared) {
+            FlushOutcome::Done => {}
+            FlushOutcome::Stalled => {
+                // The write-stall reclaim: before PR 8 this was a blocking
+                // `write_all` that a non-reading peer could pin forever.
+                // Count the reclaim; a connection with an open ANALYZE
+                // session is counted by finish_connection instead.
+                if !conn.has_open_session() {
+                    shared.metrics.session_disconnected();
+                }
                 return;
             }
-            ReadOutcome::LineTooLong => {
-                shared.metrics.limit_rejection();
-                shared
-                    .logger
-                    .event(Level::Warn, "server", "limit_line")
-                    .field("max_line_bytes", shared.limits.max_line_bytes as u64)
-                    .emit();
-                let msg = format!(
-                    "limit line: request line exceeds {} bytes; closing connection",
-                    shared.limits.max_line_bytes
-                );
-                send_response(writer, &frame_err(&msg), shared);
-                return;
-            }
-        };
-        if line.trim().is_empty() {
+            FlushOutcome::Gone => return,
+        }
+        if conn.is_closed() {
+            return;
+        }
+        if conn.has_deferred_work() {
+            conn.resume(shared, &mut out);
             continue;
         }
-        let start = Instant::now();
-        shared.metrics.protocol_request(Protocol::Text);
-        let first = line.split_whitespace().next().unwrap_or("");
-        let (label, result) = if first.eq_ignore_ascii_case("PAGE") {
-            // Fast path: parse into the scratch buffer and feed through the
-            // same batch-apply the full parser's Request::Page uses. Parse
-            // errors label INVALID exactly as parse_request's would.
-            match parse_page_into(&line, &mut page_scratch) {
-                Ok(()) => (
-                    "PAGE",
-                    apply_page_batch(
-                        shared,
-                        session,
-                        page_scratch.len(),
-                        page_scratch.iter().copied(),
-                    )
-                    .map(|n| vec![format!("fed {n}")]),
-                ),
-                Err(e) => ("INVALID", Err(e)),
+        match ReadStep::classify(stream.read(&mut buf)) {
+            ReadStep::Data(n) => {
+                conn.on_bytes(shared, &buf[..n], &mut out);
             }
-        } else {
-            match parse_request(&line) {
-                Ok(Request::Hello) => {
-                    let micros = start.elapsed().as_micros() as u64;
-                    shared.metrics.record("HELLO", micros, false);
-                    if !send_response(writer, &frame_ok(&[framing::HELLO_ACK.to_string()]), shared)
-                    {
-                        return;
-                    }
-                    shared.metrics.binary_upgrade();
-                    shared
-                        .logger
-                        .event(Level::Info, "server", "binary_upgrade")
-                        .emit();
-                    // Everything after the HELLO line — including bytes a
-                    // pipelining client already sent, sitting in the
-                    // reader's pending buffer — is binary frames.
-                    serve_binary(reader, writer, shared, session);
+            // EINTR: a stray signal is not a peer hangup (the pre-PR 8
+            // reader treated it as one and dropped the connection).
+            ReadStep::Retry => continue,
+            ReadStep::Idle => {
+                if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                Ok(req) => {
-                    let label = req.label();
-                    let is_shutdown = matches!(req, Request::Shutdown);
-                    let result = execute(req, shared, session);
-                    if let (true, Ok(lines)) = (is_shutdown, &result) {
-                        let micros = start.elapsed().as_micros() as u64;
-                        shared.metrics.record(label, micros, false);
-                        send_response(writer, &frame_ok(lines), shared);
-                        shared.request_shutdown();
-                        return;
-                    }
-                    (label, result)
-                }
-                Err(e) => ("INVALID", Err(e)),
+                conn.check_idle(shared, &mut out);
             }
-        };
-        let micros = start.elapsed().as_micros() as u64;
-        let response = match &result {
-            Ok(lines) => frame_ok(lines),
-            Err(msg) => {
-                // Errors in the resource-limit family (`ERR limit ...`)
-                // count toward the limit_rejections metric.
-                if msg.starts_with("limit ") {
-                    shared.metrics.limit_rejection();
-                }
-                frame_err(msg)
-            }
-        };
-        shared.metrics.record(label, micros, result.is_err());
-        if !send_response(writer, &response, shared) {
-            return;
+            ReadStep::Eof | ReadStep::Fatal(_) => return,
         }
     }
 }
 
-/// Flush threshold for the binary response buffer: past this, responses are
-/// written out mid-drain so an enormous pipeline cannot grow the buffer
-/// without bound.
-const BINARY_FLUSH_BYTES: usize = 256 * 1024;
-
-/// The binary `ESTIMATE` fast path's per-connection cache: the entry handle
-/// a previous request resolved, revalidated against
-/// [`SharedCatalog::epoch_hint`] — a relaxed atomic load — instead of
-/// re-taking the snapshot lock and re-walking the name lookup. While the
-/// catalog epoch and queried name stay put (the overwhelmingly common case
-/// for an estimate-hammering client), a request allocates nothing.
-struct EntryCache {
-    epoch: u64,
-    name: Vec<u8>,
-    entry: Arc<VersionedEntry>,
+/// How [`flush_deadline`] left the connection.
+enum FlushOutcome {
+    /// Everything flushed.
+    Done,
+    /// The peer stopped reading: the write deadline expired with bytes
+    /// still pending. The worker must be reclaimed.
+    Stalled,
+    /// Transport error or shutdown; just hang up.
+    Gone,
 }
 
-/// Writes and clears the buffered binary responses, counting the bytes.
-/// Returns whether the connection is still writable.
-fn flush_binary(writer: &mut TcpStream, out: &mut Vec<u8>, shared: &Shared) -> bool {
+/// Writes `out` with deadline-aware partial writes, counting bytes as they
+/// reach the socket. The deadline reuses the idle timeout (with a 300 s
+/// fallback when idleness is disabled): a peer gets as long to *read* a
+/// response as it gets to send a request.
+fn flush_deadline(stream: &mut TcpStream, out: &mut Vec<u8>, shared: &Shared) -> FlushOutcome {
     if out.is_empty() {
-        return true;
+        return FlushOutcome::Done;
     }
-    let ok = writer.write_all(out).is_ok();
-    if ok {
-        shared.metrics.add_bytes_out(out.len() as u64);
-    }
+    let patience = if shared.limits.idle_timeout.is_zero() {
+        Duration::from_secs(300)
+    } else {
+        shared.limits.idle_timeout
+    };
+    let deadline = Instant::now() + patience;
+    let mut written = 0;
+    let outcome = loop {
+        if written >= out.len() {
+            break FlushOutcome::Done;
+        }
+        match stream.write(&out[written..]) {
+            Ok(0) => break FlushOutcome::Gone,
+            Ok(n) => {
+                written += n;
+                shared.metrics.add_bytes_out(n as u64);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break FlushOutcome::Gone;
+                }
+                if Instant::now() >= deadline {
+                    shared
+                        .logger
+                        .event(Level::Warn, "server", "write_stall")
+                        .field("pending_bytes", (out.len() - written) as u64)
+                        .field("deadline_s", patience.as_secs_f64())
+                        .emit();
+                    break FlushOutcome::Stalled;
+                }
+            }
+            Err(_) => break FlushOutcome::Gone,
+        }
+    };
     out.clear();
-    ok
+    outcome
 }
 
-/// The per-connection request loop after a `HELLO BINARY` upgrade.
-///
-/// Pipelining shape: one blocking wait for a complete head frame, then
-/// *every* complete frame already buffered is decoded and executed
-/// back-to-back — zero-copy out of the reader's pending buffer — with all
-/// their responses appended to one reusable output buffer, flushed in a
-/// single write when the drain runs dry. A client keeping N requests in
-/// flight therefore costs ~one read and one write syscall per N requests.
-fn serve_binary(
-    reader: &mut FrameReader,
-    writer: &mut TcpStream,
-    shared: &Shared,
-    session: &mut Option<OpenSession>,
-) {
-    let mut out: Vec<u8> = Vec::with_capacity(8 * 1024);
-    let mut cache: Option<EntryCache> = None;
-    loop {
-        let too_long = match reader.read_frame(shared) {
-            FrameOutcome::Frame => None,
-            FrameOutcome::Closed => return,
-            FrameOutcome::IdleTimeout => {
-                shared.metrics.limit_rejection();
+/// End-of-connection handling for an `ANALYZE` session left open when the
+/// connection ended (EOF, error, limit, stall, shutdown), shared by both
+/// front ends. With a WAL the session is parked — every reference it holds
+/// is already in the log, so a client can reattach with `ANALYZE RESUME`
+/// (even after a server restart). Without one, its references are
+/// discarded.
+pub(crate) fn finish_connection(shared: &Shared, session: Option<OpenSession>) {
+    let Some(open) = session else {
+        return;
+    };
+    shared.metrics.session_disconnected();
+    epfis_obs::wellknown::analyzer().active_sessions.sub(1);
+    match &shared.wal {
+        Some(wal) => {
+            let name = open.inner.name().to_string();
+            let refs = open.inner.records();
+            if let Err(e) = wal.park(open.inner, open.wal_id) {
                 shared
                     .logger
-                    .event(Level::Warn, "server", "limit_idle")
-                    .field("timeout_s", shared.limits.idle_timeout.as_secs_f64())
+                    .event(Level::Warn, "server", "session_park_failed")
+                    .field("entry", name.as_str())
+                    .field("error", e.to_string())
                     .emit();
-                let msg = format!(
-                    "limit idle: no complete request within {}s; closing connection",
-                    shared.limits.idle_timeout.as_secs_f64()
-                );
-                encode_resp_err(&mut out, &msg);
-                flush_binary(writer, &mut out, shared);
-                return;
-            }
-            FrameOutcome::FrameTooLong { bytes } => Some(bytes),
-        };
-        if let Some(bytes) = too_long {
-            limit_frame_rejection(writer, &mut out, shared, bytes);
-            return;
-        }
-        // Drain every complete buffered frame (the pipelining win).
-        let mut consumed = 0;
-        let mut open = true;
-        while open {
-            let rest = &reader.pending[consumed..];
-            if rest.len() < 4 {
-                break;
-            }
-            let body_len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
-            if body_len > shared.limits.max_line_bytes {
-                reader.pending.drain(..consumed);
-                limit_frame_rejection(writer, &mut out, shared, body_len);
-                return;
-            }
-            if rest.len() < 4 + body_len {
-                break;
-            }
-            let body = &rest[4..4 + body_len];
-            open = handle_binary_frame(body, shared, session, &mut cache, &mut out);
-            consumed += 4 + body_len;
-            if out.len() >= BINARY_FLUSH_BYTES && !flush_binary(writer, &mut out, shared) {
-                reader.pending.drain(..consumed);
-                return;
+            } else {
+                shared
+                    .logger
+                    .event(Level::Info, "server", "session_parked")
+                    .field("entry", name.as_str())
+                    .field("refs", refs)
+                    .emit();
             }
         }
-        reader.pending.drain(..consumed);
-        if !flush_binary(writer, &mut out, shared) || !open {
-            return;
+        None => {
+            shared
+                .logger
+                .event(Level::Warn, "server", "session_disconnected")
+                .field("entry", open.inner.name())
+                .field("dropped_refs", open.inner.records())
+                .emit();
         }
     }
-}
-
-/// Answers an oversized binary frame: the framing analogue of the text
-/// path's `ERR limit line ...` (counted, answered, connection closed).
-fn limit_frame_rejection(writer: &mut TcpStream, out: &mut Vec<u8>, shared: &Shared, bytes: usize) {
-    shared.metrics.limit_rejection();
-    shared
-        .logger
-        .event(Level::Warn, "server", "limit_frame")
-        .field("bytes", bytes as u64)
-        .field("max_line_bytes", shared.limits.max_line_bytes as u64)
-        .emit();
-    let msg = format!(
-        "limit frame: frame of {bytes} bytes exceeds {} bytes; closing connection",
-        shared.limits.max_line_bytes
-    );
-    encode_resp_err(out, &msg);
-    flush_binary(writer, out, shared);
-}
-
-/// Decodes and executes one binary frame body, appending its response to
-/// `out`. Returns `false` when the connection must close after the next
-/// flush (a served `SHUTDOWN`). Malformed bodies answer a recoverable
-/// `bad frame ...` error — the length prefix kept the framing in sync.
-fn handle_binary_frame(
-    body: &[u8],
-    shared: &Shared,
-    session: &mut Option<OpenSession>,
-    cache: &mut Option<EntryCache>,
-    out: &mut Vec<u8>,
-) -> bool {
-    let start = Instant::now();
-    shared.metrics.protocol_request(Protocol::Binary);
-    let record = |label: &str, is_error: bool| {
-        shared
-            .metrics
-            .record(label, start.elapsed().as_micros() as u64, is_error);
-    };
-    let req = match decode_request(body) {
-        Ok(req) => req,
-        Err(e) => {
-            encode_resp_err(out, &e);
-            record("INVALID", true);
-            return true;
-        }
-    };
-    match req {
-        BinRequest::Ping => {
-            encode_resp_str(out, "pong");
-            record("PING", false);
-        }
-        BinRequest::Estimate {
-            name,
-            sigma,
-            buffer,
-            sargable,
-        } => match binary_estimate(shared, cache, name, sigma, buffer, sargable) {
-            Ok(f) => {
-                encode_resp_f64(out, f);
-                record("ESTIMATE", false);
-            }
-            Err(e) => {
-                encode_resp_err(out, &e);
-                record("ESTIMATE", true);
-            }
-        },
-        BinRequest::Page(refs) => {
-            match apply_page_batch(shared, session, refs.len(), refs.iter()) {
-                Ok(n) => encode_resp_u64(out, n),
-                Err(e) => {
-                    if e.starts_with("limit ") {
-                        shared.metrics.limit_rejection();
-                    }
-                    encode_resp_err(out, &e);
-                    record("PAGE", true);
-                    return true;
-                }
-            }
-            record("PAGE", false);
-        }
-        BinRequest::AnalyzeBegin {
-            name,
-            segments,
-            table_pages,
-        } => {
-            let req = Request::AnalyzeBegin {
-                name: name.to_string(),
-                segments: (segments > 0).then_some(segments as usize),
-                table_pages: (table_pages > 0).then_some(table_pages),
-            };
-            let result = execute(req, shared, session);
-            encode_exec_result(out, &result);
-            record("ANALYZE_BEGIN", result.is_err());
-        }
-        BinRequest::AnalyzeCommit => {
-            let result = execute(Request::AnalyzeCommit, shared, session);
-            encode_exec_result(out, &result);
-            record("ANALYZE_COMMIT", result.is_err());
-        }
-        BinRequest::AnalyzeAbort => {
-            let result = execute(Request::AnalyzeAbort, shared, session);
-            encode_exec_result(out, &result);
-            record("ANALYZE_ABORT", result.is_err());
-        }
-        BinRequest::Text(line) => match parse_request(line) {
-            Ok(req) => {
-                let label = req.label();
-                let is_shutdown = matches!(req, Request::Shutdown);
-                let result = execute(req, shared, session);
-                if let Err(msg) = &result {
-                    if msg.starts_with("limit ") {
-                        shared.metrics.limit_rejection();
-                    }
-                }
-                encode_exec_result(out, &result);
-                record(label, result.is_err());
-                if is_shutdown && result.is_ok() {
-                    shared.request_shutdown();
-                    return false;
-                }
-            }
-            Err(e) => {
-                encode_resp_err(out, &e);
-                record("INVALID", true);
-            }
-        },
-    }
-    true
-}
-
-/// Encodes an `execute` outcome as a binary response frame.
-fn encode_exec_result(out: &mut Vec<u8>, result: &Result<Vec<String>, String>) {
-    match result {
-        Ok(lines) => encode_resp_lines(out, lines),
-        Err(msg) => encode_resp_err(out, msg),
-    }
-}
-
-/// The zero-alloc `ESTIMATE` path: validation and arithmetic identical to
-/// [`execute`]'s `Request::Estimate` arm (so the served `f64` bits equal
-/// what the text protocol's decimal would parse back to), but the catalog
-/// entry comes from the per-connection [`EntryCache`] when the epoch hint
-/// and name match — no lock, no B-tree walk, no allocation.
-fn binary_estimate(
-    shared: &Shared,
-    cache: &mut Option<EntryCache>,
-    name: &str,
-    sigma: f64,
-    buffer: u64,
-    sargable: f64,
-) -> Result<f64, String> {
-    if !(0.0..=1.0).contains(&sigma) || !(0.0..=1.0).contains(&sargable) {
-        return Err("selectivities must be in [0, 1]".into());
-    }
-    if buffer == 0 {
-        return Err("buffer must be at least 1".into());
-    }
-    let hint = shared.catalog.epoch_hint();
-    let hit = matches!(cache, Some(c) if c.epoch == hint && c.name == name.as_bytes());
-    if !hit {
-        let snap = shared.catalog.snapshot();
-        let entry = snap
-            .get_arc(name)
-            .ok_or_else(|| format!("no catalog entry named {name:?} (try SHOW)"))?
-            .clone();
-        match cache {
-            Some(c) => {
-                c.epoch = snap.epoch();
-                c.name.clear();
-                c.name.extend_from_slice(name.as_bytes());
-                c.entry = entry;
-            }
-            None => {
-                *cache = Some(EntryCache {
-                    epoch: snap.epoch(),
-                    name: name.as_bytes().to_vec(),
-                    entry,
-                });
-            }
-        }
-    }
-    let entry = &cache.as_ref().expect("cache populated above").entry;
-    let q = ScanQuery::range(sigma, buffer).with_sargable(sargable);
-    Ok(entry.stats.estimate(&q))
 }
 
 /// Applies one `PAGE` batch to the connection's open session: the session
@@ -1174,7 +805,7 @@ fn binary_estimate(
 /// validation can reject, application cannot, so the log only ever holds
 /// batches the session actually absorbed and the atomic-batch contract
 /// (a rejected batch leaves the session untouched) is unchanged.
-fn apply_page_batch(
+pub(crate) fn apply_page_batch(
     shared: &Shared,
     session: &mut Option<OpenSession>,
     batch_len: usize,
@@ -1225,7 +856,7 @@ fn apply_page_batch(
 
 /// Executes one parsed request against the shared state, returning response
 /// data lines.
-fn execute(
+pub(crate) fn execute(
     req: Request,
     shared: &Shared,
     session: &mut Option<OpenSession>,
@@ -1545,7 +1176,7 @@ fn execute(
             }
             Ok(lines)
         }
-        // serve_lines intercepts HELLO before execute, so reaching this arm
+        // The session engine intercepts HELLO before execute, so reaching this arm
         // means the request arrived over an already-upgraded connection
         // (a TEXT passthrough frame carrying "HELLO BINARY").
         Request::Hello => Err("connection already uses binary framing".into()),

@@ -1,0 +1,415 @@
+//! Front-end cross-validation and the PR 8 I/O-bug regression suite.
+//!
+//! `epfis serve` now has two serving cores — the retained worker pool and
+//! the `epfis-net` event loop — wrapped around one shared protocol engine.
+//! This suite proves:
+//!
+//! * the same deterministic workload answers **byte-identically** over both
+//!   front ends, in text and in binary framing;
+//! * a peer that provokes a huge response and then stops reading (the
+//!   write-stall that used to pin a pool worker forever inside a blocking
+//!   `write_all`) is reclaimed by *both* front ends, counted under
+//!   `sessions_disconnected`;
+//! * a pending-buffer overflow answers the distinct `ERR limit pending ...`
+//!   (it used to masquerade as an oversized-line/frame rejection);
+//! * the event loop sustains 10k concurrent idle connections with a fixed,
+//!   tiny thread count, while still serving them all.
+
+use epfis_server::{
+    framing, hostile, serve, Client, ClientError, Frontend, LimitsConfig, ServerConfig,
+    ServerHandle,
+};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+fn frontend_server(frontend: Frontend, workers: usize, limits: LimitsConfig) -> ServerHandle {
+    serve(ServerConfig {
+        frontend,
+        workers,
+        limits,
+        ..ServerConfig::default()
+    })
+    .expect("bind server")
+}
+
+/// Pulls `<key> <value>` off a STATS global line.
+fn stat(lines: &[String], key: &str) -> u64 {
+    lines
+        .iter()
+        .find_map(|l| l.strip_prefix(&format!("{key} ")))
+        .unwrap_or_else(|| panic!("no STATS line for {key}: {lines:?}"))
+        .parse()
+        .unwrap()
+}
+
+/// A deterministic synthetic statistics scan (skewed page reuse).
+fn trace_pairs() -> Vec<(i64, u32)> {
+    let mut pairs = Vec::new();
+    for k in 0..600i64 {
+        for j in 0..4u32 {
+            let p = ((k as u32).wrapping_mul(2654435761).wrapping_add(j * 97)) % 120;
+            pairs.push((k, p));
+        }
+    }
+    pairs
+}
+
+/// Commits a tiny entry `name` so `FPF` has a curve to render.
+fn commit_small_entry(addr: SocketAddr, name: &str) {
+    let mut c = Client::connect(addr).unwrap();
+    c.request(&format!("ANALYZE BEGIN {name} table_pages=64"))
+        .unwrap();
+    c.request("PAGE 1 0 1 5 2 9 3 13 4 17 5 21").unwrap();
+    let lines = c.request("ANALYZE COMMIT").unwrap();
+    assert!(
+        lines[0].starts_with(&format!("committed {name} ")),
+        "{lines:?}"
+    );
+}
+
+/// The deterministic command script both front ends must answer
+/// identically: happy paths, every protocol error family, and an ingest.
+fn text_script() -> Vec<String> {
+    let mut script = vec![
+        "PING".to_string(),
+        "ESTIMATE missing 0.5 10".to_string(), // ERR: unknown entry
+        "PAGE 1 2".to_string(),                // ERR: no open session
+        "GARBAGE in, garbage out".to_string(), // ERR: parse
+        "ANALYZE BEGIN ix table_pages=120".to_string(),
+    ];
+    for chunk in trace_pairs().chunks(64) {
+        let line: String = chunk.iter().map(|(k, p)| format!(" {k} {p}")).collect();
+        script.push(format!("PAGE{line}"));
+    }
+    script.extend(
+        [
+            "ANALYZE COMMIT",
+            "ESTIMATE ix 0.5 64",
+            "ESTIMATE ix 0.001 1",
+            "ESTIMATE ix 1.0 500",
+            "EXPLAIN ESTIMATE ix 0.25 32",
+            "FPF ix 7",
+            "COMPARE ix 5",
+            "SHOW",
+            "FPF ix 0", // ERR: points out of range
+        ]
+        .map(String::from),
+    );
+    script
+}
+
+/// Replaces wall-clock `analyzed_at=<n>` stamps — the only bytes allowed to
+/// differ between two runs of the same deterministic script.
+fn normalize(rendered: String) -> String {
+    let mut out = String::with_capacity(rendered.len());
+    let mut rest = rendered.as_str();
+    while let Some(pos) = rest.find("analyzed_at=") {
+        let (head, tail) = rest.split_at(pos + "analyzed_at=".len());
+        out.push_str(head);
+        out.push_str("<t>");
+        rest = tail.trim_start_matches(|c: char| c.is_ascii_digit());
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Runs the text script against `addr`, rendering every outcome (response
+/// lines and `ERR` payloads alike) into one comparable transcript.
+fn run_text_script(addr: SocketAddr) -> Vec<String> {
+    let mut c = Client::connect(addr).unwrap();
+    text_script()
+        .iter()
+        .map(|cmd| normalize(format!("{cmd} => {:?}", c.request(cmd))))
+        .collect()
+}
+
+/// Runs the same workload over binary framing v2, pipelined in one flush.
+fn run_binary_script(addr: SocketAddr) -> Vec<String> {
+    let mut c = epfis_server::BinaryClient::connect(addr).unwrap();
+    let script = text_script();
+    for cmd in &script {
+        // TEXT passthrough frames carry each command; PAGE and ESTIMATE
+        // also get dedicated frame types below.
+        c.queue_text(cmd);
+    }
+    c.queue_estimate("ix", 0.5, 64, 1.0);
+    c.queue_page(&[(900, 3)]); // ERR: no open session (it committed above)
+    c.flush().unwrap();
+    let mut transcript = Vec::new();
+    for _ in 0..script.len() + 2 {
+        transcript.push(normalize(format!("{:?}", c.recv())));
+    }
+    transcript
+}
+
+#[test]
+fn pool_and_evloop_serve_byte_identical_text_responses() {
+    let run = |frontend| {
+        let server = frontend_server(frontend, 2, LimitsConfig::default());
+        let transcript = run_text_script(server.addr());
+        server.shutdown_and_join();
+        transcript
+    };
+    let pool = run(Frontend::Pool);
+    let evloop = run(Frontend::Evloop);
+    assert_eq!(pool.len(), evloop.len());
+    for (p, e) in pool.iter().zip(&evloop) {
+        assert_eq!(p, e, "front ends diverge on a text response");
+    }
+}
+
+#[test]
+fn pool_and_evloop_serve_byte_identical_binary_responses() {
+    let run = |frontend| {
+        let server = frontend_server(frontend, 2, LimitsConfig::default());
+        let transcript = run_binary_script(server.addr());
+        server.shutdown_and_join();
+        transcript
+    };
+    let pool = run(Frontend::Pool);
+    let evloop = run(Frontend::Evloop);
+    assert_eq!(pool.len(), evloop.len());
+    for (p, e) in pool.iter().zip(&evloop) {
+        assert_eq!(p, e, "front ends diverge on a binary response");
+    }
+}
+
+/// The tentpole bugfix, asserted per front end: a peer that provokes ~30 MB
+/// of responses and stops reading must not hold its server resources past
+/// the write deadline. Before PR 8 the pool worker sat in a blocking
+/// `write_all` forever; with `workers: 1` that froze the whole server.
+fn write_stall_is_reclaimed_on(frontend: Frontend) {
+    let limits = LimitsConfig {
+        idle_timeout: Duration::from_millis(500),
+        max_connections: 4,
+        ..LimitsConfig::default()
+    };
+    let server = frontend_server(frontend, 1, limits);
+    let addr = server.addr();
+    commit_small_entry(addr, "stall.probe");
+
+    let outcome =
+        hostile::write_stall(addr, "FPF stall.probe 10000", 200, Duration::from_secs(15)).unwrap();
+    assert!(
+        outcome.disconnected,
+        "server must abandon the stalled flush and reset the connection: {outcome:?}"
+    );
+
+    // The single worker (or the loop slot) is free again: a well-behaved
+    // client gets served promptly...
+    let mut c = Client::connect(addr).unwrap();
+    assert_eq!(c.request("PING").unwrap(), vec!["pong".to_string()]);
+    // ...and the reclaim was counted.
+    let stats = c.request("STATS").unwrap();
+    assert_eq!(stat(&stats, "sessions_disconnected"), 1, "{stats:?}");
+    server.shutdown_and_join();
+}
+
+#[test]
+fn write_stall_is_reclaimed_on_the_pool_frontend() {
+    write_stall_is_reclaimed_on(Frontend::Pool);
+}
+
+#[test]
+fn write_stall_is_reclaimed_on_the_evloop_frontend() {
+    write_stall_is_reclaimed_on(Frontend::Evloop);
+}
+
+/// Regression: a pending-buffer overflow must answer the distinct
+/// `ERR limit pending ...`. The overflow here is a binary frame whose
+/// *total wire size* (header + declared body) exceeds `max_pending_bytes`
+/// even though the declared body respects `max_line_bytes` — before PR 8
+/// this was misreported as an oversized-frame rejection.
+fn pending_overflow_reports_limit_pending_on(frontend: Frontend) {
+    let limits = LimitsConfig {
+        max_line_bytes: 1024,
+        max_pending_bytes: 1024,
+        ..LimitsConfig::default()
+    };
+    let server = frontend_server(frontend, 2, limits);
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream.write_all(b"HELLO BINARY\n").unwrap();
+    let mut ack = [0u8; 16];
+    let mut got = 0;
+    while !ack[..got].windows(2).any(|w| w == b"v2") {
+        got += stream.read(&mut ack[got..]).unwrap();
+    }
+
+    // Declared body: 1024 bytes — within max_line_bytes, so this is NOT an
+    // oversized frame. But header + body = 1028 > max_pending_bytes, so the
+    // frame can never complete inside the pending buffer. Send one byte
+    // short of completion to pin the overflow (1025 buffered > 1024).
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&1024u32.to_le_bytes());
+    frame.extend_from_slice(&vec![0xAB; 1021]);
+    stream.write_all(&frame).unwrap();
+
+    let mut collected = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => collected.extend_from_slice(&buf[..n]),
+            Err(_) => break,
+        }
+    }
+    assert!(collected.len() >= 4, "no response frame: {collected:?}");
+    let len = u32::from_le_bytes(collected[..4].try_into().unwrap()) as usize;
+    let body = &collected[4..4 + len];
+    match framing::decode_response(body) {
+        Ok(epfis_server::BinResponse::Err(msg)) => {
+            assert!(
+                msg.contains("limit pending"),
+                "overflow must be diagnosed as limit pending, got {msg:?}"
+            );
+            assert!(
+                !msg.contains("limit frame") && !msg.contains("limit line"),
+                "overflow must not masquerade as a line/frame rejection: {msg:?}"
+            );
+        }
+        other => panic!("expected ERR frame, got {other:?}"),
+    }
+    server.shutdown_and_join();
+}
+
+#[test]
+fn pending_overflow_reports_limit_pending_on_the_pool_frontend() {
+    pending_overflow_reports_limit_pending_on(Frontend::Pool);
+}
+
+#[test]
+fn pending_overflow_reports_limit_pending_on_the_evloop_frontend() {
+    pending_overflow_reports_limit_pending_on(Frontend::Evloop);
+}
+
+/// An oversized *line* keeps its specific diagnosis even when it also
+/// overflows the pending buffer (the more specific rejection wins).
+#[test]
+fn oversized_line_still_reports_limit_line_not_limit_pending() {
+    let limits = LimitsConfig {
+        max_line_bytes: 1024,
+        max_pending_bytes: 1024,
+        ..LimitsConfig::default()
+    };
+    let server = frontend_server(Frontend::Evloop, 2, limits);
+    let mut c = Client::connect(server.addr()).unwrap();
+    match c.request(&format!("ESTIMATE {} 0.5 10", "x".repeat(4096))) {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("limit line"), "{msg}"),
+        Err(ClientError::Io(_) | ClientError::Protocol(_)) => {}
+        other => panic!("oversized line should be rejected, got {other:?}"),
+    }
+    server.shutdown_and_join();
+}
+
+/// Hostile-scenario parity: the limit family behaves on the event loop
+/// exactly as the hardening suite proves for the pool.
+#[test]
+fn evloop_rejects_floods_and_reclaims_idle_connections() {
+    let limits = LimitsConfig {
+        max_line_bytes: 64 * 1024,
+        max_pending_bytes: 128 * 1024,
+        idle_timeout: Duration::from_millis(400),
+        ..LimitsConfig::default()
+    };
+    let server = frontend_server(Frontend::Evloop, 2, limits);
+    let addr = server.addr();
+
+    let flood = hostile::flood_without_newline(addr, 8 * 1024 * 1024).unwrap();
+    assert!(
+        flood.disconnected
+            || flood
+                .response
+                .as_deref()
+                .is_some_and(|r| r.contains("limit line")),
+        "flood must be rejected: {flood:?}"
+    );
+
+    let binflood = hostile::binary_flood(addr, 8 * 1024 * 1024).unwrap();
+    assert!(
+        binflood.disconnected
+            || binflood
+                .response
+                .as_deref()
+                .is_some_and(|r| r.contains("limit frame")),
+        "binary flood must be rejected from the header: {binflood:?}"
+    );
+
+    // An idle connection is reclaimed with `ERR limit idle`.
+    let mut idle = TcpStream::connect(addr).unwrap();
+    idle.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut response = String::new();
+    let _ = idle.read_to_string(&mut response);
+    assert!(response.contains("limit idle"), "{response:?}");
+    server.shutdown_and_join();
+}
+
+#[test]
+fn evloop_shutdown_command_stops_the_server() {
+    let server = frontend_server(Frontend::Evloop, 2, LimitsConfig::default());
+    let mut c = Client::connect(server.addr()).unwrap();
+    assert_eq!(c.request("PING").unwrap(), vec!["pong".to_string()]);
+    let lines = c.request("SHUTDOWN").unwrap();
+    assert_eq!(lines, vec!["bye".to_string()]);
+    server.join();
+}
+
+/// The scaling claim: 10k concurrent idle connections on the event loop,
+/// all actually served, with the process's thread count fixed. The pool
+/// could only ever watch `workers` of these at once.
+#[test]
+fn evloop_sustains_10k_idle_connections() {
+    const CONNS: usize = 10_000;
+    // Both endpoints of every connection live in this process: ~2 fds per
+    // connection plus slack.
+    match epfis_net::io::raise_nofile_limit((CONNS as u64) * 2 + 1024) {
+        Ok(limit) if limit >= (CONNS as u64) * 2 + 512 => {}
+        Ok(limit) => {
+            eprintln!("skipping: fd limit {limit} too low for {CONNS} loopback connections");
+            return;
+        }
+        Err(e) => {
+            eprintln!("skipping: cannot raise fd limit: {e}");
+            return;
+        }
+    }
+    let server = frontend_server(Frontend::Evloop, 2, LimitsConfig::default());
+    let addr = server.addr();
+
+    let start = Instant::now();
+    let mut conns = Vec::with_capacity(CONNS);
+    for i in 0..CONNS {
+        match TcpStream::connect(addr) {
+            Ok(s) => conns.push(s),
+            Err(e) => panic!("connect #{i} failed after {:?}: {e}", start.elapsed()),
+        }
+    }
+
+    // Every 500th connection must actually be *served*, not just accepted.
+    for (i, stream) in conns.iter_mut().enumerate().step_by(500) {
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        stream.write_all(b"PING\n").unwrap();
+        let mut response = [0u8; 16];
+        let mut got = 0;
+        while !response[..got].contains(&b'\n') {
+            let n = stream.read(&mut response[got..]).unwrap();
+            assert!(n > 0, "connection #{i} closed instead of answering PING");
+            got += n;
+        }
+        assert_eq!(&response[..got], b"OK 1\npong\n"[..got].as_ref(), "#{i}");
+    }
+
+    // And a fresh client still gets real work done underneath the pile.
+    commit_small_entry(addr, "under.load");
+    let mut c = Client::connect(addr).unwrap();
+    let est = c.request("ESTIMATE under.load 0.5 16").unwrap();
+    assert_eq!(est.len(), 1, "{est:?}");
+    drop(conns);
+    server.shutdown_and_join();
+}
