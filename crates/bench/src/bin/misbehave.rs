@@ -28,6 +28,18 @@
 //!     references into entry `crash.ix`). Against `--wal-dir` servers each
 //!     drop parks the session and the next BEGIN discards it; either way
 //!     the server must stay reachable. Exits 0 iff a final PING succeeds.
+//! misbehave --scenario diskfull --addr HOST:PORT [--rounds N] [--name E]
+//!     the trip half of the storage-chaos smoke, against a server started
+//!     with an `EPFIS_FAULTS` schedule: commit a baseline entry, then
+//!     stream ANALYZE sessions until the scripted disk failure fires
+//!     (at most N rounds, default 50). Exits 0 iff the server degraded
+//!     (`STATS` reports `degraded 1`), the baseline entry still serves
+//!     `ESTIMATE`, and a fresh `ANALYZE BEGIN` answers `ERR readonly`.
+//! misbehave --scenario recover --addr HOST:PORT [--rounds N] [--name E]
+//!     the heal half: issue `RECOVER` until it succeeds (each attempt
+//!     re-probes the storage, at most N rounds), then commit a fresh
+//!     entry and estimate against it. Exits 0 iff recovery succeeded,
+//!     `STATS` reports `degraded 0`, and the fresh commit serves.
 //! ```
 
 use epfis_bench::Options;
@@ -158,6 +170,104 @@ fn main() {
             println!("crashloop rounds={rounds} server_alive={survived}");
             std::process::exit(if survived { 0 } else { 1 });
         }
-        other => panic!("unknown --scenario {other:?} (flood|idle|loris|binflood|stall|crashloop)"),
+        "diskfull" => {
+            let rounds: usize = opts.get("rounds", 50usize);
+            let name = opts.get_str("name").unwrap_or("chaos").to_string();
+            let mut client = epfis_server::Client::connect(&*addr).expect("connect");
+            // Baseline entry for the degraded read path. Tolerate the fault
+            // firing this early — the degraded assertions below then run
+            // without the estimate check.
+            let base = format!("{name}.base");
+            let base_ok = client
+                .request(&format!("ANALYZE BEGIN {base} table_pages=64"))
+                .and_then(|_| client.request("PAGE 1 0 1 5 2 9 3 13 4 17"))
+                .and_then(|_| client.request("ANALYZE COMMIT"))
+                .is_ok();
+            // Stream sessions until the scripted disk failure fires.
+            let mut tripped = !base_ok;
+            'fill: for round in 0..rounds {
+                if tripped {
+                    break;
+                }
+                if client
+                    .request(&format!("ANALYZE BEGIN {name}.fill{round} table_pages=500"))
+                    .is_err()
+                {
+                    tripped = true;
+                    break;
+                }
+                let mut sent = 0usize;
+                while sent < 4_000 {
+                    let mut line = String::from("PAGE");
+                    for _ in 0..250 {
+                        let page = (sent as u32).wrapping_mul(2654435761) % 500;
+                        line.push_str(&format!(" {} {page}", sent / 4));
+                        sent += 1;
+                    }
+                    if client.request(&line).is_err() {
+                        tripped = true;
+                        break 'fill;
+                    }
+                }
+                if client.request("ANALYZE COMMIT").is_err() {
+                    tripped = true;
+                }
+            }
+            let degraded = client
+                .request("STATS")
+                .is_ok_and(|lines| lines.iter().any(|l| l == "degraded 1"));
+            let reads_serve =
+                !base_ok || client.request(&format!("ESTIMATE {base} 0.5 10")).is_ok();
+            let readonly = matches!(
+                client.request(&format!("ANALYZE BEGIN {name}.probe")),
+                Err(epfis_server::ClientError::Server(ref m)) if m.contains("readonly")
+            );
+            println!(
+                "diskfull base_ok={base_ok} tripped={tripped} degraded={degraded} \
+                 reads_serve={reads_serve} readonly={readonly}"
+            );
+            std::process::exit(if tripped && degraded && reads_serve && readonly {
+                0
+            } else {
+                1
+            });
+        }
+        "recover" => {
+            let rounds: usize = opts.get("rounds", 50usize);
+            let name = opts.get_str("name").unwrap_or("chaos").to_string();
+            let mut client = epfis_server::Client::connect(&*addr).expect("connect");
+            let mut recovered = false;
+            for round in 0..rounds {
+                match client.request("RECOVER") {
+                    Ok(lines) => {
+                        println!("recover[{round}] {:?}", lines.last());
+                        recovered = true;
+                        break;
+                    }
+                    Err(e) => println!("recover[{round}] {e}"),
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            let healthy = client
+                .request("STATS")
+                .is_ok_and(|lines| lines.iter().any(|l| l == "degraded 0"));
+            let fresh = format!("{name}.fresh");
+            let committed = client
+                .request(&format!("ANALYZE BEGIN {fresh} table_pages=64"))
+                .and_then(|_| client.request("PAGE 1 0 1 5 2 9 3 13 4 17"))
+                .and_then(|_| client.request("ANALYZE COMMIT"))
+                .and_then(|_| client.request(&format!("ESTIMATE {fresh} 0.5 10")))
+                .is_ok();
+            println!("recover recovered={recovered} healthy={healthy} fresh_commit={committed}");
+            std::process::exit(if recovered && healthy && committed {
+                0
+            } else {
+                1
+            });
+        }
+        other => panic!(
+            "unknown --scenario {other:?} \
+             (flood|idle|loris|binflood|stall|crashloop|diskfull|recover)"
+        ),
     }
 }

@@ -146,12 +146,20 @@ pub const USAGE: &str = "usage: epfis <analyze|show|fpf|estimate|plan> --catalog
              every ANALYZE session so a crash or disconnect never loses
              in-flight references: on restart the server replays the log
              and a client reattaches with ANALYZE RESUME — see
-             docs/durability.md)
+             docs/durability.md. If storage fails at runtime the server
+             degrades to read-only — estimates keep serving, ingest answers
+             ERR readonly — until the RECOVER command re-probes the disk;
+             the EPFIS_FAULTS env var injects scripted storage faults for
+             chaos testing)
   client    --addr HOST:PORT [--send CMD] [--binary true]
+            [--retries N] [--timeout-ms T]
             (one-shot with --send, otherwise reads protocol commands from
              stdin; --binary true upgrades the connection to binary framing
              v2 with HELLO BINARY and carries each command in a TEXT frame —
-             answers are identical; see docs/protocol.md)
+             answers are identical; see docs/protocol.md. --retries/
+             --timeout-ms switch to the self-healing client: socket
+             timeouts, reconnect with backoff, and automatic ANALYZE RESUME
+             reattachment after a server restart — see docs/durability.md)
 exit codes: 0 ok, 2 usage/parse error, 1 runtime error";
 
 /// Parses a captured statistics-scan trace: one `key page` pair per line
@@ -702,6 +710,19 @@ fn serve(cmd: &Command) -> Result<String, CliError> {
         max_session_refs: cmd.get_or("max-session-refs", defaults.max_session_refs)?,
     };
     limits.validate().map_err(|e| err(format!("limits: {e}")))?;
+    // Chaos hook: EPFIS_FAULTS="op=sync_data kind=eio after=10" injects
+    // scripted storage faults into the catalog-persist and WAL paths of a
+    // stock binary, so degraded-mode behavior is testable end to end
+    // without a special build. Unset (the normal case) costs nothing.
+    let vfs = match std::env::var("EPFIS_FAULTS") {
+        Ok(spec) if !spec.trim().is_empty() => {
+            let fault_vfs = epfis_faults::FaultVfs::from_spec(&spec)
+                .map_err(|e| err(format!("bad EPFIS_FAULTS spec: {e}")))?;
+            eprintln!("warning: EPFIS_FAULTS is set; injecting storage faults: {spec}");
+            Some(fault_vfs.shared())
+        }
+        _ => None,
+    };
     let config = epfis_server::ServerConfig {
         addr,
         workers,
@@ -712,6 +733,7 @@ fn serve(cmd: &Command) -> Result<String, CliError> {
         metrics_addr: cmd.get::<String>("metrics-addr")?,
         logger: serve_logger(cmd)?,
         wal: serve_wal_config(cmd)?,
+        vfs,
     };
     let server = epfis_server::serve(config).map_err(|e| err(format!("cannot serve: {e}")))?;
     // Announce the bound addresses immediately (port 0 resolves here) so
@@ -757,14 +779,34 @@ fn serve_logger(cmd: &Command) -> Result<Option<std::sync::Arc<epfis_obs::Logger
 
 fn client(cmd: &Command) -> Result<String, CliError> {
     let addr: String = cmd.require("addr")?;
+    let binary = cmd.get_or("binary", false)?;
+    let retries = cmd.get::<u32>("retries")?;
+    let timeout_ms = cmd.get::<u64>("timeout-ms")?;
     // Either wire format serves the same commands: text sends raw lines,
     // binary wraps each line in a framing-v2 TEXT frame after the
     // HELLO BINARY upgrade. Responses are identical line-for-line.
+    // --retries/--timeout-ms switch to the self-healing client, which
+    // reconnects with backoff and reattaches ANALYZE sessions via
+    // ANALYZE RESUME (requires the server to run with --wal-dir).
     enum Wire {
         Text(epfis_server::Client),
         Binary(epfis_server::BinaryClient),
+        Resilient(epfis_server::ResilientClient),
     }
-    let mut client = if cmd.get_or("binary", false)? {
+    let mut client = if retries.is_some() || timeout_ms.is_some() {
+        let mut policy = epfis_server::RetryPolicy::default();
+        if let Some(n) = retries {
+            policy.retries = n;
+        }
+        if let Some(ms) = timeout_ms {
+            policy.io_timeout = std::time::Duration::from_millis(ms);
+            policy.connect_timeout = std::time::Duration::from_millis(ms.clamp(100, 10_000));
+        }
+        Wire::Resilient(
+            epfis_server::ResilientClient::connect(&addr, policy, binary)
+                .map_err(|e| err(format!("cannot connect to {addr}: {e}")))?,
+        )
+    } else if binary {
         Wire::Binary(
             epfis_server::BinaryClient::connect(&addr)
                 .map_err(|e| err(format!("cannot connect to {addr}: {e}")))?,
@@ -779,6 +821,7 @@ fn client(cmd: &Command) -> Result<String, CliError> {
         let lines = match &mut client {
             Wire::Text(c) => c.request(command),
             Wire::Binary(c) => c.text(command),
+            Wire::Resilient(c) => c.request(command),
         }
         .map_err(|e| err(e.to_string()))?;
         for line in lines {

@@ -125,6 +125,14 @@ pub struct WalMetrics {
     /// In-flight sessions recovered and parked for `ANALYZE RESUME`
     /// (`epfis_wal_recovered_sessions_total`).
     pub recovered_sessions: Arc<Counter>,
+    /// Failed explicit data syncs, foreground or on the background
+    /// flusher's duplicate fd (`epfis_wal_fsync_errors_total`).
+    pub fsync_errors: Arc<Counter>,
+    /// Durability failures that poisoned a writer
+    /// (`epfis_wal_poisonings_total`).
+    pub poisonings: Arc<Counter>,
+    /// Successful `Wal::heal` recoveries (`epfis_wal_heals_total`).
+    pub heals: Arc<Counter>,
 }
 
 /// The process-global WAL instruments.
@@ -161,6 +169,21 @@ pub fn wal() -> &'static WalMetrics {
             recovered_sessions: r.counter(
                 "epfis_wal_recovered_sessions_total",
                 "In-flight ANALYZE sessions recovered from the WAL and parked for resume",
+                &[],
+            ),
+            fsync_errors: r.counter(
+                "epfis_wal_fsync_errors_total",
+                "Failed explicit data syncs on write-ahead logs, foreground or background",
+                &[],
+            ),
+            poisonings: r.counter(
+                "epfis_wal_poisonings_total",
+                "Durability failures that poisoned a write-ahead-log writer",
+                &[],
+            ),
+            heals: r.counter(
+                "epfis_wal_heals_total",
+                "Successful write-ahead-log heal recoveries after poisoning",
                 &[],
             ),
         }

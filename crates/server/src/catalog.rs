@@ -20,9 +20,14 @@
 //! end
 //! ```
 //!
-//! Writes go through [`epfis::catalog::write_atomic`] (write temp + fsync +
-//! rename), so a crash mid-save can never leave a torn file; on startup the
-//! server simply reloads the last successfully renamed version.
+//! Writes go through [`epfis_faults::write_atomic`] (write temp + fsync +
+//! rename + directory sync, all via an injectable [`Vfs`]), so a crash or
+//! storage fault mid-save can never leave a torn file; on startup the
+//! server simply reloads the last successfully renamed version. A persist
+//! failure is first-class: it surfaces as a distinct `catalog persist
+//! failed` error, bumps [`SharedCatalog::persist_failures`], leaves the
+//! old on-disk file byte-identical, and the published in-memory snapshot
+//! keeps serving unchanged — the commit simply did not happen.
 //!
 //! Sharing: [`SharedCatalog`] keeps the current [`VersionedCatalog`] behind
 //! `RwLock<Arc<...>>`. Readers take the lock only long enough to clone the
@@ -30,9 +35,9 @@
 //! catalog and persists it *outside* any lock readers touch, then swaps the
 //! `Arc`. Concurrent `ESTIMATE`s therefore never block behind an ingest.
 
-use epfis::catalog::write_atomic;
 use epfis::{Catalog, IndexStatistics};
 use epfis_estimators::TraceSummary;
+use epfis_faults::{write_atomic, StdVfs, Vfs};
 use std::collections::BTreeMap;
 use std::io;
 use std::path::PathBuf;
@@ -317,6 +322,12 @@ pub struct SharedCatalog {
     path: Option<PathBuf>,
     commit_lock: Mutex<()>,
     logger: Arc<epfis_obs::Logger>,
+    /// The filesystem the persist path writes through; `StdVfs` unless a
+    /// fault-injecting test (or the `EPFIS_FAULTS` env hook) swapped one in.
+    vfs: Arc<dyn Vfs>,
+    /// Commits whose atomic save failed (the in-memory snapshot and the
+    /// old on-disk file were both left untouched).
+    persist_failures: AtomicU64,
     // The published catalog's epoch, readable without the lock. A reader
     // holding a snapshot compares this against the snapshot's epoch to
     // decide — lock-free — whether a cached entry handle is still current
@@ -332,6 +343,8 @@ impl SharedCatalog {
             path: None,
             commit_lock: Mutex::new(()),
             logger: Arc::new(epfis_obs::Logger::disabled()),
+            vfs: StdVfs::shared(),
+            persist_failures: AtomicU64::new(0),
             epoch_hint: AtomicU64::new(0),
         }
     }
@@ -339,6 +352,12 @@ impl SharedCatalog {
     /// Opens a durable catalog at `path`, reloading the last atomically
     /// persisted version if the file exists.
     pub fn open(path: impl Into<PathBuf>) -> io::Result<Self> {
+        Self::open_with_vfs(path, StdVfs::shared())
+    }
+
+    /// [`open`](SharedCatalog::open) with an explicit filesystem; tests
+    /// pass a `FaultVfs` to script persist failures.
+    pub fn open_with_vfs(path: impl Into<PathBuf>, vfs: Arc<dyn Vfs>) -> io::Result<Self> {
         let path = path.into();
         let initial = if path.exists() {
             VersionedCatalog::from_text_checksummed(&std::fs::read_to_string(&path)?)?
@@ -351,6 +370,8 @@ impl SharedCatalog {
             path: Some(path),
             commit_lock: Mutex::new(()),
             logger: Arc::new(epfis_obs::Logger::disabled()),
+            vfs,
+            persist_failures: AtomicU64::new(0),
             epoch_hint: AtomicU64::new(epoch),
         })
     }
@@ -382,6 +403,27 @@ impl SharedCatalog {
     /// as the hint says.
     pub fn epoch_hint(&self) -> u64 {
         self.epoch_hint.load(Ordering::Acquire)
+    }
+
+    /// Commits whose atomic persist failed. Each failure left the in-memory
+    /// snapshot and the old on-disk file untouched.
+    pub fn persist_failures(&self) -> u64 {
+        self.persist_failures.load(Ordering::Relaxed)
+    }
+
+    /// Re-persists the current snapshot to verify the storage under the
+    /// catalog path is writable again (the `RECOVER` probe). A no-op
+    /// `Ok(())` for in-memory catalogs.
+    pub fn probe_persist(&self) -> io::Result<()> {
+        let _serialize = self.commit_lock.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(path) = &self.path {
+            let snap = self.snapshot();
+            write_atomic(self.vfs.as_ref(), path, &snap.to_text_checksummed()).map_err(|e| {
+                self.persist_failures.fetch_add(1, Ordering::Relaxed);
+                io::Error::new(e.kind(), format!("catalog persist failed: {e}"))
+            })?;
+        }
+        Ok(())
     }
 
     /// Commits a new analysis for `name`: builds the successor catalog,
@@ -427,7 +469,10 @@ impl SharedCatalog {
             next.set_wal_committed(session_id);
         }
         if let Some(path) = &self.path {
-            write_atomic(path, &next.to_text_checksummed())?;
+            write_atomic(self.vfs.as_ref(), path, &next.to_text_checksummed()).map_err(|e| {
+                self.persist_failures.fetch_add(1, Ordering::Relaxed);
+                io::Error::new(e.kind(), format!("catalog persist failed: {e}"))
+            })?;
         }
         *self.current.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(next);
         self.epoch_hint.store(epoch, Ordering::Release);
@@ -642,6 +687,72 @@ mod tests {
         let shared = SharedCatalog::in_memory();
         assert!(shared.commit("has space", stats(1), None).is_err());
         assert_eq!(shared.snapshot().epoch(), 0);
+    }
+
+    #[test]
+    fn persist_failure_is_distinct_and_leaves_old_state_serving() {
+        use epfis_faults::{FaultKind, FaultVfs, OpKind, Rule};
+
+        let path = tmp("persistfail");
+        let fv = FaultVfs::new();
+        let shared = SharedCatalog::open_with_vfs(&path, fv.clone().shared()).unwrap();
+        shared.commit("ix", stats(1), None).unwrap();
+        let before = std::fs::read(&path).unwrap();
+
+        // Every fault point before the rename — temp create, write, fsync,
+        // rename itself — must surface the distinct error, leave the old
+        // file byte-identical, and keep the old snapshot serving.
+        for op in [
+            OpKind::Create,
+            OpKind::Write,
+            OpKind::SyncData,
+            OpKind::Rename,
+        ] {
+            let failures_before = shared.persist_failures();
+            fv.schedule()
+                .push(Rule::new(FaultKind::Enospc).on_op(op).times(1));
+            let err = shared
+                .commit("ix", stats(99), None)
+                .err()
+                .unwrap_or_else(|| panic!("commit must fail under {op:?} fault"));
+            assert!(
+                err.to_string().starts_with("catalog persist failed: "),
+                "op {op:?}: not the distinct error: {err}"
+            );
+            assert_eq!(shared.persist_failures(), failures_before + 1);
+            assert_eq!(
+                std::fs::read(&path).unwrap(),
+                before,
+                "op {op:?}: old on-disk catalog must survive byte-identical"
+            );
+            let snap = shared.snapshot();
+            assert_eq!(snap.epoch(), 1, "op {op:?}: old snapshot must keep serving");
+            assert_eq!(snap.get("ix").unwrap().stats, stats(1));
+            fv.schedule().heal();
+        }
+
+        // A directory-fsync fault fires *after* the rename: the file on disk
+        // is then validly old OR new — never torn — and the commit is still
+        // reported failed (a false negative, never a false positive), so the
+        // published snapshot stays old.
+        fv.schedule()
+            .push(Rule::new(FaultKind::Eio).on_op(OpKind::SyncDir).times(1));
+        let err = shared.commit("ix", stats(50), None).err().unwrap();
+        assert!(err.to_string().starts_with("catalog persist failed: "));
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        let parsed = VersionedCatalog::from_text_checksummed(&on_disk)
+            .expect("on-disk catalog must be old or new, never torn");
+        assert!(parsed.epoch() == 1 || parsed.epoch() == 2);
+        assert_eq!(shared.snapshot().epoch(), 1);
+        fv.schedule().heal();
+
+        // probe_persist succeeds once the storage heals, and a fresh commit
+        // then lands normally.
+        shared.probe_persist().unwrap();
+        shared.commit("ix", stats(2), None).unwrap();
+        assert_eq!(shared.snapshot().get("ix").unwrap().stats, stats(2));
+        let reopened = SharedCatalog::open(&path).unwrap();
+        assert_eq!(reopened.snapshot().get("ix").unwrap().stats, stats(2));
     }
 
     #[test]

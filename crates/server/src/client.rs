@@ -65,6 +65,36 @@ impl Client {
     /// Connects to `addr` (e.g. `"127.0.0.1:7878"`).
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
         let writer = TcpStream::connect(addr)?;
+        Self::from_stream(writer)
+    }
+
+    /// [`connect`](Client::connect) with a connect deadline and socket
+    /// read/write timeouts (`io_timeout` of zero blocks forever). Every
+    /// resolved address is tried before giving up.
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        connect_timeout: std::time::Duration,
+        io_timeout: std::time::Duration,
+    ) -> Result<Self, ClientError> {
+        let mut last = None;
+        for a in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&a, connect_timeout) {
+                Ok(stream) => {
+                    if !io_timeout.is_zero() {
+                        stream.set_read_timeout(Some(io_timeout))?;
+                        stream.set_write_timeout(Some(io_timeout))?;
+                    }
+                    return Self::from_stream(stream);
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(ClientError::Io(last.unwrap_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::NotFound, "address resolved to nothing")
+        })))
+    }
+
+    fn from_stream(writer: TcpStream) -> Result<Self, ClientError> {
         writer.set_nodelay(true).ok();
         let reader = BufReader::new(writer.try_clone()?);
         Ok(Client { writer, reader })
@@ -120,7 +150,20 @@ pub struct BinaryClient {
 impl BinaryClient {
     /// Connects to `addr` and upgrades the connection with `HELLO BINARY`.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
-        let mut text = Client::connect(addr)?;
+        Self::upgrade(Client::connect(addr)?)
+    }
+
+    /// [`connect`](BinaryClient::connect) with a connect deadline and
+    /// socket read/write timeouts (see [`Client::connect_with`]).
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        connect_timeout: std::time::Duration,
+        io_timeout: std::time::Duration,
+    ) -> Result<Self, ClientError> {
+        Self::upgrade(Client::connect_with(addr, connect_timeout, io_timeout)?)
+    }
+
+    fn upgrade(mut text: Client) -> Result<Self, ClientError> {
         let ack = text.request(framing::HELLO_BINARY)?;
         if ack != [framing::HELLO_ACK] {
             return Err(ClientError::Protocol(format!(

@@ -63,6 +63,7 @@ pub mod hostile;
 pub mod ingest;
 pub mod metrics;
 pub mod protocol;
+pub mod retry;
 pub mod server;
 mod session;
 pub mod wal;
@@ -73,5 +74,6 @@ pub use framing::{BinRequest, BinResponse};
 pub use ingest::{IngestSession, SessionCheckpoint};
 pub use metrics::{CommandStats, Metrics, Protocol};
 pub use protocol::{frame_busy, frame_err, frame_ok, parse_page_into, parse_request, Request};
+pub use retry::{ResilientClient, RetryPolicy};
 pub use server::{serve, Frontend, LimitsConfig, ServerConfig, ServerHandle};
 pub use wal::{FsyncPolicy, ServerWal, WalConfig, WalRecord};

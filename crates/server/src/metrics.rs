@@ -104,6 +104,7 @@ pub struct Metrics {
     requests_text: Arc<Counter>,
     requests_binary: Arc<Counter>,
     binary_upgrades: Arc<Counter>,
+    degraded_entries: Arc<Counter>,
 }
 
 /// Which wire format a request arrived on (`HELLO BINARY` upgrades a
@@ -188,6 +189,11 @@ impl Metrics {
             binary_upgrades: registry.counter(
                 "epfis_server_binary_upgrades_total",
                 "Connections upgraded to binary framing via HELLO BINARY",
+                &[],
+            ),
+            degraded_entries: registry.counter(
+                "epfis_server_degraded_entries_total",
+                "Transitions into degraded (read-only) mode after a durability failure",
                 &[],
             ),
             registry,
@@ -317,6 +323,16 @@ impl Metrics {
     /// Binary upgrades so far.
     pub fn binary_upgrades_total(&self) -> u64 {
         self.binary_upgrades.get()
+    }
+
+    /// Marks one transition into degraded (read-only) mode.
+    pub fn degraded_entered(&self) {
+        self.degraded_entries.inc();
+    }
+
+    /// Degraded-mode transitions so far.
+    pub fn degraded_entries_total(&self) -> u64 {
+        self.degraded_entries.get()
     }
 
     /// Renders the `STATS` data lines: global counters first, then one line

@@ -94,6 +94,10 @@ pub enum Request {
     },
     /// Request counters and latency histograms.
     Stats,
+    /// Operator command: re-probe the WAL directory and catalog path after a
+    /// durability failure put the server in degraded (read-only) mode, and
+    /// resume ingest if storage is healthy again.
+    Recover,
     /// Gracefully stop the server.
     Shutdown,
     /// Upgrade this connection to binary framing v2 (`HELLO BINARY`). The
@@ -118,6 +122,7 @@ impl Request {
             Request::AnalyzeAbort => "ANALYZE_ABORT",
             Request::AnalyzeResume { .. } => "ANALYZE_RESUME",
             Request::Stats => "STATS",
+            Request::Recover => "RECOVER",
             Request::Shutdown => "SHUTDOWN",
             Request::Hello => "HELLO",
         }
@@ -137,6 +142,7 @@ impl Request {
         "ANALYZE_ABORT",
         "ANALYZE_RESUME",
         "STATS",
+        "RECOVER",
         "SHUTDOWN",
         "HELLO",
         "INVALID",
@@ -175,6 +181,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "STATS" => {
             exactly(0, 0, "STATS")?;
             Ok(Request::Stats)
+        }
+        "RECOVER" => {
+            exactly(0, 0, "RECOVER")?;
+            Ok(Request::Recover)
         }
         "SHUTDOWN" => {
             exactly(0, 0, "SHUTDOWN")?;
@@ -428,6 +438,7 @@ mod tests {
             Request::AnalyzeAbort
         );
         assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
+        assert_eq!(parse_request("RECOVER").unwrap(), Request::Recover);
         assert_eq!(parse_request("SHUTDOWN").unwrap(), Request::Shutdown);
         assert_eq!(parse_request("HELLO BINARY").unwrap(), Request::Hello);
         assert_eq!(parse_request("hello binary").unwrap(), Request::Hello);
@@ -501,6 +512,7 @@ mod tests {
             Request::AnalyzeCommit,
             Request::AnalyzeAbort,
             Request::Stats,
+            Request::Recover,
             Request::Shutdown,
             Request::Hello,
         ] {

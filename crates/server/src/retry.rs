@@ -1,0 +1,500 @@
+//! A self-healing client: timeouts, bounded backoff, automatic reconnect.
+//!
+//! [`ResilientClient`] wraps either wire format behind the retry loop a
+//! production caller would otherwise hand-roll. Every operation runs under
+//! connect/read/write timeouts; a transport failure (refused connection,
+//! timeout, mid-response hangup, `SERVER_BUSY` shed) reconnects with
+//! bounded exponential backoff and deterministic jitter, then finishes the
+//! interrupted operation:
+//!
+//! * **Idempotent requests** (`ESTIMATE`, `SHOW`, `STATS`, …) are simply
+//!   replayed on the fresh connection.
+//! * **In-flight `ANALYZE` sessions** are reattached with the server's
+//!   existing `ANALYZE RESUME`: the `refs=R` count in the resume response
+//!   tells the client whether the batch that was in flight when the
+//!   connection died had already been applied (`R` advanced past the last
+//!   acknowledged total) or must be resent (`R` unchanged) — exactly-once
+//!   feeding without any new server machinery. A `COMMIT` cut off by the
+//!   failure is re-issued after the resume; if the server reports no
+//!   resumable session, the catalog (`SHOW`) decides whether the commit
+//!   had in fact landed.
+//!
+//! Server-side rejections (`ERR …`) are never retried — the connection is
+//! still healthy and the request itself was wrong. Reattachment requires
+//! the server to run with `--wal-dir`; without one a mid-session
+//! reconnect surfaces a "session lost" error instead of silently
+//! committing partial data.
+
+use crate::client::{BinaryClient, Client, ClientError};
+use std::time::Duration;
+
+/// Timeouts and reconnect budget for a [`ResilientClient`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Reconnect attempts per operation after the initial try (0 = fail on
+    /// the first transport error, like the plain clients).
+    pub retries: u32,
+    /// TCP connect timeout per resolved address.
+    pub connect_timeout: Duration,
+    /// Socket read/write timeout; `Duration::ZERO` disables (block forever).
+    pub io_timeout: Duration,
+    /// First backoff delay; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            retries: 5,
+            connect_timeout: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(10),
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before reconnect attempt `attempt` (0-based): bounded
+    /// exponential with deterministic jitter in the upper half of the
+    /// window, so a fleet of clients restarted together does not thunder
+    /// back in lockstep yet tests stay reproducible.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let base = self.backoff_base.as_millis().max(1) as u64;
+        let cap = self.backoff_cap.as_millis().max(1) as u64;
+        let exp = base.saturating_shl(attempt.min(20)).min(cap);
+        // SplitMix64 on the attempt index: jitter without a global RNG.
+        let mut x = (attempt as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        let half = exp / 2;
+        Duration::from_millis(half + x % (exp - half + 1))
+    }
+}
+
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, shift: u32) -> u64 {
+        if shift >= self.leading_zeros() {
+            u64::MAX
+        } else {
+            self << shift
+        }
+    }
+}
+
+/// Either wire format behind one request-line interface (the binary wire
+/// carries each line in a framing-v2 TEXT frame; answers are identical).
+enum Wire {
+    Text(Client),
+    Binary(BinaryClient),
+}
+
+impl Wire {
+    fn request(&mut self, line: &str) -> Result<Vec<String>, ClientError> {
+        match self {
+            Wire::Text(c) => c.request(line),
+            Wire::Binary(c) => c.text(line),
+        }
+    }
+}
+
+/// The open `ANALYZE` session the client must reattach after a reconnect.
+struct SessionState {
+    name: String,
+    /// Total references the server has acknowledged (`fed N` / `resumed
+    /// … refs=R`); the resume arithmetic compares against this.
+    acked_refs: u64,
+}
+
+/// What a request line means for session tracking.
+enum Op {
+    Begin { name: String },
+    Page { pairs: u64 },
+    Commit,
+    Abort,
+    Resume { name: String },
+    Other,
+}
+
+impl Op {
+    fn classify(command: &str) -> Op {
+        let mut toks = command.split_whitespace();
+        let first = toks.next().unwrap_or("").to_ascii_uppercase();
+        match first.as_str() {
+            "PAGE" => Op::Page {
+                pairs: (toks.count() as u64) / 2,
+            },
+            "ANALYZE" => {
+                let second = toks.next().unwrap_or("").to_ascii_uppercase();
+                let name = toks.next().unwrap_or("").to_string();
+                match second.as_str() {
+                    "BEGIN" => Op::Begin { name },
+                    "COMMIT" => Op::Commit,
+                    "ABORT" => Op::Abort,
+                    "RESUME" => Op::Resume { name },
+                    _ => Op::Other,
+                }
+            }
+            _ => Op::Other,
+        }
+    }
+}
+
+/// How the per-attempt reattachment ended.
+enum Reattach {
+    /// No reconnect happened (or no session was open): proceed normally.
+    NotNeeded,
+    /// `ANALYZE RESUME` reattached the session; the server holds this many
+    /// references.
+    Resumed(u64),
+    /// The server has no resumable session under the tracked name.
+    SessionGone,
+}
+
+/// A line-protocol client that survives transport failures (see the
+/// module docs). Construct with [`ResilientClient::connect`], drive with
+/// [`ResilientClient::request`].
+pub struct ResilientClient {
+    addr: String,
+    policy: RetryPolicy,
+    binary: bool,
+    conn: Option<Wire>,
+    session: Option<SessionState>,
+    reconnects: u64,
+    replayed_batches: u64,
+}
+
+impl ResilientClient {
+    /// Connects to `addr` under `policy` (text wire); `binary` upgrades
+    /// every connection — including reconnects — with `HELLO BINARY`.
+    pub fn connect(addr: &str, policy: RetryPolicy, binary: bool) -> Result<Self, ClientError> {
+        let mut client = ResilientClient {
+            addr: addr.to_string(),
+            policy,
+            binary,
+            conn: None,
+            session: None,
+            reconnects: 0,
+            replayed_batches: 0,
+        };
+        // The initial connect gets the same retry budget as any operation.
+        let mut attempt = 0u32;
+        loop {
+            match client.dial() {
+                Ok(wire) => {
+                    client.conn = Some(wire);
+                    return Ok(client);
+                }
+                Err(e) if attempt >= policy.retries => return Err(e),
+                Err(_) => {
+                    std::thread::sleep(policy.backoff(attempt));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Reconnections performed so far (telemetry for tests and tools).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// `PAGE` batches resent after a reconnect found them unapplied.
+    pub fn replayed_batches(&self) -> u64 {
+        self.replayed_batches
+    }
+
+    fn dial(&mut self) -> Result<Wire, ClientError> {
+        let wire = if self.binary {
+            Wire::Binary(BinaryClient::connect_with(
+                &self.addr,
+                self.policy.connect_timeout,
+                self.policy.io_timeout,
+            )?)
+        } else {
+            Wire::Text(Client::connect_with(
+                &self.addr,
+                self.policy.connect_timeout,
+                self.policy.io_timeout,
+            )?)
+        };
+        self.reconnects += 1;
+        Ok(wire)
+    }
+
+    /// Sends one command line, reconnecting and resuming as needed, and
+    /// returns the response data lines exactly as an uninterrupted
+    /// connection would have produced them.
+    pub fn request(&mut self, command: &str) -> Result<Vec<String>, ClientError> {
+        let op = Op::classify(command);
+        let mut attempt = 0u32;
+        loop {
+            match self.attempt(command, &op) {
+                Ok(lines) => return Ok(lines),
+                // Server rejections ride a healthy connection: never retry.
+                Err(e @ ClientError::Server(_)) => return Err(e),
+                Err(e) => {
+                    self.conn = None;
+                    if attempt >= self.policy.retries {
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.policy.backoff(attempt));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// One try: ensure a connection (reattaching any open session), then
+    /// run the operation with its replay semantics.
+    fn attempt(&mut self, command: &str, op: &Op) -> Result<Vec<String>, ClientError> {
+        let reattach = self.ensure_connected()?;
+        let wire = self.conn.as_mut().expect("ensure_connected leaves a conn");
+        match op {
+            Op::Page { pairs } => {
+                if let Reattach::SessionGone = reattach {
+                    return Err(session_lost());
+                }
+                if let Reattach::Resumed(refs) = reattach {
+                    let acked = self.session.as_ref().map_or(0, |s| s.acked_refs);
+                    if refs >= acked.saturating_add(*pairs) {
+                        // The in-flight batch landed before the connection
+                        // died; do not feed it twice.
+                        if let Some(s) = &mut self.session {
+                            s.acked_refs = refs;
+                        }
+                        return Ok(vec![format!("fed {refs}")]);
+                    }
+                    self.replayed_batches += 1;
+                }
+                let lines = wire.request(command)?;
+                if let (Some(s), Some(n)) = (&mut self.session, parse_fed(&lines)) {
+                    s.acked_refs = n;
+                }
+                Ok(lines)
+            }
+            Op::Begin { name } => {
+                // Whether or not a previous try reached the server, a fresh
+                // BEGIN is safe: the server discards any parked session
+                // under the same name (the client is starting over).
+                let lines = wire.request(command)?;
+                self.session = Some(SessionState {
+                    name: name.clone(),
+                    acked_refs: 0,
+                });
+                Ok(lines)
+            }
+            Op::Resume { name } => {
+                if let Reattach::Resumed(refs) = reattach {
+                    // ensure_connected already reattached this very session.
+                    if self.session.as_ref().map(|s| s.name.as_str()) == Some(name.as_str()) {
+                        return Ok(vec![format!("resumed {name} refs={refs}")]);
+                    }
+                }
+                let lines = wire.request(command)?;
+                self.session = Some(SessionState {
+                    name: name.clone(),
+                    acked_refs: parse_resumed_refs(&lines).unwrap_or(0),
+                });
+                Ok(lines)
+            }
+            Op::Commit => {
+                if let Reattach::SessionGone = reattach {
+                    // The dying connection may have carried the COMMIT all
+                    // the way through: the catalog is the ground truth.
+                    let name = self.session.as_ref().map(|s| s.name.clone());
+                    if let Some(name) = name {
+                        if let Some(line) = self.find_committed(&name)? {
+                            self.session = None;
+                            return Ok(vec![line]);
+                        }
+                    }
+                    return Err(session_lost());
+                }
+                let result = wire.request(command);
+                match &result {
+                    Ok(_) => self.session = None,
+                    // The server consumes the session on a commit failure —
+                    // except in degraded mode, where it stays open for a
+                    // retry after RECOVER.
+                    Err(ClientError::Server(m)) if !m.starts_with("readonly") => {
+                        self.session = None
+                    }
+                    _ => {}
+                }
+                result
+            }
+            Op::Abort => {
+                if let Reattach::SessionGone = reattach {
+                    // Nothing left to abort; report what the server dropped
+                    // when the session disappeared (best effort: the refs
+                    // we had acknowledged).
+                    let (name, refs) = self
+                        .session
+                        .take()
+                        .map(|s| (s.name, s.acked_refs))
+                        .unwrap_or_default();
+                    return Ok(vec![format!("aborted {name} dropped={refs}")]);
+                }
+                let result = wire.request(command);
+                match &result {
+                    Err(ClientError::Server(m)) if m.starts_with("readonly") => {}
+                    _ => self.session = None,
+                }
+                result
+            }
+            Op::Other => wire.request(command),
+        }
+    }
+
+    /// Dials if disconnected; when a session was open, reattaches it with
+    /// `ANALYZE RESUME` before anything else runs on the new connection.
+    fn ensure_connected(&mut self) -> Result<Reattach, ClientError> {
+        if self.conn.is_some() {
+            return Ok(Reattach::NotNeeded);
+        }
+        let mut wire = self.dial()?;
+        let Some(session) = &self.session else {
+            self.conn = Some(wire);
+            return Ok(Reattach::NotNeeded);
+        };
+        match wire.request(&format!("ANALYZE RESUME {}", session.name)) {
+            Ok(lines) => {
+                let refs = parse_resumed_refs(&lines).ok_or_else(|| {
+                    ClientError::Protocol(format!("unexpected RESUME response {lines:?}"))
+                })?;
+                self.conn = Some(wire);
+                Ok(Reattach::Resumed(refs))
+            }
+            Err(ClientError::Server(m)) if m.starts_with("no recoverable session") => {
+                self.conn = Some(wire);
+                Ok(Reattach::SessionGone)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Looks `name` up in `SHOW` and, when present, reconstructs the
+    /// `committed …` line byte-for-byte from the catalog fields.
+    fn find_committed(&mut self, name: &str) -> Result<Option<String>, ClientError> {
+        let wire = self.conn.as_mut().expect("connected");
+        let lines = wire.request("SHOW")?;
+        for line in lines {
+            let mut toks = line.split_whitespace();
+            if toks.next() != Some(name) {
+                continue;
+            }
+            let mut epoch = None;
+            let (mut t, mut n, mut i, mut c) = (None, None, None, None);
+            for tok in toks {
+                if let Some((k, v)) = tok.split_once('=') {
+                    match k {
+                        "epoch" => epoch = Some(v.to_string()),
+                        "T" => t = Some(v.to_string()),
+                        "N" => n = Some(v.to_string()),
+                        "I" => i = Some(v.to_string()),
+                        "C" => c = Some(v.to_string()),
+                        _ => {}
+                    }
+                }
+            }
+            if let (Some(e), Some(t), Some(n), Some(i), Some(c)) = (epoch, t, n, i, c) {
+                return Ok(Some(format!(
+                    "committed {name} epoch={e} T={t} N={n} I={i} C={c}"
+                )));
+            }
+        }
+        Ok(None)
+    }
+}
+
+fn session_lost() -> ClientError {
+    ClientError::Server(
+        "session lost: the server has no resumable session under this name \
+         (was it started with --wal-dir?)"
+            .into(),
+    )
+}
+
+/// Parses the total from a `fed N` response line.
+fn parse_fed(lines: &[String]) -> Option<u64> {
+    lines.first()?.strip_prefix("fed ")?.parse().ok()
+}
+
+/// Parses `R` from a `resumed NAME refs=R` response line.
+fn parse_resumed_refs(lines: &[String]) -> Option<u64> {
+    lines
+        .first()?
+        .split_whitespace()
+        .find_map(|t| t.strip_prefix("refs="))?
+        .parse()
+        .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_bounded_and_grows() {
+        let p = RetryPolicy {
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            ..RetryPolicy::default()
+        };
+        let mut prev_window = 0u128;
+        for attempt in 0..12 {
+            let d = p.backoff(attempt).as_millis();
+            let window = 50u128.saturating_mul(1 << attempt.min(10)).min(2000);
+            assert!(
+                d >= window / 2,
+                "attempt {attempt}: {d}ms below half-window"
+            );
+            assert!(
+                d <= window,
+                "attempt {attempt}: {d}ms above window {window}"
+            );
+            assert!(window >= prev_window);
+            prev_window = window;
+        }
+        // Deterministic: the same attempt always sleeps the same time.
+        assert_eq!(p.backoff(3), p.backoff(3));
+    }
+
+    #[test]
+    fn op_classification_reads_command_shapes() {
+        assert!(matches!(Op::classify("PING"), Op::Other));
+        assert!(matches!(
+            Op::classify("analyze begin ix segments=4"),
+            Op::Begin { .. }
+        ));
+        match Op::classify("PAGE 1 2 3 4 5 6") {
+            Op::Page { pairs } => assert_eq!(pairs, 3),
+            _ => panic!("PAGE misclassified"),
+        }
+        assert!(matches!(Op::classify("ANALYZE COMMIT"), Op::Commit));
+        assert!(matches!(Op::classify("ANALYZE ABORT"), Op::Abort));
+        match Op::classify("ANALYZE RESUME trace.ix") {
+            Op::Resume { name } => assert_eq!(name, "trace.ix"),
+            _ => panic!("RESUME misclassified"),
+        }
+    }
+
+    #[test]
+    fn response_parsers_extract_counters() {
+        assert_eq!(parse_fed(&["fed 1234".to_string()]), Some(1234));
+        assert_eq!(parse_fed(&["nope".to_string()]), None);
+        assert_eq!(
+            parse_resumed_refs(&["resumed ix refs=77".to_string()]),
+            Some(77)
+        );
+        assert_eq!(parse_resumed_refs(&[]), None);
+    }
+}

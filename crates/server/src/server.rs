@@ -204,6 +204,11 @@ pub struct ServerConfig {
     pub wal: Option<WalConfig>,
     /// Which serving core handles connections (default: the worker pool).
     pub frontend: Frontend,
+    /// Filesystem for the durability paths (catalog persist + WAL);
+    /// `None` uses the real filesystem. `epfis serve` wires a
+    /// fault-injecting VFS here from the `EPFIS_FAULTS` environment hook
+    /// so chaos tests can script storage failures in a stock binary.
+    pub vfs: Option<std::sync::Arc<dyn epfis_faults::Vfs>>,
 }
 
 impl Default for ServerConfig {
@@ -218,6 +223,7 @@ impl Default for ServerConfig {
             logger: None,
             wal: None,
             frontend: Frontend::default(),
+            vfs: None,
         }
     }
 }
@@ -232,6 +238,49 @@ impl ServerConfig {
         } else {
             epfis_par::threads().max(4)
         }
+    }
+}
+
+/// Degraded-mode (read-only) state, shared between the serving path and
+/// the HTTP observability endpoint — the endpoint starts before the rest
+/// of the server state is assembled, so this lives in its own `Arc`.
+///
+/// A durability failure (WAL poisoning or a failed catalog persist) sets
+/// the flag; estimates keep serving from the last committed catalog while
+/// every ingest command answers `ERR readonly <cause>`. The `RECOVER`
+/// command clears it once storage probes healthy again.
+#[derive(Default)]
+pub(crate) struct HealthState {
+    degraded: AtomicBool,
+    cause: Mutex<Option<String>>,
+}
+
+impl HealthState {
+    pub(crate) fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn cause(&self) -> Option<String> {
+        self.cause.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Records the first durability failure; later ones keep the original
+    /// cause. Returns whether this call was the transition.
+    fn enter(&self, cause: &str) -> bool {
+        let mut slot = self.cause.lock().unwrap_or_else(|e| e.into_inner());
+        let first = slot.is_none();
+        if first {
+            *slot = Some(cause.to_string());
+            self.degraded.store(true, Ordering::SeqCst);
+        }
+        first
+    }
+
+    fn clear(&self) -> bool {
+        let mut slot = self.cause.lock().unwrap_or_else(|e| e.into_inner());
+        let was = slot.take().is_some();
+        self.degraded.store(false, Ordering::SeqCst);
+        was
     }
 }
 
@@ -253,11 +302,51 @@ pub(crate) struct Shared {
     /// Durable-ingestion state when the server runs with a WAL; replayed
     /// before the listener binds.
     pub(crate) wal: Option<ServerWal>,
+    /// Degraded-mode flag, shared with the `/healthz` handler.
+    pub(crate) health: Arc<HealthState>,
     pub(crate) started: Instant,
     addr: SocketAddr,
 }
 
 impl Shared {
+    /// Enters degraded (read-only) mode on the first durability failure.
+    pub(crate) fn enter_degraded(&self, cause: &str) {
+        if self.health.enter(cause) {
+            self.metrics.degraded_entered();
+            self.logger
+                .event(Level::Error, "server", "degraded")
+                .field("cause", cause)
+                .emit();
+        }
+    }
+
+    pub(crate) fn is_degraded(&self) -> bool {
+        self.health.is_degraded()
+    }
+
+    /// The `ERR readonly ...` message for ingest commands while degraded,
+    /// `None` when healthy.
+    pub(crate) fn readonly_error(&self) -> Option<String> {
+        if self.health.is_degraded() {
+            Some(format!(
+                "readonly {}",
+                self.health.cause().unwrap_or_else(|| "degraded".into())
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// After a failed WAL operation: if the writer is poisoned, the failure
+    /// was durability (not validation) — degrade.
+    pub(crate) fn note_wal_failure(&self) {
+        if let Some(wal) = &self.wal {
+            if let Some(cause) = wal.poisoned() {
+                self.enter_degraded(&format!("wal poisoned: {cause}"));
+            }
+        }
+    }
+
     pub(crate) fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // Poke the (blocking) accept loop awake so it observes the flag.
@@ -353,21 +442,28 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
         .logger
         .clone()
         .unwrap_or_else(|| Arc::new(Logger::disabled()));
-    let mut catalog = match &config.catalog_path {
-        Some(p) => SharedCatalog::open(p)?,
-        None => SharedCatalog::in_memory(),
+    let mut catalog = match (&config.catalog_path, &config.vfs) {
+        (Some(p), Some(vfs)) => SharedCatalog::open_with_vfs(p, Arc::clone(vfs))?,
+        (Some(p), None) => SharedCatalog::open(p)?,
+        (None, _) => SharedCatalog::in_memory(),
     };
     catalog.set_logger(Arc::clone(&logger));
     let catalog = Arc::new(catalog);
     // Replay the WAL (if any) before the listener binds: a client can
     // never observe a half-recovered catalog or race a parked session.
     let wal = match &config.wal {
-        Some(wal_config) => Some(ServerWal::open(
-            wal_config,
-            &catalog,
-            config.epfis_config,
-            &logger,
-        )?),
+        Some(wal_config) => {
+            let mut wal_config = wal_config.clone();
+            if let Some(vfs) = &config.vfs {
+                wal_config.vfs = Arc::clone(vfs);
+            }
+            Some(ServerWal::open(
+                &wal_config,
+                &catalog,
+                config.epfis_config,
+                &logger,
+            )?)
+        }
         None => None,
     };
     let workers_n = config.effective_workers();
@@ -397,11 +493,29 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
         &[],
         move || cat.snapshot().len() as f64,
     );
+    let health = Arc::new(HealthState::default());
+    {
+        let h = Arc::clone(&health);
+        registry.gauge_fn(
+            "epfis_server_degraded",
+            "1 while a durability failure has the server in read-only degraded mode",
+            &[],
+            move || h.is_degraded() as u64 as f64,
+        );
+        let cat = Arc::clone(&catalog);
+        registry.gauge_fn(
+            "epfis_server_catalog_persist_failures_total",
+            "Catalog commits whose atomic persist failed (old version kept serving)",
+            &[],
+            move || cat.persist_failures() as f64,
+        );
+    }
     let metrics_http = match &config.metrics_addr {
         Some(metrics_addr) => Some(start_metrics_endpoint(
             metrics_addr,
             Arc::clone(&registry),
             Arc::clone(&logger),
+            Arc::clone(&health),
         )?),
         None => None,
     };
@@ -427,6 +541,7 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
         admitted: AtomicUsize::new(0),
         max_connections,
         wal,
+        health,
         started,
         addr,
     });
@@ -521,12 +636,14 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
 
 /// Starts the HTTP observability endpoint: `/metrics` renders the
 /// per-server registry followed by the process-global one (buffer pool,
-/// analyzer), `/healthz` answers a JSON liveness probe, and `/events?n=K`
-/// serves the logger's most recent ring-buffer events as JSON lines.
+/// analyzer), `/healthz` answers a JSON liveness probe (503 with the cause
+/// while the server is degraded), and `/events?n=K` serves the logger's
+/// most recent ring-buffer events as JSON lines.
 fn start_metrics_endpoint(
     addr: &str,
     registry: Arc<Registry>,
     logger: Arc<Logger>,
+    health: Arc<HealthState>,
 ) -> std::io::Result<HttpServer> {
     // Pre-register the process-global families so every scrape sees them
     // (at zero) even before the first buffer-pool access or ANALYZE
@@ -550,10 +667,28 @@ fn start_metrics_endpoint(
                         body,
                     ))
                 }
-                "/healthz" => Some(Response::ok(
-                    "application/json; charset=utf-8",
-                    "{\"status\":\"ok\"}\n".to_string(),
-                )),
+                "/healthz" => {
+                    // Liveness vs serviceability: a degraded server still
+                    // answers (estimates keep serving) but reports 503 so
+                    // orchestrators and operators see the durability loss.
+                    if health.is_degraded() {
+                        let cause = health
+                            .cause()
+                            .unwrap_or_default()
+                            .replace('\\', "\\\\")
+                            .replace('"', "\\\"");
+                        Some(Response {
+                            status: 503,
+                            content_type: "application/json; charset=utf-8",
+                            body: format!("{{\"status\":\"degraded\",\"cause\":\"{cause}\"}}\n"),
+                        })
+                    } else {
+                        Some(Response::ok(
+                            "application/json; charset=utf-8",
+                            "{\"status\":\"ok\"}\n".to_string(),
+                        ))
+                    }
+                }
                 "/events" => {
                     let n = query
                         .split('&')
@@ -771,6 +906,7 @@ pub(crate) fn finish_connection(shared: &Shared, session: Option<OpenSession>) {
             let name = open.inner.name().to_string();
             let refs = open.inner.records();
             if let Err(e) = wal.park(open.inner, open.wal_id) {
+                shared.note_wal_failure();
                 shared
                     .logger
                     .event(Level::Warn, "server", "session_park_failed")
@@ -811,6 +947,11 @@ pub(crate) fn apply_page_batch(
     batch_len: usize,
     pairs: impl Iterator<Item = (i64, u32)> + Clone,
 ) -> Result<u64, String> {
+    // Degraded mode is read-only: reject before touching the session so a
+    // client can never grow state the server cannot make durable.
+    if let Some(e) = shared.readonly_error() {
+        return Err(e);
+    }
     let open = session
         .as_mut()
         .ok_or("no open session (send ANALYZE BEGIN first)")?;
@@ -829,15 +970,20 @@ pub(crate) fn apply_page_batch(
         Some(wal) => {
             open.inner.check_batch_iter(pairs.clone())?;
             wal.append_page(open.wal_id, batch_len, pairs.clone())
-                .map_err(|e| format!("wal append failed: {e}"))?;
+                .map_err(|e| {
+                    shared.note_wal_failure();
+                    format!("wal append failed: {e}")
+                })?;
             open.inner.feed_batch_unchecked_iter(pairs);
             // Periodic analyzer checkpoint: bounds replay to one interval
             // of PAGE records per in-flight session.
             if open.inner.records().saturating_sub(open.checkpointed_refs) >= wal.checkpoint_refs()
             {
                 let cp = open.inner.checkpoint();
-                wal.append_checkpoint(open.wal_id, &cp)
-                    .map_err(|e| format!("wal append failed: {e}"))?;
+                wal.append_checkpoint(open.wal_id, &cp).map_err(|e| {
+                    shared.note_wal_failure();
+                    format!("wal append failed: {e}")
+                })?;
                 open.checkpointed_refs = open.inner.records();
             }
         }
@@ -994,6 +1140,9 @@ pub(crate) fn execute(
             segments,
             table_pages,
         } => {
+            if let Some(e) = shared.readonly_error() {
+                return Err(e);
+            }
             if let Some(open) = session {
                 return Err(format!(
                     "a session for {:?} is already open on this connection \
@@ -1018,10 +1167,14 @@ pub(crate) fn execute(
                 Some(wal) => {
                     // A fresh BEGIN supersedes any parked session under the
                     // same name: the client is starting over.
-                    wal.discard_parked(&name)
-                        .map_err(|e| format!("wal append failed: {e}"))?;
-                    wal.begin(&name, segments, table_pages)
-                        .map_err(|e| format!("wal append failed: {e}"))?
+                    wal.discard_parked(&name).map_err(|e| {
+                        shared.note_wal_failure();
+                        format!("wal append failed: {e}")
+                    })?;
+                    wal.begin(&name, segments, table_pages).map_err(|e| {
+                        shared.note_wal_failure();
+                        format!("wal append failed: {e}")
+                    })?
                 }
                 None => 0,
             };
@@ -1045,6 +1198,12 @@ pub(crate) fn execute(
             Ok(vec![format!("fed {n}")])
         }
         Request::AnalyzeCommit => {
+            // Checked before taking the session: a degraded-mode COMMIT
+            // leaves the session open, so the client can RECOVER (or wait
+            // for an operator to) and then commit the same session.
+            if let Some(e) = shared.readonly_error() {
+                return Err(e);
+            }
             let open = session
                 .take()
                 .ok_or("no open session (send ANALYZE BEGIN first)")?;
@@ -1093,12 +1252,29 @@ pub(crate) fn execute(
                             Some(commit_seq),
                         )
                     })
-                    .map_err(|e| format!("commit failed: {e}"))?
+                    .map_err(|e| {
+                        // The failure may be the COMMIT record (WAL
+                        // poisoned) or the catalog save; either is a
+                        // durability loss — degrade so no later ingest can
+                        // be acknowledged against broken storage.
+                        shared.note_wal_failure();
+                        let msg = e.to_string();
+                        if msg.contains("catalog persist failed") {
+                            shared.enter_degraded(&msg);
+                        }
+                        format!("commit failed: {e}")
+                    })?
                 }
                 None => shared
                     .catalog
                     .commit(&name, stats, Some(Arc::new(summary)))
-                    .map_err(|e| format!("commit failed: {e}"))?,
+                    .map_err(|e| {
+                        let msg = e.to_string();
+                        if msg.contains("catalog persist failed") {
+                            shared.enter_degraded(&msg);
+                        }
+                        format!("commit failed: {e}")
+                    })?,
             };
             Ok(vec![format!(
                 "committed {name} epoch={epoch} T={t} N={n} I={i} C={c}"
@@ -1111,9 +1287,20 @@ pub(crate) fn execute(
             epfis_obs::wellknown::analyzer().active_sessions.sub(1);
             let wal_id = open.wal_id;
             let (name, dropped) = open.inner.abort();
+            // ABORT stays allowed in degraded mode: it only discards
+            // in-memory state and makes no durability claim, so the ABORT
+            // record is best-effort. A failed append degrades the server
+            // (if it wasn't already) but the abort itself still succeeds.
             if let Some(wal) = &shared.wal {
-                wal.abort_session(wal_id)
-                    .map_err(|e| format!("wal append failed: {e}"))?;
+                if let Err(e) = wal.abort_session(wal_id) {
+                    shared.note_wal_failure();
+                    shared
+                        .logger
+                        .event(Level::Warn, "server", "abort_record_failed")
+                        .field("entry", name.as_str())
+                        .field("error", e.to_string())
+                        .emit();
+                }
             }
             shared
                 .logger
@@ -1124,6 +1311,9 @@ pub(crate) fn execute(
             Ok(vec![format!("aborted {name} dropped={dropped}")])
         }
         Request::AnalyzeResume { name } => {
+            if let Some(e) = shared.readonly_error() {
+                return Err(e);
+            }
             let wal = shared
                 .wal
                 .as_ref()
@@ -1153,14 +1343,49 @@ pub(crate) fn execute(
             });
             Ok(vec![format!("resumed {name} refs={refs}")])
         }
+        Request::Recover => {
+            // Operator recovery: probe both durability paths before
+            // clearing the flag — a RECOVER against still-broken storage
+            // must fail and leave the server degraded.
+            let mut lines = Vec::new();
+            if let Some(wal) = &shared.wal {
+                let truncated = wal
+                    .recover()
+                    .map_err(|e| format!("recover failed: wal still unhealthy: {e}"))?;
+                lines.push(format!("wal healed truncated_bytes={truncated}"));
+            }
+            shared
+                .catalog
+                .probe_persist()
+                .map_err(|e| format!("recover failed: {e}"))?;
+            lines.push("catalog ok".to_string());
+            let was_degraded = shared.health.clear();
+            shared
+                .logger
+                .event(Level::Info, "server", "recovered")
+                .field("was_degraded", was_degraded)
+                .emit();
+            lines.push(format!("recovered was_degraded={}", was_degraded as u8));
+            Ok(lines)
+        }
         Request::Stats => {
             let snap = shared.catalog.snapshot();
             let mut lines =
                 shared
                     .metrics
                     .render(shared.started.elapsed().as_secs(), snap.epoch(), snap.len());
+            lines.push(format!("degraded {}", shared.is_degraded() as u8));
+            lines.push(format!(
+                "degraded_entries {}",
+                shared.metrics.degraded_entries_total()
+            ));
+            lines.push(format!(
+                "catalog_persist_failures {}",
+                shared.catalog.persist_failures()
+            ));
             if let Some(wal) = &shared.wal {
                 let w = epfis_obs::wellknown::wal();
+                lines.push(format!("wal_poisoned {}", wal.poisoned().is_some() as u8));
                 lines.push(format!("wal_appends_total {}", w.appends.get()));
                 lines.push(format!("wal_bytes_total {}", w.bytes.get()));
                 lines.push(format!("wal_fsyncs_total {}", w.fsyncs.get()));

@@ -49,14 +49,14 @@
 use std::collections::HashMap;
 use std::io;
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use epfis::EpfisConfig;
 use epfis_lrusim::AnalyzerSnapshot;
 use epfis_obs::{Level, Logger};
 pub use epfis_wal::FsyncPolicy;
-use epfis_wal::{Wal, WalOptions};
+use epfis_wal::{StdVfs, Vfs, Wal, WalOptions};
 
 use crate::catalog::SharedCatalog;
 use crate::ingest::{IngestSession, SessionCheckpoint};
@@ -79,17 +79,22 @@ pub struct WalConfig {
     /// References between analyzer checkpoints: replay re-feeds at most
     /// this many `PAGE` references per in-flight session.
     pub checkpoint_refs: u64,
+    /// The filesystem the log talks to; the passthrough `StdVfs` in
+    /// production, a scripted `FaultVfs` under chaos tests (or the
+    /// `EPFIS_FAULTS` env hook in `epfis serve`).
+    pub vfs: Arc<dyn Vfs>,
 }
 
 impl WalConfig {
     /// Defaults for everything but the directory: batch fsync, 64 MiB
-    /// segments, a checkpoint every 1 M references.
+    /// segments, a checkpoint every 1 M references, the real filesystem.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         WalConfig {
             dir: dir.into(),
             fsync: FsyncPolicy::Batch,
             segment_bytes: 64 << 20,
             checkpoint_refs: 1 << 20,
+            vfs: StdVfs::shared(),
         }
     }
 
@@ -571,6 +576,7 @@ impl ServerWal {
             dir: config.dir.clone(),
             fsync: config.fsync,
             segment_bytes: config.segment_bytes,
+            vfs: Arc::clone(&config.vfs),
         };
         let (wal, replay) = Wal::open(opts)?;
         let watermark = catalog.snapshot().wal_committed();
@@ -937,6 +943,24 @@ impl ServerWal {
         let mut names: Vec<String> = state.parked.keys().cloned().collect();
         names.sort();
         names
+    }
+
+    /// The first durability failure that poisoned the log, if any. While
+    /// poisoned every ingest operation fails fast; serving reads is
+    /// unaffected.
+    pub fn poisoned(&self) -> Option<String> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.wal.poisoned()
+    }
+
+    /// Operator-driven recovery (`RECOVER`): re-probes the log directory —
+    /// truncating whatever torn tail the failed operation left, reopening
+    /// the tail segment, and forcing a real fdatasync. On success ingest
+    /// may resume; the records acknowledged before the failure are intact.
+    /// Returns the torn bytes discarded. A no-op returning 0 when healthy.
+    pub fn recover(&self) -> io::Result<u64> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.wal.heal()
     }
 
     /// Releases one attached session; when nothing is attached or parked

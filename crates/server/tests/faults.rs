@@ -1,0 +1,610 @@
+//! Storage-fault acceptance tests: degraded-mode serving, operator
+//! recovery, and the self-healing client.
+//!
+//! The contract under test (docs/durability.md, "Degraded mode"):
+//!
+//! * a durability failure anywhere in the WAL or catalog-persist path may
+//!   fail the request that hit it, but must never acknowledge an
+//!   unpersisted commit, never tear the on-disk catalog, and never stop
+//!   the read path — estimates keep serving from the last committed
+//!   version while every ingest command answers `ERR readonly <cause>`;
+//! * the fault-at-every-call-site sweep proves this exhaustively: it
+//!   counts the fault-eligible VFS operations a reference run performs,
+//!   then re-runs the same script failing each operation in turn;
+//! * `RECOVER` re-probes the storage and resumes ingest once it heals;
+//! * a [`ResilientClient`] survives a server restart mid-session and
+//!   commits bit-identically to an uninterrupted run.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use epfis::EpfisConfig;
+use epfis_faults::{FaultKind, FaultVfs, OpKind, Rule, Vfs};
+use epfis_server::{
+    serve, Client, FsyncPolicy, ResilientClient, RetryPolicy, ServerConfig, SharedCatalog,
+    VersionedCatalog, WalConfig,
+};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "epfis-faults-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A small deterministic scan: `n` references over `t` table pages.
+fn scan_pairs(n: u32, t: u32) -> Vec<(i64, u32)> {
+    (0..n)
+        .map(|i| ((i / 3) as i64, i.wrapping_mul(2654435761) % t))
+        .collect()
+}
+
+fn page_line(chunk: &[(i64, u32)]) -> String {
+    let mut line = String::from("PAGE");
+    for (k, p) in chunk {
+        line.push_str(&format!(" {k} {p}"));
+    }
+    line
+}
+
+/// Seeds `path` with a one-entry catalog (fixed timestamp, so the bytes
+/// are reproducible) and returns the persisted bytes.
+fn seed_catalog(path: &Path) -> Vec<u8> {
+    let catalog = SharedCatalog::open(path).unwrap();
+    let mut s = epfis_server::IngestSession::new("base".into(), EpfisConfig::default(), Some(30));
+    for (k, p) in scan_pairs(240, 30) {
+        s.feed(k, p).unwrap();
+    }
+    let (stats, summary) = s.commit().unwrap();
+    catalog
+        .commit_analyzed("base", stats, Some(Arc::new(summary)), 100, None)
+        .unwrap();
+    std::fs::read(path).unwrap()
+}
+
+/// Parses the on-disk catalog, panicking if it is torn, and returns its
+/// entry names.
+fn catalog_entries(path: &Path, context: &str) -> Vec<String> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("{context}: catalog unreadable: {e}"));
+    let catalog = VersionedCatalog::from_text_checksummed(&text)
+        .unwrap_or_else(|e| panic!("{context}: catalog torn: {e}"));
+    catalog.iter().map(|(name, _)| name.to_string()).collect()
+}
+
+fn stat_value(lines: &[String], key: &str) -> Option<u64> {
+    lines
+        .iter()
+        .find_map(|l| l.strip_prefix(&format!("{key} ")))
+        .and_then(|v| v.parse().ok())
+}
+
+/// What one scripted run against a (possibly faulty) server observed.
+struct RunOutcome {
+    /// The server failed to start at all.
+    start_failed: bool,
+    /// The `committed …` acknowledgment, if the commit was acknowledged.
+    commit_ack: Option<String>,
+    /// `STATS degraded` at the end of the script.
+    degraded: bool,
+}
+
+/// Runs the reference ingest script against a server whose durability
+/// paths go through `vfs`: one ANALYZE session in three PAGE batches plus
+/// a commit, with read-path and degraded-mode assertions along the way.
+fn run_script(root: &Path, pre_bytes: &[u8], vfs: Arc<dyn Vfs>, context: &str) -> RunOutcome {
+    std::fs::create_dir_all(root).unwrap();
+    let cat_path = root.join("catalog.scat");
+    std::fs::write(&cat_path, pre_bytes).unwrap();
+    let wal_dir = root.join("wal");
+    let _ = std::fs::remove_dir_all(&wal_dir);
+
+    let mut wal_cfg = WalConfig::new(&wal_dir);
+    // Deterministic op sequence: every milestone syncs inline, no
+    // background flusher racing the schedule's op counter.
+    wal_cfg.fsync = FsyncPolicy::Always;
+    let server = match serve(ServerConfig {
+        catalog_path: Some(cat_path.clone()),
+        wal: Some(wal_cfg),
+        workers: 1,
+        vfs: Some(vfs),
+        ..ServerConfig::default()
+    }) {
+        Ok(s) => s,
+        Err(_) => {
+            // Startup hit the fault. Failing fast is a legal outcome, but
+            // the catalog must still be exactly the old version.
+            assert_eq!(
+                std::fs::read(&cat_path).unwrap(),
+                pre_bytes,
+                "{context}: startup failure must not touch the catalog"
+            );
+            return RunOutcome {
+                start_failed: true,
+                commit_ack: None,
+                degraded: false,
+            };
+        }
+    };
+    let mut c = Client::connect(server.addr()).unwrap();
+    let pairs = scan_pairs(180, 40);
+    let mut commit_ack = None;
+    let mut failed = false;
+    if c.request("ANALYZE BEGIN ix.f table_pages=40").is_ok() {
+        for chunk in pairs.chunks(60) {
+            if c.request(&page_line(chunk)).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        if !failed {
+            match c.request("ANALYZE COMMIT") {
+                Ok(lines) => commit_ack = Some(lines[0].clone()),
+                Err(_) => failed = true,
+            }
+        }
+    } else {
+        failed = true;
+    }
+    let _ = failed;
+
+    // The read path must survive every fault: the pre-seeded entry keeps
+    // serving no matter what the ingest side hit.
+    let est = c
+        .request("ESTIMATE base 0.5 10")
+        .unwrap_or_else(|e| panic!("{context}: read path died: {e}"));
+    assert!(!est.is_empty(), "{context}: empty estimate");
+
+    let stats = c.request("STATS").unwrap();
+    let degraded = stat_value(&stats, "degraded") == Some(1);
+    if degraded {
+        // Degraded mode must reject every ingest entry point with the
+        // distinct readonly error — never accept silently.
+        let err = c
+            .request("ANALYZE BEGIN other")
+            .expect_err(&format!("{context}: degraded server accepted ingest"));
+        assert!(
+            err.to_string().contains("readonly"),
+            "{context}: wrong degraded rejection: {err}"
+        );
+    }
+    drop(c);
+    server.shutdown_and_join();
+    RunOutcome {
+        start_failed: false,
+        commit_ack,
+        degraded,
+    }
+}
+
+/// The exhaustive sweep: fail the i-th fault-eligible VFS operation for
+/// every i the reference run performs, and assert the commit is either
+/// exactly committed or cleanly absent — old-or-new, acknowledged only if
+/// persisted, reads always serving.
+#[test]
+fn fault_at_every_call_site_is_old_or_new() {
+    let root = temp_dir("sweep");
+    let pre_bytes = seed_catalog(&root.join("seed.scat"));
+
+    // Counting pass: a disarmed schedule tallies the fault-eligible ops
+    // the clean run performs.
+    let counter = FaultVfs::new();
+    counter.schedule().set_armed(false);
+    let clean = run_script(
+        &root.join("clean"),
+        &pre_bytes,
+        counter.clone().shared(),
+        "counting pass",
+    );
+    let ops = counter.schedule().ops();
+    assert!(clean.commit_ack.is_some(), "clean run must commit");
+    assert!(!clean.degraded, "clean run must not degrade");
+    assert!(ops > 20, "suspiciously few fault-eligible ops: {ops}");
+
+    for i in 0..ops {
+        let fv = FaultVfs::new();
+        fv.schedule().push(Rule::new(FaultKind::Enospc).at_index(i));
+        let iter_root = root.join(format!("op-{i}"));
+        std::fs::create_dir_all(&iter_root).unwrap();
+        let context = format!("fault at op {i}/{ops}");
+        let outcome = run_script(&iter_root, &pre_bytes, fv.clone().shared(), &context);
+
+        let entries = catalog_entries(&iter_root.join("catalog.scat"), &context);
+        let old = entries == ["base"];
+        let new = entries == ["base", "ix.f"];
+        assert!(
+            old || new,
+            "{context}: catalog is neither old nor new: {entries:?}"
+        );
+        if outcome.commit_ack.is_some() {
+            // Never acknowledge an unpersisted commit.
+            assert!(
+                new,
+                "{context}: commit acknowledged but the catalog lacks the entry"
+            );
+        }
+        if outcome.start_failed {
+            assert!(old, "{context}: startup failure must leave the old catalog");
+        }
+        let _ = std::fs::remove_dir_all(&iter_root);
+    }
+}
+
+/// End-to-end degraded mode over TCP: poison the WAL mid-session, verify
+/// reads serve / ingest rejects / telemetry reports, heal the disk, and
+/// RECOVER back to full service.
+#[test]
+fn degraded_mode_serves_reads_and_recover_restores_ingest() {
+    let root = temp_dir("degraded");
+    let cat_path = root.join("catalog.scat");
+    seed_catalog(&cat_path);
+    let fv = FaultVfs::new();
+    let mut wal_cfg = WalConfig::new(root.join("wal"));
+    wal_cfg.fsync = FsyncPolicy::Always;
+    let server = serve(ServerConfig {
+        catalog_path: Some(cat_path.clone()),
+        wal: Some(wal_cfg),
+        metrics_addr: Some("127.0.0.1:0".into()),
+        vfs: Some(fv.clone().shared()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let metrics_addr = server.metrics_addr().unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+
+    assert_eq!(http_status(metrics_addr, "/healthz"), 200);
+
+    c.request("ANALYZE BEGIN ix.bad table_pages=40").unwrap();
+    // Disk goes bad: every fsync fails from here on.
+    fv.schedule()
+        .push(Rule::new(FaultKind::Eio).on_op(OpKind::SyncData));
+    let pairs = scan_pairs(60, 40);
+    let err = c
+        .request(&page_line(&pairs))
+        .expect_err("append on a failing disk must error");
+    assert!(err.to_string().contains("wal append failed"), "{err}");
+
+    // Degraded: reads serve, ingest rejects with the distinct error,
+    // telemetry reports on every surface.
+    let est_before = c.request("ESTIMATE base 0.5 10").unwrap();
+    let stats = c.request("STATS").unwrap();
+    assert_eq!(stat_value(&stats, "degraded"), Some(1));
+    assert_eq!(stat_value(&stats, "wal_poisoned"), Some(1));
+    assert_eq!(http_status(metrics_addr, "/healthz"), 503);
+    let body = http_body(metrics_addr, "/healthz");
+    assert!(body.contains("\"status\":\"degraded\""), "{body}");
+    let metrics = http_body(metrics_addr, "/metrics");
+    assert!(
+        metrics.contains("epfis_server_degraded 1"),
+        "degraded gauge missing"
+    );
+    for cmd in [
+        "ANALYZE BEGIN other",
+        "PAGE 1 2",
+        "ANALYZE COMMIT",
+        "ANALYZE RESUME ix.bad",
+    ] {
+        let err = c
+            .request(cmd)
+            .expect_err("ingest must reject while degraded");
+        assert!(
+            err.to_string().contains("readonly"),
+            "{cmd}: wrong rejection: {err}"
+        );
+    }
+    // ABORT only discards in-memory state and stays allowed.
+    assert!(c.request("ANALYZE ABORT").is_ok());
+
+    // RECOVER against a still-bad disk must fail and stay degraded.
+    let err = c.request("RECOVER").expect_err("disk is still bad");
+    assert!(err.to_string().contains("recover failed"), "{err}");
+    assert_eq!(
+        stat_value(&c.request("STATS").unwrap(), "degraded"),
+        Some(1)
+    );
+
+    // The disk heals; RECOVER re-probes and resumes full service.
+    fv.schedule().heal();
+    let lines = c.request("RECOVER").unwrap();
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.starts_with("recovered was_degraded=1")),
+        "{lines:?}"
+    );
+    assert_eq!(http_status(metrics_addr, "/healthz"), 200);
+    assert_eq!(
+        stat_value(&c.request("STATS").unwrap(), "degraded"),
+        Some(0)
+    );
+    c.request("ANALYZE BEGIN ix.good table_pages=40").unwrap();
+    for chunk in scan_pairs(180, 40).chunks(60) {
+        c.request(&page_line(chunk)).unwrap();
+    }
+    let commit = c.request("ANALYZE COMMIT").unwrap();
+    assert!(commit[0].starts_with("committed ix.good"), "{commit:?}");
+    let est_after = c.request("ESTIMATE base 0.5 10").unwrap();
+    assert_eq!(
+        est_before, est_after,
+        "base entry changed across the outage"
+    );
+
+    drop(c);
+    server.shutdown_and_join();
+    assert!(catalog_entries(&cat_path, "final").contains(&"ix.good".to_string()));
+}
+
+/// A failed catalog persist (WAL healthy) also degrades: the commit errors,
+/// the old on-disk catalog survives byte-identical, and RECOVER restores
+/// service without touching the WAL.
+#[test]
+fn catalog_persist_failure_degrades_and_recovers() {
+    let root = temp_dir("catpersist");
+    let cat_path = root.join("catalog.scat");
+    let pre_bytes = seed_catalog(&cat_path);
+    let fv = FaultVfs::new();
+    let server = serve(ServerConfig {
+        catalog_path: Some(cat_path.clone()),
+        vfs: Some(fv.clone().shared()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+
+    // Only the catalog path is faulted (no WAL in this config): fail the
+    // atomic-save rename.
+    fv.schedule()
+        .push(Rule::new(FaultKind::Enospc).on_op(OpKind::Rename));
+    c.request("ANALYZE BEGIN ix.c table_pages=40").unwrap();
+    for chunk in scan_pairs(120, 40).chunks(60) {
+        c.request(&page_line(chunk)).unwrap();
+    }
+    let err = c.request("ANALYZE COMMIT").expect_err("persist must fail");
+    assert!(
+        err.to_string().contains("catalog persist failed"),
+        "not the distinct error: {err}"
+    );
+    assert_eq!(
+        std::fs::read(&cat_path).unwrap(),
+        pre_bytes,
+        "old catalog must survive byte-identical"
+    );
+    let stats = c.request("STATS").unwrap();
+    assert_eq!(stat_value(&stats, "degraded"), Some(1));
+    assert!(stat_value(&stats, "catalog_persist_failures").unwrap() >= 1);
+    // Reads still serve the old snapshot.
+    c.request("ESTIMATE base 0.5 10").unwrap();
+
+    fv.schedule().heal();
+    c.request("RECOVER").unwrap();
+    c.request("ANALYZE BEGIN ix.c table_pages=40").unwrap();
+    for chunk in scan_pairs(120, 40).chunks(60) {
+        c.request(&page_line(chunk)).unwrap();
+    }
+    let commit = c.request("ANALYZE COMMIT").unwrap();
+    assert!(commit[0].starts_with("committed ix.c"), "{commit:?}");
+
+    drop(c);
+    server.shutdown_and_join();
+}
+
+/// The self-healing client: the server is stopped and restarted (same WAL
+/// dir, same port) in the middle of a streamed session; the client
+/// reconnects with backoff, reattaches via ANALYZE RESUME, and the final
+/// commit plus six follow-up estimates are bit-identical to a clean
+/// uninterrupted run.
+#[test]
+fn resilient_client_survives_server_restart_bit_identically() {
+    let root = temp_dir("resilient");
+    let cat_path = root.join("catalog.scat");
+    let wal_dir = root.join("wal");
+    let pairs = scan_pairs(3000, 150);
+    let queries = [
+        "ESTIMATE ix.r 0.001 1",
+        "ESTIMATE ix.r 0.1 25",
+        "ESTIMATE ix.r 0.5 75",
+        "ESTIMATE ix.r 1.0 150",
+        "ESTIMATE ix.r 0.333 60 0.333",
+        "ESTIMATE ix.r 1.0 400 0.9",
+    ];
+
+    // Reference: the same scan through a clean in-memory server.
+    let clean_commit_line;
+    let clean_estimates: Vec<String>;
+    {
+        let server = serve(ServerConfig::default()).unwrap();
+        let mut c = Client::connect(server.addr()).unwrap();
+        c.request("ANALYZE BEGIN ix.r table_pages=150").unwrap();
+        for chunk in pairs.chunks(100) {
+            c.request(&page_line(chunk)).unwrap();
+        }
+        clean_commit_line = c.request("ANALYZE COMMIT").unwrap()[0].clone();
+        clean_estimates = queries
+            .iter()
+            .map(|q| c.request(q).unwrap()[0].clone())
+            .collect();
+    }
+
+    // A fixed port so the restarted server is reachable at the same
+    // address the client retries against.
+    let port = {
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        probe.local_addr().unwrap().port()
+    };
+    let addr = format!("127.0.0.1:{port}");
+    let config = || ServerConfig {
+        addr: addr.clone(),
+        catalog_path: Some(cat_path.clone()),
+        wal: Some(WalConfig::new(&wal_dir)),
+        ..ServerConfig::default()
+    };
+
+    let server = serve(config()).unwrap();
+    let policy = RetryPolicy {
+        retries: 40,
+        backoff_base: Duration::from_millis(20),
+        backoff_cap: Duration::from_millis(200),
+        ..RetryPolicy::default()
+    };
+    let mut rc = ResilientClient::connect(&addr, policy, false).unwrap();
+    rc.request("ANALYZE BEGIN ix.r table_pages=150").unwrap();
+    for chunk in pairs[..1500].chunks(100) {
+        rc.request(&page_line(chunk)).unwrap();
+    }
+
+    // The server goes away mid-session and comes back on the same WAL.
+    server.shutdown_and_join();
+    let server = serve(config()).unwrap();
+
+    // The client notices the dead connection on its next request,
+    // reconnects, reattaches via ANALYZE RESUME, and keeps streaming.
+    for chunk in pairs[1500..].chunks(100) {
+        rc.request(&page_line(chunk)).unwrap();
+    }
+    let commit_line = rc.request("ANALYZE COMMIT").unwrap()[0].clone();
+    assert_eq!(
+        commit_line, clean_commit_line,
+        "recovered commit must be bit-identical to the uninterrupted run"
+    );
+    let mut estimates = Vec::new();
+    for q in &queries {
+        estimates.push(rc.request(q).unwrap()[0].clone());
+    }
+    assert_eq!(
+        estimates, clean_estimates,
+        "estimates diverged after restart"
+    );
+    assert!(
+        rc.reconnects() >= 1,
+        "client must actually have reconnected (got {})",
+        rc.reconnects()
+    );
+    server.shutdown_and_join();
+}
+
+mod random_schedules {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Builds one catalog commit's worth of statistics deterministically.
+    fn analyzed(name: &str, salt: u32) -> epfis_server::IngestSession {
+        let mut s =
+            epfis_server::IngestSession::new(name.to_string(), EpfisConfig::default(), Some(30));
+        for (k, p) in scan_pairs(200 + salt % 7, 30) {
+            s.feed(k, p).unwrap();
+        }
+        s
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Random fault schedules against the catalog persist path: no
+        /// schedule may tear the on-disk catalog, and every acknowledged
+        /// commit must be on disk. After the disk heals, service resumes.
+        #[test]
+        fn random_fault_schedules_never_tear_the_catalog(
+            rules in prop::collection::vec(
+                (0u8..3, 0u8..8, 0u64..40, 1u64..3, any::<bool>()),
+                0..4,
+            ),
+        ) {
+            let root = temp_dir("prop");
+            let cat_path = root.join("catalog.scat");
+            let fv = FaultVfs::new();
+            fv.schedule().set_armed(false);
+            let catalog =
+                SharedCatalog::open_with_vfs(&cat_path, fv.clone().shared()).unwrap();
+            for (kind_sel, op_sel, at, times, bounded) in &rules {
+                let kind = match kind_sel {
+                    0 => FaultKind::Enospc,
+                    1 => FaultKind::Eio,
+                    _ => FaultKind::ShortWrite(3),
+                };
+                let mut rule = Rule::new(kind)
+                    .on_op(OpKind::ALL[*op_sel as usize])
+                    .after_index(*at);
+                if *bounded {
+                    rule = rule.times(*times);
+                }
+                fv.schedule().push(rule);
+            }
+            fv.schedule().set_armed(true);
+
+            let names = ["e0", "e1", "e2"];
+            let mut acked: Vec<&str> = Vec::new();
+            for (i, name) in names.iter().enumerate() {
+                let (stats, summary) = analyzed(name, i as u32).commit().unwrap();
+                if catalog
+                    .commit_analyzed(name, stats, Some(Arc::new(summary)), 100 + i as u64, None)
+                    .is_ok()
+                {
+                    acked.push(name);
+                }
+                // Old-or-new after every attempt: if the file exists it
+                // parses, and every acknowledged commit is in it.
+                if cat_path.exists() {
+                    let on_disk = catalog_entries(&cat_path, "prop");
+                    for a in &acked {
+                        prop_assert!(
+                            on_disk.iter().any(|e| e == a),
+                            "acked {a} missing from disk: {on_disk:?}"
+                        );
+                    }
+                } else {
+                    prop_assert!(acked.is_empty(), "acked {acked:?} but no catalog file");
+                }
+            }
+
+            // Heal and resume: the probe plus one more commit must succeed,
+            // and the final file holds everything acknowledged.
+            fv.schedule().heal();
+            catalog.probe_persist().unwrap();
+            let (stats, summary) = analyzed("final", 9).commit().unwrap();
+            catalog
+                .commit_analyzed("final", stats, Some(Arc::new(summary)), 200, None)
+                .unwrap();
+            let on_disk = catalog_entries(&cat_path, "prop-final");
+            prop_assert!(on_disk.iter().any(|e| e == "final"));
+            // The snapshot accumulated every successful insert, so the
+            // healed persist carries all previously acknowledged entries.
+            for a in &acked {
+                prop_assert!(on_disk.iter().any(|e| e == a));
+            }
+            let _ = std::fs::remove_dir_all(&root);
+        }
+    }
+}
+
+/// Minimal HTTP GET returning the status code.
+fn http_status(addr: std::net::SocketAddr, path: &str) -> u16 {
+    http_get(addr, path).0
+}
+
+/// Minimal HTTP GET returning the body.
+fn http_body(addr: std::net::SocketAddr, path: &str) -> String {
+    http_get(addr, path).1
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    write!(s, "GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).unwrap();
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or(0);
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}

@@ -53,14 +53,31 @@
 //!   completed sync.
 //! * `never` — no explicit syncs; durability rides entirely on the OS
 //!   writeback. For benchmarks and tests.
+//!
+//! # Storage faults and poisoning
+//!
+//! Every file operation goes through an injectable [`Vfs`]
+//! (`epfis-faults`); production uses the passthrough `StdVfs`, tests
+//! script exact failures with `FaultVfs`. The first durability failure —
+//! a failed append, fdatasync (foreground **or** on the background
+//! flusher's duplicate fd), rotation, or reset — **poisons** the writer:
+//! every subsequent [`Wal::append`]/[`Wal::sync`] fails fast with the
+//! original cause instead of acknowledging writes that may never reach
+//! stable storage. This closes the classic "fsyncgate" hazard, where the
+//! kernel reports a writeback error exactly once and then clears the dirty
+//! state, so a later fsync on the same (or a fresh) fd falsely succeeds.
+//! Recovery is explicit: [`Wal::heal`] re-scans the directory, truncates
+//! any torn tail the failed operation left behind, reopens the tail
+//! segment, and probes it with a real fdatasync — only if all of that
+//! succeeds does the writer accept appends again.
 
 mod crc32c;
 
 pub use crc32c::{crc32c, crc32c_update};
+pub use epfis_faults::{StdVfs, Vfs, VfsFile};
 
 use epfis_obs::wellknown;
-use std::fs::{self, File, OpenOptions};
-use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::io;
 use std::path::{Path, PathBuf};
 use std::str::FromStr;
 use std::sync::{Arc, Condvar, Mutex};
@@ -124,15 +141,19 @@ pub struct WalOptions {
     /// Must be non-zero; a record larger than this still lands whole in
     /// one segment (segments may exceed the limit by one record).
     pub segment_bytes: u64,
+    /// The filesystem the log talks to; [`StdVfs`] in production, a
+    /// `FaultVfs` under fault-injection tests.
+    pub vfs: Arc<dyn Vfs>,
 }
 
 impl WalOptions {
-    /// Sane defaults: 64 MiB segments, batch fsync.
+    /// Sane defaults: 64 MiB segments, batch fsync, the real filesystem.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         WalOptions {
             dir: dir.into(),
             fsync: FsyncPolicy::Batch,
             segment_bytes: 64 << 20,
+            vfs: StdVfs::shared(),
         }
     }
 }
@@ -155,7 +176,8 @@ pub struct Wal {
     dir: PathBuf,
     fsync: FsyncPolicy,
     segment_bytes: u64,
-    file: File,
+    vfs: Arc<dyn Vfs>,
+    file: Box<dyn VfsFile>,
     seg_index: u64,
     seg_len: u64,
     /// Unsynced appends outstanding (only meaningful under `Batch`).
@@ -166,6 +188,9 @@ pub struct Wal {
     /// flushing appended pages while the caller keeps appending, so the
     /// milestone [`sync`](Wal::sync) finds little left to wait for.
     flusher: Option<Flusher>,
+    /// First durability failure observed; set once, cleared only by
+    /// [`heal`](Wal::heal). While set, appends and syncs fail fast.
+    poisoned: Option<String>,
 }
 
 /// Dirty bytes accumulated before the background flusher is nudged. Small
@@ -177,9 +202,14 @@ const FLUSH_THRESHOLD_BYTES: u64 = 2 << 20;
 struct FlushState {
     /// Clone of the current segment's handle; `fdatasync` on a duplicate
     /// fd flushes the same inode, so the flusher never touches `Wal.file`.
-    file: Option<File>,
+    file: Option<Box<dyn VfsFile>>,
     /// Bytes appended since the last flush was started.
     pending: u64,
+    /// A background fdatasync failed with this error. The kernel may have
+    /// already dropped the dirty pages and cleared the error, so a later
+    /// sync on any fd can falsely succeed — the failure must surface
+    /// through the writer, not be retried away.
+    failed: Option<String>,
     shutdown: bool,
 }
 
@@ -189,11 +219,12 @@ struct Flusher {
 }
 
 impl Flusher {
-    fn spawn(file: File) -> Flusher {
+    fn spawn(file: Box<dyn VfsFile>) -> Flusher {
         let shared = Arc::new((
             Mutex::new(FlushState {
                 file: Some(file),
                 pending: 0,
+                failed: None,
                 shutdown: false,
             }),
             Condvar::new(),
@@ -214,11 +245,24 @@ impl Flusher {
                     st.pending = 0;
                     let file = st.file.as_ref().and_then(|f| f.try_clone().ok());
                     drop(st);
-                    // An error here is not lost: the milestone sync runs on
-                    // the primary handle and reports its own result.
                     if let Some(f) = file {
-                        if f.sync_data().is_ok() {
-                            wellknown::wal().fsyncs.inc();
+                        match f.sync_data() {
+                            Ok(()) => wellknown::wal().fsyncs.inc(),
+                            Err(e) => {
+                                // A background fsync failure is a durability
+                                // failure: record it so the writer poisons
+                                // itself at the next append/sync instead of
+                                // acknowledging data the kernel may already
+                                // have dropped (fsyncgate).
+                                wellknown::wal().fsync_errors.inc();
+                                let mut st = lock.lock().unwrap_or_else(|e| e.into_inner());
+                                if st.failed.is_none() {
+                                    st.failed = Some(format!("background fdatasync failed: {e}"));
+                                }
+                                // Stop touching the file; the writer decides
+                                // what happens next.
+                                st.file = None;
+                            }
                         }
                     }
                 }
@@ -241,7 +285,7 @@ impl Flusher {
     /// Everything written so far just reached stable storage (milestone
     /// sync or rotation); point the thread at `file` (the new current
     /// segment) with nothing pending.
-    fn set_file(&self, file: Option<File>) {
+    fn set_file(&self, file: Option<Box<dyn VfsFile>>) {
         let (lock, _) = &*self.shared;
         let mut st = lock.lock().unwrap_or_else(|e| e.into_inner());
         st.file = file;
@@ -252,6 +296,23 @@ impl Flusher {
     fn synced(&self) {
         let (lock, _) = &*self.shared;
         lock.lock().unwrap_or_else(|e| e.into_inner()).pending = 0;
+    }
+
+    /// The background failure, if one happened since the last
+    /// [`clear_failure`](Flusher::clear_failure).
+    fn failure(&self) -> Option<String> {
+        let (lock, _) = &*self.shared;
+        lock.lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .failed
+            .clone()
+    }
+
+    /// Forgets a recorded failure (only after [`Wal::heal`] re-probed the
+    /// storage with a successful sync).
+    fn clear_failure(&self) {
+        let (lock, _) = &*self.shared;
+        lock.lock().unwrap_or_else(|e| e.into_inner()).failed = None;
     }
 }
 
@@ -281,21 +342,6 @@ fn segment_index(name: &str) -> Option<u64> {
         return None;
     }
     digits.parse().ok()
-}
-
-/// Durably records directory-entry changes (segment create/delete/rename).
-/// File-data fsync alone does not persist the *name*; the directory inode
-/// needs its own sync. Not available on all platforms; best-effort there.
-fn sync_dir(dir: &Path) -> io::Result<()> {
-    #[cfg(unix)]
-    {
-        File::open(dir)?.sync_all()
-    }
-    #[cfg(not(unix))]
-    {
-        let _ = dir;
-        Ok(())
-    }
 }
 
 /// Scans one segment's bytes, returning the parsed record bodies and the
@@ -328,6 +374,88 @@ fn scan_segment(data: &[u8]) -> (Vec<Vec<u8>>, u64) {
     (records, off as u64)
 }
 
+/// The tail scan shared by [`Wal::open`] and [`Wal::heal`]: replays every
+/// segment, truncates the first torn record and deletes later segments,
+/// and reopens the tail segment positioned for appending.
+struct TailScan {
+    records: Vec<Vec<u8>>,
+    truncated: u64,
+    seg_index: u64,
+    seg_len: u64,
+    file: Box<dyn VfsFile>,
+}
+
+fn scan_and_repair(vfs: &Arc<dyn Vfs>, dir: &Path) -> io::Result<TailScan> {
+    vfs.create_dir_all(dir)?;
+
+    let mut indices: Vec<u64> = Vec::new();
+    for name in vfs.list(dir)? {
+        if let Some(idx) = segment_index(&name) {
+            indices.push(idx);
+        }
+    }
+    indices.sort_unstable();
+
+    let mut records = Vec::new();
+    let mut truncated = 0u64;
+    let mut tail: Option<(u64, u64)> = None; // (segment index, valid length)
+    for (pos, &idx) in indices.iter().enumerate() {
+        let path = segment_path(dir, idx);
+        let data = vfs.read(&path)?;
+        let (mut segment_records, valid) = scan_segment(&data);
+        records.append(&mut segment_records);
+        if valid < data.len() as u64 {
+            // Torn tail: truncate here, drop every later segment.
+            truncated += data.len() as u64 - valid;
+            for &later in &indices[pos + 1..] {
+                let later_path = segment_path(dir, later);
+                truncated += vfs.file_len(&later_path)?;
+                vfs.remove(&later_path)?;
+            }
+            tail = Some((idx, valid));
+            break;
+        }
+        tail = Some((idx, valid));
+    }
+
+    let (seg_index, seg_len, file) = match tail {
+        Some((idx, valid)) => {
+            let path = segment_path(dir, idx);
+            let file = vfs.open_write(&path)?;
+            if valid < SEGMENT_HEADER_BYTES {
+                // Header itself was torn; start the segment over.
+                file.set_len(0)?;
+                let mut file = file;
+                write_header(file.as_mut())?;
+                file.sync_data()?;
+                (idx, SEGMENT_HEADER_BYTES, file)
+            } else {
+                file.set_len(valid)?;
+                file.sync_data()?;
+                let mut file = file;
+                file.seek_end()?;
+                (idx, valid, file)
+            }
+        }
+        None => {
+            let path = segment_path(dir, 0);
+            let mut file = vfs.create(&path)?;
+            write_header(file.as_mut())?;
+            file.sync_data()?;
+            (0, SEGMENT_HEADER_BYTES, file)
+        }
+    };
+    vfs.sync_dir(dir)?;
+
+    Ok(TailScan {
+        records,
+        truncated,
+        seg_index,
+        seg_len,
+        file,
+    })
+}
+
 impl Wal {
     /// Opens (or creates) the log at `opts.dir`, replaying whatever is
     /// there: every valid record is returned oldest-first, and the first
@@ -340,80 +468,15 @@ impl Wal {
                 "wal segment_bytes must be non-zero",
             ));
         }
-        fs::create_dir_all(&opts.dir)?;
+        let scan = scan_and_repair(&opts.vfs, &opts.dir)?;
 
-        let mut indices: Vec<u64> = Vec::new();
-        for entry in fs::read_dir(&opts.dir)? {
-            let entry = entry?;
-            if let Some(idx) = entry.file_name().to_str().and_then(segment_index) {
-                indices.push(idx);
-            }
-        }
-        indices.sort_unstable();
-
-        let mut records = Vec::new();
-        let mut truncated = 0u64;
-        let mut tail: Option<(u64, u64)> = None; // (segment index, valid length)
-        for (pos, &idx) in indices.iter().enumerate() {
-            let path = segment_path(&opts.dir, idx);
-            let mut data = Vec::new();
-            File::open(&path)?.read_to_end(&mut data)?;
-            let (mut segment_records, valid) = scan_segment(&data);
-            records.append(&mut segment_records);
-            if valid < data.len() as u64 {
-                // Torn tail: truncate here, drop every later segment.
-                truncated += data.len() as u64 - valid;
-                for &later in &indices[pos + 1..] {
-                    let later_path = segment_path(&opts.dir, later);
-                    truncated += fs::metadata(&later_path)?.len();
-                    fs::remove_file(&later_path)?;
-                }
-                tail = Some((idx, valid));
-                break;
-            }
-            tail = Some((idx, valid));
-        }
-
-        let (seg_index, seg_len, file) = match tail {
-            Some((idx, valid)) => {
-                let path = segment_path(&opts.dir, idx);
-                let file = OpenOptions::new().write(true).open(&path)?;
-                if valid < SEGMENT_HEADER_BYTES {
-                    // Header itself was torn; start the segment over.
-                    file.set_len(0)?;
-                    let mut file = file;
-                    write_header(&mut file)?;
-                    file.sync_data()?;
-                    (idx, SEGMENT_HEADER_BYTES, file)
-                } else {
-                    file.set_len(valid)?;
-                    file.sync_data()?;
-                    let mut file = file;
-                    file.seek(SeekFrom::End(0))?;
-                    (idx, valid, file)
-                }
-            }
-            None => {
-                let path = segment_path(&opts.dir, 0);
-                let mut file = OpenOptions::new()
-                    .write(true)
-                    .create(true)
-                    .truncate(true)
-                    .open(&path)?;
-                write_header(&mut file)?;
-                file.sync_data()?;
-                (0, SEGMENT_HEADER_BYTES, file)
-            }
-        };
-        sync_dir(&opts.dir)?;
-
-        let replayed = records.len() as u64;
+        let replayed = scan.records.len() as u64;
         if replayed > 0 {
             wellknown::wal().replay_records.add(replayed);
         }
-        let segments = seg_index as usize + 1;
+        let segments = scan.seg_index as usize + 1;
         let flusher = match opts.fsync {
-            FsyncPolicy::Batch => Some(Flusher::spawn(file.try_clone()?)),
+            FsyncPolicy::Batch => Some(Flusher::spawn(scan.file.try_clone()?)),
             _ => None,
         };
         Ok((
@@ -421,19 +484,58 @@ impl Wal {
                 dir: opts.dir,
                 fsync: opts.fsync,
                 segment_bytes: opts.segment_bytes,
-                file,
-                seg_index,
-                seg_len,
+                vfs: opts.vfs,
+                file: scan.file,
+                seg_index: scan.seg_index,
+                seg_len: scan.seg_len,
                 dirty: false,
                 scratch: Vec::new(),
                 flusher,
+                poisoned: None,
             },
             Replay {
-                records,
-                truncated_bytes: truncated,
+                records: scan.records,
+                truncated_bytes: scan.truncated,
                 segments,
             },
         ))
+    }
+
+    /// Records the first durability failure and returns an error carrying
+    /// its message. Subsequent appends/syncs keep failing with the same
+    /// cause until [`heal`](Wal::heal).
+    fn poison(&mut self, context: &str, err: &io::Error) -> io::Error {
+        let cause = format!("{context}: {err}");
+        if self.poisoned.is_none() {
+            wellknown::wal().poisonings.inc();
+            self.poisoned = Some(cause.clone());
+        }
+        io::Error::other(cause)
+    }
+
+    /// Fails fast if the writer is poisoned, absorbing any failure the
+    /// background flusher recorded since the last check.
+    fn check_poisoned(&mut self) -> io::Result<()> {
+        if self.poisoned.is_none() {
+            if let Some(flusher) = &self.flusher {
+                if let Some(cause) = flusher.failure() {
+                    wellknown::wal().poisonings.inc();
+                    self.poisoned = Some(cause);
+                }
+            }
+        }
+        match &self.poisoned {
+            Some(cause) => Err(io::Error::other(format!("wal poisoned: {cause}"))),
+            None => Ok(()),
+        }
+    }
+
+    /// The first durability failure, if the writer is poisoned. Also
+    /// surfaces a background-flusher failure that has not yet been hit by
+    /// an append or sync.
+    pub fn poisoned(&mut self) -> Option<String> {
+        let _ = self.check_poisoned();
+        self.poisoned.clone()
     }
 
     /// Appends one record. Under `FsyncPolicy::Always` the record is on
@@ -444,6 +546,7 @@ impl Wal {
             !body.is_empty() && body.len() <= MAX_RECORD_BYTES as usize,
             "wal record body must be 1..={MAX_RECORD_BYTES} bytes"
         );
+        self.check_poisoned()?;
         if self.seg_len >= self.segment_bytes && self.seg_len > SEGMENT_HEADER_BYTES {
             self.rotate()?;
         }
@@ -452,14 +555,20 @@ impl Wal {
             .extend_from_slice(&(body.len() as u32).to_le_bytes());
         self.scratch.extend_from_slice(&crc32c(body).to_le_bytes());
         self.scratch.extend_from_slice(body);
-        self.file.write_all(&self.scratch)?;
+        if let Err(e) = self.file.write_all(&self.scratch) {
+            // The failed write may have landed a partial record; the file
+            // tail is torn until heal() truncates it.
+            return Err(self.poison("wal append failed", &e));
+        }
         self.seg_len += self.scratch.len() as u64;
         let m = wellknown::wal();
         m.appends.inc();
         m.bytes.add(self.scratch.len() as u64);
         match self.fsync {
             FsyncPolicy::Always => {
-                self.file.sync_data()?;
+                if let Err(e) = self.file.sync_data() {
+                    return Err(self.poison("wal fdatasync failed", &e));
+                }
                 m.fsyncs.inc();
             }
             FsyncPolicy::Batch => {
@@ -475,10 +584,17 @@ impl Wal {
 
     /// Milestone sync: pushes buffered appends to stable storage under the
     /// `batch` policy. A no-op under `always` (nothing is buffered) and
-    /// `never` (durability is explicitly not requested).
+    /// `never` (durability is explicitly not requested). Fails — and stays
+    /// failing — if the background flusher hit an fdatasync error since
+    /// the last milestone: that data may already be gone from the page
+    /// cache, so a successful sync here must not be reported as covering
+    /// it.
     pub fn sync(&mut self) -> io::Result<()> {
+        self.check_poisoned()?;
         if self.dirty && self.fsync == FsyncPolicy::Batch {
-            self.file.sync_data()?;
+            if let Err(e) = self.file.sync_data() {
+                return Err(self.poison("wal fdatasync failed", &e));
+            }
             wellknown::wal().fsyncs.inc();
             self.dirty = false;
             if let Some(flusher) = &self.flusher {
@@ -493,22 +609,27 @@ impl Wal {
     /// durability milestone, and the new name is durably in the directory.
     fn rotate(&mut self) -> io::Result<()> {
         if self.fsync != FsyncPolicy::Never {
-            self.file.sync_data()?;
+            if let Err(e) = self.file.sync_data() {
+                return Err(self.poison("wal rotation fdatasync failed", &e));
+            }
             wellknown::wal().fsyncs.inc();
             self.dirty = false;
         }
-        self.seg_index += 1;
-        let path = segment_path(&self.dir, self.seg_index);
-        let mut file = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&path)?;
-        write_header(&mut file)?;
-        if self.fsync != FsyncPolicy::Never {
-            file.sync_data()?;
-            sync_dir(&self.dir)?;
-        }
+        let next_index = self.seg_index + 1;
+        let path = segment_path(&self.dir, next_index);
+        let file = match (|| -> io::Result<Box<dyn VfsFile>> {
+            let mut file = self.vfs.create(&path)?;
+            write_header(file.as_mut())?;
+            if self.fsync != FsyncPolicy::Never {
+                file.sync_data()?;
+                self.vfs.sync_dir(&self.dir)?;
+            }
+            Ok(file)
+        })() {
+            Ok(file) => file,
+            Err(e) => return Err(self.poison("wal rotation failed", &e)),
+        };
+        self.seg_index = next_index;
         if let Some(flusher) = &self.flusher {
             flusher.set_file(file.try_clone().ok());
         }
@@ -521,21 +642,24 @@ impl Wal {
     /// segment 0. Used once no live session depends on the log (all
     /// sessions committed or aborted), bounding disk usage.
     pub fn reset(&mut self) -> io::Result<()> {
-        for entry in fs::read_dir(&self.dir)? {
-            let entry = entry?;
-            if entry.file_name().to_str().and_then(segment_index).is_some() {
-                fs::remove_file(entry.path())?;
+        self.check_poisoned()?;
+        let result = (|| -> io::Result<Box<dyn VfsFile>> {
+            for name in self.vfs.list(&self.dir)? {
+                if segment_index(&name).is_some() {
+                    self.vfs.remove(&self.dir.join(name))?;
+                }
             }
-        }
-        let path = segment_path(&self.dir, 0);
-        let mut file = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&path)?;
-        write_header(&mut file)?;
-        file.sync_data()?;
-        sync_dir(&self.dir)?;
+            let path = segment_path(&self.dir, 0);
+            let mut file = self.vfs.create(&path)?;
+            write_header(file.as_mut())?;
+            file.sync_data()?;
+            self.vfs.sync_dir(&self.dir)?;
+            Ok(file)
+        })();
+        let file = match result {
+            Ok(file) => file,
+            Err(e) => return Err(self.poison("wal reset failed", &e)),
+        };
         if let Some(flusher) = &self.flusher {
             flusher.set_file(file.try_clone().ok());
         }
@@ -544,6 +668,40 @@ impl Wal {
         self.seg_len = SEGMENT_HEADER_BYTES;
         self.dirty = false;
         Ok(())
+    }
+
+    /// Attempts to recover a poisoned writer. Re-scans the log directory,
+    /// truncating whatever torn tail the failed operation left (a short
+    /// write lands a partial record; the scan cuts it exactly where the
+    /// checksum stops validating), reopens the tail segment, and probes
+    /// the storage with a real fdatasync. On success the writer is
+    /// unpoisoned and appends resume after the last *valid* record; the
+    /// records that were acknowledged before the failure are untouched.
+    /// Returns the number of torn bytes discarded. A no-op returning 0 on
+    /// a healthy writer.
+    pub fn heal(&mut self) -> io::Result<u64> {
+        if self.check_poisoned().is_ok() {
+            return Ok(0);
+        }
+        // Stop the flusher from racing the rescan; it is re-pointed below.
+        if let Some(flusher) = &self.flusher {
+            flusher.set_file(None);
+        }
+        let scan = scan_and_repair(&self.vfs, &self.dir)?;
+        // Probe: the re-opened tail must actually accept a data sync, or
+        // the storage is still bad and the writer stays poisoned.
+        scan.file.sync_data()?;
+        if let Some(flusher) = &self.flusher {
+            flusher.set_file(scan.file.try_clone().ok());
+            flusher.clear_failure();
+        }
+        self.file = scan.file;
+        self.seg_index = scan.seg_index;
+        self.seg_len = scan.seg_len;
+        self.dirty = false;
+        self.poisoned = None;
+        wellknown::wal().heals.inc();
+        Ok(scan.truncated)
     }
 
     /// The log directory.
@@ -562,7 +720,7 @@ impl Wal {
     }
 }
 
-fn write_header(file: &mut File) -> io::Result<()> {
+fn write_header(file: &mut dyn VfsFile) -> io::Result<()> {
     file.write_all(MAGIC)?;
     file.write_all(&VERSION.to_le_bytes())
 }
@@ -570,6 +728,8 @@ fn write_header(file: &mut File) -> io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use epfis_faults::{FaultKind, FaultVfs, OpKind, Rule};
+    use std::fs;
 
     fn temp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
@@ -586,6 +746,7 @@ mod tests {
             dir: dir.to_path_buf(),
             fsync: FsyncPolicy::Never,
             segment_bytes: 64 << 20,
+            vfs: StdVfs::shared(),
         }
     }
 
@@ -821,5 +982,214 @@ mod tests {
         assert_eq!(segment_index("wal-.seg"), None);
         assert_eq!(segment_index("wal-12a.seg"), None);
         assert_eq!(segment_index("catalog.scat"), None);
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection: poisoning, the flusher regression, heal.
+    // ------------------------------------------------------------------
+
+    fn fault_opts(dir: &Path, fsync: FsyncPolicy, fault: &FaultVfs) -> WalOptions {
+        WalOptions {
+            dir: dir.to_path_buf(),
+            fsync,
+            segment_bytes: 64 << 20,
+            vfs: fault.clone().shared(),
+        }
+    }
+
+    #[test]
+    fn failed_append_poisons_until_heal() {
+        let dir = temp_dir("poison-append");
+        let fault = FaultVfs::new();
+        let (mut wal, _) = Wal::open(fault_opts(&dir, FsyncPolicy::Never, &fault)).unwrap();
+        wal.append(b"good").unwrap();
+        fault
+            .schedule()
+            .push(Rule::new(FaultKind::Enospc).on_op(OpKind::Write).times(1));
+        let err = wal.append(b"doomed").unwrap_err();
+        assert!(err.to_string().contains("append failed"), "{err}");
+        // The fault healed (times=1) but the writer must stay poisoned:
+        // the failed append may have landed partial bytes.
+        let err = wal.append(b"still-blocked").unwrap_err();
+        assert!(err.to_string().contains("wal poisoned"), "{err}");
+        assert!(wal.poisoned().is_some());
+        wal.heal().unwrap();
+        wal.append(b"after-heal").unwrap();
+        drop(wal);
+        let (_wal, replay) = Wal::open(opts(&dir)).unwrap();
+        assert_eq!(
+            replay.records,
+            vec![b"good".to_vec(), b"after-heal".to_vec()]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn short_write_tears_tail_and_heal_truncates_it() {
+        let dir = temp_dir("poison-short");
+        let fault = FaultVfs::new();
+        let (mut wal, _) = Wal::open(fault_opts(&dir, FsyncPolicy::Never, &fault)).unwrap();
+        wal.append(b"keep-me").unwrap();
+        fault.schedule().push(
+            Rule::new(FaultKind::ShortWrite(5))
+                .on_op(OpKind::Write)
+                .times(1),
+        );
+        assert!(wal
+            .append(b"torn-record-body")
+            .unwrap_err()
+            .to_string()
+            .contains("append"));
+        // The partial record is physically on disk right now.
+        let len_with_tear = fs::metadata(segment_path(&dir, 0)).unwrap().len();
+        let torn = wal.heal().unwrap();
+        assert_eq!(torn, 5, "heal must truncate exactly the torn bytes");
+        assert!(fs::metadata(segment_path(&dir, 0)).unwrap().len() < len_with_tear);
+        wal.append(b"clean-after").unwrap();
+        drop(wal);
+        let (_wal, replay) = Wal::open(opts(&dir)).unwrap();
+        assert_eq!(
+            replay.records,
+            vec![b"keep-me".to_vec(), b"clean-after".to_vec()]
+        );
+        assert_eq!(replay.truncated_bytes, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn milestone_sync_failure_poisons() {
+        let dir = temp_dir("poison-sync");
+        let fault = FaultVfs::new();
+        let (mut wal, _) = Wal::open(fault_opts(&dir, FsyncPolicy::Batch, &fault)).unwrap();
+        wal.append(b"buffered").unwrap();
+        fault
+            .schedule()
+            .push(Rule::new(FaultKind::Eio).on_op(OpKind::SyncData).times(1));
+        assert!(wal.sync().is_err());
+        // Poisoned even though the fault healed: that sync never covered
+        // the appended data.
+        assert!(wal.sync().unwrap_err().to_string().contains("wal poisoned"));
+        wal.heal().unwrap();
+        wal.sync().unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn background_flusher_fsync_failure_fails_next_milestone_sync() {
+        // The fsyncgate regression: before the fix, a failed sync_data on
+        // the flusher's duplicate fd was silently swallowed and the next
+        // milestone sync reported success it could not honour.
+        let dir = temp_dir("flusher-gate");
+        let fault = FaultVfs::new();
+        let (mut wal, _) = Wal::open(fault_opts(&dir, FsyncPolicy::Batch, &fault)).unwrap();
+        // Every sync_data fails from here on (foreground and background).
+        fault
+            .schedule()
+            .push(Rule::new(FaultKind::Eio).on_op(OpKind::SyncData));
+        // Push enough bytes through to cross FLUSH_THRESHOLD_BYTES and
+        // wake the background flusher.
+        let body = vec![0x5A; 64 * 1024];
+        for _ in 0..((FLUSH_THRESHOLD_BYTES / (64 * 1024)) + 2) {
+            if wal.append(&body).is_err() {
+                break; // flusher failure already absorbed — also a pass
+            }
+        }
+        // Give the flusher thread a moment to hit the fault.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while wal.poisoned().is_none() && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(
+            wal.poisoned().is_some(),
+            "background fsync failure must poison the writer"
+        );
+        let err = wal.sync().unwrap_err();
+        assert!(
+            err.to_string().contains("poisoned"),
+            "milestone sync must fail after a background fsync error: {err}"
+        );
+        // Heal both the schedule and the writer; sync works again.
+        fault.schedule().heal();
+        wal.heal().unwrap();
+        wal.append(b"recovered").unwrap();
+        wal.sync().unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_failure_poisons_and_heals_cleanly() {
+        let dir = temp_dir("poison-rotate");
+        let fault = FaultVfs::new();
+        let mut o = fault_opts(&dir, FsyncPolicy::Never, &fault);
+        o.segment_bytes = 64;
+        let (mut wal, _) = Wal::open(o).unwrap();
+        for i in 0..8u32 {
+            wal.append(&i.to_le_bytes().repeat(4)).unwrap();
+        }
+        let appended = 8;
+        fault
+            .schedule()
+            .push(Rule::new(FaultKind::Enospc).on_op(OpKind::Create).times(1));
+        // Next append needs a rotation, whose segment create fails.
+        let mut extra = 0;
+        let err = loop {
+            match wal.append(b"rotation-trigger") {
+                Ok(()) => extra += 1,
+                Err(e) => break e,
+            }
+        };
+        assert!(err.to_string().contains("rotation failed"), "{err}");
+        assert!(wal
+            .append(b"x")
+            .unwrap_err()
+            .to_string()
+            .contains("poisoned"));
+        wal.heal().unwrap();
+        wal.append(b"post-heal").unwrap();
+        drop(wal);
+        let (_wal, replay) = Wal::open(opts(&dir)).unwrap();
+        assert_eq!(replay.records.len(), appended + extra + 1);
+        assert_eq!(replay.records.last().unwrap(), b"post-heal");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn heal_on_healthy_writer_is_a_noop() {
+        let dir = temp_dir("heal-noop");
+        let (mut wal, _) = Wal::open(opts(&dir)).unwrap();
+        wal.append(b"a").unwrap();
+        assert_eq!(wal.heal().unwrap(), 0);
+        wal.append(b"b").unwrap();
+        drop(wal);
+        let (_wal, replay) = Wal::open(opts(&dir)).unwrap();
+        assert_eq!(replay.records, vec![b"a".to_vec(), b"b".to_vec()]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn heal_fails_while_storage_still_bad() {
+        let dir = temp_dir("heal-still-bad");
+        let fault = FaultVfs::new();
+        let (mut wal, _) = Wal::open(fault_opts(&dir, FsyncPolicy::Never, &fault)).unwrap();
+        fault
+            .schedule()
+            .push(Rule::new(FaultKind::Enospc).on_op(OpKind::Write));
+        assert!(wal.append(b"x").is_err());
+        // The disk is still full: heal's probe must fail and the writer
+        // must stay poisoned.
+        fault.schedule().heal();
+        fault
+            .schedule()
+            .push(Rule::new(FaultKind::Eio).on_op(OpKind::SyncData));
+        assert!(wal.heal().is_err());
+        assert!(wal
+            .append(b"y")
+            .unwrap_err()
+            .to_string()
+            .contains("poisoned"));
+        fault.schedule().heal();
+        wal.heal().unwrap();
+        wal.append(b"z").unwrap();
+        fs::remove_dir_all(&dir).unwrap();
     }
 }
