@@ -28,6 +28,15 @@
 //! serves: estimates/second from a server whose WAL has been poisoned by
 //! an injected disk failure, next to the healthy rate.
 //!
+//! An `observatory` section closes the estimator-accuracy loop: the
+//! `epfis_bench::selfcheck` driver replays exact-LRU ground truth through
+//! `OBSERVE` against the live server, recording the fresh-statistics
+//! median |rel_err| (asserted inside the paper's envelope), the shifted
+//! workload's stale-flag flip, and the instrumented serving rates as
+//! fractions of the PR9-recorded floors — per-request span timing and the
+//! slow-log threshold check are unconditional, so every rate in the file
+//! already includes their cost, and the PR9 ratios are asserted ≥ 0.9.
+//!
 //! Unless `--skip-baseline-assert` (or `EPFIS_BENCH_SKIP_BASELINE_ASSERT=1`)
 //! is given, the tool asserts the PR6/PR7 throughput floors in-process:
 //! binary ingest ≥ 9M refs/s and within 20% of the PR7-recorded 10.07M,
@@ -90,12 +99,26 @@ mod baselines {
     /// `std::fs` append rate (i.e. the dispatch indirection costs ≤ 10%,
     /// measured syscall-bound with fsync outside the timed region).
     pub const VFS_PASSTHROUGH_MIN_RATIO: f64 = 0.90;
+    /// The PR9-recorded serving rates (`BENCH_PR9.json` in the repository
+    /// history). PR 10 threads per-request span timing and the slow-log
+    /// threshold check through both front ends; the observatory floors
+    /// assert the instrumented paths keep at least
+    /// [`PR10_MIN_FRACTION`] of these.
+    pub const PR9_TEXT_INGEST_REFS_PER_SEC: f64 = 3_335_767.0;
+    pub const PR9_TEXT_SINGLE_CONN_ESTIMATES_PER_SEC: f64 = 77_623.0;
+    pub const PR9_TEXT_MULTI_CONN_ESTIMATES_PER_SEC: f64 = 74_870.0;
+    pub const PR9_BINARY_INGEST_REFS_PER_SEC: f64 = 10_201_822.0;
+    pub const PR9_BINARY_ESTIMATES_PER_SEC: f64 = 2_442_795.0;
+    pub const PR10_MIN_FRACTION: f64 = 0.90;
+    /// Fresh statistics must keep the self-validation median |rel_err|
+    /// inside the paper's partial-scan envelope.
+    pub const OBSERVATORY_FRESH_TOLERANCE: f64 = 0.35;
 }
 
 fn main() {
     let opts = Options::from_env();
     opts.init_threads();
-    let out = opts.get_str("out").unwrap_or("BENCH_PR9.json").to_string();
+    let out = opts.get_str("out").unwrap_or("BENCH_PR10.json").to_string();
     let seed: u64 = opts.get("seed", figures::DEFAULT_SEED);
 
     // The same quick-scale parameters repro_all uses with --quick 1.
@@ -218,6 +241,30 @@ fn main() {
         binary_estimates_per_conn,
         depth,
     );
+
+    // The accuracy observatory's self-validation loop against the same
+    // live server (span timing and the slow-log threshold check are
+    // unconditional, so every rate above already paid for them): exact-LRU
+    // ground truth fed back with OBSERVE must land inside the paper's
+    // envelope on fresh statistics, and a shifted workload must flip the
+    // entry's stale flag without a re-ANALYZE.
+    use epfis_bench::selfcheck::{self, SelfCheckConfig};
+    let observatory_fresh = selfcheck::fresh(
+        addr,
+        &SelfCheckConfig {
+            name: "bench.observe.fresh".to_string(),
+            ..SelfCheckConfig::default()
+        },
+    )
+    .expect("observatory fresh run");
+    let observatory_shifted = selfcheck::shifted(
+        addr,
+        &SelfCheckConfig {
+            name: "bench.observe.shifted".to_string(),
+            ..SelfCheckConfig::default()
+        },
+    )
+    .expect("observatory shifted run");
     server.shutdown_and_join();
 
     // Observability overhead: the same ingest against a server running with
@@ -466,6 +513,29 @@ fn main() {
         degraded_estimates_per_sec / multi_conn_rate.max(1e-9)
     ));
     json.push_str("  },\n");
+    json.push_str("  \"observatory\": {\n");
+    json.push_str(&format!(
+        "    \"fresh\": {},\n    \"shifted\": {},\n",
+        observatory_fresh.to_json("fresh"),
+        observatory_shifted.to_json("shifted")
+    ));
+    json.push_str(&format!(
+        "    \"pr9_floor_fraction\": {:.2},\n",
+        baselines::PR10_MIN_FRACTION
+    ));
+    json.push_str(&format!(
+        "    \"text_ingest_vs_pr9\": {:.3},\n    \
+         \"text_single_conn_estimates_vs_pr9\": {:.3},\n    \
+         \"text_multi_conn_estimates_vs_pr9\": {:.3},\n    \
+         \"binary_ingest_vs_pr9\": {:.3},\n    \
+         \"binary_estimates_vs_pr9\": {:.3}\n",
+        ingest_refs_per_sec / baselines::PR9_TEXT_INGEST_REFS_PER_SEC,
+        single_conn_rate / baselines::PR9_TEXT_SINGLE_CONN_ESTIMATES_PER_SEC,
+        multi_conn_rate / baselines::PR9_TEXT_MULTI_CONN_ESTIMATES_PER_SEC,
+        binary_ingest_refs_per_sec / baselines::PR9_BINARY_INGEST_REFS_PER_SEC,
+        binary_single_conn_rate.max(binary_multi_conn_rate) / baselines::PR9_BINARY_ESTIMATES_PER_SEC
+    ));
+    json.push_str("  },\n");
     json.push_str("  \"serving\": {\n");
     json.push_str(&format!(
         "    \"open_loop_rate_per_sec\": {serving_rate:.0},\n    \"points\": [\n"
@@ -549,8 +619,61 @@ fn main() {
             zipf_rate,
             baselines::TOLERANCE * baselines::ANALYZER_ZIPF_REFS_PER_SEC,
         ),
+        (
+            "text ingest refs/s vs PR9 (spans + slow log on)",
+            ingest_refs_per_sec,
+            baselines::PR10_MIN_FRACTION * baselines::PR9_TEXT_INGEST_REFS_PER_SEC,
+        ),
+        (
+            "text single-conn estimates/s vs PR9 (spans + slow log on)",
+            single_conn_rate,
+            baselines::PR10_MIN_FRACTION * baselines::PR9_TEXT_SINGLE_CONN_ESTIMATES_PER_SEC,
+        ),
+        (
+            "text multi-conn estimates/s vs PR9 (spans + slow log on)",
+            multi_conn_rate,
+            baselines::PR10_MIN_FRACTION * baselines::PR9_TEXT_MULTI_CONN_ESTIMATES_PER_SEC,
+        ),
+        (
+            "binary ingest refs/s vs PR9 (spans + slow log on)",
+            binary_ingest_refs_per_sec,
+            baselines::PR10_MIN_FRACTION * baselines::PR9_BINARY_INGEST_REFS_PER_SEC,
+        ),
+        (
+            "binary estimates/s vs PR9 (spans + slow log on)",
+            binary_single_conn_rate.max(binary_multi_conn_rate),
+            baselines::PR10_MIN_FRACTION * baselines::PR9_BINARY_ESTIMATES_PER_SEC,
+        ),
     ];
     let mut failed = false;
+    // The observatory's correctness gates: fresh statistics estimate
+    // inside the paper's envelope and stay trusted; a shifted workload is
+    // detected. These are accuracy floors, not throughput floors, so they
+    // sit outside the `floors` table.
+    {
+        let fresh_ok = observatory_fresh.median_abs_rel_err
+            <= baselines::OBSERVATORY_FRESH_TOLERANCE
+            && !observatory_fresh.stale;
+        failed |= !fresh_ok;
+        println!(
+            "baseline {}: observatory fresh: median |rel_err| {:.4} <= {:.2}, stale={}",
+            if fresh_ok { "PASS" } else { "FAIL" },
+            observatory_fresh.median_abs_rel_err,
+            baselines::OBSERVATORY_FRESH_TOLERANCE,
+            observatory_fresh.stale
+        );
+        failed |= !observatory_shifted.stale;
+        println!(
+            "baseline {}: observatory shifted: stale={} (mean rel_err {:.4})",
+            if observatory_shifted.stale {
+                "PASS"
+            } else {
+                "FAIL"
+            },
+            observatory_shifted.stale,
+            observatory_shifted.mean_rel_err
+        );
+    }
     // The event loop must serve its open-loop load error-free underneath
     // 1k idle connections (the pool is *expected* to degrade there — its
     // points are recorded, not asserted).

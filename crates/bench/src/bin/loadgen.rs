@@ -10,8 +10,10 @@
 //!     drives R requests/s for T ms over N pipelined connections (default
 //!     1000 req/s, 2000 ms, 64 conns), optionally underneath N extra idle
 //!     connections; prints a one-line JSON report (and appends it to
-//!     --out). The --assert flags turn the report into an exit code for
-//!     CI: non-zero errors, or p99 above the bound, exit 1.
+//!     --out). --request takes a comma-separated command mix — arrivals
+//!     cycle through it and the report's "commands" array breaks p50/p99
+//!     out per command. The --assert flags turn the report into an exit
+//!     code for CI: non-zero errors, or p99 above the bound, exit 1.
 //! ```
 
 use epfis_bench::loadgen::{run, LoadgenConfig};

@@ -6,6 +6,7 @@
 
 pub mod loadgen;
 pub mod loopback;
+pub mod selfcheck;
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};

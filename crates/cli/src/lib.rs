@@ -131,6 +131,7 @@ pub const USAGE: &str = "usage: epfis <analyze|show|fpf|estimate|plan> --catalog
             [--metrics-addr HOST:PORT] [--log-level L] [--log-format human|json]
             [--log-file F] [--wal-dir D] [--wal-fsync always|batch|never]
             [--wal-segment-bytes B] [--wal-checkpoint-refs R]
+            [--drift-threshold T] [--slow-request-us U]
             (long-running estimation service; prints `listening on ADDR`,
              stops on the SHUTDOWN protocol command; --frontend picks the
              serving core: `pool` (default) runs a worker thread per active
@@ -150,7 +151,19 @@ pub const USAGE: &str = "usage: epfis <analyze|show|fpf|estimate|plan> --catalog
              degrades to read-only — estimates keep serving, ingest answers
              ERR readonly — until the RECOVER command re-probes the disk;
              the EPFIS_FAULTS env var injects scripted storage faults for
-             chaos testing)
+             chaos testing. The OBSERVE command feeds actual page-fetch
+             counts back to the server; --drift-threshold sets the |bias
+             EWMA| above which an entry is flagged stale (default 0.25),
+             and --slow-request-us sets the latency above which a request
+             is captured in the in-memory slow log served by the SLOWLOG
+             command and the /slowlog route (default 100000) — see
+             docs/observability.md, \"Accuracy & drift\")
+  drift     --addr HOST:PORT [--name NAME]
+            (observed-vs-predicted estimator accuracy from a running
+             server: sends DRIFT and prints one line per catalog entry —
+             epoch, observation count, median/mean signed relative error,
+             bias EWMA, stale flag, and the error histogram; --name limits
+             the report to one entry)
   client    --addr HOST:PORT [--send CMD] [--binary true]
             [--retries N] [--timeout-ms T]
             (one-shot with --send, otherwise reads protocol commands from
@@ -241,6 +254,7 @@ pub fn is_known_command(name: &str) -> bool {
             | "bench"
             | "serve"
             | "client"
+            | "drift"
             | "help"
             | "--help"
             | "-h"
@@ -309,6 +323,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
         "bench" => bench(cmd),
         "serve" => serve(cmd),
         "client" => client(cmd),
+        "drift" => drift(cmd),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(err(format!("unknown command {other:?}\n{USAGE}"))),
     }
@@ -723,6 +738,13 @@ fn serve(cmd: &Command) -> Result<String, CliError> {
         }
         _ => None,
     };
+    let mut accuracy = epfis_server::AccuracyConfig::default();
+    if let Some(t) = cmd.get::<f64>("drift-threshold")? {
+        if !t.is_finite() || t <= 0.0 {
+            return Err(err("--drift-threshold must be a positive number"));
+        }
+        accuracy.drift_threshold = t;
+    }
     let config = epfis_server::ServerConfig {
         addr,
         workers,
@@ -734,6 +756,11 @@ fn serve(cmd: &Command) -> Result<String, CliError> {
         logger: serve_logger(cmd)?,
         wal: serve_wal_config(cmd)?,
         vfs,
+        accuracy,
+        slow_request_us: cmd.get_or(
+            "slow-request-us",
+            epfis_server::ServerConfig::default().slow_request_us,
+        )?,
     };
     let server = epfis_server::serve(config).map_err(|e| err(format!("cannot serve: {e}")))?;
     // Announce the bound addresses immediately (port 0 resolves here) so
@@ -775,6 +802,33 @@ fn serve_logger(cmd: &Command) -> Result<Option<std::sync::Arc<epfis_obs::Logger
         logger = logger.with_sink(Box::new(sink));
     }
     Ok(Some(std::sync::Arc::new(logger)))
+}
+
+/// `epfis drift`: queries a running server's accuracy tracker. Prints the
+/// server's `DRIFT` lines verbatim — they are already `key=value` readable
+/// and round-trip through [`epfis_server::parse_drift_line`], which is used
+/// here to reject a server speaking an incompatible dialect.
+fn drift(cmd: &Command) -> Result<String, CliError> {
+    let addr: String = cmd.require("addr")?;
+    let mut client = epfis_server::Client::connect(&addr)
+        .map_err(|e| err(format!("cannot connect to {addr}: {e}")))?;
+    let request = match cmd.get::<String>("name")? {
+        Some(name) => format!("DRIFT {name}"),
+        None => "DRIFT".to_string(),
+    };
+    let lines = client.request(&request).map_err(|e| err(e.to_string()))?;
+    if lines.is_empty() {
+        return Ok("no drift observations yet (feed the server with OBSERVE)".to_string());
+    }
+    let mut out = String::new();
+    for line in &lines {
+        epfis_server::parse_drift_line(line)
+            .map_err(|e| err(format!("unparseable DRIFT line from server: {e}: {line:?}")))?;
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.pop();
+    Ok(out)
 }
 
 fn client(cmd: &Command) -> Result<String, CliError> {
@@ -1164,10 +1218,49 @@ mod tests {
     fn known_commands_cover_the_dispatch_table() {
         for sub in [
             "analyze", "show", "fpf", "estimate", "explain", "plan", "compare", "bench", "serve",
-            "client", "help",
+            "client", "drift", "help",
         ] {
             assert!(is_known_command(sub), "{sub}");
         }
         assert!(!is_known_command("frobnicate"));
+    }
+
+    #[test]
+    fn drift_requires_addr_and_serve_validates_observatory_flags() {
+        let e = run(&cmd("drift")).unwrap_err();
+        assert!(e.0.contains("--addr"), "{e}");
+        // A bad threshold is rejected before the listener binds.
+        let e = run(&cmd("serve --drift-threshold 0")).unwrap_err();
+        assert!(e.0.contains("--drift-threshold"), "{e}");
+        let e = run(&cmd("serve --drift-threshold nope")).unwrap_err();
+        assert!(e.0.contains("--drift-threshold"), "{e}");
+        let e = run(&cmd("serve --slow-request-us nope")).unwrap_err();
+        assert!(e.0.contains("--slow-request-us"), "{e}");
+    }
+
+    #[test]
+    fn drift_round_trips_against_a_live_server() {
+        let server = epfis_server::serve(epfis_server::ServerConfig::default()).unwrap();
+        let addr = server.addr().to_string();
+        // Empty tracker: the DRIFT response has zero lines.
+        let out = run(&cmd(&format!("drift --addr {addr}"))).unwrap();
+        assert!(out.contains("no drift observations"), "{out}");
+        // Asking for a never-observed entry is a server-side error.
+        let e = run(&cmd(&format!("drift --addr {addr} --name nope"))).unwrap_err();
+        assert!(e.0.contains("no observations"), "{e}");
+        // Feed one observation through an analyzed entry, then the line
+        // must print and parse.
+        let mut c = epfis_server::Client::connect(&addr).unwrap();
+        c.request("ANALYZE BEGIN ix").unwrap();
+        for i in 0..100i64 {
+            c.request(&format!("PAGE {} {}", i, i / 2)).unwrap();
+        }
+        c.request("ANALYZE COMMIT").unwrap();
+        c.request("OBSERVE ix 20 10").unwrap();
+        let out = run(&cmd(&format!("drift --addr {addr} --name ix"))).unwrap();
+        assert!(out.starts_with("drift ix "), "{out}");
+        assert!(out.contains("observations=1"), "{out}");
+        c.request("SHUTDOWN").ok();
+        server.join();
     }
 }

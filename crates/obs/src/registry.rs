@@ -49,6 +49,7 @@ type Labels = Vec<(String, String)>;
 
 enum Instrument {
     Counter(Arc<Counter>),
+    CounterFn(Box<dyn Fn() -> u64 + Send + Sync>),
     Gauge(Arc<Gauge>),
     GaugeFn(Box<dyn Fn() -> f64 + Send + Sync>),
     Histogram(Arc<Histogram>),
@@ -222,6 +223,39 @@ impl Registry {
         }
     }
 
+    /// Registers a computed counter: `f` is evaluated at render time.
+    /// For monotonic totals owned elsewhere (the logger's event-ring drop
+    /// count, a tracker's observation count) that must still export with
+    /// `# TYPE counter`. `f` must be monotonically non-decreasing.
+    /// Re-registering the same name + labels replaces `f`.
+    pub fn counter_fn(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        f: impl Fn() -> u64 + Send + Sync + 'static,
+    ) {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        let labels = owned_labels(labels);
+        let mut families = self.families.lock().expect("registry poisoned");
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind: MetricKind::Counter,
+            series: Vec::new(),
+        });
+        assert!(
+            family.kind == MetricKind::Counter,
+            "metric {name:?} registered as {:?} and Counter",
+            family.kind
+        );
+        let instrument = Instrument::CounterFn(Box::new(f));
+        if let Some(series) = family.series.iter_mut().find(|s| s.labels == labels) {
+            series.instrument = instrument;
+        } else {
+            family.series.push(Series { labels, instrument });
+        }
+    }
+
     /// Renders every family in the Prometheus text exposition format.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
@@ -240,6 +274,9 @@ impl Registry {
                 match &series.instrument {
                     Instrument::Counter(c) => {
                         render_line(out, name, &series.labels, None, &c.get().to_string());
+                    }
+                    Instrument::CounterFn(f) => {
+                        render_line(out, name, &series.labels, None, &f().to_string());
                     }
                     Instrument::Gauge(g) => {
                         render_line(out, name, &series.labels, None, &g.get().to_string());
@@ -372,6 +409,30 @@ mod tests {
         assert!(r.render_prometheus().contains("epfis_test_value 2.5"));
         shared.add(1);
         assert!(r.render_prometheus().contains("epfis_test_value 3"));
+    }
+
+    #[test]
+    fn counter_fn_is_evaluated_at_render_time_as_counter_kind() {
+        let r = Registry::new();
+        let shared = Arc::new(Counter::new());
+        let inner = Arc::clone(&shared);
+        r.counter_fn("epfis_test_dropped_total", "computed", &[], move || {
+            inner.get()
+        });
+        shared.add(5);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE epfis_test_dropped_total counter"));
+        assert!(text.contains("epfis_test_dropped_total 5"));
+        shared.add(2);
+        assert!(r.render_prometheus().contains("epfis_test_dropped_total 7"));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as")]
+    fn counter_fn_kind_conflict_panics() {
+        let r = Registry::new();
+        r.gauge("epfis_test_value", "h", &[]);
+        r.counter_fn("epfis_test_value", "h", &[], || 0);
     }
 
     #[test]

@@ -230,6 +230,13 @@ impl BinaryClient {
         self.in_flight += 1;
     }
 
+    /// Queues an OBSERVE frame (`None` buffer = the entry's stored `b_min`);
+    /// the response is the `observed ...` line.
+    pub fn queue_observe(&mut self, name: &str, nkeys: u64, actual: u64, buffer: Option<u64>) {
+        framing::encode_observe(&mut self.send_buf, name, nkeys, actual, buffer.unwrap_or(0));
+        self.in_flight += 1;
+    }
+
     /// Queues a TEXT passthrough frame carrying any line-protocol command.
     pub fn queue_text(&mut self, line: &str) {
         framing::encode_text(&mut self.send_buf, line);
@@ -286,6 +293,25 @@ impl BinaryClient {
             BinResponse::Err(m) => Err(ClientError::Server(m)),
             other => Err(ClientError::Protocol(format!(
                 "expected U64, got {other:?}"
+            ))),
+        }
+    }
+
+    /// One-shot OBSERVE: queue, flush, receive the `observed ...` line.
+    pub fn observe(
+        &mut self,
+        name: &str,
+        nkeys: u64,
+        actual: u64,
+        buffer: Option<u64>,
+    ) -> Result<String, ClientError> {
+        self.queue_observe(name, nkeys, actual, buffer);
+        self.flush()?;
+        match self.recv()? {
+            BinResponse::Lines(mut lines) if lines.len() == 1 => Ok(lines.remove(0)),
+            BinResponse::Err(m) => Err(ClientError::Server(m)),
+            other => Err(ClientError::Protocol(format!(
+                "expected one line, got {other:?}"
             ))),
         }
     }

@@ -24,6 +24,8 @@
 //!                                table_pages:u32le (0 = not given)
 //! 0x05 ANALYZE_COMMIT  payload empty
 //! 0x06 ANALYZE_ABORT   payload empty
+//! 0x07 OBSERVE         payload = name_len:u16le name nkeys:u64le
+//!                                actual:u64le buffer:u64le (0 = default)
 //! ```
 //!
 //! Response tags (server → client) are self-describing, so a pipelined
@@ -69,6 +71,8 @@ pub const REQ_ANALYZE_BEGIN: u8 = 0x04;
 pub const REQ_ANALYZE_COMMIT: u8 = 0x05;
 /// Request tag: discard the open session.
 pub const REQ_ANALYZE_ABORT: u8 = 0x06;
+/// Request tag: report an observed fetch count for the accuracy tracker.
+pub const REQ_OBSERVE: u8 = 0x07;
 
 /// Response tag: newline-joined data lines.
 pub const RESP_LINES: u8 = 0x00;
@@ -147,6 +151,18 @@ pub enum BinRequest<'a> {
     AnalyzeCommit,
     /// Discard the open session.
     AnalyzeAbort,
+    /// Report an observed (ground-truth) fetch count for a stored entry.
+    Observe {
+        /// Entry name.
+        name: &'a str,
+        /// Distinct keys the scan touched.
+        nkeys: u64,
+        /// Page fetches the scan actually performed.
+        actual: u64,
+        /// Buffer pages the scan ran with; 0 means "not given" (the server
+        /// defaults to the entry's stored `b_min`).
+        buffer: u64,
+    },
 }
 
 fn take<'a>(buf: &mut &'a [u8], n: usize, what: &str) -> Result<&'a [u8], String> {
@@ -269,6 +285,19 @@ pub fn decode_request(body: &[u8]) -> Result<BinRequest<'_>, String> {
             expect_empty(payload, "ANALYZE_ABORT")?;
             Ok(BinRequest::AnalyzeAbort)
         }
+        REQ_OBSERVE => {
+            let name = take_name(&mut payload)?;
+            let nkeys = take_u64(&mut payload, "nkeys")?;
+            let actual = take_u64(&mut payload, "actual")?;
+            let buffer = take_u64(&mut payload, "buffer")?;
+            expect_empty(payload, "OBSERVE")?;
+            Ok(BinRequest::Observe {
+                name,
+                nkeys,
+                actual,
+                buffer,
+            })
+        }
         other => Err(format!("bad frame: unknown request tag 0x{other:02x}")),
     }
 }
@@ -335,6 +364,17 @@ pub fn encode_analyze_begin(buf: &mut Vec<u8>, name: &str, segments: u32, table_
     encode_name(buf, name);
     buf.extend_from_slice(&segments.to_le_bytes());
     buf.extend_from_slice(&table_pages.to_le_bytes());
+    end_frame(buf, start);
+}
+
+/// Appends an OBSERVE request frame (`buffer` 0 = not given).
+pub fn encode_observe(buf: &mut Vec<u8>, name: &str, nkeys: u64, actual: u64, buffer: u64) {
+    let start = begin_frame(buf);
+    buf.push(REQ_OBSERVE);
+    encode_name(buf, name);
+    buf.extend_from_slice(&nkeys.to_le_bytes());
+    buf.extend_from_slice(&actual.to_le_bytes());
+    buf.extend_from_slice(&buffer.to_le_bytes());
     end_frame(buf, start);
 }
 
@@ -505,6 +545,20 @@ mod tests {
         }
 
         buf.clear();
+        encode_observe(&mut buf, "t.k", 250, 1234, 64);
+        match decode_framed(&buf) {
+            BinRequest::Observe {
+                name,
+                nkeys,
+                actual,
+                buffer,
+            } => {
+                assert_eq!((name, nkeys, actual, buffer), ("t.k", 250, 1234, 64));
+            }
+            other => panic!("{other:?}"),
+        }
+
+        buf.clear();
         encode_text(&mut buf, "SHOW");
         assert!(matches!(decode_framed(&buf), BinRequest::Text("SHOW")));
     }
@@ -552,6 +606,7 @@ mod tests {
         assert!(decode_request(&[REQ_PAGE, 0, 0, 0, 0]).is_err()); // empty batch
         assert!(decode_request(&[REQ_TEXT, 0xC3]).is_err()); // invalid UTF-8
         assert!(decode_request(&[REQ_TEXT, b'a', b'\n', b'b']).is_err());
+        assert!(decode_request(&[REQ_OBSERVE, 1, 0, b'x', 1]).is_err()); // truncated nkeys
         assert!(decode_response(&[]).is_err());
         assert!(decode_response(&[RESP_F64, 1, 2]).is_err());
         assert!(decode_response(&[0x99]).is_err());

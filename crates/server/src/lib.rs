@@ -55,6 +55,7 @@
 //! The wire format is documented in `docs/protocol.md`; `epfis serve` and
 //! `epfis client` (with `--binary`) expose the server from the CLI.
 
+pub mod accuracy;
 pub mod catalog;
 pub mod client;
 mod evloop;
@@ -66,8 +67,10 @@ pub mod protocol;
 pub mod retry;
 pub mod server;
 mod session;
+pub mod slowlog;
 pub mod wal;
 
+pub use accuracy::{parse_drift_line, AccuracyConfig, AccuracyTracker, EntrySummary};
 pub use catalog::{SharedCatalog, VersionedCatalog, VersionedEntry};
 pub use client::{BinaryClient, Client, ClientError};
 pub use framing::{BinRequest, BinResponse};
@@ -76,4 +79,5 @@ pub use metrics::{CommandStats, Metrics, Protocol};
 pub use protocol::{frame_busy, frame_err, frame_ok, parse_page_into, parse_request, Request};
 pub use retry::{ResilientClient, RetryPolicy};
 pub use server::{serve, Frontend, LimitsConfig, ServerConfig, ServerHandle};
+pub use slowlog::{Phases, SlowEntry, SlowLog};
 pub use wal::{FsyncPolicy, ServerWal, WalConfig, WalRecord};

@@ -92,6 +92,31 @@ pub enum Request {
         /// Entry name the parked session was opened under.
         name: String,
     },
+    /// Report an observed (ground-truth) fetch count for a scan of a stored
+    /// entry. The server pairs it with the estimate it would serve right now
+    /// and feeds the accuracy tracker (`docs/observability.md`, "Accuracy &
+    /// drift").
+    Observe {
+        /// Catalog entry name.
+        name: String,
+        /// Distinct keys the scan touched; selectivity is `nkeys / I`.
+        nkeys: u64,
+        /// Page fetches the scan actually performed.
+        actual: u64,
+        /// Buffer pages the scan ran with (`buffer=B`); defaults to the
+        /// entry's stored `b_min`.
+        buffer: Option<u64>,
+    },
+    /// Render per-entry estimator-accuracy summaries (all entries, or one).
+    Drift {
+        /// Restrict to one catalog entry.
+        name: Option<String>,
+    },
+    /// Render the newest entries of the slow-request log.
+    Slowlog {
+        /// Maximum entries to return.
+        limit: usize,
+    },
     /// Request counters and latency histograms.
     Stats,
     /// Operator command: re-probe the WAL directory and catalog path after a
@@ -121,6 +146,9 @@ impl Request {
             Request::AnalyzeCommit => "ANALYZE_COMMIT",
             Request::AnalyzeAbort => "ANALYZE_ABORT",
             Request::AnalyzeResume { .. } => "ANALYZE_RESUME",
+            Request::Observe { .. } => "OBSERVE",
+            Request::Drift { .. } => "DRIFT",
+            Request::Slowlog { .. } => "SLOWLOG",
             Request::Stats => "STATS",
             Request::Recover => "RECOVER",
             Request::Shutdown => "SHUTDOWN",
@@ -141,6 +169,9 @@ impl Request {
         "ANALYZE_COMMIT",
         "ANALYZE_ABORT",
         "ANALYZE_RESUME",
+        "OBSERVE",
+        "DRIFT",
+        "SLOWLOG",
         "STATS",
         "RECOVER",
         "SHUTDOWN",
@@ -251,6 +282,39 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                     .map(|t| parse_token(t, "points"))
                     .transpose()?
                     .unwrap_or(10),
+            })
+        }
+        "OBSERVE" => {
+            const USAGE: &str = "OBSERVE <name> <nkeys> <actual_fetches> [buffer=B]";
+            exactly(3, 4, USAGE)?;
+            let mut buffer = None;
+            if let Some(opt) = rest.get(3) {
+                match opt.split_once('=') {
+                    Some(("buffer", v)) => buffer = Some(parse_token(v, "buffer")?),
+                    _ => return Err(format!("unknown OBSERVE option {opt:?}")),
+                }
+            }
+            Ok(Request::Observe {
+                name: rest[0].to_string(),
+                nkeys: parse_token(rest[1], "nkeys")?,
+                actual: parse_token(rest[2], "actual_fetches")?,
+                buffer,
+            })
+        }
+        "DRIFT" => {
+            exactly(0, 1, "DRIFT [<name>]")?;
+            Ok(Request::Drift {
+                name: rest.first().map(|s| s.to_string()),
+            })
+        }
+        "SLOWLOG" => {
+            exactly(0, 1, "SLOWLOG [<n>]")?;
+            Ok(Request::Slowlog {
+                limit: rest
+                    .first()
+                    .map(|t| parse_token(t, "n"))
+                    .transpose()?
+                    .unwrap_or(32),
             })
         }
         "PAGE" => {
@@ -437,6 +501,33 @@ mod tests {
             parse_request("ANALYZE ABORT").unwrap(),
             Request::AnalyzeAbort
         );
+        assert_eq!(
+            parse_request("OBSERVE t.k 250 1234").unwrap(),
+            Request::Observe {
+                name: "t.k".into(),
+                nkeys: 250,
+                actual: 1234,
+                buffer: None
+            }
+        );
+        assert_eq!(
+            parse_request("observe t.k 250 1234 buffer=64").unwrap(),
+            Request::Observe {
+                name: "t.k".into(),
+                nkeys: 250,
+                actual: 1234,
+                buffer: Some(64)
+            }
+        );
+        assert_eq!(parse_request("DRIFT").unwrap(), Request::Drift { name: None });
+        assert_eq!(
+            parse_request("drift t.k").unwrap(),
+            Request::Drift {
+                name: Some("t.k".into())
+            }
+        );
+        assert_eq!(parse_request("SLOWLOG").unwrap(), Request::Slowlog { limit: 32 });
+        assert_eq!(parse_request("slowlog 5").unwrap(), Request::Slowlog { limit: 5 });
         assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
         assert_eq!(parse_request("RECOVER").unwrap(), Request::Recover);
         assert_eq!(parse_request("SHUTDOWN").unwrap(), Request::Shutdown);
@@ -471,6 +562,14 @@ mod tests {
         assert!(parse_request("ANALYZE").is_err());
         assert!(parse_request("ANALYZE BEGIN ix bogus=1").is_err());
         assert!(parse_request("PING extra").is_err());
+        assert!(parse_request("OBSERVE t.k").is_err());
+        assert!(parse_request("OBSERVE t.k 10").is_err());
+        assert!(parse_request("OBSERVE t.k ten 5").is_err());
+        assert!(parse_request("OBSERVE t.k 10 5 bogus=1").is_err());
+        assert!(parse_request("OBSERVE t.k 10 5 buffer=x").is_err());
+        assert!(parse_request("DRIFT a b").is_err());
+        assert!(parse_request("SLOWLOG nope").is_err());
+        assert!(parse_request("SLOWLOG 1 2").is_err());
         assert!(parse_request("HELLO").is_err());
         assert!(parse_request("HELLO TEXTUAL").is_err());
         assert!(parse_request("HELLO BINARY please").is_err());
@@ -511,6 +610,14 @@ mod tests {
             },
             Request::AnalyzeCommit,
             Request::AnalyzeAbort,
+            Request::Observe {
+                name: "x".into(),
+                nkeys: 1,
+                actual: 1,
+                buffer: None,
+            },
+            Request::Drift { name: None },
+            Request::Slowlog { limit: 1 },
             Request::Stats,
             Request::Recover,
             Request::Shutdown,

@@ -33,11 +33,13 @@
 //! process at any instant leaves the last committed version intact on
 //! disk; that is exactly what the CI smoke test asserts.
 
+use crate::accuracy::{AccuracyConfig, AccuracyTracker};
 use crate::catalog::SharedCatalog;
 use crate::ingest::IngestSession;
 use crate::metrics::Metrics;
 use crate::protocol::{frame_busy, Request};
 use crate::session::Conn;
+use crate::slowlog::SlowLog;
 use crate::wal::{ServerWal, WalConfig};
 use epfis::{EpfisConfig, ScanQuery};
 use epfis_estimators::{
@@ -45,7 +47,8 @@ use epfis_estimators::{
 };
 use epfis_net::ReadStep;
 use epfis_obs::http::{HttpServer, Response};
-use epfis_obs::{Level, Logger, Registry};
+use epfis_obs::{Histogram, Level, Logger, Registry};
+use std::cell::Cell;
 use std::io::{Read, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -56,6 +59,31 @@ use std::time::{Duration, Instant};
 /// How often an idle connection re-checks the shutdown flag and its idle
 /// deadline.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Slots in the slow-request ring (the newest entries win).
+const SLOWLOG_CAPACITY: usize = 128;
+
+thread_local! {
+    /// Per-thread WAL-time accumulator for latency attribution. Requests
+    /// execute serially on whichever thread runs them (a pool worker or the
+    /// event loop), so a thread-local cell attributes WAL wall time to the
+    /// request currently being served with no shared state on the hot path.
+    static WAL_TIME_US: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Runs a WAL (or WAL-guarded durability) operation, charging its wall time
+/// to the current request's WAL phase.
+fn timed_wal<T>(f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let result = f();
+    WAL_TIME_US.with(|c| c.set(c.get().saturating_add(start.elapsed().as_micros() as u64)));
+    result
+}
+
+/// Drains the WAL time the current request accumulated on this thread.
+pub(crate) fn take_wal_time_us() -> u64 {
+    WAL_TIME_US.with(|c| c.replace(0))
+}
 
 /// Per-connection and server-wide resource limits.
 ///
@@ -209,6 +237,12 @@ pub struct ServerConfig {
     /// fault-injecting VFS here from the `EPFIS_FAULTS` environment hook
     /// so chaos tests can script storage failures in a stock binary.
     pub vfs: Option<std::sync::Arc<dyn epfis_faults::Vfs>>,
+    /// Accuracy-tracker tuning (`--drift-threshold` sets the stale
+    /// threshold; the rest keep their defaults).
+    pub accuracy: AccuracyConfig,
+    /// Requests slower than this land in the slow-request log
+    /// (`--slow-request-us`; default 100 ms).
+    pub slow_request_us: u64,
 }
 
 impl Default for ServerConfig {
@@ -224,6 +258,8 @@ impl Default for ServerConfig {
             wal: None,
             frontend: Frontend::default(),
             vfs: None,
+            accuracy: AccuracyConfig::default(),
+            slow_request_us: 100_000,
         }
     }
 }
@@ -304,6 +340,13 @@ pub(crate) struct Shared {
     pub(crate) wal: Option<ServerWal>,
     /// Degraded-mode flag, shared with the `/healthz` handler.
     pub(crate) health: Arc<HealthState>,
+    /// Observed-vs-predicted drift tracking, fed by `OBSERVE`, read by
+    /// `DRIFT` and the `epfis_accuracy_*` families.
+    pub(crate) accuracy: Arc<AccuracyTracker>,
+    /// `|rel_err| × 1000` per observation (`epfis_accuracy_abs_rel_error_permille`).
+    pub(crate) accuracy_err_hist: Arc<Histogram>,
+    /// Slow-request ring, shared with the `/slowlog` handler.
+    pub(crate) slowlog: Arc<SlowLog>,
     pub(crate) started: Instant,
     addr: SocketAddr,
 }
@@ -510,12 +553,68 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
             move || cat.persist_failures() as f64,
         );
     }
+    let accuracy = Arc::new(AccuracyTracker::new(config.accuracy.clone()));
+    let slowlog = Arc::new(SlowLog::new(config.slow_request_us, SLOWLOG_CAPACITY));
+    {
+        // The observatory families read the tracker / slow log / event ring
+        // at render time, so /metrics and STATS can never disagree with the
+        // structures the serving path maintains.
+        let a = Arc::clone(&accuracy);
+        registry.counter_fn(
+            "epfis_accuracy_observations_total",
+            "OBSERVE feedback observations recorded",
+            &[],
+            move || a.observations_total(),
+        );
+        let a = Arc::clone(&accuracy);
+        registry.counter_fn(
+            "epfis_accuracy_drift_detected_total",
+            "Per-entry stale-flag flips detected from observed-vs-predicted drift",
+            &[],
+            move || a.drift_detected_total(),
+        );
+        let a = Arc::clone(&accuracy);
+        registry.gauge_fn(
+            "epfis_accuracy_stale_entries",
+            "Catalog entries currently flagged stale by the accuracy tracker",
+            &[],
+            move || a.stale_entries() as f64,
+        );
+        let a = Arc::clone(&accuracy);
+        registry.gauge_fn(
+            "epfis_accuracy_tracked_entries",
+            "Catalog entries with accuracy observations",
+            &[],
+            move || a.tracked_entries() as f64,
+        );
+        let s = Arc::clone(&slowlog);
+        registry.counter_fn(
+            "epfis_server_slow_requests_total",
+            "Requests recorded in the slow-request log",
+            &[],
+            move || s.recorded_total(),
+        );
+        let lg = Arc::clone(&logger);
+        registry.counter_fn(
+            "epfis_obs_events_dropped_total",
+            "Structured events dropped because the ring buffer lapped its capacity",
+            &[],
+            move || lg.ring_dropped(),
+        );
+    }
+    let accuracy_err_hist = registry.histogram(
+        "epfis_accuracy_abs_rel_error_permille",
+        "Absolute observed-vs-predicted relative error per OBSERVE, in thousandths",
+        &[],
+    );
     let metrics_http = match &config.metrics_addr {
         Some(metrics_addr) => Some(start_metrics_endpoint(
             metrics_addr,
             Arc::clone(&registry),
             Arc::clone(&logger),
             Arc::clone(&health),
+            Arc::clone(&slowlog),
+            started,
         )?),
         None => None,
     };
@@ -542,6 +641,9 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
         max_connections,
         wal,
         health,
+        accuracy,
+        accuracy_err_hist,
+        slowlog,
         started,
         addr,
     });
@@ -637,13 +739,16 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
 /// Starts the HTTP observability endpoint: `/metrics` renders the
 /// per-server registry followed by the process-global one (buffer pool,
 /// analyzer), `/healthz` answers a JSON liveness probe (503 with the cause
-/// while the server is degraded), and `/events?n=K` serves the logger's
-/// most recent ring-buffer events as JSON lines.
+/// while the server is degraded), `/events?n=K` serves the logger's most
+/// recent ring-buffer events as JSON lines, and `/slowlog?n=K` serves the
+/// slow-request ring the same way (newest first).
 fn start_metrics_endpoint(
     addr: &str,
     registry: Arc<Registry>,
     logger: Arc<Logger>,
     health: Arc<HealthState>,
+    slowlog: Arc<SlowLog>,
+    started: Instant,
 ) -> std::io::Result<HttpServer> {
     // Pre-register the process-global families so every scrape sees them
     // (at zero) even before the first buffer-pool access or ANALYZE
@@ -671,6 +776,8 @@ fn start_metrics_endpoint(
                     // Liveness vs serviceability: a degraded server still
                     // answers (estimates keep serving) but reports 503 so
                     // orchestrators and operators see the durability loss.
+                    let uptime_s = started.elapsed().as_secs();
+                    let version = env!("CARGO_PKG_VERSION");
                     if health.is_degraded() {
                         let cause = health
                             .cause()
@@ -680,14 +787,34 @@ fn start_metrics_endpoint(
                         Some(Response {
                             status: 503,
                             content_type: "application/json; charset=utf-8",
-                            body: format!("{{\"status\":\"degraded\",\"cause\":\"{cause}\"}}\n"),
+                            body: format!(
+                                "{{\"status\":\"degraded\",\"cause\":\"{cause}\",\
+                                 \"uptime_s\":{uptime_s},\"version\":\"{version}\",\
+                                 \"degraded_cause\":\"{cause}\"}}\n"
+                            ),
                         })
                     } else {
                         Some(Response::ok(
                             "application/json; charset=utf-8",
-                            "{\"status\":\"ok\"}\n".to_string(),
+                            format!(
+                                "{{\"status\":\"ok\",\"uptime_s\":{uptime_s},\
+                                 \"version\":\"{version}\",\"degraded_cause\":null}}\n"
+                            ),
                         ))
                     }
+                }
+                "/slowlog" => {
+                    let n = query
+                        .split('&')
+                        .find_map(|kv| kv.strip_prefix("n="))
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .unwrap_or(32);
+                    let mut body = String::new();
+                    for entry in slowlog.snapshot(n) {
+                        body.push_str(&entry.render_json());
+                        body.push('\n');
+                    }
+                    Some(Response::ok("application/json; charset=utf-8", body))
                 }
                 "/events" => {
                     let n = query
@@ -852,7 +979,8 @@ fn flush_deadline(stream: &mut TcpStream, out: &mut Vec<u8>, shared: &Shared) ->
     } else {
         shared.limits.idle_timeout
     };
-    let deadline = Instant::now() + patience;
+    let flush_start = Instant::now();
+    let deadline = flush_start + patience;
     let mut written = 0;
     let outcome = loop {
         if written >= out.len() {
@@ -886,6 +1014,12 @@ fn flush_deadline(stream: &mut TcpStream, out: &mut Vec<u8>, shared: &Shared) ->
         }
     };
     out.clear();
+    // Flush attribution covers the whole drained batch (command="ALL",
+    // phase="flush"): a flush serves every pipelined response at once, so
+    // per-request flush time is not a meaningful quantity.
+    shared
+        .metrics
+        .record_flush(flush_start.elapsed().as_micros() as u64);
     outcome
 }
 
@@ -969,18 +1103,17 @@ pub(crate) fn apply_page_batch(
     match &shared.wal {
         Some(wal) => {
             open.inner.check_batch_iter(pairs.clone())?;
-            wal.append_page(open.wal_id, batch_len, pairs.clone())
-                .map_err(|e| {
-                    shared.note_wal_failure();
-                    format!("wal append failed: {e}")
-                })?;
+            timed_wal(|| wal.append_page(open.wal_id, batch_len, pairs.clone())).map_err(|e| {
+                shared.note_wal_failure();
+                format!("wal append failed: {e}")
+            })?;
             open.inner.feed_batch_unchecked_iter(pairs);
             // Periodic analyzer checkpoint: bounds replay to one interval
             // of PAGE records per in-flight session.
             if open.inner.records().saturating_sub(open.checkpointed_refs) >= wal.checkpoint_refs()
             {
                 let cp = open.inner.checkpoint();
-                wal.append_checkpoint(open.wal_id, &cp).map_err(|e| {
+                timed_wal(|| wal.append_checkpoint(open.wal_id, &cp)).map_err(|e| {
                     shared.note_wal_failure();
                     format!("wal append failed: {e}")
                 })?;
@@ -1167,11 +1300,11 @@ pub(crate) fn execute(
                 Some(wal) => {
                     // A fresh BEGIN supersedes any parked session under the
                     // same name: the client is starting over.
-                    wal.discard_parked(&name).map_err(|e| {
+                    timed_wal(|| wal.discard_parked(&name)).map_err(|e| {
                         shared.note_wal_failure();
                         format!("wal append failed: {e}")
                     })?;
-                    wal.begin(&name, segments, table_pages).map_err(|e| {
+                    timed_wal(|| wal.begin(&name, segments, table_pages)).map_err(|e| {
                         shared.note_wal_failure();
                         format!("wal append failed: {e}")
                     })?
@@ -1243,14 +1376,18 @@ pub(crate) fn execute(
                     // commit with the *recorded* timestamp — byte-identical
                     // catalog either way.
                     let analyzed_at = crate::catalog::unix_now();
-                    wal.commit_session(wal_id, analyzed_at, |commit_seq| {
-                        shared.catalog.commit_analyzed(
-                            &name,
-                            stats,
-                            Some(Arc::new(summary)),
-                            analyzed_at,
-                            Some(commit_seq),
-                        )
+                    // The WAL phase here includes the catalog persist run
+                    // under the commit guard — it is all durability time.
+                    timed_wal(|| {
+                        wal.commit_session(wal_id, analyzed_at, |commit_seq| {
+                            shared.catalog.commit_analyzed(
+                                &name,
+                                stats,
+                                Some(Arc::new(summary)),
+                                analyzed_at,
+                                Some(commit_seq),
+                            )
+                        })
                     })
                     .map_err(|e| {
                         // The failure may be the COMMIT record (WAL
@@ -1292,7 +1429,7 @@ pub(crate) fn execute(
             // record is best-effort. A failed append degrades the server
             // (if it wasn't already) but the abort itself still succeeds.
             if let Some(wal) = &shared.wal {
-                if let Err(e) = wal.abort_session(wal_id) {
+                if let Err(e) = timed_wal(|| wal.abort_session(wal_id)) {
                     shared.note_wal_failure();
                     shared
                         .logger
@@ -1368,6 +1505,76 @@ pub(crate) fn execute(
             lines.push(format!("recovered was_degraded={}", was_degraded as u8));
             Ok(lines)
         }
+        Request::Observe {
+            name,
+            nkeys,
+            actual,
+            buffer,
+        } => {
+            if buffer == Some(0) {
+                return Err("buffer must be at least 1".into());
+            }
+            let snap = shared.catalog.snapshot();
+            let entry = snap
+                .get(&name)
+                .ok_or_else(|| format!("no catalog entry named {name:?} (try SHOW)"))?;
+            let s = &entry.stats;
+            // Pair the observation with the estimate the server would serve
+            // right now: nkeys out of the entry's distinct keys is the
+            // selectivity the optimizer would have used for this scan, and
+            // an unspecified buffer means the entry's fitted b_min.
+            let sigma = if s.distinct_keys == 0 {
+                0.0
+            } else {
+                (nkeys as f64 / s.distinct_keys as f64).clamp(0.0, 1.0)
+            };
+            let b = buffer.unwrap_or_else(|| s.b_min.max(1));
+            let estimate = s.estimate(&ScanQuery::range(sigma, b));
+            let obs = shared.accuracy.observe(&name, entry.epoch, estimate, actual);
+            shared
+                .accuracy_err_hist
+                .record((obs.rel_err.abs() * 1000.0).min(1e15) as u64);
+            if obs.drift_detected {
+                shared
+                    .logger
+                    .event(Level::Warn, "accuracy", "drift_detected")
+                    .field("entry", name.as_str())
+                    .field("epoch", entry.epoch)
+                    .field("rel_err", obs.rel_err)
+                    .field("threshold", shared.accuracy.drift_threshold())
+                    .emit();
+            }
+            Ok(vec![format!(
+                "observed {name} epoch={} estimate={estimate} actual={actual} rel_err={} stale={}",
+                entry.epoch,
+                obs.rel_err,
+                obs.stale as u8
+            )])
+        }
+        Request::Drift { name } => match name {
+            Some(name) => {
+                let summary = shared.accuracy.summary(&name).ok_or_else(|| {
+                    format!("no observations for {name:?} (send OBSERVE first)")
+                })?;
+                Ok(vec![summary.render()])
+            }
+            None => Ok(shared
+                .accuracy
+                .summaries()
+                .iter()
+                .map(|s| s.render())
+                .collect()),
+        },
+        Request::Slowlog { limit } => {
+            let mut lines = vec![format!(
+                "slowlog threshold_us={} recorded={} dropped={}",
+                shared.slowlog.threshold_us(),
+                shared.slowlog.recorded_total(),
+                shared.slowlog.dropped_total()
+            )];
+            lines.extend(shared.slowlog.snapshot(limit).iter().map(|e| e.render()));
+            Ok(lines)
+        }
         Request::Stats => {
             let snap = shared.catalog.snapshot();
             let mut lines =
@@ -1399,6 +1606,22 @@ pub(crate) fn execute(
                 ));
                 lines.push(format!("wal_parked_sessions {}", wal.parked_names().len()));
             }
+            lines.push(format!(
+                "obs_events_dropped {}",
+                shared.logger.ring_dropped()
+            ));
+            lines.push(format!(
+                "accuracy observations={} drift_detected={} stale_entries={} tracked={}",
+                shared.accuracy.observations_total(),
+                shared.accuracy.drift_detected_total(),
+                shared.accuracy.stale_entries(),
+                shared.accuracy.tracked_entries()
+            ));
+            lines.push(format!(
+                "slowlog threshold_us={} recorded={}",
+                shared.slowlog.threshold_us(),
+                shared.slowlog.recorded_total()
+            ));
             Ok(lines)
         }
         // The session engine intercepts HELLO before execute, so reaching this arm

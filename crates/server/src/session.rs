@@ -35,9 +35,10 @@ use crate::framing::{
     self, decode_request, encode_resp_err, encode_resp_f64, encode_resp_lines, encode_resp_str,
     encode_resp_u64, BinRequest,
 };
-use crate::metrics::Protocol;
+use crate::metrics::{PhaseBatch, Protocol};
 use crate::protocol::{frame_err, frame_ok, parse_page_into, parse_request, Request};
-use crate::server::{apply_page_batch, execute, OpenSession, Shared};
+use crate::server::{apply_page_batch, execute, take_wal_time_us, OpenSession, Shared};
+use crate::slowlog::Phases;
 use epfis::ScanQuery;
 use std::sync::Arc;
 use std::time::Instant;
@@ -91,6 +92,14 @@ pub(crate) struct Conn {
     /// connection opened). Trickled partial bytes do not move it, which is
     /// what defeats slow-loris writers.
     idle_since: Instant,
+    /// When the most recent read delivered bytes: the base of each
+    /// request's queue-wait phase. Later requests in a pipelined batch
+    /// accumulate queue time while earlier ones execute — exactly the wait
+    /// an external client observes.
+    batch_arrived: Option<Instant>,
+    /// Batch-local phase aggregation, merged into the shared histograms
+    /// once per [`Conn::process`] wakeup (see [`PhaseBatch`]).
+    phases: PhaseBatch,
     closed: bool,
     /// Processing parked because `out` crossed [`BINARY_FLUSH_BYTES`].
     deferred: bool,
@@ -105,6 +114,8 @@ impl Conn {
             cache: None,
             page_scratch: Vec::new(),
             idle_since: Instant::now(),
+            batch_arrived: None,
+            phases: PhaseBatch::new(),
             closed: false,
             deferred: false,
         }
@@ -139,6 +150,7 @@ impl Conn {
             return Step::Close;
         }
         shared.metrics.add_bytes_in(data.len() as u64);
+        self.batch_arrived = Some(Instant::now());
         self.pending.extend_from_slice(data);
         let step = self.process(shared, out);
         // Pending-cap check runs *after* processing so the more specific
@@ -218,8 +230,15 @@ impl Conn {
         }
     }
 
-    /// Consume as many buffered requests as the output budget allows.
+    /// Consume as many buffered requests as the output budget allows, then
+    /// merge the wakeup's accumulated phase timings in one pass.
     fn process(&mut self, shared: &Shared, out: &mut Vec<u8>) -> Step {
+        let step = self.process_requests(shared, out);
+        shared.metrics.flush_phases(&mut self.phases);
+        step
+    }
+
+    fn process_requests(&mut self, shared: &Shared, out: &mut Vec<u8>) -> Step {
         self.deferred = false;
         loop {
             if self.closed {
@@ -289,24 +308,32 @@ impl Conn {
     /// Serve one complete text request line.
     fn handle_text_line(&mut self, shared: &Shared, line: &str, out: &mut Vec<u8>) {
         let start = Instant::now();
+        let queue_us = self
+            .batch_arrived
+            .map(|t| start.saturating_duration_since(t).as_micros() as u64)
+            .unwrap_or(0);
         shared.metrics.protocol_request(Protocol::Text);
         let first = line.split_whitespace().next().unwrap_or("");
-        let (label, result) = if first.eq_ignore_ascii_case("PAGE") {
+        let (label, parsed_at, result) = if first.eq_ignore_ascii_case("PAGE") {
             // Fast path: parse into the scratch buffer and feed through the
             // same batch-apply the full parser's Request::Page uses. Parse
             // errors label INVALID exactly as parse_request's would.
             match parse_page_into(line, &mut self.page_scratch) {
-                Ok(()) => (
-                    "PAGE",
-                    apply_page_batch(
-                        shared,
-                        &mut self.session,
-                        self.page_scratch.len(),
-                        self.page_scratch.iter().copied(),
+                Ok(()) => {
+                    let parsed_at = Instant::now();
+                    (
+                        "PAGE",
+                        parsed_at,
+                        apply_page_batch(
+                            shared,
+                            &mut self.session,
+                            self.page_scratch.len(),
+                            self.page_scratch.iter().copied(),
+                        )
+                        .map(|n| vec![format!("fed {n}")]),
                     )
-                    .map(|n| vec![format!("fed {n}")]),
-                ),
-                Err(e) => ("INVALID", Err(e)),
+                }
+                Err(e) => ("INVALID", Instant::now(), Err(e)),
             }
         } else {
             match parse_request(line) {
@@ -326,6 +353,7 @@ impl Conn {
                     return;
                 }
                 Ok(req) => {
+                    let parsed_at = Instant::now();
                     let label = req.label();
                     let is_shutdown = matches!(req, Request::Shutdown);
                     let result = execute(req, shared, &mut self.session);
@@ -337,12 +365,13 @@ impl Conn {
                         self.closed = true;
                         return;
                     }
-                    (label, result)
+                    (label, parsed_at, result)
                 }
-                Err(e) => ("INVALID", Err(e)),
+                Err(e) => ("INVALID", Instant::now(), Err(e)),
             }
         };
-        let micros = start.elapsed().as_micros() as u64;
+        let end = Instant::now();
+        let micros = end.saturating_duration_since(start).as_micros() as u64;
         let response = match &result {
             Ok(lines) => frame_ok(lines),
             Err(msg) => {
@@ -354,7 +383,15 @@ impl Conn {
                 frame_err(msg)
             }
         };
+        let phases = Phases {
+            queue_us,
+            parse_us: parsed_at.saturating_duration_since(start).as_micros() as u64,
+            execute_us: end.saturating_duration_since(parsed_at).as_micros() as u64,
+            wal_us: take_wal_time_us(),
+        };
         shared.metrics.record(label, micros, result.is_err());
+        self.phases.add(label, &phases);
+        shared.slowlog.record(label, line, micros, phases);
         out.extend_from_slice(response.as_bytes());
     }
 
@@ -382,7 +419,15 @@ impl Conn {
             }
             let body = &rest[4..4 + body_len];
             self.idle_since = Instant::now();
-            let open = handle_binary_frame(body, shared, &mut self.session, &mut self.cache, out);
+            let open = handle_binary_frame(
+                body,
+                shared,
+                &mut self.session,
+                &mut self.cache,
+                &mut self.phases,
+                self.batch_arrived,
+                out,
+            );
             if !open {
                 self.closed = true;
             }
@@ -424,27 +469,44 @@ fn handle_binary_frame(
     shared: &Shared,
     session: &mut Option<OpenSession>,
     cache: &mut Option<EntryCache>,
+    phase_batch: &mut PhaseBatch,
+    batch_arrived: Option<Instant>,
     out: &mut Vec<u8>,
 ) -> bool {
     let start = Instant::now();
+    let queue_us = batch_arrived
+        .map(|t| start.saturating_duration_since(t).as_micros() as u64)
+        .unwrap_or(0);
     shared.metrics.protocol_request(Protocol::Binary);
-    let record = |label: &str, is_error: bool| {
-        shared
-            .metrics
-            .record(label, start.elapsed().as_micros() as u64, is_error);
+    // `wire` is the slow-log request preview; binary frames carry the
+    // command name (the raw body is not meaningfully printable), TEXT
+    // passthrough frames carry the inner line.
+    let mut record = |label: &'static str, wire: &str, is_error: bool, parsed_at: Instant| {
+        let end = Instant::now();
+        let micros = end.saturating_duration_since(start).as_micros() as u64;
+        let phases = Phases {
+            queue_us,
+            parse_us: parsed_at.saturating_duration_since(start).as_micros() as u64,
+            execute_us: end.saturating_duration_since(parsed_at).as_micros() as u64,
+            wal_us: take_wal_time_us(),
+        };
+        shared.metrics.record(label, micros, is_error);
+        phase_batch.add(label, &phases);
+        shared.slowlog.record(label, wire, micros, phases);
     };
     let req = match decode_request(body) {
         Ok(req) => req,
         Err(e) => {
             encode_resp_err(out, &e);
-            record("INVALID", true);
+            record("INVALID", "INVALID", true, Instant::now());
             return true;
         }
     };
+    let parsed_at = Instant::now();
     match req {
         BinRequest::Ping => {
             encode_resp_str(out, "pong");
-            record("PING", false);
+            record("PING", "PING", false, parsed_at);
         }
         BinRequest::Estimate {
             name,
@@ -454,11 +516,11 @@ fn handle_binary_frame(
         } => match binary_estimate(shared, cache, name, sigma, buffer, sargable) {
             Ok(f) => {
                 encode_resp_f64(out, f);
-                record("ESTIMATE", false);
+                record("ESTIMATE", "ESTIMATE", false, parsed_at);
             }
             Err(e) => {
                 encode_resp_err(out, &e);
-                record("ESTIMATE", true);
+                record("ESTIMATE", "ESTIMATE", true, parsed_at);
             }
         },
         BinRequest::Page(refs) => {
@@ -469,11 +531,11 @@ fn handle_binary_frame(
                         shared.metrics.limit_rejection();
                     }
                     encode_resp_err(out, &e);
-                    record("PAGE", true);
+                    record("PAGE", "PAGE", true, parsed_at);
                     return true;
                 }
             }
-            record("PAGE", false);
+            record("PAGE", "PAGE", false, parsed_at);
         }
         BinRequest::AnalyzeBegin {
             name,
@@ -487,17 +549,38 @@ fn handle_binary_frame(
             };
             let result = execute(req, shared, session);
             encode_exec_result(out, &result);
-            record("ANALYZE_BEGIN", result.is_err());
+            record("ANALYZE_BEGIN", "ANALYZE_BEGIN", result.is_err(), parsed_at);
         }
         BinRequest::AnalyzeCommit => {
             let result = execute(Request::AnalyzeCommit, shared, session);
             encode_exec_result(out, &result);
-            record("ANALYZE_COMMIT", result.is_err());
+            record(
+                "ANALYZE_COMMIT",
+                "ANALYZE_COMMIT",
+                result.is_err(),
+                parsed_at,
+            );
         }
         BinRequest::AnalyzeAbort => {
             let result = execute(Request::AnalyzeAbort, shared, session);
             encode_exec_result(out, &result);
-            record("ANALYZE_ABORT", result.is_err());
+            record("ANALYZE_ABORT", "ANALYZE_ABORT", result.is_err(), parsed_at);
+        }
+        BinRequest::Observe {
+            name,
+            nkeys,
+            actual,
+            buffer,
+        } => {
+            let req = Request::Observe {
+                name: name.to_string(),
+                nkeys,
+                actual,
+                buffer: (buffer > 0).then_some(buffer),
+            };
+            let result = execute(req, shared, session);
+            encode_exec_result(out, &result);
+            record("OBSERVE", "OBSERVE", result.is_err(), parsed_at);
         }
         BinRequest::Text(line) => match parse_request(line) {
             Ok(req) => {
@@ -510,7 +593,7 @@ fn handle_binary_frame(
                     }
                 }
                 encode_exec_result(out, &result);
-                record(label, result.is_err());
+                record(label, line, result.is_err(), parsed_at);
                 if is_shutdown && result.is_ok() {
                     shared.request_shutdown();
                     return false;
@@ -518,7 +601,7 @@ fn handle_binary_frame(
             }
             Err(e) => {
                 encode_resp_err(out, &e);
-                record("INVALID", true);
+                record("INVALID", line, true, parsed_at);
             }
         },
     }

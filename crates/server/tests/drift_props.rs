@@ -1,0 +1,137 @@
+//! Property tests for the `DRIFT` wire format: `EntrySummary::render` and
+//! `parse_drift_line` are exact inverses over the whole value space (the
+//! `epfis drift` CLI decodes what the server encodes, so a silent format
+//! skew would corrupt operator-facing numbers), and the parser is total on
+//! hostile input.
+
+use epfis_server::{parse_drift_line, EntrySummary};
+use proptest::prelude::*;
+
+const HIST_BINS: usize = 11;
+
+/// Entry names as the catalog accepts them: one non-empty whitespace-free
+/// token (dots, dashes, and underscores are common in the wild).
+fn entry_name() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..39, 1..24).prop_map(|picks| {
+        const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789._-";
+        picks.iter().map(|&i| ALPHABET[i] as char).collect()
+    })
+}
+
+/// Signed relative errors as the tracker produces them: finite, spanning
+/// tiny to huge magnitudes, both signs, and exact zero.
+fn rel_err() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(0.0),
+        (-1.0f64..1.0).prop_map(|x| x),
+        (0.0f64..1e9).prop_map(|x| -x),
+        (0.0f64..1e-6).prop_map(|x| x),
+        any::<f64>(),
+    ]
+}
+
+fn summary() -> impl Strategy<Value = EntrySummary> {
+    (
+        entry_name(),
+        any::<u64>(),
+        any::<u64>(),
+        0usize..4096,
+        rel_err(),
+        rel_err(),
+        rel_err(),
+        any::<bool>(),
+        prop::collection::vec(any::<u64>(), HIST_BINS..HIST_BINS + 1),
+    )
+        .prop_map(
+            |(name, epoch, observations, window, median_err, mean_err, bias_ewma, stale, h)| {
+                let mut hist = [0u64; HIST_BINS];
+                hist.copy_from_slice(&h);
+                EntrySummary {
+                    name,
+                    epoch,
+                    observations,
+                    window,
+                    median_err,
+                    mean_err,
+                    bias_ewma,
+                    stale,
+                    hist,
+                }
+            },
+        )
+}
+
+/// Arbitrary bytes decoded the way the client decodes them (lossy UTF-8).
+fn wire_line() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u8>(), 0..300)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+proptest! {
+    /// render ∘ parse is the identity: every field survives the wire
+    /// byte-exactly (f64 `Display` → `parse` is lossless in Rust).
+    #[test]
+    fn drift_line_round_trips(s in summary()) {
+        let line = s.render();
+        let parsed = parse_drift_line(&line).unwrap();
+        prop_assert_eq!(&parsed.name, &s.name);
+        prop_assert_eq!(parsed.epoch, s.epoch);
+        prop_assert_eq!(parsed.observations, s.observations);
+        prop_assert_eq!(parsed.window, s.window);
+        prop_assert_eq!(parsed.median_err.to_bits(), s.median_err.to_bits());
+        prop_assert_eq!(parsed.mean_err.to_bits(), s.mean_err.to_bits());
+        prop_assert_eq!(parsed.bias_ewma.to_bits(), s.bias_ewma.to_bits());
+        prop_assert_eq!(parsed.stale, s.stale);
+        prop_assert_eq!(parsed.hist, s.hist);
+        // And the re-rendered line is byte-identical, so repeated
+        // decode/encode hops (server → CLI → logs → tooling) are stable.
+        prop_assert_eq!(parsed.render(), line);
+    }
+
+    /// The parser is total on arbitrary input: hostile bytes yield Err,
+    /// never a panic, and accepted lines re-render canonically.
+    #[test]
+    fn parse_drift_line_never_panics(line in wire_line()) {
+        if let Ok(summary) = parse_drift_line(&line) {
+            // Anything accepted must round-trip from its canonical form.
+            let canon = summary.render();
+            let again = parse_drift_line(&canon).unwrap();
+            prop_assert_eq!(again.render(), canon);
+        }
+    }
+
+    /// Near-miss lines: drift-shaped tokens with corrupted fields must be
+    /// rejected or round-trip — silent misparses are the failure mode this
+    /// guards against.
+    #[test]
+    fn parse_drift_line_rejects_field_corruption(
+        s in summary(),
+        victim in 0usize..9,
+        garbage in prop_oneof![
+            Just("NaN=1".to_string()),
+            Just("epoch=".to_string()),
+            Just("epoch=-1".to_string()),
+            Just("stale=2".to_string()),
+            Just("hist=1,2".to_string()),
+            Just("window=x".to_string()),
+            Just("loose".to_string()),
+        ],
+    ) {
+        let line = s.render();
+        let mut toks: Vec<&str> = line.split_whitespace().collect();
+        // Replace one key=value token (index 2..) with garbage; the name
+        // token (index 1) stays, so the line is still "drift-shaped".
+        let slot = 2 + victim % (toks.len() - 2);
+        toks[slot] = &garbage;
+        let mutated = toks.join(" ");
+        match parse_drift_line(&mutated) {
+            Err(_) => {}
+            Ok(parsed) => {
+                // The only acceptable success is a benign mutation that
+                // still re-renders to a parseable canonical line.
+                let canon = parsed.render();
+                prop_assert!(parse_drift_line(&canon).is_ok());
+            }
+        }
+    }
+}
